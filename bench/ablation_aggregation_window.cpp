@@ -1,0 +1,77 @@
+// Ablation A1: aggregation-window width.
+//
+// §III-B motivates aggregation with two claims: it de-skews the raw
+// datapoint stream and it shrinks the training set "without affecting the
+// accuracy of the model". This sweep quantifies both: for window widths
+// from 5s to 120s it reports the aggregated row count, REP-Tree and
+// Linear-Regression S-MAE, and REP-Tree training time.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace f2pm;
+
+const std::vector<double>& window_grid() {
+  static const std::vector<double> grid{5.0, 10.0, 20.0, 30.0, 60.0, 120.0};
+  return grid;
+}
+
+void print_table() {
+  bench::print_banner("Ablation A1 - aggregation window width");
+  const auto& history = bench::study().history;
+  std::printf("%-12s%-12s%-18s%-18s%-18s\n", "window_s", "rows",
+              "reptree_smae_s", "linear_smae_s", "reptree_train_s");
+  std::printf("%s\n", std::string(78, '-').c_str());
+  for (double window : window_grid()) {
+    data::AggregationOptions aggregation;
+    aggregation.window_seconds = window;
+    const data::Dataset dataset =
+        data::build_dataset(data::aggregate(history, aggregation));
+    util::Rng rng(7);
+    const auto split = data::split_dataset(dataset, 0.7, rng);
+    double max_rttf = 0.0;
+    for (double y : dataset.y) max_rttf = std::max(max_rttf, y);
+    const double threshold = 0.10 * max_rttf;
+
+    auto reptree = ml::make_model("reptree");
+    const auto rep_report =
+        ml::evaluate_model(*reptree, split.train.x, split.train.y,
+                           split.validation.x, split.validation.y, threshold);
+    auto linear = ml::make_model("linear");
+    const auto lin_report =
+        ml::evaluate_model(*linear, split.train.x, split.train.y,
+                           split.validation.x, split.validation.y, threshold);
+    std::printf("%-12.0f%-12zu%-18.3f%-18.3f%-18.4f\n", window,
+                dataset.num_rows(), rep_report.soft_mae, lin_report.soft_mae,
+                rep_report.training_seconds);
+  }
+  std::printf("\n");
+}
+
+void BM_Aggregate(benchmark::State& state) {
+  const auto& history = bench::study().history;
+  data::AggregationOptions aggregation;
+  aggregation.window_seconds = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    const auto points = data::aggregate(history, aggregation);
+    benchmark::DoNotOptimize(points.size());
+  }
+  state.counters["rows"] = static_cast<double>(
+      data::aggregate(history, aggregation).size());
+}
+BENCHMARK(BM_Aggregate)->Arg(5)->Arg(30)->Arg(120)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation A5: learning curve over campaign size.
+//
+// §III-A says the monitoring phase can proceed incrementally: "if the
+// estimated accuracy is not sufficient, further system runs can be
+// executed to collect new data". This bench quantifies that loop: S-MAE
+// of REP-Tree, M5P and the bagged-tree extension as the training campaign
+// grows from 4 to 30 runs (validation is always the final 30-run split's
+// hold-out, so numbers are comparable down the column).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <set>
+
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace f2pm;
+
+/// Restricts the training side to datapoints from the first `num_runs`
+/// runs of the campaign.
+data::Dataset train_prefix(std::size_t num_runs) {
+  const auto& train = bench::study().train;
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 0; i < train.num_rows(); ++i) {
+    if (train.run_index[i] < num_runs) rows.push_back(i);
+  }
+  return train.select_rows(rows);
+}
+
+void print_table() {
+  bench::print_banner("Ablation A5 - learning curve over campaign size");
+  const auto& s = bench::study();
+  std::printf("%-12s%-12s%-16s%-16s%-16s\n", "runs", "train_rows",
+              "reptree_smae_s", "m5p_smae_s", "bagging_smae_s");
+  std::printf("%s\n", std::string(72, '-').c_str());
+  for (std::size_t runs : {4u, 8u, 15u, 22u, 30u}) {
+    const data::Dataset train = train_prefix(runs);
+    std::printf("%-12zu%-12zu", runs, train.num_rows());
+    for (const char* name : {"reptree", "m5p", "bagging"}) {
+      auto model = ml::make_model(name);
+      const auto report =
+          ml::evaluate_model(*model, train.x, train.y, s.validation.x,
+                             s.validation.y, s.soft_threshold);
+      std::printf("%-16.3f", report.soft_mae);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+void BM_TrainBaggingFullCampaign(benchmark::State& state) {
+  const auto& s = bench::study();
+  for (auto _ : state) {
+    auto model = ml::make_model("bagging");
+    model->fit(s.train.x, s.train.y);
+    benchmark::DoNotOptimize(model->is_fitted());
+  }
+}
+BENCHMARK(BM_TrainBaggingFullCampaign)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation A4: thread-pool scaling of the model-generation phase.
+//
+// F2PM trains many models (6 methods x 2 feature sets x 10 Lasso λs); the
+// phase parallelizes naturally across models. This bench times the
+// model-generation phase sequentially and on pools of 1/2/4 workers. On a
+// single-core host the parallel numbers document the dispatch overhead;
+// on a multi-core box they show the scaling headroom.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <thread>
+
+#include "bench/common.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace f2pm;
+
+const std::vector<std::string>& cheap_methods() {
+  // The sweep uses the non-SVM methods so a single measurement stays in
+  // milliseconds; the SVMs would dominate every configuration equally.
+  static const std::vector<std::string> names{"linear", "m5p", "reptree",
+                                              "lasso"};
+  return names;
+}
+
+double time_generation(bool parallel, std::size_t threads) {
+  const auto& s = bench::study();
+  return util::timed([&] {
+    const auto outcomes = core::evaluate_models(
+        s.train, s.validation, cheap_methods(), core::paper_lambda_grid(),
+        s.soft_threshold, util::Config{}, parallel, threads);
+    benchmark::DoNotOptimize(outcomes.size());
+  });
+}
+
+void print_table() {
+  bench::print_banner("Ablation A4 - parallel model generation");
+  std::printf("host hardware concurrency: %u\n\n",
+              std::thread::hardware_concurrency());
+  std::printf("%-26s%-16s\n", "configuration", "wall time (s)");
+  std::printf("%s\n", std::string(42, '-').c_str());
+  std::printf("%-26s%-16.4f\n", "sequential", time_generation(false, 0));
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    const std::string label =
+        "pool with " + std::to_string(threads) + " worker(s)";
+    std::printf("%-26s%-16.4f\n", label.c_str(),
+                time_generation(true, threads));
+  }
+  std::printf("\n");
+}
+
+void BM_ModelGeneration(benchmark::State& state) {
+  const bool parallel = state.range(0) > 0;
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(time_generation(parallel, threads));
+  }
+}
+BENCHMARK(BM_ModelGeneration)->Arg(0)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

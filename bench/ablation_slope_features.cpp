@@ -1,0 +1,90 @@
+// Ablation A2: the added metrics of §III-B.
+//
+// The paper argues the slope features (Eq. 1) and the inter-generation
+// time are load-bearing: slopes expose accelerating resource exhaustion
+// and the inter-generation time captures overload. This ablation retrains
+// the main methods on four feature sets — levels only, levels+slopes,
+// levels+intergen, everything — and reports S-MAE for each.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace f2pm;
+
+struct FeatureSet {
+  const char* label;
+  std::vector<std::size_t> columns;
+};
+
+std::vector<FeatureSet> feature_sets() {
+  std::vector<FeatureSet> sets;
+  std::vector<std::size_t> levels;
+  std::vector<std::size_t> slopes;
+  for (std::size_t i = 0; i < data::kFeatureCount; ++i) {
+    levels.push_back(i);
+    slopes.push_back(data::kFeatureCount + i);
+  }
+  const std::size_t intergen = data::kInputCount - 2;
+  const std::size_t intergen_slope = data::kInputCount - 1;
+
+  FeatureSet only_levels{"levels only", levels};
+  FeatureSet with_slopes{"levels + slopes", levels};
+  with_slopes.columns.insert(with_slopes.columns.end(), slopes.begin(),
+                             slopes.end());
+  FeatureSet with_intergen{"levels + intergen", levels};
+  with_intergen.columns.push_back(intergen);
+  with_intergen.columns.push_back(intergen_slope);
+  FeatureSet everything{"levels + slopes + intergen", with_slopes.columns};
+  everything.columns.push_back(intergen);
+  everything.columns.push_back(intergen_slope);
+  return {only_levels, with_slopes, with_intergen, everything};
+}
+
+void print_table() {
+  bench::print_banner("Ablation A2 - added metrics (slopes, intergen)");
+  const auto& s = bench::study();
+  std::printf("%-30s%-10s%-16s%-16s%-16s\n", "feature set", "cols",
+              "linear_smae_s", "reptree_smae_s", "m5p_smae_s");
+  std::printf("%s\n", std::string(88, '-').c_str());
+  for (const auto& set : feature_sets()) {
+    const data::Dataset train = s.train.select_features(set.columns);
+    const data::Dataset validation =
+        s.validation.select_features(set.columns);
+    double smae[3] = {};
+    const char* names[3] = {"linear", "reptree", "m5p"};
+    for (int m = 0; m < 3; ++m) {
+      auto model = ml::make_model(names[m]);
+      smae[m] = ml::evaluate_model(*model, train.x, train.y, validation.x,
+                                   validation.y, s.soft_threshold)
+                    .soft_mae;
+    }
+    std::printf("%-30s%-10zu%-16.3f%-16.3f%-16.3f\n", set.label,
+                set.columns.size(), smae[0], smae[1], smae[2]);
+  }
+  std::printf("\n");
+}
+
+void BM_TrainRepTreeLevelsOnly(benchmark::State& state) {
+  const auto& s = bench::study();
+  const auto set = feature_sets()[0];
+  const data::Dataset train = s.train.select_features(set.columns);
+  for (auto _ : state) {
+    auto model = ml::make_model("reptree");
+    model->fit(train.x, train.y);
+    benchmark::DoNotOptimize(model->is_fitted());
+  }
+}
+BENCHMARK(BM_TrainRepTreeLevelsOnly)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

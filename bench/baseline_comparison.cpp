@@ -1,0 +1,130 @@
+// Baseline comparison (paper §II): F2PM's RTTF regression vs. the
+// three-state classifier of Alonso et al. [12] vs. the naive
+// time-to-exhaustion heuristic.
+//
+// The paper's argument against [12] is that predicting {all-ok, warning,
+// danger} is strictly weaker than estimating the RTTF: a regression model
+// can always be thresholded into states, but not vice versa. This bench
+// measures both directions on the same validation data:
+//   * state accuracy / danger recall of (a) the direct classifier,
+//     (b) each F2PM regressor thresholded into states, (c) the heuristic;
+//   * RTTF MAE for the regressors and the heuristic (the classifier has
+//     no entry — it cannot produce one, which is the point).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "ml/exhaustion_heuristic.hpp"
+#include "ml/state_classifier.hpp"
+
+namespace {
+
+using namespace f2pm;
+
+const ml::StateThresholds kThresholds{.danger_seconds = 300.0,
+                                      .warning_seconds = 900.0};
+
+struct Row {
+  std::string label;
+  ml::ClassificationReport states;
+  double mae = -1.0;  ///< < 0 = not applicable (classifier).
+};
+
+std::vector<Row> compute_rows() {
+  const auto& s = bench::study();
+  const auto actual_states = ml::states_from_rttf(s.validation.y, kThresholds);
+  std::vector<Row> rows;
+
+  // (a) the direct 3-state classifier of [12].
+  {
+    const auto train_states = ml::states_from_rttf(s.train.y, kThresholds);
+    ml::StateClassifierTree classifier;
+    classifier.fit(s.train.x, train_states);
+    Row row;
+    row.label = "state classifier [12]";
+    row.states = ml::evaluate_classification(classifier.predict(s.validation.x),
+                                             actual_states);
+    rows.push_back(std::move(row));
+  }
+
+  // (b) F2PM regressors, thresholded into the same states.
+  for (const char* name : {"reptree", "m5p", "linear"}) {
+    auto model = ml::make_model(name);
+    model->fit(s.train.x, s.train.y);
+    const auto predicted = model->predict(s.validation.x);
+    Row row;
+    row.label = std::string("F2PM ") + core::display_model_name(name);
+    row.states = ml::evaluate_classification(
+        ml::states_from_rttf(predicted, kThresholds), actual_states);
+    row.mae = ml::mean_absolute_error(predicted, s.validation.y);
+    rows.push_back(std::move(row));
+  }
+
+  // (c) the calibrated time-to-exhaustion heuristic.
+  {
+    ml::ExhaustionHeuristic heuristic;
+    heuristic.fit(s.train.x, s.train.y);
+    const auto predicted = heuristic.predict(s.validation.x);
+    Row row;
+    row.label = "exhaustion heuristic";
+    row.states = ml::evaluate_classification(
+        ml::states_from_rttf(predicted, kThresholds), actual_states);
+    row.mae = ml::mean_absolute_error(predicted, s.validation.y);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void print_table() {
+  bench::print_banner(
+      "Baseline comparison - RTTF regression vs state classification vs "
+      "heuristic");
+  std::printf("state thresholds: danger < %.0fs, warning < %.0fs\n\n",
+              kThresholds.danger_seconds, kThresholds.warning_seconds);
+  std::printf("%-28s%-14s%-16s%-14s\n", "Approach", "state_acc",
+              "danger_recall", "rttf_mae_s");
+  std::printf("%s\n", std::string(72, '-').c_str());
+  for (const auto& row : compute_rows()) {
+    std::printf("%-28s%-14.3f%-16.3f", row.label.c_str(),
+                row.states.accuracy, row.states.danger_recall);
+    if (row.mae >= 0.0) {
+      std::printf("%-14.1f\n", row.mae);
+    } else {
+      std::printf("%-14s\n", "n/a");
+    }
+  }
+  std::printf(
+      "\n(n/a: a state classifier cannot produce an RTTF estimate - the "
+      "paper's core argument for regression models)\n\n");
+}
+
+void BM_TrainStateClassifier(benchmark::State& state) {
+  const auto& s = bench::study();
+  const auto train_states = ml::states_from_rttf(s.train.y, kThresholds);
+  for (auto _ : state) {
+    ml::StateClassifierTree classifier;
+    classifier.fit(s.train.x, train_states);
+    benchmark::DoNotOptimize(classifier.num_leaves());
+  }
+}
+BENCHMARK(BM_TrainStateClassifier)->Unit(benchmark::kMillisecond);
+
+void BM_HeuristicPredict(benchmark::State& state) {
+  const auto& s = bench::study();
+  ml::ExhaustionHeuristic heuristic;
+  heuristic.fit(s.train.x, s.train.y);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heuristic.predict(s.validation.x).size());
+  }
+}
+BENCHMARK(BM_HeuristicPredict)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

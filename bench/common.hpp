@@ -1,0 +1,90 @@
+// Shared campaign/study fixture for the benchmark harness. Every bench
+// binary reproduces one table or figure of the paper on the same simulated
+// TPC-W study so numbers are comparable across binaries: 30 runs-to-crash,
+// 60 emulated browsers, seed 2015, 30-second aggregation windows, 70/30
+// split (seed 7), S-MAE threshold = 10% of the maximum observed RTTF.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/feature_selection.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "data/dataset.hpp"
+#include "ml/metrics.hpp"
+#include "ml/registry.hpp"
+#include "sim/campaign.hpp"
+#include "util/rng.hpp"
+
+namespace f2pm::bench {
+
+/// Canonical campaign configuration used by every bench binary.
+inline sim::CampaignConfig campaign_config() {
+  sim::CampaignConfig config;
+  config.num_runs = 30;
+  config.seed = 2015;
+  config.workload.num_browsers = 60;
+  return config;
+}
+
+/// Everything the benches need, built once per process.
+struct Study {
+  data::DataHistory history;
+  data::Dataset dataset;
+  data::Dataset train;
+  data::Dataset validation;
+  data::Dataset train_selected;       ///< Lasso-selected columns (λ = 1e9).
+  data::Dataset validation_selected;
+  core::FeatureSelectionResult selection;
+  std::vector<std::size_t> selected_columns;
+  double soft_threshold = 0.0;
+};
+
+inline const Study& study() {
+  static const Study instance = [] {
+    Study s;
+    s.history = sim::run_campaign(campaign_config());
+    data::AggregationOptions aggregation;
+    aggregation.window_seconds = 30.0;
+    s.dataset = data::build_dataset(data::aggregate(s.history, aggregation));
+    util::Rng rng(7);
+    auto split = data::split_dataset(s.dataset, 0.7, rng);
+    s.train = std::move(split.train);
+    s.validation = std::move(split.validation);
+    double max_rttf = 0.0;
+    for (double y : s.dataset.y) max_rttf = std::max(max_rttf, y);
+    s.soft_threshold = 0.10 * max_rttf;
+    s.selection = core::select_features(s.train, core::paper_lambda_grid());
+    s.selected_columns = s.selection.at_lambda(1e9).selected;
+    s.train_selected = s.train.select_features(s.selected_columns);
+    s.validation_selected =
+        s.validation.select_features(s.selected_columns);
+    return s;
+  }();
+  return instance;
+}
+
+/// The λ grid used for "Lasso as a predictor" rows of Tables II-IV.
+inline std::vector<double> lasso_row_lambdas() {
+  return core::paper_lambda_grid();
+}
+
+/// Prints the standard fixture banner so every bench output is
+/// self-describing.
+inline void print_banner(const char* artifact) {
+  const Study& s = study();
+  std::printf("== F2PM reproduction: %s ==\n", artifact);
+  std::printf(
+      "study: %zu runs (mean TTF %.1fs), %zu raw datapoints, %zu aggregated "
+      "(30s windows), train/validation %zu/%zu, S-MAE threshold %.1fs, "
+      "selected features at lambda=1e9: %zu of %zu\n\n",
+      s.history.num_runs(), s.history.mean_time_to_failure(),
+      s.history.num_samples(), s.dataset.num_rows(), s.train.num_rows(),
+      s.validation.num_rows(), s.soft_threshold, s.selected_columns.size(),
+      s.dataset.num_features());
+}
+
+}  // namespace f2pm::bench

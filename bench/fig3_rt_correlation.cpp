@@ -1,0 +1,88 @@
+// Fig. 3 reproduction: Response Time Correlation.
+//
+// One simulated run to failure; for each monitoring datapoint we print the
+// inter-generation time ("Generation time"), the measured mean client
+// response time ("Response Time", the paper's instrumented-browser ground
+// truth), and the RT predicted from the generation time alone by a linear
+// regression ("Correlated RT"). The paper's claim is that both series rise
+// together as the system degrades, so the cheap generation-time signal is a
+// usable proxy for the client-visible RT.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "linalg/stats.hpp"
+
+namespace {
+
+using namespace f2pm;
+
+struct Fig3Data {
+  std::vector<double> time;      ///< Execution time of each datapoint.
+  std::vector<double> gen_time;  ///< Inter-generation time.
+  std::vector<double> rt;        ///< Measured client mean RT.
+  linalg::LineFit fit;           ///< RT ~ gen_time correlation model.
+};
+
+Fig3Data build_series() {
+  sim::CampaignConfig config = bench::campaign_config();
+  const sim::RunResult run = sim::execute_run(config, 987654);
+  Fig3Data data;
+  const auto& samples = run.run.samples;
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    data.time.push_back(samples[i].tgen);
+    data.gen_time.push_back(samples[i].tgen - samples[i - 1].tgen);
+    data.rt.push_back(run.response_times[i]);
+  }
+  data.fit = linalg::fit_line(data.gen_time, data.rt);
+  return data;
+}
+
+void print_figure() {
+  const Fig3Data data = build_series();
+  std::printf("FIG. 3-equivalent: Response Time Correlation (one run)\n");
+  std::printf("linear correlation model: rt = %.4f * gen_time + %.4f "
+              "(r = %.3f, R2 = %.3f)\n\n",
+              data.fit.slope, data.fit.intercept,
+              linalg::pearson(data.gen_time, data.rt), data.fit.r2);
+  std::printf("%-14s%-18s%-18s%-18s\n", "exec_time_s", "generation_time_s",
+              "response_time_s", "correlated_rt_s");
+  const std::size_t stride = std::max<std::size_t>(1, data.time.size() / 40);
+  for (std::size_t i = 0; i < data.time.size(); i += stride) {
+    std::printf("%-14.1f%-18.3f%-18.4f%-18.4f\n", data.time[i],
+                data.gen_time[i], data.rt[i],
+                data.fit.predict(data.gen_time[i]));
+  }
+  std::printf("\n");
+}
+
+void BM_ExecuteRunToFailure(benchmark::State& state) {
+  sim::CampaignConfig config = bench::campaign_config();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const sim::RunResult run = sim::execute_run(config, seed++);
+    benchmark::DoNotOptimize(run.run.fail_time);
+    state.counters["samples"] =
+        static_cast<double>(run.run.samples.size());
+  }
+}
+BENCHMARK(BM_ExecuteRunToFailure)->Unit(benchmark::kMillisecond);
+
+void BM_CorrelationFit(benchmark::State& state) {
+  const Fig3Data data = build_series();
+  for (auto _ : state) {
+    const auto fit = linalg::fit_line(data.gen_time, data.rt);
+    benchmark::DoNotOptimize(fit.slope);
+  }
+}
+BENCHMARK(BM_CorrelationFit);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

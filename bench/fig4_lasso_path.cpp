@@ -1,0 +1,57 @@
+// Fig. 4 reproduction: number of parameters selected by Lasso vs λ.
+//
+// The regularization path runs over the paper's grid λ = 10^0 .. 10^9 on
+// the full 30-input training set; the printed curve must decrease from
+// "almost everything" to a handful of memory-related features.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace f2pm;
+
+void print_figure() {
+  bench::print_banner("Fig. 4 - parameters selected by Lasso vs lambda");
+  const auto& selection = bench::study().selection;
+  std::printf("%-16s%s\n", "lambda", "selected_parameters");
+  for (const auto& entry : selection.entries) {
+    std::printf("%-16.0f%zu\n", entry.lambda, entry.selected.size());
+  }
+  std::printf("\n");
+}
+
+void BM_LassoPathFullGrid(benchmark::State& state) {
+  const auto& s = bench::study();
+  for (auto _ : state) {
+    const auto result =
+        core::select_features(s.train, core::paper_lambda_grid());
+    benchmark::DoNotOptimize(result.entries.size());
+  }
+}
+BENCHMARK(BM_LassoPathFullGrid)->Unit(benchmark::kMillisecond);
+
+void BM_LassoSingleLambda(benchmark::State& state) {
+  const auto& s = bench::study();
+  const double lambda = std::pow(10.0, static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    const auto result = core::select_features(s.train, {lambda});
+    benchmark::DoNotOptimize(result.entries.front().selected.size());
+  }
+  state.counters["selected"] = static_cast<double>(
+      core::select_features(s.train, {lambda}).entries.front().selected.size());
+}
+BENCHMARK(BM_LassoSingleLambda)->DenseRange(0, 9, 3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

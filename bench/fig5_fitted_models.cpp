@@ -1,0 +1,96 @@
+// Fig. 5 reproduction: predicted RTTF vs real RTTF for the six models
+// trained on all parameters.
+//
+// Instead of six scatter plots this prints (a) a subsampled
+// predicted-vs-real listing per model (the plotted points), and (b) a
+// binned |error| profile over the RTTF axis. The paper's observations to
+// check: predictions hug the diagonal near the failure point (small RTTF)
+// and under-predict far from it, and the error profile is much flatter for
+// the tree methods than for Lasso-as-a-predictor.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace f2pm;
+
+std::vector<core::ModelOutcome> outcomes() {
+  static const std::vector<core::ModelOutcome> result = [] {
+    const auto& s = bench::study();
+    return core::evaluate_models(
+        s.train, s.validation,
+        {"lasso", "linear", "m5p", "reptree", "svm", "svm2"}, {1e9},
+        s.soft_threshold, util::Config{});
+  }();
+  return result;
+}
+
+void print_scatter(const core::ModelOutcome& outcome) {
+  const auto& s = bench::study();
+  std::printf("--- %s: predicted vs real RTTF (subsampled) ---\n",
+              core::display_model_name(outcome.display_name).c_str());
+  std::printf("%-16s%-16s\n", "real_rttf_s", "predicted_rttf_s");
+  const std::size_t stride =
+      std::max<std::size_t>(1, outcome.predicted.size() / 20);
+  for (std::size_t i = 0; i < outcome.predicted.size(); i += stride) {
+    std::printf("%-16.1f%-16.1f\n", s.validation.y[i], outcome.predicted[i]);
+  }
+  std::printf("\n");
+}
+
+void print_error_profile() {
+  const auto& s = bench::study();
+  // |error| binned by the real RTTF, 6 bins across the observed range.
+  double max_rttf = 0.0;
+  for (double y : s.validation.y) max_rttf = std::max(max_rttf, y);
+  constexpr int kBins = 6;
+  std::printf("--- mean |error| (s) binned by real RTTF ---\n");
+  std::printf("%-34s", "Algorithm");
+  for (int b = 0; b < kBins; ++b) {
+    std::printf("%7.0f-%-7.0f", max_rttf * b / kBins,
+                max_rttf * (b + 1) / kBins);
+  }
+  std::printf("\n");
+  for (const auto& outcome : outcomes()) {
+    double error_sum[kBins] = {};
+    int counts[kBins] = {};
+    for (std::size_t i = 0; i < outcome.predicted.size(); ++i) {
+      int bin = static_cast<int>(s.validation.y[i] / max_rttf * kBins);
+      bin = std::min(bin, kBins - 1);
+      error_sum[bin] += std::abs(outcome.predicted[i] - s.validation.y[i]);
+      ++counts[bin];
+    }
+    std::printf("%-34s",
+                core::display_model_name(outcome.display_name).c_str());
+    for (int b = 0; b < kBins; ++b) {
+      std::printf("%-15.1f",
+                  counts[b] == 0 ? 0.0 : error_sum[b] / counts[b]);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+void BM_PredictValidationSet(benchmark::State& state) {
+  const auto& s = bench::study();
+  auto model = ml::make_model("reptree");
+  model->fit(s.train.x, s.train.y);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->predict(s.validation.x).size());
+  }
+}
+BENCHMARK(BM_PredictValidationSet)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_banner("Fig. 5 - fitted models, predicted vs real RTTF");
+  for (const auto& outcome : outcomes()) print_scatter(outcome);
+  print_error_profile();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

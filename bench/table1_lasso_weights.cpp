@@ -1,0 +1,64 @@
+// Table I reproduction: weights assigned by Lasso Regularization at the
+// top of the λ grid.
+//
+// The paper reports the six survivors at λ = 1e9 — memory/swap slopes plus
+// mem_free and mem_buffers. On this study's feature scales the equivalent
+// "handful of memory features and slopes" point falls at λ = 1e8 (one
+// decade lower, see EXPERIMENTS.md), so both entries are printed.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "ml/lasso.hpp"
+
+namespace {
+
+using namespace f2pm;
+
+void print_entry(double lambda) {
+  const auto& entry = bench::study().selection.at_lambda(lambda);
+  std::printf("weights assigned when lambda = %.0f (%zu selected)\n", lambda,
+              entry.selected.size());
+  std::printf("%-26s%s\n", "Parameter", "Weight");
+  std::printf("--------------------------------------------\n");
+  for (std::size_t i = 0; i < entry.names.size(); ++i) {
+    std::printf("%-26s%.15f\n", entry.names[i].c_str(), entry.weights[i]);
+  }
+  std::printf("\n");
+}
+
+void print_table() {
+  bench::print_banner("Table I - Lasso weights at the top of the grid");
+  print_entry(1e8);
+  print_entry(1e9);
+}
+
+void BM_LassoFitAtLambda1e9(benchmark::State& state) {
+  const auto& s = bench::study();
+  for (auto _ : state) {
+    ml::Lasso model(ml::LassoOptions{.lambda = 1e9});
+    model.fit(s.train.x, s.train.y);
+    benchmark::DoNotOptimize(model.selected_features().size());
+  }
+}
+BENCHMARK(BM_LassoFitAtLambda1e9)->Unit(benchmark::kMillisecond);
+
+void BM_LassoFitAtLambda1e8(benchmark::State& state) {
+  const auto& s = bench::study();
+  for (auto _ : state) {
+    ml::Lasso model(ml::LassoOptions{.lambda = 1e8});
+    model.fit(s.train.x, s.train.y);
+    benchmark::DoNotOptimize(model.selected_features().size());
+  }
+}
+BENCHMARK(BM_LassoFitAtLambda1e8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Table III reproduction: training time per method, on all parameters and
+// on the Lasso-selected subset.
+//
+// Shapes to check against the paper: the SVM family costs orders of
+// magnitude more than LR/REP-Tree/M5P (417s vs 0.3s in the paper's WEKA
+// setup), and the selected-feature column is uniformly cheaper than the
+// all-parameters column. Each method is also registered as a
+// google-benchmark case so the timings come with proper repetition.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace f2pm;
+
+const std::vector<std::string>& method_names() {
+  static const std::vector<std::string> names{"linear", "m5p", "reptree",
+                                              "lasso", "svm", "svm2"};
+  return names;
+}
+
+void print_table() {
+  bench::print_banner("Table III - training time");
+  const auto& s = bench::study();
+  std::printf("%-22s%-24s%-24s\n", "Algorithm", "All params train (s)",
+              "Lasso-selected train (s)");
+  std::printf("%s\n", std::string(70, '-').c_str());
+  for (const auto& name : method_names()) {
+    auto model_all = ml::make_model(name);
+    const double all_seconds =
+        util::timed([&] { model_all->fit(s.train.x, s.train.y); });
+    auto model_selected = ml::make_model(name);
+    const double selected_seconds = util::timed(
+        [&] { model_selected->fit(s.train_selected.x, s.train_selected.y); });
+    std::printf("%-22s%-24.4f%-24.4f\n",
+                core::display_model_name(name).c_str(), all_seconds,
+                selected_seconds);
+  }
+  std::printf("\n");
+}
+
+void BM_Train(benchmark::State& state, const std::string& name,
+              bool selected) {
+  const auto& s = bench::study();
+  const data::Dataset& train = selected ? s.train_selected : s.train;
+  for (auto _ : state) {
+    auto model = ml::make_model(name);
+    model->fit(train.x, train.y);
+    benchmark::DoNotOptimize(model->is_fitted());
+  }
+}
+
+void register_benchmarks() {
+  for (const auto& name : method_names()) {
+    for (bool selected : {false, true}) {
+      const std::string label =
+          "BM_Train/" + name + (selected ? "/selected" : "/all");
+      auto* bench = benchmark::RegisterBenchmark(
+          label.c_str(),
+          [name, selected](benchmark::State& state) {
+            BM_Train(state, name, selected);
+          });
+      bench->Unit(benchmark::kMillisecond);
+      if (name == "svm" || name == "svm2") {
+        // The heavyweights: one timed iteration is plenty.
+        bench->Iterations(1);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  register_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Table IV reproduction: validation time per method (batch prediction over
+// the validation set plus computation of every §III-D error metric),
+// comparing the all-parameters and Lasso-selected feature sets.
+//
+// Shape to check against the paper: validating on the reduced feature set
+// is cheaper, and the kernel methods (whose prediction cost scales with
+// the number of support vectors) dominate the column.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "bench/common.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace f2pm;
+
+const std::vector<std::string>& method_names() {
+  static const std::vector<std::string> names{"linear", "m5p", "reptree",
+                                              "lasso", "svm", "svm2"};
+  return names;
+}
+
+/// Fitted models, one per (method, feature-set), trained once up front so
+/// the benchmarks only time validation.
+struct FittedModels {
+  std::map<std::string, std::unique_ptr<ml::Regressor>> all;
+  std::map<std::string, std::unique_ptr<ml::Regressor>> selected;
+};
+
+FittedModels& fitted() {
+  static FittedModels models = [] {
+    FittedModels m;
+    const auto& s = bench::study();
+    for (const auto& name : method_names()) {
+      m.all[name] = ml::make_model(name);
+      m.all[name]->fit(s.train.x, s.train.y);
+      m.selected[name] = ml::make_model(name);
+      m.selected[name]->fit(s.train_selected.x, s.train_selected.y);
+    }
+    return m;
+  }();
+  return models;
+}
+
+double validate_once(const ml::Regressor& model,
+                     const data::Dataset& validation, double threshold) {
+  const auto predicted = model.predict(validation.x);
+  double sink = ml::mean_absolute_error(predicted, validation.y);
+  sink += ml::relative_absolute_error(predicted, validation.y);
+  sink += ml::max_absolute_error(predicted, validation.y);
+  sink += ml::soft_mean_absolute_error(predicted, validation.y, threshold);
+  return sink;
+}
+
+void print_table() {
+  bench::print_banner("Table IV - validation time");
+  const auto& s = bench::study();
+  fitted();  // train everything up front so only validation is timed
+  std::printf("%-22s%-24s%-24s\n", "Algorithm", "All params valid (s)",
+              "Lasso-selected valid (s)");
+  std::printf("%s\n", std::string(70, '-').c_str());
+  for (const auto& name : method_names()) {
+    double sink = 0.0;
+    const double all_seconds = util::timed([&] {
+      sink += validate_once(*fitted().all[name], s.validation,
+                            s.soft_threshold);
+    });
+    const double selected_seconds = util::timed([&] {
+      sink += validate_once(*fitted().selected[name], s.validation_selected,
+                            s.soft_threshold);
+    });
+    benchmark::DoNotOptimize(sink);
+    std::printf("%-22s%-24.5f%-24.5f\n",
+                core::display_model_name(name).c_str(), all_seconds,
+                selected_seconds);
+  }
+  std::printf("\n");
+}
+
+void register_benchmarks() {
+  for (const auto& name : method_names()) {
+    for (bool selected : {false, true}) {
+      const std::string label =
+          "BM_Validate/" + name + (selected ? "/selected" : "/all");
+      benchmark::RegisterBenchmark(
+          label.c_str(),
+          [name, selected](benchmark::State& state) {
+            const auto& s = bench::study();
+            const auto& model = selected ? *fitted().selected[name]
+                                         : *fitted().all[name];
+            const auto& validation =
+                selected ? s.validation_selected : s.validation;
+            for (auto _ : state) {
+              benchmark::DoNotOptimize(
+                  validate_once(model, validation, s.soft_threshold));
+            }
+          })
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  register_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,185 @@
+// f2pm_cli — command-line driver covering the full framework lifecycle
+// with persisted artifacts, so each phase can run on a different machine
+// (collect on the testbed, train where the GPUs^W cores are, predict at
+// the edge):
+//
+//   f2pm_cli campaign --runs=N --out=history.bin [--seed=S] [--csv=1]
+//       run the simulated TPC-W campaign and save the monitoring history
+//   f2pm_cli train --history=history.bin --model=reptree --out=model.bin
+//       aggregate, split, train one model, print its scorecard, save it
+//   f2pm_cli evaluate --history=history.bin
+//       the full pipeline: all six methods, both feature sets, all tables
+//   f2pm_cli predict --model=model.bin --history=history.bin [--run=K]
+//       stream run K through the OnlinePredictor and print RTTF
+//       predictions next to the truth
+//   f2pm_cli export --history=history.bin --out=dataset.arff
+//       aggregate and export the labeled training set as WEKA ARFF, to
+//       cross-check results against the paper's original toolchain
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/online.hpp"
+#include "core/pipeline.hpp"
+#include "data/arff.hpp"
+#include "core/report.hpp"
+#include "ml/metrics.hpp"
+#include "ml/registry.hpp"
+#include "sim/campaign.hpp"
+#include "util/config.hpp"
+
+namespace {
+
+using namespace f2pm;
+
+data::DataHistory load_history(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open history file: " + path);
+  return data::DataHistory::load_binary(in);
+}
+
+int cmd_campaign(const util::Config& args) {
+  const std::string out = args.get_string("out", "history.bin");
+  sim::CampaignConfig config;
+  config.num_runs = static_cast<std::size_t>(args.get_int("runs", 30));
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 2015));
+  config.workload.num_browsers =
+      static_cast<std::size_t>(args.get_int("browsers", 60));
+  const data::DataHistory history = sim::run_campaign(
+      config, [](std::size_t run, const sim::RunResult& result) {
+        std::printf("  run %2zu: ttf %8.1fs, %5zu datapoints\n", run,
+                    result.run.fail_time, result.run.samples.size());
+      });
+  if (args.get_bool("csv", false)) {
+    std::ofstream file(out);
+    history.save_csv(file);
+  } else {
+    std::ofstream file(out, std::ios::binary);
+    history.save_binary(file);
+  }
+  std::printf("saved %zu runs / %zu datapoints to %s\n", history.num_runs(),
+              history.num_samples(), out.c_str());
+  return 0;
+}
+
+int cmd_train(const util::Config& args) {
+  const data::DataHistory history =
+      load_history(args.get_string("history", "history.bin"));
+  const std::string name = args.get_string("model", "reptree");
+  const std::string out = args.get_string("out", "model.bin");
+
+  core::PipelineOptions options;
+  options.aggregation.window_seconds = args.get_double("window", 30.0);
+  options.train_fraction = args.get_double("train_fraction", 0.7);
+  options.models = {name};
+  options.run_feature_selection = false;
+  options.model_params = args;  // forwards e.g. --svm.c=10
+  const core::PipelineResult result = core::run_pipeline(history, options);
+  std::cout << core::render_full_scorecard(result.using_all_features,
+                                           "Trained model");
+
+  auto model = ml::make_model(name, args);
+  model->fit(result.train.x, result.train.y);
+  std::ofstream file(out, std::ios::binary);
+  ml::save_model(*model, file);
+  std::printf("saved fitted %s (%zu inputs) to %s\n", name.c_str(),
+              model->num_inputs(), out.c_str());
+  return 0;
+}
+
+int cmd_evaluate(const util::Config& args) {
+  const data::DataHistory history =
+      load_history(args.get_string("history", "history.bin"));
+  core::PipelineOptions options;
+  options.aggregation.window_seconds = args.get_double("window", 30.0);
+  if (!args.get_bool("svm", true)) {
+    options.models = {"linear", "m5p", "reptree", "lasso"};
+  }
+  const core::PipelineResult result = core::run_pipeline(history, options);
+  std::cout << core::render_selection_curve(*result.selection) << '\n'
+            << core::render_smae_table(result) << '\n'
+            << core::render_training_time_table(result) << '\n'
+            << core::render_validation_time_table(result);
+  return 0;
+}
+
+int cmd_predict(const util::Config& args) {
+  std::ifstream model_file(args.get_string("model", "model.bin"),
+                           std::ios::binary);
+  if (!model_file) throw std::runtime_error("cannot open model file");
+  const std::shared_ptr<ml::Regressor> model = ml::load_model(model_file);
+  const data::DataHistory history =
+      load_history(args.get_string("history", "history.bin"));
+  const auto run_index =
+      static_cast<std::size_t>(args.get_int("run", 0));
+  if (run_index >= history.num_runs()) {
+    throw std::runtime_error("run index out of range");
+  }
+  const data::Run& run = history.runs()[run_index];
+
+  data::AggregationOptions aggregation;
+  aggregation.window_seconds = args.get_double("window", 30.0);
+  core::OnlinePredictor predictor(model, aggregation);
+  std::printf("%-12s%-16s%-16s%-12s\n", "t_s", "predicted_rttf",
+              "actual_rttf", "error_s");
+  double mae = 0.0;
+  std::size_t count = 0;
+  for (const auto& sample : run.samples) {
+    if (const auto prediction = predictor.observe(sample)) {
+      const double actual =
+          run.failed ? run.fail_time - prediction->window_end : -1.0;
+      const double error = actual >= 0.0 ? prediction->rttf - actual : 0.0;
+      mae += std::abs(error);
+      ++count;
+      std::printf("%-12.1f%-16.1f%-16.1f%-12.1f\n", prediction->window_end,
+                  prediction->rttf, actual, error);
+    }
+  }
+  if (count > 0) {
+    std::printf("\nMAE over %zu windows: %.1fs (model: %s)\n", count,
+                mae / static_cast<double>(count), model->name().c_str());
+  }
+  return 0;
+}
+
+int cmd_export(const util::Config& args) {
+  const data::DataHistory history =
+      load_history(args.get_string("history", "history.bin"));
+  data::AggregationOptions aggregation;
+  aggregation.window_seconds = args.get_double("window", 30.0);
+  const data::Dataset dataset =
+      data::build_dataset(data::aggregate(history, aggregation));
+  const std::string out = args.get_string("out", "dataset.arff");
+  data::write_arff_file(out, dataset,
+                        args.get_string("relation", "f2pm"));
+  std::printf("exported %zu rows x %zu features (+rttf) to %s\n",
+              dataset.num_rows(), dataset.num_features(), out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: f2pm_cli <campaign|train|evaluate|predict|export> "
+                 "[--key=value ...]\n");
+    return 2;
+  }
+  const std::string command = argv[1];
+  f2pm::util::Config args;
+  args.apply_args(argc, argv);
+  try {
+    if (command == "campaign") return cmd_campaign(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "evaluate") return cmd_evaluate(args);
+    if (command == "predict") return cmd_predict(args);
+    if (command == "export") return cmd_export(args);
+    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,88 @@
+// The paper's §IV study, end to end: a multi-run TPC-W monitoring campaign
+// on the simulated testbed (load-coupled memory leaks + unterminated
+// threads injected by the Home interaction), followed by the full F2PM
+// pipeline with all six ML methods and both feature sets, printing every
+// table of the evaluation section.
+//
+// Usage: tpcw_campaign [--runs=N] [--browsers=N] [--window=S] [--seed=S]
+//                      [--svm=0|1]  (SVM/LS-SVM dominate the runtime)
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "sim/campaign.hpp"
+#include "util/config.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace f2pm;
+
+  util::Config args;
+  args.apply_args(argc, argv);
+
+  sim::CampaignConfig campaign;
+  campaign.num_runs = static_cast<std::size_t>(args.get_int("runs", 30));
+  campaign.seed = static_cast<std::uint64_t>(args.get_int("seed", 2015));
+  campaign.workload.num_browsers =
+      static_cast<std::size_t>(args.get_int("browsers", 80));
+
+  util::WallTimer campaign_timer;
+  std::printf("running %zu TPC-W runs-to-failure (%zu emulated browsers)\n",
+              campaign.num_runs, campaign.workload.num_browsers);
+  const data::DataHistory history = sim::run_campaign(
+      campaign, [](std::size_t run, const sim::RunResult& result) {
+        std::printf(
+            "  run %2zu: ttf %7.1fs  %4zu datapoints  intensity %.2f  "
+            "%5zu leaks  %3zu threads  %6zu requests\n",
+            run, result.run.fail_time, result.run.samples.size(),
+            result.intensity, result.leaks_injected, result.threads_injected,
+            result.requests_completed);
+      });
+  std::printf(
+      "campaign done in %.1fs wall: %zu runs, %zu datapoints, mean TTF "
+      "%.1fs\n\n",
+      campaign_timer.elapsed_seconds(), history.num_runs(),
+      history.num_samples(), history.mean_time_to_failure());
+
+  core::PipelineOptions options;
+  options.aggregation.window_seconds = args.get_double("window", 30.0);
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed", 2015));
+  if (!args.get_bool("svm", true)) {
+    options.models = {"linear", "m5p", "reptree", "lasso"};
+  }
+
+  util::WallTimer pipeline_timer;
+  const core::PipelineResult result = core::run_pipeline(history, options);
+  std::printf("pipeline done in %.1fs wall (train %zu / validation %zu)\n\n",
+              pipeline_timer.elapsed_seconds(), result.train.num_rows(),
+              result.validation.num_rows());
+
+  std::cout << core::render_selection_curve(*result.selection) << '\n'
+            << core::render_selected_weights(*result.selection, 1e9) << '\n'
+            << core::render_smae_table(result) << '\n'
+            << core::render_training_time_table(result) << '\n'
+            << core::render_validation_time_table(result) << '\n'
+            << core::render_full_scorecard(result.using_all_features,
+                                           "Full scorecard (all parameters)")
+            << '\n'
+            << core::render_full_scorecard(
+                   result.using_selected_features,
+                   "Full scorecard (Lasso-selected parameters)");
+
+  // Dump predicted-vs-real series (the paper's Fig. 5 scatter data).
+  const std::string fig5_path = args.get_string("fig5", "");
+  if (!fig5_path.empty()) {
+    std::ofstream out(fig5_path);
+    out << "model,real_rttf,predicted_rttf\n";
+    for (const auto& outcome : result.using_all_features) {
+      for (std::size_t i = 0; i < outcome.predicted.size(); ++i) {
+        out << outcome.display_name << ',' << result.validation.y[i] << ','
+            << outcome.predicted[i] << '\n';
+      }
+    }
+    std::printf("\nwrote Fig. 5 scatter data to %s\n", fig5_path.c_str());
+  }
+  return 0;
+}

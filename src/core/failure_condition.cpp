@@ -1,0 +1,83 @@
+#include "core/failure_condition.hpp"
+
+#include <limits>
+
+#include "util/string_util.hpp"
+
+namespace f2pm::core {
+
+FailureCondition::FailureCondition(
+    std::function<bool(const Context&)> predicate, std::string description)
+    : predicate_(std::move(predicate)), description_(std::move(description)) {}
+
+FailureCondition FailureCondition::feature_above(data::FeatureId feature,
+                                                 double threshold) {
+  return FailureCondition(
+      [feature, threshold](const Context& context) {
+        return context.sample[feature] > threshold;
+      },
+      "(" + std::string(data::feature_name(feature)) + " > " +
+          util::format_double(threshold, 6) + ")");
+}
+
+FailureCondition FailureCondition::feature_below(data::FeatureId feature,
+                                                 double threshold) {
+  return FailureCondition(
+      [feature, threshold](const Context& context) {
+        return context.sample[feature] < threshold;
+      },
+      "(" + std::string(data::feature_name(feature)) + " < " +
+          util::format_double(threshold, 6) + ")");
+}
+
+FailureCondition FailureCondition::intergen_above(double threshold) {
+  return FailureCondition(
+      [threshold](const Context& context) {
+        return context.intergen_time > threshold;
+      },
+      "(intergen > " + util::format_double(threshold, 6) + ")");
+}
+
+FailureCondition FailureCondition::never() {
+  return FailureCondition([](const Context&) { return false; }, "(never)");
+}
+
+FailureCondition FailureCondition::operator&&(
+    const FailureCondition& rhs) const {
+  auto lhs_pred = predicate_;
+  auto rhs_pred = rhs.predicate_;
+  return FailureCondition(
+      [lhs_pred, rhs_pred](const Context& context) {
+        return lhs_pred(context) && rhs_pred(context);
+      },
+      "(" + description_ + " AND " + rhs.description_ + ")");
+}
+
+FailureCondition FailureCondition::operator||(
+    const FailureCondition& rhs) const {
+  auto lhs_pred = predicate_;
+  auto rhs_pred = rhs.predicate_;
+  return FailureCondition(
+      [lhs_pred, rhs_pred](const Context& context) {
+        return lhs_pred(context) || rhs_pred(context);
+      },
+      "(" + description_ + " OR " + rhs.description_ + ")");
+}
+
+bool FailureCondition::evaluate(const Context& context) const {
+  return predicate_(context);
+}
+
+std::size_t first_failure_index(
+    const FailureCondition& condition,
+    const std::vector<data::RawDatapoint>& samples) {
+  double previous_tgen = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double intergen = i == 0 ? 0.0 : samples[i].tgen - previous_tgen;
+    previous_tgen = samples[i].tgen;
+    if (condition.evaluate({samples[i], intergen})) return i;
+  }
+  return std::numeric_limits<std::size_t>::max();
+}
+
+}  // namespace f2pm::core

@@ -1,0 +1,61 @@
+// User-defined failure conditions (paper §I, §III): the condition that,
+// when met, marks the monitored system as failed and timestamps the fail
+// event. Conditions are predicates over a raw datapoint plus the current
+// inter-generation time, composable with AND/OR, and self-describing so
+// reports can state exactly what "failure" meant for a campaign.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "data/datapoint.hpp"
+
+namespace f2pm::core {
+
+/// Composable failure predicate.
+class FailureCondition {
+ public:
+  /// Inputs a condition sees: the current sample and the inter-generation
+  /// time (seconds since the previous datapoint; 0 for the first one).
+  struct Context {
+    const data::RawDatapoint& sample;
+    double intergen_time = 0.0;
+  };
+
+  /// Feature comparison builders.
+  static FailureCondition feature_above(data::FeatureId feature,
+                                        double threshold);
+  static FailureCondition feature_below(data::FeatureId feature,
+                                        double threshold);
+  /// Inter-generation-time threshold (the §III-B "additional feature" the
+  /// user can bound to declare the system failed by overload).
+  static FailureCondition intergen_above(double threshold);
+
+  /// Always-false condition (identity for OR).
+  static FailureCondition never();
+
+  /// Conjunction / disjunction.
+  [[nodiscard]] FailureCondition operator&&(const FailureCondition& rhs) const;
+  [[nodiscard]] FailureCondition operator||(const FailureCondition& rhs) const;
+
+  /// Evaluates the predicate.
+  [[nodiscard]] bool evaluate(const Context& context) const;
+
+  /// Human-readable form, e.g. "(swap_free < 10240) OR (intergen > 5)".
+  [[nodiscard]] const std::string& describe() const { return description_; }
+
+ private:
+  FailureCondition(std::function<bool(const Context&)> predicate,
+                   std::string description);
+
+  std::function<bool(const Context&)> predicate_;
+  std::string description_;
+};
+
+/// Scans a run's samples in order and returns the index of the first
+/// sample satisfying the condition, or npos if none does.
+std::size_t first_failure_index(const FailureCondition& condition,
+                                const std::vector<data::RawDatapoint>& samples);
+
+}  // namespace f2pm::core

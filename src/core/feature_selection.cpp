@@ -1,0 +1,45 @@
+#include "core/feature_selection.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace f2pm::core {
+
+const SelectionEntry& FeatureSelectionResult::at_lambda(double lambda) const {
+  for (const auto& entry : entries) {
+    if (entry.lambda == lambda) return entry;
+  }
+  throw std::out_of_range("FeatureSelectionResult: lambda not in grid");
+}
+
+std::vector<double> paper_lambda_grid() {
+  std::vector<double> grid;
+  grid.reserve(10);
+  for (int exponent = 0; exponent <= 9; ++exponent) {
+    grid.push_back(std::pow(10.0, exponent));
+  }
+  return grid;
+}
+
+FeatureSelectionResult select_features(const data::Dataset& dataset,
+                                       const std::vector<double>& lambdas,
+                                       const ml::LassoOptions& options) {
+  const auto path = ml::lasso_path(dataset.x, dataset.y, lambdas, options);
+  FeatureSelectionResult result;
+  result.entries.reserve(path.size());
+  for (const auto& step : path) {
+    SelectionEntry entry;
+    entry.lambda = step.lambda;
+    entry.selected = step.selected;
+    entry.weights.reserve(step.selected.size());
+    entry.names.reserve(step.selected.size());
+    for (std::size_t column : step.selected) {
+      entry.weights.push_back(step.coefficients[column]);
+      entry.names.push_back(dataset.feature_names[column]);
+    }
+    result.entries.push_back(std::move(entry));
+  }
+  return result;
+}
+
+}  // namespace f2pm::core

@@ -1,0 +1,39 @@
+// The Features Selection phase (paper §III-C): run Lasso Regularization
+// over a grid of λ values on the aggregated training set, record which
+// features survive at each λ (Fig. 4), and expose the surviving subsets as
+// reduced training sets for the model-generation phase.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "ml/lasso.hpp"
+
+namespace f2pm::core {
+
+/// The outcome at one λ of the grid.
+struct SelectionEntry {
+  double lambda = 0.0;
+  std::vector<std::size_t> selected;   ///< Surviving column indices.
+  std::vector<double> weights;         ///< β weights of survivors.
+  std::vector<std::string> names;      ///< Feature names of survivors.
+};
+
+/// Full regularization-path result.
+struct FeatureSelectionResult {
+  std::vector<SelectionEntry> entries;  ///< One per λ, in grid order.
+
+  /// The entry for a given λ; throws std::out_of_range if absent.
+  [[nodiscard]] const SelectionEntry& at_lambda(double lambda) const;
+};
+
+/// The paper's λ grid: 10^0, 10^1, ..., 10^9.
+std::vector<double> paper_lambda_grid();
+
+/// Runs the Lasso regularization path on the dataset's design matrix.
+FeatureSelectionResult select_features(const data::Dataset& dataset,
+                                       const std::vector<double>& lambdas,
+                                       const ml::LassoOptions& options = {});
+
+}  // namespace f2pm::core

@@ -1,0 +1,156 @@
+#include "core/online.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace f2pm::core {
+
+OnlinePredictor::OnlinePredictor(std::shared_ptr<const ml::Regressor> model,
+                                 data::AggregationOptions aggregation,
+                                 std::vector<std::size_t> selected_columns)
+    : model_(std::move(model)),
+      aggregation_(aggregation),
+      selected_columns_(std::move(selected_columns)) {
+  if (!model_ || !model_->is_fitted()) {
+    throw std::invalid_argument("OnlinePredictor: model must be fitted");
+  }
+  if (!(aggregation_.window_seconds > 0.0)) {
+    throw std::invalid_argument("OnlinePredictor: window_seconds must be > 0");
+  }
+  const std::size_t expected_width = selected_columns_.empty()
+                                         ? data::kInputCount
+                                         : selected_columns_.size();
+  if (model_->num_inputs() != expected_width) {
+    throw std::invalid_argument(
+        "OnlinePredictor: model input width does not match the feature "
+        "layout (trained on a different column subset?)");
+  }
+  for (std::size_t column : selected_columns_) {
+    if (column >= data::kInputCount) {
+      throw std::invalid_argument(
+          "OnlinePredictor: selected column out of range");
+    }
+  }
+}
+
+void OnlinePredictor::reset() {
+  window_.clear();
+  window_open_ = false;
+  previous_tgen_.reset();
+  boundary_tgen_.reset();
+  window_start_ = 0.0;
+  window_end_ = 0.0;
+}
+
+OnlinePrediction OnlinePredictor::aggregate_and_predict() {
+  // Mirrors data::aggregate's per-window math (means, Eq. (1) slopes,
+  // inter-generation metrics including the gap into the window).
+  data::AggregatedDatapoint point;
+  point.window_start = window_start_;
+  point.window_end = window_end_;
+  point.count = window_.size();
+  const auto n = static_cast<double>(window_.size());
+  for (std::size_t f = 0; f < data::kFeatureCount; ++f) {
+    double sum = 0.0;
+    for (const auto& sample : window_) sum += sample.values[f];
+    point.means[f] = sum / n;
+    point.slopes[f] =
+        (window_.back().values[f] - window_.front().values[f]) / n;
+  }
+  double gap_sum = 0.0;
+  std::size_t gap_count = 0;
+  double first_gap = 0.0;
+  double last_gap = 0.0;
+  auto add_gap = [&](double gap) {
+    if (gap_count == 0) first_gap = gap;
+    last_gap = gap;
+    gap_sum += gap;
+    ++gap_count;
+  };
+  // The boundary gap into this window counts too (as in data::aggregate).
+  if (boundary_tgen_) add_gap(window_.front().tgen - *boundary_tgen_);
+  for (std::size_t i = 1; i < window_.size(); ++i) {
+    add_gap(window_[i].tgen - window_[i - 1].tgen);
+  }
+  if (gap_count > 0) {
+    point.intergen_mean = gap_sum / static_cast<double>(gap_count);
+    point.intergen_slope =
+        (last_gap - first_gap) / static_cast<double>(gap_count);
+  }
+  const auto full_row = data::to_input_vector(point);
+  OnlinePrediction prediction;
+  prediction.window_end = window_end_;
+  prediction.window_samples = window_.size();
+  if (selected_columns_.empty()) {
+    prediction.rttf = model_->predict_row(full_row);
+  } else {
+    std::vector<double> row;
+    row.reserve(selected_columns_.size());
+    for (std::size_t column : selected_columns_) {
+      row.push_back(full_row[column]);
+    }
+    prediction.rttf = model_->predict_row(row);
+  }
+  ++windows_emitted_;
+  return prediction;
+}
+
+std::optional<OnlinePrediction> OnlinePredictor::observe(
+    const data::RawDatapoint& point) {
+  if (previous_tgen_ && point.tgen < *previous_tgen_) {
+    throw std::invalid_argument(
+        "OnlinePredictor: datapoints must arrive in time order");
+  }
+  previous_tgen_ = point.tgen;
+
+  const double width = aggregation_.window_seconds;
+  const double window_id = std::floor(point.tgen / width);
+  const double start = window_id * width;
+
+  std::optional<OnlinePrediction> emitted;
+  if (window_open_ && start > window_start_) {
+    // The previous window just closed.
+    if (window_.size() >= aggregation_.min_samples_per_window) {
+      emitted = aggregate_and_predict();
+    }
+    if (!window_.empty()) boundary_tgen_ = window_.back().tgen;
+    window_.clear();
+    window_open_ = false;
+  }
+  if (!window_open_) {
+    window_start_ = start;
+    window_end_ = start + width;
+    window_open_ = true;
+  }
+  window_.push_back(point);
+  return emitted;
+}
+
+RejuvenationAdvisor::RejuvenationAdvisor(AdvisorOptions options)
+    : options_(options) {
+  if (options_.consecutive_windows == 0) {
+    throw std::invalid_argument(
+        "RejuvenationAdvisor: consecutive_windows must be > 0");
+  }
+}
+
+bool RejuvenationAdvisor::update(const OnlinePrediction& prediction) {
+  if (triggered_) return true;
+  if (prediction.rttf < options_.lead_seconds) {
+    if (++below_count_ >= options_.consecutive_windows) {
+      triggered_ = true;
+      trigger_time_ = prediction.window_end;
+    }
+  } else {
+    below_count_ = 0;
+  }
+  return triggered_;
+}
+
+void RejuvenationAdvisor::reset() {
+  below_count_ = 0;
+  triggered_ = false;
+  trigger_time_ = 0.0;
+}
+
+}  // namespace f2pm::core

@@ -1,0 +1,104 @@
+// Online (deployment-side) RTTF prediction.
+//
+// The pipeline trains models offline; this module runs one: it consumes
+// the live datapoint stream of a monitored system, maintains the current
+// aggregation window incrementally (same window means, Eq. (1) slopes and
+// inter-generation metrics as data::aggregate), and emits an RTTF
+// prediction each time a window closes. RejuvenationAdvisor layers the
+// proactive-rejuvenation policy from the paper's introduction on top:
+// trigger once the predicted RTTF stays below the action lead time for a
+// configurable number of consecutive windows.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "data/aggregation.hpp"
+#include "data/datapoint.hpp"
+#include "ml/model.hpp"
+
+namespace f2pm::core {
+
+/// One prediction, produced when an aggregation window closes.
+struct OnlinePrediction {
+  double window_end = 0.0;   ///< Elapsed time the prediction refers to.
+  double rttf = 0.0;         ///< Predicted remaining time to failure.
+  std::size_t window_samples = 0;  ///< Raw datapoints in the window.
+};
+
+/// Streams raw datapoints through the aggregation front-end into a fitted
+/// model. The model is shared (not owned exclusively) so one trained model
+/// can serve many monitored instances.
+class OnlinePredictor {
+ public:
+  /// `model` must be fitted; its input width must equal kInputCount, or
+  /// the size of `selected_columns` when that is non-empty (the model was
+  /// trained on a Lasso-selected subset). Throws std::invalid_argument on
+  /// any mismatch.
+  OnlinePredictor(std::shared_ptr<const ml::Regressor> model,
+                  data::AggregationOptions aggregation,
+                  std::vector<std::size_t> selected_columns = {});
+
+  /// Feeds the next datapoint (tgen must be nondecreasing; throws
+  /// std::invalid_argument otherwise). Returns a prediction when this
+  /// datapoint closed the previous window and the window had enough
+  /// samples.
+  std::optional<OnlinePrediction> observe(const data::RawDatapoint& point);
+
+  /// Clears all window state (call after the system restarts).
+  void reset();
+
+  [[nodiscard]] std::size_t windows_emitted() const {
+    return windows_emitted_;
+  }
+
+ private:
+  [[nodiscard]] OnlinePrediction aggregate_and_predict();
+
+  std::shared_ptr<const ml::Regressor> model_;
+  data::AggregationOptions aggregation_;
+  std::vector<std::size_t> selected_columns_;
+  std::vector<data::RawDatapoint> window_;  ///< Samples in current window.
+  double window_start_ = 0.0;
+  double window_end_ = 0.0;
+  bool window_open_ = false;
+  std::optional<double> previous_tgen_;  ///< Last sample overall (ordering).
+  std::optional<double> boundary_tgen_;  ///< Last sample of the previous
+                                         ///< window (boundary intergen gap).
+  std::size_t windows_emitted_ = 0;
+};
+
+/// The proactive-rejuvenation trigger policy.
+struct AdvisorOptions {
+  /// Rejuvenate when the predicted RTTF drops below this many seconds
+  /// (the lead time needed to act cleanly).
+  double lead_seconds = 180.0;
+  /// Require this many consecutive below-lead predictions (debounce).
+  std::size_t consecutive_windows = 2;
+};
+
+/// Debounced threshold policy over an OnlinePredictor's output.
+class RejuvenationAdvisor {
+ public:
+  explicit RejuvenationAdvisor(AdvisorOptions options);
+
+  /// Feeds one prediction; returns true when the policy says "act now".
+  /// Once triggered it stays triggered until reset().
+  bool update(const OnlinePrediction& prediction);
+
+  [[nodiscard]] bool triggered() const { return triggered_; }
+  /// The window_end of the prediction that fired the trigger.
+  [[nodiscard]] double trigger_time() const { return trigger_time_; }
+
+  void reset();
+
+ private:
+  AdvisorOptions options_;
+  std::size_t below_count_ = 0;
+  bool triggered_ = false;
+  double trigger_time_ = 0.0;
+};
+
+}  // namespace f2pm::core

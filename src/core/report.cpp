@@ -1,0 +1,146 @@
+#include "core/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "util/string_util.hpp"
+
+namespace f2pm::core {
+
+namespace {
+
+/// Extracts one numeric column from outcomes via a member accessor.
+template <typename Getter>
+std::string render_two_column_table(const PipelineResult& result,
+                                    const std::string& title,
+                                    const std::string& value_header,
+                                    Getter getter, int precision) {
+  std::ostringstream out;
+  out << title << '\n';
+  out << std::left << std::setw(34) << "Algorithm" << std::right
+      << std::setw(18) << ("All params " + value_header);
+  const bool have_selected = !result.using_selected_features.empty();
+  if (have_selected) {
+    out << std::setw(20) << ("Lasso-sel. " + value_header);
+  }
+  out << '\n';
+  out << std::string(have_selected ? 72 : 52, '-') << '\n';
+  for (std::size_t i = 0; i < result.using_all_features.size(); ++i) {
+    const auto& all = result.using_all_features[i];
+    out << std::left << std::setw(34)
+        << display_model_name(all.display_name) << std::right << std::setw(18)
+        << util::format_double(getter(all.report), precision);
+    if (have_selected) {
+      out << std::setw(20)
+          << util::format_double(
+                 getter(result.using_selected_features[i].report), precision);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string display_model_name(const std::string& name) {
+  if (name == "linear") return "Linear Regression";
+  if (name == "ridge") return "Ridge Regression";
+  if (name == "m5p") return "M5P";
+  if (name == "reptree") return "REP Tree";
+  if (name == "svm") return "SVM";
+  if (name == "svm2") return "SVM2";
+  if (name == "knn") return "KNN";
+  if (util::starts_with(name, "lasso-lambda-")) {
+    const std::string lambda = name.substr(std::string("lasso-lambda-").size());
+    // Render 1000000000 as "Lasso (λ = 1e9)"-style scientific shorthand.
+    int zeros = 0;
+    for (std::size_t i = lambda.size(); i-- > 1;) {
+      if (lambda[i] == '0') {
+        ++zeros;
+      } else {
+        break;
+      }
+    }
+    if (zeros > 0 && lambda.size() == static_cast<std::size_t>(zeros) + 1) {
+      return "Lasso (lambda = " + lambda.substr(0, 1) + "e" +
+             std::to_string(zeros) + ")";
+    }
+    return "Lasso (lambda = " + lambda + ")";
+  }
+  if (name == "lasso") return "Lasso";
+  return name;
+}
+
+std::string render_smae_table(const PipelineResult& result) {
+  return render_two_column_table(
+      result,
+      "TABLE II-equivalent: SOFT MEAN ABSOLUTE ERROR - threshold " +
+          util::format_double(result.soft_threshold, 1) + "s",
+      "S-MAE (s)",
+      [](const ml::EvaluationReport& r) { return r.soft_mae; }, 3);
+}
+
+std::string render_training_time_table(const PipelineResult& result) {
+  return render_two_column_table(
+      result, "TABLE III-equivalent: TRAINING TIME", "train (s)",
+      [](const ml::EvaluationReport& r) { return r.training_seconds; }, 4);
+}
+
+std::string render_validation_time_table(const PipelineResult& result) {
+  return render_two_column_table(
+      result, "TABLE IV-equivalent: VALIDATION TIME", "valid (s)",
+      [](const ml::EvaluationReport& r) { return r.validation_seconds; }, 4);
+}
+
+std::string render_selection_curve(const FeatureSelectionResult& selection) {
+  std::ostringstream out;
+  out << "FIG. 4-equivalent: parameters selected by Lasso vs lambda\n";
+  out << std::left << std::setw(16) << "lambda" << "selected\n";
+  for (const auto& entry : selection.entries) {
+    out << std::left << std::setw(16)
+        << util::format_double(entry.lambda, 0) << entry.selected.size()
+        << '\n';
+  }
+  return out.str();
+}
+
+std::string render_selected_weights(const FeatureSelectionResult& selection,
+                                    double lambda) {
+  const SelectionEntry& entry = selection.at_lambda(lambda);
+  std::ostringstream out;
+  out << "TABLE I-equivalent: weights assigned at lambda = "
+      << util::format_double(lambda, 0) << '\n';
+  out << std::left << std::setw(26) << "Parameter" << "Weight\n";
+  out << std::string(44, '-') << '\n';
+  for (std::size_t i = 0; i < entry.names.size(); ++i) {
+    out << std::left << std::setw(26) << entry.names[i]
+        << util::format_double(entry.weights[i], 15) << '\n';
+  }
+  return out.str();
+}
+
+std::string render_full_scorecard(const std::vector<ModelOutcome>& outcomes,
+                                  const std::string& title) {
+  std::ostringstream out;
+  out << title << '\n';
+  out << std::left << std::setw(34) << "Algorithm" << std::right
+      << std::setw(12) << "MAE" << std::setw(10) << "RAE" << std::setw(12)
+      << "MaxAE" << std::setw(12) << "S-MAE" << std::setw(10) << "R2"
+      << std::setw(12) << "train(s)" << std::setw(12) << "valid(s)" << '\n';
+  out << std::string(114, '-') << '\n';
+  for (const auto& outcome : outcomes) {
+    const auto& r = outcome.report;
+    out << std::left << std::setw(34)
+        << display_model_name(outcome.display_name) << std::right
+        << std::setw(12) << util::format_double(r.mae, 2) << std::setw(10)
+        << util::format_double(r.rae, 3) << std::setw(12)
+        << util::format_double(r.max_ae, 1) << std::setw(12)
+        << util::format_double(r.soft_mae, 2) << std::setw(10)
+        << util::format_double(r.r2, 3) << std::setw(12)
+        << util::format_double(r.training_seconds, 4) << std::setw(12)
+        << util::format_double(r.validation_seconds, 4) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace f2pm::core

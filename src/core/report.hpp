@@ -1,0 +1,38 @@
+// Text rendering of the pipeline's model scorecards in the layout of the
+// paper's tables: side-by-side "all parameters" vs "Lasso-selected"
+// columns for S-MAE (Table II), training time (Table III) and validation
+// time (Table IV), plus the Fig. 4 selection curve and Table I weights.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/feature_selection.hpp"
+#include "core/pipeline.hpp"
+
+namespace f2pm::core {
+
+/// Pretty model label ("reptree" -> "REP Tree", "svm2" -> "SVM2", ...).
+std::string display_model_name(const std::string& name);
+
+/// Table II: S-MAE (seconds) for both feature sets.
+std::string render_smae_table(const PipelineResult& result);
+
+/// Table III: training time (seconds) for both feature sets.
+std::string render_training_time_table(const PipelineResult& result);
+
+/// Table IV: validation time (seconds) for both feature sets.
+std::string render_validation_time_table(const PipelineResult& result);
+
+/// Fig. 4 data: "lambda  selected_parameter_count" rows.
+std::string render_selection_curve(const FeatureSelectionResult& selection);
+
+/// Table I: surviving features and weights at one λ.
+std::string render_selected_weights(const FeatureSelectionResult& selection,
+                                    double lambda);
+
+/// Full scorecard (every metric of §III-D) for one feature set.
+std::string render_full_scorecard(const std::vector<ModelOutcome>& outcomes,
+                                  const std::string& title);
+
+}  // namespace f2pm::core

@@ -1,0 +1,115 @@
+#include "data/aggregation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace f2pm::data {
+
+namespace {
+
+/// Aggregates the samples of one run, appending to `out`.
+void aggregate_run(const Run& run, std::size_t run_index,
+                   const AggregationOptions& options,
+                   std::vector<AggregatedDatapoint>& out) {
+  const double width = options.window_seconds;
+  std::size_t begin = 0;
+  while (begin < run.samples.size()) {
+    const auto window_id =
+        static_cast<std::size_t>(run.samples[begin].tgen / width);
+    const double window_start = static_cast<double>(window_id) * width;
+    const double window_end = window_start + width;
+    std::size_t end = begin;
+    while (end < run.samples.size() && run.samples[end].tgen < window_end) {
+      ++end;
+    }
+    const std::size_t count = end - begin;
+    // Drop the trailing partial window: its statistics would mix the
+    // near-crash regime with missing data (paper Fig. 2 keeps only datapoints
+    // of complete windows).
+    const bool is_last_window = end == run.samples.size();
+    const bool window_complete = !is_last_window || run.fail_time >= window_end;
+    if (count >= options.min_samples_per_window && window_complete &&
+        run.fail_time >= window_end) {
+      AggregatedDatapoint point;
+      point.run_index = run_index;
+      point.window_start = window_start;
+      point.window_end = window_end;
+      point.count = count;
+      const RawDatapoint& first = run.samples[begin];
+      const RawDatapoint& last = run.samples[end - 1];
+      for (std::size_t f = 0; f < kFeatureCount; ++f) {
+        double sum = 0.0;
+        for (std::size_t i = begin; i < end; ++i) {
+          sum += run.samples[i].values[f];
+        }
+        point.means[f] = sum / static_cast<double>(count);
+        // Eq. (1): slope_j = (x_end_j - x_start_j) / n.
+        point.slopes[f] =
+            (last.values[f] - first.values[f]) / static_cast<double>(count);
+      }
+      // Inter-generation times between consecutive samples in the window;
+      // the gap to the previous window's last sample is included so a
+      // single-gap window still gets a value.
+      double gap_sum = 0.0;
+      std::size_t gap_count = 0;
+      double first_gap = 0.0;
+      double last_gap = 0.0;
+      const std::size_t gap_begin = begin == 0 ? begin + 1 : begin;
+      for (std::size_t i = gap_begin; i < end; ++i) {
+        const double gap = run.samples[i].tgen - run.samples[i - 1].tgen;
+        if (gap_count == 0) first_gap = gap;
+        last_gap = gap;
+        gap_sum += gap;
+        ++gap_count;
+      }
+      if (gap_count > 0) {
+        point.intergen_mean = gap_sum / static_cast<double>(gap_count);
+        point.intergen_slope =
+            (last_gap - first_gap) / static_cast<double>(gap_count);
+      }
+      point.rttf = run.fail_time - point.window_end;
+      out.push_back(point);
+    }
+    begin = end;
+  }
+}
+
+}  // namespace
+
+std::vector<AggregatedDatapoint> aggregate(const DataHistory& history,
+                                           const AggregationOptions& options) {
+  if (!(options.window_seconds > 0.0)) {
+    throw std::invalid_argument("aggregate: window_seconds must be > 0");
+  }
+  std::vector<AggregatedDatapoint> out;
+  const auto& runs = history.runs();
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    if (!runs[r].failed && !options.include_unfailed_runs) continue;
+    aggregate_run(runs[r], r, options, out);
+  }
+  return out;
+}
+
+std::vector<std::string> input_feature_names() {
+  std::vector<std::string> names = all_feature_names();
+  for (const auto& base : all_feature_names()) {
+    names.push_back(base + "_slope");
+  }
+  names.emplace_back("intergen_time");
+  names.emplace_back("intergen_time_slope");
+  return names;
+}
+
+std::array<double, kInputCount> to_input_vector(
+    const AggregatedDatapoint& point) {
+  std::array<double, kInputCount> row{};
+  for (std::size_t f = 0; f < kFeatureCount; ++f) {
+    row[f] = point.means[f];
+    row[kFeatureCount + f] = point.slopes[f];
+  }
+  row[2 * kFeatureCount] = point.intergen_mean;
+  row[2 * kFeatureCount + 1] = point.intergen_slope;
+  return row;
+}
+
+}  // namespace f2pm::data

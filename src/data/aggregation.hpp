@@ -1,0 +1,68 @@
+// Datapoint aggregation and added metrics (paper §III-B).
+//
+// Raw datapoints are bucketed into fixed-width time windows per run; each
+// window becomes one aggregated datapoint whose feature values are window
+// means. Two kinds of derived metrics are added:
+//   * per-feature slopes, Eq. (1): (x_end - x_start) / n over the window,
+//     a cheap derivative approximation that captures accelerating resource
+//     exhaustion near the crash point;
+//   * the inter-generation time between consecutive datapoints (and its
+//     slope), which grows as the monitored system becomes overloaded and
+//     correlates with the client-visible response time (Fig. 3).
+// Finally each aggregated datapoint is labeled with its RTTF using the
+// run's fail event.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "data/data_history.hpp"
+#include "data/datapoint.hpp"
+
+namespace f2pm::data {
+
+/// One aggregated, labeled datapoint (a model-training row).
+struct AggregatedDatapoint {
+  std::size_t run_index = 0;   ///< Which run the window belongs to.
+  double window_start = 0.0;   ///< Window [start, end) in run-elapsed time.
+  double window_end = 0.0;
+  std::size_t count = 0;       ///< Raw datapoints aggregated in the window.
+
+  std::array<double, kFeatureCount> means{};   ///< Window means per feature.
+  std::array<double, kFeatureCount> slopes{};  ///< Eq. (1) per feature.
+  double intergen_mean = 0.0;   ///< Mean inter-generation time (seconds).
+  double intergen_slope = 0.0;  ///< Eq. (1) applied to inter-generation time.
+
+  double rttf = 0.0;  ///< Remaining time to failure at window end (seconds).
+};
+
+/// Aggregation parameters.
+struct AggregationOptions {
+  /// Window width in seconds. Must be > 0.
+  double window_seconds = 30.0;
+  /// Windows with fewer raw datapoints than this are dropped (a window with
+  /// a single sample has no meaningful slope).
+  std::size_t min_samples_per_window = 2;
+  /// When false, runs that never met the failure condition are skipped
+  /// (their RTTF label would be undefined).
+  bool include_unfailed_runs = false;
+};
+
+/// Aggregates a full history. Throws std::invalid_argument on bad options.
+std::vector<AggregatedDatapoint> aggregate(const DataHistory& history,
+                                           const AggregationOptions& options);
+
+/// Number of model-input columns derived from an aggregated datapoint:
+/// kFeatureCount means + kFeatureCount slopes + intergen mean + slope.
+inline constexpr std::size_t kInputCount = 2 * kFeatureCount + 2;
+
+/// Names of the model-input columns, index-aligned with to_input_vector().
+/// Slope columns are named "<feature>_slope", matching the paper's Table I.
+std::vector<std::string> input_feature_names();
+
+/// Flattens an aggregated datapoint into the model-input layout.
+std::array<double, kInputCount> to_input_vector(
+    const AggregatedDatapoint& point);
+
+}  // namespace f2pm::data

@@ -1,0 +1,119 @@
+#include "data/arff.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace f2pm::data {
+
+void write_arff(std::ostream& out, const Dataset& dataset,
+                const std::string& relation_name) {
+  out << "% exported by F2PM\n";
+  out << "@relation " << relation_name << "\n\n";
+  for (const auto& name : dataset.feature_names) {
+    out << "@attribute " << name << " numeric\n";
+  }
+  out << "@attribute rttf numeric\n\n@data\n";
+  for (std::size_t r = 0; r < dataset.num_rows(); ++r) {
+    const auto row = dataset.x.row(r);
+    for (double v : row) out << util::format_double(v, 9) << ',';
+    out << util::format_double(dataset.y[r], 9) << '\n';
+  }
+}
+
+void write_arff_file(const std::string& path, const Dataset& dataset,
+                     const std::string& relation_name) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write arff file: " + path);
+  write_arff(out, dataset, relation_name);
+}
+
+Dataset read_arff(std::istream& in) {
+  std::vector<std::string> attributes;
+  std::vector<std::vector<double>> rows;
+  bool in_data = false;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '%') continue;
+    if (!in_data) {
+      const std::string lower = util::to_lower(trimmed);
+      if (util::starts_with(lower, "@relation")) continue;
+      if (util::starts_with(lower, "@attribute")) {
+        // "@attribute <name> <type>"; only numeric/real are accepted.
+        std::istringstream fields{std::string(trimmed)};
+        std::string keyword;
+        std::string name;
+        std::string type;
+        fields >> keyword >> name >> type;
+        const std::string type_lower = util::to_lower(type);
+        if (type_lower != "numeric" && type_lower != "real") {
+          throw std::invalid_argument(
+              "arff: non-numeric attribute '" + name + "' at line " +
+              std::to_string(line_no));
+        }
+        attributes.push_back(name);
+        continue;
+      }
+      if (util::starts_with(lower, "@data")) {
+        if (attributes.size() < 2) {
+          throw std::invalid_argument(
+              "arff: need at least one feature and one target attribute");
+        }
+        in_data = true;
+        continue;
+      }
+      throw std::invalid_argument("arff: unexpected header line " +
+                                  std::to_string(line_no));
+    }
+    if (trimmed.front() == '{') {
+      throw std::invalid_argument("arff: sparse rows are not supported");
+    }
+    const auto fields = util::split(trimmed, ',');
+    if (fields.size() != attributes.size()) {
+      throw std::invalid_argument(
+          "arff: row " + std::to_string(line_no) + " has " +
+          std::to_string(fields.size()) + " values, expected " +
+          std::to_string(attributes.size()));
+    }
+    std::vector<double> row;
+    row.reserve(fields.size());
+    for (const auto& field : fields) {
+      if (util::trim(field) == "?") {
+        throw std::invalid_argument(
+            "arff: missing values ('?') are not supported");
+      }
+      row.push_back(util::parse_double(field));
+    }
+    rows.push_back(std::move(row));
+  }
+  if (!in_data) throw std::invalid_argument("arff: no @data section");
+
+  Dataset dataset;
+  const std::size_t feature_count = attributes.size() - 1;
+  dataset.feature_names.assign(attributes.begin(),
+                               attributes.begin() + feature_count);
+  dataset.x = linalg::Matrix(rows.size(), feature_count);
+  dataset.y.reserve(rows.size());
+  dataset.run_index.assign(rows.size(), 0);
+  dataset.window_end.assign(rows.size(), 0.0);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < feature_count; ++c) {
+      dataset.x(r, c) = rows[r][c];
+    }
+    dataset.y.push_back(rows[r][feature_count]);
+  }
+  return dataset;
+}
+
+Dataset read_arff_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open arff file: " + path);
+  return read_arff(in);
+}
+
+}  // namespace f2pm::data

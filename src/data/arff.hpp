@@ -1,0 +1,35 @@
+// ARFF (Attribute-Relation File Format) interop. The paper built its
+// models in WEKA; exporting the aggregated training set as .arff lets a
+// user load the exact same data into WEKA (or any ARFF consumer) and
+// cross-check this library's results against the original toolchain. A
+// numeric-only reader is provided for the return trip.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace f2pm::data {
+
+/// Writes `dataset` as an ARFF document: one numeric @attribute per
+/// feature column plus a final numeric "rttf" class attribute (WEKA's
+/// regression convention: last attribute is the target).
+void write_arff(std::ostream& out, const Dataset& dataset,
+                const std::string& relation_name = "f2pm");
+
+/// Writes an .arff file; throws std::runtime_error if unwritable.
+void write_arff_file(const std::string& path, const Dataset& dataset,
+                     const std::string& relation_name = "f2pm");
+
+/// Parses a numeric-only ARFF document: @relation, numeric @attribute
+/// declarations, then @data rows. The last attribute becomes y, the rest
+/// become x. Comments ('%') and blank lines are ignored; nominal or
+/// string attributes, sparse rows and missing values ('?') are rejected
+/// with std::invalid_argument.
+Dataset read_arff(std::istream& in);
+
+/// Reads an .arff file; throws std::runtime_error if unreadable.
+Dataset read_arff_file(const std::string& path);
+
+}  // namespace f2pm::data

@@ -1,0 +1,140 @@
+#include "data/data_history.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/serialization.hpp"
+
+namespace f2pm::data {
+
+void DataHistory::add_run(Run run) {
+  for (std::size_t i = 1; i < run.samples.size(); ++i) {
+    if (run.samples[i].tgen < run.samples[i - 1].tgen) {
+      throw std::invalid_argument("DataHistory: samples out of time order");
+    }
+  }
+  if (!run.samples.empty() && run.fail_time < run.samples.back().tgen) {
+    throw std::invalid_argument(
+        "DataHistory: fail time precedes the last sample");
+  }
+  runs_.push_back(std::move(run));
+}
+
+std::size_t DataHistory::num_samples() const {
+  std::size_t count = 0;
+  for (const auto& run : runs_) count += run.samples.size();
+  return count;
+}
+
+std::size_t DataHistory::num_failures() const {
+  std::size_t count = 0;
+  for (const auto& run : runs_) count += run.failed ? 1 : 0;
+  return count;
+}
+
+double DataHistory::mean_time_to_failure() const {
+  double total = 0.0;
+  std::size_t count = 0;
+  for (const auto& run : runs_) {
+    if (run.failed) {
+      total += run.fail_time;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+void DataHistory::save_csv(std::ostream& out) const {
+  util::CsvTable table;
+  table.header = {"run", "tgen"};
+  for (const auto& name : all_feature_names()) table.header.push_back(name);
+  table.header.emplace_back("fail_time");
+  table.header.emplace_back("failed");
+  for (std::size_t r = 0; r < runs_.size(); ++r) {
+    const Run& run = runs_[r];
+    for (const auto& sample : run.samples) {
+      std::vector<double> row;
+      row.reserve(table.header.size());
+      row.push_back(static_cast<double>(r));
+      row.push_back(sample.tgen);
+      for (double v : sample.values) row.push_back(v);
+      row.push_back(run.fail_time);
+      row.push_back(run.failed ? 1.0 : 0.0);
+      table.rows.push_back(std::move(row));
+    }
+  }
+  util::write_csv(out, table);
+}
+
+DataHistory DataHistory::load_csv(std::istream& in) {
+  const util::CsvTable table = util::read_csv(in);
+  const std::size_t expected_cols = 2 + kFeatureCount + 2;
+  if (table.num_cols() != expected_cols) {
+    throw std::invalid_argument("DataHistory CSV: unexpected column count");
+  }
+  DataHistory history;
+  Run current;
+  double current_run_id = 0.0;
+  bool have_run = false;
+  auto flush = [&]() {
+    if (have_run) history.add_run(std::move(current));
+    current = Run{};
+  };
+  for (const auto& row : table.rows) {
+    const double run_id = row[0];
+    if (!have_run || run_id != current_run_id) {
+      flush();
+      current_run_id = run_id;
+      have_run = true;
+    }
+    RawDatapoint sample;
+    sample.tgen = row[1];
+    for (std::size_t f = 0; f < kFeatureCount; ++f) {
+      sample.values[f] = row[2 + f];
+    }
+    current.fail_time = row[2 + kFeatureCount];
+    current.failed = row[3 + kFeatureCount] != 0.0;
+    current.samples.push_back(sample);
+  }
+  flush();
+  return history;
+}
+
+void DataHistory::save_binary(std::ostream& out) const {
+  util::BinaryWriter writer(out);
+  writer.write_u64(runs_.size());
+  for (const auto& run : runs_) {
+    writer.write_double(run.fail_time);
+    writer.write_bool(run.failed);
+    writer.write_u64(run.samples.size());
+    for (const auto& sample : run.samples) {
+      writer.write_double(sample.tgen);
+      for (double v : sample.values) writer.write_double(v);
+    }
+  }
+}
+
+DataHistory DataHistory::load_binary(std::istream& in) {
+  util::BinaryReader reader(in);
+  DataHistory history;
+  const std::uint64_t num_runs = reader.read_u64();
+  for (std::uint64_t r = 0; r < num_runs; ++r) {
+    Run run;
+    run.fail_time = reader.read_double();
+    run.failed = reader.read_bool();
+    const std::uint64_t num_samples = reader.read_u64();
+    run.samples.reserve(num_samples);
+    for (std::uint64_t s = 0; s < num_samples; ++s) {
+      RawDatapoint sample;
+      sample.tgen = reader.read_double();
+      for (double& v : sample.values) v = reader.read_double();
+      run.samples.push_back(sample);
+    }
+    history.add_run(std::move(run));
+  }
+  return history;
+}
+
+}  // namespace f2pm::data

@@ -1,0 +1,61 @@
+// The data history produced by the initial system-monitoring phase
+// (paper §III-A): a sequence of runs, each a stream of raw datapoints
+// terminated by a fail event, after which the system is restarted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "data/datapoint.hpp"
+
+namespace f2pm::data {
+
+/// One run of the monitored system: samples from (re)start to failure.
+struct Run {
+  std::vector<RawDatapoint> samples;
+  /// Elapsed time (seconds since this run's start) at which the failure
+  /// condition was met. Runs that never failed (e.g. the campaign was
+  /// stopped) have failed == false and fail_time == last sample time.
+  double fail_time = 0.0;
+  bool failed = false;
+};
+
+/// The full multi-run monitoring history.
+class DataHistory {
+ public:
+  DataHistory() = default;
+
+  /// Appends a completed run. Throws std::invalid_argument if samples are
+  /// not in nondecreasing tgen order or the fail time precedes the last
+  /// sample.
+  void add_run(Run run);
+
+  [[nodiscard]] const std::vector<Run>& runs() const { return runs_; }
+  [[nodiscard]] std::size_t num_runs() const { return runs_.size(); }
+
+  /// Total number of raw datapoints across runs.
+  [[nodiscard]] std::size_t num_samples() const;
+
+  /// Number of runs that ended in an actual failure.
+  [[nodiscard]] std::size_t num_failures() const;
+
+  /// Mean time-to-failure across failed runs; 0 when none failed.
+  [[nodiscard]] double mean_time_to_failure() const;
+
+  /// Serializes to a CSV stream: columns run, tgen, <features...>, plus one
+  /// trailing "fail" row marker column (1 on the final row of failed runs).
+  void save_csv(std::ostream& out) const;
+
+  /// Parses a history written by save_csv. Throws on malformed input.
+  static DataHistory load_csv(std::istream& in);
+
+  /// Binary round trip (faster than CSV for large campaigns).
+  void save_binary(std::ostream& out) const;
+  static DataHistory load_binary(std::istream& in);
+
+ private:
+  std::vector<Run> runs_;
+};
+
+}  // namespace f2pm::data

@@ -1,0 +1,35 @@
+#include "data/datapoint.hpp"
+
+#include <stdexcept>
+
+namespace f2pm::data {
+
+namespace {
+
+constexpr std::array<std::string_view, kFeatureCount> kNames = {
+    "n_threads",  "mem_used",  "mem_free",   "mem_shared", "mem_buffers",
+    "mem_cached", "swap_used", "swap_free",  "cpu_user",   "cpu_nice",
+    "cpu_system", "cpu_iowait", "cpu_steal", "cpu_idle",
+};
+
+}  // namespace
+
+std::string_view feature_name(FeatureId id) noexcept {
+  return kNames[static_cast<std::size_t>(id)];
+}
+
+FeatureId feature_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kFeatureCount; ++i) {
+    if (kNames[i] == name) return static_cast<FeatureId>(i);
+  }
+  throw std::invalid_argument("unknown feature name: " + std::string(name));
+}
+
+std::vector<std::string> all_feature_names() {
+  std::vector<std::string> names;
+  names.reserve(kFeatureCount);
+  for (const auto& name : kNames) names.emplace_back(name);
+  return names;
+}
+
+}  // namespace f2pm::data

@@ -1,0 +1,68 @@
+// The system-feature schema of F2PM (paper §III-A).
+//
+// A raw datapoint is one sample of the 14 system-level features listed in
+// the paper, timestamped with Tgen (elapsed time since the monitored system
+// started). The schema is fixed here because the whole pipeline — the
+// simulator's monitor, the TCP wire protocol, aggregation and the model
+// input layout — agrees on it; adding a feature means extending kFeatureCount
+// and the name table, everything else adapts.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace f2pm::data {
+
+/// Index of each monitored system feature (paper §III-A, minus Tgen which
+/// is carried separately as the timestamp).
+enum class FeatureId : std::size_t {
+  kNumThreads = 0,  ///< nth: active threads in the system
+  kMemUsed,         ///< Mused: memory used by applications (KiB)
+  kMemFree,         ///< Mfree: memory freely available (KiB)
+  kMemShared,       ///< Mshared: shared buffers (KiB)
+  kMemBuffers,      ///< Mbuff: OS data buffers (KiB)
+  kMemCached,       ///< Mcached: disk cache (KiB)
+  kSwapUsed,        ///< SWused: swap space in use (KiB)
+  kSwapFree,        ///< SWfree: free swap space (KiB)
+  kCpuUser,         ///< CPUus: %CPU in userspace
+  kCpuNice,         ///< CPUni: %CPU in niced processes
+  kCpuSystem,       ///< CPUsys: %CPU in kernel mode
+  kCpuIoWait,       ///< CPUiow: %CPU waiting on I/O
+  kCpuSteal,        ///< CPUst: %CPU stolen by the hypervisor
+  kCpuIdle,         ///< CPUid: %CPU idle
+};
+
+/// Number of monitored system features.
+inline constexpr std::size_t kFeatureCount = 14;
+
+/// Canonical short name of a feature ("mem_used", "cpu_iowait", ...).
+/// These names match the paper's Table I vocabulary.
+std::string_view feature_name(FeatureId id) noexcept;
+
+/// Reverse lookup; throws std::invalid_argument for unknown names.
+FeatureId feature_from_name(std::string_view name);
+
+/// All feature names in index order.
+std::vector<std::string> all_feature_names();
+
+/// One raw monitoring sample.
+struct RawDatapoint {
+  /// Elapsed seconds since the monitored system (re)started.
+  double tgen = 0.0;
+  /// Feature values indexed by FeatureId.
+  std::array<double, kFeatureCount> values{};
+
+  double& operator[](FeatureId id) noexcept {
+    return values[static_cast<std::size_t>(id)];
+  }
+  double operator[](FeatureId id) const noexcept {
+    return values[static_cast<std::size_t>(id)];
+  }
+
+  friend bool operator==(const RawDatapoint&, const RawDatapoint&) = default;
+};
+
+}  // namespace f2pm::data

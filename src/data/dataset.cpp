@@ -1,0 +1,119 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace f2pm::data {
+
+std::size_t Dataset::feature_index(const std::string& name) const {
+  for (std::size_t i = 0; i < feature_names.size(); ++i) {
+    if (feature_names[i] == name) return i;
+  }
+  throw std::out_of_range("Dataset: feature not found: " + name);
+}
+
+Dataset Dataset::select_features(
+    const std::vector<std::size_t>& columns) const {
+  Dataset out;
+  out.x = x.select_columns(columns);
+  out.y = y;
+  out.run_index = run_index;
+  out.window_end = window_end;
+  out.feature_names.reserve(columns.size());
+  for (std::size_t c : columns) {
+    if (c >= feature_names.size()) {
+      throw std::out_of_range("Dataset::select_features: column out of range");
+    }
+    out.feature_names.push_back(feature_names[c]);
+  }
+  return out;
+}
+
+Dataset Dataset::select_rows(const std::vector<std::size_t>& rows) const {
+  Dataset out;
+  out.feature_names = feature_names;
+  out.x = x.select_rows(rows);
+  out.y.reserve(rows.size());
+  out.run_index.reserve(rows.size());
+  out.window_end.reserve(rows.size());
+  for (std::size_t r : rows) {
+    if (r >= y.size()) {
+      throw std::out_of_range("Dataset::select_rows: row out of range");
+    }
+    out.y.push_back(y[r]);
+    out.run_index.push_back(run_index[r]);
+    out.window_end.push_back(window_end[r]);
+  }
+  return out;
+}
+
+Dataset build_dataset(const std::vector<AggregatedDatapoint>& points) {
+  Dataset dataset;
+  dataset.feature_names = input_feature_names();
+  dataset.x = linalg::Matrix(points.size(), kInputCount);
+  dataset.y.reserve(points.size());
+  dataset.run_index.reserve(points.size());
+  dataset.window_end.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto row = to_input_vector(points[i]);
+    auto dst = dataset.x.row(i);
+    std::copy(row.begin(), row.end(), dst.begin());
+    dataset.y.push_back(points[i].rttf);
+    dataset.run_index.push_back(points[i].run_index);
+    dataset.window_end.push_back(points[i].window_end);
+  }
+  return dataset;
+}
+
+TrainValidationSplit split_dataset(const Dataset& dataset,
+                                   double train_fraction, util::Rng& rng) {
+  if (!(train_fraction > 0.0) || !(train_fraction < 1.0)) {
+    throw std::invalid_argument("split_dataset: fraction must be in (0, 1)");
+  }
+  const std::size_t n = dataset.num_rows();
+  const auto perm = rng.permutation(n);
+  const auto train_count = static_cast<std::size_t>(
+      static_cast<double>(n) * train_fraction);
+  std::vector<std::size_t> train_rows(perm.begin(),
+                                      perm.begin() + train_count);
+  std::vector<std::size_t> validation_rows(perm.begin() + train_count,
+                                           perm.end());
+  // Keep rows in original (time) order within each side.
+  std::sort(train_rows.begin(), train_rows.end());
+  std::sort(validation_rows.begin(), validation_rows.end());
+  return {dataset.select_rows(train_rows),
+          dataset.select_rows(validation_rows)};
+}
+
+TrainValidationSplit split_dataset_by_run(const Dataset& dataset,
+                                          double train_fraction,
+                                          util::Rng& rng) {
+  if (!(train_fraction > 0.0) || !(train_fraction < 1.0)) {
+    throw std::invalid_argument(
+        "split_dataset_by_run: fraction must be in (0, 1)");
+  }
+  std::set<std::size_t> run_set(dataset.run_index.begin(),
+                                dataset.run_index.end());
+  std::vector<std::size_t> runs(run_set.begin(), run_set.end());
+  const auto perm = rng.permutation(runs.size());
+  const auto train_runs_count = static_cast<std::size_t>(
+      static_cast<double>(runs.size()) * train_fraction);
+  std::set<std::size_t> train_runs;
+  for (std::size_t i = 0; i < train_runs_count; ++i) {
+    train_runs.insert(runs[perm[i]]);
+  }
+  std::vector<std::size_t> train_rows;
+  std::vector<std::size_t> validation_rows;
+  for (std::size_t i = 0; i < dataset.num_rows(); ++i) {
+    if (train_runs.count(dataset.run_index[i]) != 0) {
+      train_rows.push_back(i);
+    } else {
+      validation_rows.push_back(i);
+    }
+  }
+  return {dataset.select_rows(train_rows),
+          dataset.select_rows(validation_rows)};
+}
+
+}  // namespace f2pm::data

@@ -1,0 +1,59 @@
+// Matrix-form training data: the bridge between aggregated datapoints and
+// the ML methods. A Dataset owns the design matrix X (one row per
+// aggregated datapoint, columns named), the target vector y (RTTF), and
+// enough provenance (run index, window end) to reproduce the paper's
+// predicted-vs-real plots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/aggregation.hpp"
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace f2pm::data {
+
+/// A labeled design matrix with named columns.
+struct Dataset {
+  std::vector<std::string> feature_names;  ///< One per column of x.
+  linalg::Matrix x;                        ///< n rows, feature_names.size() cols.
+  std::vector<double> y;                   ///< RTTF labels, length n.
+  std::vector<std::size_t> run_index;      ///< Provenance, length n.
+  std::vector<double> window_end;          ///< Provenance, length n.
+
+  [[nodiscard]] std::size_t num_rows() const { return x.rows(); }
+  [[nodiscard]] std::size_t num_features() const { return x.cols(); }
+
+  /// Index of a named column; throws std::out_of_range if absent.
+  [[nodiscard]] std::size_t feature_index(const std::string& name) const;
+
+  /// Returns the dataset restricted to the given columns (order preserved).
+  [[nodiscard]] Dataset select_features(
+      const std::vector<std::size_t>& columns) const;
+
+  /// Returns the dataset restricted to the given rows.
+  [[nodiscard]] Dataset select_rows(
+      const std::vector<std::size_t>& rows) const;
+};
+
+/// Builds the full 30-column dataset from aggregated datapoints.
+Dataset build_dataset(const std::vector<AggregatedDatapoint>& points);
+
+/// A shuffled train/validation partition.
+struct TrainValidationSplit {
+  Dataset train;
+  Dataset validation;
+};
+
+/// Splits rows uniformly at random; `train_fraction` in (0, 1).
+TrainValidationSplit split_dataset(const Dataset& dataset,
+                                   double train_fraction, util::Rng& rng);
+
+/// Splits by run: whole runs go to either side. This is the methodologically
+/// stricter split (no leakage of a run's trajectory across the boundary).
+TrainValidationSplit split_dataset_by_run(const Dataset& dataset,
+                                          double train_fraction,
+                                          util::Rng& rng);
+
+}  // namespace f2pm::data

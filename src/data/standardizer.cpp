@@ -1,0 +1,66 @@
+#include "data/standardizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/stats.hpp"
+
+namespace f2pm::data {
+
+Standardizer Standardizer::fit(const linalg::Matrix& x) {
+  Standardizer s;
+  s.means_.resize(x.cols());
+  s.scales_.resize(x.cols());
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    const auto column = x.column(c);
+    s.means_[c] = linalg::mean(column);
+    const double sd = linalg::stddev(column);
+    s.scales_[c] = sd > 0.0 ? sd : 1.0;
+  }
+  return s;
+}
+
+linalg::Matrix Standardizer::transform(const linalg::Matrix& x) const {
+  if (x.cols() != means_.size()) {
+    throw std::invalid_argument("Standardizer::transform: column mismatch");
+  }
+  linalg::Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      out(r, c) = (x(r, c) - means_[c]) / scales_[c];
+    }
+  }
+  return out;
+}
+
+linalg::Matrix Standardizer::inverse_transform(const linalg::Matrix& x) const {
+  if (x.cols() != means_.size()) {
+    throw std::invalid_argument(
+        "Standardizer::inverse_transform: column mismatch");
+  }
+  linalg::Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      out(r, c) = x(r, c) * scales_[c] + means_[c];
+    }
+  }
+  return out;
+}
+
+TargetScaler TargetScaler::fit(const std::vector<double>& y) {
+  TargetScaler scaler;
+  scaler.mean = linalg::mean(y);
+  const double sd = linalg::stddev(y);
+  scaler.scale = sd > 0.0 ? sd : 1.0;
+  return scaler;
+}
+
+std::vector<double> TargetScaler::transform(
+    const std::vector<double>& y) const {
+  std::vector<double> out;
+  out.reserve(y.size());
+  for (double v : y) out.push_back((v - mean) / scale);
+  return out;
+}
+
+}  // namespace f2pm::data

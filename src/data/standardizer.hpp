@@ -1,0 +1,50 @@
+// Column-wise standardization (zero mean, unit variance). The tree methods
+// are scale-invariant, but SVR/LS-SVM kernels and gradient-style solvers
+// need comparable feature scales; Lasso regularization is deliberately run
+// on raw scales (see DESIGN.md) so the paper's λ grid is meaningful.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace f2pm::data {
+
+/// Fitted column statistics that can transform matrices consistently.
+class Standardizer {
+ public:
+  Standardizer() = default;
+
+  /// Learns per-column mean and stddev. Constant columns get scale 1 so the
+  /// transform maps them to 0 instead of dividing by zero.
+  static Standardizer fit(const linalg::Matrix& x);
+
+  /// (x - mean) / stddev, column-wise. Throws on column-count mismatch.
+  [[nodiscard]] linalg::Matrix transform(const linalg::Matrix& x) const;
+
+  /// Inverse transform (x * stddev + mean).
+  [[nodiscard]] linalg::Matrix inverse_transform(
+      const linalg::Matrix& x) const;
+
+  [[nodiscard]] const std::vector<double>& means() const { return means_; }
+  [[nodiscard]] const std::vector<double>& scales() const { return scales_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> scales_;
+};
+
+/// Target standardization for y (used symmetrically by SVR).
+struct TargetScaler {
+  double mean = 0.0;
+  double scale = 1.0;
+
+  static TargetScaler fit(const std::vector<double>& y);
+  [[nodiscard]] std::vector<double> transform(
+      const std::vector<double>& y) const;
+  [[nodiscard]] double inverse(double value) const {
+    return value * scale + mean;
+  }
+};
+
+}  // namespace f2pm::data

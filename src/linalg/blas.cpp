@@ -1,0 +1,109 @@
+#include "linalg/blas.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "parallel/thread_pool.hpp"
+
+namespace f2pm::linalg {
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+double norm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+double norm1(std::span<const double> x) {
+  double acc = 0.0;
+  for (double v : x) acc += std::abs(v);
+  return acc;
+}
+
+std::vector<double> gemv(const Matrix& a, std::span<const double> x) {
+  if (a.cols() != x.size()) {
+    throw std::invalid_argument("gemv: dimension mismatch");
+  }
+  std::vector<double> y(a.rows(), 0.0);
+  // Below this size the parallel dispatch costs more than the math.
+  constexpr std::size_t kParallelThreshold = 512;
+  auto row_block = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) y[r] = dot(a.row(r), x);
+  };
+  if (a.rows() * a.cols() < kParallelThreshold * 8) {
+    row_block(0, a.rows());
+  } else {
+    parallel::parallel_for_chunked(parallel::ThreadPool::global(), 0,
+                                   a.rows(), row_block);
+  }
+  return y;
+}
+
+std::vector<double> gemv_transposed(const Matrix& a,
+                                    std::span<const double> x) {
+  if (a.rows() != x.size()) {
+    throw std::invalid_argument("gemv_transposed: dimension mismatch");
+  }
+  std::vector<double> y(a.cols(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    axpy(x[r], a.row(r), y);
+  }
+  return y;
+}
+
+Matrix gemm(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("gemm: dimension mismatch");
+  }
+  Matrix c(a.rows(), b.cols());
+  auto row_block = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      auto ci = c.row(i);
+      const auto ai = a.row(i);
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        const double aik = ai[k];
+        if (aik == 0.0) continue;
+        axpy(aik, b.row(k), ci);
+      }
+    }
+  };
+  constexpr std::size_t kParallelFlops = 1u << 16;
+  if (a.rows() * a.cols() * b.cols() < kParallelFlops) {
+    row_block(0, a.rows());
+  } else {
+    parallel::parallel_for_chunked(parallel::ThreadPool::global(), 0,
+                                   a.rows(), row_block);
+  }
+  return c;
+}
+
+Matrix gram(const Matrix& a) {
+  const std::size_t n = a.cols();
+  Matrix g(n, n);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const auto row = a.row(r);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = row[i];
+      if (v == 0.0) continue;
+      for (std::size_t j = i; j < n; ++j) g(i, j) += v * row[j];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  }
+  return g;
+}
+
+}  // namespace f2pm::linalg

@@ -1,0 +1,42 @@
+// BLAS-like dense kernels (level 1-3) tuned for the sizes this framework
+// sees: thousands of rows, tens of columns for design matrices, and up to a
+// few thousand square for kernel matrices. gemm/gemv parallelize over row
+// blocks via the thread pool.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace f2pm::linalg {
+
+/// Dot product; spans must be the same length.
+double dot(std::span<const double> x, std::span<const double> y);
+
+/// y += alpha * x; spans must be the same length.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha.
+void scale(double alpha, std::span<double> x);
+
+/// Euclidean norm.
+double norm2(std::span<const double> x);
+
+/// L1 norm (used by the Lasso objective).
+double norm1(std::span<const double> x);
+
+/// y = A * x (A: m x n, x: n, result: m). Parallel over row blocks.
+std::vector<double> gemv(const Matrix& a, std::span<const double> x);
+
+/// y = A^T * x (A: m x n, x: m, result: n).
+std::vector<double> gemv_transposed(const Matrix& a, std::span<const double> x);
+
+/// C = A * B (A: m x k, B: k x n). Parallel over row blocks of A, with an
+/// ikj loop order so the inner loop streams B rows.
+Matrix gemm(const Matrix& a, const Matrix& b);
+
+/// C = A^T * A (the Gram matrix of the design matrix); exploits symmetry.
+Matrix gram(const Matrix& a);
+
+}  // namespace f2pm::linalg

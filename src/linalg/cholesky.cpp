@@ -1,0 +1,73 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace f2pm::linalg {
+
+std::optional<CholeskyFactor> cholesky(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("cholesky: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (!(diag > 0.0) || !std::isfinite(diag)) return std::nullopt;
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      l(i, j) = sum / ljj;
+    }
+  }
+  return CholeskyFactor{std::move(l)};
+}
+
+std::vector<double> CholeskyFactor::solve(std::span<const double> b) const {
+  const std::size_t n = l.rows();
+  if (b.size() != n) {
+    throw std::invalid_argument("CholeskyFactor::solve: size mismatch");
+  }
+  // Forward substitution: L y = b.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l(i, k) * y[k];
+    y[i] = sum / l(i, i);
+  }
+  // Back substitution: L^T x = y.
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= l(k, i) * x[k];
+    x[i] = sum / l(i, i);
+  }
+  return x;
+}
+
+double CholeskyFactor::log_det() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < l.rows(); ++i) acc += std::log(l(i, i));
+  return 2.0 * acc;
+}
+
+std::vector<double> solve_spd(const Matrix& a, std::span<const double> b,
+                              double jitter) {
+  Matrix work = a;
+  double added = jitter;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    if (added > 0.0) {
+      for (std::size_t i = 0; i < work.rows(); ++i) {
+        work(i, i) = a(i, i) + added;
+      }
+    }
+    if (auto factor = cholesky(work)) return factor->solve(b);
+    added = (added == 0.0) ? 1e-10 : added * 100.0;
+  }
+  throw std::runtime_error("solve_spd: matrix is not positive definite");
+}
+
+}  // namespace f2pm::linalg

@@ -1,0 +1,35 @@
+// Cholesky factorization and solves for symmetric positive-definite
+// systems: normal equations (Linear Regression), the LS-SVM bordered
+// system, and ridge-regularized Gram matrices.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace f2pm::linalg {
+
+/// Lower-triangular Cholesky factor L with A = L L^T.
+struct CholeskyFactor {
+  Matrix l;
+
+  /// Solves A x = b given the factor (forward + back substitution).
+  [[nodiscard]] std::vector<double> solve(std::span<const double> b) const;
+
+  /// log(det(A)) = 2 * sum(log(L_ii)) — used by model-selection criteria.
+  [[nodiscard]] double log_det() const;
+};
+
+/// Factorizes a symmetric positive-definite matrix. Returns std::nullopt if
+/// the matrix is not (numerically) positive definite.
+std::optional<CholeskyFactor> cholesky(const Matrix& a);
+
+/// Solves A x = b for SPD A, adding `jitter` * I retries (up to a few
+/// orders of magnitude) if A is semi-definite. Throws std::runtime_error if
+/// the system cannot be stabilized.
+std::vector<double> solve_spd(const Matrix& a, std::span<const double> b,
+                              double jitter = 0.0);
+
+}  // namespace f2pm::linalg

@@ -1,0 +1,113 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace f2pm::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = init.size();
+  cols_ = rows_ == 0 ? 0 : init.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    if (row.size() != cols_) {
+      throw std::invalid_argument("Matrix initializer rows differ in length");
+    }
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) {
+    throw std::out_of_range("Matrix::at out of range");
+  }
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) {
+    throw std::out_of_range("Matrix::at out of range");
+  }
+  return data_[r * cols_ + c];
+}
+
+std::vector<double> Matrix::column(std::size_t c) const {
+  if (c >= cols_) throw std::out_of_range("Matrix::column out of range");
+  std::vector<double> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::select_columns(const std::vector<std::size_t>& columns) const {
+  Matrix out(rows_, columns.size());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t j = 0; j < columns.size(); ++j) {
+      out(r, j) = at(r, columns[j]);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::select_rows(const std::vector<std::size_t>& rows) const {
+  Matrix out(rows.size(), cols_);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i] >= rows_) {
+      throw std::out_of_range("Matrix::select_rows out of range");
+    }
+    const auto src = row(rows[i]);
+    auto dst = out.row(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return out;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) out(i, i) = 1.0;
+  return out;
+}
+
+std::string Matrix::to_string(int precision) const {
+  std::ostringstream out;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    out << '[';
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c != 0) out << ", ";
+      out << util::format_double((*this)(r, c), precision);
+    }
+    out << "]\n";
+  }
+  return out.str();
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument("max_abs_diff: shape mismatch");
+  }
+  double max_diff = 0.0;
+  const auto da = a.data();
+  const auto db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(da[i] - db[i]));
+  }
+  return max_diff;
+}
+
+}  // namespace f2pm::linalg

@@ -1,0 +1,97 @@
+// Dense row-major matrix and helpers. This is the numeric workhorse under
+// every ML method in the framework: design matrices, kernel matrices,
+// normal equations. Storage is a single contiguous buffer so row spans can
+// be handed to BLAS-like kernels without copies.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace f2pm::linalg {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill);
+
+  /// Constructs from nested initializer lists; all rows must have equal
+  /// length (throws std::invalid_argument otherwise).
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+  /// Unchecked element access (asserts in debug builds).
+  double& operator()(std::size_t r, std::size_t c) noexcept;
+  double operator()(std::size_t r, std::size_t c) const noexcept;
+
+  /// Bounds-checked element access; throws std::out_of_range.
+  double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  /// Contiguous view of one row.
+  [[nodiscard]] std::span<double> row(std::size_t r) noexcept;
+  [[nodiscard]] std::span<const double> row(std::size_t r) const noexcept;
+
+  /// Copies one column out (columns are strided, so no span).
+  [[nodiscard]] std::vector<double> column(std::size_t c) const;
+
+  /// Raw storage (row-major, rows()*cols() doubles).
+  [[nodiscard]] std::span<double> data() noexcept { return data_; }
+  [[nodiscard]] std::span<const double> data() const noexcept { return data_; }
+
+  /// Returns the transpose as a new matrix.
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Returns the sub-matrix made of the given column indices, in order.
+  [[nodiscard]] Matrix select_columns(
+      const std::vector<std::size_t>& columns) const;
+
+  /// Returns the sub-matrix made of the given row indices, in order.
+  [[nodiscard]] Matrix select_rows(const std::vector<std::size_t>& rows) const;
+
+  /// n x n identity.
+  static Matrix identity(std::size_t n);
+
+  /// Multi-line human-readable dump (debugging / golden tests).
+  [[nodiscard]] std::string to_string(int precision = 4) const;
+
+  friend bool operator==(const Matrix& a, const Matrix& b) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Max absolute elementwise difference; matrices must be the same shape
+/// (throws std::invalid_argument otherwise).
+double max_abs_diff(const Matrix& a, const Matrix& b);
+
+inline double& Matrix::operator()(std::size_t r, std::size_t c) noexcept {
+  return data_[r * cols_ + c];
+}
+
+inline double Matrix::operator()(std::size_t r, std::size_t c) const noexcept {
+  return data_[r * cols_ + c];
+}
+
+inline std::span<double> Matrix::row(std::size_t r) noexcept {
+  return {data_.data() + r * cols_, cols_};
+}
+
+inline std::span<const double> Matrix::row(std::size_t r) const noexcept {
+  return {data_.data() + r * cols_, cols_};
+}
+
+}  // namespace f2pm::linalg

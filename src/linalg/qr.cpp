@@ -1,0 +1,97 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace f2pm::linalg {
+
+QrFactor::QrFactor(const Matrix& a) : qr_(a), tau_(a.cols(), 0.0) {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  if (m < n) {
+    throw std::invalid_argument("QrFactor: need rows >= cols");
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    // Householder vector for column k, rows k..m-1.
+    double norm_sq = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm_sq += qr_(i, k) * qr_(i, k);
+    const double norm = std::sqrt(norm_sq);
+    if (norm == 0.0) {
+      tau_[k] = 0.0;
+      continue;
+    }
+    const double alpha = qr_(k, k) >= 0.0 ? -norm : norm;
+    // v = x - alpha * e1, normalized so v[k] = 1 (stored implicitly).
+    const double v0 = qr_(k, k) - alpha;
+    tau_[k] = -v0 / alpha;  // tau = 2 / (v^T v) * v0^2 form, see below.
+    // Store v / v0 below the diagonal; R gets alpha on the diagonal.
+    for (std::size_t i = k + 1; i < m; ++i) qr_(i, k) /= v0;
+    qr_(k, k) = alpha;
+    // Apply the reflector to the remaining columns:
+    // A := (I - tau * v v^T) A with v = [1, qr_(k+1..m-1, k)].
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double s = qr_(k, j);
+      for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * qr_(i, j);
+      s *= tau_[k];
+      qr_(k, j) -= s;
+      for (std::size_t i = k + 1; i < m; ++i) qr_(i, j) -= s * qr_(i, k);
+    }
+  }
+}
+
+void QrFactor::apply_qt(std::span<double> v) const {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  if (v.size() != m) {
+    throw std::invalid_argument("QrFactor::apply_qt: size mismatch");
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    if (tau_[k] == 0.0) continue;
+    double s = v[k];
+    for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * v[i];
+    s *= tau_[k];
+    v[k] -= s;
+    for (std::size_t i = k + 1; i < m; ++i) v[i] -= s * qr_(i, k);
+  }
+}
+
+bool QrFactor::full_rank() const {
+  const std::size_t n = qr_.cols();
+  double max_diag = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    max_diag = std::max(max_diag, std::abs(qr_(i, i)));
+  }
+  const double tol = std::max<double>(qr_.rows(), n) *
+                     std::numeric_limits<double>::epsilon() * max_diag;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::abs(qr_(i, i)) <= tol) return false;
+  }
+  return true;
+}
+
+std::vector<double> QrFactor::solve(std::span<const double> b) const {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  if (b.size() != m) {
+    throw std::invalid_argument("QrFactor::solve: size mismatch");
+  }
+  std::vector<double> work(b.begin(), b.end());
+  apply_qt(work);
+  if (!full_rank()) {
+    throw std::runtime_error("QrFactor::solve: rank-deficient system");
+  }
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = work[i];
+    for (std::size_t j = i + 1; j < n; ++j) sum -= qr_(i, j) * x[j];
+    x[i] = sum / qr_(i, i);
+  }
+  return x;
+}
+
+std::vector<double> least_squares(const Matrix& a, std::span<const double> b) {
+  return QrFactor(a).solve(b);
+}
+
+}  // namespace f2pm::linalg

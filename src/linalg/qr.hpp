@@ -1,0 +1,41 @@
+// Householder QR factorization and least-squares solve. This is the
+// numerically preferred path for Linear Regression: it avoids squaring the
+// condition number the way the normal equations do.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace f2pm::linalg {
+
+/// Compact Householder QR of an m x n matrix with m >= n. The factor
+/// stores R in the upper triangle and the Householder vectors below it.
+class QrFactor {
+ public:
+  /// Factorizes `a`. Throws std::invalid_argument if m < n.
+  explicit QrFactor(const Matrix& a);
+
+  /// Applies Q^T to a length-m vector in place.
+  void apply_qt(std::span<double> v) const;
+
+  /// Solves min ||A x - b||_2. Throws std::runtime_error if R is
+  /// (numerically) rank deficient.
+  [[nodiscard]] std::vector<double> solve(std::span<const double> b) const;
+
+  /// True when all |R_ii| exceed a scaled epsilon (full column rank).
+  [[nodiscard]] bool full_rank() const;
+
+  [[nodiscard]] std::size_t rows() const { return qr_.rows(); }
+  [[nodiscard]] std::size_t cols() const { return qr_.cols(); }
+
+ private:
+  Matrix qr_;
+  std::vector<double> tau_;  // Householder scalar coefficients.
+};
+
+/// One-shot least-squares solve: min ||A x - b||_2 via Householder QR.
+std::vector<double> least_squares(const Matrix& a, std::span<const double> b);
+
+}  // namespace f2pm::linalg

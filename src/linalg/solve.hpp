@@ -1,0 +1,40 @@
+// General dense linear solves (LU with partial pivoting). Used for the
+// LS-SVM bordered system, which is symmetric but indefinite, and anywhere a
+// square non-SPD system shows up.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace f2pm::linalg {
+
+/// LU factorization with partial pivoting of a square matrix.
+class LuFactor {
+ public:
+  /// Factorizes `a`. Throws std::invalid_argument for non-square input and
+  /// std::runtime_error for (numerically) singular matrices.
+  explicit LuFactor(const Matrix& a);
+
+  /// Solves A x = b.
+  [[nodiscard]] std::vector<double> solve(std::span<const double> b) const;
+
+  /// det(A) (sign from the permutation parity).
+  [[nodiscard]] double determinant() const;
+
+  [[nodiscard]] std::size_t size() const { return lu_.rows(); }
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> pivots_;
+  int pivot_sign_ = 1;
+};
+
+/// One-shot square solve A x = b.
+std::vector<double> solve(const Matrix& a, std::span<const double> b);
+
+/// Matrix inverse via LU (n solves). Intended for small matrices only.
+Matrix inverse(const Matrix& a);
+
+}  // namespace f2pm::linalg

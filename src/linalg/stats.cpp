@@ -1,0 +1,98 @@
+#include "linalg/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace f2pm::linalg {
+
+double mean(std::span<const double> x) {
+  if (x.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : x) acc += v;
+  return acc / static_cast<double>(x.size());
+}
+
+double variance(std::span<const double> x) {
+  if (x.size() < 2) return 0.0;
+  const double m = mean(x);
+  double acc = 0.0;
+  for (double v : x) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(x.size());
+}
+
+double stddev(std::span<const double> x) { return std::sqrt(variance(x)); }
+
+double covariance(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("covariance: size mismatch");
+  }
+  if (x.size() < 2) return 0.0;
+  const double mx = mean(x);
+  const double my = mean(y);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc += (x[i] - mx) * (y[i] - my);
+  }
+  return acc / static_cast<double>(x.size());
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  const double sx = stddev(x);
+  const double sy = stddev(y);
+  if (sx == 0.0 || sy == 0.0) return 0.0;
+  return covariance(x, y) / (sx * sy);
+}
+
+double quantile(std::span<const double> x, double q) {
+  if (x.empty()) throw std::invalid_argument("quantile: empty input");
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<double> sorted(x.begin(), x.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double min_value(std::span<const double> x) {
+  if (x.empty()) throw std::invalid_argument("min_value: empty input");
+  return *std::min_element(x.begin(), x.end());
+}
+
+double max_value(std::span<const double> x) {
+  if (x.empty()) throw std::invalid_argument("max_value: empty input");
+  return *std::max_element(x.begin(), x.end());
+}
+
+LineFit fit_line(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("fit_line: size mismatch");
+  }
+  if (x.size() < 2) throw std::invalid_argument("fit_line: need >= 2 points");
+  const double vx = variance(x);
+  const double mx = mean(x);
+  const double my = mean(y);
+  LineFit fit;
+  if (vx == 0.0) {
+    fit.slope = 0.0;
+    fit.intercept = my;
+    fit.r2 = 0.0;
+    return fit;
+  }
+  fit.slope = covariance(x, y) / vx;
+  fit.intercept = my - fit.slope * mx;
+  // R^2 = 1 - SS_res / SS_tot.
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double err = y[i] - fit.predict(x[i]);
+    ss_res += err * err;
+    ss_tot += (y[i] - my) * (y[i] - my);
+  }
+  fit.r2 = ss_tot == 0.0 ? 0.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+}  // namespace f2pm::linalg

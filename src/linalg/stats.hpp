@@ -1,0 +1,48 @@
+// Descriptive statistics over feature vectors: means, variances,
+// correlation (Fig. 3's RT correlation study), quantiles, and simple
+// 1-D linear fits.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace f2pm::linalg {
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> x);
+
+/// Population variance (divides by n); 0 for fewer than 2 samples.
+double variance(std::span<const double> x);
+
+/// Sample standard deviation derived from variance().
+double stddev(std::span<const double> x);
+
+/// Covariance of two equal-length spans (population form).
+double covariance(std::span<const double> x, std::span<const double> y);
+
+/// Pearson correlation coefficient in [-1, 1]; 0 when either side is
+/// constant.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Linear interpolated quantile, q in [0, 1]. Sorts a copy.
+double quantile(std::span<const double> x, double q);
+
+/// Minimum / maximum; throw std::invalid_argument on empty input.
+double min_value(std::span<const double> x);
+double max_value(std::span<const double> x);
+
+/// Ordinary least squares fit y ~= slope * x + intercept for 1-D data.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  ///< Coefficient of determination on the fit data.
+
+  [[nodiscard]] double predict(double x) const {
+    return slope * x + intercept;
+  }
+};
+
+/// Fits a line by least squares; requires at least 2 points.
+LineFit fit_line(std::span<const double> x, std::span<const double> y);
+
+}  // namespace f2pm::linalg

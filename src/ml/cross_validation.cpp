@@ -1,0 +1,67 @@
+#include "ml/cross_validation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace f2pm::ml {
+
+CrossValidationResult k_fold_cross_validation(
+    const std::function<std::unique_ptr<Regressor>()>& factory,
+    const linalg::Matrix& x, std::span<const double> y, std::size_t k,
+    util::Rng& rng, double soft_threshold) {
+  const std::size_t n = x.rows();
+  if (k < 2) {
+    throw std::invalid_argument("k_fold_cross_validation: k must be >= 2");
+  }
+  if (n < k) {
+    throw std::invalid_argument("k_fold_cross_validation: fewer rows than k");
+  }
+  const auto perm = rng.permutation(n);
+  CrossValidationResult result;
+  for (std::size_t fold = 0; fold < k; ++fold) {
+    const std::size_t begin = fold * n / k;
+    const std::size_t end = (fold + 1) * n / k;
+    std::vector<std::size_t> train_rows;
+    std::vector<std::size_t> val_rows;
+    train_rows.reserve(n - (end - begin));
+    val_rows.reserve(end - begin);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i >= begin && i < end) {
+        val_rows.push_back(perm[i]);
+      } else {
+        train_rows.push_back(perm[i]);
+      }
+    }
+    const linalg::Matrix x_train = x.select_rows(train_rows);
+    const linalg::Matrix x_val = x.select_rows(val_rows);
+    std::vector<double> y_train;
+    std::vector<double> y_val;
+    y_train.reserve(train_rows.size());
+    y_val.reserve(val_rows.size());
+    for (std::size_t r : train_rows) y_train.push_back(y[r]);
+    for (std::size_t r : val_rows) y_val.push_back(y[r]);
+
+    auto model = factory();
+    result.folds.push_back(evaluate_model(*model, x_train, y_train, x_val,
+                                          y_val, soft_threshold));
+  }
+  double mae_sum = 0.0;
+  double mae_sq_sum = 0.0;
+  for (const auto& fold : result.folds) {
+    mae_sum += fold.mae;
+    mae_sq_sum += fold.mae * fold.mae;
+    result.mean_soft_mae += fold.soft_mae;
+    result.mean_rae += fold.rae;
+    result.mean_training_seconds += fold.training_seconds;
+  }
+  const auto kf = static_cast<double>(k);
+  result.mean_mae = mae_sum / kf;
+  result.mean_soft_mae /= kf;
+  result.mean_rae /= kf;
+  result.mean_training_seconds /= kf;
+  const double var = mae_sq_sum / kf - result.mean_mae * result.mean_mae;
+  result.std_mae = var > 0.0 ? std::sqrt(var) : 0.0;
+  return result;
+}
+
+}  // namespace f2pm::ml

@@ -1,0 +1,36 @@
+// k-fold cross-validation over a design matrix: the incremental-accuracy
+// assessment §III-A calls for ("if the estimated accuracy is not
+// sufficient, further system runs can be executed").
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "ml/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace f2pm::ml {
+
+/// Per-fold reports plus aggregate statistics.
+struct CrossValidationResult {
+  std::vector<EvaluationReport> folds;
+  double mean_mae = 0.0;
+  double std_mae = 0.0;
+  double mean_soft_mae = 0.0;
+  double mean_rae = 0.0;
+  double mean_training_seconds = 0.0;
+};
+
+/// Runs k-fold CV. `factory` builds a fresh unfitted model per fold.
+/// Rows are shuffled once with `rng`; each fold serves as validation once.
+/// Throws std::invalid_argument when k < 2 or the data has fewer than k
+/// rows.
+CrossValidationResult k_fold_cross_validation(
+    const std::function<std::unique_ptr<Regressor>()>& factory,
+    const linalg::Matrix& x, std::span<const double> y, std::size_t k,
+    util::Rng& rng, double soft_threshold);
+
+}  // namespace f2pm::ml

@@ -1,0 +1,93 @@
+#include "ml/ensemble.hpp"
+
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace f2pm::ml {
+
+BaggedTrees::BaggedTrees(BaggedTreesOptions options)
+    : options_(options) {
+  if (options_.num_trees == 0) {
+    throw std::invalid_argument("BaggedTrees: num_trees must be > 0");
+  }
+  if (!(options_.sample_fraction > 0.0) || options_.sample_fraction > 1.0) {
+    throw std::invalid_argument(
+        "BaggedTrees: sample_fraction must be in (0, 1]");
+  }
+}
+
+void BaggedTrees::fit(const linalg::Matrix& x, std::span<const double> y) {
+  check_fit_args(x, y);
+  trees_.clear();
+  num_inputs_ = x.cols();
+  util::Rng rng(options_.seed);
+  const std::size_t n = x.rows();
+  const auto sample_size = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(n) *
+                                  options_.sample_fraction));
+  for (std::size_t t = 0; t < options_.num_trees; ++t) {
+    // Bootstrap: sample rows with replacement.
+    std::vector<std::size_t> rows(sample_size);
+    for (auto& row : rows) {
+      row = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    }
+    const linalg::Matrix x_boot = x.select_rows(rows);
+    std::vector<double> y_boot(sample_size);
+    for (std::size_t i = 0; i < sample_size; ++i) y_boot[i] = y[rows[i]];
+
+    RepTreeOptions tree_options = options_.tree;
+    tree_options.seed = rng();  // independent grow/prune shuffles per tree
+    auto tree = std::make_unique<RepTree>(tree_options);
+    tree->fit(x_boot, y_boot);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double BaggedTrees::predict_row(std::span<const double> row) const {
+  check_predict_args(row);
+  double sum = 0.0;
+  for (const auto& tree : trees_) sum += tree->predict_row(row);
+  return sum / static_cast<double>(trees_.size());
+}
+
+BaggedTrees::Prediction BaggedTrees::predict_with_uncertainty(
+    std::span<const double> row) const {
+  check_predict_args(row);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const auto& tree : trees_) {
+    const double value = tree->predict_row(row);
+    sum += value;
+    sum_sq += value * value;
+  }
+  const auto n = static_cast<double>(trees_.size());
+  Prediction prediction;
+  prediction.mean = sum / n;
+  const double variance = sum_sq / n - prediction.mean * prediction.mean;
+  prediction.stddev = variance > 0.0 ? std::sqrt(variance) : 0.0;
+  return prediction;
+}
+
+void BaggedTrees::save(util::BinaryWriter& writer) const {
+  if (trees_.empty()) throw std::logic_error("BaggedTrees::save before fit");
+  writer.write_u64(num_inputs_);
+  writer.write_u64(trees_.size());
+  for (const auto& tree : trees_) tree->save(writer);
+}
+
+std::unique_ptr<BaggedTrees> BaggedTrees::load(util::BinaryReader& reader) {
+  auto model = std::make_unique<BaggedTrees>();
+  model->num_inputs_ = reader.read_u64();
+  const std::uint64_t count = reader.read_u64();
+  if (count == 0) throw std::runtime_error("BaggedTrees::load: empty ensemble");
+  for (std::uint64_t t = 0; t < count; ++t) {
+    model->trees_.push_back(RepTree::load(reader));
+  }
+  return model;
+}
+
+}  // namespace f2pm::ml

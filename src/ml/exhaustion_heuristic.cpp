@@ -1,0 +1,97 @@
+#include "ml/exhaustion_heuristic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "data/aggregation.hpp"
+
+namespace f2pm::ml {
+
+namespace {
+
+constexpr std::size_t level_col(data::FeatureId id) {
+  return static_cast<std::size_t>(id);
+}
+constexpr std::size_t slope_col(data::FeatureId id) {
+  return data::kFeatureCount + static_cast<std::size_t>(id);
+}
+constexpr std::size_t kIntergenCol = data::kInputCount - 2;
+
+}  // namespace
+
+ExhaustionHeuristic::ExhaustionHeuristic(ExhaustionHeuristicOptions options)
+    : options_(options) {
+  if (!(options_.min_rate_kb_per_s > 0.0)) {
+    throw std::invalid_argument(
+        "ExhaustionHeuristic: min_rate_kb_per_s must be > 0");
+  }
+}
+
+std::size_t ExhaustionHeuristic::num_inputs() const {
+  return data::kInputCount;
+}
+
+double ExhaustionHeuristic::raw_estimate(std::span<const double> row) const {
+  // Consumable pool: free RAM + reclaimable cache/buffers + free swap.
+  const double pool = row[level_col(data::FeatureId::kMemFree)] +
+                      row[level_col(data::FeatureId::kMemCached)] +
+                      row[level_col(data::FeatureId::kMemBuffers)] +
+                      row[level_col(data::FeatureId::kSwapFree)];
+  // Consumption rate: Eq. (1) slopes are KiB per sample; the
+  // inter-generation time converts to KiB per second. Memory growth and
+  // swap growth are the same leak seen before/after RAM exhaustion, so the
+  // larger of the two is the live consumption signal.
+  const double intergen = std::max(row[kIntergenCol], 1e-3);
+  const double mem_rate =
+      row[slope_col(data::FeatureId::kMemUsed)] / intergen;
+  const double swap_rate =
+      row[slope_col(data::FeatureId::kSwapUsed)] / intergen;
+  const double rate = std::max({mem_rate, swap_rate,
+                                options_.min_rate_kb_per_s});
+  return std::min(pool / rate, options_.max_prediction_seconds);
+}
+
+void ExhaustionHeuristic::fit(const linalg::Matrix& x,
+                              std::span<const double> y) {
+  check_fit_args(x, y);
+  if (x.cols() != data::kInputCount) {
+    throw std::invalid_argument(
+        "ExhaustionHeuristic: needs the full input layout (levels + slopes "
+        "+ intergen)");
+  }
+  // Least-squares scale: min_a Σ (a·t_i - y_i)² -> a = Σ t·y / Σ t².
+  double ty = 0.0;
+  double tt = 0.0;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double t = raw_estimate(x.row(r));
+    ty += t * y[r];
+    tt += t * t;
+  }
+  scale_ = tt > 0.0 ? ty / tt : 1.0;
+  fitted_ = true;
+}
+
+double ExhaustionHeuristic::predict_row(std::span<const double> row) const {
+  check_predict_args(row);
+  return std::max(scale_ * raw_estimate(row), 0.0);
+}
+
+void ExhaustionHeuristic::save(util::BinaryWriter& writer) const {
+  if (!fitted_) throw std::logic_error("ExhaustionHeuristic::save before fit");
+  writer.write_double(options_.min_rate_kb_per_s);
+  writer.write_double(options_.max_prediction_seconds);
+  writer.write_double(scale_);
+}
+
+std::unique_ptr<ExhaustionHeuristic> ExhaustionHeuristic::load(
+    util::BinaryReader& reader) {
+  ExhaustionHeuristicOptions options;
+  options.min_rate_kb_per_s = reader.read_double();
+  options.max_prediction_seconds = reader.read_double();
+  auto model = std::make_unique<ExhaustionHeuristic>(options);
+  model->scale_ = reader.read_double();
+  model->fitted_ = true;
+  return model;
+}
+
+}  // namespace f2pm::ml

@@ -1,0 +1,54 @@
+// The non-ML baseline every practitioner tries first: remaining time to
+// failure = remaining consumable memory / current consumption rate.
+//
+// It reads the standard 30-column input layout (levels + Eq. 1 slopes +
+// inter-generation metrics): the consumable pool is free + reclaimable
+// cache/buffers + free swap, the rate comes from the mem/swap slopes
+// converted from per-sample to per-second via the inter-generation time.
+// fit() calibrates a single multiplicative constant by least squares on
+// the training data (the raw estimate is systematically biased because
+// the leak rate is not constant over a run).
+//
+// Its place in the study: bench/baseline_comparison shows what the ML
+// models buy over this heuristic.
+#pragma once
+
+#include "ml/model.hpp"
+
+namespace f2pm::ml {
+
+/// Heuristic knobs.
+struct ExhaustionHeuristicOptions {
+  /// Floor on the per-second consumption rate (KiB/s) to avoid division
+  /// blow-ups when the system is momentarily idle.
+  double min_rate_kb_per_s = 1.0;
+  /// Predictions are clamped to this ceiling (seconds).
+  double max_prediction_seconds = 1e6;
+};
+
+/// Calibrated time-to-exhaustion estimator over the standard input layout.
+class ExhaustionHeuristic final : public Regressor {
+ public:
+  explicit ExhaustionHeuristic(ExhaustionHeuristicOptions options = {});
+
+  /// Calibrates the scale factor; x must be the full 30-column layout.
+  void fit(const linalg::Matrix& x, std::span<const double> y) override;
+  [[nodiscard]] double predict_row(std::span<const double> row) const override;
+  [[nodiscard]] std::string name() const override { return "heuristic"; }
+  [[nodiscard]] bool is_fitted() const override { return fitted_; }
+  [[nodiscard]] std::size_t num_inputs() const override;
+  void save(util::BinaryWriter& writer) const override;
+  static std::unique_ptr<ExhaustionHeuristic> load(util::BinaryReader& reader);
+
+  /// The uncalibrated time-to-exhaustion estimate (seconds) for one row.
+  [[nodiscard]] double raw_estimate(std::span<const double> row) const;
+
+  [[nodiscard]] double scale() const { return scale_; }
+
+ private:
+  ExhaustionHeuristicOptions options_;
+  double scale_ = 1.0;
+  bool fitted_ = false;
+};
+
+}  // namespace f2pm::ml

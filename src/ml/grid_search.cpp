@@ -1,0 +1,61 @@
+#include "ml/grid_search.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ml/registry.hpp"
+
+namespace f2pm::ml {
+
+std::vector<util::Config> enumerate_grid(const ParameterGrid& grid,
+                                         const util::Config& base) {
+  std::vector<util::Config> configs{base};
+  for (const auto& [key, values] : grid) {
+    if (values.empty()) {
+      throw std::invalid_argument("grid_search: empty value list for key " +
+                                  key);
+    }
+    std::vector<util::Config> expanded;
+    expanded.reserve(configs.size() * values.size());
+    for (const auto& config : configs) {
+      for (const auto& value : values) {
+        util::Config next = config;
+        next.set(key, value);
+        expanded.push_back(std::move(next));
+      }
+    }
+    configs = std::move(expanded);
+  }
+  return configs;
+}
+
+GridSearchResult grid_search(const std::string& name,
+                             const ParameterGrid& grid,
+                             const linalg::Matrix& x,
+                             std::span<const double> y, std::size_t folds,
+                             util::Rng& rng, double soft_threshold,
+                             const util::Config& base) {
+  GridSearchResult result;
+  // A fixed fold assignment across grid points makes the comparison fair:
+  // derive one child RNG and reuse its seed for every point.
+  const std::uint64_t fold_seed = rng();
+  for (const auto& params : enumerate_grid(grid, base)) {
+    util::Rng fold_rng(fold_seed);
+    const CrossValidationResult cv = k_fold_cross_validation(
+        [&name, &params] { return make_model(name, params); }, x, y, folds,
+        fold_rng, soft_threshold);
+    GridPoint point;
+    point.params = params;
+    point.mean_mae = cv.mean_mae;
+    point.std_mae = cv.std_mae;
+    point.mean_training_seconds = cv.mean_training_seconds;
+    result.points.push_back(std::move(point));
+  }
+  std::stable_sort(result.points.begin(), result.points.end(),
+                   [](const GridPoint& a, const GridPoint& b) {
+                     return a.mean_mae < b.mean_mae;
+                   });
+  return result;
+}
+
+}  // namespace f2pm::ml

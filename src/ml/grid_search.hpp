@@ -1,0 +1,50 @@
+// Hyperparameter grid search with k-fold cross-validation. F2PM's
+// model-generation phase runs each method at fixed hyperparameters; this
+// utility lets a user tune a method before committing it to the pipeline
+// (kernel widths, tree depths, λ grids, ...), selecting by CV mean MAE.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "ml/cross_validation.hpp"
+#include "util/config.hpp"
+
+namespace f2pm::ml {
+
+/// A parameter grid: Config key -> candidate values (as Config strings).
+using ParameterGrid = std::map<std::string, std::vector<std::string>>;
+
+/// One evaluated grid point.
+struct GridPoint {
+  util::Config params;
+  double mean_mae = 0.0;
+  double std_mae = 0.0;
+  double mean_training_seconds = 0.0;
+};
+
+/// Grid-search result: every point, best first.
+struct GridSearchResult {
+  std::vector<GridPoint> points;  ///< Sorted ascending by mean_mae.
+
+  [[nodiscard]] const GridPoint& best() const { return points.front(); }
+};
+
+/// Exhaustively evaluates the cartesian product of `grid` for model
+/// `name` with k-fold CV. `base` supplies values for keys not in the
+/// grid. Throws std::invalid_argument on an empty grid dimension.
+GridSearchResult grid_search(const std::string& name,
+                             const ParameterGrid& grid,
+                             const linalg::Matrix& x,
+                             std::span<const double> y, std::size_t folds,
+                             util::Rng& rng, double soft_threshold,
+                             const util::Config& base = {});
+
+/// Enumerates the cartesian product of a grid as Config overlays (exposed
+/// for tests and for custom search loops).
+std::vector<util::Config> enumerate_grid(const ParameterGrid& grid,
+                                         const util::Config& base);
+
+}  // namespace f2pm::ml

@@ -1,0 +1,108 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace f2pm::ml {
+
+KnnRegressor::KnnRegressor(KnnOptions options) : options_(options) {
+  if (options_.k == 0) {
+    throw std::invalid_argument("KnnRegressor: k must be > 0");
+  }
+}
+
+void KnnRegressor::fit(const linalg::Matrix& x, std::span<const double> y) {
+  check_fit_args(x, y);
+  num_inputs_ = x.cols();
+  input_scaler_ = data::Standardizer::fit(x);
+  train_x_ = input_scaler_.transform(x);
+  train_y_.assign(y.begin(), y.end());
+  fitted_ = true;
+}
+
+double KnnRegressor::predict_row(std::span<const double> row) const {
+  check_predict_args(row);
+  std::vector<double> scaled(row.size());
+  const auto& means = input_scaler_.means();
+  const auto& scales = input_scaler_.scales();
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    scaled[c] = (row[c] - means[c]) / scales[c];
+  }
+  const std::size_t n = train_x_.rows();
+  const std::size_t k = std::min(options_.k, n);
+  // Partial selection of the k smallest squared distances.
+  std::vector<std::pair<double, std::size_t>> dist(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto train_row = train_x_.row(i);
+    double d = 0.0;
+    for (std::size_t c = 0; c < scaled.size(); ++c) {
+      const double diff = train_row[c] - scaled[c];
+      d += diff * diff;
+    }
+    dist[i] = {d, i};
+  }
+  std::nth_element(dist.begin(), dist.begin() + (k - 1), dist.end());
+  double weight_sum = 0.0;
+  double value = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto [d, idx] = dist[i];
+    const double w =
+        options_.distance_weighted ? 1.0 / (std::sqrt(d) + 1e-9) : 1.0;
+    weight_sum += w;
+    value += w * train_y_[idx];
+  }
+  return value / weight_sum;
+}
+
+void KnnRegressor::save(util::BinaryWriter& writer) const {
+  if (!fitted_) throw std::logic_error("KnnRegressor::save before fit");
+  writer.write_u64(options_.k);
+  writer.write_bool(options_.distance_weighted);
+  writer.write_u64(num_inputs_);
+  writer.write_u64(train_x_.rows());
+  for (std::size_t r = 0; r < train_x_.rows(); ++r) {
+    const auto row = train_x_.row(r);
+    writer.write_doubles(std::vector<double>(row.begin(), row.end()));
+  }
+  writer.write_doubles(train_y_);
+  writer.write_doubles(input_scaler_.means());
+  writer.write_doubles(input_scaler_.scales());
+}
+
+std::unique_ptr<KnnRegressor> KnnRegressor::load(util::BinaryReader& reader) {
+  KnnOptions options;
+  options.k = reader.read_u64();
+  options.distance_weighted = reader.read_bool();
+  auto model = std::make_unique<KnnRegressor>(options);
+  model->num_inputs_ = reader.read_u64();
+  const std::uint64_t rows = reader.read_u64();
+  model->train_x_ = linalg::Matrix(rows, model->num_inputs_);
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    const auto row = reader.read_doubles();
+    if (row.size() != model->num_inputs_) {
+      throw std::runtime_error("KnnRegressor::load: bad row width");
+    }
+    std::copy(row.begin(), row.end(), model->train_x_.row(r).begin());
+  }
+  model->train_y_ = reader.read_doubles();
+  if (model->train_y_.size() != rows) {
+    throw std::runtime_error("KnnRegressor::load: inconsistent archive");
+  }
+  const auto means = reader.read_doubles();
+  const auto scales = reader.read_doubles();
+  if (means.size() != model->num_inputs_ ||
+      scales.size() != model->num_inputs_) {
+    throw std::runtime_error("KnnRegressor::load: bad scaler data");
+  }
+  linalg::Matrix synth(2, model->num_inputs_);
+  for (std::size_t c = 0; c < model->num_inputs_; ++c) {
+    synth(0, c) = means[c] - scales[c];
+    synth(1, c) = means[c] + scales[c];
+  }
+  model->input_scaler_ = data::Standardizer::fit(synth);
+  model->fitted_ = true;
+  return model;
+}
+
+}  // namespace f2pm::ml

@@ -1,0 +1,45 @@
+// k-nearest-neighbours regression. Not among the paper's six methods; it
+// is included as the kind of user-added method §III-D explicitly allows
+// ("the set can be customized by the user"), and as a hyperparameter-free
+// sanity baseline in the ablation benches.
+#pragma once
+
+#include <vector>
+
+#include "data/standardizer.hpp"
+#include "ml/model.hpp"
+
+namespace f2pm::ml {
+
+/// KNN hyperparameters.
+struct KnnOptions {
+  std::size_t k = 5;
+  /// Weight neighbours by inverse distance instead of uniformly.
+  bool distance_weighted = true;
+};
+
+/// Brute-force KNN regressor over standardized inputs.
+class KnnRegressor final : public Regressor {
+ public:
+  explicit KnnRegressor(KnnOptions options = {});
+
+  void fit(const linalg::Matrix& x, std::span<const double> y) override;
+  [[nodiscard]] double predict_row(std::span<const double> row) const override;
+  [[nodiscard]] std::string name() const override { return "knn"; }
+  [[nodiscard]] bool is_fitted() const override { return fitted_; }
+  [[nodiscard]] std::size_t num_inputs() const override { return num_inputs_; }
+  void save(util::BinaryWriter& writer) const override;
+  static std::unique_ptr<KnnRegressor> load(util::BinaryReader& reader);
+
+  [[nodiscard]] const KnnOptions& options() const { return options_; }
+
+ private:
+  KnnOptions options_;
+  linalg::Matrix train_x_;  ///< Standardized.
+  std::vector<double> train_y_;
+  data::Standardizer input_scaler_;
+  std::size_t num_inputs_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace f2pm::ml

@@ -1,0 +1,64 @@
+#include "ml/linear_regression.hpp"
+
+#include <stdexcept>
+
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/qr.hpp"
+
+namespace f2pm::ml {
+
+void LinearRegression::fit(const linalg::Matrix& x,
+                           std::span<const double> y) {
+  check_fit_args(x, y);
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  // Augment with the intercept column.
+  linalg::Matrix design(n, p + 1);
+  for (std::size_t r = 0; r < n; ++r) {
+    auto dst = design.row(r);
+    const auto src = x.row(r);
+    std::copy(src.begin(), src.end(), dst.begin());
+    dst[p] = 1.0;
+  }
+  std::vector<double> beta;
+  if (n >= p + 1) {
+    try {
+      beta = linalg::least_squares(design, y);
+    } catch (const std::runtime_error&) {
+      // Rank-deficient design (e.g. a constant or duplicated feature):
+      // fall back to a ridge-stabilized normal-equation solve.
+      beta.clear();
+    }
+  }
+  if (beta.empty()) {
+    linalg::Matrix gram = linalg::gram(design);
+    const auto xty = linalg::gemv_transposed(design, y);
+    beta = linalg::solve_spd(gram, xty, /*jitter=*/1e-8);
+  }
+  coefficients_.assign(beta.begin(), beta.begin() + p);
+  intercept_ = beta[p];
+  fitted_ = true;
+}
+
+double LinearRegression::predict_row(std::span<const double> row) const {
+  check_predict_args(row);
+  return linalg::dot(row, coefficients_) + intercept_;
+}
+
+void LinearRegression::save(util::BinaryWriter& writer) const {
+  if (!fitted_) throw std::logic_error("LinearRegression::save before fit");
+  writer.write_doubles(coefficients_);
+  writer.write_double(intercept_);
+}
+
+std::unique_ptr<LinearRegression> LinearRegression::load(
+    util::BinaryReader& reader) {
+  auto model = std::make_unique<LinearRegression>();
+  model->coefficients_ = reader.read_doubles();
+  model->intercept_ = reader.read_double();
+  model->fitted_ = true;
+  return model;
+}
+
+}  // namespace f2pm::ml

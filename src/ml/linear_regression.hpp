@@ -1,0 +1,38 @@
+// Ordinary least-squares Linear Regression (paper §III-D, Eq. 3), solved
+// via Householder QR on the column-augmented design matrix [X | 1].
+#pragma once
+
+#include <vector>
+
+#include "ml/model.hpp"
+
+namespace f2pm::ml {
+
+/// y ≈ x·β + intercept, fitted by least squares.
+class LinearRegression final : public Regressor {
+ public:
+  LinearRegression() = default;
+
+  void fit(const linalg::Matrix& x, std::span<const double> y) override;
+  [[nodiscard]] double predict_row(std::span<const double> row) const override;
+  [[nodiscard]] std::string name() const override { return "linear"; }
+  [[nodiscard]] bool is_fitted() const override { return fitted_; }
+  [[nodiscard]] std::size_t num_inputs() const override {
+    return coefficients_.size();
+  }
+  void save(util::BinaryWriter& writer) const override;
+  static std::unique_ptr<LinearRegression> load(util::BinaryReader& reader);
+
+  /// Fitted slope per input column.
+  [[nodiscard]] const std::vector<double>& coefficients() const {
+    return coefficients_;
+  }
+  [[nodiscard]] double intercept() const { return intercept_; }
+
+ private:
+  std::vector<double> coefficients_;
+  double intercept_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace f2pm::ml

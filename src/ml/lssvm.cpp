@@ -1,0 +1,119 @@
+#include "ml/lssvm.hpp"
+
+#include <stdexcept>
+
+#include "linalg/solve.hpp"
+
+namespace f2pm::ml {
+
+LsSvm::LsSvm(LsSvmOptions options) : options_(options) {
+  if (options_.gamma <= 0.0) {
+    throw std::invalid_argument("LsSvm: gamma must be > 0");
+  }
+}
+
+void LsSvm::fit(const linalg::Matrix& x_raw, std::span<const double> y_raw) {
+  check_fit_args(x_raw, y_raw);
+  num_inputs_ = x_raw.cols();
+  input_scaler_ = data::Standardizer::fit(x_raw);
+  target_scaler_ = data::TargetScaler::fit(
+      std::vector<double>(y_raw.begin(), y_raw.end()));
+  support_ = input_scaler_.transform(x_raw);
+  const std::vector<double> y = target_scaler_.transform(
+      std::vector<double>(y_raw.begin(), y_raw.end()));
+
+  fitted_kernel_ = options_.kernel;
+  fitted_kernel_.gamma = resolve_gamma(options_.kernel, support_.cols());
+
+  const std::size_t n = support_.rows();
+  const linalg::Matrix k = kernel_matrix(fitted_kernel_, support_);
+  // Bordered system: row/col 0 is the bias, the rest is K + I/γ.
+  linalg::Matrix system(n + 1, n + 1);
+  std::vector<double> rhs(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    system(0, i + 1) = 1.0;
+    system(i + 1, 0) = 1.0;
+    rhs[i + 1] = y[i];
+    for (std::size_t j = 0; j < n; ++j) {
+      system(i + 1, j + 1) = k(i, j);
+    }
+    system(i + 1, i + 1) += 1.0 / options_.gamma;
+  }
+  const std::vector<double> solution = linalg::solve(system, rhs);
+  bias_ = solution[0];
+  alphas_.assign(solution.begin() + 1, solution.end());
+  fitted_ = true;
+}
+
+double LsSvm::predict_row(std::span<const double> row) const {
+  check_predict_args(row);
+  std::vector<double> scaled(row.size());
+  const auto& means = input_scaler_.means();
+  const auto& scales = input_scaler_.scales();
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    scaled[c] = (row[c] - means[c]) / scales[c];
+  }
+  double value = bias_;
+  for (std::size_t s = 0; s < support_.rows(); ++s) {
+    value +=
+        alphas_[s] * kernel_value(fitted_kernel_, support_.row(s), scaled);
+  }
+  return target_scaler_.inverse(value);
+}
+
+void LsSvm::save(util::BinaryWriter& writer) const {
+  if (!fitted_) throw std::logic_error("LsSvm::save before fit");
+  writer.write_u64(num_inputs_);
+  fitted_kernel_.save(writer);
+  writer.write_double(options_.gamma);
+  writer.write_double(bias_);
+  writer.write_doubles(alphas_);
+  writer.write_u64(support_.rows());
+  for (std::size_t r = 0; r < support_.rows(); ++r) {
+    const auto row = support_.row(r);
+    writer.write_doubles(std::vector<double>(row.begin(), row.end()));
+  }
+  writer.write_doubles(input_scaler_.means());
+  writer.write_doubles(input_scaler_.scales());
+  writer.write_double(target_scaler_.mean);
+  writer.write_double(target_scaler_.scale);
+}
+
+std::unique_ptr<LsSvm> LsSvm::load(util::BinaryReader& reader) {
+  auto model = std::make_unique<LsSvm>();
+  model->num_inputs_ = reader.read_u64();
+  model->fitted_kernel_ = KernelParams::load(reader);
+  model->options_.gamma = reader.read_double();
+  model->bias_ = reader.read_double();
+  model->alphas_ = reader.read_doubles();
+  const std::uint64_t sv_count = reader.read_u64();
+  if (sv_count != model->alphas_.size()) {
+    throw std::runtime_error("LsSvm::load: inconsistent archive");
+  }
+  model->support_ = linalg::Matrix(sv_count, model->num_inputs_);
+  for (std::uint64_t r = 0; r < sv_count; ++r) {
+    const auto row = reader.read_doubles();
+    if (row.size() != model->num_inputs_) {
+      throw std::runtime_error("LsSvm::load: bad support vector width");
+    }
+    std::copy(row.begin(), row.end(), model->support_.row(r).begin());
+  }
+  const auto means = reader.read_doubles();
+  const auto scales = reader.read_doubles();
+  if (means.size() != model->num_inputs_ ||
+      scales.size() != model->num_inputs_) {
+    throw std::runtime_error("LsSvm::load: bad scaler data");
+  }
+  linalg::Matrix synth(2, model->num_inputs_);
+  for (std::size_t c = 0; c < model->num_inputs_; ++c) {
+    synth(0, c) = means[c] - scales[c];
+    synth(1, c) = means[c] + scales[c];
+  }
+  model->input_scaler_ = data::Standardizer::fit(synth);
+  model->target_scaler_.mean = reader.read_double();
+  model->target_scaler_.scale = reader.read_double();
+  model->fitted_ = true;
+  return model;
+}
+
+}  // namespace f2pm::ml

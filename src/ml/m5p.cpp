@@ -1,0 +1,330 @@
+#include "ml/m5p.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/qr.hpp"
+
+namespace f2pm::ml {
+
+M5P::M5P(M5POptions options) : options_(options) {
+  if (options_.min_instances < 2) {
+    throw std::invalid_argument("M5P: min_instances must be >= 2");
+  }
+  if (options_.smoothing_k < 0.0) {
+    throw std::invalid_argument("M5P: smoothing_k must be >= 0");
+  }
+}
+
+std::size_t M5P::build(const linalg::Matrix& x, std::span<const double> y,
+                       const std::vector<std::size_t>& rows, double root_sd) {
+  const Moments moments = compute_moments(y, rows);
+  Node node;
+  node.count = moments.count;
+  // Until pruning fits a proper model, the node predicts its mean.
+  node.lm_coeffs.assign(x.cols(), 0.0);
+  node.lm_intercept = moments.mean();
+
+  BestSplit split;
+  // The M5 stopping rule: few instances, or target spread already small
+  // relative to the whole training set.
+  if (rows.size() >= 2 * options_.min_instances &&
+      moments.sd() >= options_.sd_fraction * root_sd) {
+    split = find_best_split(x, y, rows, options_.min_instances,
+                            SplitCriterion::kStdDevReduction);
+  }
+  const std::size_t node_id = nodes_.size();
+  nodes_.push_back(std::move(node));
+  node_rows_.push_back(rows);
+  if (!split.found) return node_id;
+
+  std::vector<std::size_t> left_rows;
+  std::vector<std::size_t> right_rows;
+  partition_rows(x, rows, split.feature, split.threshold, left_rows,
+                 right_rows);
+  const std::size_t left_id = build(x, y, left_rows, root_sd);
+  const std::size_t right_id = build(x, y, right_rows, root_sd);
+  nodes_[node_id].feature = split.feature;
+  nodes_[node_id].threshold = split.threshold;
+  nodes_[node_id].left = left_id;
+  nodes_[node_id].right = right_id;
+  return node_id;
+}
+
+void M5P::fit_linear_model(Node& node, const linalg::Matrix& x,
+                           std::span<const double> y,
+                           const std::vector<std::size_t>& rows,
+                           const std::vector<bool>& attrs) {
+  node.lm_coeffs.assign(x.cols(), 0.0);
+  std::vector<std::size_t> attr_idx;
+  for (std::size_t a = 0; a < attrs.size(); ++a) {
+    if (attrs[a]) attr_idx.push_back(a);
+  }
+  const Moments moments = compute_moments(y, rows);
+  node.lm_intercept = moments.mean();
+  if (attr_idx.empty() || rows.size() <= attr_idx.size() + 1) {
+    return;  // intercept-only model
+  }
+  // Least squares over the referenced attributes (+ intercept), with a
+  // ridge-stabilized normal-equation fallback for collinear subsets.
+  linalg::Matrix design(rows.size(), attr_idx.size() + 1);
+  std::vector<double> target(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    auto dst = design.row(i);
+    for (std::size_t j = 0; j < attr_idx.size(); ++j) {
+      dst[j] = x(rows[i], attr_idx[j]);
+    }
+    dst[attr_idx.size()] = 1.0;
+    target[i] = y[rows[i]];
+  }
+  std::vector<double> beta;
+  try {
+    beta = linalg::least_squares(design, target);
+  } catch (const std::runtime_error&) {
+    linalg::Matrix gram = linalg::gram(design);
+    const auto xty = linalg::gemv_transposed(design, target);
+    beta = linalg::solve_spd(gram, xty, /*jitter=*/1e-8);
+  }
+  for (std::size_t j = 0; j < attr_idx.size(); ++j) {
+    node.lm_coeffs[attr_idx[j]] = beta[j];
+  }
+  node.lm_intercept = beta[attr_idx.size()];
+}
+
+double M5P::node_predict(const Node& node, std::span<const double> row) const {
+  return linalg::dot(row, node.lm_coeffs) + node.lm_intercept;
+}
+
+namespace {
+
+/// Penalty-adjusted mean absolute error estimate, M5-style:
+/// MAE * (n + v) / (n - v), where v counts the model's parameters.
+double estimated_error(double mae, std::size_t n, std::size_t v,
+                       double max_factor) {
+  if (n == 0) return 0.0;
+  double factor = max_factor;
+  if (n > v) {
+    factor = std::min(
+        max_factor, (static_cast<double>(n) + static_cast<double>(v)) /
+                        (static_cast<double>(n) - static_cast<double>(v)));
+  }
+  return mae * factor;
+}
+
+}  // namespace
+
+double M5P::prune_subtree(std::size_t node_id, const linalg::Matrix& x,
+                          std::span<const double> y,
+                          const std::vector<std::size_t>& rows,
+                          std::vector<bool>& attrs_used) {
+  Node& node = nodes_[node_id];
+  if (node.is_leaf()) {
+    // Fit the leaf model over the attributes seen so far on the path's
+    // subtree (none for a pure leaf -> mean model).
+    std::vector<bool> none(x.cols(), false);
+    fit_linear_model(node, x, y, rows, none);
+    double mae = 0.0;
+    for (std::size_t r : rows) {
+      mae += std::abs(y[r] - node_predict(node, x.row(r)));
+    }
+    if (!rows.empty()) mae /= static_cast<double>(rows.size());
+    return estimated_error(mae, rows.size(), 1, options_.max_penalty_factor);
+  }
+
+  std::vector<std::size_t> left_rows;
+  std::vector<std::size_t> right_rows;
+  partition_rows(x, rows, node.feature, node.threshold, left_rows,
+                 right_rows);
+  std::vector<bool> subtree_attrs(x.cols(), false);
+  subtree_attrs[node.feature] = true;
+  const double left_err =
+      prune_subtree(node.left, x, y, left_rows, subtree_attrs);
+  const double right_err =
+      prune_subtree(node.right, x, y, right_rows, subtree_attrs);
+  const double subtree_err =
+      rows.empty()
+          ? 0.0
+          : (left_err * static_cast<double>(left_rows.size()) +
+             right_err * static_cast<double>(right_rows.size())) /
+                static_cast<double>(rows.size());
+
+  // Fit this node's model over the attributes its subtree references.
+  fit_linear_model(node, x, y, rows, subtree_attrs);
+  std::size_t v = 1;
+  for (double c : node.lm_coeffs) v += c != 0.0 ? 1 : 0;
+  double node_mae = 0.0;
+  for (std::size_t r : rows) {
+    node_mae += std::abs(y[r] - node_predict(node, x.row(r)));
+  }
+  if (!rows.empty()) node_mae /= static_cast<double>(rows.size());
+  const double node_err =
+      estimated_error(node_mae, rows.size(), v, options_.max_penalty_factor);
+
+  for (std::size_t a = 0; a < subtree_attrs.size(); ++a) {
+    if (subtree_attrs[a]) attrs_used[a] = true;
+  }
+  if (options_.prune && node_err <= subtree_err) {
+    node.left = kNoNode;
+    node.right = kNoNode;
+    return node_err;
+  }
+  return subtree_err;
+}
+
+void M5P::fit(const linalg::Matrix& x, std::span<const double> y) {
+  check_fit_args(x, y);
+  nodes_.clear();
+  node_rows_.clear();
+  num_inputs_ = x.cols();
+
+  std::vector<std::size_t> all_rows(x.rows());
+  for (std::size_t i = 0; i < all_rows.size(); ++i) all_rows[i] = i;
+  const double root_sd = compute_moments(y, all_rows).sd();
+  root_ = build(x, y, all_rows, root_sd);
+  std::vector<bool> attrs_used(x.cols(), false);
+  prune_subtree(root_, x, y, all_rows, attrs_used);
+  node_rows_.clear();
+  fitted_ = true;
+}
+
+double M5P::predict_row(std::span<const double> row) const {
+  check_predict_args(row);
+  // Descend, recording the path for smoothing.
+  std::vector<std::size_t> path;
+  std::size_t node_id = root_;
+  path.push_back(node_id);
+  while (!nodes_[node_id].is_leaf()) {
+    const Node& node = nodes_[node_id];
+    node_id = row[node.feature] <= node.threshold ? node.left : node.right;
+    path.push_back(node_id);
+  }
+  double prediction = node_predict(nodes_[node_id], row);
+  if (!options_.smoothing) return prediction;
+  // Smooth back up: p' = (n·p + k·q) / (n + k), n = rows at the child we
+  // came from, q = the parent model's prediction.
+  for (std::size_t i = path.size() - 1; i-- > 0;) {
+    const Node& parent = nodes_[path[i]];
+    const Node& child = nodes_[path[i + 1]];
+    const double n = static_cast<double>(child.count);
+    const double q = node_predict(parent, row);
+    prediction = (n * prediction + options_.smoothing_k * q) /
+                 (n + options_.smoothing_k);
+  }
+  return prediction;
+}
+
+std::size_t M5P::num_leaves() const {
+  if (root_ == kNoNode) return 0;
+  std::size_t count = 0;
+  std::vector<std::size_t> stack{root_};
+  while (!stack.empty()) {
+    const std::size_t id = stack.back();
+    stack.pop_back();
+    if (nodes_[id].is_leaf()) {
+      ++count;
+    } else {
+      stack.push_back(nodes_[id].left);
+      stack.push_back(nodes_[id].right);
+    }
+  }
+  return count;
+}
+
+void M5P::save(util::BinaryWriter& writer) const {
+  if (!fitted_) throw std::logic_error("M5P::save before fit");
+  writer.write_u64(num_inputs_);
+  writer.write_bool(options_.smoothing);
+  writer.write_double(options_.smoothing_k);
+  // Preorder emit of reachable nodes with renumbered links (mirrors
+  // RepTree::save; pruned nodes are dropped).
+  std::vector<std::uint64_t> features;
+  std::vector<double> thresholds;
+  std::vector<std::uint64_t> counts;
+  std::vector<double> intercepts;
+  std::vector<std::uint64_t> lefts;
+  std::vector<std::uint64_t> rights;
+  std::vector<double> coeff_blob;
+  struct Frame {
+    std::size_t node;
+    std::size_t parent_slot;
+    bool is_left;
+  };
+  std::vector<Frame> stack{{root_, kNoNode, false}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[frame.node];
+    const std::size_t new_id = features.size();
+    if (frame.parent_slot != kNoNode) {
+      (frame.is_left ? lefts : rights)[frame.parent_slot] = new_id;
+    }
+    features.push_back(node.feature);
+    thresholds.push_back(node.threshold);
+    counts.push_back(node.count);
+    intercepts.push_back(node.lm_intercept);
+    coeff_blob.insert(coeff_blob.end(), node.lm_coeffs.begin(),
+                      node.lm_coeffs.end());
+    lefts.push_back(kNoNode);
+    rights.push_back(kNoNode);
+    if (!node.is_leaf()) {
+      stack.push_back({node.right, new_id, false});
+      stack.push_back({node.left, new_id, true});
+    }
+  }
+  writer.write_u64s(features);
+  writer.write_doubles(thresholds);
+  writer.write_u64s(counts);
+  writer.write_doubles(intercepts);
+  writer.write_u64s(lefts);
+  writer.write_u64s(rights);
+  writer.write_doubles(coeff_blob);
+}
+
+std::unique_ptr<M5P> M5P::load(util::BinaryReader& reader) {
+  M5POptions options;
+  auto model = std::make_unique<M5P>(options);
+  model->num_inputs_ = reader.read_u64();
+  model->options_.smoothing = reader.read_bool();
+  model->options_.smoothing_k = reader.read_double();
+  const auto features = reader.read_u64s();
+  const auto thresholds = reader.read_doubles();
+  const auto counts = reader.read_u64s();
+  const auto intercepts = reader.read_doubles();
+  const auto lefts = reader.read_u64s();
+  const auto rights = reader.read_u64s();
+  const auto coeff_blob = reader.read_doubles();
+  const std::size_t count = features.size();
+  const std::size_t width = model->num_inputs_;
+  if (thresholds.size() != count || counts.size() != count ||
+      intercepts.size() != count || lefts.size() != count ||
+      rights.size() != count || coeff_blob.size() != count * width ||
+      count == 0) {
+    throw std::runtime_error("M5P::load: inconsistent archive");
+  }
+  model->nodes_.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Node& node = model->nodes_[i];
+    node.feature = features[i];
+    node.threshold = thresholds[i];
+    node.count = counts[i];
+    node.lm_intercept = intercepts[i];
+    node.lm_coeffs.assign(coeff_blob.begin() + i * width,
+                          coeff_blob.begin() + (i + 1) * width);
+    node.left = lefts[i];
+    node.right = rights[i];
+    const bool left_leaf = node.left == kNoNode;
+    const bool right_leaf = node.right == kNoNode;
+    if (left_leaf != right_leaf ||
+        (!left_leaf && (node.left >= count || node.right >= count))) {
+      throw std::runtime_error("M5P::load: corrupt tree links");
+    }
+  }
+  model->root_ = 0;
+  model->fitted_ = true;
+  return model;
+}
+
+}  // namespace f2pm::ml

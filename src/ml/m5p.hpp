@@ -1,0 +1,90 @@
+// M5P model tree (paper §III-D): a decision tree with linear regression
+// functions at the nodes, after Wang & Witten's M5' as implemented in WEKA.
+//
+// Growing uses the standard-deviation-reduction (SDR) split criterion and
+// stops when a node's target spread falls below a fraction of the root's or
+// too few instances remain. Pruning is bottom-up: each inner node fits a
+// linear model over the attributes referenced by splits in its subtree, and
+// the subtree is replaced by that model when the model's penalty-adjusted
+// estimated error is no worse. Prediction smooths the leaf value with the
+// node models along the path back to the root:
+//   p' = (n·p + k·q) / (n + k)   (k = smoothing constant, default 15).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/model.hpp"
+#include "ml/tree_common.hpp"
+
+namespace f2pm::ml {
+
+/// M5P hyperparameters (WEKA defaults where applicable).
+struct M5POptions {
+  std::size_t min_instances = 4;      ///< WEKA -M 4.
+  double sd_fraction = 0.05;          ///< Stop when sd(node) < 5% sd(root).
+  bool prune = true;
+  bool smoothing = true;
+  double smoothing_k = 15.0;
+  /// Penalty factor numerator/denominator guard: with n <= v + 1 the
+  /// estimated error blows up; this caps the multiplier.
+  double max_penalty_factor = 10.0;
+};
+
+/// M5P regression model tree.
+class M5P final : public Regressor {
+ public:
+  explicit M5P(M5POptions options = {});
+
+  void fit(const linalg::Matrix& x, std::span<const double> y) override;
+  [[nodiscard]] double predict_row(std::span<const double> row) const override;
+  [[nodiscard]] std::string name() const override { return "m5p"; }
+  [[nodiscard]] bool is_fitted() const override { return fitted_; }
+  [[nodiscard]] std::size_t num_inputs() const override { return num_inputs_; }
+  void save(util::BinaryWriter& writer) const override;
+  static std::unique_ptr<M5P> load(util::BinaryReader& reader);
+
+  [[nodiscard]] const M5POptions& options() const { return options_; }
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_leaves() const;
+
+ private:
+  /// A node carries both the split (if internal) and its linear model,
+  /// which doubles as the leaf predictor and the smoothing source.
+  struct Node {
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    std::size_t left = kNoNode;
+    std::size_t right = kNoNode;
+    std::size_t count = 0;            ///< Training rows that reached it.
+    std::vector<double> lm_coeffs;    ///< Full input width; zeros = unused.
+    double lm_intercept = 0.0;
+
+    [[nodiscard]] bool is_leaf() const { return left == kNoNode; }
+  };
+
+  std::size_t build(const linalg::Matrix& x, std::span<const double> y,
+                    const std::vector<std::size_t>& rows, double root_sd);
+  /// Bottom-up pruning; returns {estimated abs error of the kept subtree,
+  /// attribute set referenced under the node}.
+  double prune_subtree(std::size_t node_id, const linalg::Matrix& x,
+                       std::span<const double> y,
+                       const std::vector<std::size_t>& rows,
+                       std::vector<bool>& attrs_used);
+  void fit_linear_model(Node& node, const linalg::Matrix& x,
+                        std::span<const double> y,
+                        const std::vector<std::size_t>& rows,
+                        const std::vector<bool>& attrs);
+  [[nodiscard]] double node_predict(const Node& node,
+                                    std::span<const double> row) const;
+
+  M5POptions options_;
+  std::vector<Node> nodes_;
+  /// Rows per node, kept only during fit (cleared before returning).
+  std::vector<std::vector<std::size_t>> node_rows_;
+  std::size_t root_ = kNoNode;
+  std::size_t num_inputs_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace f2pm::ml

@@ -1,0 +1,50 @@
+#include "ml/model.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "ml/registry.hpp"
+
+namespace f2pm::ml {
+
+std::vector<double> Regressor::predict(const linalg::Matrix& x) const {
+  std::vector<double> out;
+  out.reserve(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    out.push_back(predict_row(x.row(r)));
+  }
+  return out;
+}
+
+void Regressor::check_fit_args(const linalg::Matrix& x,
+                               std::span<const double> y) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    throw std::invalid_argument("Regressor::fit: empty training set");
+  }
+  if (x.rows() != y.size()) {
+    throw std::invalid_argument("Regressor::fit: x/y row count mismatch");
+  }
+}
+
+void Regressor::check_predict_args(std::span<const double> row) const {
+  if (!is_fitted()) {
+    throw std::logic_error("Regressor: predict before fit");
+  }
+  if (row.size() != num_inputs()) {
+    throw std::invalid_argument("Regressor: input width mismatch");
+  }
+}
+
+void save_model(const Regressor& model, std::ostream& out) {
+  util::BinaryWriter writer(out);
+  writer.write_string(model.name());
+  model.save(writer);
+}
+
+std::unique_ptr<Regressor> load_model(std::istream& in) {
+  util::BinaryReader reader(in);
+  const std::string tag = reader.read_string();
+  return load_model_body(tag, reader);
+}
+
+}  // namespace f2pm::ml

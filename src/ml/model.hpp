@@ -1,0 +1,63 @@
+// The regressor interface every F2PM prediction method implements
+// (paper §III-D). A model maps a vector of system-feature inputs to a
+// predicted Remaining Time To Failure in seconds.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "util/serialization.hpp"
+
+namespace f2pm::ml {
+
+/// Abstract RTTF regressor.
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Trains on a design matrix (one row per aggregated datapoint) and RTTF
+  /// targets. Throws std::invalid_argument on shape mismatch or an empty
+  /// training set. May be called again to retrain from scratch.
+  virtual void fit(const linalg::Matrix& x, std::span<const double> y) = 0;
+
+  /// Predicts one row. Requires is_fitted() and a row of the training
+  /// width.
+  [[nodiscard]] virtual double predict_row(
+      std::span<const double> row) const = 0;
+
+  /// Batch prediction; the default loops predict_row.
+  [[nodiscard]] virtual std::vector<double> predict(
+      const linalg::Matrix& x) const;
+
+  /// Short stable identifier ("linear", "reptree", ...). Used in reports
+  /// and as the serialization tag.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] virtual bool is_fitted() const = 0;
+
+  /// Number of input columns the fitted model expects.
+  [[nodiscard]] virtual std::size_t num_inputs() const = 0;
+
+  /// Serializes the fitted model. Throws std::logic_error when unfitted.
+  virtual void save(util::BinaryWriter& writer) const = 0;
+
+ protected:
+  /// Shared argument validation for fit() implementations.
+  static void check_fit_args(const linalg::Matrix& x,
+                             std::span<const double> y);
+  /// Shared argument validation for predict_row() implementations.
+  void check_predict_args(std::span<const double> row) const;
+};
+
+/// Writes `model` (with its name tag) to a stream.
+void save_model(const Regressor& model, std::ostream& out);
+
+/// Reads back any model written by save_model. Dispatches on the name tag;
+/// throws std::runtime_error for unknown tags or corrupt archives.
+std::unique_ptr<Regressor> load_model(std::istream& in);
+
+}  // namespace f2pm::ml

@@ -1,0 +1,150 @@
+#include "ml/registry.hpp"
+
+#include <stdexcept>
+
+#include "ml/ensemble.hpp"
+#include "ml/exhaustion_heuristic.hpp"
+#include "ml/knn.hpp"
+#include "ml/lasso.hpp"
+#include "ml/linear_regression.hpp"
+#include "ml/lssvm.hpp"
+#include "ml/m5p.hpp"
+#include "ml/reptree.hpp"
+#include "ml/ridge.hpp"
+#include "ml/svr.hpp"
+
+namespace f2pm::ml {
+
+std::vector<std::string> paper_model_names() {
+  return {"linear", "m5p", "reptree", "lasso", "svm", "svm2"};
+}
+
+std::vector<std::string> all_model_names() {
+  auto names = paper_model_names();
+  names.emplace_back("ridge");
+  names.emplace_back("knn");
+  names.emplace_back("bagging");
+  return names;
+}
+
+namespace {
+
+KernelParams kernel_from_config(const util::Config& params,
+                                const std::string& prefix) {
+  KernelParams kernel;
+  const std::string type = params.get_string(prefix + ".kernel", "rbf");
+  if (type == "rbf") {
+    kernel.type = KernelType::kRbf;
+  } else if (type == "linear") {
+    kernel.type = KernelType::kLinear;
+  } else if (type == "poly") {
+    kernel.type = KernelType::kPolynomial;
+  } else {
+    throw std::invalid_argument("unknown kernel type: " + type);
+  }
+  kernel.gamma = params.get_double(prefix + ".gamma", 0.01);
+  kernel.coef0 = params.get_double(prefix + ".coef0", 1.0);
+  kernel.degree = static_cast<int>(params.get_int(prefix + ".degree", 3));
+  return kernel;
+}
+
+}  // namespace
+
+std::unique_ptr<Regressor> make_model(const std::string& name,
+                                      const util::Config& params) {
+  if (name == "linear") {
+    return std::make_unique<LinearRegression>();
+  }
+  if (name == "ridge") {
+    return std::make_unique<RidgeRegression>(
+        params.get_double("ridge.lambda", 1.0));
+  }
+  if (name == "lasso") {
+    LassoOptions options;
+    options.lambda = params.get_double("lasso.lambda", 1.0);
+    options.max_iterations = static_cast<std::size_t>(
+        params.get_int("lasso.max_iterations", 1000));
+    options.tolerance = params.get_double("lasso.tolerance", 1e-7);
+    return std::make_unique<Lasso>(options);
+  }
+  if (name == "reptree") {
+    RepTreeOptions options;
+    options.min_instances_per_leaf = static_cast<std::size_t>(
+        params.get_int("reptree.min_instances", 2));
+    options.max_depth =
+        static_cast<std::size_t>(params.get_int("reptree.max_depth", 0));
+    options.num_folds =
+        static_cast<std::size_t>(params.get_int("reptree.num_folds", 3));
+    options.prune = params.get_bool("reptree.prune", true);
+    options.seed =
+        static_cast<std::uint64_t>(params.get_int("reptree.seed", 1));
+    return std::make_unique<RepTree>(options);
+  }
+  if (name == "m5p") {
+    M5POptions options;
+    options.min_instances =
+        static_cast<std::size_t>(params.get_int("m5p.min_instances", 4));
+    options.prune = params.get_bool("m5p.prune", true);
+    options.smoothing = params.get_bool("m5p.smoothing", true);
+    options.smoothing_k = params.get_double("m5p.smoothing_k", 15.0);
+    return std::make_unique<M5P>(options);
+  }
+  if (name == "svm") {
+    SvrOptions options;
+    options.kernel = kernel_from_config(params, "svm");
+    options.c = params.get_double("svm.c", 1.0);
+    options.epsilon = params.get_double("svm.epsilon", 0.01);
+    options.tolerance = params.get_double("svm.tolerance", 1e-3);
+    options.max_iterations = static_cast<std::size_t>(
+        params.get_int("svm.max_iterations", 2'000'000));
+    return std::make_unique<KernelSvr>(options);
+  }
+  if (name == "svm2") {
+    LsSvmOptions options;
+    options.kernel = kernel_from_config(params, "svm2");
+    options.gamma = params.get_double("svm2.gamma", 2.0);
+    return std::make_unique<LsSvm>(options);
+  }
+  if (name == "knn") {
+    KnnOptions options;
+    options.k = static_cast<std::size_t>(params.get_int("knn.k", 5));
+    options.distance_weighted =
+        params.get_bool("knn.distance_weighted", true);
+    return std::make_unique<KnnRegressor>(options);
+  }
+  if (name == "heuristic") {
+    return std::make_unique<ExhaustionHeuristic>();
+  }
+  if (name == "bagging") {
+    BaggedTreesOptions options;
+    options.num_trees =
+        static_cast<std::size_t>(params.get_int("bagging.num_trees", 10));
+    options.sample_fraction =
+        params.get_double("bagging.sample_fraction", 1.0);
+    options.seed =
+        static_cast<std::uint64_t>(params.get_int("bagging.seed", 1));
+    return std::make_unique<BaggedTrees>(options);
+  }
+  throw std::invalid_argument("make_model: unknown model name: " + name);
+}
+
+std::unique_ptr<Regressor> make_model(const std::string& name) {
+  return make_model(name, util::Config{});
+}
+
+std::unique_ptr<Regressor> load_model_body(const std::string& tag,
+                                           util::BinaryReader& reader) {
+  if (tag == "linear") return LinearRegression::load(reader);
+  if (tag == "ridge") return RidgeRegression::load(reader);
+  if (tag == "lasso") return Lasso::load(reader);
+  if (tag == "reptree") return RepTree::load(reader);
+  if (tag == "m5p") return M5P::load(reader);
+  if (tag == "svm") return KernelSvr::load(reader);
+  if (tag == "svm2") return LsSvm::load(reader);
+  if (tag == "knn") return KnnRegressor::load(reader);
+  if (tag == "bagging") return BaggedTrees::load(reader);
+  if (tag == "heuristic") return ExhaustionHeuristic::load(reader);
+  throw std::runtime_error("load_model: unknown model tag: " + tag);
+}
+
+}  // namespace f2pm::ml

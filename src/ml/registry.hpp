@@ -1,0 +1,38 @@
+// Model registry: name-based construction of every regressor in the suite
+// (the paper's six methods plus the local extensions), parameterized via
+// Config keys, plus the serialization dispatch used by load_model().
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/model.hpp"
+#include "util/config.hpp"
+#include "util/serialization.hpp"
+
+namespace f2pm::ml {
+
+/// Names of the paper's six methods, in the paper's presentation order:
+/// linear, m5p, reptree, lasso, svm, svm2.
+std::vector<std::string> paper_model_names();
+
+/// All registered model names (paper set + "ridge", "knn").
+std::vector<std::string> all_model_names();
+
+/// Constructs an unfitted model by name. Hyperparameters are read from
+/// `params` under "<name>." prefixes, e.g. "lasso.lambda", "svm.c",
+/// "reptree.max_depth", "knn.k". Throws std::invalid_argument for unknown
+/// names.
+std::unique_ptr<Regressor> make_model(const std::string& name,
+                                      const util::Config& params);
+
+/// Convenience overload with all-default hyperparameters.
+std::unique_ptr<Regressor> make_model(const std::string& name);
+
+/// Deserialization dispatch: reads the body written by `save(writer)` for
+/// the model whose name() is `tag`. Called by load_model().
+std::unique_ptr<Regressor> load_model_body(const std::string& tag,
+                                           util::BinaryReader& reader);
+
+}  // namespace f2pm::ml

@@ -1,0 +1,279 @@
+#include "ml/reptree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace f2pm::ml {
+
+RepTree::RepTree(RepTreeOptions options) : options_(options) {
+  if (options_.min_instances_per_leaf == 0) {
+    throw std::invalid_argument("RepTree: min_instances_per_leaf must be > 0");
+  }
+  if (options_.num_folds < 2) {
+    throw std::invalid_argument("RepTree: num_folds must be >= 2");
+  }
+}
+
+std::size_t RepTree::build(const linalg::Matrix& x, std::span<const double> y,
+                           const std::vector<std::size_t>& rows,
+                           std::size_t depth, double root_variance) {
+  const Moments moments = compute_moments(y, rows);
+  Node node;
+  node.value = moments.mean();
+  node.grow_count = static_cast<double>(moments.count);
+
+  const bool depth_ok =
+      options_.max_depth == 0 || depth < options_.max_depth;
+  const double variance =
+      moments.count == 0 ? 0.0
+                         : moments.sse() / static_cast<double>(moments.count);
+  const bool variance_ok =
+      variance > options_.min_variance_proportion * root_variance;
+  BestSplit split;
+  if (depth_ok && variance_ok) {
+    split = find_best_split(x, y, rows, options_.min_instances_per_leaf,
+                            SplitCriterion::kVarianceReduction);
+  }
+  const std::size_t node_id = nodes_.size();
+  nodes_.push_back(node);
+  if (!split.found) return node_id;
+
+  std::vector<std::size_t> left_rows;
+  std::vector<std::size_t> right_rows;
+  partition_rows(x, rows, split.feature, split.threshold, left_rows,
+                 right_rows);
+  // Children are built after the parent is stored, so fix up links by id.
+  const std::size_t left_id =
+      build(x, y, left_rows, depth + 1, root_variance);
+  const std::size_t right_id =
+      build(x, y, right_rows, depth + 1, root_variance);
+  nodes_[node_id].feature = split.feature;
+  nodes_[node_id].threshold = split.threshold;
+  nodes_[node_id].left = left_id;
+  nodes_[node_id].right = right_id;
+  return node_id;
+}
+
+double RepTree::prune_subtree(std::size_t node_id, const linalg::Matrix& x,
+                              std::span<const double> y,
+                              const std::vector<std::size_t>& prune_rows) {
+  Node& node = nodes_[node_id];
+  // SSE on the prune set if this node were a leaf predicting node.value.
+  double leaf_sse = 0.0;
+  for (std::size_t r : prune_rows) {
+    const double err = y[r] - node.value;
+    leaf_sse += err * err;
+  }
+  if (node.is_leaf()) return leaf_sse;
+
+  std::vector<std::size_t> left_rows;
+  std::vector<std::size_t> right_rows;
+  partition_rows(x, prune_rows, node.feature, node.threshold, left_rows,
+                 right_rows);
+  const double subtree_sse =
+      prune_subtree(node.left, x, y, left_rows) +
+      prune_subtree(node.right, x, y, right_rows);
+  if (leaf_sse <= subtree_sse) {
+    // Reduced-error pruning: the split does not pay for itself on unseen
+    // data; collapse. (Children stay in the node pool but are unreachable;
+    // serialization walks from the root so they are dropped on save.)
+    node.left = kNoNode;
+    node.right = kNoNode;
+    return leaf_sse;
+  }
+  return subtree_sse;
+}
+
+void RepTree::backfit(std::size_t node_id, const linalg::Matrix& x,
+                      std::span<const double> y,
+                      const std::vector<std::size_t>& rows) {
+  Node& node = nodes_[node_id];
+  // Re-estimate the node value from the full training data reaching it
+  // (grow + prune rows); this is WEKA's backfitting step.
+  if (!rows.empty()) {
+    const Moments moments = compute_moments(y, rows);
+    node.value = moments.mean();
+  }
+  if (node.is_leaf()) return;
+  std::vector<std::size_t> left_rows;
+  std::vector<std::size_t> right_rows;
+  partition_rows(x, rows, node.feature, node.threshold, left_rows, right_rows);
+  backfit(node.left, x, y, left_rows);
+  backfit(node.right, x, y, right_rows);
+}
+
+void RepTree::fit(const linalg::Matrix& x, std::span<const double> y) {
+  check_fit_args(x, y);
+  nodes_.clear();
+  root_ = kNoNode;
+  num_inputs_ = x.cols();
+
+  const std::size_t n = x.rows();
+  std::vector<std::size_t> grow_rows;
+  std::vector<std::size_t> prune_rows;
+  const bool can_prune = options_.prune && n >= 2 * options_.num_folds;
+  if (can_prune) {
+    util::Rng rng(options_.seed);
+    const auto perm = rng.permutation(n);
+    const std::size_t prune_count = n / options_.num_folds;
+    prune_rows.assign(perm.begin(), perm.begin() + prune_count);
+    grow_rows.assign(perm.begin() + prune_count, perm.end());
+    std::sort(grow_rows.begin(), grow_rows.end());
+    std::sort(prune_rows.begin(), prune_rows.end());
+  } else {
+    grow_rows.resize(n);
+    for (std::size_t i = 0; i < n; ++i) grow_rows[i] = i;
+  }
+
+  const Moments root_moments = compute_moments(y, grow_rows);
+  const double root_variance =
+      root_moments.count == 0
+          ? 0.0
+          : root_moments.sse() / static_cast<double>(root_moments.count);
+  root_ = build(x, y, grow_rows, 0, root_variance);
+  std::vector<std::size_t> all_rows(n);
+  for (std::size_t i = 0; i < n; ++i) all_rows[i] = i;
+  if (can_prune) {
+    prune_subtree(root_, x, y, prune_rows);
+    backfit(root_, x, y, all_rows);
+  }
+  importances_.assign(x.cols(), 0.0);
+  accumulate_importances(root_, x, y, all_rows);
+  double total = 0.0;
+  for (double v : importances_) total += v;
+  if (total > 0.0) {
+    for (double& v : importances_) v /= total;
+  }
+  fitted_ = true;
+}
+
+double RepTree::accumulate_importances(
+    std::size_t node_id, const linalg::Matrix& x, std::span<const double> y,
+    const std::vector<std::size_t>& rows) {
+  const Node& node = nodes_[node_id];
+  const double sse = compute_moments(y, rows).sse();
+  if (node.is_leaf()) return sse;
+  std::vector<std::size_t> left_rows;
+  std::vector<std::size_t> right_rows;
+  partition_rows(x, rows, node.feature, node.threshold, left_rows,
+                 right_rows);
+  const double child_sse =
+      accumulate_importances(node.left, x, y, left_rows) +
+      accumulate_importances(node.right, x, y, right_rows);
+  importances_[node.feature] += std::max(sse - child_sse, 0.0);
+  return child_sse;
+}
+
+double RepTree::predict_row(std::span<const double> row) const {
+  check_predict_args(row);
+  std::size_t node_id = root_;
+  while (!nodes_[node_id].is_leaf()) {
+    const Node& node = nodes_[node_id];
+    node_id = row[node.feature] <= node.threshold ? node.left : node.right;
+  }
+  return nodes_[node_id].value;
+}
+
+std::size_t RepTree::num_leaves() const {
+  if (root_ == kNoNode) return 0;
+  std::size_t count = 0;
+  std::vector<std::size_t> stack{root_};
+  while (!stack.empty()) {
+    const std::size_t id = stack.back();
+    stack.pop_back();
+    if (nodes_[id].is_leaf()) {
+      ++count;
+    } else {
+      stack.push_back(nodes_[id].left);
+      stack.push_back(nodes_[id].right);
+    }
+  }
+  return count;
+}
+
+std::size_t RepTree::subtree_depth(std::size_t node_id) const {
+  if (nodes_[node_id].is_leaf()) return 0;
+  return 1 + std::max(subtree_depth(nodes_[node_id].left),
+                      subtree_depth(nodes_[node_id].right));
+}
+
+std::size_t RepTree::depth() const {
+  return root_ == kNoNode ? 0 : subtree_depth(root_);
+}
+
+void RepTree::save(util::BinaryWriter& writer) const {
+  if (!fitted_) throw std::logic_error("RepTree::save before fit");
+  writer.write_u64(num_inputs_);
+  // Emit reachable nodes in preorder with re-numbered child links.
+  std::vector<std::uint64_t> features;
+  std::vector<double> thresholds;
+  std::vector<double> values;
+  std::vector<std::uint64_t> lefts;
+  std::vector<std::uint64_t> rights;
+  struct Frame {
+    std::size_t node;
+    std::size_t parent_slot;  // index into lefts/rights to patch, or npos
+    bool is_left;
+  };
+  std::vector<Frame> stack{{root_, kNoNode, false}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[frame.node];
+    const std::size_t new_id = features.size();
+    if (frame.parent_slot != kNoNode) {
+      (frame.is_left ? lefts : rights)[frame.parent_slot] = new_id;
+    }
+    features.push_back(node.feature);
+    thresholds.push_back(node.threshold);
+    values.push_back(node.value);
+    lefts.push_back(kNoNode);
+    rights.push_back(kNoNode);
+    if (!node.is_leaf()) {
+      stack.push_back({node.right, new_id, false});
+      stack.push_back({node.left, new_id, true});
+    }
+  }
+  writer.write_u64s(features);
+  writer.write_doubles(thresholds);
+  writer.write_doubles(values);
+  writer.write_u64s(lefts);
+  writer.write_u64s(rights);
+}
+
+std::unique_ptr<RepTree> RepTree::load(util::BinaryReader& reader) {
+  auto model = std::make_unique<RepTree>();
+  model->num_inputs_ = reader.read_u64();
+  const auto features = reader.read_u64s();
+  const auto thresholds = reader.read_doubles();
+  const auto values = reader.read_doubles();
+  const auto lefts = reader.read_u64s();
+  const auto rights = reader.read_u64s();
+  const std::size_t count = features.size();
+  if (thresholds.size() != count || values.size() != count ||
+      lefts.size() != count || rights.size() != count || count == 0) {
+    throw std::runtime_error("RepTree::load: inconsistent archive");
+  }
+  model->nodes_.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Node& node = model->nodes_[i];
+    node.feature = features[i];
+    node.threshold = thresholds[i];
+    node.value = values[i];
+    node.left = lefts[i];
+    node.right = rights[i];
+    const bool left_leaf = node.left == kNoNode;
+    const bool right_leaf = node.right == kNoNode;
+    if (left_leaf != right_leaf ||
+        (!left_leaf && (node.left >= count || node.right >= count))) {
+      throw std::runtime_error("RepTree::load: corrupt tree links");
+    }
+  }
+  model->root_ = 0;
+  model->fitted_ = true;
+  return model;
+}
+
+}  // namespace f2pm::ml

@@ -1,0 +1,73 @@
+#include "ml/ridge.hpp"
+
+#include <stdexcept>
+
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/stats.hpp"
+
+namespace f2pm::ml {
+
+RidgeRegression::RidgeRegression(double lambda) : lambda_(lambda) {
+  if (lambda < 0.0) {
+    throw std::invalid_argument("RidgeRegression: lambda must be >= 0");
+  }
+}
+
+void RidgeRegression::fit(const linalg::Matrix& x, std::span<const double> y) {
+  check_fit_args(x, y);
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  // Center x and y so the intercept stays unpenalized.
+  std::vector<double> x_mean(p, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = x.row(r);
+    for (std::size_t c = 0; c < p; ++c) x_mean[c] += row[c];
+  }
+  for (double& m : x_mean) m /= static_cast<double>(n);
+  const double y_mean = linalg::mean(y);
+
+  linalg::Matrix centered(n, p);
+  std::vector<double> y_centered(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto src = x.row(r);
+    auto dst = centered.row(r);
+    for (std::size_t c = 0; c < p; ++c) dst[c] = src[c] - x_mean[c];
+    y_centered[r] = y[r] - y_mean;
+  }
+
+  linalg::Matrix gram = linalg::gram(centered);
+  for (std::size_t i = 0; i < p; ++i) gram(i, i) += lambda_;
+  const auto xty = linalg::gemv_transposed(centered, y_centered);
+  coefficients_ = linalg::solve_spd(gram, xty, /*jitter=*/1e-10);
+
+  intercept_ = y_mean;
+  for (std::size_t c = 0; c < p; ++c) {
+    intercept_ -= coefficients_[c] * x_mean[c];
+  }
+  fitted_ = true;
+}
+
+double RidgeRegression::predict_row(std::span<const double> row) const {
+  check_predict_args(row);
+  return linalg::dot(row, coefficients_) + intercept_;
+}
+
+void RidgeRegression::save(util::BinaryWriter& writer) const {
+  if (!fitted_) throw std::logic_error("RidgeRegression::save before fit");
+  writer.write_double(lambda_);
+  writer.write_doubles(coefficients_);
+  writer.write_double(intercept_);
+}
+
+std::unique_ptr<RidgeRegression> RidgeRegression::load(
+    util::BinaryReader& reader) {
+  const double lambda = reader.read_double();
+  auto model = std::make_unique<RidgeRegression>(lambda);
+  model->coefficients_ = reader.read_doubles();
+  model->intercept_ = reader.read_double();
+  model->fitted_ = true;
+  return model;
+}
+
+}  // namespace f2pm::ml

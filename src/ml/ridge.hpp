@@ -1,0 +1,42 @@
+// Ridge (L2-regularized) regression. Not one of the paper's six methods,
+// but a natural extension point: it shares the closed form with LS-SVM's
+// linear-kernel special case and serves as a well-conditioned baseline in
+// the ablation benches.
+#pragma once
+
+#include <vector>
+
+#include "ml/model.hpp"
+
+namespace f2pm::ml {
+
+/// y ≈ x·β + b, minimizing ||y - Xβ - b||² + λ||β||² (intercept
+/// unpenalized, handled by centering).
+class RidgeRegression final : public Regressor {
+ public:
+  explicit RidgeRegression(double lambda = 1.0);
+
+  void fit(const linalg::Matrix& x, std::span<const double> y) override;
+  [[nodiscard]] double predict_row(std::span<const double> row) const override;
+  [[nodiscard]] std::string name() const override { return "ridge"; }
+  [[nodiscard]] bool is_fitted() const override { return fitted_; }
+  [[nodiscard]] std::size_t num_inputs() const override {
+    return coefficients_.size();
+  }
+  void save(util::BinaryWriter& writer) const override;
+  static std::unique_ptr<RidgeRegression> load(util::BinaryReader& reader);
+
+  [[nodiscard]] double lambda() const { return lambda_; }
+  [[nodiscard]] const std::vector<double>& coefficients() const {
+    return coefficients_;
+  }
+  [[nodiscard]] double intercept() const { return intercept_; }
+
+ private:
+  double lambda_;
+  std::vector<double> coefficients_;
+  double intercept_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace f2pm::ml

@@ -1,0 +1,233 @@
+#include "ml/state_classifier.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace f2pm::ml {
+
+std::string_view state_name(SystemState state) noexcept {
+  switch (state) {
+    case SystemState::kAllOk:
+      return "all-ok";
+    case SystemState::kWarning:
+      return "warning";
+    case SystemState::kDanger:
+      return "danger";
+  }
+  return "?";
+}
+
+SystemState state_from_rttf(double rttf, const StateThresholds& thresholds) {
+  if (rttf < thresholds.danger_seconds) return SystemState::kDanger;
+  if (rttf < thresholds.warning_seconds) return SystemState::kWarning;
+  return SystemState::kAllOk;
+}
+
+std::vector<SystemState> states_from_rttf(std::span<const double> rttf,
+                                          const StateThresholds& thresholds) {
+  std::vector<SystemState> states;
+  states.reserve(rttf.size());
+  for (double value : rttf) states.push_back(state_from_rttf(value, thresholds));
+  return states;
+}
+
+namespace {
+
+using Counts = std::array<std::size_t, kNumStates>;
+
+double gini(const Counts& counts) {
+  std::size_t total = 0;
+  for (std::size_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  double impurity = 1.0;
+  for (std::size_t c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    impurity -= p * p;
+  }
+  return impurity;
+}
+
+SystemState majority_of(const Counts& counts) {
+  std::size_t best = 0;
+  for (std::size_t s = 1; s < kNumStates; ++s) {
+    if (counts[s] > counts[best]) best = s;
+  }
+  return static_cast<SystemState>(static_cast<int>(best));
+}
+
+struct GiniSplit {
+  bool found = false;
+  std::size_t feature = 0;
+  double threshold = 0.0;
+  double impurity_drop = 0.0;
+};
+
+GiniSplit find_best_gini_split(const linalg::Matrix& x,
+                               std::span<const SystemState> labels,
+                               const std::vector<std::size_t>& rows,
+                               std::size_t min_leaf) {
+  GiniSplit best;
+  if (rows.size() < 2 * min_leaf) return best;
+  Counts total{};
+  for (std::size_t r : rows) ++total[static_cast<std::size_t>(labels[r])];
+  const double parent_gini = gini(total);
+  if (parent_gini == 0.0) return best;  // pure node
+  const auto n = static_cast<double>(rows.size());
+
+  std::vector<std::size_t> sorted(rows);
+  for (std::size_t feature = 0; feature < x.cols(); ++feature) {
+    std::sort(sorted.begin(), sorted.end(),
+              [&](std::size_t a, std::size_t b) {
+                return x(a, feature) < x(b, feature);
+              });
+    Counts left{};
+    Counts right = total;
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      const auto label = static_cast<std::size_t>(labels[sorted[i]]);
+      ++left[label];
+      --right[label];
+      const double v_here = x(sorted[i], feature);
+      const double v_next = x(sorted[i + 1], feature);
+      if (v_here == v_next) continue;
+      const auto left_count = static_cast<double>(i + 1);
+      const double right_count = n - left_count;
+      if (left_count < static_cast<double>(min_leaf) ||
+          right_count < static_cast<double>(min_leaf)) {
+        continue;
+      }
+      const double weighted =
+          (left_count * gini(left) + right_count * gini(right)) / n;
+      const double drop = parent_gini - weighted;
+      if (drop > best.impurity_drop) {
+        best.found = true;
+        best.feature = feature;
+        best.threshold = v_here + (v_next - v_here) / 2.0;
+        best.impurity_drop = drop;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+StateClassifierTree::StateClassifierTree(StateClassifierOptions options)
+    : options_(options) {
+  if (options_.min_instances_per_leaf == 0) {
+    throw std::invalid_argument(
+        "StateClassifierTree: min_instances_per_leaf must be > 0");
+  }
+}
+
+std::size_t StateClassifierTree::build(const linalg::Matrix& x,
+                                       std::span<const SystemState> labels,
+                                       const std::vector<std::size_t>& rows,
+                                       std::size_t depth) {
+  Counts counts{};
+  for (std::size_t r : rows) ++counts[static_cast<std::size_t>(labels[r])];
+  Node node;
+  node.majority = majority_of(counts);
+  const bool depth_ok = options_.max_depth == 0 || depth < options_.max_depth;
+  GiniSplit split;
+  if (depth_ok) {
+    split = find_best_gini_split(x, labels, rows,
+                                 options_.min_instances_per_leaf);
+  }
+  const std::size_t node_id = nodes_.size();
+  nodes_.push_back(node);
+  if (!split.found) return node_id;
+
+  std::vector<std::size_t> left_rows;
+  std::vector<std::size_t> right_rows;
+  for (std::size_t r : rows) {
+    (x(r, split.feature) <= split.threshold ? left_rows : right_rows)
+        .push_back(r);
+  }
+  const std::size_t left_id = build(x, labels, left_rows, depth + 1);
+  const std::size_t right_id = build(x, labels, right_rows, depth + 1);
+  nodes_[node_id].feature = split.feature;
+  nodes_[node_id].threshold = split.threshold;
+  nodes_[node_id].left = left_id;
+  nodes_[node_id].right = right_id;
+  return node_id;
+}
+
+void StateClassifierTree::fit(const linalg::Matrix& x,
+                              std::span<const SystemState> labels) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    throw std::invalid_argument("StateClassifierTree: empty training set");
+  }
+  if (x.rows() != labels.size()) {
+    throw std::invalid_argument(
+        "StateClassifierTree: x/label count mismatch");
+  }
+  nodes_.clear();
+  num_inputs_ = x.cols();
+  std::vector<std::size_t> rows(x.rows());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  root_ = build(x, labels, rows, 0);
+}
+
+SystemState StateClassifierTree::predict_row(
+    std::span<const double> row) const {
+  if (!is_fitted()) {
+    throw std::logic_error("StateClassifierTree: predict before fit");
+  }
+  if (row.size() != num_inputs_) {
+    throw std::invalid_argument("StateClassifierTree: input width mismatch");
+  }
+  std::size_t node_id = root_;
+  while (!nodes_[node_id].is_leaf()) {
+    const Node& node = nodes_[node_id];
+    node_id = row[node.feature] <= node.threshold ? node.left : node.right;
+  }
+  return nodes_[node_id].majority;
+}
+
+std::vector<SystemState> StateClassifierTree::predict(
+    const linalg::Matrix& x) const {
+  std::vector<SystemState> out;
+  out.reserve(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    out.push_back(predict_row(x.row(r)));
+  }
+  return out;
+}
+
+std::size_t StateClassifierTree::num_leaves() const {
+  std::size_t count = 0;
+  for (const auto& node : nodes_) count += node.is_leaf() ? 1 : 0;
+  return count;
+}
+
+ClassificationReport evaluate_classification(
+    std::span<const SystemState> predicted,
+    std::span<const SystemState> actual) {
+  if (predicted.size() != actual.size() || predicted.empty()) {
+    throw std::invalid_argument(
+        "evaluate_classification: bad prediction/label sizes");
+  }
+  ClassificationReport report;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const auto a = static_cast<std::size_t>(actual[i]);
+    const auto p = static_cast<std::size_t>(predicted[i]);
+    ++report.confusion[a][p];
+    correct += a == p ? 1 : 0;
+  }
+  report.accuracy =
+      static_cast<double>(correct) / static_cast<double>(predicted.size());
+  const auto danger = static_cast<std::size_t>(SystemState::kDanger);
+  std::size_t danger_total = 0;
+  for (std::size_t p = 0; p < kNumStates; ++p) {
+    danger_total += report.confusion[danger][p];
+  }
+  report.danger_recall =
+      danger_total == 0
+          ? 0.0
+          : static_cast<double>(report.confusion[danger][danger]) /
+                static_cast<double>(danger_total);
+  return report;
+}
+
+}  // namespace f2pm::ml

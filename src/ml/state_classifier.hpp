@@ -1,0 +1,105 @@
+// The related-work baseline the paper positions itself against (§II,
+// ref. [12] Alonso/Belanche/Avresky, NCA 2011): instead of estimating the
+// RTTF, classify the system's life into three states — "all ok",
+// "warning", "danger" — with an ML classifier over the same system
+// features. Reimplemented here so the paper's argument ("we are able to
+// generate models to precisely estimate the RTTF" vs. state-only
+// prediction) can be evaluated head-to-head (bench/baseline_comparison).
+//
+// The classifier is a CART-style decision tree with Gini-impurity splits
+// and depth/leaf-size pre-pruning.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace f2pm::ml {
+
+/// The three system states of [12].
+enum class SystemState : int { kAllOk = 0, kWarning = 1, kDanger = 2 };
+
+inline constexpr std::size_t kNumStates = 3;
+
+std::string_view state_name(SystemState state) noexcept;
+
+/// RTTF-to-state labeling rule: danger below `danger_seconds`, warning
+/// below `warning_seconds`, all-ok otherwise.
+struct StateThresholds {
+  double danger_seconds = 300.0;
+  double warning_seconds = 900.0;
+};
+
+/// Maps an RTTF to its state label.
+SystemState state_from_rttf(double rttf, const StateThresholds& thresholds);
+
+/// Labels a whole RTTF vector.
+std::vector<SystemState> states_from_rttf(std::span<const double> rttf,
+                                          const StateThresholds& thresholds);
+
+/// Decision-tree classifier hyperparameters.
+struct StateClassifierOptions {
+  std::size_t min_instances_per_leaf = 5;
+  std::size_t max_depth = 12;  ///< 0 = unlimited.
+};
+
+/// Gini-split decision tree over the three states.
+class StateClassifierTree {
+ public:
+  explicit StateClassifierTree(StateClassifierOptions options = {});
+
+  /// Trains on a design matrix and per-row state labels. Throws
+  /// std::invalid_argument on shape mismatch or an empty training set.
+  void fit(const linalg::Matrix& x, std::span<const SystemState> labels);
+
+  /// Predicts the state of one row. Requires is_fitted().
+  [[nodiscard]] SystemState predict_row(std::span<const double> row) const;
+
+  /// Batch prediction.
+  [[nodiscard]] std::vector<SystemState> predict(
+      const linalg::Matrix& x) const;
+
+  [[nodiscard]] bool is_fitted() const { return !nodes_.empty(); }
+  [[nodiscard]] std::size_t num_leaves() const;
+
+ private:
+  struct Node {
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    std::size_t left = SIZE_MAX;
+    std::size_t right = SIZE_MAX;
+    SystemState majority = SystemState::kAllOk;
+
+    [[nodiscard]] bool is_leaf() const { return left == SIZE_MAX; }
+  };
+
+  std::size_t build(const linalg::Matrix& x,
+                    std::span<const SystemState> labels,
+                    const std::vector<std::size_t>& rows, std::size_t depth);
+
+  StateClassifierOptions options_;
+  std::vector<Node> nodes_;
+  std::size_t root_ = 0;
+  std::size_t num_inputs_ = 0;
+};
+
+/// Classification quality summary.
+struct ClassificationReport {
+  double accuracy = 0.0;
+  /// confusion[actual][predicted].
+  std::array<std::array<std::size_t, kNumStates>, kNumStates> confusion{};
+  /// Recall of the danger class — the number that matters for proactive
+  /// rejuvenation (a missed danger is a crash).
+  double danger_recall = 0.0;
+};
+
+/// Scores predictions against truth. Throws on size mismatch/empty.
+ClassificationReport evaluate_classification(
+    std::span<const SystemState> predicted,
+    std::span<const SystemState> actual);
+
+}  // namespace f2pm::ml

@@ -1,0 +1,291 @@
+#include "ml/svr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace f2pm::ml {
+
+namespace {
+
+// Guard for non-positive-curvature pair subproblems (LIBSVM's TAU).
+constexpr double kTau = 1e-12;
+
+}  // namespace
+
+KernelSvr::KernelSvr(SvrOptions options) : options_(options) {
+  if (options_.c <= 0.0) {
+    throw std::invalid_argument("KernelSvr: C must be > 0");
+  }
+  if (options_.epsilon < 0.0) {
+    throw std::invalid_argument("KernelSvr: epsilon must be >= 0");
+  }
+}
+
+void KernelSvr::fit(const linalg::Matrix& x_raw, std::span<const double> y_raw) {
+  check_fit_args(x_raw, y_raw);
+  num_inputs_ = x_raw.cols();
+  input_scaler_ = data::Standardizer::fit(x_raw);
+  target_scaler_ = data::TargetScaler::fit(
+      std::vector<double>(y_raw.begin(), y_raw.end()));
+  const linalg::Matrix x = input_scaler_.transform(x_raw);
+  const std::vector<double> y = target_scaler_.transform(
+      std::vector<double>(y_raw.begin(), y_raw.end()));
+
+  fitted_kernel_ = options_.kernel;
+  fitted_kernel_.gamma = resolve_gamma(options_.kernel, x.cols());
+
+  const std::size_t n = x.rows();
+  const double c = options_.c;
+  const double eps = options_.epsilon;
+
+  // SMO over the 2n-variable dual: t < n are the α (sign +1) variables,
+  // t >= n the α* (sign -1) variables; Q_tt' = s_t s_t' K_{t%n, t'%n}.
+  const linalg::Matrix k = kernel_matrix(fitted_kernel_, x);
+  std::vector<double> alpha(2 * n, 0.0);
+  std::vector<double> grad(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    grad[i] = eps - y[i];       // p for the α block
+    grad[n + i] = eps + y[i];   // p for the α* block
+  }
+  auto sign_of = [n](std::size_t t) { return t < n ? 1.0 : -1.0; };
+  auto base_of = [n](std::size_t t) { return t < n ? t : t - n; };
+
+  iterations_used_ = 0;
+  const std::size_t size = 2 * n;
+  while (iterations_used_ < options_.max_iterations) {
+    // WSS-1: maximal violating pair.
+    double m_up = -std::numeric_limits<double>::infinity();
+    double m_low = std::numeric_limits<double>::infinity();
+    std::size_t i = size;
+    std::size_t j = size;
+    for (std::size_t t = 0; t < size; ++t) {
+      const double s = sign_of(t);
+      const double score = -s * grad[t];
+      const bool in_up = (s > 0.0 && alpha[t] < c) || (s < 0.0 && alpha[t] > 0.0);
+      const bool in_low = (s < 0.0 && alpha[t] < c) || (s > 0.0 && alpha[t] > 0.0);
+      if (in_up && score > m_up) {
+        m_up = score;
+        i = t;
+      }
+      if (in_low && score < m_low) {
+        m_low = score;
+        j = t;
+      }
+    }
+    if (i == size || j == size || m_up - m_low < options_.tolerance) break;
+
+    const double si = sign_of(i);
+    const double sj = sign_of(j);
+    const std::size_t bi = base_of(i);
+    const std::size_t bj = base_of(j);
+    const double kii = k(bi, bi);
+    const double kjj = k(bj, bj);
+    const double kij = k(bi, bj);
+    const double old_ai = alpha[i];
+    const double old_aj = alpha[j];
+
+    if (si != sj) {
+      double quad = kii + kjj + 2.0 * kij;  // Q_ii + Q_jj + 2 Q_ij (s_i≠s_j)
+      if (quad <= 0.0) quad = kTau;
+      const double delta = (-grad[i] - grad[j]) / quad;
+      const double diff = alpha[i] - alpha[j];
+      alpha[i] += delta;
+      alpha[j] += delta;
+      if (diff > 0.0) {
+        if (alpha[j] < 0.0) {
+          alpha[j] = 0.0;
+          alpha[i] = diff;
+        }
+      } else {
+        if (alpha[i] < 0.0) {
+          alpha[i] = 0.0;
+          alpha[j] = -diff;
+        }
+      }
+      if (diff > 0.0) {
+        if (alpha[i] > c) {
+          alpha[i] = c;
+          alpha[j] = c - diff;
+        }
+      } else {
+        if (alpha[j] > c) {
+          alpha[j] = c;
+          alpha[i] = c + diff;
+        }
+      }
+    } else {
+      double quad = kii + kjj - 2.0 * kij;  // Q_ii + Q_jj - 2 Q_ij (s_i=s_j)
+      if (quad <= 0.0) quad = kTau;
+      const double delta = (grad[i] - grad[j]) / quad;
+      const double sum = alpha[i] + alpha[j];
+      alpha[i] -= delta;
+      alpha[j] += delta;
+      if (sum > c) {
+        if (alpha[i] > c) {
+          alpha[i] = c;
+          alpha[j] = sum - c;
+        }
+      } else {
+        if (alpha[j] < 0.0) {
+          alpha[j] = 0.0;
+          alpha[i] = sum;
+        }
+      }
+      if (sum > c) {
+        if (alpha[j] > c) {
+          alpha[j] = c;
+          alpha[i] = sum - c;
+        }
+      } else {
+        if (alpha[i] < 0.0) {
+          alpha[i] = 0.0;
+          alpha[j] = sum;
+        }
+      }
+    }
+
+    const double delta_i = alpha[i] - old_ai;
+    const double delta_j = alpha[j] - old_aj;
+    if (delta_i == 0.0 && delta_j == 0.0) {
+      ++iterations_used_;
+      continue;
+    }
+    // G_t += Q_ti Δα_i + Q_tj Δα_j for every variable t.
+    for (std::size_t t = 0; t < size; ++t) {
+      const double st = sign_of(t);
+      const std::size_t bt = base_of(t);
+      grad[t] += st * (si * k(bt, bi) * delta_i + sj * k(bt, bj) * delta_j);
+    }
+    ++iterations_used_;
+  }
+
+  // Collapse the doubled variables: θ_i = α_i - α*_i.
+  std::vector<double> theta(n);
+  for (std::size_t t = 0; t < n; ++t) theta[t] = alpha[t] - alpha[n + t];
+
+  // Bias from the KKT conditions. g_i = Σ_j θ_j K_ij; a free α (resp. α*)
+  // pins b = y - ε - g (resp. y + ε - g); otherwise bound constraints give
+  // an interval and we take its midpoint.
+  std::vector<double> g(n, 0.0);
+  for (std::size_t jcol = 0; jcol < n; ++jcol) {
+    if (theta[jcol] == 0.0) continue;
+    for (std::size_t irow = 0; irow < n; ++irow) {
+      g[irow] += theta[jcol] * k(irow, jcol);
+    }
+  }
+  double free_sum = 0.0;
+  std::size_t free_count = 0;
+  double lower = -std::numeric_limits<double>::infinity();
+  double upper = std::numeric_limits<double>::infinity();
+  for (std::size_t t = 0; t < n; ++t) {
+    const double up_b = y[t] - eps - g[t];    // b value implied by α_t
+    const double dn_b = y[t] + eps - g[t];    // b value implied by α*_t
+    if (alpha[t] > 0.0 && alpha[t] < c) {
+      free_sum += up_b;
+      ++free_count;
+    }
+    if (alpha[n + t] > 0.0 && alpha[n + t] < c) {
+      free_sum += dn_b;
+      ++free_count;
+    }
+    if (alpha[t] == 0.0) upper = std::min(upper, dn_b);
+    if (alpha[t] >= c) lower = std::max(lower, up_b);
+    if (alpha[n + t] == 0.0) lower = std::max(lower, up_b);
+    if (alpha[n + t] >= c) upper = std::min(upper, dn_b);
+  }
+  if (free_count > 0) {
+    bias_ = free_sum / static_cast<double>(free_count);
+  } else if (std::isfinite(lower) && std::isfinite(upper)) {
+    bias_ = (lower + upper) / 2.0;
+  } else {
+    bias_ = 0.0;
+  }
+
+  // Keep only the support vectors.
+  std::vector<std::size_t> sv_rows;
+  dual_coeffs_.clear();
+  for (std::size_t t = 0; t < n; ++t) {
+    if (theta[t] != 0.0) {
+      sv_rows.push_back(t);
+      dual_coeffs_.push_back(theta[t]);
+    }
+  }
+  support_ = x.select_rows(sv_rows);
+  fitted_ = true;
+}
+
+double KernelSvr::predict_row(std::span<const double> row) const {
+  check_predict_args(row);
+  // Standardize the input row with the training scalers.
+  std::vector<double> scaled(row.size());
+  const auto& means = input_scaler_.means();
+  const auto& scales = input_scaler_.scales();
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    scaled[c] = (row[c] - means[c]) / scales[c];
+  }
+  double value = bias_;
+  for (std::size_t s = 0; s < support_.rows(); ++s) {
+    value += dual_coeffs_[s] *
+             kernel_value(fitted_kernel_, support_.row(s), scaled);
+  }
+  return target_scaler_.inverse(value);
+}
+
+void KernelSvr::save(util::BinaryWriter& writer) const {
+  if (!fitted_) throw std::logic_error("KernelSvr::save before fit");
+  writer.write_u64(num_inputs_);
+  fitted_kernel_.save(writer);
+  writer.write_double(bias_);
+  writer.write_doubles(dual_coeffs_);
+  writer.write_u64(support_.rows());
+  for (std::size_t r = 0; r < support_.rows(); ++r) {
+    const auto row = support_.row(r);
+    writer.write_doubles(std::vector<double>(row.begin(), row.end()));
+  }
+  writer.write_doubles(input_scaler_.means());
+  writer.write_doubles(input_scaler_.scales());
+  writer.write_double(target_scaler_.mean);
+  writer.write_double(target_scaler_.scale);
+}
+
+std::unique_ptr<KernelSvr> KernelSvr::load(util::BinaryReader& reader) {
+  auto model = std::make_unique<KernelSvr>();
+  model->num_inputs_ = reader.read_u64();
+  model->fitted_kernel_ = KernelParams::load(reader);
+  model->bias_ = reader.read_double();
+  model->dual_coeffs_ = reader.read_doubles();
+  const std::uint64_t sv_count = reader.read_u64();
+  if (sv_count != model->dual_coeffs_.size()) {
+    throw std::runtime_error("KernelSvr::load: inconsistent archive");
+  }
+  model->support_ = linalg::Matrix(sv_count, model->num_inputs_);
+  for (std::uint64_t r = 0; r < sv_count; ++r) {
+    const auto row = reader.read_doubles();
+    if (row.size() != model->num_inputs_) {
+      throw std::runtime_error("KernelSvr::load: bad support vector width");
+    }
+    std::copy(row.begin(), row.end(), model->support_.row(r).begin());
+  }
+  // Standardizer internals are rebuilt through a fit on a synthetic
+  // two-row matrix encoding mean ± scale.
+  const auto means = reader.read_doubles();
+  const auto scales = reader.read_doubles();
+  if (means.size() != model->num_inputs_ ||
+      scales.size() != model->num_inputs_) {
+    throw std::runtime_error("KernelSvr::load: bad scaler data");
+  }
+  linalg::Matrix synth(2, model->num_inputs_);
+  for (std::size_t c = 0; c < model->num_inputs_; ++c) {
+    synth(0, c) = means[c] - scales[c];
+    synth(1, c) = means[c] + scales[c];
+  }
+  model->input_scaler_ = data::Standardizer::fit(synth);
+  model->target_scaler_.mean = reader.read_double();
+  model->target_scaler_.scale = reader.read_double();
+  model->fitted_ = true;
+  return model;
+}
+
+}  // namespace f2pm::ml

@@ -1,0 +1,87 @@
+#include "ml/tree_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace f2pm::ml {
+
+double Moments::sd() const {
+  if (count < 2) return 0.0;
+  const double var = sse() / static_cast<double>(count);
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+Moments compute_moments(std::span<const double> y,
+                        const std::vector<std::size_t>& rows) {
+  Moments m;
+  for (std::size_t r : rows) m.add(y[r]);
+  return m;
+}
+
+void partition_rows(const linalg::Matrix& x,
+                    const std::vector<std::size_t>& rows, std::size_t feature,
+                    double threshold, std::vector<std::size_t>& left,
+                    std::vector<std::size_t>& right) {
+  left.clear();
+  right.clear();
+  for (std::size_t r : rows) {
+    if (x(r, feature) <= threshold) {
+      left.push_back(r);
+    } else {
+      right.push_back(r);
+    }
+  }
+}
+
+BestSplit find_best_split(const linalg::Matrix& x, std::span<const double> y,
+                          const std::vector<std::size_t>& rows,
+                          std::size_t min_leaf, SplitCriterion criterion) {
+  BestSplit best;
+  if (rows.size() < 2 * min_leaf) return best;
+  const Moments total = compute_moments(y, rows);
+  if (total.sse() <= 0.0) return best;  // constant target: nothing to gain
+  const double total_sd = total.sd();
+  const double inv_count = 1.0 / static_cast<double>(total.count);
+
+  // Row order sorted per feature; reused buffer to avoid reallocation.
+  std::vector<std::size_t> sorted(rows);
+  for (std::size_t feature = 0; feature < x.cols(); ++feature) {
+    std::sort(sorted.begin(), sorted.end(),
+              [&](std::size_t a, std::size_t b) {
+                return x(a, feature) < x(b, feature);
+              });
+    Moments left;
+    Moments right = total;
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      const double value = y[sorted[i]];
+      left.add(value);
+      right.sum -= value;
+      right.sum_sq -= value * value;
+      --right.count;
+      const double v_here = x(sorted[i], feature);
+      const double v_next = x(sorted[i + 1], feature);
+      if (v_here == v_next) continue;  // not a distinct boundary
+      if (left.count < min_leaf || right.count < min_leaf) continue;
+      double score = 0.0;
+      if (criterion == SplitCriterion::kVarianceReduction) {
+        score = total.sse() - (left.sse() + right.sse());
+      } else {
+        const double weighted_sd =
+            (static_cast<double>(left.count) * left.sd() +
+             static_cast<double>(right.count) * right.sd()) *
+            inv_count;
+        score = total_sd - weighted_sd;
+      }
+      if (score > best.score || !best.found) {
+        if (score <= 0.0) continue;
+        best.found = true;
+        best.feature = feature;
+        best.threshold = v_here + (v_next - v_here) / 2.0;
+        best.score = score;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace f2pm::ml

@@ -1,0 +1,73 @@
+// Machinery shared by the two tree learners (REP-Tree, M5P): flat node
+// storage (index-linked, serialization-friendly) and exhaustive numeric
+// split search over a row subset.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "util/serialization.hpp"
+
+namespace f2pm::ml {
+
+/// Sentinel for "no child".
+inline constexpr std::size_t kNoNode = std::numeric_limits<std::size_t>::max();
+
+/// How candidate splits are scored.
+enum class SplitCriterion {
+  kVarianceReduction,  ///< Minimize total SSE of the two children (REP-Tree).
+  kStdDevReduction,    ///< Maximize SDR = sd(S) - Σ w_i sd(S_i) (M5/M5P).
+};
+
+/// The best split found for a node, if any.
+struct BestSplit {
+  bool found = false;
+  std::size_t feature = 0;
+  double threshold = 0.0;  ///< Rows with value <= threshold go left.
+  double score = 0.0;      ///< SSE saved (variance mode) or SDR (sd mode).
+};
+
+/// Exhaustive best-split search over all features for the given rows.
+/// Candidate thresholds are midpoints between consecutive distinct values;
+/// splits leaving fewer than `min_leaf` rows on either side are rejected.
+BestSplit find_best_split(const linalg::Matrix& x, std::span<const double> y,
+                          const std::vector<std::size_t>& rows,
+                          std::size_t min_leaf, SplitCriterion criterion);
+
+/// Sum, sum-of-squares and count for a row subset of y (split bookkeeping).
+struct Moments {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  std::size_t count = 0;
+
+  void add(double v) {
+    sum += v;
+    sum_sq += v * v;
+    ++count;
+  }
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+  /// Total squared error around the mean.
+  [[nodiscard]] double sse() const {
+    if (count == 0) return 0.0;
+    return sum_sq - sum * sum / static_cast<double>(count);
+  }
+  /// Population standard deviation.
+  [[nodiscard]] double sd() const;
+};
+
+/// Moments of a row subset.
+Moments compute_moments(std::span<const double> y,
+                        const std::vector<std::size_t>& rows);
+
+/// Partitions `rows` on x(row, feature) <= threshold, preserving order.
+void partition_rows(const linalg::Matrix& x,
+                    const std::vector<std::size_t>& rows, std::size_t feature,
+                    double threshold, std::vector<std::size_t>& left,
+                    std::vector<std::size_t>& right);
+
+}  // namespace f2pm::ml

@@ -1,0 +1,25 @@
+#include "net/fmc.hpp"
+
+namespace f2pm::net {
+
+FeatureMonitorClient::FeatureMonitorClient(const std::string& host,
+                                           std::uint16_t port)
+    : stream_(TcpStream::connect(host, port)) {}
+
+void FeatureMonitorClient::send(const data::RawDatapoint& datapoint) {
+  send_datapoint(stream_, datapoint);
+  ++sent_;
+}
+
+void FeatureMonitorClient::report_failure(double fail_time) {
+  send_fail_event(stream_, fail_time);
+}
+
+void FeatureMonitorClient::finish() {
+  if (finished_) return;
+  send_bye(stream_);
+  stream_.close();
+  finished_ = true;
+}
+
+}  // namespace f2pm::net

@@ -1,0 +1,40 @@
+// Feature Monitor Client (paper §III-E): the thin client installed on the
+// monitored system. It forwards datapoints (here: whatever source produces
+// them — in production /proc readings, in this repo the simulator's
+// monitor) to the Feature Monitor Server over TCP.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/datapoint.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+
+namespace f2pm::net {
+
+/// Connected FMC session.
+class FeatureMonitorClient {
+ public:
+  /// Connects to the FMS; throws std::runtime_error on failure.
+  FeatureMonitorClient(const std::string& host, std::uint16_t port);
+
+  /// Forwards one datapoint.
+  void send(const data::RawDatapoint& datapoint);
+
+  /// Signals that the monitored system met the failure condition at
+  /// `fail_time` (elapsed seconds); the FMS closes the current run.
+  void report_failure(double fail_time);
+
+  /// Sends the bye frame and closes the connection.
+  void finish();
+
+  [[nodiscard]] std::size_t datapoints_sent() const { return sent_; }
+
+ private:
+  TcpStream stream_;
+  std::size_t sent_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace f2pm::net

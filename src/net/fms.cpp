@@ -1,0 +1,60 @@
+#include "net/fms.hpp"
+
+#include "util/logging.hpp"
+
+namespace f2pm::net {
+
+FeatureMonitorServer::FeatureMonitorServer(std::uint16_t port)
+    : listener_(port), thread_([this] { serve(); }) {}
+
+FeatureMonitorServer::~FeatureMonitorServer() {
+  stop();
+  if (thread_.joinable()) thread_.join();
+}
+
+void FeatureMonitorServer::serve() {
+  auto client = listener_.accept();
+  if (!client) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_ = true;
+    return;
+  }
+  try {
+    while (true) {
+      auto frame = receive_frame(*client);
+      if (!frame) break;  // client vanished without bye
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (const auto* datapoint = std::get_if<data::RawDatapoint>(&*frame)) {
+        current_run_.samples.push_back(*datapoint);
+      } else if (const auto* fail = std::get_if<FailEvent>(&*frame)) {
+        current_run_.failed = true;
+        current_run_.fail_time = fail->fail_time;
+        history_.add_run(std::move(current_run_));
+        current_run_ = data::Run{};
+      } else {
+        break;  // bye
+      }
+    }
+  } catch (const std::exception& e) {
+    F2PM_LOG(kWarn, "fms") << "connection error: " << e.what();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  done_ = true;
+}
+
+data::DataHistory FeatureMonitorServer::wait_and_take_history() {
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!current_run_.samples.empty()) {
+    // Trailing samples without a fail event form an unfailed run.
+    current_run_.failed = false;
+    current_run_.fail_time = current_run_.samples.back().tgen;
+    history_.add_run(std::move(current_run_));
+    current_run_ = data::Run{};
+  }
+  return std::move(history_);
+}
+
+void FeatureMonitorServer::stop() { listener_.shutdown(); }
+
+}  // namespace f2pm::net

@@ -1,0 +1,48 @@
+// Feature Monitor Server (paper §III-E): accepts one FMC connection on a
+// background thread and accumulates the received datapoints into a
+// DataHistory, closing a run whenever a fail event arrives. The resulting
+// history feeds straight into the F2PM pipeline.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "data/data_history.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+
+namespace f2pm::net {
+
+/// One-client FMS running on a background thread.
+class FeatureMonitorServer {
+ public:
+  /// Binds loopback:port (0 = ephemeral) and starts the accept thread.
+  explicit FeatureMonitorServer(std::uint16_t port = 0);
+  FeatureMonitorServer(const FeatureMonitorServer&) = delete;
+  FeatureMonitorServer& operator=(const FeatureMonitorServer&) = delete;
+  ~FeatureMonitorServer();
+
+  /// The bound port (hand this to the FMC).
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+
+  /// Blocks until the client sent bye / disconnected, then returns the
+  /// accumulated history. A trailing run without a fail event is kept as
+  /// an unfailed run.
+  data::DataHistory wait_and_take_history();
+
+  /// Force-stops the server (unblocks accept; the thread exits).
+  void stop();
+
+ private:
+  void serve();
+
+  TcpListener listener_;
+  std::thread thread_;
+  std::mutex mutex_;
+  data::DataHistory history_;
+  data::Run current_run_;
+  bool done_ = false;
+};
+
+}  // namespace f2pm::net

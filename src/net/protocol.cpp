@@ -1,0 +1,72 @@
+#include "net/protocol.hpp"
+
+#include <array>
+#include <cstring>
+#include <stdexcept>
+
+namespace f2pm::net {
+
+namespace {
+
+struct Header {
+  std::uint32_t magic;
+  std::uint32_t type;
+};
+
+void send_header(TcpStream& stream, FrameType type) {
+  const Header header{kProtocolMagic, static_cast<std::uint32_t>(type)};
+  stream.send_all(&header, sizeof(header));
+}
+
+}  // namespace
+
+void send_datapoint(TcpStream& stream, const data::RawDatapoint& datapoint) {
+  send_header(stream, FrameType::kDatapoint);
+  std::array<double, 1 + data::kFeatureCount> payload{};
+  payload[0] = datapoint.tgen;
+  std::memcpy(payload.data() + 1, datapoint.values.data(),
+              data::kFeatureCount * sizeof(double));
+  stream.send_all(payload.data(), payload.size() * sizeof(double));
+}
+
+void send_fail_event(TcpStream& stream, double fail_time) {
+  send_header(stream, FrameType::kFailEvent);
+  stream.send_all(&fail_time, sizeof(fail_time));
+}
+
+void send_bye(TcpStream& stream) { send_header(stream, FrameType::kBye); }
+
+std::optional<Frame> receive_frame(TcpStream& stream) {
+  Header header{};
+  if (!stream.recv_exact(&header, sizeof(header))) return std::nullopt;
+  if (header.magic != kProtocolMagic) {
+    throw std::runtime_error("protocol: bad frame magic");
+  }
+  switch (static_cast<FrameType>(header.type)) {
+    case FrameType::kDatapoint: {
+      std::array<double, 1 + data::kFeatureCount> payload{};
+      if (!stream.recv_exact(payload.data(),
+                             payload.size() * sizeof(double))) {
+        throw std::runtime_error("protocol: truncated datapoint frame");
+      }
+      data::RawDatapoint datapoint;
+      datapoint.tgen = payload[0];
+      std::memcpy(datapoint.values.data(), payload.data() + 1,
+                  data::kFeatureCount * sizeof(double));
+      return Frame{datapoint};
+    }
+    case FrameType::kFailEvent: {
+      FailEvent event;
+      if (!stream.recv_exact(&event.fail_time, sizeof(event.fail_time))) {
+        throw std::runtime_error("protocol: truncated fail-event frame");
+      }
+      return Frame{event};
+    }
+    case FrameType::kBye:
+      return Frame{Bye{}};
+  }
+  throw std::runtime_error("protocol: unknown frame type " +
+                           std::to_string(header.type));
+}
+
+}  // namespace f2pm::net

@@ -1,0 +1,52 @@
+// Wire protocol between the Feature Monitor Client and Server: fixed-size
+// little-endian frames, one per datapoint, plus a run-boundary marker.
+//
+//   [u32 magic][u32 type][payload]
+//   type kDatapoint: payload = f64 tgen + 14 x f64 feature values
+//   type kFailEvent: payload = f64 fail_time (the run crashed; restart)
+//   type kBye:       payload empty (client is done)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+
+#include "data/datapoint.hpp"
+#include "net/socket.hpp"
+
+namespace f2pm::net {
+
+inline constexpr std::uint32_t kProtocolMagic = 0x46'32'50'4D;  // "F2PM"
+
+enum class FrameType : std::uint32_t {
+  kDatapoint = 1,
+  kFailEvent = 2,
+  kBye = 3,
+};
+
+/// A fail-event frame body.
+struct FailEvent {
+  double fail_time = 0.0;
+};
+
+/// A bye frame body.
+struct Bye {};
+
+/// Any received frame.
+using Frame = std::variant<data::RawDatapoint, FailEvent, Bye>;
+
+/// Serializes and sends one datapoint frame.
+void send_datapoint(TcpStream& stream, const data::RawDatapoint& datapoint);
+
+/// Serializes and sends a fail-event frame.
+void send_fail_event(TcpStream& stream, double fail_time);
+
+/// Serializes and sends a bye frame.
+void send_bye(TcpStream& stream);
+
+/// Receives the next frame. Returns nullopt on clean EOF; throws
+/// std::runtime_error on protocol violations (bad magic / unknown type /
+/// truncation).
+std::optional<Frame> receive_frame(TcpStream& stream);
+
+}  // namespace f2pm::net

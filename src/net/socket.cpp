@@ -1,0 +1,133 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace f2pm::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Socket::~Socket() { close(); }
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpStream TcpStream::connect(const std::string& host, std::uint16_t port) {
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) throw_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("TcpStream::connect: bad address " + host);
+  }
+  if (::connect(socket.fd(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    throw_errno("connect");
+  }
+  const int one = 1;
+  ::setsockopt(socket.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpStream(std::move(socket));
+}
+
+void TcpStream::send_all(const void* data, std::size_t size) {
+  const char* bytes = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(socket_.fd(), bytes + sent, size - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool TcpStream::recv_exact(void* data, std::size_t size) {
+  char* bytes = static_cast<char*>(data);
+  std::size_t received = 0;
+  while (received < size) {
+    const ssize_t n = ::recv(socket_.fd(), bytes + received, size - received,
+                             0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (n == 0) {
+      if (received == 0) return false;  // clean EOF at a message boundary
+      throw std::runtime_error("recv: connection closed mid-message");
+    }
+    received += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+TcpListener::TcpListener(std::uint16_t port) {
+  socket_ = Socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket_.valid()) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(socket_.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(socket_.fd(), reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw_errno("bind");
+  }
+  if (::listen(socket_.fd(), 8) != 0) throw_errno("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(socket_.fd(), reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+std::optional<TcpStream> TcpListener::accept() {
+  const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    // EBADF / EINVAL after shutdown(), or interrupted: report "no client".
+    return std::nullopt;
+  }
+  return TcpStream(Socket(fd));
+}
+
+void TcpListener::shutdown() noexcept {
+  if (socket_.valid()) {
+    ::shutdown(socket_.fd(), SHUT_RDWR);
+    socket_.close();
+  }
+}
+
+}  // namespace f2pm::net

@@ -1,0 +1,79 @@
+// Thin RAII wrappers over POSIX TCP sockets, used by the Feature Monitor
+// Client/Server pair (paper §III-E: "connected ... using standard TCP/IP
+// sockets", deployable on the same machine or across machines).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace f2pm::net {
+
+/// Owning socket file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  ~Socket();
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Closes the descriptor (idempotent).
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connected TCP byte stream.
+class TcpStream {
+ public:
+  explicit TcpStream(Socket socket) : socket_(std::move(socket)) {}
+
+  /// Connects to host:port (IPv4 dotted or "localhost"); throws
+  /// std::runtime_error on failure.
+  static TcpStream connect(const std::string& host, std::uint16_t port);
+
+  /// Writes the whole buffer; throws std::runtime_error on error.
+  void send_all(const void* data, std::size_t size);
+
+  /// Reads exactly `size` bytes. Returns false on clean EOF before any
+  /// byte; throws std::runtime_error on mid-message EOF or error.
+  bool recv_exact(void* data, std::size_t size);
+
+  [[nodiscard]] bool valid() const noexcept { return socket_.valid(); }
+  void close() noexcept { socket_.close(); }
+
+ private:
+  Socket socket_;
+};
+
+/// Listening TCP socket bound to 127.0.0.1.
+class TcpListener {
+ public:
+  /// Binds and listens on loopback:port (port 0 picks an ephemeral port);
+  /// throws std::runtime_error on failure.
+  explicit TcpListener(std::uint16_t port);
+
+  /// The actually bound port (useful with port 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Blocks until a client connects; returns nullopt if the listener was
+  /// shut down concurrently.
+  std::optional<TcpStream> accept();
+
+  /// Unblocks a pending accept() and closes the listening socket.
+  void shutdown() noexcept;
+
+ private:
+  Socket socket_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace f2pm::net

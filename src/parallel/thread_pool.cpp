@@ -1,0 +1,125 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace f2pm::parallel {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+namespace {
+
+struct ChunkPlan {
+  std::size_t chunk_size;
+  std::size_t num_chunks;
+};
+
+ChunkPlan plan_chunks(std::size_t count, std::size_t num_threads) {
+  if (count == 0) return {0, 0};
+  const std::size_t target_chunks = std::max<std::size_t>(1, num_threads * 4);
+  const std::size_t chunk_size =
+      std::max<std::size_t>(1, (count + target_chunks - 1) / target_chunks);
+  const std::size_t num_chunks = (count + chunk_size - 1) / chunk_size;
+  return {chunk_size, num_chunks};
+}
+
+}  // namespace
+
+void parallel_for_chunked(
+    ThreadPool& pool, std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  const ChunkPlan plan = plan_chunks(count, pool.num_threads());
+  if (plan.num_chunks <= 1 || pool.num_threads() == 1) {
+    body(begin, end);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(plan.num_chunks);
+  for (std::size_t c = 0; c < plan.num_chunks; ++c) {
+    const std::size_t lo = begin + c * plan.chunk_size;
+    const std::size_t hi = std::min(end, lo + plan.chunk_size);
+    futures.push_back(pool.submit([&body, lo, hi] { body(lo, hi); }));
+  }
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body) {
+  parallel_for_chunked(pool, begin, end,
+                       [&body](std::size_t lo, std::size_t hi) {
+                         for (std::size_t i = lo; i < hi; ++i) body(i);
+                       });
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body) {
+  parallel_for(ThreadPool::global(), begin, end, body);
+}
+
+double parallel_reduce_sum(ThreadPool& pool, std::size_t begin,
+                           std::size_t end,
+                           const std::function<double(std::size_t)>& body) {
+  std::mutex sum_mutex;
+  double total = 0.0;
+  parallel_for_chunked(pool, begin, end,
+                       [&](std::size_t lo, std::size_t hi) {
+                         double local = 0.0;
+                         for (std::size_t i = lo; i < hi; ++i) {
+                           local += body(i);
+                         }
+                         std::lock_guard<std::mutex> lock(sum_mutex);
+                         total += local;
+                       });
+  return total;
+}
+
+}  // namespace f2pm::parallel

@@ -1,0 +1,89 @@
+// Fixed-size worker pool used by the model-generation phase (train many
+// models concurrently), the Lasso regularization path (one λ per task) and
+// the kernel-matrix / gemm row-block loops.
+//
+// Design follows the shared-memory fork/join model of the OpenMP examples:
+// explicit decomposition into chunks, a barrier at the end of each parallel
+// region, and no hidden global state. Exceptions thrown by tasks are
+// captured and rethrown on the submitting thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace f2pm::parallel {
+
+/// A fixed set of worker threads draining a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 -> hardware_concurrency, min 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  [[nodiscard]] std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task and returns a future for its result. The callable may
+  /// throw; the exception is delivered through the future.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool: submit after shutdown");
+      }
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Process-wide default pool, sized to the hardware.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for i in [begin, end) across the pool, blocking until all
+/// iterations complete. Iterations are grouped into contiguous chunks
+/// (roughly 4 per worker) to amortize scheduling overhead. The first
+/// exception thrown by any iteration is rethrown here.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+/// Convenience overload using the global pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+/// Chunked variant: body(chunk_begin, chunk_end) receives whole ranges, so
+/// callers can keep per-chunk accumulators without false sharing.
+void parallel_for_chunked(
+    ThreadPool& pool, std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body);
+
+/// Parallel sum-reduction of body(i) over [begin, end).
+double parallel_reduce_sum(ThreadPool& pool, std::size_t begin,
+                           std::size_t end,
+                           const std::function<double(std::size_t)>& body);
+
+}  // namespace f2pm::parallel

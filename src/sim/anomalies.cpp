@@ -1,0 +1,75 @@
+#include "sim/anomalies.hpp"
+
+namespace f2pm::sim {
+
+HomeAnomalyInjector::HomeAnomalyInjector(ResourceModel& resources,
+                                         HomeAnomalyConfig config,
+                                         util::Rng& rng)
+    : resources_(resources), config_(config), rng_(rng) {}
+
+void HomeAnomalyInjector::on_home() {
+  if (rng_.bernoulli(config_.leak_probability)) {
+    resources_.leak_memory(
+        rng_.uniform(config_.leak_min_kb, config_.leak_max_kb));
+    ++leaks_;
+  }
+  if (rng_.bernoulli(config_.thread_probability)) {
+    resources_.leak_thread();
+    ++threads_;
+  }
+}
+
+SyntheticMemoryLeaker::SyntheticMemoryLeaker(Simulator& simulator,
+                                             ResourceModel& resources,
+                                             SyntheticLeakConfig config,
+                                             util::Rng& rng)
+    : simulator_(simulator),
+      resources_(resources),
+      config_(config),
+      rng_(rng) {}
+
+void SyntheticMemoryLeaker::start() {
+  // The paper draws the exponential mean uniformly at startup, mimicking
+  // "faulty portions" of code executed more or less often per run.
+  mean_interval_ =
+      rng_.uniform(config_.mean_interval_min, config_.mean_interval_max);
+  stopped_ = false;
+  simulator_.schedule_in(rng_.exponential(mean_interval_),
+                         [this] { leak_once(); });
+}
+
+void SyntheticMemoryLeaker::leak_once() {
+  if (stopped_) return;
+  resources_.leak_memory(
+      rng_.uniform(config_.size_min_kb, config_.size_max_kb));
+  ++leaks_;
+  simulator_.schedule_in(rng_.exponential(mean_interval_),
+                         [this] { leak_once(); });
+}
+
+SyntheticThreadLeaker::SyntheticThreadLeaker(Simulator& simulator,
+                                             ResourceModel& resources,
+                                             SyntheticThreadConfig config,
+                                             util::Rng& rng)
+    : simulator_(simulator),
+      resources_(resources),
+      config_(config),
+      rng_(rng) {}
+
+void SyntheticThreadLeaker::start() {
+  mean_interval_ =
+      rng_.uniform(config_.mean_interval_min, config_.mean_interval_max);
+  stopped_ = false;
+  simulator_.schedule_in(rng_.exponential(mean_interval_),
+                         [this] { spawn_once(); });
+}
+
+void SyntheticThreadLeaker::spawn_once() {
+  if (stopped_) return;
+  resources_.leak_thread();
+  ++threads_;
+  simulator_.schedule_in(rng_.exponential(mean_interval_),
+                         [this] { spawn_once(); });
+}
+
+}  // namespace f2pm::sim

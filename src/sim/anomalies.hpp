@@ -1,0 +1,112 @@
+// Anomaly injection, in the paper's two forms:
+//
+//  * the modified TPC-W Home servlet (§IV-A): every Home interaction leaks
+//    memory / spawns an unterminated thread with per-run probabilities, so
+//    the anomaly rate follows the server load;
+//  * the standalone synthetic injectors (§III-E utilities): memory leaks
+//    of uniformly distributed size arriving with exponential inter-arrival
+//    times whose mean is itself drawn uniformly at startup, and thread
+//    leaks with exponential inter-arrival times — independent of workload.
+#pragma once
+
+#include "sim/event_queue.hpp"
+#include "sim/resources.hpp"
+#include "util/rng.hpp"
+
+namespace f2pm::sim {
+
+/// Load-coupled injection parameters for the modified Home servlet.
+struct HomeAnomalyConfig {
+  double leak_probability = 0.9;   ///< P(leak) per Home interaction.
+  double leak_min_kb = 192.0;      ///< Uniform leak size lower bound.
+  double leak_max_kb = 768.0;      ///< Uniform leak size upper bound.
+  double thread_probability = 0.05;  ///< P(unterminated thread) per Home.
+};
+
+/// Stateless per-Home injection: call on_home() from the server hook.
+class HomeAnomalyInjector {
+ public:
+  HomeAnomalyInjector(ResourceModel& resources, HomeAnomalyConfig config,
+                      util::Rng& rng);
+
+  /// Applies the probabilistic leak / thread spawn for one Home visit.
+  void on_home();
+
+  [[nodiscard]] std::size_t leaks_injected() const { return leaks_; }
+  [[nodiscard]] std::size_t threads_injected() const { return threads_; }
+
+ private:
+  ResourceModel& resources_;
+  HomeAnomalyConfig config_;
+  util::Rng& rng_;
+  std::size_t leaks_ = 0;
+  std::size_t threads_ = 0;
+};
+
+/// §III-E synthetic memory-leak utility.
+struct SyntheticLeakConfig {
+  double size_min_kb = 128.0;
+  double size_max_kb = 1024.0;
+  /// The exponential inter-arrival mean is drawn uniformly from this range
+  /// at startup ("the mean of this exponential distribution is drawn
+  /// uniformly at random").
+  double mean_interval_min = 0.5;
+  double mean_interval_max = 4.0;
+};
+
+/// Periodically allocates-and-dirties chunks per the paper's generator.
+class SyntheticMemoryLeaker {
+ public:
+  SyntheticMemoryLeaker(Simulator& simulator, ResourceModel& resources,
+                        SyntheticLeakConfig config, util::Rng& rng);
+
+  /// Draws the run's inter-arrival mean and schedules the first leak.
+  void start();
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] double chosen_mean_interval() const { return mean_interval_; }
+  [[nodiscard]] std::size_t leaks_injected() const { return leaks_; }
+
+ private:
+  void leak_once();
+
+  Simulator& simulator_;
+  ResourceModel& resources_;
+  SyntheticLeakConfig config_;
+  util::Rng& rng_;
+  double mean_interval_ = 0.0;
+  bool stopped_ = false;
+  std::size_t leaks_ = 0;
+};
+
+/// §III-E synthetic unterminated-thread utility.
+struct SyntheticThreadConfig {
+  double mean_interval_min = 4.0;
+  double mean_interval_max = 30.0;
+};
+
+/// Periodically detaches never-terminating threads.
+class SyntheticThreadLeaker {
+ public:
+  SyntheticThreadLeaker(Simulator& simulator, ResourceModel& resources,
+                        SyntheticThreadConfig config, util::Rng& rng);
+
+  void start();
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] double chosen_mean_interval() const { return mean_interval_; }
+  [[nodiscard]] std::size_t threads_injected() const { return threads_; }
+
+ private:
+  void spawn_once();
+
+  Simulator& simulator_;
+  ResourceModel& resources_;
+  SyntheticThreadConfig config_;
+  util::Rng& rng_;
+  double mean_interval_ = 0.0;
+  bool stopped_ = false;
+  std::size_t threads_ = 0;
+};
+
+}  // namespace f2pm::sim

@@ -1,0 +1,125 @@
+#include "sim/campaign.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace f2pm::sim {
+
+RunResult execute_run(const CampaignConfig& config, std::uint64_t run_seed) {
+  util::Rng rng(run_seed);
+  // Independent streams per component keep the workload trajectory stable
+  // under config changes to unrelated components.
+  util::Rng workload_rng = rng.split();
+  util::Rng server_rng = rng.split();
+  util::Rng anomaly_rng = rng.split();
+  util::Rng monitor_rng = rng.split();
+
+  Simulator simulator;
+  ResourceModel resources(config.resources);
+  Server server(simulator, resources, config.server, server_rng);
+  BrowserPool browsers(simulator, server, config.workload, workload_rng);
+
+  RunResult result;
+  result.intensity =
+      rng.uniform(config.intensity_min, config.intensity_max);
+  HomeAnomalyConfig home = config.home_anomalies;
+  home.leak_probability =
+      std::min(1.0, home.leak_probability * result.intensity);
+  home.leak_min_kb *= result.intensity;
+  home.leak_max_kb *= result.intensity;
+  home.thread_probability =
+      std::min(1.0, home.thread_probability * result.intensity);
+  HomeAnomalyInjector injector(resources, home, anomaly_rng);
+  server.set_home_hook([&injector] { injector.on_home(); });
+
+  SyntheticMemoryLeaker synthetic_leaker(simulator, resources,
+                                         config.synthetic_leak, anomaly_rng);
+  SyntheticThreadLeaker synthetic_threader(
+      simulator, resources, config.synthetic_thread, anomaly_rng);
+  if (config.use_synthetic_injectors) {
+    synthetic_leaker.start();
+    synthetic_threader.start();
+  }
+
+  FeatureMonitor monitor(simulator, resources, server, config.monitor,
+                         monitor_rng);
+  monitor.start();
+  browsers.start();
+
+  // The run ends on the hard crash (swap exhaustion) or, when the user
+  // defined a failure condition, as soon as a monitor datapoint meets it.
+  double previous_tgen = 0.0;
+  std::size_t checked = 0;
+  auto condition_met = [&]() {
+    if (!config.failure_condition) return false;
+    const auto& samples = monitor.samples();
+    for (; checked < samples.size(); ++checked) {
+      const double intergen =
+          checked == 0 ? 0.0 : samples[checked].tgen - previous_tgen;
+      previous_tgen = samples[checked].tgen;
+      if (config.failure_condition(samples[checked], intergen)) return true;
+    }
+    return false;
+  };
+  const bool crashed = simulator.run_until_condition(
+      [&resources, &condition_met] {
+        return resources.crashed() || condition_met();
+      },
+      config.max_run_seconds);
+
+  result.run.samples = monitor.take_samples();
+  result.run.failed = crashed;
+  result.run.fail_time =
+      crashed ? simulator.now()
+              : (result.run.samples.empty() ? 0.0
+                                            : result.run.samples.back().tgen);
+  result.response_times =
+      std::vector<double>(monitor.response_time_series());
+  result.leaks_injected =
+      injector.leaks_injected() + synthetic_leaker.leaks_injected();
+  result.threads_injected =
+      injector.threads_injected() + synthetic_threader.threads_injected();
+  result.requests_completed = server.total_completed();
+  return result;
+}
+
+data::DataHistory run_campaign(
+    const CampaignConfig& config,
+    const std::function<void(std::size_t, const RunResult&)>& progress) {
+  // Per-run seeds are drawn up front so the campaign is reproducible
+  // regardless of execution order.
+  util::Rng seed_rng(config.seed);
+  std::vector<std::uint64_t> seeds(config.num_runs);
+  for (auto& seed : seeds) seed = seed_rng();
+
+  std::vector<RunResult> results(config.num_runs);
+  if (config.parallel_runs > 1) {
+    parallel::ThreadPool pool(config.parallel_runs);
+    parallel::parallel_for(pool, 0, config.num_runs, [&](std::size_t r) {
+      results[r] = execute_run(config, seeds[r]);
+    });
+  } else {
+    for (std::size_t r = 0; r < config.num_runs; ++r) {
+      results[r] = execute_run(config, seeds[r]);
+    }
+  }
+
+  data::DataHistory history;
+  for (std::size_t r = 0; r < config.num_runs; ++r) {
+    RunResult& result = results[r];
+    F2PM_LOG(kDebug, "campaign")
+        << "run " << r << ": ttf=" << result.run.fail_time
+        << "s failed=" << result.run.failed
+        << " samples=" << result.run.samples.size()
+        << " leaks=" << result.leaks_injected
+        << " threads=" << result.threads_injected;
+    if (progress) progress(r, result);
+    history.add_run(std::move(result.run));
+  }
+  return history;
+}
+
+}  // namespace f2pm::sim

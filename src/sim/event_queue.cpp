@@ -1,0 +1,49 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+namespace f2pm::sim {
+
+void Simulator::schedule_at(double when, Handler handler) {
+  queue_.push(Event{std::max(when, now_), next_seq_++, std::move(handler)});
+}
+
+void Simulator::schedule_in(double delay, Handler handler) {
+  schedule_at(now_ + std::max(delay, 0.0), std::move(handler));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the handler must be moved out
+  // before pop, so copy the POD parts and steal the callable.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = event.time;
+  ++events_processed_;
+  event.handler();
+  return true;
+}
+
+void Simulator::run_until(double end_time) {
+  while (!queue_.empty() && queue_.top().time <= end_time) {
+    step();
+  }
+  now_ = std::max(now_, end_time);
+}
+
+bool Simulator::run_until_condition(const std::function<bool()>& predicate,
+                                    double end_time) {
+  if (predicate()) return true;
+  while (!queue_.empty() && queue_.top().time <= end_time) {
+    step();
+    if (predicate()) return true;
+  }
+  now_ = std::max(now_, end_time);
+  return false;
+}
+
+void Simulator::clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace f2pm::sim

@@ -1,0 +1,63 @@
+#include "sim/monitor.hpp"
+
+#include <algorithm>
+
+namespace f2pm::sim {
+
+FeatureMonitor::FeatureMonitor(Simulator& simulator, ResourceModel& resources,
+                               Server& server, MonitorConfig config,
+                               util::Rng& rng)
+    : simulator_(simulator),
+      resources_(resources),
+      server_(server),
+      config_(config),
+      rng_(rng) {}
+
+double FeatureMonitor::next_interval() const {
+  // The monitor process gets delayed when the system is overloaded: its
+  // wake-ups contend with the thrashing workload. The stretch follows the
+  // same slowdown the requests experience, capped at max_skew.
+  const double slowdown = resources_.slowdown_factor();
+  const double skew = std::min(1.0 + 0.35 * (slowdown - 1.0),
+                               config_.max_skew);
+  return config_.base_interval * skew;
+}
+
+void FeatureMonitor::start() {
+  stopped_ = false;
+  simulator_.schedule_in(next_interval(), [this] { sample_once(); });
+}
+
+void FeatureMonitor::sample_once() {
+  if (stopped_) return;
+  const double now = simulator_.now();
+  const double interval = now - last_sample_time_;
+  data::RawDatapoint sample;
+  sample.tgen = now;
+  const MemorySnapshot memory = resources_.memory();
+  sample[data::FeatureId::kNumThreads] =
+      static_cast<double>(resources_.num_threads());
+  sample[data::FeatureId::kMemUsed] = memory.used_kb;
+  sample[data::FeatureId::kMemFree] = memory.free_kb;
+  sample[data::FeatureId::kMemShared] = memory.shared_kb;
+  sample[data::FeatureId::kMemBuffers] = memory.buffers_kb;
+  sample[data::FeatureId::kMemCached] = memory.cached_kb;
+  sample[data::FeatureId::kSwapUsed] = memory.swap_used_kb;
+  sample[data::FeatureId::kSwapFree] = memory.swap_free_kb;
+  resources_.sample_cpu(interval, rng_, sample);
+  samples_.push_back(sample);
+
+  const ResponseStats stats = server_.drain_response_stats();
+  // Windows with no completed request inherit the previous mean: the
+  // clients are stalled, not fast.
+  if (stats.completed > 0) last_rt_mean_ = stats.mean();
+  response_times_.push_back(last_rt_mean_);
+
+  last_sample_time_ = now;
+  const double jitter =
+      1.0 + rng_.uniform(-config_.jitter, config_.jitter);
+  simulator_.schedule_in(next_interval() * jitter,
+                         [this] { sample_once(); });
+}
+
+}  // namespace f2pm::sim

@@ -1,0 +1,129 @@
+#include "sim/resources.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace f2pm::sim {
+
+ResourceModel::ResourceModel(ResourceConfig config) : config_(config) {}
+
+void ResourceModel::leak_memory(double kb) {
+  if (kb > 0.0) leaked_kb_ += kb;
+}
+
+void ResourceModel::leak_thread() { ++leaked_threads_; }
+
+void ResourceModel::set_active_requests(int in_flight, int worker_threads) {
+  active_requests_ = in_flight;
+  worker_threads_ = worker_threads;
+}
+
+MemorySnapshot ResourceModel::memory() const {
+  const ResourceConfig& c = config_;
+  const double shared =
+      c.base_shared_kb + active_requests_ * c.shared_per_session_kb;
+  // Application-resident demand: baseline + leaks + thread stacks +
+  // transient request buffers. Worker threads cost a quarter stack (they
+  // are pooled and mostly warm).
+  double demand = c.base_used_kb + leaked_kb_ +
+                  leaked_threads_ * c.thread_stack_kb +
+                  active_requests_ * c.request_footprint_kb +
+                  worker_threads_ * c.thread_stack_kb * 0.25 + shared;
+
+  double cached = c.base_cached_kb;
+  double buffers = c.base_buffers_kb;
+  double free_room = c.total_memory_kb - demand - cached - buffers;
+  // Kernel reclaim order under pressure: page cache first, then buffers.
+  if (free_room < 0.0) {
+    const double reclaim = std::min(-free_room, cached - c.min_cached_kb);
+    cached -= reclaim;
+    free_room += reclaim;
+  }
+  if (free_room < 0.0) {
+    const double reclaim = std::min(-free_room, buffers - c.min_buffers_kb);
+    buffers -= reclaim;
+    free_room += reclaim;
+  }
+  double swap_used = 0.0;
+  double used = demand;
+  if (free_room < 0.0) {
+    // Overflow spills to swap; the resident share is what still fits.
+    swap_used = std::min(-free_room, c.total_swap_kb);
+    used = demand + free_room;  // free_room is negative
+    free_room = 0.0;
+  }
+  MemorySnapshot snapshot;
+  snapshot.used_kb = used;
+  snapshot.free_kb = std::max(free_room, 0.0);
+  snapshot.shared_kb = shared;
+  snapshot.buffers_kb = buffers;
+  snapshot.cached_kb = cached;
+  snapshot.swap_used_kb = swap_used;
+  snapshot.swap_free_kb = c.total_swap_kb - swap_used;
+  return snapshot;
+}
+
+int ResourceModel::num_threads() const {
+  return config_.base_threads + worker_threads_ + leaked_threads_;
+}
+
+double ResourceModel::swap_pressure() const {
+  if (config_.total_swap_kb <= 0.0) return 0.0;
+  return memory().swap_used_kb / config_.total_swap_kb;
+}
+
+double ResourceModel::slowdown_factor() const {
+  const MemorySnapshot snapshot = memory();
+  // Losing the page cache makes every DB access hit disk.
+  const double cache_loss =
+      1.0 - snapshot.cached_kb / config_.base_cached_kb;
+  const double cache_factor = 1.0 + 0.8 * std::max(cache_loss, 0.0);
+  // Swap thrashing dominates near the end and grows superlinearly.
+  const double swap_frac = snapshot.swap_used_kb / config_.total_swap_kb;
+  const double swap_factor = 1.0 + 60.0 * swap_frac * swap_frac;
+  // Every leaked thread costs the scheduler a little.
+  const double crowd_factor = 1.0 + 0.0015 * leaked_threads_;
+  return cache_factor * swap_factor * crowd_factor;
+}
+
+bool ResourceModel::crashed() const {
+  return swap_pressure() >= config_.crash_swap_fraction;
+}
+
+void ResourceModel::sample_cpu(double interval, util::Rng& rng,
+                               data::RawDatapoint& out) {
+  const double capacity = std::max(interval, 1e-9) * config_.cores;
+  double user = 100.0 * cpu_user_acc_ / capacity;
+  double system = 100.0 * cpu_system_acc_ / capacity;
+  double iowait = 100.0 * cpu_iowait_acc_ / capacity;
+  const double steal = rng.uniform(0.1, 1.5);
+  const double nice = rng.uniform(0.0, 0.4);
+  cpu_user_acc_ = 0.0;
+  cpu_system_acc_ = 0.0;
+  cpu_iowait_acc_ = 0.0;
+
+  // The categories must add to 100%; if demand exceeds capacity the busy
+  // categories saturate proportionally.
+  double busy = user + system + iowait + steal + nice;
+  if (busy > 100.0) {
+    const double scale = 100.0 / busy;
+    user *= scale;
+    system *= scale;
+    iowait *= scale;
+    busy = 100.0 - steal * scale - nice * scale;
+    out[data::FeatureId::kCpuSteal] = steal * scale;
+    out[data::FeatureId::kCpuNice] = nice * scale;
+  } else {
+    out[data::FeatureId::kCpuSteal] = steal;
+    out[data::FeatureId::kCpuNice] = nice;
+  }
+  out[data::FeatureId::kCpuUser] = user;
+  out[data::FeatureId::kCpuSystem] = system;
+  out[data::FeatureId::kCpuIoWait] = iowait;
+  const double idle = 100.0 - user - system - iowait -
+                      out[data::FeatureId::kCpuSteal] -
+                      out[data::FeatureId::kCpuNice];
+  out[data::FeatureId::kCpuIdle] = std::max(idle, 0.0);
+}
+
+}  // namespace f2pm::sim

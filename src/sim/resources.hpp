@@ -1,0 +1,110 @@
+// Resource model of the monitored VM: memory / swap / cache accounting,
+// thread census and CPU-time bookkeeping. This is where the anomaly
+// phenomenology the paper relies on is produced:
+//
+//   * leaked memory and unterminated threads accumulate in `leaked_kb` /
+//     `leaked_threads`;
+//   * once application memory outgrows RAM, the kernel first reclaims page
+//     cache and buffers, then spills to swap;
+//   * swap pressure inflates service times (thrashing) and shows up as
+//     CPU iowait — which is exactly the accelerating, slope-visible signal
+//     the paper's Lasso selects (Table I);
+//   * when swap is exhausted the VM is considered crashed (the paper's
+//     user-defined failure condition for the TPC-W testbed).
+#pragma once
+
+#include <cstdint>
+
+#include "data/datapoint.hpp"
+#include "util/rng.hpp"
+
+namespace f2pm::sim {
+
+/// Static sizing of the simulated VM (KiB / counts / cores).
+struct ResourceConfig {
+  double total_memory_kb = 2.0 * 1024 * 1024;  ///< 2 GiB RAM.
+  double total_swap_kb = 1.0 * 1024 * 1024;    ///< 1 GiB swap.
+  double base_used_kb = 420.0 * 1024;          ///< OS + idle app footprint.
+  double base_cached_kb = 520.0 * 1024;        ///< Page cache when healthy.
+  double min_cached_kb = 40.0 * 1024;          ///< Cache floor under pressure.
+  double base_buffers_kb = 96.0 * 1024;
+  double min_buffers_kb = 8.0 * 1024;
+  double base_shared_kb = 64.0 * 1024;
+  double thread_stack_kb = 1024.0;     ///< Resident cost per leaked thread.
+  double request_footprint_kb = 256.0; ///< Transient per in-flight request.
+  double shared_per_session_kb = 24.0;
+  int base_threads = 120;              ///< Kernel + Tomcat + MySQL baseline.
+  int cores = 2;                       ///< vCPUs of the monitored VM.
+  /// Swap fraction above which the VM counts as crashed (OOM killer
+  /// territory); the paper restarts the VM at this point.
+  double crash_swap_fraction = 0.98;
+};
+
+/// Instantaneous memory/swap picture derived from the accumulated state.
+struct MemorySnapshot {
+  double used_kb = 0.0;
+  double free_kb = 0.0;
+  double shared_kb = 0.0;
+  double buffers_kb = 0.0;
+  double cached_kb = 0.0;
+  double swap_used_kb = 0.0;
+  double swap_free_kb = 0.0;
+};
+
+/// Mutable resource state of one VM run.
+class ResourceModel {
+ public:
+  explicit ResourceModel(ResourceConfig config = {});
+
+  [[nodiscard]] const ResourceConfig& config() const { return config_; }
+
+  /// Anomaly accrual.
+  void leak_memory(double kb);
+  void leak_thread();
+
+  /// Workload census hooks (called by the server).
+  void set_active_requests(int in_flight, int worker_threads);
+
+  /// CPU accounting: seconds of user/system work and of I/O wait performed
+  /// since the last monitor sample (the monitor consumes and resets them).
+  void add_cpu_user_seconds(double seconds) { cpu_user_acc_ += seconds; }
+  void add_cpu_system_seconds(double seconds) { cpu_system_acc_ += seconds; }
+  void add_cpu_iowait_seconds(double seconds) { cpu_iowait_acc_ += seconds; }
+
+  /// Current memory/swap picture.
+  [[nodiscard]] MemorySnapshot memory() const;
+
+  /// Total thread census (base + workload + leaked).
+  [[nodiscard]] int num_threads() const;
+
+  /// Service-time inflation factor >= 1: queue-free slowdown caused by
+  /// cache starvation, swap thrashing and scheduler crowding.
+  [[nodiscard]] double slowdown_factor() const;
+
+  /// Fraction of swap in use, in [0, 1].
+  [[nodiscard]] double swap_pressure() const;
+
+  /// True once swap usage passes the crash threshold.
+  [[nodiscard]] bool crashed() const;
+
+  /// Fills the CPU block of a datapoint from the accumulated CPU seconds
+  /// over `interval` seconds, adds hypervisor-steal and nice noise from
+  /// `rng`, and resets the accumulators.
+  void sample_cpu(double interval, util::Rng& rng, data::RawDatapoint& out);
+
+  /// Raw anomaly state (diagnostics / tests).
+  [[nodiscard]] double leaked_kb() const { return leaked_kb_; }
+  [[nodiscard]] int leaked_threads() const { return leaked_threads_; }
+
+ private:
+  ResourceConfig config_;
+  double leaked_kb_ = 0.0;
+  int leaked_threads_ = 0;
+  int active_requests_ = 0;
+  int worker_threads_ = 0;
+  double cpu_user_acc_ = 0.0;
+  double cpu_system_acc_ = 0.0;
+  double cpu_iowait_acc_ = 0.0;
+};
+
+}  // namespace f2pm::sim

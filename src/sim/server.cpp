@@ -1,0 +1,86 @@
+#include "sim/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace f2pm::sim {
+
+Server::Server(Simulator& simulator, ResourceModel& resources,
+               ServerConfig config, util::Rng& rng)
+    : simulator_(simulator),
+      resources_(resources),
+      config_(config),
+      rng_(rng) {
+  update_census();
+}
+
+void Server::update_census() {
+  resources_.set_active_requests(
+      busy_workers_ + static_cast<int>(queue_.size()),
+      config_.worker_threads);
+}
+
+void Server::submit(Interaction interaction,
+                    std::function<void(double)> on_complete) {
+  if (interaction == Interaction::kHome && home_hook_) home_hook_();
+  PendingRequest request{interaction, simulator_.now(),
+                         std::move(on_complete)};
+  if (busy_workers_ < config_.worker_threads) {
+    start_service(std::move(request));
+  } else {
+    queue_.push_back(std::move(request));
+  }
+  update_census();
+}
+
+void Server::start_service(PendingRequest request) {
+  ++busy_workers_;
+  const InteractionDemand demand = interaction_demand(request.interaction);
+  // Multiplicative jitter around the nominal demand.
+  const double noise =
+      std::exp(rng_.normal(0.0, config_.service_noise));
+  const double slowdown = resources_.slowdown_factor();
+  const double user_cpu =
+      demand.cpu_seconds * noise * (1.0 - config_.system_cpu_fraction);
+  const double system_cpu =
+      demand.cpu_seconds * noise * config_.system_cpu_fraction;
+  // I/O time is where the slowdown lands: cache misses and swap thrashing
+  // turn logical reads into disk waits.
+  const double io_wait = demand.io_seconds * noise * slowdown;
+  const double service_time = user_cpu + system_cpu + io_wait;
+  simulator_.schedule_in(
+      service_time,
+      [this, arrival = request.arrival_time, user_cpu, system_cpu, io_wait,
+       on_complete = std::move(request.on_complete)]() mutable {
+        finish_service(arrival, user_cpu, system_cpu, io_wait,
+                       std::move(on_complete));
+      });
+}
+
+void Server::finish_service(double arrival_time, double user_cpu,
+                            double system_cpu, double io_wait,
+                            std::function<void(double)> on_complete) {
+  --busy_workers_;
+  resources_.add_cpu_user_seconds(user_cpu);
+  resources_.add_cpu_system_seconds(system_cpu);
+  resources_.add_cpu_iowait_seconds(io_wait);
+  const double response_time = simulator_.now() - arrival_time;
+  window_stats_.total_response_time += response_time;
+  ++window_stats_.completed;
+  ++total_completed_;
+  if (!queue_.empty()) {
+    PendingRequest next = std::move(queue_.front());
+    queue_.pop_front();
+    start_service(std::move(next));
+  }
+  update_census();
+  if (on_complete) on_complete(response_time);
+}
+
+ResponseStats Server::drain_response_stats() {
+  ResponseStats stats = window_stats_;
+  window_stats_ = ResponseStats{};
+  return stats;
+}
+
+}  // namespace f2pm::sim

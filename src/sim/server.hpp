@@ -1,0 +1,86 @@
+// The simulated application server (the paper's Tomcat + MySQL VM): a
+// fixed worker pool serving TPC-W interactions from a FIFO queue, with
+// service times inflated by the ResourceModel's slowdown factor. Home
+// interactions fire the anomaly hook, reproducing the paper's modified
+// Home Web Interaction servlet that leaks memory / spawns threads with
+// load-dependent rates (§IV-A).
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/resources.hpp"
+#include "sim/tpcw_workload.hpp"
+#include "util/rng.hpp"
+
+namespace f2pm::sim {
+
+/// Server sizing and noise parameters.
+struct ServerConfig {
+  int worker_threads = 8;        ///< Tomcat-style request worker pool.
+  double service_noise = 0.15;   ///< Lognormal-ish multiplicative jitter.
+  double system_cpu_fraction = 0.18;  ///< Kernel share of CPU work.
+};
+
+/// Aggregate response-time statistics since the last drain (consumed by
+/// the feature monitor, which samples once per datapoint).
+struct ResponseStats {
+  double total_response_time = 0.0;
+  std::size_t completed = 0;
+
+  [[nodiscard]] double mean() const {
+    return completed == 0 ? 0.0
+                          : total_response_time /
+                                static_cast<double>(completed);
+  }
+};
+
+/// FIFO multi-worker queueing server over the DES.
+class Server final : public RequestSink {
+ public:
+  Server(Simulator& simulator, ResourceModel& resources, ServerConfig config,
+         util::Rng& rng);
+
+  void submit(Interaction interaction,
+              std::function<void(double)> on_complete) override;
+
+  /// Called on every Home interaction before service starts (anomaly
+  /// injection point).
+  void set_home_hook(std::function<void()> hook) {
+    home_hook_ = std::move(hook);
+  }
+
+  /// Returns and resets the response-time statistics window.
+  ResponseStats drain_response_stats();
+
+  [[nodiscard]] int busy_workers() const { return busy_workers_; }
+  [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
+  [[nodiscard]] std::size_t total_completed() const {
+    return total_completed_;
+  }
+
+ private:
+  struct PendingRequest {
+    Interaction interaction;
+    double arrival_time;
+    std::function<void(double)> on_complete;
+  };
+
+  void start_service(PendingRequest request);
+  void finish_service(double arrival_time, double user_cpu, double system_cpu,
+                      double io_wait, std::function<void(double)> on_complete);
+  void update_census();
+
+  Simulator& simulator_;
+  ResourceModel& resources_;
+  ServerConfig config_;
+  util::Rng& rng_;
+  std::deque<PendingRequest> queue_;
+  std::function<void()> home_hook_;
+  int busy_workers_ = 0;
+  std::size_t total_completed_ = 0;
+  ResponseStats window_stats_;
+};
+
+}  // namespace f2pm::sim

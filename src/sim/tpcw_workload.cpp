@@ -1,0 +1,146 @@
+#include "sim/tpcw_workload.hpp"
+
+namespace f2pm::sim {
+
+namespace {
+
+constexpr std::array<std::string_view, kInteractionCount> kNames = {
+    "home",          "new_products",  "best_sellers",
+    "product_detail", "search_request", "search_results",
+    "shopping_cart", "customer_registration", "buy_request",
+    "buy_confirm",   "order_inquiry", "order_display",
+    "admin_request", "admin_confirm",
+};
+
+// TPC-W browsing mix (WIPSb) stationary frequencies, in percent.
+constexpr std::array<double, kInteractionCount> kBrowsingMix = {
+    29.00,  // home
+    11.00,  // new products
+    11.00,  // best sellers
+    21.00,  // product detail
+    12.00,  // search request
+    11.00,  // search results
+    2.00,   // shopping cart
+    0.82,   // customer registration
+    0.75,   // buy request
+    0.69,   // buy confirm
+    0.30,   // order inquiry
+    0.25,   // order display
+    0.10,   // admin request
+    0.09,   // admin confirm
+};
+
+// TPC-W shopping mix (WIPS), the benchmark's primary metric mix.
+constexpr std::array<double, kInteractionCount> kShoppingMix = {
+    16.00,  // home
+    5.00,   // new products
+    5.00,   // best sellers
+    17.00,  // product detail
+    20.00,  // search request
+    17.00,  // search results
+    11.60,  // shopping cart
+    3.00,   // customer registration
+    2.60,   // buy request
+    1.20,   // buy confirm
+    0.75,   // order inquiry
+    0.66,   // order display
+    0.10,   // admin request
+    0.09,   // admin confirm
+};
+
+// TPC-W ordering mix (WIPSo), order-heavy traffic.
+constexpr std::array<double, kInteractionCount> kOrderingMix = {
+    9.12,   // home
+    0.46,   // new products
+    0.46,   // best sellers
+    12.35,  // product detail
+    14.54,  // search request
+    13.08,  // search results
+    13.53,  // shopping cart
+    12.86,  // customer registration
+    12.73,  // buy request
+    10.18,  // buy confirm
+    0.25,   // order inquiry
+    0.22,   // order display
+    0.12,   // admin request
+    0.10,   // admin confirm
+};
+
+// Nominal demands of a healthy Tomcat+MySQL stack (seconds). Heavy DB
+// interactions (best sellers, buy confirm, search results) dominate.
+constexpr std::array<InteractionDemand, kInteractionCount> kDemands = {{
+    {0.010, 0.004},  // home
+    {0.018, 0.010},  // new products
+    {0.030, 0.022},  // best sellers
+    {0.012, 0.006},  // product detail
+    {0.006, 0.002},  // search request
+    {0.022, 0.014},  // search results
+    {0.014, 0.006},  // shopping cart
+    {0.008, 0.004},  // customer registration
+    {0.014, 0.008},  // buy request
+    {0.026, 0.016},  // buy confirm
+    {0.006, 0.004},  // order inquiry
+    {0.016, 0.010},  // order display
+    {0.010, 0.006},  // admin request
+    {0.022, 0.012},  // admin confirm
+}};
+
+}  // namespace
+
+std::string_view interaction_name(Interaction interaction) noexcept {
+  return kNames[static_cast<std::size_t>(interaction)];
+}
+
+InteractionDemand interaction_demand(Interaction interaction) noexcept {
+  return kDemands[static_cast<std::size_t>(interaction)];
+}
+
+const std::array<double, kInteractionCount>& browsing_mix_weights() noexcept {
+  return kBrowsingMix;
+}
+
+const std::array<double, kInteractionCount>& mix_weights(
+    TpcwMix mix) noexcept {
+  switch (mix) {
+    case TpcwMix::kBrowsing:
+      return kBrowsingMix;
+    case TpcwMix::kShopping:
+      return kShoppingMix;
+    case TpcwMix::kOrdering:
+      return kOrderingMix;
+  }
+  return kBrowsingMix;
+}
+
+BrowserPool::BrowserPool(Simulator& simulator, RequestSink& sink,
+                         WorkloadConfig config, util::Rng& rng)
+    : simulator_(simulator),
+      sink_(sink),
+      config_(config),
+      rng_(rng),
+      mix_(mix_weights(config.mix).begin(), mix_weights(config.mix).end()) {}
+
+void BrowserPool::start() {
+  for (std::size_t b = 0; b < config_.num_browsers; ++b) {
+    simulator_.schedule_in(rng_.uniform(0.0, config_.think_time_mean),
+                           [this, b] { browser_request(b); });
+  }
+}
+
+void BrowserPool::browser_think(std::size_t browser) {
+  if (stopped_) return;
+  simulator_.schedule_in(rng_.exponential(config_.think_time_mean),
+                         [this, browser] { browser_request(browser); });
+}
+
+void BrowserPool::browser_request(std::size_t browser) {
+  if (stopped_) return;
+  const auto interaction = static_cast<Interaction>(rng_.categorical(mix_));
+  ++requests_issued_;
+  sink_.submit(interaction, [this, browser](double /*response_time*/) {
+    ++responses_received_;
+    browser_think(browser);
+  });
+}
+
+}  // namespace f2pm::sim

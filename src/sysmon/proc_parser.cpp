@@ -1,0 +1,114 @@
+#include "sysmon/proc_parser.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace f2pm::sysmon {
+
+namespace {
+
+/// Extracts the numeric value (in KiB) of a "Key:   12345 kB" line.
+double meminfo_value(std::string_view line) {
+  const std::size_t colon = line.find(':');
+  std::string_view rest = line.substr(colon + 1);
+  // Strip the trailing unit if present.
+  const std::size_t kb = rest.rfind("kB");
+  if (kb != std::string_view::npos) rest = rest.substr(0, kb);
+  return util::parse_double(util::trim(rest));
+}
+
+}  // namespace
+
+MemInfo parse_meminfo(std::string_view content) {
+  MemInfo info;
+  std::istringstream in{std::string(content)};
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view view = line;
+    if (util::starts_with(view, "MemTotal:")) {
+      info.total_kb = meminfo_value(view);
+    } else if (util::starts_with(view, "MemFree:")) {
+      info.free_kb = meminfo_value(view);
+    } else if (util::starts_with(view, "Buffers:")) {
+      info.buffers_kb = meminfo_value(view);
+    } else if (util::starts_with(view, "Cached:")) {
+      info.cached_kb = meminfo_value(view);
+    } else if (util::starts_with(view, "Shmem:")) {
+      info.shmem_kb = meminfo_value(view);
+    } else if (util::starts_with(view, "SwapTotal:")) {
+      info.swap_total_kb = meminfo_value(view);
+    } else if (util::starts_with(view, "SwapFree:")) {
+      info.swap_free_kb = meminfo_value(view);
+    }
+  }
+  return info;
+}
+
+CpuJiffies parse_proc_stat(std::string_view content) {
+  std::istringstream in{std::string(content)};
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!util::starts_with(line, "cpu ")) continue;
+    std::istringstream fields(line.substr(4));
+    CpuJiffies jiffies;
+    if (!(fields >> jiffies.user >> jiffies.nice >> jiffies.system >>
+          jiffies.idle)) {
+      throw std::invalid_argument("proc_stat: malformed cpu line");
+    }
+    // The remaining fields appeared over kernel history; default to 0.
+    fields >> jiffies.iowait >> jiffies.irq >> jiffies.softirq >>
+        jiffies.steal;
+    return jiffies;
+  }
+  throw std::invalid_argument("proc_stat: no aggregate cpu line");
+}
+
+CpuPercentages cpu_percentages(const CpuJiffies& earlier,
+                               const CpuJiffies& later) {
+  auto delta = [](std::uint64_t to, std::uint64_t from) -> double {
+    return to >= from ? static_cast<double>(to - from) : 0.0;
+  };
+  const double user = delta(later.user, earlier.user);
+  const double nice = delta(later.nice, earlier.nice);
+  const double system = delta(later.system, earlier.system) +
+                        delta(later.irq, earlier.irq) +
+                        delta(later.softirq, earlier.softirq);
+  const double idle = delta(later.idle, earlier.idle);
+  const double iowait = delta(later.iowait, earlier.iowait);
+  const double steal = delta(later.steal, earlier.steal);
+  const double total = user + nice + system + idle + iowait + steal;
+  CpuPercentages pct;
+  if (total <= 0.0) {
+    pct.idle = 100.0;
+    return pct;
+  }
+  pct.user = 100.0 * user / total;
+  pct.nice = 100.0 * nice / total;
+  pct.system = 100.0 * system / total;
+  pct.iowait = 100.0 * iowait / total;
+  pct.steal = 100.0 * steal / total;
+  pct.idle = 100.0 * idle / total;
+  return pct;
+}
+
+int parse_loadavg_threads(std::string_view content) {
+  // Format: "0.42 0.37 0.31 2/1234 5678" -> total tasks = 1234.
+  const std::size_t slash = content.find('/');
+  if (slash == std::string_view::npos) {
+    throw std::invalid_argument("loadavg: missing runnable/total field");
+  }
+  std::size_t end = slash + 1;
+  while (end < content.size() &&
+         content[end] >= '0' && content[end] <= '9') {
+    ++end;
+  }
+  if (end == slash + 1) {
+    throw std::invalid_argument("loadavg: malformed total task count");
+  }
+  return static_cast<int>(
+      util::parse_int(content.substr(slash + 1, end - slash - 1)));
+}
+
+}  // namespace f2pm::sysmon

@@ -1,0 +1,78 @@
+// Parsers for the Linux /proc text formats the Feature Monitor Client
+// reads on a real host: /proc/meminfo (memory & swap), /proc/stat (CPU
+// jiffies) and /proc/loadavg (thread census). The parsers are pure
+// string-to-struct functions so they are unit-testable with synthetic
+// content; proc_source.hpp wires them to the live files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace f2pm::sysmon {
+
+/// Subset of /proc/meminfo the datapoint schema needs, in KiB.
+struct MemInfo {
+  double total_kb = 0.0;
+  double free_kb = 0.0;
+  double buffers_kb = 0.0;
+  double cached_kb = 0.0;
+  double shmem_kb = 0.0;
+  double swap_total_kb = 0.0;
+  double swap_free_kb = 0.0;
+
+  /// mem_used the way `free(1)` computes it: total - free - buffers -
+  /// cached.
+  [[nodiscard]] double used_kb() const {
+    return total_kb - free_kb - buffers_kb - cached_kb;
+  }
+  [[nodiscard]] double swap_used_kb() const {
+    return swap_total_kb - swap_free_kb;
+  }
+};
+
+/// Parses /proc/meminfo content. Missing keys stay zero; malformed numbers
+/// throw std::invalid_argument.
+MemInfo parse_meminfo(std::string_view content);
+
+/// The aggregate "cpu" jiffy counters of /proc/stat.
+struct CpuJiffies {
+  std::uint64_t user = 0;
+  std::uint64_t nice = 0;
+  std::uint64_t system = 0;
+  std::uint64_t idle = 0;
+  std::uint64_t iowait = 0;
+  std::uint64_t irq = 0;
+  std::uint64_t softirq = 0;
+  std::uint64_t steal = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return user + nice + system + idle + iowait + irq + softirq + steal;
+  }
+};
+
+/// Parses the first "cpu " line of /proc/stat. Throws
+/// std::invalid_argument when the line is absent or malformed.
+CpuJiffies parse_proc_stat(std::string_view content);
+
+/// CPU usage percentages over an interval, from two jiffy snapshots.
+struct CpuPercentages {
+  double user = 0.0;
+  double nice = 0.0;
+  double system = 0.0;  ///< Includes irq + softirq, as top(1) groups them.
+  double iowait = 0.0;
+  double steal = 0.0;
+  double idle = 0.0;
+};
+
+/// Percentage deltas between two snapshots (later minus earlier). A zero
+/// total delta yields all-idle. Counter wrap (later < earlier) is treated
+/// as zero per field.
+CpuPercentages cpu_percentages(const CpuJiffies& earlier,
+                               const CpuJiffies& later);
+
+/// Parses /proc/loadavg; returns the total thread/task count (the
+/// denominator of the "runnable/total" field). Throws on malformed input.
+int parse_loadavg_threads(std::string_view content);
+
+}  // namespace f2pm::sysmon

@@ -1,0 +1,68 @@
+#include "sysmon/proc_source.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace f2pm::sysmon {
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool readable(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+}  // namespace
+
+ProcFeatureSource::ProcFeatureSource(std::string proc_root)
+    : proc_root_(std::move(proc_root)),
+      start_(std::chrono::steady_clock::now()) {}
+
+bool ProcFeatureSource::available() const {
+  return readable(proc_root_ + "/meminfo") &&
+         readable(proc_root_ + "/stat") &&
+         readable(proc_root_ + "/loadavg");
+}
+
+data::RawDatapoint ProcFeatureSource::sample() {
+  data::RawDatapoint point;
+  point.tgen = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+                   .count();
+
+  const MemInfo memory = parse_meminfo(read_file(proc_root_ + "/meminfo"));
+  point[data::FeatureId::kMemUsed] = memory.used_kb();
+  point[data::FeatureId::kMemFree] = memory.free_kb;
+  point[data::FeatureId::kMemShared] = memory.shmem_kb;
+  point[data::FeatureId::kMemBuffers] = memory.buffers_kb;
+  point[data::FeatureId::kMemCached] = memory.cached_kb;
+  point[data::FeatureId::kSwapUsed] = memory.swap_used_kb();
+  point[data::FeatureId::kSwapFree] = memory.swap_free_kb;
+
+  point[data::FeatureId::kNumThreads] = static_cast<double>(
+      parse_loadavg_threads(read_file(proc_root_ + "/loadavg")));
+
+  const CpuJiffies jiffies =
+      parse_proc_stat(read_file(proc_root_ + "/stat"));
+  const CpuPercentages pct =
+      previous_jiffies_ ? cpu_percentages(*previous_jiffies_, jiffies)
+                        : CpuPercentages{.idle = 100.0};
+  previous_jiffies_ = jiffies;
+  point[data::FeatureId::kCpuUser] = pct.user;
+  point[data::FeatureId::kCpuNice] = pct.nice;
+  point[data::FeatureId::kCpuSystem] = pct.system;
+  point[data::FeatureId::kCpuIoWait] = pct.iowait;
+  point[data::FeatureId::kCpuSteal] = pct.steal;
+  point[data::FeatureId::kCpuIdle] = pct.idle;
+  return point;
+}
+
+}  // namespace f2pm::sysmon

@@ -1,0 +1,38 @@
+// Live feature source for real Linux hosts: reads /proc/meminfo,
+// /proc/stat and /proc/loadavg and assembles RawDatapoints in the exact
+// schema the training pipeline uses. This is the production counterpart
+// of the simulator's FeatureMonitor — plug it into the FMC and a model
+// trained on the simulated testbed format can score a real machine.
+#pragma once
+
+#include <chrono>
+#include <optional>
+#include <string>
+
+#include "data/datapoint.hpp"
+#include "sysmon/proc_parser.hpp"
+
+namespace f2pm::sysmon {
+
+/// Samples the host's /proc files into RawDatapoints. The first sample
+/// reports all-idle CPU (percentages need two jiffy snapshots).
+class ProcFeatureSource {
+ public:
+  /// `proc_root` is overridable for tests (defaults to "/proc").
+  explicit ProcFeatureSource(std::string proc_root = "/proc");
+
+  /// Reads the current system state. tgen is the elapsed wall-clock time
+  /// since this source was constructed. Throws std::runtime_error when
+  /// the proc files cannot be read or parsed.
+  data::RawDatapoint sample();
+
+  /// True when the proc filesystem looks usable (all three files open).
+  [[nodiscard]] bool available() const;
+
+ private:
+  std::string proc_root_;
+  std::chrono::steady_clock::time_point start_;
+  std::optional<CpuJiffies> previous_jiffies_;
+};
+
+}  // namespace f2pm::sysmon

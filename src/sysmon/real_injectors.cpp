@@ -1,0 +1,112 @@
+#include "sysmon/real_injectors.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+namespace f2pm::sysmon {
+
+RealMemoryLeaker::RealMemoryLeaker(RealLeakConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+RealMemoryLeaker::~RealMemoryLeaker() { stop(); }
+
+void RealMemoryLeaker::start() {
+  if (running_.load()) {
+    throw std::logic_error("RealMemoryLeaker: already running");
+  }
+  mean_interval_ = rng_.uniform(config_.mean_interval_min_seconds,
+                                config_.mean_interval_max_seconds);
+  stop_requested_ = false;
+  running_.store(true);
+  thread_ = std::thread([this] { leak_loop(); });
+}
+
+void RealMemoryLeaker::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false);
+  chunks_.clear();  // release the "leaked" memory on teardown
+  leaked_bytes_.store(0);
+}
+
+void RealMemoryLeaker::leak_loop() {
+  while (true) {
+    const double wait_seconds = rng_.exponential(mean_interval_);
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait_for(lock, std::chrono::duration<double>(wait_seconds),
+                   [this] { return stop_requested_; });
+      if (stop_requested_) return;
+    }
+    const auto size = static_cast<std::size_t>(rng_.uniform_int(
+        static_cast<std::int64_t>(config_.size_min_bytes),
+        static_cast<std::int64_t>(config_.size_max_bytes)));
+    if (leaked_bytes_.load() + size > config_.max_total_bytes) {
+      return;  // safety cap reached; stay alive doing nothing? no: quit
+    }
+    auto chunk = std::make_unique<char[]>(size);
+    // Writing dummy data is essential (paper §III-E): untouched pages are
+    // only virtual and never show up in the memory statistics.
+    std::memset(chunk.get(), 0x5A, size);
+    chunks_.push_back(std::move(chunk));
+    leaked_bytes_.fetch_add(size);
+    leaks_performed_.fetch_add(1);
+  }
+}
+
+RealThreadLeaker::RealThreadLeaker(RealThreadConfig config,
+                                   std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+RealThreadLeaker::~RealThreadLeaker() { stop(); }
+
+void RealThreadLeaker::start() {
+  if (running_.load()) {
+    throw std::logic_error("RealThreadLeaker: already running");
+  }
+  mean_interval_ = rng_.uniform(config_.mean_interval_min_seconds,
+                                config_.mean_interval_max_seconds);
+  stop_requested_ = false;
+  running_.store(true);
+  spawner_ = std::thread([this] { spawn_loop(); });
+}
+
+void RealThreadLeaker::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (spawner_.joinable()) spawner_.join();
+  for (auto& stray : strays_) {
+    if (stray.joinable()) stray.join();
+  }
+  strays_.clear();
+  running_.store(false);
+}
+
+void RealThreadLeaker::spawn_loop() {
+  while (true) {
+    const double wait_seconds = rng_.exponential(mean_interval_);
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait_for(lock, std::chrono::duration<double>(wait_seconds),
+                   [this] { return stop_requested_; });
+      if (stop_requested_) return;
+      if (strays_.size() >= config_.max_threads) return;
+      // An "unterminated" thread: parks forever (until teardown reaps it).
+      strays_.emplace_back([this] {
+        std::unique_lock<std::mutex> stray_lock(mutex_);
+        cv_.wait(stray_lock, [this] { return stop_requested_; });
+      });
+    }
+    threads_spawned_.fetch_add(1);
+  }
+}
+
+}  // namespace f2pm::sysmon

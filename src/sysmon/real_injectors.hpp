@@ -1,0 +1,129 @@
+// Real-host anomaly injection utilities (paper §III-E), as opposed to the
+// simulator's accounting-only injectors:
+//
+//  * RealMemoryLeaker actually allocates variable-size chunks and WRITES
+//    dummy data into them — the paper is explicit that writing is
+//    essential, otherwise the kernel never backs the allocation with
+//    physical pages. Sizes are uniform, inter-arrival times exponential
+//    with a mean drawn uniformly at startup, exactly like the synthetic
+//    generator.
+//  * RealThreadLeaker spawns threads that never do useful work again —
+//    "unterminated threads". (For testability they park on a condition
+//    variable and are reaped on stop()/destruction instead of leaking
+//    past the process.)
+//
+// Both carry hard safety caps so a demo cannot take down the host; they
+// exist to stress a monitored machine while the FMC collects training
+// data, complementing real-workload collection in a controlled way.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace f2pm::sysmon {
+
+/// Memory-leak generator parameters.
+struct RealLeakConfig {
+  std::size_t size_min_bytes = 64 * 1024;
+  std::size_t size_max_bytes = 1024 * 1024;
+  double mean_interval_min_seconds = 0.1;
+  double mean_interval_max_seconds = 1.0;
+  /// Hard cap: the leaker stops allocating past this total.
+  std::size_t max_total_bytes = 256 * 1024 * 1024;
+};
+
+/// Background thread that leaks dirtied heap memory on the §III-E
+/// schedule until stop() or the safety cap.
+class RealMemoryLeaker {
+ public:
+  RealMemoryLeaker(RealLeakConfig config, std::uint64_t seed);
+  RealMemoryLeaker(const RealMemoryLeaker&) = delete;
+  RealMemoryLeaker& operator=(const RealMemoryLeaker&) = delete;
+  ~RealMemoryLeaker();
+
+  /// Draws the run's inter-arrival mean and starts the leak thread.
+  /// Throws std::logic_error when already running.
+  void start();
+
+  /// Stops the leak thread and frees everything that was "leaked".
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_.load(); }
+  [[nodiscard]] std::size_t leaked_bytes() const {
+    return leaked_bytes_.load();
+  }
+  [[nodiscard]] std::size_t leaks_performed() const {
+    return leaks_performed_.load();
+  }
+  [[nodiscard]] double chosen_mean_interval() const {
+    return mean_interval_;
+  }
+
+ private:
+  void leak_loop();
+
+  RealLeakConfig config_;
+  util::Rng rng_;
+  double mean_interval_ = 0.0;
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::atomic<bool> running_{false};
+  std::atomic<std::size_t> leaked_bytes_{0};
+  std::atomic<std::size_t> leaks_performed_{0};
+  std::vector<std::unique_ptr<char[]>> chunks_;
+};
+
+/// Unterminated-thread generator parameters.
+struct RealThreadConfig {
+  double mean_interval_min_seconds = 0.2;
+  double mean_interval_max_seconds = 2.0;
+  /// Hard cap on stray threads.
+  std::size_t max_threads = 64;
+};
+
+/// Background generator that spawns idle "unterminated" threads on an
+/// exponential schedule until stop() or the cap.
+class RealThreadLeaker {
+ public:
+  RealThreadLeaker(RealThreadConfig config, std::uint64_t seed);
+  RealThreadLeaker(const RealThreadLeaker&) = delete;
+  RealThreadLeaker& operator=(const RealThreadLeaker&) = delete;
+  ~RealThreadLeaker();
+
+  void start();
+  /// Reaps the spawner and every stray thread.
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_.load(); }
+  [[nodiscard]] std::size_t threads_spawned() const {
+    return threads_spawned_.load();
+  }
+  [[nodiscard]] double chosen_mean_interval() const {
+    return mean_interval_;
+  }
+
+ private:
+  void spawn_loop();
+
+  RealThreadConfig config_;
+  util::Rng rng_;
+  double mean_interval_ = 0.0;
+  std::thread spawner_;
+  std::vector<std::thread> strays_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::atomic<bool> running_{false};
+  std::atomic<std::size_t> threads_spawned_{0};
+};
+
+}  // namespace f2pm::sysmon

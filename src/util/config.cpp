@@ -1,0 +1,98 @@
+#include "util/config.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace f2pm::util {
+
+Config Config::from_string(const std::string& text) {
+  Config config;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    const std::size_t eq = trimmed.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::invalid_argument("config line missing '=': " +
+                                  std::string(trimmed));
+    }
+    config.set(std::string(trim(trimmed.substr(0, eq))),
+               std::string(trim(trimmed.substr(eq + 1))));
+  }
+  return config;
+}
+
+Config Config::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open config file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_string(buffer.str());
+}
+
+void Config::apply_args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (!starts_with(arg, "--")) continue;
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string_view::npos) continue;
+    set(std::string(arg.substr(2, eq - 2)), std::string(arg.substr(eq + 1)));
+  }
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  if (values_.find(key) == values_.end()) order_.push_back(key);
+  values_[key] = value;
+}
+
+bool Config::contains(const std::string& key) const {
+  return values_.find(key) != values_.end();
+}
+
+std::optional<std::string> Config::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto value = get(key);
+  if (!value) return fallback;
+  return parse_double(*value);
+}
+
+std::int64_t Config::get_int(const std::string& key,
+                             std::int64_t fallback) const {
+  const auto value = get(key);
+  if (!value) return fallback;
+  return parse_int(*value);
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto value = get(key);
+  if (!value) return fallback;
+  const std::string lower = to_lower(trim(*value));
+  if (lower == "true" || lower == "1" || lower == "yes" || lower == "on") {
+    return true;
+  }
+  if (lower == "false" || lower == "0" || lower == "no" || lower == "off") {
+    return false;
+  }
+  throw std::invalid_argument("malformed boolean for key '" + key + "': " +
+                              *value);
+}
+
+std::vector<std::string> Config::keys() const { return order_; }
+
+}  // namespace f2pm::util

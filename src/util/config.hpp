@@ -1,0 +1,53 @@
+// Key/value configuration used by the example binaries and the benchmark
+// harness. Supports "key = value" files with '#' comments and
+// "--key=value" command-line overrides, with typed accessors.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace f2pm::util {
+
+/// An ordered key/value store with typed, defaulted accessors.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses "key = value" lines; '#' starts a comment; blank lines are
+  /// ignored. Later keys override earlier ones.
+  static Config from_string(const std::string& text);
+
+  /// Loads a config file; throws std::runtime_error if unreadable.
+  static Config from_file(const std::string& path);
+
+  /// Applies "--key=value" arguments (other argv entries are ignored), on
+  /// top of the current contents.
+  void apply_args(int argc, const char* const* argv);
+
+  void set(const std::string& key, const std::string& value);
+
+  [[nodiscard]] bool contains(const std::string& key) const;
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+
+  /// Typed accessors with defaults; throw std::invalid_argument when the
+  /// stored text does not parse as the requested type.
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// All keys in insertion order (for diagnostics / reproducibility logs).
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace f2pm::util

@@ -1,0 +1,114 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace f2pm::util {
+
+namespace {
+
+/// Splits one CSV line honouring double-quoted fields with "" escapes.
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+}  // namespace
+
+std::size_t CsvTable::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw std::out_of_range("csv column not found: " + name);
+}
+
+std::vector<double> CsvTable::column(const std::string& name) const {
+  const std::size_t idx = column_index(name);
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(row[idx]);
+  return out;
+}
+
+CsvTable read_csv(std::istream& in) {
+  CsvTable table;
+  std::string line;
+  bool have_header = false;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (trim(line).empty()) continue;
+    auto fields = split_csv_line(line);
+    if (!have_header) {
+      table.header = std::move(fields);
+      have_header = true;
+      continue;
+    }
+    if (fields.size() != table.header.size()) {
+      throw std::invalid_argument("csv row " + std::to_string(line_no) +
+                                  " has " + std::to_string(fields.size()) +
+                                  " fields, expected " +
+                                  std::to_string(table.header.size()));
+    }
+    std::vector<double> row;
+    row.reserve(fields.size());
+    for (const auto& field : fields) row.push_back(parse_double(field));
+    table.rows.push_back(std::move(row));
+  }
+  if (!have_header) throw std::invalid_argument("csv document is empty");
+  return table;
+}
+
+CsvTable read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open csv file: " + path);
+  return read_csv(in);
+}
+
+void write_csv(std::ostream& out, const CsvTable& table) {
+  out << join(table.header, ",") << '\n';
+  std::ostringstream cell;
+  for (const auto& row : table.rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out << ',';
+      out << format_double(row[i], 9);
+    }
+    out << '\n';
+  }
+}
+
+void write_csv_file(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write csv file: " + path);
+  write_csv(out, table);
+}
+
+}  // namespace f2pm::util

@@ -1,0 +1,41 @@
+// CSV reading/writing for datapoint histories, experiment outputs and plot
+// series. The format is deliberately simple: comma-separated, one header
+// row, numeric cells; quoting is supported on read for robustness.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace f2pm::util {
+
+/// An in-memory CSV table: one header row plus numeric data rows.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<double>> rows;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows.size(); }
+  [[nodiscard]] std::size_t num_cols() const { return header.size(); }
+
+  /// Index of a column by name; throws std::out_of_range if absent.
+  [[nodiscard]] std::size_t column_index(const std::string& name) const;
+
+  /// Extracts a full column as a vector.
+  [[nodiscard]] std::vector<double> column(const std::string& name) const;
+};
+
+/// Parses a CSV document from a stream. First row is the header. Every data
+/// cell must parse as a double; throws std::invalid_argument otherwise or on
+/// ragged rows.
+CsvTable read_csv(std::istream& in);
+
+/// Loads a CSV file from disk; throws std::runtime_error if unreadable.
+CsvTable read_csv_file(const std::string& path);
+
+/// Writes a CSV document (header + rows) to a stream.
+void write_csv(std::ostream& out, const CsvTable& table);
+
+/// Writes a CSV file to disk; throws std::runtime_error if unwritable.
+void write_csv_file(const std::string& path, const CsvTable& table);
+
+}  // namespace f2pm::util

@@ -1,0 +1,65 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace f2pm::util {
+
+namespace {
+
+std::mutex g_log_mutex;
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<std::ostream*> g_sink{nullptr};
+
+}  // namespace
+
+const char* log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?????";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_min_level(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel Logger::min_level() const {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+void Logger::set_sink(std::ostream* sink) {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+void Logger::write(LogLevel level, const std::string& component,
+                   const std::string& message) {
+  if (static_cast<int>(level) <
+      g_min_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::ostream* sink = g_sink.load(std::memory_order_acquire);
+  if (sink == nullptr) sink = &std::cerr;
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  (*sink) << '[' << log_level_name(level) << "] " << component << ": "
+          << message << '\n';
+}
+
+LogLine::~LogLine() {
+  Logger::instance().write(level_, component_, stream_.str());
+}
+
+}  // namespace f2pm::util

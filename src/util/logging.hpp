@@ -1,0 +1,63 @@
+// Minimal leveled logger. Thread-safe, writes to stderr by default; the
+// sink can be redirected (tests capture it, long campaigns tee it to a file).
+#pragma once
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace f2pm::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Returns the fixed-width tag used in log lines ("DEBUG", "INFO ", ...).
+const char* log_level_name(LogLevel level) noexcept;
+
+/// Global log configuration. All members are thread-safe.
+class Logger {
+ public:
+  /// Process-wide singleton.
+  static Logger& instance();
+
+  /// Messages below this level are discarded. Default: kInfo.
+  void set_min_level(LogLevel level);
+  LogLevel min_level() const;
+
+  /// Redirects output. The stream must outlive all logging calls.
+  /// Passing nullptr restores the default (stderr).
+  void set_sink(std::ostream* sink);
+
+  /// Writes one formatted line: "[LEVEL] component: message".
+  void write(LogLevel level, const std::string& component,
+             const std::string& message);
+
+ private:
+  Logger() = default;
+};
+
+/// Stream-style log statement builder:
+///   F2PM_LOG(kInfo, "campaign") << "run " << i << " crashed";
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine();
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace f2pm::util
+
+#define F2PM_LOG(level, component) \
+  ::f2pm::util::LogLine(::f2pm::util::LogLevel::level, (component))

@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation for the F2PM framework.
+//
+// Everything stochastic in F2PM (workload arrivals, anomaly injection,
+// dataset shuffles, ...) draws from an explicitly seeded Rng so that whole
+// campaigns are reproducible bit-for-bit. The generator is xoshiro256++,
+// which is fast, passes BigCrush, and has a tiny state that can be cheaply
+// split into independent streams (one per simulator entity / worker thread).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace f2pm::util {
+
+/// SplitMix64 step: used to expand a single 64-bit seed into a full
+/// xoshiro256++ state and to derive independent child seeds.
+std::uint64_t splitmix64_next(std::uint64_t& state) noexcept;
+
+/// xoshiro256++ pseudo-random generator.
+///
+/// Satisfies the UniformRandomBitGenerator concept so it can also be used
+/// with <random> distributions, though the member helpers below are the
+/// idiomatic way to sample inside F2PM.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit output.
+  result_type operator()() noexcept;
+
+  /// Derives an independent child generator. Uses the jump-free
+  /// "seed a fresh generator from our output stream" construction, which is
+  /// sound for xoshiro because outputs are themselves SplitMix-scrambled.
+  Rng split() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Exponential variate with the given mean (mean = 1/rate). Requires
+  /// mean > 0.
+  double exponential(double mean) noexcept;
+
+  /// Standard normal variate (Marsaglia polar method, cached spare).
+  double normal() noexcept;
+
+  /// Normal variate with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0, 1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Zero-weight entries are never selected; requires a positive total.
+  std::size_t categorical(const std::vector<double>& weights) noexcept;
+
+  /// Fisher-Yates shuffle of an index permutation [0, n).
+  std::vector<std::size_t> permutation(std::size_t n) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+}  // namespace f2pm::util

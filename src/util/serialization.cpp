@@ -1,0 +1,131 @@
+#include "util/serialization.hpp"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace f2pm::util {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4632504D'42494E01ULL;  // "F2PMBIN" v1
+// Fields larger than this indicate a corrupt archive rather than real data.
+constexpr std::uint64_t kMaxFieldElements = 1ULL << 32;
+
+}  // namespace
+
+BinaryWriter::BinaryWriter(std::ostream& out) : out_(out) {
+  write_u64(kMagic);
+}
+
+void BinaryWriter::write_raw(const void* data, std::size_t size) {
+  out_.write(static_cast<const char*>(data),
+             static_cast<std::streamsize>(size));
+  if (!out_) throw std::runtime_error("binary archive write failed");
+}
+
+void BinaryWriter::write_u64(std::uint64_t value) {
+  write_raw(&value, sizeof(value));
+}
+
+void BinaryWriter::write_i64(std::int64_t value) {
+  write_raw(&value, sizeof(value));
+}
+
+void BinaryWriter::write_double(double value) {
+  write_raw(&value, sizeof(value));
+}
+
+void BinaryWriter::write_bool(bool value) {
+  const std::uint8_t byte = value ? 1 : 0;
+  write_raw(&byte, 1);
+}
+
+void BinaryWriter::write_string(const std::string& value) {
+  write_u64(value.size());
+  if (!value.empty()) write_raw(value.data(), value.size());
+}
+
+void BinaryWriter::write_doubles(const std::vector<double>& values) {
+  write_u64(values.size());
+  if (!values.empty()) {
+    write_raw(values.data(), values.size() * sizeof(double));
+  }
+}
+
+void BinaryWriter::write_u64s(const std::vector<std::uint64_t>& values) {
+  write_u64(values.size());
+  if (!values.empty()) {
+    write_raw(values.data(), values.size() * sizeof(std::uint64_t));
+  }
+}
+
+BinaryReader::BinaryReader(std::istream& in) : in_(in) {
+  if (read_u64() != kMagic) {
+    throw std::runtime_error("binary archive: bad magic/version header");
+  }
+}
+
+void BinaryReader::read_raw(void* data, std::size_t size) {
+  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  if (static_cast<std::size_t>(in_.gcount()) != size) {
+    throw std::runtime_error("binary archive: truncated stream");
+  }
+}
+
+std::uint64_t BinaryReader::read_u64() {
+  std::uint64_t value = 0;
+  read_raw(&value, sizeof(value));
+  return value;
+}
+
+std::int64_t BinaryReader::read_i64() {
+  std::int64_t value = 0;
+  read_raw(&value, sizeof(value));
+  return value;
+}
+
+double BinaryReader::read_double() {
+  double value = 0.0;
+  read_raw(&value, sizeof(value));
+  return value;
+}
+
+bool BinaryReader::read_bool() {
+  std::uint8_t byte = 0;
+  read_raw(&byte, 1);
+  return byte != 0;
+}
+
+std::string BinaryReader::read_string() {
+  const std::uint64_t size = read_u64();
+  if (size > kMaxFieldElements) {
+    throw std::runtime_error("binary archive: oversized string field");
+  }
+  std::string value(size, '\0');
+  if (size > 0) read_raw(value.data(), size);
+  return value;
+}
+
+std::vector<double> BinaryReader::read_doubles() {
+  const std::uint64_t size = read_u64();
+  if (size > kMaxFieldElements) {
+    throw std::runtime_error("binary archive: oversized double[] field");
+  }
+  std::vector<double> values(size);
+  if (size > 0) read_raw(values.data(), size * sizeof(double));
+  return values;
+}
+
+std::vector<std::uint64_t> BinaryReader::read_u64s() {
+  const std::uint64_t size = read_u64();
+  if (size > kMaxFieldElements) {
+    throw std::runtime_error("binary archive: oversized u64[] field");
+  }
+  std::vector<std::uint64_t> values(size);
+  if (size > 0) read_raw(values.data(), size * sizeof(std::uint64_t));
+  return values;
+}
+
+}  // namespace f2pm::util

@@ -1,0 +1,51 @@
+// Tiny binary archive used to persist trained models and datapoint
+// histories. Little-endian, length-prefixed, with a magic/version header
+// checked on load. Not a general-purpose format: both ends are this library.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace f2pm::util {
+
+/// Sequentially writes POD values, strings and vectors to a stream.
+class BinaryWriter {
+ public:
+  /// Writes the archive header (magic + format version).
+  explicit BinaryWriter(std::ostream& out);
+
+  void write_u64(std::uint64_t value);
+  void write_i64(std::int64_t value);
+  void write_double(double value);
+  void write_bool(bool value);
+  void write_string(const std::string& value);
+  void write_doubles(const std::vector<double>& values);
+  void write_u64s(const std::vector<std::uint64_t>& values);
+
+ private:
+  void write_raw(const void* data, std::size_t size);
+  std::ostream& out_;
+};
+
+/// Reads values in the exact order they were written. Throws
+/// std::runtime_error on a bad header, truncated stream or oversized field.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& in);
+
+  std::uint64_t read_u64();
+  std::int64_t read_i64();
+  double read_double();
+  bool read_bool();
+  std::string read_string();
+  std::vector<double> read_doubles();
+  std::vector<std::uint64_t> read_u64s();
+
+ private:
+  void read_raw(void* data, std::size_t size);
+  std::istream& in_;
+};
+
+}  // namespace f2pm::util

@@ -1,0 +1,38 @@
+// Small string helpers shared across the framework (CSV parsing, config
+// files, report formatting).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace f2pm::util {
+
+/// Splits `text` on `delim`. Empty fields are preserved ("a,,b" -> 3 fields).
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Lower-cases ASCII characters.
+std::string to_lower(std::string_view text);
+
+/// Parses a double; throws std::invalid_argument on malformed input or
+/// trailing garbage.
+double parse_double(std::string_view text);
+
+/// Parses a signed 64-bit integer; throws std::invalid_argument on
+/// malformed input or trailing garbage.
+std::int64_t parse_int(std::string_view text);
+
+/// Formats a double with `precision` significant-ish decimal digits after
+/// the point, trimming trailing zeros ("3.1400" -> "3.14").
+std::string format_double(double value, int precision = 6);
+
+}  // namespace f2pm::util

@@ -1,0 +1,47 @@
+// Wall-clock timing helpers used to measure model training/validation time
+// (Tables III/IV of the paper) and campaign progress.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <utility>
+
+namespace f2pm::util {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Resets the epoch to now.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  [[nodiscard]] double elapsed_millis() const {
+    return elapsed_seconds() * 1e3;
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Measures the wall-clock time of a callable and returns {result, seconds}.
+template <typename F>
+auto timed(F&& fn) {
+  WallTimer t;
+  if constexpr (std::is_void_v<std::invoke_result_t<F>>) {
+    std::forward<F>(fn)();
+    return t.elapsed_seconds();
+  } else {
+    auto result = std::forward<F>(fn)();
+    return std::pair{std::move(result), t.elapsed_seconds()};
+  }
+}
+
+}  // namespace f2pm::util

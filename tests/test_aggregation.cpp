@@ -1,0 +1,209 @@
+#include "data/aggregation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace f2pm::data {
+namespace {
+
+/// Builds a run with samples at fixed `step` spacing where feature
+/// mem_used = base + rate * t.
+Run linear_run(double step, double duration, double fail_time, double base,
+               double rate) {
+  f2pm::data::Run run;
+  for (double t = step; t <= duration; t += step) {
+    RawDatapoint sample;
+    sample.tgen = t;
+    sample[FeatureId::kMemUsed] = base + rate * t;
+    sample[FeatureId::kNumThreads] = 100.0;
+    run.samples.push_back(sample);
+  }
+  run.fail_time = fail_time;
+  run.failed = true;
+  return run;
+}
+
+TEST(Aggregation, WindowMeansAndCounts) {
+  DataHistory history;
+  history.add_run(linear_run(1.0, 100.0, 100.0, 0.0, 10.0));
+  AggregationOptions options;
+  options.window_seconds = 10.0;
+  const auto points = aggregate(history, options);
+  ASSERT_FALSE(points.empty());
+  // First window [0, 10): samples at t = 1..9 -> mean mem_used = 10*5 = 50.
+  const auto& first = points.front();
+  EXPECT_EQ(first.count, 9u);
+  EXPECT_DOUBLE_EQ(first.window_start, 0.0);
+  EXPECT_DOUBLE_EQ(first.window_end, 10.0);
+  EXPECT_DOUBLE_EQ(
+      first.means[static_cast<std::size_t>(FeatureId::kMemUsed)], 50.0);
+  // Constant feature -> zero slope.
+  EXPECT_DOUBLE_EQ(
+      first.slopes[static_cast<std::size_t>(FeatureId::kNumThreads)], 0.0);
+}
+
+TEST(Aggregation, SlopeFollowsEquationOne) {
+  DataHistory history;
+  history.add_run(linear_run(1.0, 100.0, 100.0, 0.0, 10.0));
+  AggregationOptions options;
+  options.window_seconds = 10.0;
+  const auto points = aggregate(history, options);
+  // Window 2 ([10, 20), samples 10..19): x_end - x_start = 10*(19-10) = 90,
+  // n = 10 -> slope = 9.
+  const auto& second = points.at(1);
+  EXPECT_EQ(second.count, 10u);
+  EXPECT_DOUBLE_EQ(
+      second.slopes[static_cast<std::size_t>(FeatureId::kMemUsed)], 9.0);
+}
+
+TEST(Aggregation, RttfIsFailTimeMinusWindowEnd) {
+  DataHistory history;
+  history.add_run(linear_run(1.0, 100.0, 100.0, 0.0, 1.0));
+  AggregationOptions options;
+  options.window_seconds = 10.0;
+  const auto points = aggregate(history, options);
+  for (const auto& point : points) {
+    EXPECT_DOUBLE_EQ(point.rttf, 100.0 - point.window_end);
+    EXPECT_GE(point.rttf, 0.0);
+  }
+}
+
+TEST(Aggregation, InterGenerationTimeMatchesSampleSpacing) {
+  DataHistory history;
+  history.add_run(linear_run(2.0, 100.0, 100.0, 0.0, 1.0));
+  AggregationOptions options;
+  options.window_seconds = 20.0;
+  const auto points = aggregate(history, options);
+  ASSERT_FALSE(points.empty());
+  for (const auto& point : points) {
+    EXPECT_NEAR(point.intergen_mean, 2.0, 1e-9);
+    EXPECT_NEAR(point.intergen_slope, 0.0, 1e-9);
+  }
+}
+
+TEST(Aggregation, DropsWindowsPastFailTime) {
+  DataHistory history;
+  // Fail at 25s: window [20, 30) must be dropped (negative RTTF).
+  history.add_run(linear_run(1.0, 25.0, 25.0, 0.0, 1.0));
+  AggregationOptions options;
+  options.window_seconds = 10.0;
+  const auto points = aggregate(history, options);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points.back().window_end, 20.0);
+}
+
+TEST(Aggregation, MinSamplesFilterDropsSparseWindows) {
+  DataHistory history;
+  f2pm::data::Run run;
+  for (double t : {1.0, 2.0, 3.0, 15.0}) {  // second window has one sample
+    RawDatapoint sample;
+    sample.tgen = t;
+    run.samples.push_back(sample);
+  }
+  run.fail_time = 30.0;
+  run.failed = true;
+  history.add_run(std::move(run));
+  AggregationOptions options;
+  options.window_seconds = 10.0;
+  options.min_samples_per_window = 2;
+  const auto points = aggregate(history, options);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].count, 3u);
+}
+
+TEST(Aggregation, UnfailedRunsSkippedUnlessRequested) {
+  DataHistory history;
+  f2pm::data::Run run = linear_run(1.0, 50.0, 50.0, 0.0, 1.0);
+  run.failed = false;
+  history.add_run(std::move(run));
+  AggregationOptions options;
+  options.window_seconds = 10.0;
+  EXPECT_TRUE(aggregate(history, options).empty());
+  options.include_unfailed_runs = true;
+  EXPECT_FALSE(aggregate(history, options).empty());
+}
+
+TEST(Aggregation, MultipleRunsKeepRunIndex) {
+  DataHistory history;
+  history.add_run(linear_run(1.0, 30.0, 30.0, 0.0, 1.0));
+  history.add_run(linear_run(1.0, 30.0, 30.0, 5.0, 2.0));
+  AggregationOptions options;
+  options.window_seconds = 10.0;
+  const auto points = aggregate(history, options);
+  bool saw_zero = false;
+  bool saw_one = false;
+  for (const auto& point : points) {
+    saw_zero |= point.run_index == 0;
+    saw_one |= point.run_index == 1;
+  }
+  EXPECT_TRUE(saw_zero);
+  EXPECT_TRUE(saw_one);
+}
+
+TEST(Aggregation, RejectsNonPositiveWindow) {
+  DataHistory history;
+  AggregationOptions options;
+  options.window_seconds = 0.0;
+  EXPECT_THROW(aggregate(history, options), std::invalid_argument);
+}
+
+TEST(Aggregation, InputLayoutAndNames) {
+  EXPECT_EQ(kInputCount, 2 * kFeatureCount + 2);
+  const auto names = input_feature_names();
+  ASSERT_EQ(names.size(), kInputCount);
+  EXPECT_EQ(names[0], "n_threads");
+  EXPECT_EQ(names[kFeatureCount], "n_threads_slope");
+  EXPECT_EQ(names[kInputCount - 2], "intergen_time");
+  EXPECT_EQ(names[kInputCount - 1], "intergen_time_slope");
+  // The paper's Table I slope names must exist in the layout.
+  EXPECT_NE(std::find(names.begin(), names.end(), "mem_used_slope"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "swap_free_slope"),
+            names.end());
+}
+
+TEST(Aggregation, ToInputVectorLayout) {
+  AggregatedDatapoint point;
+  point.means[static_cast<std::size_t>(FeatureId::kMemUsed)] = 7.0;
+  point.slopes[static_cast<std::size_t>(FeatureId::kMemUsed)] = 8.0;
+  point.intergen_mean = 9.0;
+  point.intergen_slope = 10.0;
+  const auto row = to_input_vector(point);
+  EXPECT_DOUBLE_EQ(row[static_cast<std::size_t>(FeatureId::kMemUsed)], 7.0);
+  EXPECT_DOUBLE_EQ(
+      row[kFeatureCount + static_cast<std::size_t>(FeatureId::kMemUsed)],
+      8.0);
+  EXPECT_DOUBLE_EQ(row[kInputCount - 2], 9.0);
+  EXPECT_DOUBLE_EQ(row[kInputCount - 1], 10.0);
+}
+
+/// Property sweep: for any window size, aggregated windows never overlap,
+/// never extend past the fail time, and means stay within min/max of the
+/// raw feature values.
+class AggregationWindowSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AggregationWindowSweep, InvariantsHoldAcrossWindowSizes) {
+  const double window = GetParam();
+  DataHistory history;
+  history.add_run(linear_run(1.7, 200.0, 203.0, 50.0, 3.0));
+  AggregationOptions options;
+  options.window_seconds = window;
+  const auto points = aggregate(history, options);
+  double previous_end = 0.0;
+  for (const auto& point : points) {
+    EXPECT_GE(point.window_start, previous_end - 1e-9);
+    EXPECT_DOUBLE_EQ(point.window_end - point.window_start, window);
+    EXPECT_LE(point.window_end, 203.0);
+    previous_end = point.window_end;
+    const double mem =
+        point.means[static_cast<std::size_t>(FeatureId::kMemUsed)];
+    EXPECT_GE(mem, 50.0);
+    EXPECT_LE(mem, 50.0 + 3.0 * 200.0);
+    EXPECT_GE(point.count, options.min_samples_per_window);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WindowSizes, AggregationWindowSweep,
+                         ::testing::Values(5.0, 10.0, 17.3, 30.0, 60.0));
+
+}  // namespace
+}  // namespace f2pm::data

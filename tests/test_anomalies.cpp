@@ -1,0 +1,126 @@
+#include "sim/anomalies.hpp"
+
+#include <gtest/gtest.h>
+
+namespace f2pm::sim {
+namespace {
+
+TEST(HomeInjector, LeakFrequencyMatchesProbability) {
+  ResourceModel resources;
+  util::Rng rng(1);
+  HomeAnomalyConfig config;
+  config.leak_probability = 0.25;
+  config.thread_probability = 0.0;
+  HomeAnomalyInjector injector(resources, config, rng);
+  const int visits = 40000;
+  for (int i = 0; i < visits; ++i) injector.on_home();
+  EXPECT_NEAR(static_cast<double>(injector.leaks_injected()) / visits, 0.25,
+              0.01);
+  EXPECT_EQ(injector.threads_injected(), 0u);
+}
+
+TEST(HomeInjector, LeakSizesInConfiguredRange) {
+  ResourceModel resources;
+  util::Rng rng(2);
+  HomeAnomalyConfig config;
+  config.leak_probability = 1.0;
+  config.leak_min_kb = 100.0;
+  config.leak_max_kb = 200.0;
+  config.thread_probability = 0.0;
+  HomeAnomalyInjector injector(resources, config, rng);
+  for (int i = 0; i < 1000; ++i) injector.on_home();
+  const double mean_leak = resources.leaked_kb() / 1000.0;
+  EXPECT_GT(mean_leak, 100.0);
+  EXPECT_LT(mean_leak, 200.0);
+  EXPECT_NEAR(mean_leak, 150.0, 10.0);
+}
+
+TEST(HomeInjector, SpawnsThreads) {
+  ResourceModel resources;
+  util::Rng rng(3);
+  HomeAnomalyConfig config;
+  config.leak_probability = 0.0;
+  config.thread_probability = 1.0;
+  HomeAnomalyInjector injector(resources, config, rng);
+  for (int i = 0; i < 10; ++i) injector.on_home();
+  EXPECT_EQ(resources.leaked_threads(), 10);
+}
+
+TEST(SyntheticLeaker, MeanIntervalDrawnFromConfiguredRange) {
+  Simulator sim;
+  ResourceModel resources;
+  util::Rng rng(4);
+  SyntheticLeakConfig config;
+  config.mean_interval_min = 2.0;
+  config.mean_interval_max = 5.0;
+  SyntheticMemoryLeaker leaker(sim, resources, config, rng);
+  leaker.start();
+  EXPECT_GE(leaker.chosen_mean_interval(), 2.0);
+  EXPECT_LE(leaker.chosen_mean_interval(), 5.0);
+}
+
+TEST(SyntheticLeaker, LeakRateMatchesChosenMean) {
+  Simulator sim;
+  ResourceModel resources;
+  util::Rng rng(5);
+  SyntheticLeakConfig config;
+  config.mean_interval_min = 1.0;
+  config.mean_interval_max = 1.0;  // pin the mean for a tight check
+  SyntheticMemoryLeaker leaker(sim, resources, config, rng);
+  leaker.start();
+  sim.run_until(10000.0);
+  EXPECT_NEAR(static_cast<double>(leaker.leaks_injected()), 10000.0, 400.0);
+  EXPECT_GT(resources.leaked_kb(), 0.0);
+}
+
+TEST(SyntheticLeaker, StopHaltsInjection) {
+  Simulator sim;
+  ResourceModel resources;
+  util::Rng rng(6);
+  SyntheticLeakConfig config;
+  config.mean_interval_min = 0.5;
+  config.mean_interval_max = 0.5;
+  SyntheticMemoryLeaker leaker(sim, resources, config, rng);
+  leaker.start();
+  sim.run_until(100.0);
+  leaker.stop();
+  const std::size_t at_stop = leaker.leaks_injected();
+  sim.run_until(1000.0);
+  EXPECT_EQ(leaker.leaks_injected(), at_stop);
+}
+
+TEST(SyntheticThreader, SpawnsAtExpectedRate) {
+  Simulator sim;
+  ResourceModel resources;
+  util::Rng rng(7);
+  SyntheticThreadConfig config;
+  config.mean_interval_min = 2.0;
+  config.mean_interval_max = 2.0;
+  SyntheticThreadLeaker threader(sim, resources, config, rng);
+  threader.start();
+  sim.run_until(4000.0);
+  EXPECT_NEAR(static_cast<double>(threader.threads_injected()), 2000.0,
+              150.0);
+  EXPECT_EQ(resources.leaked_threads(),
+            static_cast<int>(threader.threads_injected()));
+}
+
+TEST(SyntheticInjectors, DriveTheSystemToCrashWithoutWorkload) {
+  // §III-E: the utilities alone can stress the system to failure.
+  Simulator sim;
+  ResourceModel resources;
+  util::Rng rng(8);
+  SyntheticLeakConfig config;
+  config.size_min_kb = 4096.0;
+  config.size_max_kb = 8192.0;
+  config.mean_interval_min = 0.2;
+  config.mean_interval_max = 0.5;
+  SyntheticMemoryLeaker leaker(sim, resources, config, rng);
+  leaker.start();
+  const bool crashed = sim.run_until_condition(
+      [&resources] { return resources.crashed(); }, 100000.0);
+  EXPECT_TRUE(crashed);
+}
+
+}  // namespace
+}  // namespace f2pm::sim

@@ -1,0 +1,97 @@
+#include "data/arff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace f2pm::data {
+namespace {
+
+Dataset small_dataset() {
+  Dataset dataset;
+  dataset.feature_names = {"mem_used", "swap_free"};
+  dataset.x = linalg::Matrix{{100.5, 2048.0}, {200.25, 1024.0}};
+  dataset.y = {1500.0, 750.0};
+  dataset.run_index = {0, 0};
+  dataset.window_end = {30.0, 60.0};
+  return dataset;
+}
+
+TEST(Arff, WriteProducesWekaHeader) {
+  std::ostringstream out;
+  write_arff(out, small_dataset(), "tpcw");
+  const std::string text = out.str();
+  EXPECT_NE(text.find("@relation tpcw"), std::string::npos);
+  EXPECT_NE(text.find("@attribute mem_used numeric"), std::string::npos);
+  EXPECT_NE(text.find("@attribute rttf numeric"), std::string::npos);
+  EXPECT_NE(text.find("@data"), std::string::npos);
+  EXPECT_NE(text.find("100.5,2048,1500"), std::string::npos);
+}
+
+TEST(Arff, RoundTripPreservesEverything) {
+  const Dataset original = small_dataset();
+  std::stringstream buffer;
+  write_arff(buffer, original);
+  const Dataset parsed = read_arff(buffer);
+  EXPECT_EQ(parsed.feature_names, original.feature_names);
+  ASSERT_EQ(parsed.num_rows(), original.num_rows());
+  EXPECT_LT(linalg::max_abs_diff(parsed.x, original.x), 1e-9);
+  for (std::size_t i = 0; i < original.y.size(); ++i) {
+    EXPECT_NEAR(parsed.y[i], original.y[i], 1e-9);
+  }
+}
+
+TEST(Arff, ReaderSkipsCommentsAndBlankLines) {
+  std::istringstream in(
+      "% comment\n"
+      "@relation r\n"
+      "\n"
+      "@attribute a numeric\n"
+      "@attribute target real\n"
+      "@data\n"
+      "% another comment\n"
+      "1.0,2.0\n");
+  const Dataset dataset = read_arff(in);
+  EXPECT_EQ(dataset.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(dataset.y[0], 2.0);
+}
+
+TEST(Arff, RejectsNominalAttributes) {
+  std::istringstream in(
+      "@relation r\n"
+      "@attribute cls {a,b}\n"
+      "@attribute target numeric\n"
+      "@data\n");
+  EXPECT_THROW(read_arff(in), std::invalid_argument);
+}
+
+TEST(Arff, RejectsMissingValuesAndSparseRows) {
+  std::istringstream missing(
+      "@relation r\n@attribute a numeric\n@attribute t numeric\n@data\n"
+      "?,1\n");
+  EXPECT_THROW(read_arff(missing), std::invalid_argument);
+  std::istringstream sparse(
+      "@relation r\n@attribute a numeric\n@attribute t numeric\n@data\n"
+      "{0 1.0}\n");
+  EXPECT_THROW(read_arff(sparse), std::invalid_argument);
+}
+
+TEST(Arff, RejectsRaggedRowsAndMissingData) {
+  std::istringstream ragged(
+      "@relation r\n@attribute a numeric\n@attribute t numeric\n@data\n"
+      "1,2,3\n");
+  EXPECT_THROW(read_arff(ragged), std::invalid_argument);
+  std::istringstream headless("@relation r\n@attribute a numeric\n");
+  EXPECT_THROW(read_arff(headless), std::invalid_argument);
+}
+
+TEST(Arff, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/f2pm_test.arff";
+  write_arff_file(path, small_dataset());
+  const Dataset parsed = read_arff_file(path);
+  EXPECT_EQ(parsed.num_rows(), 2u);
+  EXPECT_THROW(read_arff_file("/no/such/file.arff"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace f2pm::data

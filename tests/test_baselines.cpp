@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/aggregation.hpp"
+#include "ml/exhaustion_heuristic.hpp"
+#include "ml/metrics.hpp"
+#include "ml/state_classifier.hpp"
+#include "util/rng.hpp"
+
+namespace f2pm::ml {
+namespace {
+
+TEST(StateLabeling, ThresholdsPartitionTheAxis) {
+  const StateThresholds thresholds{.danger_seconds = 300.0,
+                                   .warning_seconds = 900.0};
+  EXPECT_EQ(state_from_rttf(0.0, thresholds), SystemState::kDanger);
+  EXPECT_EQ(state_from_rttf(299.9, thresholds), SystemState::kDanger);
+  EXPECT_EQ(state_from_rttf(300.0, thresholds), SystemState::kWarning);
+  EXPECT_EQ(state_from_rttf(899.9, thresholds), SystemState::kWarning);
+  EXPECT_EQ(state_from_rttf(900.0, thresholds), SystemState::kAllOk);
+  EXPECT_EQ(state_from_rttf(5000.0, thresholds), SystemState::kAllOk);
+}
+
+TEST(StateLabeling, VectorizedLabeling) {
+  const std::vector<double> rttf{100.0, 500.0, 2000.0};
+  const auto states = states_from_rttf(rttf, StateThresholds{});
+  EXPECT_EQ(states[0], SystemState::kDanger);
+  EXPECT_EQ(states[1], SystemState::kWarning);
+  EXPECT_EQ(states[2], SystemState::kAllOk);
+}
+
+TEST(StateLabeling, NamesAreStable) {
+  EXPECT_EQ(state_name(SystemState::kAllOk), "all-ok");
+  EXPECT_EQ(state_name(SystemState::kWarning), "warning");
+  EXPECT_EQ(state_name(SystemState::kDanger), "danger");
+}
+
+/// Synthetic separable data: the state depends on a single feature.
+void make_separable(std::size_t n, util::Rng& rng, linalg::Matrix& x,
+                    std::vector<SystemState>& labels) {
+  x = linalg::Matrix(n, 3);
+  labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(0.0, 3.0);
+    x(i, 1) = rng.uniform(-1.0, 1.0);  // noise
+    x(i, 2) = rng.uniform(-1.0, 1.0);  // noise
+    labels[i] = x(i, 0) < 1.0   ? SystemState::kDanger
+                : x(i, 0) < 2.0 ? SystemState::kWarning
+                                : SystemState::kAllOk;
+  }
+}
+
+TEST(StateClassifier, LearnsSeparableStates) {
+  util::Rng rng(1);
+  linalg::Matrix x;
+  std::vector<SystemState> labels;
+  make_separable(600, rng, x, labels);
+  StateClassifierTree tree;
+  tree.fit(x, labels);
+  linalg::Matrix x_val;
+  std::vector<SystemState> val_labels;
+  make_separable(200, rng, x_val, val_labels);
+  const auto report =
+      evaluate_classification(tree.predict(x_val), val_labels);
+  EXPECT_GT(report.accuracy, 0.95);
+  EXPECT_GT(report.danger_recall, 0.95);
+}
+
+TEST(StateClassifier, PureNodeBecomesLeaf) {
+  linalg::Matrix x(20, 1);
+  std::vector<SystemState> labels(20, SystemState::kWarning);
+  for (std::size_t i = 0; i < 20; ++i) x(i, 0) = static_cast<double>(i);
+  StateClassifierTree tree;
+  tree.fit(x, labels);
+  EXPECT_EQ(tree.num_leaves(), 1u);
+  EXPECT_EQ(tree.predict_row(std::vector<double>{5.0}),
+            SystemState::kWarning);
+}
+
+TEST(StateClassifier, MaxDepthBoundsTheTree) {
+  util::Rng rng(2);
+  linalg::Matrix x;
+  std::vector<SystemState> labels;
+  make_separable(400, rng, x, labels);
+  StateClassifierOptions options;
+  options.max_depth = 1;
+  StateClassifierTree stump(options);
+  stump.fit(x, labels);
+  EXPECT_LE(stump.num_leaves(), 2u);
+}
+
+TEST(StateClassifier, GuardsApi) {
+  StateClassifierTree tree;
+  EXPECT_THROW(tree.predict_row(std::vector<double>{1.0}),
+               std::logic_error);
+  EXPECT_THROW(tree.fit(linalg::Matrix(), {}), std::invalid_argument);
+  StateClassifierOptions bad;
+  bad.min_instances_per_leaf = 0;
+  EXPECT_THROW(StateClassifierTree{bad}, std::invalid_argument);
+}
+
+TEST(ClassificationReport, ConfusionAndRecall) {
+  using S = SystemState;
+  const std::vector<S> actual{S::kDanger, S::kDanger, S::kWarning, S::kAllOk};
+  const std::vector<S> predicted{S::kDanger, S::kWarning, S::kWarning,
+                                 S::kAllOk};
+  const auto report = evaluate_classification(predicted, actual);
+  EXPECT_DOUBLE_EQ(report.accuracy, 0.75);
+  EXPECT_DOUBLE_EQ(report.danger_recall, 0.5);
+  EXPECT_EQ(report.confusion[static_cast<std::size_t>(S::kDanger)]
+                            [static_cast<std::size_t>(S::kWarning)],
+            1u);
+  EXPECT_THROW(evaluate_classification({}, {}), std::invalid_argument);
+}
+
+/// Builds a full-layout row with the given memory pool and slope.
+std::vector<double> heuristic_row(double free_kb, double swap_free_kb,
+                                  double mem_slope, double intergen) {
+  std::vector<double> row(data::kInputCount, 0.0);
+  row[static_cast<std::size_t>(data::FeatureId::kMemFree)] = free_kb;
+  row[static_cast<std::size_t>(data::FeatureId::kSwapFree)] = swap_free_kb;
+  row[data::kFeatureCount +
+      static_cast<std::size_t>(data::FeatureId::kMemUsed)] = mem_slope;
+  row[data::kInputCount - 2] = intergen;
+  return row;
+}
+
+TEST(ExhaustionHeuristic, RawEstimateIsPoolOverRate) {
+  ExhaustionHeuristic heuristic;
+  // Pool 10000 KiB, slope 20 KiB/sample at 2 s/sample -> 10 KiB/s -> 1000s.
+  const auto row = heuristic_row(8000.0, 2000.0, 20.0, 2.0);
+  EXPECT_NEAR(heuristic.raw_estimate(row), 1000.0, 1e-9);
+}
+
+TEST(ExhaustionHeuristic, RateFloorPreventsBlowUp) {
+  ExhaustionHeuristicOptions options;
+  options.min_rate_kb_per_s = 10.0;
+  options.max_prediction_seconds = 1e5;
+  ExhaustionHeuristic heuristic(options);
+  const auto row = heuristic_row(1e6, 0.0, 0.0, 1.5);  // zero slope
+  EXPECT_NEAR(heuristic.raw_estimate(row), 1e5, 1e-9);  // clamped
+}
+
+TEST(ExhaustionHeuristic, CalibrationRecoversLinearScale) {
+  // If the true RTTF is exactly 0.5x the raw estimate, fit() learns 0.5.
+  util::Rng rng(3);
+  linalg::Matrix x(100, data::kInputCount);
+  std::vector<double> y(100);
+  ExhaustionHeuristic reference;
+  for (std::size_t i = 0; i < 100; ++i) {
+    const auto row = heuristic_row(rng.uniform(1e4, 1e6),
+                                   rng.uniform(0.0, 1e5),
+                                   rng.uniform(10.0, 100.0), 1.5);
+    std::copy(row.begin(), row.end(), x.row(i).begin());
+    y[i] = 0.5 * reference.raw_estimate(row);
+  }
+  ExhaustionHeuristic heuristic;
+  heuristic.fit(x, y);
+  EXPECT_NEAR(heuristic.scale(), 0.5, 1e-9);
+  EXPECT_NEAR(heuristic.predict_row(x.row(0)), y[0], 1e-6);
+}
+
+TEST(ExhaustionHeuristic, RequiresFullLayout) {
+  ExhaustionHeuristic heuristic;
+  linalg::Matrix narrow(10, 3, 1.0);
+  const std::vector<double> y(10, 1.0);
+  EXPECT_THROW(heuristic.fit(narrow, y), std::invalid_argument);
+}
+
+TEST(ExhaustionHeuristic, SaveLoadRoundTrip) {
+  util::Rng rng(4);
+  linalg::Matrix x(50, data::kInputCount);
+  std::vector<double> y(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    const auto row = heuristic_row(rng.uniform(1e4, 1e6), 1e4,
+                                   rng.uniform(10.0, 50.0), 1.5);
+    std::copy(row.begin(), row.end(), x.row(i).begin());
+    y[i] = rng.uniform(100.0, 2000.0);
+  }
+  ExhaustionHeuristic model;
+  model.fit(x, y);
+  std::stringstream buffer;
+  save_model(model, buffer);
+  const auto loaded = load_model(buffer);
+  EXPECT_EQ(loaded->name(), "heuristic");
+  EXPECT_NEAR(loaded->predict_row(x.row(7)), model.predict_row(x.row(7)),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace f2pm::ml

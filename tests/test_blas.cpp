@@ -1,0 +1,106 @@
+#include "linalg/blas.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace f2pm::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, util::Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.uniform(-2.0, 2.0);
+  }
+  return m;
+}
+
+TEST(Blas, DotAndNorms) {
+  const std::vector<double> x{1.0, -2.0, 3.0};
+  const std::vector<double> y{4.0, 5.0, -6.0};
+  EXPECT_DOUBLE_EQ(dot(x, y), 4.0 - 10.0 - 18.0);
+  EXPECT_DOUBLE_EQ(norm1(x), 6.0);
+  EXPECT_DOUBLE_EQ(norm2({std::vector<double>{3.0, 4.0}}), 5.0);
+}
+
+TEST(Blas, AxpyAndScale) {
+  const std::vector<double> x{1.0, 2.0};
+  std::vector<double> y{10.0, 20.0};
+  axpy(2.0, x, y);
+  EXPECT_EQ(y, (std::vector<double>{12.0, 24.0}));
+  scale(0.5, y);
+  EXPECT_EQ(y, (std::vector<double>{6.0, 12.0}));
+}
+
+TEST(Blas, GemvMatchesManual) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const std::vector<double> x{1.0, -1.0};
+  EXPECT_EQ(gemv(a, x), (std::vector<double>{-1.0, -1.0, -1.0}));
+}
+
+TEST(Blas, GemvShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  EXPECT_THROW(gemv(a, std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Blas, GemvTransposedMatchesExplicitTranspose) {
+  util::Rng rng(5);
+  const Matrix a = random_matrix(17, 9, rng);
+  std::vector<double> x(17);
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+  const auto direct = gemv_transposed(a, x);
+  const auto via_transpose = gemv(a.transposed(), x);
+  ASSERT_EQ(direct.size(), via_transpose.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct[i], via_transpose[i], 1e-12);
+  }
+}
+
+TEST(Blas, GemmMatchesNaive) {
+  util::Rng rng(6);
+  const Matrix a = random_matrix(13, 7, rng);
+  const Matrix b = random_matrix(7, 11, rng);
+  const Matrix c = gemm(a, b);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double expected = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        expected += a(i, k) * b(k, j);
+      }
+      EXPECT_NEAR(c(i, j), expected, 1e-12);
+    }
+  }
+}
+
+TEST(Blas, GemmLargeEnoughToTriggerParallelPath) {
+  util::Rng rng(7);
+  const Matrix a = random_matrix(80, 40, rng);
+  const Matrix b = random_matrix(40, 60, rng);
+  const Matrix c = gemm(a, b);
+  // Spot-check against naive on a few entries.
+  for (std::size_t i : {0u, 40u, 79u}) {
+    double expected = 0.0;
+    for (std::size_t k = 0; k < a.cols(); ++k) expected += a(i, k) * b(k, 5);
+    EXPECT_NEAR(c(i, 5), expected, 1e-10);
+  }
+}
+
+TEST(Blas, GemmShapeMismatchThrows) {
+  EXPECT_THROW(gemm(Matrix(2, 3), Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Blas, GramIsSymmetricAndMatchesAtA) {
+  util::Rng rng(8);
+  const Matrix a = random_matrix(20, 6, rng);
+  const Matrix g = gram(a);
+  const Matrix expected = gemm(a.transposed(), a);
+  EXPECT_LT(max_abs_diff(g, expected), 1e-10);
+  for (std::size_t i = 0; i < g.rows(); ++i) {
+    for (std::size_t j = 0; j < g.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(g(i, j), g(j, i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace f2pm::linalg

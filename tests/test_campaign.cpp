@@ -1,0 +1,167 @@
+#include "sim/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+namespace f2pm::sim {
+namespace {
+
+CampaignConfig small_campaign() {
+  CampaignConfig config;
+  config.num_runs = 3;
+  config.workload.num_browsers = 40;
+  config.use_synthetic_injectors = true;  // crash fast
+  config.synthetic_leak.size_min_kb = 1024.0;
+  config.synthetic_leak.size_max_kb = 4096.0;
+  config.synthetic_leak.mean_interval_min = 0.3;
+  config.synthetic_leak.mean_interval_max = 1.0;
+  return config;
+}
+
+TEST(Campaign, SingleRunCrashesAndRecordsEverything) {
+  const RunResult result = execute_run(small_campaign(), 777);
+  EXPECT_TRUE(result.run.failed);
+  EXPECT_GT(result.run.fail_time, 0.0);
+  EXPECT_GT(result.run.samples.size(), 10u);
+  EXPECT_EQ(result.run.samples.size(), result.response_times.size());
+  EXPECT_GT(result.leaks_injected, 0u);
+  EXPECT_GT(result.requests_completed, 0u);
+  // Samples never outlive the fail event.
+  EXPECT_LE(result.run.samples.back().tgen, result.run.fail_time);
+}
+
+TEST(Campaign, RunIsDeterministicForAGivenSeed) {
+  const RunResult a = execute_run(small_campaign(), 123);
+  const RunResult b = execute_run(small_campaign(), 123);
+  EXPECT_DOUBLE_EQ(a.run.fail_time, b.run.fail_time);
+  ASSERT_EQ(a.run.samples.size(), b.run.samples.size());
+  EXPECT_EQ(a.run.samples, b.run.samples);
+  EXPECT_EQ(a.leaks_injected, b.leaks_injected);
+}
+
+TEST(Campaign, DifferentSeedsGiveDifferentRuns) {
+  const RunResult a = execute_run(small_campaign(), 1);
+  const RunResult b = execute_run(small_campaign(), 2);
+  EXPECT_NE(a.run.fail_time, b.run.fail_time);
+}
+
+TEST(Campaign, IntensityDrawnFromConfiguredRange) {
+  CampaignConfig config = small_campaign();
+  config.intensity_min = 1.2;
+  config.intensity_max = 1.3;
+  const RunResult result = execute_run(config, 55);
+  EXPECT_GE(result.intensity, 1.2);
+  EXPECT_LE(result.intensity, 1.3);
+}
+
+TEST(Campaign, MemoryFeaturesTrendTowardExhaustion) {
+  const RunResult result = execute_run(small_campaign(), 99);
+  const auto& samples = result.run.samples;
+  ASSERT_GT(samples.size(), 20u);
+  // Early free memory must exceed late free memory; late swap must exceed
+  // early swap — the §IV failure mode.
+  const auto& early = samples[samples.size() / 10];
+  const auto& late = samples[samples.size() - 2];
+  EXPECT_GT(early[data::FeatureId::kMemFree] +
+                early[data::FeatureId::kMemCached],
+            late[data::FeatureId::kMemFree] +
+                late[data::FeatureId::kMemCached]);
+  EXPECT_GT(late[data::FeatureId::kSwapUsed],
+            early[data::FeatureId::kSwapUsed]);
+}
+
+TEST(Campaign, MaxRunSecondsBoundsUnfailedRuns) {
+  CampaignConfig config;
+  config.num_runs = 1;
+  config.max_run_seconds = 50.0;  // far too short to crash
+  config.workload.num_browsers = 5;
+  config.home_anomalies.leak_probability = 0.0;
+  config.home_anomalies.thread_probability = 0.0;
+  const RunResult result = execute_run(config, 3);
+  EXPECT_FALSE(result.run.failed);
+  EXPECT_LE(result.run.fail_time, 50.0);
+}
+
+TEST(Campaign, RunCampaignCollectsAllRunsAndReportsProgress) {
+  CampaignConfig config = small_campaign();
+  std::size_t callbacks = 0;
+  const data::DataHistory history = run_campaign(
+      config, [&callbacks](std::size_t run, const RunResult& result) {
+        EXPECT_EQ(run, callbacks);
+        EXPECT_TRUE(result.run.failed);
+        ++callbacks;
+      });
+  EXPECT_EQ(history.num_runs(), config.num_runs);
+  EXPECT_EQ(callbacks, config.num_runs);
+  EXPECT_EQ(history.num_failures(), config.num_runs);
+  EXPECT_GT(history.mean_time_to_failure(), 0.0);
+}
+
+TEST(Campaign, ParallelCampaignMatchesSequential) {
+  CampaignConfig sequential = small_campaign();
+  CampaignConfig parallel = small_campaign();
+  parallel.parallel_runs = 4;
+  const data::DataHistory a = run_campaign(sequential);
+  const data::DataHistory b = run_campaign(parallel);
+  ASSERT_EQ(a.num_runs(), b.num_runs());
+  for (std::size_t r = 0; r < a.num_runs(); ++r) {
+    EXPECT_DOUBLE_EQ(a.runs()[r].fail_time, b.runs()[r].fail_time);
+    EXPECT_EQ(a.runs()[r].samples, b.runs()[r].samples);
+  }
+}
+
+TEST(Campaign, UserDefinedFailureConditionEndsRunEarly) {
+  // §III: the user can declare the system failed before the hard crash,
+  // e.g. once swap usage passes a budget.
+  CampaignConfig hard_crash = small_campaign();
+  const RunResult reference = execute_run(hard_crash, 42);
+  ASSERT_TRUE(reference.run.failed);
+
+  CampaignConfig early = hard_crash;
+  const double swap_budget = 0.25 * early.resources.total_swap_kb;
+  early.failure_condition = [swap_budget](const data::RawDatapoint& sample,
+                                          double /*intergen*/) {
+    return sample[data::FeatureId::kSwapUsed] > swap_budget;
+  };
+  const RunResult result = execute_run(early, 42);
+  ASSERT_TRUE(result.run.failed);
+  EXPECT_LT(result.run.fail_time, reference.run.fail_time);
+  // The condition really was the trigger: the last sample is just past
+  // the swap budget, nowhere near exhaustion.
+  const auto& last = result.run.samples.back();
+  EXPECT_GT(last[data::FeatureId::kSwapUsed], swap_budget);
+  EXPECT_LT(last[data::FeatureId::kSwapUsed],
+            0.9 * early.resources.total_swap_kb);
+}
+
+TEST(Campaign, IntergenFailureConditionWorks) {
+  CampaignConfig config = small_campaign();
+  // Declare the system failed once the monitor cadence stretches past 3s
+  // (the §III-B overload signal).
+  config.failure_condition = [](const data::RawDatapoint&,
+                                double intergen) { return intergen > 3.0; };
+  const RunResult result = execute_run(config, 7);
+  ASSERT_TRUE(result.run.failed);
+  // It must have fired before the hard crash would have.
+  CampaignConfig hard = small_campaign();
+  const RunResult reference = execute_run(hard, 7);
+  EXPECT_LE(result.run.fail_time, reference.run.fail_time);
+}
+
+TEST(Campaign, HigherIntensityCrashesFaster) {
+  CampaignConfig slow = small_campaign();
+  slow.use_synthetic_injectors = false;
+  slow.intensity_min = slow.intensity_max = 0.6;
+  CampaignConfig fast = slow;
+  fast.intensity_min = fast.intensity_max = 2.4;
+  // Average over a few seeds to wash out run-level noise.
+  double slow_ttf = 0.0;
+  double fast_ttf = 0.0;
+  for (std::uint64_t seed : {10ULL, 20ULL, 30ULL}) {
+    slow_ttf += execute_run(slow, seed).run.fail_time;
+    fast_ttf += execute_run(fast, seed).run.fail_time;
+  }
+  EXPECT_LT(fast_ttf, slow_ttf * 0.6);
+}
+
+}  // namespace
+}  // namespace f2pm::sim

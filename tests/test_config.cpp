@@ -1,0 +1,73 @@
+#include "util/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace f2pm::util {
+namespace {
+
+TEST(Config, ParsesKeyValueLines) {
+  const Config config = Config::from_string(
+      "alpha = 1.5\n"
+      "# a comment\n"
+      "name = hello world  # trailing comment\n"
+      "\n"
+      "flag=true\n");
+  EXPECT_DOUBLE_EQ(config.get_double("alpha", 0.0), 1.5);
+  EXPECT_EQ(config.get_string("name", ""), "hello world");
+  EXPECT_TRUE(config.get_bool("flag", false));
+}
+
+TEST(Config, LaterKeysOverrideEarlier) {
+  const Config config = Config::from_string("x = 1\nx = 2\n");
+  EXPECT_EQ(config.get_int("x", 0), 2);
+}
+
+TEST(Config, MissingEqualsSignThrows) {
+  EXPECT_THROW(Config::from_string("just a line\n"), std::invalid_argument);
+}
+
+TEST(Config, DefaultsWhenAbsent) {
+  const Config config;
+  EXPECT_EQ(config.get_int("nope", 9), 9);
+  EXPECT_DOUBLE_EQ(config.get_double("nope", 1.25), 1.25);
+  EXPECT_EQ(config.get_string("nope", "d"), "d");
+  EXPECT_TRUE(config.get_bool("nope", true));
+  EXPECT_FALSE(config.contains("nope"));
+}
+
+TEST(Config, ApplyArgsParsesDoubleDashPairs) {
+  Config config;
+  const char* argv[] = {"prog", "--runs=5", "ignored", "--name=x",
+                        "--noequals"};
+  config.apply_args(5, argv);
+  EXPECT_EQ(config.get_int("runs", 0), 5);
+  EXPECT_EQ(config.get_string("name", ""), "x");
+  EXPECT_FALSE(config.contains("noequals"));
+}
+
+TEST(Config, BooleanSpellings) {
+  const Config config = Config::from_string(
+      "a = yes\nb = OFF\nc = 1\nd = False\n");
+  EXPECT_TRUE(config.get_bool("a", false));
+  EXPECT_FALSE(config.get_bool("b", true));
+  EXPECT_TRUE(config.get_bool("c", false));
+  EXPECT_FALSE(config.get_bool("d", true));
+}
+
+TEST(Config, MalformedTypedValuesThrow) {
+  const Config config = Config::from_string("x = notanumber\n");
+  EXPECT_THROW(config.get_double("x", 0.0), std::invalid_argument);
+  EXPECT_THROW(config.get_int("x", 0), std::invalid_argument);
+  EXPECT_THROW(config.get_bool("x", false), std::invalid_argument);
+}
+
+TEST(Config, KeysPreserveInsertionOrder) {
+  Config config;
+  config.set("b", "1");
+  config.set("a", "2");
+  config.set("b", "3");  // update, not reinsert
+  EXPECT_EQ(config.keys(), (std::vector<std::string>{"b", "a"}));
+}
+
+}  // namespace
+}  // namespace f2pm::util

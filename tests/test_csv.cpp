@@ -1,0 +1,84 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace f2pm::util {
+namespace {
+
+TEST(Csv, ParsesHeaderAndRows) {
+  std::istringstream in("a,b\n1,2\n3.5,-4\n");
+  const CsvTable table = read_csv(in);
+  EXPECT_EQ(table.header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(table.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(table.rows[1][0], 3.5);
+  EXPECT_DOUBLE_EQ(table.rows[1][1], -4.0);
+}
+
+TEST(Csv, HandlesQuotedFieldsAndCrLf) {
+  std::istringstream in("\"a\",\"b\"\r\n1,2\r\n");
+  const CsvTable table = read_csv(in);
+  EXPECT_EQ(table.header[0], "a");
+  EXPECT_DOUBLE_EQ(table.rows[0][1], 2.0);
+}
+
+TEST(Csv, SkipsBlankLines) {
+  std::istringstream in("a\n\n1\n\n2\n");
+  const CsvTable table = read_csv(in);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(Csv, RejectsRaggedRows) {
+  std::istringstream in("a,b\n1,2,3\n");
+  EXPECT_THROW(read_csv(in), std::invalid_argument);
+}
+
+TEST(Csv, RejectsNonNumericCells) {
+  std::istringstream in("a\nhello\n");
+  EXPECT_THROW(read_csv(in), std::invalid_argument);
+}
+
+TEST(Csv, RejectsEmptyDocument) {
+  std::istringstream in("");
+  EXPECT_THROW(read_csv(in), std::invalid_argument);
+}
+
+TEST(Csv, ColumnLookup) {
+  std::istringstream in("x,y\n1,10\n2,20\n");
+  const CsvTable table = read_csv(in);
+  EXPECT_EQ(table.column_index("y"), 1u);
+  EXPECT_EQ(table.column("y"), (std::vector<double>{10.0, 20.0}));
+  EXPECT_THROW(table.column_index("z"), std::out_of_range);
+}
+
+TEST(Csv, WriteReadRoundTrip) {
+  CsvTable table;
+  table.header = {"u", "v"};
+  table.rows = {{1.5, -2.25}, {0.0, 1e6}};
+  std::ostringstream out;
+  write_csv(out, table);
+  std::istringstream in(out.str());
+  const CsvTable parsed = read_csv(in);
+  EXPECT_EQ(parsed.header, table.header);
+  ASSERT_EQ(parsed.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.rows[0][1], -2.25);
+  EXPECT_DOUBLE_EQ(parsed.rows[1][1], 1e6);
+}
+
+TEST(Csv, FileRoundTrip) {
+  CsvTable table;
+  table.header = {"only"};
+  table.rows = {{42.0}};
+  const std::string path = testing::TempDir() + "/f2pm_csv_test.csv";
+  write_csv_file(path, table);
+  const CsvTable parsed = read_csv_file(path);
+  EXPECT_DOUBLE_EQ(parsed.rows[0][0], 42.0);
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/nope.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace f2pm::util

@@ -1,0 +1,92 @@
+#include "data/data_history.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace f2pm::data {
+namespace {
+
+Run make_run(std::initializer_list<double> times, double fail_time,
+             bool failed = true) {
+  f2pm::data::Run run;
+  for (double t : times) {
+    RawDatapoint sample;
+    sample.tgen = t;
+    sample[FeatureId::kMemUsed] = 100.0 * t;
+    run.samples.push_back(sample);
+  }
+  run.fail_time = fail_time;
+  run.failed = failed;
+  return run;
+}
+
+TEST(DataHistory, AddRunAndStats) {
+  DataHistory history;
+  history.add_run(make_run({1.0, 2.0, 3.0}, 10.0));
+  history.add_run(make_run({1.0, 2.0}, 20.0));
+  history.add_run(make_run({1.0}, 5.0, /*failed=*/false));
+  EXPECT_EQ(history.num_runs(), 3u);
+  EXPECT_EQ(history.num_samples(), 6u);
+  EXPECT_EQ(history.num_failures(), 2u);
+  EXPECT_DOUBLE_EQ(history.mean_time_to_failure(), 15.0);
+}
+
+TEST(DataHistory, MeanTtfZeroWithoutFailures) {
+  DataHistory history;
+  history.add_run(make_run({1.0}, 1.0, /*failed=*/false));
+  EXPECT_DOUBLE_EQ(history.mean_time_to_failure(), 0.0);
+}
+
+TEST(DataHistory, RejectsOutOfOrderSamples) {
+  f2pm::data::Run run = make_run({3.0, 1.0}, 10.0);
+  DataHistory history;
+  EXPECT_THROW(history.add_run(std::move(run)), std::invalid_argument);
+}
+
+TEST(DataHistory, RejectsFailTimeBeforeLastSample) {
+  f2pm::data::Run run = make_run({1.0, 5.0}, 4.0);
+  DataHistory history;
+  EXPECT_THROW(history.add_run(std::move(run)), std::invalid_argument);
+}
+
+TEST(DataHistory, CsvRoundTrip) {
+  DataHistory history;
+  history.add_run(make_run({1.5, 3.0}, 10.0));
+  history.add_run(make_run({2.0}, 8.0, /*failed=*/false));
+  std::stringstream buffer;
+  history.save_csv(buffer);
+  const DataHistory parsed = DataHistory::load_csv(buffer);
+  ASSERT_EQ(parsed.num_runs(), 2u);
+  EXPECT_EQ(parsed.runs()[0].samples, history.runs()[0].samples);
+  EXPECT_DOUBLE_EQ(parsed.runs()[0].fail_time, 10.0);
+  EXPECT_TRUE(parsed.runs()[0].failed);
+  EXPECT_FALSE(parsed.runs()[1].failed);
+}
+
+TEST(DataHistory, BinaryRoundTrip) {
+  DataHistory history;
+  history.add_run(make_run({0.5, 1.25, 2.0, 2.75}, 99.0));
+  std::stringstream buffer;
+  history.save_binary(buffer);
+  const DataHistory parsed = DataHistory::load_binary(buffer);
+  ASSERT_EQ(parsed.num_runs(), 1u);
+  EXPECT_EQ(parsed.runs()[0].samples, history.runs()[0].samples);
+  EXPECT_DOUBLE_EQ(parsed.runs()[0].fail_time, 99.0);
+}
+
+TEST(DataHistory, BinaryRejectsGarbage) {
+  std::stringstream buffer;
+  buffer << "nonsense bytes here";
+  EXPECT_THROW(DataHistory::load_binary(buffer), std::runtime_error);
+}
+
+TEST(DataHistory, EmptyHistoryRoundTrips) {
+  DataHistory history;
+  std::stringstream buffer;
+  history.save_binary(buffer);
+  EXPECT_EQ(DataHistory::load_binary(buffer).num_runs(), 0u);
+}
+
+}  // namespace
+}  // namespace f2pm::data

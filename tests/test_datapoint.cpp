@@ -1,0 +1,61 @@
+#include "data/datapoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace f2pm::data {
+namespace {
+
+TEST(Datapoint, FeatureCountMatchesPaperSchema) {
+  // §III-A lists 14 system features besides Tgen.
+  EXPECT_EQ(kFeatureCount, 14u);
+  EXPECT_EQ(all_feature_names().size(), kFeatureCount);
+}
+
+TEST(Datapoint, NamesAreUniqueAndNonEmpty) {
+  const auto names = all_feature_names();
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+  for (const auto& name : names) EXPECT_FALSE(name.empty());
+}
+
+TEST(Datapoint, NameRoundTrip) {
+  for (std::size_t i = 0; i < kFeatureCount; ++i) {
+    const auto id = static_cast<FeatureId>(i);
+    EXPECT_EQ(feature_from_name(feature_name(id)), id);
+  }
+}
+
+TEST(Datapoint, UnknownNameThrows) {
+  EXPECT_THROW(feature_from_name("bogus_feature"), std::invalid_argument);
+}
+
+TEST(Datapoint, PaperTableINamesExist) {
+  // The names the paper's Table I uses must be part of the vocabulary.
+  EXPECT_NO_THROW(feature_from_name("mem_used"));
+  EXPECT_NO_THROW(feature_from_name("mem_free"));
+  EXPECT_NO_THROW(feature_from_name("mem_buffers"));
+  EXPECT_NO_THROW(feature_from_name("swap_used"));
+  EXPECT_NO_THROW(feature_from_name("swap_free"));
+}
+
+TEST(Datapoint, IndexOperatorReadsAndWrites) {
+  RawDatapoint sample;
+  sample[FeatureId::kSwapUsed] = 123.0;
+  EXPECT_DOUBLE_EQ(sample[FeatureId::kSwapUsed], 123.0);
+  EXPECT_DOUBLE_EQ(sample[FeatureId::kSwapFree], 0.0);
+}
+
+TEST(Datapoint, EqualityIsValueBased) {
+  RawDatapoint a;
+  a.tgen = 1.5;
+  a[FeatureId::kMemUsed] = 10.0;
+  RawDatapoint b = a;
+  EXPECT_EQ(a, b);
+  b[FeatureId::kMemUsed] = 11.0;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace f2pm::data

@@ -1,0 +1,103 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace f2pm::data {
+namespace {
+
+std::vector<AggregatedDatapoint> make_points(std::size_t n,
+                                             std::size_t num_runs) {
+  std::vector<AggregatedDatapoint> points(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points[i].run_index = i % num_runs;
+    points[i].window_end = static_cast<double>(i) * 30.0;
+    points[i].rttf = 1000.0 - static_cast<double>(i);
+    points[i].means[0] = static_cast<double>(i);
+    points[i].intergen_mean = 1.5;
+  }
+  return points;
+}
+
+TEST(Dataset, BuildShapesAndProvenance) {
+  const Dataset dataset = build_dataset(make_points(10, 3));
+  EXPECT_EQ(dataset.num_rows(), 10u);
+  EXPECT_EQ(dataset.num_features(), kInputCount);
+  EXPECT_EQ(dataset.feature_names.size(), kInputCount);
+  EXPECT_EQ(dataset.y.size(), 10u);
+  EXPECT_EQ(dataset.run_index[4], 1u);
+  EXPECT_DOUBLE_EQ(dataset.window_end[2], 60.0);
+  EXPECT_DOUBLE_EQ(dataset.x(3, 0), 3.0);
+  EXPECT_DOUBLE_EQ(dataset.x(3, kInputCount - 2), 1.5);
+}
+
+TEST(Dataset, FeatureIndexLookup) {
+  const Dataset dataset = build_dataset(make_points(2, 1));
+  EXPECT_EQ(dataset.feature_index("n_threads"), 0u);
+  EXPECT_THROW(dataset.feature_index("nope"), std::out_of_range);
+}
+
+TEST(Dataset, SelectFeaturesKeepsLabelsAndNames) {
+  const Dataset dataset = build_dataset(make_points(5, 2));
+  const Dataset sel = dataset.select_features({0, kInputCount - 2});
+  EXPECT_EQ(sel.num_features(), 2u);
+  EXPECT_EQ(sel.feature_names[1], "intergen_time");
+  EXPECT_EQ(sel.y, dataset.y);
+  EXPECT_DOUBLE_EQ(sel.x(3, 0), 3.0);
+  EXPECT_THROW(dataset.select_features({kInputCount}), std::out_of_range);
+}
+
+TEST(Dataset, SelectRows) {
+  const Dataset dataset = build_dataset(make_points(5, 2));
+  const Dataset sel = dataset.select_rows({4, 0});
+  EXPECT_EQ(sel.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(sel.y[0], 996.0);
+  EXPECT_DOUBLE_EQ(sel.y[1], 1000.0);
+  EXPECT_THROW(dataset.select_rows({99}), std::out_of_range);
+}
+
+TEST(SplitDataset, PartitionIsDisjointAndComplete) {
+  const Dataset dataset = build_dataset(make_points(100, 4));
+  util::Rng rng(5);
+  const auto split = split_dataset(dataset, 0.7, rng);
+  EXPECT_EQ(split.train.num_rows(), 70u);
+  EXPECT_EQ(split.validation.num_rows(), 30u);
+  // Reconstruct the y multiset: nothing lost, nothing duplicated.
+  std::multiset<double> all(dataset.y.begin(), dataset.y.end());
+  std::multiset<double> parts(split.train.y.begin(), split.train.y.end());
+  parts.insert(split.validation.y.begin(), split.validation.y.end());
+  EXPECT_EQ(all, parts);
+}
+
+TEST(SplitDataset, InvalidFractionThrows) {
+  const Dataset dataset = build_dataset(make_points(10, 2));
+  util::Rng rng(5);
+  EXPECT_THROW(split_dataset(dataset, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(split_dataset(dataset, 1.0, rng), std::invalid_argument);
+}
+
+TEST(SplitDataset, DeterministicGivenSeed) {
+  const Dataset dataset = build_dataset(make_points(50, 3));
+  util::Rng rng_a(9);
+  util::Rng rng_b(9);
+  const auto a = split_dataset(dataset, 0.6, rng_a);
+  const auto b = split_dataset(dataset, 0.6, rng_b);
+  EXPECT_EQ(a.train.y, b.train.y);
+  EXPECT_EQ(a.validation.y, b.validation.y);
+}
+
+TEST(SplitByRun, NoRunStraddlesTheBoundary) {
+  const Dataset dataset = build_dataset(make_points(60, 6));
+  util::Rng rng(11);
+  const auto split = split_dataset_by_run(dataset, 0.5, rng);
+  std::set<std::size_t> train_runs(split.train.run_index.begin(),
+                                   split.train.run_index.end());
+  std::set<std::size_t> val_runs(split.validation.run_index.begin(),
+                                 split.validation.run_index.end());
+  for (std::size_t run : train_runs) EXPECT_EQ(val_runs.count(run), 0u);
+  EXPECT_EQ(split.train.num_rows() + split.validation.num_rows(), 60u);
+}
+
+}  // namespace
+}  // namespace f2pm::data

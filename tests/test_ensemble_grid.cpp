@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "ml/ensemble.hpp"
+#include "ml/grid_search.hpp"
+#include "ml/metrics.hpp"
+#include "ml/registry.hpp"
+#include "util/rng.hpp"
+
+namespace f2pm::ml {
+namespace {
+
+/// Noisy step data where a single tree is high-variance.
+void make_noisy_step(std::size_t n, util::Rng& rng, linalg::Matrix& x,
+                     std::vector<double>& y) {
+  x = linalg::Matrix(n, 2);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(-1.0, 1.0);
+    x(i, 1) = rng.uniform(-1.0, 1.0);
+    y[i] = (x(i, 0) < 0.0 ? 5.0 : -5.0) + rng.normal(0.0, 2.0);
+  }
+}
+
+TEST(BaggedTrees, ReducesVarianceOverSingleTree) {
+  util::Rng rng(1);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_noisy_step(400, rng, x, y);
+  linalg::Matrix x_val;
+  std::vector<double> y_val;
+  make_noisy_step(200, rng, x_val, y_val);
+
+  // The classic bagging demonstration uses unpruned (high-variance) base
+  // learners: a single unpruned tree overfits the noise, the bag averages
+  // it away.
+  RepTreeOptions unpruned;
+  unpruned.prune = false;
+  RepTree single(unpruned);
+  single.fit(x, y);
+  BaggedTreesOptions options;
+  options.num_trees = 15;
+  options.tree = unpruned;
+  BaggedTrees ensemble(options);
+  ensemble.fit(x, y);
+  const double single_mae =
+      mean_absolute_error(single.predict(x_val), y_val);
+  const double bagged_mae =
+      mean_absolute_error(ensemble.predict(x_val), y_val);
+  EXPECT_LT(bagged_mae, single_mae);
+}
+
+TEST(BaggedTrees, PredictionIsMeanOfMembers) {
+  util::Rng rng(2);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_noisy_step(200, rng, x, y);
+  BaggedTreesOptions options;
+  options.num_trees = 1;  // a 1-tree bag is just that tree
+  BaggedTrees ensemble(options);
+  ensemble.fit(x, y);
+  EXPECT_EQ(ensemble.num_trees(), 1u);
+}
+
+TEST(BaggedTrees, InvalidOptionsRejected) {
+  EXPECT_THROW(BaggedTrees(BaggedTreesOptions{.num_trees = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(BaggedTrees(BaggedTreesOptions{.sample_fraction = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(BaggedTrees(BaggedTreesOptions{.sample_fraction = 1.5}),
+               std::invalid_argument);
+}
+
+TEST(BaggedTrees, DeterministicForFixedSeed) {
+  util::Rng rng(3);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_noisy_step(300, rng, x, y);
+  BaggedTrees a(BaggedTreesOptions{.num_trees = 5, .seed = 9});
+  BaggedTrees b(BaggedTreesOptions{.num_trees = 5, .seed = 9});
+  a.fit(x, y);
+  b.fit(x, y);
+  const std::vector<double> probe{0.3, -0.2};
+  EXPECT_DOUBLE_EQ(a.predict_row(probe), b.predict_row(probe));
+}
+
+TEST(BaggedTrees, SaveLoadRoundTrip) {
+  util::Rng rng(4);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_noisy_step(200, rng, x, y);
+  BaggedTrees model(BaggedTreesOptions{.num_trees = 4});
+  model.fit(x, y);
+  std::stringstream buffer;
+  save_model(model, buffer);
+  const auto loaded = load_model(buffer);
+  EXPECT_EQ(loaded->name(), "bagging");
+  for (double probe : {-0.8, -0.1, 0.4, 0.9}) {
+    const std::vector<double> row{probe, 0.0};
+    EXPECT_DOUBLE_EQ(loaded->predict_row(row), model.predict_row(row));
+  }
+}
+
+TEST(BaggedTrees, UncertaintyIsSpreadOfMembers) {
+  util::Rng rng(11);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_noisy_step(300, rng, x, y);
+  BaggedTrees ensemble(BaggedTreesOptions{.num_trees = 12});
+  ensemble.fit(x, y);
+  // Mean of predict_with_uncertainty equals predict_row.
+  const std::vector<double> probe{0.4, 0.0};
+  const auto prediction = ensemble.predict_with_uncertainty(probe);
+  EXPECT_DOUBLE_EQ(prediction.mean, ensemble.predict_row(probe));
+  EXPECT_GE(prediction.stddev, 0.0);
+  // Near the decision boundary the members disagree more than deep inside
+  // a regime.
+  const auto boundary =
+      ensemble.predict_with_uncertainty(std::vector<double>{0.0, 0.0});
+  const auto interior =
+      ensemble.predict_with_uncertainty(std::vector<double>{0.9, 0.0});
+  EXPECT_GE(boundary.stddev, interior.stddev * 0.5);
+}
+
+TEST(BaggedTrees, SingleTreeHasZeroUncertainty) {
+  util::Rng rng(12);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_noisy_step(100, rng, x, y);
+  BaggedTrees ensemble(BaggedTreesOptions{.num_trees = 1});
+  ensemble.fit(x, y);
+  const auto prediction =
+      ensemble.predict_with_uncertainty(std::vector<double>{0.5, 0.0});
+  EXPECT_DOUBLE_EQ(prediction.stddev, 0.0);
+}
+
+TEST(BaggedTrees, AvailableThroughRegistry) {
+  util::Config params;
+  params.set("bagging.num_trees", "3");
+  const auto model = make_model("bagging", params);
+  EXPECT_EQ(model->name(), "bagging");
+  EXPECT_EQ(dynamic_cast<BaggedTrees&>(*model).options().num_trees, 3u);
+}
+
+TEST(GridSearch, EnumerationIsCartesianProduct) {
+  ParameterGrid grid;
+  grid["a"] = {"1", "2", "3"};
+  grid["b"] = {"x", "y"};
+  const auto configs = enumerate_grid(grid, util::Config{});
+  EXPECT_EQ(configs.size(), 6u);
+  // Every combination appears exactly once.
+  std::set<std::string> seen;
+  for (const auto& config : configs) {
+    seen.insert(config.get_string("a", "") + config.get_string("b", ""));
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(GridSearch, EmptyDimensionThrows) {
+  ParameterGrid grid;
+  grid["a"] = {};
+  EXPECT_THROW(enumerate_grid(grid, util::Config{}), std::invalid_argument);
+}
+
+TEST(GridSearch, BaseValuesSurviveUnlessOverridden) {
+  util::Config base;
+  base.set("keep", "me");
+  base.set("a", "original");
+  ParameterGrid grid;
+  grid["a"] = {"new"};
+  const auto configs = enumerate_grid(grid, base);
+  ASSERT_EQ(configs.size(), 1u);
+  EXPECT_EQ(configs[0].get_string("keep", ""), "me");
+  EXPECT_EQ(configs[0].get_string("a", ""), "new");
+}
+
+TEST(GridSearch, FindsTheBetterRidgeLambda) {
+  // y is exactly linear: tiny ridge must beat an absurdly large one.
+  util::Rng rng(5);
+  linalg::Matrix x(150, 2);
+  std::vector<double> y(150);
+  for (std::size_t i = 0; i < 150; ++i) {
+    x(i, 0) = rng.uniform(-5.0, 5.0);
+    x(i, 1) = rng.uniform(-5.0, 5.0);
+    y[i] = 3.0 * x(i, 0) - x(i, 1) + rng.normal(0.0, 0.1);
+  }
+  ParameterGrid grid;
+  grid["ridge.lambda"] = {"0.001", "1000000"};
+  util::Rng search_rng(6);
+  const auto result =
+      grid_search("ridge", grid, x, y, 4, search_rng, 1.0);
+  ASSERT_EQ(result.points.size(), 2u);
+  EXPECT_EQ(result.best().params.get_string("ridge.lambda", ""), "0.001");
+  EXPECT_LT(result.best().mean_mae, result.points[1].mean_mae);
+}
+
+TEST(GridSearch, PointsAreSortedByMeanMae) {
+  util::Rng rng(7);
+  linalg::Matrix x(100, 1);
+  std::vector<double> y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = 2.0 * static_cast<double>(i) + rng.normal(0.0, 1.0);
+  }
+  ParameterGrid grid;
+  grid["knn.k"] = {"1", "3", "9", "27"};
+  util::Rng search_rng(8);
+  const auto result = grid_search("knn", grid, x, y, 3, search_rng, 0.5);
+  for (std::size_t i = 1; i < result.points.size(); ++i) {
+    EXPECT_LE(result.points[i - 1].mean_mae, result.points[i].mean_mae);
+  }
+}
+
+}  // namespace
+}  // namespace f2pm::ml

@@ -1,0 +1,115 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace f2pm::sim {
+namespace {
+
+TEST(Simulator, FiresEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&order] { order.push_back(3); });
+  sim.schedule_at(1.0, [&order] { order.push_back(1); });
+  sim.schedule_at(2.0, [&order] { order.push_back(2); });
+  while (sim.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, TiesBreakInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  while (sim.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(5.0, [&] {
+    sim.schedule_in(2.5, [&] { fired_at = sim.now(); });
+  });
+  while (sim.step()) {
+  }
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Simulator, PastTimesClampToNow) {
+  Simulator sim;
+  sim.schedule_at(10.0, [] {});
+  sim.step();
+  double fired_at = -1.0;
+  sim.schedule_at(3.0, [&] { fired_at = sim.now(); });  // in the past
+  sim.step();
+  EXPECT_DOUBLE_EQ(fired_at, 10.0);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&fired] { ++fired; });
+  sim.schedule_at(2.0, [&fired] { ++fired; });
+  sim.schedule_at(2.5, [&fired] { ++fired; });
+  sim.run_until(2.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulator, RunUntilConditionStopsEarly) {
+  Simulator sim;
+  int counter = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_at(static_cast<double>(i), [&counter] { ++counter; });
+  }
+  const bool stopped = sim.run_until_condition(
+      [&counter] { return counter >= 4; }, 100.0);
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(counter, 4);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+}
+
+TEST(Simulator, RunUntilConditionTimesOut) {
+  Simulator sim;
+  sim.schedule_at(1.0, [] {});
+  const bool stopped =
+      sim.run_until_condition([] { return false; }, 50.0);
+  EXPECT_FALSE(stopped);
+  EXPECT_DOUBLE_EQ(sim.now(), 50.0);
+}
+
+TEST(Simulator, ClearDropsPendingEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&fired] { ++fired; });
+  sim.clear();
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, CountsProcessedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(1.0, [] {});
+  sim.run_until(2.0);
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int chain = 0;
+  std::function<void()> next = [&]() {
+    if (++chain < 5) sim.schedule_in(1.0, next);
+  };
+  sim.schedule_at(0.0, next);
+  sim.run_until(100.0);
+  EXPECT_EQ(chain, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+}  // namespace
+}  // namespace f2pm::sim

@@ -1,0 +1,101 @@
+#include "core/failure_condition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace f2pm::core {
+namespace {
+
+data::RawDatapoint sample_with(data::FeatureId feature, double value) {
+  data::RawDatapoint sample;
+  sample[feature] = value;
+  return sample;
+}
+
+TEST(FailureCondition, FeatureComparisons) {
+  const auto above =
+      FailureCondition::feature_above(data::FeatureId::kSwapUsed, 100.0);
+  EXPECT_TRUE(above.evaluate(
+      {sample_with(data::FeatureId::kSwapUsed, 150.0), 0.0}));
+  EXPECT_FALSE(above.evaluate(
+      {sample_with(data::FeatureId::kSwapUsed, 100.0), 0.0}));
+
+  const auto below =
+      FailureCondition::feature_below(data::FeatureId::kSwapFree, 50.0);
+  EXPECT_TRUE(below.evaluate(
+      {sample_with(data::FeatureId::kSwapFree, 10.0), 0.0}));
+  EXPECT_FALSE(below.evaluate(
+      {sample_with(data::FeatureId::kSwapFree, 50.0), 0.0}));
+}
+
+TEST(FailureCondition, IntergenThreshold) {
+  const auto overload = FailureCondition::intergen_above(5.0);
+  EXPECT_TRUE(overload.evaluate({data::RawDatapoint{}, 6.0}));
+  EXPECT_FALSE(overload.evaluate({data::RawDatapoint{}, 5.0}));
+}
+
+TEST(FailureCondition, ConjunctionAndDisjunction) {
+  const auto both =
+      FailureCondition::feature_above(data::FeatureId::kSwapUsed, 100.0) &&
+      FailureCondition::intergen_above(5.0);
+  data::RawDatapoint hot = sample_with(data::FeatureId::kSwapUsed, 200.0);
+  EXPECT_TRUE(both.evaluate({hot, 6.0}));
+  EXPECT_FALSE(both.evaluate({hot, 1.0}));
+
+  const auto either =
+      FailureCondition::feature_above(data::FeatureId::kSwapUsed, 100.0) ||
+      FailureCondition::intergen_above(5.0);
+  EXPECT_TRUE(either.evaluate({data::RawDatapoint{}, 6.0}));
+  EXPECT_TRUE(either.evaluate({hot, 0.0}));
+  EXPECT_FALSE(either.evaluate({data::RawDatapoint{}, 0.0}));
+}
+
+TEST(FailureCondition, NeverIsIdentityForOr) {
+  const auto condition = FailureCondition::never() ||
+                         FailureCondition::intergen_above(1.0);
+  EXPECT_TRUE(condition.evaluate({data::RawDatapoint{}, 2.0}));
+  EXPECT_FALSE(FailureCondition::never().evaluate({data::RawDatapoint{}, 9e9}));
+}
+
+TEST(FailureCondition, DescriptionNamesTheParts) {
+  const auto condition =
+      FailureCondition::feature_below(data::FeatureId::kSwapFree, 1024.0) ||
+      FailureCondition::intergen_above(4.5);
+  const std::string text = condition.describe();
+  EXPECT_NE(text.find("swap_free"), std::string::npos);
+  EXPECT_NE(text.find("OR"), std::string::npos);
+  EXPECT_NE(text.find("intergen"), std::string::npos);
+}
+
+TEST(FirstFailureIndex, FindsEarliestTrigger) {
+  std::vector<data::RawDatapoint> samples;
+  for (int i = 0; i < 10; ++i) {
+    data::RawDatapoint sample;
+    sample.tgen = static_cast<double>(i);
+    sample[data::FeatureId::kSwapUsed] = i >= 7 ? 500.0 : 0.0;
+    samples.push_back(sample);
+  }
+  const auto condition =
+      FailureCondition::feature_above(data::FeatureId::kSwapUsed, 100.0);
+  EXPECT_EQ(first_failure_index(condition, samples), 7u);
+}
+
+TEST(FirstFailureIndex, ComputesIntergenFromTimestamps) {
+  std::vector<data::RawDatapoint> samples;
+  for (double t : {0.0, 1.5, 3.0, 10.0}) {  // last gap is 7 seconds
+    data::RawDatapoint sample;
+    sample.tgen = t;
+    samples.push_back(sample);
+  }
+  const auto condition = FailureCondition::intergen_above(5.0);
+  EXPECT_EQ(first_failure_index(condition, samples), 3u);
+}
+
+TEST(FirstFailureIndex, ReturnsNposWhenNeverMet) {
+  std::vector<data::RawDatapoint> samples(5);
+  const auto condition = FailureCondition::intergen_above(100.0);
+  EXPECT_EQ(first_failure_index(condition, samples),
+            std::numeric_limits<std::size_t>::max());
+}
+
+}  // namespace
+}  // namespace f2pm::core

@@ -1,0 +1,90 @@
+#include "core/feature_selection.hpp"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace f2pm::core {
+namespace {
+
+/// A dataset with mixed feature scales (as in the real pipeline): a huge
+/// informative feature, a small informative feature, and noise.
+data::Dataset make_dataset(std::size_t n, util::Rng& rng) {
+  data::Dataset dataset;
+  dataset.feature_names = {"big_signal", "small_signal", "noise"};
+  dataset.x = linalg::Matrix(n, 3);
+  dataset.y.resize(n);
+  dataset.run_index.assign(n, 0);
+  dataset.window_end.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    dataset.x(i, 0) = rng.uniform(0.0, 1e6);
+    dataset.x(i, 1) = rng.uniform(0.0, 10.0);
+    dataset.x(i, 2) = rng.uniform(-1.0, 1.0);
+    dataset.y[i] =
+        0.001 * dataset.x(i, 0) + 20.0 * dataset.x(i, 1) + rng.normal(0.0, 1.0);
+  }
+  return dataset;
+}
+
+TEST(FeatureSelection, PaperGridIsTenDecades) {
+  const auto grid = paper_lambda_grid();
+  ASSERT_EQ(grid.size(), 10u);
+  EXPECT_DOUBLE_EQ(grid.front(), 1.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 1e9);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_DOUBLE_EQ(grid[i] / grid[i - 1], 10.0);
+  }
+}
+
+TEST(FeatureSelection, EntriesCarryNamesAndWeights) {
+  util::Rng rng(1);
+  const data::Dataset dataset = make_dataset(300, rng);
+  const auto result = select_features(dataset, {1e-6});
+  ASSERT_EQ(result.entries.size(), 1u);
+  const auto& entry = result.entries[0];
+  EXPECT_EQ(entry.selected.size(), entry.weights.size());
+  EXPECT_EQ(entry.selected.size(), entry.names.size());
+  // At negligible λ both signals must be selected.
+  EXPECT_NE(std::find(entry.names.begin(), entry.names.end(), "big_signal"),
+            entry.names.end());
+  EXPECT_NE(
+      std::find(entry.names.begin(), entry.names.end(), "small_signal"),
+      entry.names.end());
+}
+
+TEST(FeatureSelection, SelectionCountDecreasesAlongGrid) {
+  util::Rng rng(2);
+  const data::Dataset dataset = make_dataset(400, rng);
+  std::vector<double> grid;
+  // Up to 1e12: this data's λ_max is ~1e11 (big_signal spans 1e6 and the
+  // objective uses total squared error), so the top of the grid must clear
+  // it for the all-zero end of the path to be reachable.
+  for (int e = -4; e <= 12; ++e) grid.push_back(std::pow(10.0, e));
+  const auto result = select_features(dataset, grid);
+  EXPECT_GE(result.entries.front().selected.size(),
+            result.entries.back().selected.size());
+  EXPECT_TRUE(result.entries.back().selected.empty());
+}
+
+TEST(FeatureSelection, AtLambdaLookup) {
+  util::Rng rng(3);
+  const data::Dataset dataset = make_dataset(100, rng);
+  const auto result = select_features(dataset, {1.0, 100.0});
+  EXPECT_DOUBLE_EQ(result.at_lambda(100.0).lambda, 100.0);
+  EXPECT_THROW(result.at_lambda(42.0), std::out_of_range);
+}
+
+TEST(FeatureSelection, WeightsAlignWithSelectedColumns) {
+  util::Rng rng(4);
+  const data::Dataset dataset = make_dataset(300, rng);
+  const auto result = select_features(dataset, {1e-6});
+  const auto& entry = result.entries[0];
+  for (std::size_t i = 0; i < entry.selected.size(); ++i) {
+    EXPECT_NE(entry.weights[i], 0.0);
+    EXPECT_EQ(entry.names[i], dataset.feature_names[entry.selected[i]]);
+  }
+}
+
+}  // namespace
+}  // namespace f2pm::core

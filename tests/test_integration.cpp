@@ -1,0 +1,191 @@
+// End-to-end integration tests: campaign -> pipeline -> paper-shaped
+// conclusions. These encode the qualitative claims of the paper's §IV on a
+// small (but real) simulated study.
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "ml/reptree.hpp"
+#include "sim/campaign.hpp"
+
+namespace f2pm {
+namespace {
+
+/// A mid-sized campaign shared by the integration assertions.
+const core::PipelineResult& study() {
+  static const core::PipelineResult result = [] {
+    sim::CampaignConfig campaign;
+    campaign.num_runs = 12;
+    campaign.seed = 4242;
+    campaign.workload.num_browsers = 50;
+    const data::DataHistory history = sim::run_campaign(campaign);
+    core::PipelineOptions options;
+    options.models = {"linear", "m5p", "reptree", "lasso"};
+    options.lasso_predictor_lambdas = {1e0, 1e9};
+    return core::run_pipeline(history, options);
+  }();
+  return result;
+}
+
+double soft_mae_of(const std::vector<core::ModelOutcome>& outcomes,
+                   const std::string& name) {
+  for (const auto& outcome : outcomes) {
+    if (outcome.display_name == name) return outcome.report.soft_mae;
+  }
+  throw std::out_of_range(name);
+}
+
+TEST(Integration, EveryModelBeatsTheMeanPredictorOnAllFeatures) {
+  for (const auto& outcome : study().using_all_features) {
+    if (outcome.display_name == "lasso-lambda-1000000000") continue;
+    EXPECT_LT(outcome.report.rae, 1.0) << outcome.display_name;
+  }
+}
+
+TEST(Integration, TreeMethodsBeatLinearRegression) {
+  // The paper's headline: REP-Tree and M5P are the best methods.
+  const auto& all = study().using_all_features;
+  const double linear = soft_mae_of(all, "linear");
+  EXPECT_LT(soft_mae_of(all, "m5p"), linear);
+  EXPECT_LT(soft_mae_of(all, "reptree"), linear);
+}
+
+TEST(Integration, HeavilyShrunkLassoPredictorIsFarWorse) {
+  // Table II: Lasso as a predictor at large λ trails everything.
+  const auto& all = study().using_all_features;
+  EXPECT_GT(soft_mae_of(all, "lasso-lambda-1000000000"),
+            2.0 * soft_mae_of(all, "reptree"));
+}
+
+TEST(Integration, SelectedFeaturesTrainFasterButLoseAccuracy) {
+  // Tables II-III: the Lasso-selected feature set cuts training time and
+  // costs accuracy.
+  const auto& result = study();
+  ASSERT_FALSE(result.using_selected_features.empty());
+  double all_time = 0.0;
+  double selected_time = 0.0;
+  double all_error = 0.0;
+  double selected_error = 0.0;
+  for (std::size_t i = 0; i < result.using_all_features.size(); ++i) {
+    all_time += result.using_all_features[i].report.training_seconds;
+    selected_time +=
+        result.using_selected_features[i].report.training_seconds;
+    all_error += result.using_all_features[i].report.soft_mae;
+    selected_error += result.using_selected_features[i].report.soft_mae;
+  }
+  EXPECT_LT(selected_time, all_time);
+  EXPECT_GE(selected_error, all_error);
+}
+
+TEST(Integration, SelectionKeepsMemoryRelatedFeatures) {
+  // Table I: the surviving features are memory levels and slopes.
+  const auto& result = study();
+  ASSERT_TRUE(result.selection.has_value());
+  const auto& entry =
+      result.selection->at_lambda(1e8);
+  ASSERT_FALSE(entry.names.empty());
+  for (const auto& name : entry.names) {
+    EXPECT_TRUE(name.find("mem") != std::string::npos ||
+                name.find("swap") != std::string::npos)
+        << "unexpected survivor: " << name;
+  }
+}
+
+TEST(Integration, TreeImportancesAgreeWithLassoOnMemoryFeatures) {
+  // Two independent feature-relevance views must agree: the Lasso
+  // survivors (Table I) and the REP-Tree split gains should both be
+  // dominated by memory/swap columns.
+  const auto& result = study();
+  ml::RepTree tree;
+  tree.fit(result.train.x, result.train.y);
+  const auto& importances = tree.feature_importances();
+  double memory_mass = 0.0;
+  double anomaly_mass = 0.0;  // + thread census and overload signals
+  for (std::size_t c = 0; c < importances.size(); ++c) {
+    const std::string& name = result.train.feature_names[c];
+    const bool memory = name.find("mem") != std::string::npos ||
+                        name.find("swap") != std::string::npos;
+    // The testbed's other anomaly is unterminated threads, so the thread
+    // census (and its slope, which tracks the anomaly arrival rate) is a
+    // legitimate failure signal, as are the thrashing indicators.
+    const bool anomaly = memory ||
+                         name.find("n_threads") != std::string::npos ||
+                         name.find("iowait") != std::string::npos ||
+                         name.find("intergen") != std::string::npos;
+    if (memory) memory_mass += importances[c];
+    if (anomaly) anomaly_mass += importances[c];
+  }
+  EXPECT_GT(memory_mass, 0.3);
+  EXPECT_GT(anomaly_mass, 0.8);
+}
+
+TEST(Integration, PredictionErrorShrinksNearTheFailurePoint) {
+  // Fig. 5: models are accurate close to the failure, sloppier far away.
+  const auto& result = study();
+  const core::ModelOutcome* reptree = nullptr;
+  for (const auto& outcome : result.using_all_features) {
+    if (outcome.display_name == "reptree") reptree = &outcome;
+  }
+  ASSERT_NE(reptree, nullptr);
+  double near_error = 0.0;
+  std::size_t near_count = 0;
+  double far_error = 0.0;
+  std::size_t far_count = 0;
+  for (std::size_t i = 0; i < reptree->predicted.size(); ++i) {
+    const double actual = result.validation.y[i];
+    const double error = std::abs(reptree->predicted[i] - actual);
+    if (actual < 300.0) {
+      near_error += error;
+      ++near_count;
+    } else if (actual > 900.0) {
+      far_error += error;
+      ++far_count;
+    }
+  }
+  ASSERT_GT(near_count, 0u);
+  ASSERT_GT(far_count, 0u);
+  EXPECT_LT(near_error / static_cast<double>(near_count),
+            far_error / static_cast<double>(far_count));
+}
+
+TEST(Integration, GenerationTimeCorrelatesWithResponseTime) {
+  // Fig. 3: the datapoint inter-generation time tracks the client RT.
+  sim::CampaignConfig campaign;
+  campaign.workload.num_browsers = 50;
+  const sim::RunResult run = sim::execute_run(campaign, 987654);
+  ASSERT_TRUE(run.run.failed);
+  const auto& samples = run.run.samples;
+  double sum_xy = 0.0;
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  double sum_xx = 0.0;
+  double sum_yy = 0.0;
+  const std::size_t n = samples.size() - 1;
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    const double gen = samples[i].tgen - samples[i - 1].tgen;
+    const double rt = run.response_times[i];
+    sum_x += gen;
+    sum_y += rt;
+    sum_xy += gen * rt;
+    sum_xx += gen * gen;
+    sum_yy += rt * rt;
+  }
+  const double nf = static_cast<double>(n);
+  const double cov = sum_xy / nf - (sum_x / nf) * (sum_y / nf);
+  const double var_x = sum_xx / nf - (sum_x / nf) * (sum_x / nf);
+  const double var_y = sum_yy / nf - (sum_y / nf) * (sum_y / nf);
+  const double correlation = cov / std::sqrt(var_x * var_y);
+  EXPECT_GT(correlation, 0.5);
+}
+
+TEST(Integration, ReportsRenderForARealStudy) {
+  const auto& result = study();
+  EXPECT_FALSE(core::render_smae_table(result).empty());
+  EXPECT_FALSE(core::render_training_time_table(result).empty());
+  EXPECT_FALSE(core::render_validation_time_table(result).empty());
+  EXPECT_FALSE(core::render_selection_curve(*result.selection).empty());
+}
+
+}  // namespace
+}  // namespace f2pm

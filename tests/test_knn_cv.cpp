@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ml/cross_validation.hpp"
+#include "ml/knn.hpp"
+#include "ml/linear_regression.hpp"
+#include "util/rng.hpp"
+
+namespace f2pm::ml {
+namespace {
+
+void make_linear_data(std::size_t n, util::Rng& rng, linalg::Matrix& x,
+                      std::vector<double>& y) {
+  x = linalg::Matrix(n, 2);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(-5.0, 5.0);
+    x(i, 1) = rng.uniform(-5.0, 5.0);
+    y[i] = 2.0 * x(i, 0) + x(i, 1) + rng.normal(0.0, 0.1);
+  }
+}
+
+TEST(Knn, OneNeighbourReproducesTrainingPoints) {
+  util::Rng rng(1);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_linear_data(50, rng, x, y);
+  KnnRegressor model(KnnOptions{.k = 1});
+  model.fit(x, y);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(model.predict_row(x.row(i)), y[i], 1e-9);
+  }
+}
+
+TEST(Knn, KLargerThanDataFallsBackToAll) {
+  linalg::Matrix x(3, 1);
+  x(0, 0) = 0.0;
+  x(1, 0) = 1.0;
+  x(2, 0) = 2.0;
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  KnnRegressor model(KnnOptions{.k = 100, .distance_weighted = false});
+  model.fit(x, y);
+  EXPECT_NEAR(model.predict_row(std::vector<double>{1.0}), 2.0, 1e-9);
+}
+
+TEST(Knn, DistanceWeightingPullsTowardNearest) {
+  linalg::Matrix x(2, 1);
+  x(0, 0) = 0.0;
+  x(1, 0) = 10.0;
+  const std::vector<double> y{0.0, 100.0};
+  KnnRegressor weighted(KnnOptions{.k = 2, .distance_weighted = true});
+  KnnRegressor uniform(KnnOptions{.k = 2, .distance_weighted = false});
+  weighted.fit(x, y);
+  uniform.fit(x, y);
+  // Query near the first point: weighting should land well below the
+  // uniform average of 50.
+  EXPECT_LT(weighted.predict_row(std::vector<double>{1.0}),
+            uniform.predict_row(std::vector<double>{1.0}));
+  EXPECT_NEAR(uniform.predict_row(std::vector<double>{1.0}), 50.0, 1e-9);
+}
+
+TEST(Knn, ZeroKRejected) {
+  EXPECT_THROW(KnnRegressor(KnnOptions{.k = 0}), std::invalid_argument);
+}
+
+TEST(Knn, SaveLoadPreservesPredictions) {
+  util::Rng rng(2);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_linear_data(80, rng, x, y);
+  KnnRegressor model(KnnOptions{.k = 3});
+  model.fit(x, y);
+  std::stringstream buffer;
+  save_model(model, buffer);
+  const auto loaded = load_model(buffer);
+  EXPECT_EQ(loaded->name(), "knn");
+  const std::vector<double> probe{0.5, -1.5};
+  EXPECT_NEAR(loaded->predict_row(probe), model.predict_row(probe), 1e-9);
+}
+
+TEST(CrossValidation, FoldsPartitionTheData) {
+  util::Rng rng(3);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_linear_data(100, rng, x, y);
+  util::Rng cv_rng(4);
+  const auto result = k_fold_cross_validation(
+      [] { return std::make_unique<LinearRegression>(); }, x, y, 5, cv_rng,
+      1.0);
+  ASSERT_EQ(result.folds.size(), 5u);
+  std::size_t total_validation = 0;
+  for (const auto& fold : result.folds) {
+    EXPECT_EQ(fold.train_rows + fold.validation_rows, 100u);
+    total_validation += fold.validation_rows;
+  }
+  EXPECT_EQ(total_validation, 100u);
+}
+
+TEST(CrossValidation, LinearModelOnLinearDataHasLowError) {
+  util::Rng rng(5);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_linear_data(200, rng, x, y);
+  util::Rng cv_rng(6);
+  const auto result = k_fold_cross_validation(
+      [] { return std::make_unique<LinearRegression>(); }, x, y, 4, cv_rng,
+      0.5);
+  EXPECT_LT(result.mean_mae, 0.2);
+  EXPECT_LT(result.mean_rae, 0.1);
+  EXPECT_GE(result.std_mae, 0.0);
+  EXPECT_GE(result.mean_training_seconds, 0.0);
+}
+
+TEST(CrossValidation, RejectsBadK) {
+  util::Rng rng(7);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_linear_data(10, rng, x, y);
+  util::Rng cv_rng(8);
+  const auto factory = [] { return std::make_unique<LinearRegression>(); };
+  EXPECT_THROW(k_fold_cross_validation(factory, x, y, 1, cv_rng, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(k_fold_cross_validation(factory, x, y, 11, cv_rng, 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace f2pm::ml

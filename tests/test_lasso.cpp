@@ -1,0 +1,173 @@
+#include "ml/lasso.hpp"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace f2pm::ml {
+namespace {
+
+/// y = 4*x0 - 2*x2 + 1, with x1 pure noise; mixed feature scales so the
+/// raw-scale behaviour (bigger features survive longer) is exercised.
+void make_sparse_data(std::size_t n, util::Rng& rng, linalg::Matrix& x,
+                      std::vector<double>& y) {
+  x = linalg::Matrix(n, 3);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(-5.0, 5.0);
+    x(i, 1) = rng.uniform(-1.0, 1.0);
+    x(i, 2) = rng.uniform(0.0, 100.0);
+    y[i] = 4.0 * x(i, 0) - 2.0 * x(i, 2) + 1.0 + rng.normal(0.0, 0.01);
+  }
+}
+
+TEST(Lasso, TinyLambdaApproachesLeastSquares) {
+  util::Rng rng(1);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_sparse_data(300, rng, x, y);
+  Lasso model(LassoOptions{.lambda = 1e-8, .max_iterations = 5000});
+  model.fit(x, y);
+  EXPECT_NEAR(model.coefficients()[0], 4.0, 0.01);
+  EXPECT_NEAR(model.coefficients()[2], -2.0, 0.01);
+  EXPECT_NEAR(model.coefficients()[1], 0.0, 0.05);
+}
+
+TEST(Lasso, HugeLambdaZerosEverything) {
+  util::Rng rng(2);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_sparse_data(100, rng, x, y);
+  const double lambda_max = lasso_lambda_max(x, y);
+  Lasso model(LassoOptions{.lambda = lambda_max * 1.01});
+  model.fit(x, y);
+  EXPECT_TRUE(model.selected_features().empty());
+  // With all-zero β the model predicts the mean of y.
+  double mean_y = 0.0;
+  for (double v : y) mean_y += v;
+  mean_y /= static_cast<double>(y.size());
+  EXPECT_NEAR(model.predict_row(std::vector<double>{0.0, 0.0, 0.0}), mean_y,
+              1e-6);
+}
+
+TEST(Lasso, JustBelowLambdaMaxSelectsSomething) {
+  util::Rng rng(3);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_sparse_data(100, rng, x, y);
+  const double lambda_max = lasso_lambda_max(x, y);
+  Lasso model(LassoOptions{.lambda = lambda_max * 0.5,
+                           .max_iterations = 5000});
+  model.fit(x, y);
+  EXPECT_FALSE(model.selected_features().empty());
+}
+
+TEST(Lasso, NoiseFeatureDiesBeforeSignalFeatures) {
+  util::Rng rng(4);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_sparse_data(500, rng, x, y);
+  Lasso model(LassoOptions{.lambda = 50.0, .max_iterations = 5000});
+  model.fit(x, y);
+  const auto selected = model.selected_features();
+  EXPECT_EQ(std::count(selected.begin(), selected.end(), 1u), 0);
+  EXPECT_TRUE(std::count(selected.begin(), selected.end(), 2u) == 1);
+}
+
+TEST(Lasso, ConstantColumnNeverSelected) {
+  linalg::Matrix x(20, 2);
+  std::vector<double> y(20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    x(i, 1) = 7.0;  // constant
+    y[i] = 3.0 * static_cast<double>(i);
+  }
+  Lasso model(LassoOptions{.lambda = 1e-6});
+  model.fit(x, y);
+  EXPECT_EQ(std::count(model.selected_features().begin(),
+                       model.selected_features().end(), 1u),
+            0);
+}
+
+TEST(Lasso, InvalidOptionsRejected) {
+  EXPECT_THROW(Lasso(LassoOptions{.lambda = -1.0}), std::invalid_argument);
+  EXPECT_THROW(Lasso(LassoOptions{.lambda = 1.0, .max_iterations = 0}),
+               std::invalid_argument);
+}
+
+TEST(Lasso, SaveLoadRoundTrip) {
+  util::Rng rng(5);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_sparse_data(100, rng, x, y);
+  Lasso model(LassoOptions{.lambda = 10.0});
+  model.fit(x, y);
+  std::stringstream buffer;
+  save_model(model, buffer);
+  const auto loaded = load_model(buffer);
+  EXPECT_EQ(loaded->name(), "lasso");
+  const std::vector<double> probe{1.0, 0.5, 50.0};
+  EXPECT_DOUBLE_EQ(loaded->predict_row(probe), model.predict_row(probe));
+}
+
+/// Property: along a λ grid, the number of selected features is (weakly)
+/// decreasing — the paper's Fig. 4 monotonicity.
+class LassoPathMonotonicity
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LassoPathMonotonicity, SelectionShrinksAsLambdaGrows) {
+  util::Rng rng(GetParam());
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_sparse_data(200, rng, x, y);
+  std::vector<double> lambdas;
+  for (int e = -4; e <= 6; ++e) lambdas.push_back(std::pow(10.0, e));
+  const auto path = lasso_path(x, y, lambdas);
+  ASSERT_EQ(path.size(), lambdas.size());
+  // Allow one-off fluctuations from convergence tolerance, but the overall
+  // trend must be decreasing and the extremes must be correct.
+  EXPECT_GE(path.front().selected.size(), path.back().selected.size());
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    EXPECT_LE(path[i].selected.size(), path[i - 1].selected.size() + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LassoPathMonotonicity,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(LassoPath, EntriesAlignWithRequestedOrder) {
+  util::Rng rng(7);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_sparse_data(100, rng, x, y);
+  const std::vector<double> lambdas{100.0, 0.001, 10.0};
+  const auto path = lasso_path(x, y, lambdas);
+  ASSERT_EQ(path.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(path[i].lambda, lambdas[i]);
+  }
+  EXPECT_GE(path[1].selected.size(), path[0].selected.size());
+}
+
+TEST(LassoPath, MatchesDirectFitAtEachLambda) {
+  util::Rng rng(8);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_sparse_data(150, rng, x, y);
+  const std::vector<double> lambdas{1.0, 100.0};
+  const auto path = lasso_path(x, y, lambdas);
+  for (std::size_t k = 0; k < lambdas.size(); ++k) {
+    Lasso direct(LassoOptions{.lambda = lambdas[k]});
+    direct.fit(x, y);
+    ASSERT_EQ(path[k].coefficients.size(), direct.coefficients().size());
+    for (std::size_t j = 0; j < direct.coefficients().size(); ++j) {
+      EXPECT_NEAR(path[k].coefficients[j], direct.coefficients()[j], 1e-3);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace f2pm::ml

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ml/linear_regression.hpp"
+#include "ml/ridge.hpp"
+#include "util/rng.hpp"
+
+namespace f2pm::ml {
+namespace {
+
+/// y = 2*x0 - 3*x1 + 5 + noise.
+void make_linear_data(std::size_t n, double noise_sd, util::Rng& rng,
+                      linalg::Matrix& x, std::vector<double>& y) {
+  x = linalg::Matrix(n, 2);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(-10.0, 10.0);
+    x(i, 1) = rng.uniform(0.0, 5.0);
+    y[i] = 2.0 * x(i, 0) - 3.0 * x(i, 1) + 5.0 + rng.normal(0.0, noise_sd);
+  }
+}
+
+TEST(LinearRegression, RecoversCoefficientsNoiselessly) {
+  util::Rng rng(1);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_linear_data(100, 0.0, rng, x, y);
+  LinearRegression model;
+  model.fit(x, y);
+  EXPECT_NEAR(model.coefficients()[0], 2.0, 1e-9);
+  EXPECT_NEAR(model.coefficients()[1], -3.0, 1e-9);
+  EXPECT_NEAR(model.intercept(), 5.0, 1e-9);
+  EXPECT_NEAR(model.predict_row(std::vector<double>{1.0, 1.0}), 4.0, 1e-9);
+}
+
+TEST(LinearRegression, RobustToNoise) {
+  util::Rng rng(2);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_linear_data(5000, 1.0, rng, x, y);
+  LinearRegression model;
+  model.fit(x, y);
+  EXPECT_NEAR(model.coefficients()[0], 2.0, 0.05);
+  EXPECT_NEAR(model.coefficients()[1], -3.0, 0.05);
+}
+
+TEST(LinearRegression, HandlesCollinearColumnsViaRidgeFallback) {
+  linalg::Matrix x(10, 2);
+  std::vector<double> y(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    x(i, 1) = 2.0 * static_cast<double>(i);  // exact duplicate direction
+    y[i] = 4.0 * static_cast<double>(i);
+  }
+  LinearRegression model;
+  ASSERT_NO_THROW(model.fit(x, y));
+  // Predictions must still be right even if the split between the two
+  // collinear coefficients is arbitrary.
+  EXPECT_NEAR(model.predict_row(std::vector<double>{3.0, 6.0}), 12.0, 1e-4);
+}
+
+TEST(LinearRegression, GuardsApi) {
+  LinearRegression model;
+  EXPECT_THROW(model.predict_row(std::vector<double>{1.0}),
+               std::logic_error);
+  EXPECT_THROW(model.fit(linalg::Matrix(), {}), std::invalid_argument);
+  linalg::Matrix x(3, 1, 1.0);
+  EXPECT_THROW(model.fit(x, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(LinearRegression, SaveLoadRoundTrip) {
+  util::Rng rng(3);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_linear_data(50, 0.1, rng, x, y);
+  LinearRegression model;
+  model.fit(x, y);
+  std::stringstream buffer;
+  save_model(model, buffer);
+  const auto loaded = load_model(buffer);
+  EXPECT_EQ(loaded->name(), "linear");
+  const std::vector<double> probe{1.5, 2.5};
+  EXPECT_DOUBLE_EQ(loaded->predict_row(probe), model.predict_row(probe));
+}
+
+TEST(Ridge, ShrinksTowardZeroAsLambdaGrows) {
+  util::Rng rng(4);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_linear_data(200, 0.5, rng, x, y);
+  double previous_norm = 1e18;
+  for (double lambda : {0.0, 10.0, 1000.0, 1e6}) {
+    RidgeRegression model(lambda);
+    model.fit(x, y);
+    const double norm = std::abs(model.coefficients()[0]) +
+                        std::abs(model.coefficients()[1]);
+    EXPECT_LE(norm, previous_norm + 1e-9);
+    previous_norm = norm;
+  }
+}
+
+TEST(Ridge, ZeroLambdaMatchesOls) {
+  util::Rng rng(5);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_linear_data(100, 0.0, rng, x, y);
+  RidgeRegression ridge(0.0);
+  ridge.fit(x, y);
+  EXPECT_NEAR(ridge.coefficients()[0], 2.0, 1e-6);
+  EXPECT_NEAR(ridge.coefficients()[1], -3.0, 1e-6);
+  EXPECT_NEAR(ridge.intercept(), 5.0, 1e-6);
+}
+
+TEST(Ridge, NegativeLambdaRejected) {
+  EXPECT_THROW(RidgeRegression(-1.0), std::invalid_argument);
+}
+
+TEST(Ridge, SaveLoadRoundTrip) {
+  util::Rng rng(6);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_linear_data(60, 0.2, rng, x, y);
+  RidgeRegression model(3.0);
+  model.fit(x, y);
+  std::stringstream buffer;
+  save_model(model, buffer);
+  const auto loaded = load_model(buffer);
+  EXPECT_EQ(loaded->name(), "ridge");
+  const std::vector<double> probe{-2.0, 1.0};
+  EXPECT_DOUBLE_EQ(loaded->predict_row(probe), model.predict_row(probe));
+}
+
+}  // namespace
+}  // namespace f2pm::ml

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace f2pm::util {
+namespace {
+
+/// Redirects the logger sink for the duration of a test.
+class SinkGuard {
+ public:
+  explicit SinkGuard(std::ostream* sink) {
+    Logger::instance().set_sink(sink);
+  }
+  ~SinkGuard() { Logger::instance().set_sink(nullptr); }
+};
+
+class LevelGuard {
+ public:
+  explicit LevelGuard(LogLevel level) : previous_(Logger::instance().min_level()) {
+    Logger::instance().set_min_level(level);
+  }
+  ~LevelGuard() { Logger::instance().set_min_level(previous_); }
+
+ private:
+  LogLevel previous_;
+};
+
+TEST(Logging, WritesFormattedLines) {
+  std::ostringstream sink;
+  SinkGuard sink_guard(&sink);
+  LevelGuard level_guard(LogLevel::kDebug);
+  F2PM_LOG(kInfo, "component") << "value=" << 42;
+  const std::string line = sink.str();
+  EXPECT_NE(line.find("[INFO ]"), std::string::npos);
+  EXPECT_NE(line.find("component: value=42"), std::string::npos);
+}
+
+TEST(Logging, MinLevelFilters) {
+  std::ostringstream sink;
+  SinkGuard sink_guard(&sink);
+  LevelGuard level_guard(LogLevel::kWarn);
+  F2PM_LOG(kDebug, "x") << "hidden";
+  F2PM_LOG(kInfo, "x") << "hidden too";
+  F2PM_LOG(kError, "x") << "visible";
+  EXPECT_EQ(sink.str().find("hidden"), std::string::npos);
+  EXPECT_NE(sink.str().find("visible"), std::string::npos);
+}
+
+TEST(Logging, LevelNamesAreFixedWidth) {
+  EXPECT_EQ(std::string(log_level_name(LogLevel::kDebug)).size(), 5u);
+  EXPECT_EQ(std::string(log_level_name(LogLevel::kInfo)).size(), 5u);
+  EXPECT_EQ(std::string(log_level_name(LogLevel::kWarn)).size(), 5u);
+  EXPECT_EQ(std::string(log_level_name(LogLevel::kError)).size(), 5u);
+}
+
+TEST(Logging, ConcurrentWritersDoNotInterleave) {
+  std::ostringstream sink;
+  SinkGuard sink_guard(&sink);
+  LevelGuard level_guard(LogLevel::kInfo);
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([t] {
+      for (int i = 0; i < 50; ++i) {
+        F2PM_LOG(kInfo, "thread") << "t" << t << "-i" << i << "-end";
+      }
+    });
+  }
+  for (auto& writer : writers) writer.join();
+  // Every line must be complete: starts with the tag, ends with "-end".
+  std::istringstream lines(sink.str());
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.rfind("[INFO ] thread: t", 0), 0u) << line;
+    EXPECT_EQ(line.substr(line.size() - 4), "-end") << line;
+    ++count;
+  }
+  EXPECT_EQ(count, 200u);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = timer.elapsed_seconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 5.0);  // generous: CI machines stall
+  EXPECT_NEAR(timer.elapsed_millis(), timer.elapsed_seconds() * 1e3,
+              timer.elapsed_millis() * 0.5);
+}
+
+TEST(Timer, ResetRestartsTheClock) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.reset();
+  EXPECT_LT(timer.elapsed_seconds(), 0.015);
+}
+
+TEST(Timed, ReturnsResultAndDuration) {
+  const auto [value, seconds] = timed([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    return 123;
+  });
+  EXPECT_EQ(value, 123);
+  EXPECT_GE(seconds, 0.005);
+}
+
+TEST(Timed, VoidOverloadReturnsDurationOnly) {
+  const double seconds = timed(
+      [] { std::this_thread::sleep_for(std::chrono::milliseconds(10)); });
+  EXPECT_GE(seconds, 0.005);
+}
+
+}  // namespace
+}  // namespace f2pm::util

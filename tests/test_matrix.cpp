@@ -1,0 +1,107 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace f2pm::linalg {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  const Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 0.0);
+  }
+}
+
+TEST(Matrix, FillConstructor) {
+  const Matrix m(2, 2, 1.5);
+  EXPECT_DOUBLE_EQ(m(1, 1), 1.5);
+}
+
+TEST(Matrix, InitializerListLayout) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, AtBoundsChecks) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+  m.at(1, 1) = 5.0;
+  EXPECT_DOUBLE_EQ(m(1, 1), 5.0);
+}
+
+TEST(Matrix, RowSpanIsContiguousView) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  auto row = m.row(1);
+  row[0] = 30.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 30.0);
+  EXPECT_EQ(row.size(), 2u);
+}
+
+TEST(Matrix, ColumnCopies) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.column(1), (std::vector<double>{2.0, 4.0}));
+  EXPECT_THROW(m.column(2), std::out_of_range);
+}
+
+TEST(Matrix, Transposed) {
+  const Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, SelectColumnsPreservesOrder) {
+  const Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix s = m.select_columns({2, 0});
+  EXPECT_EQ(s.cols(), 2u);
+  EXPECT_DOUBLE_EQ(s(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(s(1, 1), 4.0);
+}
+
+TEST(Matrix, SelectRowsWithRepeats) {
+  const Matrix m{{1.0}, {2.0}, {3.0}};
+  const Matrix s = m.select_rows({2, 2, 0});
+  EXPECT_EQ(s.rows(), 3u);
+  EXPECT_DOUBLE_EQ(s(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(s(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(s(2, 0), 1.0);
+  EXPECT_THROW(m.select_rows({5}), std::out_of_range);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix id = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, EqualityAndMaxAbsDiff) {
+  const Matrix a{{1.0, 2.0}};
+  Matrix b = a;
+  EXPECT_EQ(a, b);
+  b(0, 1) = 2.5;
+  EXPECT_NE(a, b);
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.5);
+  EXPECT_THROW(max_abs_diff(a, Matrix(2, 2)), std::invalid_argument);
+}
+
+TEST(Matrix, ToStringContainsValues) {
+  const Matrix m{{1.25, -2.0}};
+  const std::string text = m.to_string();
+  EXPECT_NE(text.find("1.25"), std::string::npos);
+  EXPECT_NE(text.find("-2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace f2pm::linalg

@@ -1,0 +1,119 @@
+#include "sim/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace f2pm::sim {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  ResourceModel resources;
+  util::Rng server_rng{1};
+  util::Rng monitor_rng{2};
+  ServerConfig server_config;
+  Server server{sim, resources, server_config, server_rng};
+};
+
+TEST(Monitor, SamplesAtRoughlyBaseIntervalWhenHealthy) {
+  Fixture f;
+  MonitorConfig config;
+  FeatureMonitor monitor(f.sim, f.resources, f.server, config,
+                         f.monitor_rng);
+  monitor.start();
+  f.sim.run_until(300.0);
+  const auto& samples = monitor.samples();
+  ASSERT_GT(samples.size(), 150u);
+  double mean_gap = 0.0;
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    mean_gap += samples[i].tgen - samples[i - 1].tgen;
+  }
+  mean_gap /= static_cast<double>(samples.size() - 1);
+  EXPECT_NEAR(mean_gap, config.base_interval, 0.15);
+}
+
+TEST(Monitor, IntervalStretchesUnderThrashing) {
+  Fixture f;
+  f.resources.leak_memory(f.resources.config().total_memory_kb +
+                          0.9 * f.resources.config().total_swap_kb);
+  MonitorConfig config;
+  FeatureMonitor monitor(f.sim, f.resources, f.server, config,
+                         f.monitor_rng);
+  monitor.start();
+  f.sim.run_until(300.0);
+  const auto& samples = monitor.samples();
+  ASSERT_GT(samples.size(), 10u);
+  const double mean_gap =
+      samples.back().tgen / static_cast<double>(samples.size());
+  EXPECT_GT(mean_gap, 2.0 * config.base_interval);
+  EXPECT_LE(mean_gap,
+            config.base_interval * config.max_skew * (1.0 + config.jitter));
+}
+
+TEST(Monitor, SamplesCarryMemoryAndThreadFeatures) {
+  Fixture f;
+  f.resources.leak_memory(123456.0);
+  f.resources.leak_thread();
+  MonitorConfig config;
+  FeatureMonitor monitor(f.sim, f.resources, f.server, config,
+                         f.monitor_rng);
+  monitor.start();
+  f.sim.run_until(10.0);
+  ASSERT_FALSE(monitor.samples().empty());
+  const auto& sample = monitor.samples().front();
+  const MemorySnapshot expected = f.resources.memory();
+  EXPECT_DOUBLE_EQ(sample[data::FeatureId::kMemUsed], expected.used_kb);
+  EXPECT_DOUBLE_EQ(sample[data::FeatureId::kSwapFree],
+                   expected.swap_free_kb);
+  EXPECT_DOUBLE_EQ(sample[data::FeatureId::kNumThreads],
+                   static_cast<double>(f.resources.num_threads()));
+  EXPECT_GT(sample.tgen, 0.0);
+}
+
+TEST(Monitor, ResponseTimeSeriesAlignsWithSamples) {
+  Fixture f;
+  MonitorConfig config;
+  FeatureMonitor monitor(f.sim, f.resources, f.server, config,
+                         f.monitor_rng);
+  monitor.start();
+  // Complete some requests between samples.
+  for (int i = 0; i < 50; ++i) {
+    f.sim.schedule_at(static_cast<double>(i) * 0.5, [&f] {
+      f.server.submit(Interaction::kHome, {});
+    });
+  }
+  f.sim.run_until(60.0);
+  EXPECT_EQ(monitor.samples().size(), monitor.response_time_series().size());
+  bool any_positive = false;
+  for (double rt : monitor.response_time_series()) any_positive |= rt > 0.0;
+  EXPECT_TRUE(any_positive);
+}
+
+TEST(Monitor, EmptyWindowInheritsPreviousResponseTime) {
+  Fixture f;
+  MonitorConfig config;
+  FeatureMonitor monitor(f.sim, f.resources, f.server, config,
+                         f.monitor_rng);
+  monitor.start();
+  f.sim.schedule_at(0.1, [&f] { f.server.submit(Interaction::kHome, {}); });
+  f.sim.run_until(30.0);  // plenty of empty windows afterwards
+  const auto& series = monitor.response_time_series();
+  ASSERT_GT(series.size(), 5u);
+  const double last = series.back();
+  EXPECT_GT(last, 0.0);  // inherited, not reset to zero
+}
+
+TEST(Monitor, StopEndsSampling) {
+  Fixture f;
+  MonitorConfig config;
+  FeatureMonitor monitor(f.sim, f.resources, f.server, config,
+                         f.monitor_rng);
+  monitor.start();
+  f.sim.run_until(30.0);
+  monitor.stop();
+  const std::size_t at_stop = monitor.samples().size();
+  f.sim.run_until(300.0);
+  EXPECT_EQ(monitor.samples().size(), at_stop);
+}
+
+}  // namespace
+}  // namespace f2pm::sim

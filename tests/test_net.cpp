@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/fmc.hpp"
+#include "net/fms.hpp"
+#include "net/protocol.hpp"
+
+namespace f2pm::net {
+namespace {
+
+data::RawDatapoint sample_at(double tgen) {
+  data::RawDatapoint sample;
+  sample.tgen = tgen;
+  sample[data::FeatureId::kMemUsed] = 1000.0 * tgen;
+  sample[data::FeatureId::kCpuUser] = 12.5;
+  return sample;
+}
+
+TEST(Protocol, DatapointFrameRoundTrip) {
+  TcpListener listener(0);
+  std::thread client([port = listener.port()] {
+    TcpStream stream = TcpStream::connect("127.0.0.1", port);
+    send_datapoint(stream, sample_at(3.5));
+    send_fail_event(stream, 99.0);
+    send_bye(stream);
+  });
+  auto server_side = listener.accept();
+  ASSERT_TRUE(server_side.has_value());
+
+  auto frame = receive_frame(*server_side);
+  ASSERT_TRUE(frame.has_value());
+  const auto* datapoint = std::get_if<data::RawDatapoint>(&*frame);
+  ASSERT_NE(datapoint, nullptr);
+  EXPECT_EQ(*datapoint, sample_at(3.5));
+
+  frame = receive_frame(*server_side);
+  ASSERT_TRUE(frame.has_value());
+  const auto* fail = std::get_if<FailEvent>(&*frame);
+  ASSERT_NE(fail, nullptr);
+  EXPECT_DOUBLE_EQ(fail->fail_time, 99.0);
+
+  frame = receive_frame(*server_side);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_NE(std::get_if<Bye>(&*frame), nullptr);
+
+  // After bye the peer closes: clean EOF.
+  client.join();
+  EXPECT_FALSE(receive_frame(*server_side).has_value());
+}
+
+TEST(Protocol, BadMagicThrows) {
+  TcpListener listener(0);
+  std::thread client([port = listener.port()] {
+    TcpStream stream = TcpStream::connect("127.0.0.1", port);
+    const char garbage[8] = {'g', 'a', 'r', 'b', 'a', 'g', 'e', '!'};
+    stream.send_all(garbage, sizeof(garbage));
+  });
+  auto server_side = listener.accept();
+  ASSERT_TRUE(server_side.has_value());
+  EXPECT_THROW(receive_frame(*server_side), std::runtime_error);
+  client.join();
+}
+
+TEST(Socket, ConnectToClosedPortFails) {
+  // Grab a port, then close it: connecting afterwards must fail.
+  std::uint16_t dead_port = 0;
+  {
+    TcpListener listener(0);
+    dead_port = listener.port();
+    listener.shutdown();
+  }
+  EXPECT_THROW(TcpStream::connect("127.0.0.1", dead_port),
+               std::runtime_error);
+}
+
+TEST(Socket, BadAddressRejected) {
+  EXPECT_THROW(TcpStream::connect("not-an-address", 80),
+               std::runtime_error);
+}
+
+TEST(FmcFms, EndToEndHistoryTransfer) {
+  FeatureMonitorServer fms;
+  FeatureMonitorClient fmc("127.0.0.1", fms.port());
+  // Run 1: two datapoints then a crash.
+  fmc.send(sample_at(1.0));
+  fmc.send(sample_at(2.0));
+  fmc.report_failure(5.0);
+  // Run 2: one datapoint, no crash (campaign stopped).
+  fmc.send(sample_at(1.5));
+  fmc.finish();
+  EXPECT_EQ(fmc.datapoints_sent(), 3u);
+
+  const data::DataHistory history = fms.wait_and_take_history();
+  ASSERT_EQ(history.num_runs(), 2u);
+  EXPECT_TRUE(history.runs()[0].failed);
+  EXPECT_DOUBLE_EQ(history.runs()[0].fail_time, 5.0);
+  ASSERT_EQ(history.runs()[0].samples.size(), 2u);
+  EXPECT_EQ(history.runs()[0].samples[1], sample_at(2.0));
+  EXPECT_FALSE(history.runs()[1].failed);
+  EXPECT_EQ(history.runs()[1].samples.size(), 1u);
+}
+
+TEST(FmcFms, EmptySessionYieldsEmptyHistory) {
+  FeatureMonitorServer fms;
+  FeatureMonitorClient fmc("127.0.0.1", fms.port());
+  fmc.finish();
+  EXPECT_EQ(fms.wait_and_take_history().num_runs(), 0u);
+}
+
+TEST(FmcFms, AbruptDisconnectKeepsReceivedData) {
+  FeatureMonitorServer fms;
+  {
+    FeatureMonitorClient fmc("127.0.0.1", fms.port());
+    fmc.send(sample_at(1.0));
+    fmc.report_failure(2.0);
+    // No bye: the client object goes away, closing the socket.
+  }
+  const data::DataHistory history = fms.wait_and_take_history();
+  ASSERT_EQ(history.num_runs(), 1u);
+  EXPECT_TRUE(history.runs()[0].failed);
+}
+
+}  // namespace
+}  // namespace f2pm::net

@@ -1,0 +1,197 @@
+#include "core/online.hpp"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include <memory>
+
+#include "core/pipeline.hpp"
+#include "ml/linear_regression.hpp"
+#include "ml/registry.hpp"
+#include "sim/campaign.hpp"
+
+namespace f2pm::core {
+namespace {
+
+/// A stub regressor returning a constant, for plumbing tests.
+class ConstantModel final : public ml::Regressor {
+ public:
+  explicit ConstantModel(double value, std::size_t width)
+      : value_(value), width_(width) {}
+  void fit(const linalg::Matrix&, std::span<const double>) override {}
+  [[nodiscard]] double predict_row(std::span<const double>) const override {
+    return value_;
+  }
+  [[nodiscard]] std::string name() const override { return "constant"; }
+  [[nodiscard]] bool is_fitted() const override { return true; }
+  [[nodiscard]] std::size_t num_inputs() const override { return width_; }
+  void save(util::BinaryWriter&) const override {}
+
+ private:
+  double value_;
+  std::size_t width_;
+};
+
+data::RawDatapoint sample_at(double tgen, double mem_used = 0.0) {
+  data::RawDatapoint sample;
+  sample.tgen = tgen;
+  sample[data::FeatureId::kMemUsed] = mem_used;
+  return sample;
+}
+
+TEST(OnlinePredictor, EmitsOncePerClosedWindow) {
+  auto model = std::make_shared<ConstantModel>(500.0, data::kInputCount);
+  data::AggregationOptions aggregation;
+  aggregation.window_seconds = 10.0;
+  OnlinePredictor predictor(model, aggregation);
+  std::size_t emitted = 0;
+  for (double t = 1.0; t <= 45.0; t += 1.0) {
+    if (auto prediction = predictor.observe(sample_at(t))) {
+      ++emitted;
+      EXPECT_DOUBLE_EQ(prediction->rttf, 500.0);
+      EXPECT_NEAR(std::fmod(prediction->window_end, 10.0), 0.0, 1e-9);
+    }
+  }
+  // Windows [0,10), [10,20), [20,30), [30,40) closed; [40,50) is open.
+  EXPECT_EQ(emitted, 4u);
+  EXPECT_EQ(predictor.windows_emitted(), 4u);
+}
+
+TEST(OnlinePredictor, SparseWindowsAreSkipped) {
+  auto model = std::make_shared<ConstantModel>(1.0, data::kInputCount);
+  data::AggregationOptions aggregation;
+  aggregation.window_seconds = 10.0;
+  aggregation.min_samples_per_window = 3;
+  OnlinePredictor predictor(model, aggregation);
+  // Two samples in the first window: below the minimum.
+  EXPECT_FALSE(predictor.observe(sample_at(1.0)).has_value());
+  EXPECT_FALSE(predictor.observe(sample_at(5.0)).has_value());
+  EXPECT_FALSE(predictor.observe(sample_at(12.0)).has_value());
+}
+
+TEST(OnlinePredictor, RejectsOutOfOrderSamples) {
+  auto model = std::make_shared<ConstantModel>(1.0, data::kInputCount);
+  OnlinePredictor predictor(model, data::AggregationOptions{});
+  predictor.observe(sample_at(5.0));
+  EXPECT_THROW(predictor.observe(sample_at(4.0)), std::invalid_argument);
+}
+
+TEST(OnlinePredictor, ResetClearsState) {
+  auto model = std::make_shared<ConstantModel>(1.0, data::kInputCount);
+  data::AggregationOptions aggregation;
+  aggregation.window_seconds = 10.0;
+  OnlinePredictor predictor(model, aggregation);
+  predictor.observe(sample_at(8.0));
+  predictor.reset();
+  // After reset, going "back in time" is legal (system restarted).
+  EXPECT_NO_THROW(predictor.observe(sample_at(1.0)));
+}
+
+TEST(OnlinePredictor, ValidatesModelWidth) {
+  auto narrow = std::make_shared<ConstantModel>(1.0, 3);
+  EXPECT_THROW(OnlinePredictor(narrow, data::AggregationOptions{}),
+               std::invalid_argument);
+  // But a narrow model is fine when a matching column subset is given.
+  EXPECT_NO_THROW(OnlinePredictor(narrow, data::AggregationOptions{},
+                                  std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_THROW(OnlinePredictor(narrow, data::AggregationOptions{},
+                               std::vector<std::size_t>{0, 1, 999}),
+               std::invalid_argument);
+}
+
+TEST(OnlinePredictor, MatchesOfflineAggregationExactly) {
+  // Stream a real simulated run through the online path and check the
+  // predictions equal model->predict on the offline-aggregated rows.
+  sim::CampaignConfig config;
+  config.workload.num_browsers = 40;
+  config.use_synthetic_injectors = true;
+  const sim::RunResult run = sim::execute_run(config, 4321);
+  ASSERT_TRUE(run.run.failed);
+
+  data::DataHistory history;
+  history.add_run(run.run);
+  data::AggregationOptions aggregation;  // defaults: 30s windows
+  const auto offline_points = data::aggregate(history, aggregation);
+  const data::Dataset dataset = data::build_dataset(offline_points);
+
+  auto model = std::make_shared<ml::LinearRegression>();
+  model->fit(dataset.x, dataset.y);
+
+  OnlinePredictor predictor(model, aggregation);
+  std::vector<OnlinePrediction> online;
+  for (const auto& sample : run.run.samples) {
+    if (auto prediction = predictor.observe(sample)) {
+      online.push_back(*prediction);
+    }
+  }
+  // The online path closes a window only when a later sample arrives, so
+  // it may emit one fewer than offline labeling produces; every emitted
+  // window must match its offline twin exactly.
+  ASSERT_GE(online.size(), offline_points.size() - 1);
+  const auto offline_predicted = model->predict(dataset.x);
+  for (std::size_t i = 0; i < online.size(); ++i) {
+    ASSERT_DOUBLE_EQ(online[i].window_end, offline_points[i].window_end);
+    EXPECT_NEAR(online[i].rttf, offline_predicted[i], 1e-9) << i;
+  }
+}
+
+TEST(RejuvenationAdvisor, DebouncesAndLatches) {
+  RejuvenationAdvisor advisor(AdvisorOptions{.lead_seconds = 100.0,
+                                             .consecutive_windows = 2});
+  OnlinePrediction low{.window_end = 10.0, .rttf = 50.0};
+  OnlinePrediction high{.window_end = 20.0, .rttf = 500.0};
+  EXPECT_FALSE(advisor.update(low));    // first low: not yet
+  EXPECT_FALSE(advisor.update(high));   // reset by a high one
+  EXPECT_FALSE(advisor.update(low));
+  low.window_end = 30.0;
+  EXPECT_TRUE(advisor.update(low));     // second consecutive low: fire
+  EXPECT_TRUE(advisor.triggered());
+  EXPECT_DOUBLE_EQ(advisor.trigger_time(), 30.0);
+  // Latched: even a high prediction keeps it triggered.
+  EXPECT_TRUE(advisor.update(high));
+  advisor.reset();
+  EXPECT_FALSE(advisor.triggered());
+}
+
+TEST(RejuvenationAdvisor, RejectsZeroDebounce) {
+  EXPECT_THROW(
+      RejuvenationAdvisor(AdvisorOptions{.consecutive_windows = 0}),
+      std::invalid_argument);
+}
+
+TEST(OnlinePredictor, EndToEndCatchesACrashEarly) {
+  // Train on a few runs, stream a fresh one, and check the advisor fires
+  // before the crash but not absurdly early.
+  sim::CampaignConfig config;
+  config.num_runs = 6;
+  config.seed = 777;
+  config.workload.num_browsers = 40;
+  const data::DataHistory history = sim::run_campaign(config);
+  PipelineOptions options;
+  options.models = {"reptree"};
+  options.run_feature_selection = false;
+  const PipelineResult trained = run_pipeline(history, options);
+  auto model = std::shared_ptr<ml::Regressor>(ml::make_model("reptree"));
+  model->fit(trained.train.x, trained.train.y);
+
+  const sim::RunResult fresh = sim::execute_run(config, 31337);
+  ASSERT_TRUE(fresh.run.failed);
+  OnlinePredictor predictor(model, options.aggregation);
+  RejuvenationAdvisor advisor(AdvisorOptions{.lead_seconds = 240.0,
+                                             .consecutive_windows = 2});
+  double fired_at = -1.0;
+  for (const auto& sample : fresh.run.samples) {
+    if (auto prediction = predictor.observe(sample)) {
+      if (advisor.update(*prediction) && fired_at < 0.0) {
+        fired_at = advisor.trigger_time();
+      }
+    }
+  }
+  ASSERT_GT(fired_at, 0.0) << "advisor never fired";
+  EXPECT_LT(fired_at, fresh.run.fail_time);
+  // Not more than ~6x the lead time early.
+  EXPECT_GT(fired_at, fresh.run.fail_time - 6.0 * 240.0);
+}
+
+}  // namespace
+}  // namespace f2pm::core

@@ -1,0 +1,155 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/campaign.hpp"
+
+namespace f2pm::core {
+namespace {
+
+/// One small shared campaign for all pipeline tests (built once: the
+/// simulator is deterministic, and reuse keeps the suite fast).
+const data::DataHistory& shared_history() {
+  static const data::DataHistory history = [] {
+    sim::CampaignConfig config;
+    config.num_runs = 6;
+    config.seed = 101;
+    config.workload.num_browsers = 40;
+    config.use_synthetic_injectors = true;
+    config.synthetic_leak.size_min_kb = 1024.0;
+    config.synthetic_leak.size_max_kb = 3072.0;
+    config.synthetic_leak.mean_interval_min = 0.3;
+    config.synthetic_leak.mean_interval_max = 1.0;
+    return sim::run_campaign(config);
+  }();
+  return history;
+}
+
+PipelineOptions fast_options() {
+  PipelineOptions options;
+  options.models = {"linear", "reptree", "lasso"};
+  options.lasso_predictor_lambdas = {1e0, 1e9};
+  return options;
+}
+
+TEST(Pipeline, ProducesConsistentShapes) {
+  const PipelineResult result =
+      run_pipeline(shared_history(), fast_options());
+  EXPECT_EQ(result.dataset.num_features(), data::kInputCount);
+  EXPECT_EQ(result.train.num_rows() + result.validation.num_rows(),
+            result.dataset.num_rows());
+  EXPECT_GT(result.soft_threshold, 0.0);
+  // "lasso" expands into one outcome per λ: linear + reptree + 2 lassos.
+  ASSERT_EQ(result.using_all_features.size(), 4u);
+  EXPECT_EQ(result.using_all_features[0].display_name, "linear");
+  EXPECT_EQ(result.using_all_features[2].display_name, "lasso-lambda-1");
+  EXPECT_EQ(result.using_all_features[3].display_name,
+            "lasso-lambda-1000000000");
+  for (const auto& outcome : result.using_all_features) {
+    EXPECT_EQ(outcome.predicted.size(), result.validation.num_rows());
+    EXPECT_GE(outcome.report.mae, 0.0);
+    EXPECT_GE(outcome.report.soft_mae, 0.0);
+    EXPECT_LE(outcome.report.soft_mae, outcome.report.mae + 1e-9);
+  }
+}
+
+TEST(Pipeline, FeatureSelectionPhasePopulatesSubset) {
+  const PipelineResult result =
+      run_pipeline(shared_history(), fast_options());
+  ASSERT_TRUE(result.selection.has_value());
+  EXPECT_EQ(result.selection->entries.size(), paper_lambda_grid().size());
+  EXPECT_FALSE(result.selected_columns.empty());
+  EXPECT_LT(result.selected_columns.size(), data::kInputCount);
+  // Reduced models trained on the subset exist and used fewer features.
+  ASSERT_EQ(result.using_selected_features.size(),
+            result.using_all_features.size());
+  EXPECT_EQ(result.using_selected_features[0].report.num_features,
+            result.selected_columns.size());
+}
+
+TEST(Pipeline, FeatureSelectionCanBeDisabled) {
+  PipelineOptions options = fast_options();
+  options.run_feature_selection = false;
+  const PipelineResult result = run_pipeline(shared_history(), options);
+  EXPECT_FALSE(result.selection.has_value());
+  EXPECT_TRUE(result.selected_columns.empty());
+  EXPECT_TRUE(result.using_selected_features.empty());
+}
+
+TEST(Pipeline, SoftThresholdIsFractionOfMaxRttf) {
+  PipelineOptions options = fast_options();
+  options.soft_mae_fraction = 0.2;
+  const PipelineResult result = run_pipeline(shared_history(), options);
+  double max_rttf = 0.0;
+  for (double y : result.dataset.y) max_rttf = std::max(max_rttf, y);
+  EXPECT_NEAR(result.soft_threshold, 0.2 * max_rttf, 1e-9);
+}
+
+TEST(Pipeline, SplitByRunKeepsRunsTogether) {
+  PipelineOptions options = fast_options();
+  options.split_by_run = true;
+  const PipelineResult result = run_pipeline(shared_history(), options);
+  for (std::size_t train_run : result.train.run_index) {
+    for (std::size_t val_run : result.validation.run_index) {
+      EXPECT_NE(train_run, val_run);
+    }
+  }
+}
+
+TEST(Pipeline, DeterministicForFixedSeed) {
+  const PipelineResult a = run_pipeline(shared_history(), fast_options());
+  const PipelineResult b = run_pipeline(shared_history(), fast_options());
+  ASSERT_EQ(a.using_all_features.size(), b.using_all_features.size());
+  for (std::size_t i = 0; i < a.using_all_features.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.using_all_features[i].report.mae,
+                     b.using_all_features[i].report.mae);
+  }
+}
+
+TEST(Pipeline, ParallelTrainingMatchesSequentialMetrics) {
+  PipelineOptions sequential = fast_options();
+  PipelineOptions parallel = fast_options();
+  parallel.parallel_training = true;
+  parallel.parallel_threads = 4;
+  const PipelineResult a = run_pipeline(shared_history(), sequential);
+  const PipelineResult b = run_pipeline(shared_history(), parallel);
+  ASSERT_EQ(a.using_all_features.size(), b.using_all_features.size());
+  for (std::size_t i = 0; i < a.using_all_features.size(); ++i) {
+    // Error metrics are deterministic; only the timings may differ.
+    EXPECT_DOUBLE_EQ(a.using_all_features[i].report.mae,
+                     b.using_all_features[i].report.mae);
+    EXPECT_DOUBLE_EQ(a.using_all_features[i].report.soft_mae,
+                     b.using_all_features[i].report.soft_mae);
+  }
+}
+
+TEST(Pipeline, EmptyHistoryThrows) {
+  data::DataHistory empty;
+  EXPECT_THROW(run_pipeline(empty, fast_options()), std::invalid_argument);
+}
+
+TEST(Pipeline, WindowLargerThanRunsThrows) {
+  PipelineOptions options = fast_options();
+  options.aggregation.window_seconds = 1e9;
+  EXPECT_THROW(run_pipeline(shared_history(), options),
+               std::invalid_argument);
+}
+
+TEST(EvaluateModels, HonoursModelParams) {
+  const PipelineResult base = run_pipeline(shared_history(), fast_options());
+  util::Config params;
+  params.set("reptree.max_depth", "1");
+  const auto outcomes =
+      evaluate_models(base.train, base.validation, {"reptree"}, {},
+                      base.soft_threshold, params);
+  ASSERT_EQ(outcomes.size(), 1u);
+  // A depth-1 stump must be worse than the default deep tree.
+  double default_mae = 0.0;
+  for (const auto& outcome : base.using_all_features) {
+    if (outcome.display_name == "reptree") default_mae = outcome.report.mae;
+  }
+  EXPECT_GT(outcomes[0].report.mae, default_mae);
+}
+
+}  // namespace
+}  // namespace f2pm::core

@@ -1,0 +1,98 @@
+#include "sysmon/real_injectors.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace f2pm::sysmon {
+namespace {
+
+RealLeakConfig fast_leaks() {
+  RealLeakConfig config;
+  config.size_min_bytes = 4 * 1024;
+  config.size_max_bytes = 16 * 1024;
+  config.mean_interval_min_seconds = 0.001;
+  config.mean_interval_max_seconds = 0.002;
+  config.max_total_bytes = 4 * 1024 * 1024;
+  return config;
+}
+
+TEST(RealMemoryLeaker, ActuallyLeaksDirtyMemory) {
+  RealMemoryLeaker leaker(fast_leaks(), 1);
+  leaker.start();
+  EXPECT_TRUE(leaker.running());
+  // Wait until a few leaks happened (bounded spin).
+  for (int i = 0; i < 200 && leaker.leaks_performed() < 5; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(leaker.leaks_performed(), 5u);
+  EXPECT_GE(leaker.leaked_bytes(), 5u * 4 * 1024);
+  leaker.stop();
+  EXPECT_FALSE(leaker.running());
+  // Teardown released the chunks.
+  EXPECT_EQ(leaker.leaked_bytes(), 0u);
+}
+
+TEST(RealMemoryLeaker, RespectsTheSafetyCap) {
+  RealLeakConfig config = fast_leaks();
+  config.max_total_bytes = 64 * 1024;
+  RealMemoryLeaker leaker(config, 2);
+  leaker.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_LE(leaker.leaked_bytes(), config.max_total_bytes);
+  leaker.stop();
+}
+
+TEST(RealMemoryLeaker, MeanIntervalDrawnFromRange) {
+  RealLeakConfig config = fast_leaks();
+  config.mean_interval_min_seconds = 0.5;
+  config.mean_interval_max_seconds = 1.5;
+  RealMemoryLeaker leaker(config, 3);
+  leaker.start();
+  EXPECT_GE(leaker.chosen_mean_interval(), 0.5);
+  EXPECT_LE(leaker.chosen_mean_interval(), 1.5);
+  leaker.stop();
+}
+
+TEST(RealMemoryLeaker, DoubleStartThrows) {
+  RealMemoryLeaker leaker(fast_leaks(), 4);
+  leaker.start();
+  EXPECT_THROW(leaker.start(), std::logic_error);
+  leaker.stop();
+  EXPECT_NO_THROW(leaker.start());
+  leaker.stop();
+}
+
+TEST(RealThreadLeaker, SpawnsAndReapsStrayThreads) {
+  RealThreadConfig config;
+  config.mean_interval_min_seconds = 0.001;
+  config.mean_interval_max_seconds = 0.002;
+  config.max_threads = 8;
+  RealThreadLeaker leaker(config, 5);
+  leaker.start();
+  for (int i = 0; i < 200 && leaker.threads_spawned() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(leaker.threads_spawned(), 3u);
+  EXPECT_LE(leaker.threads_spawned(), config.max_threads);
+  leaker.stop();
+  EXPECT_FALSE(leaker.running());
+}
+
+TEST(RealThreadLeaker, StopIsIdempotentAndDestructorSafe) {
+  RealThreadConfig config;
+  config.mean_interval_min_seconds = 0.001;
+  config.mean_interval_max_seconds = 0.002;
+  {
+    RealThreadLeaker leaker(config, 6);
+    leaker.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    leaker.stop();
+    leaker.stop();  // idempotent
+  }                 // destructor after stop: no hang, no crash
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace f2pm::sysmon

@@ -1,0 +1,104 @@
+#include "ml/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ml/lasso.hpp"
+#include "ml/reptree.hpp"
+#include "ml/svr.hpp"
+#include "util/rng.hpp"
+
+namespace f2pm::ml {
+namespace {
+
+TEST(Registry, PaperModelSetMatchesSectionIIID) {
+  // §III-D: Linear Regression, M5P, REP-Tree, Lasso, SVM, LS-SVM.
+  EXPECT_EQ(paper_model_names(),
+            (std::vector<std::string>{"linear", "m5p", "reptree", "lasso",
+                                      "svm", "svm2"}));
+}
+
+TEST(Registry, AllNamesConstruct) {
+  for (const auto& name : all_model_names()) {
+    const auto model = make_model(name);
+    ASSERT_NE(model, nullptr) << name;
+    EXPECT_EQ(model->name(), name);
+    EXPECT_FALSE(model->is_fitted());
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(make_model("gradient_boosting"), std::invalid_argument);
+}
+
+TEST(Registry, HyperparametersAreForwarded) {
+  util::Config params;
+  params.set("lasso.lambda", "123.5");
+  params.set("reptree.max_depth", "3");
+  params.set("svm.c", "2.5");
+  params.set("svm.kernel", "linear");
+  const auto lasso = make_model("lasso", params);
+  EXPECT_DOUBLE_EQ(dynamic_cast<Lasso&>(*lasso).options().lambda, 123.5);
+  const auto tree = make_model("reptree", params);
+  EXPECT_EQ(dynamic_cast<RepTree&>(*tree).options().max_depth, 3u);
+  const auto svr = make_model("svm", params);
+  EXPECT_DOUBLE_EQ(dynamic_cast<KernelSvr&>(*svr).options().c, 2.5);
+  EXPECT_EQ(dynamic_cast<KernelSvr&>(*svr).options().kernel.type,
+            KernelType::kLinear);
+}
+
+TEST(Registry, BadKernelNameThrows) {
+  util::Config params;
+  params.set("svm.kernel", "sigmoid");
+  EXPECT_THROW(make_model("svm", params), std::invalid_argument);
+}
+
+TEST(Registry, LoadModelRejectsUnknownTag) {
+  std::stringstream buffer;
+  {
+    util::BinaryWriter writer(buffer);
+    writer.write_string("mystery_model");
+  }
+  EXPECT_THROW(load_model(buffer), std::runtime_error);
+}
+
+/// Every registered model must round-trip through save_model/load_model
+/// with identical predictions — the property the model store relies on.
+class RegistryRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RegistryRoundTrip, SaveLoadPreservesPredictions) {
+  util::Rng rng(42);
+  linalg::Matrix x(80, 3);
+  std::vector<double> y(80);
+  for (std::size_t i = 0; i < 80; ++i) {
+    x(i, 0) = rng.uniform(-2.0, 2.0);
+    x(i, 1) = rng.uniform(0.0, 10.0);
+    x(i, 2) = rng.uniform(-1.0, 1.0);
+    y[i] = 3.0 * x(i, 0) + x(i, 1) * x(i, 1) * 0.2 + rng.normal(0.0, 0.05);
+  }
+  const auto model = make_model(GetParam());
+  model->fit(x, y);
+  std::stringstream buffer;
+  save_model(*model, buffer);
+  const auto loaded = load_model(buffer);
+  EXPECT_EQ(loaded->name(), GetParam());
+  EXPECT_TRUE(loaded->is_fitted());
+  EXPECT_EQ(loaded->num_inputs(), 3u);
+  util::Rng probe_rng(7);
+  for (int probe = 0; probe < 20; ++probe) {
+    const std::vector<double> row{probe_rng.uniform(-2.0, 2.0),
+                                  probe_rng.uniform(0.0, 10.0),
+                                  probe_rng.uniform(-1.0, 1.0)};
+    EXPECT_NEAR(loaded->predict_row(row), model->predict_row(row), 1e-9)
+        << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, RegistryRoundTrip,
+                         ::testing::Values("linear", "ridge", "lasso",
+                                           "reptree", "m5p", "svm", "svm2",
+                                           "knn", "bagging"));
+
+}  // namespace
+}  // namespace f2pm::ml

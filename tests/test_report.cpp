@@ -1,0 +1,105 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace f2pm::core {
+namespace {
+
+PipelineResult fake_result() {
+  PipelineResult result;
+  result.soft_threshold = 100.0;
+  ModelOutcome linear;
+  linear.display_name = "linear";
+  linear.report.model_name = "linear";
+  linear.report.soft_mae = 137.6;
+  linear.report.training_seconds = 0.30;
+  linear.report.validation_seconds = 0.42;
+  ModelOutcome reptree;
+  reptree.display_name = "reptree";
+  reptree.report.model_name = "reptree";
+  reptree.report.soft_mae = 69.832;
+  reptree.report.training_seconds = 0.56;
+  reptree.report.validation_seconds = 0.55;
+  result.using_all_features = {linear, reptree};
+  ModelOutcome linear_sel = linear;
+  linear_sel.report.soft_mae = 156.6;
+  ModelOutcome reptree_sel = reptree;
+  reptree_sel.report.soft_mae = 108.476;
+  result.using_selected_features = {linear_sel, reptree_sel};
+
+  FeatureSelectionResult selection;
+  SelectionEntry low;
+  low.lambda = 1.0;
+  low.selected = {0, 1, 2};
+  low.weights = {0.1, 0.2, 0.3};
+  low.names = {"a", "b", "c"};
+  SelectionEntry high;
+  high.lambda = 1e9;
+  high.selected = {5};
+  high.weights = {0.000019235560086};
+  high.names = {"mem_used_slope"};
+  selection.entries = {low, high};
+  result.selection = selection;
+  return result;
+}
+
+TEST(Report, DisplayNames) {
+  EXPECT_EQ(display_model_name("linear"), "Linear Regression");
+  EXPECT_EQ(display_model_name("reptree"), "REP Tree");
+  EXPECT_EQ(display_model_name("m5p"), "M5P");
+  EXPECT_EQ(display_model_name("svm"), "SVM");
+  EXPECT_EQ(display_model_name("svm2"), "SVM2");
+  EXPECT_EQ(display_model_name("lasso-lambda-1000000000"),
+            "Lasso (lambda = 1e9)");
+  EXPECT_EQ(display_model_name("lasso-lambda-1"), "Lasso (lambda = 1)");
+  EXPECT_EQ(display_model_name("custom_model"), "custom_model");
+}
+
+TEST(Report, SmaeTableHasBothColumnsAndValues) {
+  const std::string table = render_smae_table(fake_result());
+  EXPECT_NE(table.find("SOFT MEAN ABSOLUTE ERROR"), std::string::npos);
+  EXPECT_NE(table.find("Linear Regression"), std::string::npos);
+  EXPECT_NE(table.find("REP Tree"), std::string::npos);
+  EXPECT_NE(table.find("137.6"), std::string::npos);
+  EXPECT_NE(table.find("108.476"), std::string::npos);
+}
+
+TEST(Report, TimeTables) {
+  const PipelineResult result = fake_result();
+  const std::string training = render_training_time_table(result);
+  EXPECT_NE(training.find("TRAINING TIME"), std::string::npos);
+  EXPECT_NE(training.find("0.56"), std::string::npos);
+  const std::string validation = render_validation_time_table(result);
+  EXPECT_NE(validation.find("VALIDATION TIME"), std::string::npos);
+  EXPECT_NE(validation.find("0.42"), std::string::npos);
+}
+
+TEST(Report, SelectionCurveListsEveryLambda) {
+  const std::string curve =
+      render_selection_curve(*fake_result().selection);
+  EXPECT_NE(curve.find("lambda"), std::string::npos);
+  EXPECT_NE(curve.find("1000000000"), std::string::npos);
+  // Counts 3 and 1 appear as data rows.
+  EXPECT_NE(curve.find('3'), std::string::npos);
+}
+
+TEST(Report, SelectedWeightsTableMatchesTableIFormat) {
+  const std::string table =
+      render_selected_weights(*fake_result().selection, 1e9);
+  EXPECT_NE(table.find("mem_used_slope"), std::string::npos);
+  EXPECT_NE(table.find("0.000019235560086"), std::string::npos);
+  EXPECT_THROW(render_selected_weights(*fake_result().selection, 12.0),
+               std::out_of_range);
+}
+
+TEST(Report, FullScorecardListsEveryMetricColumn) {
+  const std::string card = render_full_scorecard(
+      fake_result().using_all_features, "Scorecard");
+  for (const char* column : {"MAE", "RAE", "MaxAE", "S-MAE", "R2",
+                             "train(s)", "valid(s)"}) {
+    EXPECT_NE(card.find(column), std::string::npos) << column;
+  }
+}
+
+}  // namespace
+}  // namespace f2pm::core

@@ -1,0 +1,144 @@
+#include "sim/resources.hpp"
+
+#include <gtest/gtest.h>
+
+namespace f2pm::sim {
+namespace {
+
+TEST(Resources, HealthySystemHasNoSwapAndFullCache) {
+  ResourceModel model;
+  const MemorySnapshot snapshot = model.memory();
+  EXPECT_DOUBLE_EQ(snapshot.swap_used_kb, 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.cached_kb, model.config().base_cached_kb);
+  EXPECT_DOUBLE_EQ(snapshot.buffers_kb, model.config().base_buffers_kb);
+  EXPECT_GT(snapshot.free_kb, 0.0);
+  EXPECT_FALSE(model.crashed());
+  EXPECT_DOUBLE_EQ(model.slowdown_factor(), 1.0);
+}
+
+TEST(Resources, MemoryAccountingConserved) {
+  ResourceModel model;
+  model.leak_memory(300.0 * 1024);
+  const MemorySnapshot s = model.memory();
+  // used + free + buffers + cached = total while swap is untouched.
+  EXPECT_NEAR(s.used_kb + s.free_kb + s.buffers_kb + s.cached_kb,
+              model.config().total_memory_kb, 1e-6);
+}
+
+TEST(Resources, CacheReclaimedBeforeSwap) {
+  ResourceModel model;
+  const double total = model.config().total_memory_kb;
+  // Leak enough to exhaust free memory but not the reclaimable cache.
+  model.leak_memory(total - model.config().base_used_kb -
+                    model.config().base_cached_kb -
+                    model.config().base_buffers_kb -
+                    model.config().base_shared_kb + 100.0 * 1024);
+  const MemorySnapshot s = model.memory();
+  EXPECT_LT(s.cached_kb, model.config().base_cached_kb);
+  EXPECT_DOUBLE_EQ(s.swap_used_kb, 0.0);
+  EXPECT_DOUBLE_EQ(s.free_kb, 0.0);
+}
+
+TEST(Resources, OverflowSpillsToSwapThenCrashes) {
+  ResourceModel model;
+  model.leak_memory(model.config().total_memory_kb);  // way past RAM
+  const MemorySnapshot s = model.memory();
+  EXPECT_GT(s.swap_used_kb, 0.0);
+  EXPECT_DOUBLE_EQ(s.cached_kb, model.config().min_cached_kb);
+  EXPECT_DOUBLE_EQ(s.buffers_kb, model.config().min_buffers_kb);
+  EXPECT_FALSE(model.crashed());
+  model.leak_memory(model.config().total_swap_kb);
+  EXPECT_TRUE(model.crashed());
+  EXPECT_GE(model.swap_pressure(), model.config().crash_swap_fraction);
+}
+
+TEST(Resources, SwapNeverExceedsTotal) {
+  ResourceModel model;
+  model.leak_memory(100.0 * model.config().total_memory_kb);
+  const MemorySnapshot s = model.memory();
+  EXPECT_LE(s.swap_used_kb, model.config().total_swap_kb);
+  EXPECT_GE(s.swap_free_kb, 0.0);
+}
+
+TEST(Resources, ThreadCensusCountsEverything) {
+  ResourceModel model;
+  const int base = model.config().base_threads;
+  EXPECT_EQ(model.num_threads(), base);
+  model.leak_thread();
+  model.leak_thread();
+  model.set_active_requests(5, 8);
+  EXPECT_EQ(model.num_threads(), base + 2 + 8);
+  EXPECT_EQ(model.leaked_threads(), 2);
+}
+
+TEST(Resources, SlowdownGrowsWithSwapPressure) {
+  ResourceModel model;
+  const double healthy = model.slowdown_factor();
+  model.leak_memory(model.config().total_memory_kb +
+                    0.5 * model.config().total_swap_kb);
+  const double thrashing = model.slowdown_factor();
+  EXPECT_GT(thrashing, healthy * 5.0);
+}
+
+TEST(Resources, LeakAccumulates) {
+  ResourceModel model;
+  model.leak_memory(100.0);
+  model.leak_memory(250.0);
+  EXPECT_DOUBLE_EQ(model.leaked_kb(), 350.0);
+  model.leak_memory(-5.0);  // ignored
+  EXPECT_DOUBLE_EQ(model.leaked_kb(), 350.0);
+}
+
+TEST(Resources, CpuSampleSumsToOneHundred) {
+  ResourceModel model;
+  util::Rng rng(1);
+  model.add_cpu_user_seconds(0.5);
+  model.add_cpu_system_seconds(0.2);
+  model.add_cpu_iowait_seconds(0.1);
+  data::RawDatapoint sample;
+  model.sample_cpu(2.0, rng, sample);
+  const double sum = sample[data::FeatureId::kCpuUser] +
+                     sample[data::FeatureId::kCpuSystem] +
+                     sample[data::FeatureId::kCpuIoWait] +
+                     sample[data::FeatureId::kCpuSteal] +
+                     sample[data::FeatureId::kCpuNice] +
+                     sample[data::FeatureId::kCpuIdle];
+  EXPECT_NEAR(sum, 100.0, 1e-9);
+  // 0.5s of user work over 2s * 2 cores = 12.5%.
+  EXPECT_NEAR(sample[data::FeatureId::kCpuUser], 12.5, 1e-9);
+}
+
+TEST(Resources, CpuSampleSaturatesProportionally) {
+  ResourceModel model;
+  util::Rng rng(2);
+  // 10s of work in a 1s interval on 2 cores: must scale down to 100%.
+  model.add_cpu_user_seconds(6.0);
+  model.add_cpu_iowait_seconds(4.0);
+  data::RawDatapoint sample;
+  model.sample_cpu(1.0, rng, sample);
+  const double busy = sample[data::FeatureId::kCpuUser] +
+                      sample[data::FeatureId::kCpuSystem] +
+                      sample[data::FeatureId::kCpuIoWait] +
+                      sample[data::FeatureId::kCpuSteal] +
+                      sample[data::FeatureId::kCpuNice];
+  EXPECT_NEAR(busy, 100.0, 1e-9);
+  EXPECT_NEAR(sample[data::FeatureId::kCpuIdle], 0.0, 1e-9);
+  // user:iowait stays 6:4 after scaling.
+  EXPECT_NEAR(sample[data::FeatureId::kCpuUser] /
+                  sample[data::FeatureId::kCpuIoWait],
+              1.5, 1e-6);
+}
+
+TEST(Resources, CpuAccumulatorsResetAfterSample) {
+  ResourceModel model;
+  util::Rng rng(3);
+  model.add_cpu_user_seconds(1.0);
+  data::RawDatapoint first;
+  model.sample_cpu(1.0, rng, first);
+  data::RawDatapoint second;
+  model.sample_cpu(1.0, rng, second);
+  EXPECT_DOUBLE_EQ(second[data::FeatureId::kCpuUser], 0.0);
+}
+
+}  // namespace
+}  // namespace f2pm::sim

@@ -1,0 +1,166 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace f2pm::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a() == b() ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatelyCentered) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversFullInclusiveRange) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(2, 6);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 6);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(13);
+  EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialIsNonNegative) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.exponential(0.5), 0.0);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(19);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(2.0, 3.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, CategoricalNeverPicksZeroWeight) {
+  Rng rng(29);
+  const std::vector<double> weights{0.0, 1.0, 0.0, 2.0};
+  for (int i = 0; i < 10000; ++i) {
+    const std::size_t pick = rng.categorical(weights);
+    EXPECT_TRUE(pick == 1 || pick == 3);
+  }
+}
+
+TEST(Rng, CategoricalFrequenciesMatchWeights) {
+  Rng rng(31);
+  const std::vector<double> weights{1.0, 3.0};
+  int second = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) second += rng.categorical(weights) == 1 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(second) / n, 0.75, 0.01);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(37);
+  const auto perm = rng.permutation(100);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Rng, PermutationEmptyAndSingle) {
+  Rng rng(37);
+  EXPECT_TRUE(rng.permutation(0).empty());
+  EXPECT_EQ(rng.permutation(1), std::vector<std::size_t>{0});
+}
+
+TEST(Rng, SplitStreamsAreIndependentlySeeded) {
+  Rng parent(41);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += child1() == child2() ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(SplitMix64, KnownFirstOutputIsStable) {
+  std::uint64_t state = 0;
+  const std::uint64_t first = splitmix64_next(state);
+  std::uint64_t state2 = 0;
+  EXPECT_EQ(first, splitmix64_next(state2));
+  EXPECT_NE(first, splitmix64_next(state2));
+}
+
+}  // namespace
+}  // namespace f2pm::util

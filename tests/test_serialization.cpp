@@ -1,0 +1,71 @@
+#include "util/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace f2pm::util {
+namespace {
+
+TEST(Serialization, RoundTripsAllTypes) {
+  std::stringstream buffer;
+  {
+    BinaryWriter writer(buffer);
+    writer.write_u64(42);
+    writer.write_i64(-7);
+    writer.write_double(3.25);
+    writer.write_bool(true);
+    writer.write_bool(false);
+    writer.write_string("hello");
+    writer.write_string("");
+    writer.write_doubles({1.0, -2.5});
+    writer.write_u64s({9, 8, 7});
+  }
+  BinaryReader reader(buffer);
+  EXPECT_EQ(reader.read_u64(), 42u);
+  EXPECT_EQ(reader.read_i64(), -7);
+  EXPECT_DOUBLE_EQ(reader.read_double(), 3.25);
+  EXPECT_TRUE(reader.read_bool());
+  EXPECT_FALSE(reader.read_bool());
+  EXPECT_EQ(reader.read_string(), "hello");
+  EXPECT_EQ(reader.read_string(), "");
+  EXPECT_EQ(reader.read_doubles(), (std::vector<double>{1.0, -2.5}));
+  EXPECT_EQ(reader.read_u64s(), (std::vector<std::uint64_t>{9, 8, 7}));
+}
+
+TEST(Serialization, BadMagicThrows) {
+  std::stringstream buffer;
+  buffer << "this is definitely not an archive";
+  EXPECT_THROW(BinaryReader reader(buffer), std::runtime_error);
+}
+
+TEST(Serialization, TruncatedStreamThrows) {
+  std::stringstream buffer;
+  {
+    BinaryWriter writer(buffer);
+    writer.write_doubles({1.0, 2.0, 3.0});
+  }
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() - 4);  // chop mid-payload
+  std::stringstream truncated(bytes);
+  BinaryReader reader(truncated);
+  EXPECT_THROW(reader.read_doubles(), std::runtime_error);
+}
+
+TEST(Serialization, OversizedFieldRejected) {
+  std::stringstream buffer;
+  {
+    BinaryWriter writer(buffer);
+    writer.write_u64(1ULL << 40);  // claims a 2^40-element vector
+  }
+  BinaryReader reader(buffer);
+  EXPECT_THROW(reader.read_doubles(), std::runtime_error);
+}
+
+TEST(Serialization, EmptyStreamThrowsOnHeader) {
+  std::stringstream buffer;
+  EXPECT_THROW(BinaryReader reader(buffer), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace f2pm::util

@@ -1,0 +1,133 @@
+#include "sim/server.hpp"
+
+#include <gtest/gtest.h>
+
+namespace f2pm::sim {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  ResourceModel resources;
+  util::Rng rng{1};
+};
+
+TEST(Server, CompletesARequestAndReportsResponseTime) {
+  Fixture f;
+  ServerConfig config;
+  Server server(f.sim, f.resources, config, f.rng);
+  double response_time = -1.0;
+  server.submit(Interaction::kHome,
+                [&response_time](double rt) { response_time = rt; });
+  f.sim.run_until(10.0);
+  EXPECT_GT(response_time, 0.0);
+  EXPECT_LT(response_time, 1.0);
+  EXPECT_EQ(server.total_completed(), 1u);
+}
+
+TEST(Server, QueuesBeyondWorkerLimit) {
+  Fixture f;
+  ServerConfig config;
+  config.worker_threads = 2;
+  Server server(f.sim, f.resources, config, f.rng);
+  for (int i = 0; i < 6; ++i) {
+    server.submit(Interaction::kBestSellers, {});
+  }
+  EXPECT_EQ(server.busy_workers(), 2);
+  EXPECT_EQ(server.queue_length(), 4u);
+  f.sim.run_until(10.0);
+  EXPECT_EQ(server.total_completed(), 6u);
+  EXPECT_EQ(server.busy_workers(), 0);
+  EXPECT_EQ(server.queue_length(), 0u);
+}
+
+TEST(Server, QueuedRequestsWaitLonger) {
+  Fixture f;
+  ServerConfig config;
+  config.worker_threads = 1;
+  config.service_noise = 0.0;
+  Server server(f.sim, f.resources, config, f.rng);
+  std::vector<double> response_times;
+  for (int i = 0; i < 3; ++i) {
+    server.submit(Interaction::kHome, [&response_times](double rt) {
+      response_times.push_back(rt);
+    });
+  }
+  f.sim.run_until(10.0);
+  ASSERT_EQ(response_times.size(), 3u);
+  EXPECT_LT(response_times[0], response_times[1]);
+  EXPECT_LT(response_times[1], response_times[2]);
+}
+
+TEST(Server, HomeHookFiresOnlyForHome) {
+  Fixture f;
+  Server server(f.sim, f.resources, ServerConfig{}, f.rng);
+  int hook_calls = 0;
+  server.set_home_hook([&hook_calls] { ++hook_calls; });
+  server.submit(Interaction::kHome, {});
+  server.submit(Interaction::kBestSellers, {});
+  server.submit(Interaction::kHome, {});
+  f.sim.run_until(10.0);
+  EXPECT_EQ(hook_calls, 2);
+}
+
+TEST(Server, ResponseStatsDrainAndReset) {
+  Fixture f;
+  Server server(f.sim, f.resources, ServerConfig{}, f.rng);
+  server.submit(Interaction::kHome, {});
+  server.submit(Interaction::kHome, {});
+  f.sim.run_until(10.0);
+  const ResponseStats stats = server.drain_response_stats();
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_GT(stats.mean(), 0.0);
+  const ResponseStats empty = server.drain_response_stats();
+  EXPECT_EQ(empty.completed, 0u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+}
+
+TEST(Server, ServiceSlowsDownUnderMemoryPressure) {
+  Fixture healthy;
+  Fixture thrashing;
+  thrashing.resources.leak_memory(
+      thrashing.resources.config().total_memory_kb +
+      0.8 * thrashing.resources.config().total_swap_kb);
+  ServerConfig config;
+  config.service_noise = 0.0;
+  Server fast(healthy.sim, healthy.resources, config, healthy.rng);
+  Server slow(thrashing.sim, thrashing.resources, config, thrashing.rng);
+  double fast_rt = 0.0;
+  double slow_rt = 0.0;
+  fast.submit(Interaction::kBestSellers, [&](double rt) { fast_rt = rt; });
+  slow.submit(Interaction::kBestSellers, [&](double rt) { slow_rt = rt; });
+  healthy.sim.run_until(100.0);
+  thrashing.sim.run_until(100.0);
+  EXPECT_GT(slow_rt, fast_rt * 5.0);
+}
+
+TEST(Server, AccumulatesCpuTimeIntoResources) {
+  Fixture f;
+  ServerConfig config;
+  config.service_noise = 0.0;
+  Server server(f.sim, f.resources, config, f.rng);
+  server.submit(Interaction::kHome, {});
+  f.sim.run_until(10.0);
+  data::RawDatapoint sample;
+  f.resources.sample_cpu(10.0, f.rng, sample);
+  EXPECT_GT(sample[data::FeatureId::kCpuUser], 0.0);
+  EXPECT_GT(sample[data::FeatureId::kCpuSystem], 0.0);
+  EXPECT_GT(sample[data::FeatureId::kCpuIoWait], 0.0);
+}
+
+TEST(Server, CensusReflectsLoad) {
+  Fixture f;
+  ServerConfig config;
+  config.worker_threads = 1;
+  Server server(f.sim, f.resources, config, f.rng);
+  server.submit(Interaction::kHome, {});
+  server.submit(Interaction::kHome, {});
+  // One in service + one queued -> 2 active requests visible in memory.
+  const MemorySnapshot snapshot = f.resources.memory();
+  EXPECT_GT(snapshot.shared_kb, f.resources.config().base_shared_kb);
+}
+
+}  // namespace
+}  // namespace f2pm::sim

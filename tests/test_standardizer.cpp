@@ -1,0 +1,67 @@
+#include "data/standardizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/stats.hpp"
+#include "util/rng.hpp"
+
+namespace f2pm::data {
+namespace {
+
+TEST(Standardizer, TransformedColumnsHaveZeroMeanUnitVariance) {
+  util::Rng rng(3);
+  linalg::Matrix x(200, 3);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    x(r, 0) = rng.normal(50.0, 10.0);
+    x(r, 1) = rng.uniform(0.0, 1e6);
+    x(r, 2) = rng.exponential(2.0);
+  }
+  const Standardizer scaler = Standardizer::fit(x);
+  const linalg::Matrix z = scaler.transform(x);
+  for (std::size_t c = 0; c < 3; ++c) {
+    const auto column = z.column(c);
+    EXPECT_NEAR(linalg::mean(column), 0.0, 1e-9);
+    EXPECT_NEAR(linalg::stddev(column), 1.0, 1e-9);
+  }
+}
+
+TEST(Standardizer, InverseTransformRoundTrips) {
+  linalg::Matrix x{{1.0, 100.0}, {2.0, 300.0}, {3.0, 500.0}};
+  const Standardizer scaler = Standardizer::fit(x);
+  const linalg::Matrix round = scaler.inverse_transform(scaler.transform(x));
+  EXPECT_LT(linalg::max_abs_diff(x, round), 1e-12);
+}
+
+TEST(Standardizer, ConstantColumnMapsToZero) {
+  linalg::Matrix x{{5.0}, {5.0}, {5.0}};
+  const Standardizer scaler = Standardizer::fit(x);
+  const linalg::Matrix z = scaler.transform(x);
+  for (std::size_t r = 0; r < 3; ++r) EXPECT_DOUBLE_EQ(z(r, 0), 0.0);
+}
+
+TEST(Standardizer, ColumnMismatchThrows) {
+  const Standardizer scaler = Standardizer::fit(linalg::Matrix(4, 2));
+  EXPECT_THROW(scaler.transform(linalg::Matrix(4, 3)),
+               std::invalid_argument);
+  EXPECT_THROW(scaler.inverse_transform(linalg::Matrix(4, 3)),
+               std::invalid_argument);
+}
+
+TEST(TargetScaler, NormalizesAndInverts) {
+  const std::vector<double> y{10.0, 20.0, 30.0};
+  const TargetScaler scaler = TargetScaler::fit(y);
+  const auto z = scaler.transform(y);
+  EXPECT_NEAR(linalg::mean(z), 0.0, 1e-12);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(scaler.inverse(z[i]), y[i], 1e-12);
+  }
+}
+
+TEST(TargetScaler, ConstantTargetUsesUnitScale) {
+  const TargetScaler scaler = TargetScaler::fit({7.0, 7.0});
+  EXPECT_DOUBLE_EQ(scaler.scale, 1.0);
+  EXPECT_DOUBLE_EQ(scaler.inverse(0.0), 7.0);
+}
+
+}  // namespace
+}  // namespace f2pm::data

@@ -1,0 +1,86 @@
+#include "linalg/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace f2pm::linalg {
+namespace {
+
+TEST(Stats, MeanVarianceStddev) {
+  const std::vector<double> x{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(x), 5.0);
+  EXPECT_DOUBLE_EQ(variance(x), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(x), 2.0);
+}
+
+TEST(Stats, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{1.0, 1.0, 1.0}), 0.0);
+}
+
+TEST(Stats, CovarianceSignsAndMismatch) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> up{2.0, 4.0, 6.0};
+  const std::vector<double> down{6.0, 4.0, 2.0};
+  EXPECT_GT(covariance(x, up), 0.0);
+  EXPECT_LT(covariance(x, down), 0.0);
+  EXPECT_THROW(covariance(x, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{3.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  std::vector<double> neg(y.rbegin(), y.rend());
+  EXPECT_NEAR(pearson(x, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSideIsZero) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> constant{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(pearson(x, constant), 0.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> x{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(quantile(x, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(x, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile(x, 0.5), 25.0);
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> x{3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min_value(x), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(x), 7.0);
+  EXPECT_THROW(min_value({}), std::invalid_argument);
+  EXPECT_THROW(max_value({}), std::invalid_argument);
+}
+
+TEST(FitLine, RecoversExactLine) {
+  const std::vector<double> x{0.0, 1.0, 2.0, 3.0};
+  std::vector<double> y;
+  for (double v : x) y.push_back(2.5 * v - 1.0);
+  const LineFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+  EXPECT_NEAR(fit.predict(10.0), 24.0, 1e-12);
+}
+
+TEST(FitLine, ConstantXFallsBackToMean) {
+  const std::vector<double> x{2.0, 2.0, 2.0};
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  const LineFit fit = fit_line(x, y);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+}
+
+TEST(FitLine, RequiresTwoPoints) {
+  EXPECT_THROW(fit_line(std::vector<double>{1.0}, std::vector<double>{2.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace f2pm::linalg

@@ -1,0 +1,77 @@
+#include "util/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace f2pm::util {
+namespace {
+
+TEST(Split, BasicAndEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Trim, RemovesSurroundingWhitespaceOnly) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StartsWith, Matches) {
+  EXPECT_TRUE(starts_with("lasso-lambda-10", "lasso-"));
+  EXPECT_FALSE(starts_with("las", "lasso"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+TEST(Join, RoundTripsWithSplit) {
+  const std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(join(parts, ","), "x,y,z");
+  EXPECT_EQ(split(join(parts, ","), ','), parts);
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("AbC-12"), "abc-12");
+}
+
+TEST(ParseDouble, AcceptsValidForms) {
+  EXPECT_DOUBLE_EQ(parse_double("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(parse_double("  -1e3 "), -1000.0);
+  EXPECT_DOUBLE_EQ(parse_double("0"), 0.0);
+}
+
+TEST(ParseDouble, RejectsGarbage) {
+  EXPECT_THROW(parse_double(""), std::invalid_argument);
+  EXPECT_THROW(parse_double("abc"), std::invalid_argument);
+  EXPECT_THROW(parse_double("1.5x"), std::invalid_argument);
+}
+
+TEST(ParseInt, AcceptsValidForms) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int(" -7 "), -7);
+}
+
+TEST(ParseInt, RejectsGarbageAndFractions) {
+  EXPECT_THROW(parse_int(""), std::invalid_argument);
+  EXPECT_THROW(parse_int("1.5"), std::invalid_argument);
+  EXPECT_THROW(parse_int("seven"), std::invalid_argument);
+}
+
+TEST(FormatDouble, TrimsTrailingZeros) {
+  EXPECT_EQ(format_double(3.14, 6), "3.14");
+  EXPECT_EQ(format_double(2.0, 6), "2");
+  EXPECT_EQ(format_double(0.5, 1), "0.5");
+  EXPECT_EQ(format_double(1e9, 0), "1000000000");
+}
+
+TEST(FormatDouble, RoundTripThroughParse) {
+  for (double v : {0.125, -17.5, 123456.75}) {
+    EXPECT_DOUBLE_EQ(parse_double(format_double(v, 9)), v);
+  }
+}
+
+}  // namespace
+}  // namespace f2pm::util

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cmath>
+#include <sstream>
+
+#include "ml/lssvm.hpp"
+#include "ml/metrics.hpp"
+#include "ml/svr.hpp"
+#include "util/rng.hpp"
+
+namespace f2pm::ml {
+namespace {
+
+/// Smooth non-linear target: y = sin(2x) + 0.5x over [-2, 2].
+void make_sine_data(std::size_t n, double noise, util::Rng& rng,
+                    linalg::Matrix& x, std::vector<double>& y) {
+  x = linalg::Matrix(n, 1);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(-2.0, 2.0);
+    y[i] = std::sin(2.0 * x(i, 0)) + 0.5 * x(i, 0) + rng.normal(0.0, noise);
+  }
+}
+
+SvrOptions strong_svr() {
+  // A deliberately strong configuration for accuracy-focused tests (the
+  // library default mimics weaker WEKA-style settings).
+  SvrOptions options;
+  options.c = 50.0;
+  options.epsilon = 0.01;
+  options.kernel.gamma = 2.0;
+  return options;
+}
+
+TEST(Svr, FitsNonlinearFunction) {
+  util::Rng rng(1);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_sine_data(300, 0.01, rng, x, y);
+  KernelSvr model(strong_svr());
+  model.fit(x, y);
+  for (double probe : {-1.5, -0.5, 0.0, 0.7, 1.8}) {
+    const double expected = std::sin(2.0 * probe) + 0.5 * probe;
+    EXPECT_NEAR(model.predict_row(std::vector<double>{probe}), expected,
+                0.15);
+  }
+}
+
+TEST(Svr, WiderTubeYieldsFewerSupportVectors) {
+  util::Rng rng(2);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_sine_data(200, 0.05, rng, x, y);
+  SvrOptions narrow = strong_svr();
+  narrow.epsilon = 0.01;
+  SvrOptions wide = strong_svr();
+  wide.epsilon = 0.5;
+  KernelSvr narrow_model(narrow);
+  KernelSvr wide_model(wide);
+  narrow_model.fit(x, y);
+  wide_model.fit(x, y);
+  EXPECT_LT(wide_model.num_support_vectors(),
+            narrow_model.num_support_vectors());
+}
+
+TEST(Svr, ReportsIterationsAndRespectsCap) {
+  util::Rng rng(3);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_sine_data(150, 0.01, rng, x, y);
+  SvrOptions capped = strong_svr();
+  capped.max_iterations = 10;
+  KernelSvr model(capped);
+  model.fit(x, y);
+  EXPECT_LE(model.iterations_used(), 10u);
+}
+
+TEST(Svr, InvalidOptionsRejected) {
+  SvrOptions bad_c;
+  bad_c.c = 0.0;
+  EXPECT_THROW(KernelSvr{bad_c}, std::invalid_argument);
+  SvrOptions bad_eps;
+  bad_eps.epsilon = -0.1;
+  EXPECT_THROW(KernelSvr{bad_eps}, std::invalid_argument);
+}
+
+TEST(Svr, SaveLoadPreservesPredictions) {
+  util::Rng rng(4);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_sine_data(150, 0.02, rng, x, y);
+  KernelSvr model(strong_svr());
+  model.fit(x, y);
+  std::stringstream buffer;
+  save_model(model, buffer);
+  const auto loaded = load_model(buffer);
+  EXPECT_EQ(loaded->name(), "svm");
+  for (double probe : {-1.2, 0.0, 1.3}) {
+    const std::vector<double> row{probe};
+    EXPECT_NEAR(loaded->predict_row(row), model.predict_row(row), 1e-9);
+  }
+}
+
+TEST(Svr, ConstantTargetPredictsConstant) {
+  linalg::Matrix x(20, 1);
+  for (std::size_t i = 0; i < 20; ++i) x(i, 0) = static_cast<double>(i);
+  const std::vector<double> y(20, 4.0);
+  KernelSvr model;
+  model.fit(x, y);
+  EXPECT_NEAR(model.predict_row(std::vector<double>{10.0}), 4.0, 1e-6);
+}
+
+TEST(LsSvm, FitsNonlinearFunction) {
+  util::Rng rng(5);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_sine_data(250, 0.01, rng, x, y);
+  LsSvmOptions options;
+  options.gamma = 1000.0;
+  options.kernel.gamma = 2.0;
+  LsSvm model(options);
+  model.fit(x, y);
+  for (double probe : {-1.5, 0.0, 1.5}) {
+    const double expected = std::sin(2.0 * probe) + 0.5 * probe;
+    EXPECT_NEAR(model.predict_row(std::vector<double>{probe}), expected,
+                0.1);
+  }
+}
+
+TEST(LsSvm, SmallGammaUnderfitsTowardMean) {
+  util::Rng rng(6);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_sine_data(200, 0.01, rng, x, y);
+  LsSvmOptions smooth;
+  smooth.gamma = 1e-6;
+  smooth.kernel.gamma = 2.0;
+  LsSvm model(smooth);
+  model.fit(x, y);
+  // With negligible gamma, the fit collapses toward the bias ~= mean(y).
+  double mean_y = 0.0;
+  for (double v : y) mean_y += v;
+  mean_y /= static_cast<double>(y.size());
+  EXPECT_NEAR(model.predict_row(std::vector<double>{1.0}), mean_y, 0.3);
+}
+
+TEST(LsSvm, RegularizationMonotonicallyImprovesTrainFit) {
+  util::Rng rng(7);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_sine_data(150, 0.05, rng, x, y);
+  double previous = 1e18;
+  for (double gamma : {0.01, 1.0, 100.0, 10000.0}) {
+    LsSvmOptions options;
+    options.gamma = gamma;
+    options.kernel.gamma = 2.0;
+    LsSvm model(options);
+    model.fit(x, y);
+    const double train_mae = mean_absolute_error(model.predict(x), y);
+    // Allow a sliver of numerical slack: at large gamma consecutive fits
+    // are near-identical and solver round-off can tie-break either way.
+    EXPECT_LE(train_mae, previous * 1.01 + 1e-6);
+    previous = train_mae;
+  }
+}
+
+TEST(LsSvm, InvalidGammaRejected) {
+  LsSvmOptions bad;
+  bad.gamma = 0.0;
+  EXPECT_THROW(LsSvm{bad}, std::invalid_argument);
+}
+
+TEST(LsSvm, SaveLoadPreservesPredictions) {
+  util::Rng rng(8);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_sine_data(120, 0.02, rng, x, y);
+  LsSvmOptions options;
+  options.gamma = 100.0;
+  options.kernel.gamma = 1.0;
+  LsSvm model(options);
+  model.fit(x, y);
+  std::stringstream buffer;
+  save_model(model, buffer);
+  const auto loaded = load_model(buffer);
+  EXPECT_EQ(loaded->name(), "svm2");
+  for (double probe : {-1.0, 0.4, 1.9}) {
+    const std::vector<double> row{probe};
+    EXPECT_NEAR(loaded->predict_row(row), model.predict_row(row), 1e-9);
+  }
+}
+
+/// Both SVM variants must beat the mean predictor on non-linear data —
+/// the basic sanity the paper's Table II ranking presumes.
+class SvmFamilyBeatsMean : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SvmFamilyBeatsMean, RaeBelowOne) {
+  util::Rng rng(9);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_sine_data(200, 0.05, rng, x, y);
+  linalg::Matrix x_val;
+  std::vector<double> y_val;
+  make_sine_data(100, 0.05, rng, x_val, y_val);
+  std::unique_ptr<Regressor> model;
+  if (GetParam() == "svm") {
+    model = std::make_unique<KernelSvr>(strong_svr());
+  } else {
+    LsSvmOptions options;
+    options.gamma = 1000.0;
+    options.kernel.gamma = 2.0;
+    model = std::make_unique<LsSvm>(options);
+  }
+  model->fit(x, y);
+  EXPECT_LT(relative_absolute_error(model->predict(x_val), y_val), 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, SvmFamilyBeatsMean,
+                         ::testing::Values("svm", "svm2"));
+
+}  // namespace
+}  // namespace f2pm::ml

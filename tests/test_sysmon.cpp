@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "sysmon/proc_parser.hpp"
+#include "sysmon/proc_source.hpp"
+
+namespace f2pm::sysmon {
+namespace {
+
+constexpr const char* kMeminfo =
+    "MemTotal:        2097152 kB\n"
+    "MemFree:          959900 kB\n"
+    "MemAvailable:    1500000 kB\n"
+    "Buffers:           98304 kB\n"
+    "Cached:           532480 kB\n"
+    "SwapCached:            0 kB\n"
+    "Shmem:             65536 kB\n"
+    "SwapTotal:       1048576 kB\n"
+    "SwapFree:         948576 kB\n";
+
+TEST(ProcParser, MeminfoFields) {
+  const MemInfo info = parse_meminfo(kMeminfo);
+  EXPECT_DOUBLE_EQ(info.total_kb, 2097152.0);
+  EXPECT_DOUBLE_EQ(info.free_kb, 959900.0);
+  EXPECT_DOUBLE_EQ(info.buffers_kb, 98304.0);
+  EXPECT_DOUBLE_EQ(info.cached_kb, 532480.0);
+  EXPECT_DOUBLE_EQ(info.shmem_kb, 65536.0);
+  EXPECT_DOUBLE_EQ(info.swap_total_kb, 1048576.0);
+  EXPECT_DOUBLE_EQ(info.swap_free_kb, 948576.0);
+  EXPECT_DOUBLE_EQ(info.used_kb(), 2097152.0 - 959900.0 - 98304.0 - 532480.0);
+  EXPECT_DOUBLE_EQ(info.swap_used_kb(), 100000.0);
+}
+
+TEST(ProcParser, MeminfoMissingKeysStayZero) {
+  const MemInfo info = parse_meminfo("MemTotal: 1000 kB\n");
+  EXPECT_DOUBLE_EQ(info.total_kb, 1000.0);
+  EXPECT_DOUBLE_EQ(info.swap_total_kb, 0.0);
+}
+
+TEST(ProcParser, MeminfoDoesNotConfuseSwapCachedWithCached) {
+  const MemInfo info = parse_meminfo("SwapCached: 77 kB\nCached: 42 kB\n");
+  EXPECT_DOUBLE_EQ(info.cached_kb, 42.0);
+}
+
+TEST(ProcParser, ProcStatAggregateLine) {
+  const CpuJiffies jiffies = parse_proc_stat(
+      "cpu  100 5 50 800 30 2 3 10\n"
+      "cpu0 100 5 50 800 30 2 3 10\n");
+  EXPECT_EQ(jiffies.user, 100u);
+  EXPECT_EQ(jiffies.nice, 5u);
+  EXPECT_EQ(jiffies.system, 50u);
+  EXPECT_EQ(jiffies.idle, 800u);
+  EXPECT_EQ(jiffies.iowait, 30u);
+  EXPECT_EQ(jiffies.irq, 2u);
+  EXPECT_EQ(jiffies.softirq, 3u);
+  EXPECT_EQ(jiffies.steal, 10u);
+  EXPECT_EQ(jiffies.total(), 1000u);
+}
+
+TEST(ProcParser, ProcStatToleratesShortLines) {
+  // Ancient kernels had only 4 fields.
+  const CpuJiffies jiffies = parse_proc_stat("cpu  10 0 5 85\n");
+  EXPECT_EQ(jiffies.iowait, 0u);
+  EXPECT_EQ(jiffies.total(), 100u);
+}
+
+TEST(ProcParser, ProcStatMissingCpuLineThrows) {
+  EXPECT_THROW(parse_proc_stat("intr 1234\n"), std::invalid_argument);
+  EXPECT_THROW(parse_proc_stat("cpu0 1 2 3 4\n"), std::invalid_argument);
+}
+
+TEST(ProcParser, CpuPercentagesFromDeltas) {
+  CpuJiffies earlier;
+  CpuJiffies later;
+  later.user = 50;
+  later.system = 20;
+  later.iowait = 10;
+  later.idle = 20;
+  const CpuPercentages pct = cpu_percentages(earlier, later);
+  EXPECT_DOUBLE_EQ(pct.user, 50.0);
+  EXPECT_DOUBLE_EQ(pct.system, 20.0);
+  EXPECT_DOUBLE_EQ(pct.iowait, 10.0);
+  EXPECT_DOUBLE_EQ(pct.idle, 20.0);
+  const double sum = pct.user + pct.nice + pct.system + pct.iowait +
+                     pct.steal + pct.idle;
+  EXPECT_NEAR(sum, 100.0, 1e-9);
+}
+
+TEST(ProcParser, CpuPercentagesHandleNoProgress) {
+  CpuJiffies same;
+  same.user = 100;
+  const CpuPercentages pct = cpu_percentages(same, same);
+  EXPECT_DOUBLE_EQ(pct.idle, 100.0);
+}
+
+TEST(ProcParser, CpuPercentagesFoldIrqIntoSystem) {
+  CpuJiffies earlier;
+  CpuJiffies later;
+  later.system = 10;
+  later.irq = 5;
+  later.softirq = 5;
+  later.idle = 80;
+  EXPECT_DOUBLE_EQ(cpu_percentages(earlier, later).system, 20.0);
+}
+
+TEST(ProcParser, LoadavgThreadCount) {
+  EXPECT_EQ(parse_loadavg_threads("0.42 0.37 0.31 2/1234 5678\n"), 1234);
+  EXPECT_THROW(parse_loadavg_threads("0.1 0.2 0.3"), std::invalid_argument);
+  EXPECT_THROW(parse_loadavg_threads("0.1 0.2 0.3 2/x 99"),
+               std::invalid_argument);
+}
+
+TEST(ProcSource, SamplesTheLiveHostWhenProcExists) {
+  ProcFeatureSource source;
+  if (!source.available()) {
+    GTEST_SKIP() << "/proc not available on this host";
+  }
+  const data::RawDatapoint first = source.sample();
+  // Memory totals on a real machine are positive and self-consistent.
+  EXPECT_GT(first[data::FeatureId::kMemUsed] +
+                first[data::FeatureId::kMemFree],
+            0.0);
+  EXPECT_GE(first[data::FeatureId::kMemFree], 0.0);
+  EXPECT_GE(first[data::FeatureId::kSwapFree], 0.0);
+  EXPECT_GT(first[data::FeatureId::kNumThreads], 0.0);
+  // First sample reports idle CPU (no previous snapshot).
+  EXPECT_DOUBLE_EQ(first[data::FeatureId::kCpuIdle], 100.0);
+
+  const data::RawDatapoint second = source.sample();
+  EXPECT_GE(second.tgen, first.tgen);
+  const double cpu_sum = second[data::FeatureId::kCpuUser] +
+                         second[data::FeatureId::kCpuNice] +
+                         second[data::FeatureId::kCpuSystem] +
+                         second[data::FeatureId::kCpuIoWait] +
+                         second[data::FeatureId::kCpuSteal] +
+                         second[data::FeatureId::kCpuIdle];
+  EXPECT_NEAR(cpu_sum, 100.0, 1e-6);
+}
+
+TEST(ProcSource, MissingProcRootReportsUnavailable) {
+  ProcFeatureSource source("/nonexistent_proc_root");
+  EXPECT_FALSE(source.available());
+  EXPECT_THROW(source.sample(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace f2pm::sysmon

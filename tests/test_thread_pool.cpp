@@ -1,0 +1,102 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace f2pm::parallel {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 7; });
+  EXPECT_EQ(future.get(), 7);
+}
+
+TEST(ThreadPool, DeliversExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto future = pool.submit(
+      []() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, CompletesAllTasksBeforeShutdown) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor drains the queue
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ZeroThreadsMeansHardwareDefault) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ParallelFor, TouchesEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, hits.size(),
+               [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ParallelFor, EmptyAndReversedRangesAreNoOps) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(pool, 5, 5, [&calls](std::size_t) { ++calls; });
+  parallel_for(pool, 7, 3, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, PropagatesBodyExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(pool, 0, 100,
+                            [](std::size_t i) {
+                              if (i == 37) throw std::logic_error("bad");
+                            }),
+               std::logic_error);
+}
+
+TEST(ParallelForChunked, ChunksCoverRangeWithoutOverlap) {
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  parallel_for_chunked(pool, 10, 500,
+                       [&](std::size_t lo, std::size_t hi) {
+                         std::lock_guard<std::mutex> lock(mutex);
+                         chunks.emplace_back(lo, hi);
+                       });
+  std::sort(chunks.begin(), chunks.end());
+  EXPECT_EQ(chunks.front().first, 10u);
+  EXPECT_EQ(chunks.back().second, 500u);
+  for (std::size_t i = 1; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].first, chunks[i - 1].second);
+  }
+}
+
+TEST(ParallelReduceSum, MatchesSerialSum) {
+  ThreadPool pool(4);
+  const double total = parallel_reduce_sum(
+      pool, 1, 1001, [](std::size_t i) { return static_cast<double>(i); });
+  EXPECT_DOUBLE_EQ(total, 500500.0);
+}
+
+TEST(ParallelReduceSum, EmptyRangeIsZero) {
+  ThreadPool pool(2);
+  EXPECT_DOUBLE_EQ(
+      parallel_reduce_sum(pool, 3, 3, [](std::size_t) { return 1.0; }), 0.0);
+}
+
+TEST(GlobalPool, IsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+}
+
+}  // namespace
+}  // namespace f2pm::parallel

@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "ml/m5p.hpp"
+#include "ml/metrics.hpp"
+#include "ml/reptree.hpp"
+#include "util/rng.hpp"
+
+namespace f2pm::ml {
+namespace {
+
+/// Step function: y = 10 for x < 0, y = -5 for x >= 0 (plus tiny noise).
+void make_step_data(std::size_t n, util::Rng& rng, linalg::Matrix& x,
+                    std::vector<double>& y) {
+  x = linalg::Matrix(n, 2);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(-1.0, 1.0);
+    x(i, 1) = rng.uniform(-1.0, 1.0);  // irrelevant feature
+    y[i] = (x(i, 0) < 0.0 ? 10.0 : -5.0) + rng.normal(0.0, 0.01);
+  }
+}
+
+/// Piecewise-linear function in x0 with a kink at 0.
+void make_piecewise_linear_data(std::size_t n, util::Rng& rng,
+                                linalg::Matrix& x, std::vector<double>& y) {
+  x = linalg::Matrix(n, 1);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(-2.0, 2.0);
+    y[i] = x(i, 0) < 0.0 ? 3.0 * x(i, 0) : -1.0 * x(i, 0);
+    y[i] += rng.normal(0.0, 0.02);
+  }
+}
+
+TEST(RepTree, LearnsStepFunction) {
+  util::Rng rng(1);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_step_data(500, rng, x, y);
+  RepTree tree;
+  tree.fit(x, y);
+  EXPECT_NEAR(tree.predict_row(std::vector<double>{-0.5, 0.0}), 10.0, 0.5);
+  EXPECT_NEAR(tree.predict_row(std::vector<double>{0.5, 0.0}), -5.0, 0.5);
+  EXPECT_GE(tree.num_leaves(), 2u);
+}
+
+TEST(RepTree, ConstantTargetYieldsSingleLeaf) {
+  linalg::Matrix x(20, 1);
+  for (std::size_t i = 0; i < 20; ++i) x(i, 0) = static_cast<double>(i);
+  const std::vector<double> y(20, 3.5);
+  RepTree tree;
+  tree.fit(x, y);
+  EXPECT_EQ(tree.num_leaves(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict_row(std::vector<double>{7.0}), 3.5);
+}
+
+TEST(RepTree, MaxDepthIsRespected) {
+  util::Rng rng(2);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_step_data(500, rng, x, y);
+  RepTreeOptions options;
+  options.max_depth = 2;
+  options.prune = false;
+  RepTree tree(options);
+  tree.fit(x, y);
+  EXPECT_LE(tree.depth(), 2u);
+}
+
+TEST(RepTree, PruningNeverHurtsLeafCount) {
+  util::Rng rng(3);
+  linalg::Matrix x(400, 2);
+  std::vector<double> y(400);
+  for (std::size_t i = 0; i < 400; ++i) {
+    x(i, 0) = rng.uniform(-1.0, 1.0);
+    x(i, 1) = rng.uniform(-1.0, 1.0);
+    // Pure noise target: an unpruned tree overfits wildly.
+    y[i] = rng.normal(0.0, 1.0);
+  }
+  RepTreeOptions no_prune;
+  no_prune.prune = false;
+  RepTree unpruned(no_prune);
+  unpruned.fit(x, y);
+  RepTree pruned;
+  pruned.fit(x, y);
+  EXPECT_LT(pruned.num_leaves(), unpruned.num_leaves());
+}
+
+TEST(RepTree, DeterministicForFixedSeed) {
+  util::Rng rng(4);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_step_data(300, rng, x, y);
+  RepTree a;
+  RepTree b;
+  a.fit(x, y);
+  b.fit(x, y);
+  for (double probe : {-0.7, -0.1, 0.3, 0.9}) {
+    const std::vector<double> row{probe, 0.0};
+    EXPECT_DOUBLE_EQ(a.predict_row(row), b.predict_row(row));
+  }
+}
+
+TEST(RepTree, ImportancesIdentifyTheInformativeFeature) {
+  util::Rng rng(15);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_step_data(500, rng, x, y);  // feature 0 carries all the signal
+  RepTree tree;
+  tree.fit(x, y);
+  const auto& importances = tree.feature_importances();
+  ASSERT_EQ(importances.size(), 2u);
+  EXPECT_GT(importances[0], 0.9);
+  EXPECT_NEAR(importances[0] + importances[1], 1.0, 1e-9);
+}
+
+TEST(RepTree, ImportancesAllZeroForSingleLeaf) {
+  linalg::Matrix x(20, 2);
+  for (std::size_t i = 0; i < 20; ++i) x(i, 0) = static_cast<double>(i);
+  const std::vector<double> y(20, 1.0);
+  RepTree tree;
+  tree.fit(x, y);
+  for (double v : tree.feature_importances()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(RepTree, SaveLoadPreservesPredictions) {
+  util::Rng rng(5);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_step_data(300, rng, x, y);
+  RepTree tree;
+  tree.fit(x, y);
+  std::stringstream buffer;
+  save_model(tree, buffer);
+  const auto loaded = load_model(buffer);
+  EXPECT_EQ(loaded->name(), "reptree");
+  for (double probe : {-0.9, -0.3, 0.2, 0.8}) {
+    const std::vector<double> row{probe, 0.1};
+    EXPECT_DOUBLE_EQ(loaded->predict_row(row), tree.predict_row(row));
+  }
+}
+
+TEST(RepTree, InvalidOptionsRejected) {
+  RepTreeOptions bad_leaf;
+  bad_leaf.min_instances_per_leaf = 0;
+  EXPECT_THROW(RepTree{bad_leaf}, std::invalid_argument);
+  RepTreeOptions bad_folds;
+  bad_folds.num_folds = 1;
+  EXPECT_THROW(RepTree{bad_folds}, std::invalid_argument);
+}
+
+TEST(M5P, LearnsPiecewiseLinearExactly) {
+  util::Rng rng(6);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_piecewise_linear_data(800, rng, x, y);
+  M5P model;
+  model.fit(x, y);
+  EXPECT_NEAR(model.predict_row(std::vector<double>{-1.5}), -4.5, 0.2);
+  EXPECT_NEAR(model.predict_row(std::vector<double>{1.5}), -1.5, 0.2);
+}
+
+TEST(M5P, BeatsConstantTreeOnLinearSegments) {
+  util::Rng rng(7);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_piecewise_linear_data(600, rng, x, y);
+  linalg::Matrix x_val;
+  std::vector<double> y_val;
+  make_piecewise_linear_data(200, rng, x_val, y_val);
+
+  // Smoothing deliberately trades variance for bias; on clean piecewise
+  // data the unsmoothed model tree is the right comparison point.
+  M5POptions options;
+  options.smoothing = false;
+  M5P m5p(options);
+  m5p.fit(x, y);
+  RepTree rep;
+  rep.fit(x, y);
+  const double m5p_mae = mean_absolute_error(m5p.predict(x_val), y_val);
+  const double rep_mae = mean_absolute_error(rep.predict(x_val), y_val);
+  EXPECT_LT(m5p_mae, rep_mae);
+}
+
+TEST(M5P, SmoothingTogglesBehaviour) {
+  util::Rng rng(8);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_piecewise_linear_data(400, rng, x, y);
+  M5POptions smooth;
+  M5POptions raw;
+  raw.smoothing = false;
+  M5P a(smooth);
+  M5P b(raw);
+  a.fit(x, y);
+  b.fit(x, y);
+  // Near the kink the smoothed and unsmoothed predictions should differ
+  // (unless the tree degenerated to a single leaf).
+  if (a.num_leaves() > 1) {
+    bool any_difference = false;
+    for (double probe : {-0.1, -0.05, 0.05, 0.1}) {
+      const std::vector<double> row{probe};
+      any_difference |=
+          std::abs(a.predict_row(row) - b.predict_row(row)) > 1e-9;
+    }
+    EXPECT_TRUE(any_difference);
+  }
+}
+
+TEST(M5P, ConstantTargetIsExact) {
+  linalg::Matrix x(30, 1);
+  for (std::size_t i = 0; i < 30; ++i) x(i, 0) = static_cast<double>(i);
+  const std::vector<double> y(30, -2.0);
+  M5P model;
+  model.fit(x, y);
+  EXPECT_NEAR(model.predict_row(std::vector<double>{15.0}), -2.0, 1e-9);
+}
+
+TEST(M5P, SaveLoadPreservesPredictions) {
+  util::Rng rng(9);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_piecewise_linear_data(500, rng, x, y);
+  M5P model;
+  model.fit(x, y);
+  std::stringstream buffer;
+  save_model(model, buffer);
+  const auto loaded = load_model(buffer);
+  EXPECT_EQ(loaded->name(), "m5p");
+  for (double probe : {-1.7, -0.4, 0.0, 0.6, 1.9}) {
+    const std::vector<double> row{probe};
+    EXPECT_NEAR(loaded->predict_row(row), model.predict_row(row), 1e-12);
+  }
+}
+
+TEST(M5P, InvalidOptionsRejected) {
+  M5POptions bad;
+  bad.min_instances = 1;
+  EXPECT_THROW(M5P{bad}, std::invalid_argument);
+  M5POptions bad_k;
+  bad_k.smoothing_k = -1.0;
+  EXPECT_THROW(M5P{bad_k}, std::invalid_argument);
+}
+
+/// Property sweep over min-instances: larger leaves -> fewer leaves, and
+/// every setting still produces a sane model.
+class TreeMinInstancesSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TreeMinInstancesSweep, LeafCountDecreasesWithMinInstances) {
+  util::Rng rng(10);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_step_data(600, rng, x, y);
+  RepTreeOptions options;
+  options.min_instances_per_leaf = GetParam();
+  options.prune = false;
+  RepTree tree(options);
+  tree.fit(x, y);
+  EXPECT_GE(tree.num_leaves(), 1u);
+  RepTreeOptions bigger = options;
+  bigger.min_instances_per_leaf = GetParam() * 4;
+  RepTree coarser(bigger);
+  coarser.fit(x, y);
+  EXPECT_LE(coarser.num_leaves(), tree.num_leaves());
+}
+
+INSTANTIATE_TEST_SUITE_P(MinInstances, TreeMinInstancesSweep,
+                         ::testing::Values(2, 4, 8, 16));
+
+}  // namespace
+}  // namespace f2pm::ml

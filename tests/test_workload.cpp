@@ -1,0 +1,151 @@
+#include "sim/tpcw_workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace f2pm::sim {
+namespace {
+
+/// Test double counting submissions and completing them after a fixed
+/// service delay.
+class RecordingSink final : public RequestSink {
+ public:
+  RecordingSink(Simulator& sim, double service_time)
+      : sim_(sim), service_time_(service_time) {}
+
+  void submit(Interaction interaction,
+              std::function<void(double)> on_complete) override {
+    ++counts_[interaction];
+    ++total_;
+    sim_.schedule_in(service_time_, [cb = std::move(on_complete),
+                                     service = service_time_] {
+      cb(service);
+    });
+  }
+
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] const std::map<Interaction, std::size_t>& counts() const {
+    return counts_;
+  }
+
+ private:
+  Simulator& sim_;
+  double service_time_;
+  std::map<Interaction, std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+TEST(Workload, MixWeightsSumToRoughlyOneHundredPercent) {
+  for (TpcwMix mix :
+       {TpcwMix::kBrowsing, TpcwMix::kShopping, TpcwMix::kOrdering}) {
+    double sum = 0.0;
+    for (double w : mix_weights(mix)) sum += w;
+    EXPECT_NEAR(sum, 100.0, 0.5);
+  }
+}
+
+TEST(Workload, MixesDifferInOrderIntensity) {
+  // Ordering traffic buys far more than browsing traffic.
+  const auto buy = static_cast<std::size_t>(Interaction::kBuyConfirm);
+  EXPECT_GT(mix_weights(TpcwMix::kOrdering)[buy],
+            10.0 * mix_weights(TpcwMix::kBrowsing)[buy]);
+  EXPECT_EQ(&mix_weights(TpcwMix::kBrowsing), &browsing_mix_weights());
+}
+
+TEST(Workload, OrderingMixShiftsTheIssuedTraffic) {
+  Simulator sim;
+  RecordingSink sink(sim, 0.001);
+  util::Rng rng(9);
+  WorkloadConfig config;
+  config.num_browsers = 50;
+  config.think_time_mean = 1.0;
+  config.mix = TpcwMix::kOrdering;
+  BrowserPool pool(sim, sink, config, rng);
+  pool.start();
+  sim.run_until(200.0);
+  ASSERT_GT(sink.total(), 2000u);
+  const double buy_fraction =
+      static_cast<double>(sink.counts().count(Interaction::kBuyConfirm)
+                              ? sink.counts().at(Interaction::kBuyConfirm)
+                              : 0) /
+      static_cast<double>(sink.total());
+  EXPECT_NEAR(buy_fraction, 0.102, 0.03);
+}
+
+TEST(Workload, HomeIsTheMostFrequentInteraction) {
+  const auto& mix = browsing_mix_weights();
+  const double home = mix[static_cast<std::size_t>(Interaction::kHome)];
+  for (double w : mix) EXPECT_LE(w, home);
+}
+
+TEST(Workload, EveryInteractionHasNameAndPositiveDemand) {
+  for (std::size_t i = 0; i < kInteractionCount; ++i) {
+    const auto interaction = static_cast<Interaction>(i);
+    EXPECT_FALSE(interaction_name(interaction).empty());
+    const InteractionDemand demand = interaction_demand(interaction);
+    EXPECT_GT(demand.cpu_seconds, 0.0);
+    EXPECT_GT(demand.io_seconds, 0.0);
+  }
+}
+
+TEST(Workload, BestSellersIsHeavierThanSearchRequest) {
+  // The DB-heavy interactions must dominate the cheap ones, as in TPC-W.
+  EXPECT_GT(interaction_demand(Interaction::kBestSellers).cpu_seconds,
+            interaction_demand(Interaction::kSearchRequest).cpu_seconds);
+}
+
+TEST(BrowserPool, ClosedLoopIssuesAndCompletes) {
+  Simulator sim;
+  RecordingSink sink(sim, 0.05);
+  util::Rng rng(1);
+  WorkloadConfig config;
+  config.num_browsers = 10;
+  config.think_time_mean = 2.0;
+  BrowserPool pool(sim, sink, config, rng);
+  pool.start();
+  sim.run_until(100.0);
+  // ~10 browsers * (100 / ~2.05s cycle) ~ 480 requests; loose bounds.
+  EXPECT_GT(sink.total(), 200u);
+  EXPECT_LT(sink.total(), 1000u);
+  EXPECT_EQ(pool.requests_issued(), sink.total());
+  // Closed loop: responses trail requests by at most the browser count.
+  EXPECT_LE(pool.requests_issued() - pool.responses_received(),
+            config.num_browsers);
+}
+
+TEST(BrowserPool, InteractionFrequenciesFollowTheMix) {
+  Simulator sim;
+  RecordingSink sink(sim, 0.001);
+  util::Rng rng(2);
+  WorkloadConfig config;
+  config.num_browsers = 50;
+  config.think_time_mean = 1.0;
+  BrowserPool pool(sim, sink, config, rng);
+  pool.start();
+  sim.run_until(400.0);
+  ASSERT_GT(sink.total(), 5000u);
+  const double home_fraction =
+      static_cast<double>(sink.counts().at(Interaction::kHome)) /
+      static_cast<double>(sink.total());
+  EXPECT_NEAR(home_fraction, 0.29, 0.03);
+}
+
+TEST(BrowserPool, StopQuiescesTheLoop) {
+  Simulator sim;
+  RecordingSink sink(sim, 0.01);
+  util::Rng rng(3);
+  WorkloadConfig config;
+  config.num_browsers = 5;
+  config.think_time_mean = 1.0;
+  BrowserPool pool(sim, sink, config, rng);
+  pool.start();
+  sim.run_until(20.0);
+  pool.stop();
+  const std::size_t at_stop = pool.requests_issued();
+  sim.run_until(100.0);
+  EXPECT_EQ(pool.requests_issued(), at_stop);
+}
+
+}  // namespace
+}  // namespace f2pm::sim
