@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_learning_curve.dir/ablation_learning_curve.cpp.o"
+  "CMakeFiles/bench_ablation_learning_curve.dir/ablation_learning_curve.cpp.o.d"
+  "ablation_learning_curve"
+  "ablation_learning_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_learning_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_parallel_training.dir/ablation_parallel_training.cpp.o"
+  "CMakeFiles/bench_ablation_parallel_training.dir/ablation_parallel_training.cpp.o.d"
+  "ablation_parallel_training"
+  "ablation_parallel_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_parallel_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_slope_features.dir/ablation_slope_features.cpp.o"
+  "CMakeFiles/bench_ablation_slope_features.dir/ablation_slope_features.cpp.o.d"
+  "ablation_slope_features"
+  "ablation_slope_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_slope_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

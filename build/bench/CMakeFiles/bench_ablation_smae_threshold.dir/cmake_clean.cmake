@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_smae_threshold.dir/ablation_smae_threshold.cpp.o"
+  "CMakeFiles/bench_ablation_smae_threshold.dir/ablation_smae_threshold.cpp.o.d"
+  "ablation_smae_threshold"
+  "ablation_smae_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_smae_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_rt_correlation.dir/fig3_rt_correlation.cpp.o"
+  "CMakeFiles/bench_fig3_rt_correlation.dir/fig3_rt_correlation.cpp.o.d"
+  "fig3_rt_correlation"
+  "fig3_rt_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_rt_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_lasso_path.dir/fig4_lasso_path.cpp.o"
+  "CMakeFiles/bench_fig4_lasso_path.dir/fig4_lasso_path.cpp.o.d"
+  "fig4_lasso_path"
+  "fig4_lasso_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_lasso_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_fitted_models.cpp" "bench/CMakeFiles/bench_fig5_fitted_models.dir/fig5_fitted_models.cpp.o" "gcc" "bench/CMakeFiles/bench_fig5_fitted_models.dir/fig5_fitted_models.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/f2pm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/f2pm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/f2pm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/f2pm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/f2pm_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/f2pm_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/f2pm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

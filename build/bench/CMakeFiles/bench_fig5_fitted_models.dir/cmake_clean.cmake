@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_fitted_models.dir/fig5_fitted_models.cpp.o"
+  "CMakeFiles/bench_fig5_fitted_models.dir/fig5_fitted_models.cpp.o.d"
+  "fig5_fitted_models"
+  "fig5_fitted_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_fitted_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_lasso_weights.dir/table1_lasso_weights.cpp.o"
+  "CMakeFiles/bench_table1_lasso_weights.dir/table1_lasso_weights.cpp.o.d"
+  "table1_lasso_weights"
+  "table1_lasso_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_lasso_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_smae.dir/table2_smae.cpp.o"
+  "CMakeFiles/bench_table2_smae.dir/table2_smae.cpp.o.d"
+  "table2_smae"
+  "table2_smae.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_smae.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

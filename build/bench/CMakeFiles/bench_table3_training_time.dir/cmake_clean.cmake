@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_training_time.dir/table3_training_time.cpp.o"
+  "CMakeFiles/bench_table3_training_time.dir/table3_training_time.cpp.o.d"
+  "table3_training_time"
+  "table3_training_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_training_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

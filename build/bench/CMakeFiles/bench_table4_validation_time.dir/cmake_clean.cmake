@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_validation_time.dir/table4_validation_time.cpp.o"
+  "CMakeFiles/bench_table4_validation_time.dir/table4_validation_time.cpp.o.d"
+  "table4_validation_time"
+  "table4_validation_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_validation_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

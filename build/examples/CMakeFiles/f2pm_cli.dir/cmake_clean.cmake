@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f2pm_cli.dir/f2pm_cli.cpp.o"
+  "CMakeFiles/f2pm_cli.dir/f2pm_cli.cpp.o.d"
+  "f2pm_cli"
+  "f2pm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f2pm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

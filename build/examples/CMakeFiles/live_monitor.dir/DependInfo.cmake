@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/live_monitor.cpp" "examples/CMakeFiles/live_monitor.dir/live_monitor.cpp.o" "gcc" "examples/CMakeFiles/live_monitor.dir/live_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/f2pm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysmon/CMakeFiles/f2pm_sysmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/f2pm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/f2pm_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/f2pm_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/f2pm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

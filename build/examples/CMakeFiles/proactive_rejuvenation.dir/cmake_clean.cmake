@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proactive_rejuvenation.dir/proactive_rejuvenation.cpp.o"
+  "CMakeFiles/proactive_rejuvenation.dir/proactive_rejuvenation.cpp.o.d"
+  "proactive_rejuvenation"
+  "proactive_rejuvenation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proactive_rejuvenation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_monitoring.dir/remote_monitoring.cpp.o"
+  "CMakeFiles/remote_monitoring.dir/remote_monitoring.cpp.o.d"
+  "remote_monitoring"
+  "remote_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

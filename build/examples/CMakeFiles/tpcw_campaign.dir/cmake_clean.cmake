@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcw_campaign.dir/tpcw_campaign.cpp.o"
+  "CMakeFiles/tpcw_campaign.dir/tpcw_campaign.cpp.o.d"
+  "tpcw_campaign"
+  "tpcw_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcw_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

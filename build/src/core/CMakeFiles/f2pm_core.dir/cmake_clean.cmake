@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f2pm_core.dir/failure_condition.cpp.o"
+  "CMakeFiles/f2pm_core.dir/failure_condition.cpp.o.d"
+  "CMakeFiles/f2pm_core.dir/feature_selection.cpp.o"
+  "CMakeFiles/f2pm_core.dir/feature_selection.cpp.o.d"
+  "CMakeFiles/f2pm_core.dir/online.cpp.o"
+  "CMakeFiles/f2pm_core.dir/online.cpp.o.d"
+  "CMakeFiles/f2pm_core.dir/pipeline.cpp.o"
+  "CMakeFiles/f2pm_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/f2pm_core.dir/report.cpp.o"
+  "CMakeFiles/f2pm_core.dir/report.cpp.o.d"
+  "libf2pm_core.a"
+  "libf2pm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f2pm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

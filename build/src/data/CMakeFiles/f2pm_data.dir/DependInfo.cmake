@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/aggregation.cpp" "src/data/CMakeFiles/f2pm_data.dir/aggregation.cpp.o" "gcc" "src/data/CMakeFiles/f2pm_data.dir/aggregation.cpp.o.d"
+  "/root/repo/src/data/arff.cpp" "src/data/CMakeFiles/f2pm_data.dir/arff.cpp.o" "gcc" "src/data/CMakeFiles/f2pm_data.dir/arff.cpp.o.d"
+  "/root/repo/src/data/data_history.cpp" "src/data/CMakeFiles/f2pm_data.dir/data_history.cpp.o" "gcc" "src/data/CMakeFiles/f2pm_data.dir/data_history.cpp.o.d"
+  "/root/repo/src/data/datapoint.cpp" "src/data/CMakeFiles/f2pm_data.dir/datapoint.cpp.o" "gcc" "src/data/CMakeFiles/f2pm_data.dir/datapoint.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/f2pm_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/f2pm_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/standardizer.cpp" "src/data/CMakeFiles/f2pm_data.dir/standardizer.cpp.o" "gcc" "src/data/CMakeFiles/f2pm_data.dir/standardizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/f2pm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/f2pm_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/f2pm_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f2pm_data.dir/aggregation.cpp.o"
+  "CMakeFiles/f2pm_data.dir/aggregation.cpp.o.d"
+  "CMakeFiles/f2pm_data.dir/arff.cpp.o"
+  "CMakeFiles/f2pm_data.dir/arff.cpp.o.d"
+  "CMakeFiles/f2pm_data.dir/data_history.cpp.o"
+  "CMakeFiles/f2pm_data.dir/data_history.cpp.o.d"
+  "CMakeFiles/f2pm_data.dir/datapoint.cpp.o"
+  "CMakeFiles/f2pm_data.dir/datapoint.cpp.o.d"
+  "CMakeFiles/f2pm_data.dir/dataset.cpp.o"
+  "CMakeFiles/f2pm_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/f2pm_data.dir/standardizer.cpp.o"
+  "CMakeFiles/f2pm_data.dir/standardizer.cpp.o.d"
+  "libf2pm_data.a"
+  "libf2pm_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f2pm_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

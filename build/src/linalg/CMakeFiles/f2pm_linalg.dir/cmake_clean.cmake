@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f2pm_linalg.dir/blas.cpp.o"
+  "CMakeFiles/f2pm_linalg.dir/blas.cpp.o.d"
+  "CMakeFiles/f2pm_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/f2pm_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/f2pm_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/f2pm_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/f2pm_linalg.dir/qr.cpp.o"
+  "CMakeFiles/f2pm_linalg.dir/qr.cpp.o.d"
+  "CMakeFiles/f2pm_linalg.dir/solve.cpp.o"
+  "CMakeFiles/f2pm_linalg.dir/solve.cpp.o.d"
+  "CMakeFiles/f2pm_linalg.dir/stats.cpp.o"
+  "CMakeFiles/f2pm_linalg.dir/stats.cpp.o.d"
+  "libf2pm_linalg.a"
+  "libf2pm_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f2pm_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/cross_validation.cpp" "src/ml/CMakeFiles/f2pm_ml.dir/cross_validation.cpp.o" "gcc" "src/ml/CMakeFiles/f2pm_ml.dir/cross_validation.cpp.o.d"
+  "/root/repo/src/ml/ensemble.cpp" "src/ml/CMakeFiles/f2pm_ml.dir/ensemble.cpp.o" "gcc" "src/ml/CMakeFiles/f2pm_ml.dir/ensemble.cpp.o.d"
+  "/root/repo/src/ml/exhaustion_heuristic.cpp" "src/ml/CMakeFiles/f2pm_ml.dir/exhaustion_heuristic.cpp.o" "gcc" "src/ml/CMakeFiles/f2pm_ml.dir/exhaustion_heuristic.cpp.o.d"
+  "/root/repo/src/ml/grid_search.cpp" "src/ml/CMakeFiles/f2pm_ml.dir/grid_search.cpp.o" "gcc" "src/ml/CMakeFiles/f2pm_ml.dir/grid_search.cpp.o.d"
+  "/root/repo/src/ml/kernels.cpp" "src/ml/CMakeFiles/f2pm_ml.dir/kernels.cpp.o" "gcc" "src/ml/CMakeFiles/f2pm_ml.dir/kernels.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/f2pm_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/f2pm_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/lasso.cpp" "src/ml/CMakeFiles/f2pm_ml.dir/lasso.cpp.o" "gcc" "src/ml/CMakeFiles/f2pm_ml.dir/lasso.cpp.o.d"
+  "/root/repo/src/ml/linear_regression.cpp" "src/ml/CMakeFiles/f2pm_ml.dir/linear_regression.cpp.o" "gcc" "src/ml/CMakeFiles/f2pm_ml.dir/linear_regression.cpp.o.d"
+  "/root/repo/src/ml/lssvm.cpp" "src/ml/CMakeFiles/f2pm_ml.dir/lssvm.cpp.o" "gcc" "src/ml/CMakeFiles/f2pm_ml.dir/lssvm.cpp.o.d"
+  "/root/repo/src/ml/m5p.cpp" "src/ml/CMakeFiles/f2pm_ml.dir/m5p.cpp.o" "gcc" "src/ml/CMakeFiles/f2pm_ml.dir/m5p.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/f2pm_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/f2pm_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/model.cpp" "src/ml/CMakeFiles/f2pm_ml.dir/model.cpp.o" "gcc" "src/ml/CMakeFiles/f2pm_ml.dir/model.cpp.o.d"
+  "/root/repo/src/ml/registry.cpp" "src/ml/CMakeFiles/f2pm_ml.dir/registry.cpp.o" "gcc" "src/ml/CMakeFiles/f2pm_ml.dir/registry.cpp.o.d"
+  "/root/repo/src/ml/reptree.cpp" "src/ml/CMakeFiles/f2pm_ml.dir/reptree.cpp.o" "gcc" "src/ml/CMakeFiles/f2pm_ml.dir/reptree.cpp.o.d"
+  "/root/repo/src/ml/ridge.cpp" "src/ml/CMakeFiles/f2pm_ml.dir/ridge.cpp.o" "gcc" "src/ml/CMakeFiles/f2pm_ml.dir/ridge.cpp.o.d"
+  "/root/repo/src/ml/state_classifier.cpp" "src/ml/CMakeFiles/f2pm_ml.dir/state_classifier.cpp.o" "gcc" "src/ml/CMakeFiles/f2pm_ml.dir/state_classifier.cpp.o.d"
+  "/root/repo/src/ml/svr.cpp" "src/ml/CMakeFiles/f2pm_ml.dir/svr.cpp.o" "gcc" "src/ml/CMakeFiles/f2pm_ml.dir/svr.cpp.o.d"
+  "/root/repo/src/ml/tree_common.cpp" "src/ml/CMakeFiles/f2pm_ml.dir/tree_common.cpp.o" "gcc" "src/ml/CMakeFiles/f2pm_ml.dir/tree_common.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/f2pm_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/f2pm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/f2pm_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/f2pm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

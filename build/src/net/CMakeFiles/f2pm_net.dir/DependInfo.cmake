@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/fmc.cpp" "src/net/CMakeFiles/f2pm_net.dir/fmc.cpp.o" "gcc" "src/net/CMakeFiles/f2pm_net.dir/fmc.cpp.o.d"
+  "/root/repo/src/net/fms.cpp" "src/net/CMakeFiles/f2pm_net.dir/fms.cpp.o" "gcc" "src/net/CMakeFiles/f2pm_net.dir/fms.cpp.o.d"
+  "/root/repo/src/net/protocol.cpp" "src/net/CMakeFiles/f2pm_net.dir/protocol.cpp.o" "gcc" "src/net/CMakeFiles/f2pm_net.dir/protocol.cpp.o.d"
+  "/root/repo/src/net/socket.cpp" "src/net/CMakeFiles/f2pm_net.dir/socket.cpp.o" "gcc" "src/net/CMakeFiles/f2pm_net.dir/socket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/f2pm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/f2pm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/f2pm_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/f2pm_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f2pm_net.dir/fmc.cpp.o"
+  "CMakeFiles/f2pm_net.dir/fmc.cpp.o.d"
+  "CMakeFiles/f2pm_net.dir/fms.cpp.o"
+  "CMakeFiles/f2pm_net.dir/fms.cpp.o.d"
+  "CMakeFiles/f2pm_net.dir/protocol.cpp.o"
+  "CMakeFiles/f2pm_net.dir/protocol.cpp.o.d"
+  "CMakeFiles/f2pm_net.dir/socket.cpp.o"
+  "CMakeFiles/f2pm_net.dir/socket.cpp.o.d"
+  "libf2pm_net.a"
+  "libf2pm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f2pm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f2pm_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/f2pm_parallel.dir/thread_pool.cpp.o.d"
+  "libf2pm_parallel.a"
+  "libf2pm_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f2pm_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

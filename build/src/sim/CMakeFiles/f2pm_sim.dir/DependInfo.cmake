@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/anomalies.cpp" "src/sim/CMakeFiles/f2pm_sim.dir/anomalies.cpp.o" "gcc" "src/sim/CMakeFiles/f2pm_sim.dir/anomalies.cpp.o.d"
+  "/root/repo/src/sim/campaign.cpp" "src/sim/CMakeFiles/f2pm_sim.dir/campaign.cpp.o" "gcc" "src/sim/CMakeFiles/f2pm_sim.dir/campaign.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/f2pm_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/f2pm_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/monitor.cpp" "src/sim/CMakeFiles/f2pm_sim.dir/monitor.cpp.o" "gcc" "src/sim/CMakeFiles/f2pm_sim.dir/monitor.cpp.o.d"
+  "/root/repo/src/sim/resources.cpp" "src/sim/CMakeFiles/f2pm_sim.dir/resources.cpp.o" "gcc" "src/sim/CMakeFiles/f2pm_sim.dir/resources.cpp.o.d"
+  "/root/repo/src/sim/server.cpp" "src/sim/CMakeFiles/f2pm_sim.dir/server.cpp.o" "gcc" "src/sim/CMakeFiles/f2pm_sim.dir/server.cpp.o.d"
+  "/root/repo/src/sim/tpcw_workload.cpp" "src/sim/CMakeFiles/f2pm_sim.dir/tpcw_workload.cpp.o" "gcc" "src/sim/CMakeFiles/f2pm_sim.dir/tpcw_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/f2pm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/f2pm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/f2pm_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/f2pm_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

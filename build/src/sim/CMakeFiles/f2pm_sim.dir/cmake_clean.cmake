@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f2pm_sim.dir/anomalies.cpp.o"
+  "CMakeFiles/f2pm_sim.dir/anomalies.cpp.o.d"
+  "CMakeFiles/f2pm_sim.dir/campaign.cpp.o"
+  "CMakeFiles/f2pm_sim.dir/campaign.cpp.o.d"
+  "CMakeFiles/f2pm_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/f2pm_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/f2pm_sim.dir/monitor.cpp.o"
+  "CMakeFiles/f2pm_sim.dir/monitor.cpp.o.d"
+  "CMakeFiles/f2pm_sim.dir/resources.cpp.o"
+  "CMakeFiles/f2pm_sim.dir/resources.cpp.o.d"
+  "CMakeFiles/f2pm_sim.dir/server.cpp.o"
+  "CMakeFiles/f2pm_sim.dir/server.cpp.o.d"
+  "CMakeFiles/f2pm_sim.dir/tpcw_workload.cpp.o"
+  "CMakeFiles/f2pm_sim.dir/tpcw_workload.cpp.o.d"
+  "libf2pm_sim.a"
+  "libf2pm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f2pm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sysmon/proc_parser.cpp" "src/sysmon/CMakeFiles/f2pm_sysmon.dir/proc_parser.cpp.o" "gcc" "src/sysmon/CMakeFiles/f2pm_sysmon.dir/proc_parser.cpp.o.d"
+  "/root/repo/src/sysmon/proc_source.cpp" "src/sysmon/CMakeFiles/f2pm_sysmon.dir/proc_source.cpp.o" "gcc" "src/sysmon/CMakeFiles/f2pm_sysmon.dir/proc_source.cpp.o.d"
+  "/root/repo/src/sysmon/real_injectors.cpp" "src/sysmon/CMakeFiles/f2pm_sysmon.dir/real_injectors.cpp.o" "gcc" "src/sysmon/CMakeFiles/f2pm_sysmon.dir/real_injectors.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/f2pm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/f2pm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/f2pm_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/f2pm_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

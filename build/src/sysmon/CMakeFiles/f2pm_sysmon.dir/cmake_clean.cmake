@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f2pm_sysmon.dir/proc_parser.cpp.o"
+  "CMakeFiles/f2pm_sysmon.dir/proc_parser.cpp.o.d"
+  "CMakeFiles/f2pm_sysmon.dir/proc_source.cpp.o"
+  "CMakeFiles/f2pm_sysmon.dir/proc_source.cpp.o.d"
+  "CMakeFiles/f2pm_sysmon.dir/real_injectors.cpp.o"
+  "CMakeFiles/f2pm_sysmon.dir/real_injectors.cpp.o.d"
+  "libf2pm_sysmon.a"
+  "libf2pm_sysmon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f2pm_sysmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f2pm_util.dir/config.cpp.o"
+  "CMakeFiles/f2pm_util.dir/config.cpp.o.d"
+  "CMakeFiles/f2pm_util.dir/csv.cpp.o"
+  "CMakeFiles/f2pm_util.dir/csv.cpp.o.d"
+  "CMakeFiles/f2pm_util.dir/logging.cpp.o"
+  "CMakeFiles/f2pm_util.dir/logging.cpp.o.d"
+  "CMakeFiles/f2pm_util.dir/rng.cpp.o"
+  "CMakeFiles/f2pm_util.dir/rng.cpp.o.d"
+  "CMakeFiles/f2pm_util.dir/serialization.cpp.o"
+  "CMakeFiles/f2pm_util.dir/serialization.cpp.o.d"
+  "CMakeFiles/f2pm_util.dir/string_util.cpp.o"
+  "CMakeFiles/f2pm_util.dir/string_util.cpp.o.d"
+  "libf2pm_util.a"
+  "libf2pm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f2pm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

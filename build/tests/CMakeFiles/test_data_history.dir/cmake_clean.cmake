@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_history.dir/test_data_history.cpp.o"
+  "CMakeFiles/test_data_history.dir/test_data_history.cpp.o.d"
+  "test_data_history"
+  "test_data_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

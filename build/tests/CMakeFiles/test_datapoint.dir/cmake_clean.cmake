@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datapoint.dir/test_datapoint.cpp.o"
+  "CMakeFiles/test_datapoint.dir/test_datapoint.cpp.o.d"
+  "test_datapoint"
+  "test_datapoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datapoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

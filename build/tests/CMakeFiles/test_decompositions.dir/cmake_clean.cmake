@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decompositions.dir/test_decompositions.cpp.o"
+  "CMakeFiles/test_decompositions.dir/test_decompositions.cpp.o.d"
+  "test_decompositions"
+  "test_decompositions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decompositions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failure_condition.dir/test_failure_condition.cpp.o"
+  "CMakeFiles/test_failure_condition.dir/test_failure_condition.cpp.o.d"
+  "test_failure_condition"
+  "test_failure_condition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failure_condition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

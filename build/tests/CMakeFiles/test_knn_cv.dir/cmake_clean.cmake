@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_knn_cv.dir/test_knn_cv.cpp.o"
+  "CMakeFiles/test_knn_cv.dir/test_knn_cv.cpp.o.d"
+  "test_knn_cv"
+  "test_knn_cv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_knn_cv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lasso.dir/test_lasso.cpp.o"
+  "CMakeFiles/test_lasso.dir/test_lasso.cpp.o.d"
+  "test_lasso"
+  "test_lasso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lasso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linear_models.dir/test_linear_models.cpp.o"
+  "CMakeFiles/test_linear_models.dir/test_linear_models.cpp.o.d"
+  "test_linear_models"
+  "test_linear_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linear_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logging_timer.dir/test_logging_timer.cpp.o"
+  "CMakeFiles/test_logging_timer.dir/test_logging_timer.cpp.o.d"
+  "test_logging_timer"
+  "test_logging_timer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logging_timer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

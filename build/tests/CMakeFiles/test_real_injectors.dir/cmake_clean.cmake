@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_real_injectors.dir/test_real_injectors.cpp.o"
+  "CMakeFiles/test_real_injectors.dir/test_real_injectors.cpp.o.d"
+  "test_real_injectors"
+  "test_real_injectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_real_injectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
