@@ -1,0 +1,338 @@
+// SVR training scaling: seed dense-matrix SMO vs the kernel-row-cache
+// solver, with and without shrinking. The seed solver (verbatim algorithm,
+// compact copy below) precomputes the full n x n kernel matrix; the new
+// solver computes rows on demand through an LRU cache, so its kernel
+// storage is bounded by the budget while the dense baseline grows as n².
+//
+// Emits BENCH_svr_smo.json next to the binary: per-config training time,
+// iterations, kernel storage and validation MAE, plus the speedup of the
+// cached+shrinking solver over the seed at the largest n.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "data/standardizer.hpp"
+#include "ml/kernels.hpp"
+#include "ml/metrics.hpp"
+#include "ml/svr.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace f2pm;
+
+constexpr std::size_t kFeatures = 8;
+
+void make_data(std::size_t n, util::Rng& rng, linalg::Matrix& x,
+               std::vector<double>& y) {
+  x = linalg::Matrix(n, kFeatures);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < kFeatures; ++c) {
+      x(i, c) = rng.uniform(-2.0, 2.0);
+    }
+    y[i] = std::sin(x(i, 0)) + 0.4 * x(i, 1) * x(i, 1) - 0.6 * x(i, 2) +
+           0.2 * x(i, 3) * x(i, 4) + rng.normal(0.0, 0.05);
+  }
+}
+
+ml::SvrOptions bench_options() {
+  ml::SvrOptions options;
+  options.c = 5.0;
+  options.epsilon = 0.05;
+  options.kernel.gamma = 0.25;
+  options.tolerance = 1e-3;
+  return options;
+}
+
+/// The growth-seed SMO solver, kept verbatim as the baseline: precomputed
+/// dense kernel matrix, WSS-1, no cache, no shrinking.
+struct DenseSeedSvr {
+  ml::KernelParams kernel;
+  data::Standardizer input_scaler;
+  data::TargetScaler target_scaler;
+  linalg::Matrix support;
+  std::vector<double> theta;
+  double bias = 0.0;
+  std::size_t iterations = 0;
+
+  void fit(const linalg::Matrix& x_raw, const std::vector<double>& y_raw,
+           const ml::SvrOptions& options) {
+    input_scaler = data::Standardizer::fit(x_raw);
+    target_scaler = data::TargetScaler::fit(y_raw);
+    const linalg::Matrix x = input_scaler.transform(x_raw);
+    const std::vector<double> y = target_scaler.transform(y_raw);
+    kernel = options.kernel;
+    kernel.gamma = ml::resolve_gamma(options.kernel, x.cols());
+    const std::size_t n = x.rows();
+    const double c = options.c;
+    const double eps = options.epsilon;
+    const linalg::Matrix k = ml::kernel_matrix(kernel, x);
+    const std::size_t size = 2 * n;
+    std::vector<double> alpha(size, 0.0);
+    std::vector<double> grad(size);
+    for (std::size_t i = 0; i < n; ++i) {
+      grad[i] = eps - y[i];
+      grad[n + i] = eps + y[i];
+    }
+    auto sign_of = [n](std::size_t t) { return t < n ? 1.0 : -1.0; };
+    auto base_of = [n](std::size_t t) { return t < n ? t : t - n; };
+    iterations = 0;
+    while (iterations < options.max_iterations) {
+      double m_up = -std::numeric_limits<double>::infinity();
+      double m_low = std::numeric_limits<double>::infinity();
+      std::size_t i = size;
+      std::size_t j = size;
+      for (std::size_t t = 0; t < size; ++t) {
+        const double s = sign_of(t);
+        const double score = -s * grad[t];
+        const bool in_up =
+            (s > 0.0 && alpha[t] < c) || (s < 0.0 && alpha[t] > 0.0);
+        const bool in_low =
+            (s < 0.0 && alpha[t] < c) || (s > 0.0 && alpha[t] > 0.0);
+        if (in_up && score > m_up) {
+          m_up = score;
+          i = t;
+        }
+        if (in_low && score < m_low) {
+          m_low = score;
+          j = t;
+        }
+      }
+      if (i == size || j == size || m_up - m_low < options.tolerance) break;
+      const double si = sign_of(i);
+      const double sj = sign_of(j);
+      const std::size_t bi = base_of(i);
+      const std::size_t bj = base_of(j);
+      const double kii = k(bi, bi);
+      const double kjj = k(bj, bj);
+      const double kij = k(bi, bj);
+      const double old_ai = alpha[i];
+      const double old_aj = alpha[j];
+      if (si != sj) {
+        double quad = kii + kjj + 2.0 * kij;
+        if (quad <= 0.0) quad = 1e-12;
+        const double delta = (-grad[i] - grad[j]) / quad;
+        const double diff = alpha[i] - alpha[j];
+        alpha[i] += delta;
+        alpha[j] += delta;
+        if (diff > 0.0 && alpha[j] < 0.0) {
+          alpha[j] = 0.0;
+          alpha[i] = diff;
+        } else if (diff <= 0.0 && alpha[i] < 0.0) {
+          alpha[i] = 0.0;
+          alpha[j] = -diff;
+        }
+        if (diff > 0.0 && alpha[i] > c) {
+          alpha[i] = c;
+          alpha[j] = c - diff;
+        } else if (diff <= 0.0 && alpha[j] > c) {
+          alpha[j] = c;
+          alpha[i] = c + diff;
+        }
+      } else {
+        double quad = kii + kjj - 2.0 * kij;
+        if (quad <= 0.0) quad = 1e-12;
+        const double delta = (grad[i] - grad[j]) / quad;
+        const double sum = alpha[i] + alpha[j];
+        alpha[i] -= delta;
+        alpha[j] += delta;
+        if (sum > c && alpha[i] > c) {
+          alpha[i] = c;
+          alpha[j] = sum - c;
+        } else if (sum <= c && alpha[j] < 0.0) {
+          alpha[j] = 0.0;
+          alpha[i] = sum;
+        }
+        if (sum > c && alpha[j] > c) {
+          alpha[j] = c;
+          alpha[i] = sum - c;
+        } else if (sum <= c && alpha[i] < 0.0) {
+          alpha[i] = 0.0;
+          alpha[j] = sum;
+        }
+      }
+      const double delta_i = alpha[i] - old_ai;
+      const double delta_j = alpha[j] - old_aj;
+      if (delta_i == 0.0 && delta_j == 0.0) {
+        ++iterations;
+        continue;
+      }
+      for (std::size_t t = 0; t < size; ++t) {
+        const std::size_t bt = base_of(t);
+        grad[t] += sign_of(t) *
+                   (si * k(bt, bi) * delta_i + sj * k(bt, bj) * delta_j);
+      }
+      ++iterations;
+    }
+    theta.resize(n);
+    for (std::size_t t = 0; t < n; ++t) theta[t] = alpha[t] - alpha[n + t];
+    std::vector<double> g(n, 0.0);
+    for (std::size_t col = 0; col < n; ++col) {
+      if (theta[col] == 0.0) continue;
+      for (std::size_t row = 0; row < n; ++row) {
+        g[row] += theta[col] * k(row, col);
+      }
+    }
+    double free_sum = 0.0;
+    std::size_t free_count = 0;
+    for (std::size_t t = 0; t < n; ++t) {
+      if (alpha[t] > 0.0 && alpha[t] < c) {
+        free_sum += y[t] - eps - g[t];
+        ++free_count;
+      }
+      if (alpha[n + t] > 0.0 && alpha[n + t] < c) {
+        free_sum += y[t] + eps - g[t];
+        ++free_count;
+      }
+    }
+    bias = free_count > 0 ? free_sum / static_cast<double>(free_count) : 0.0;
+    support = x;
+  }
+
+  [[nodiscard]] std::vector<double> predict(const linalg::Matrix& x) const {
+    const linalg::Matrix scaled = input_scaler.transform(x);
+    std::vector<double> out(scaled.rows());
+    for (std::size_t r = 0; r < scaled.rows(); ++r) {
+      double value = bias;
+      for (std::size_t s = 0; s < support.rows(); ++s) {
+        if (theta[s] == 0.0) continue;
+        value +=
+            theta[s] * ml::kernel_value(kernel, support.row(s), scaled.row(r));
+      }
+      out[r] = target_scaler.inverse(value);
+    }
+    return out;
+  }
+};
+
+struct Result {
+  std::size_t n = 0;
+  std::string impl;
+  double train_seconds = 0.0;
+  std::size_t kernel_bytes = 0;
+  std::size_t iterations = 0;
+  double mae = 0.0;
+};
+
+Result run_seed(const linalg::Matrix& x, const std::vector<double>& y,
+                const linalg::Matrix& x_val, const std::vector<double>& y_val) {
+  Result r;
+  r.n = x.rows();
+  r.impl = "seed_dense";
+  DenseSeedSvr model;
+  r.train_seconds = util::timed([&] { model.fit(x, y, bench_options()); });
+  r.kernel_bytes = x.rows() * x.rows() * sizeof(double);
+  r.iterations = model.iterations;
+  r.mae = ml::mean_absolute_error(model.predict(x_val), y_val);
+  return r;
+}
+
+Result run_cached(const linalg::Matrix& x, const std::vector<double>& y,
+                  const linalg::Matrix& x_val,
+                  const std::vector<double>& y_val, bool shrinking,
+                  std::size_t cache_bytes, const std::string& impl) {
+  Result r;
+  r.n = x.rows();
+  r.impl = impl;
+  ml::SvrOptions options = bench_options();
+  options.shrinking = shrinking;
+  options.cache_bytes = cache_bytes;
+  ml::KernelSvr model(options);
+  r.train_seconds = util::timed([&] { model.fit(x, y); });
+  r.kernel_bytes = model.cache_stats().peak_bytes;
+  r.iterations = model.iterations_used();
+  r.mae = ml::mean_absolute_error(model.predict(x_val), y_val);
+  return r;
+}
+
+void write_json(const std::vector<Result>& results, double speedup,
+                std::size_t max_n) {
+  std::FILE* out = std::fopen("BENCH_svr_smo.json", "w");
+  if (out == nullptr) return;
+  std::fprintf(out, "{\n  \"bench\": \"svr_smo_scaling\",\n");
+  std::fprintf(out, "  \"tolerance\": %.1e,\n", bench_options().tolerance);
+  std::fprintf(out, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(out,
+                 "    {\"n\": %zu, \"impl\": \"%s\", \"train_seconds\": %.6f, "
+                 "\"kernel_bytes\": %zu, \"iterations\": %zu, \"mae\": %.6f}%s\n",
+                 r.n, r.impl.c_str(), r.train_seconds, r.kernel_bytes,
+                 r.iterations, r.mae, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"speedup_at_max_n\": {\"n\": %zu, \"value\": %.3f}\n",
+               max_n, speedup);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+}
+
+void run_all() {
+  // Synthetic fixture (not the shared campaign study): SVR scaling needs
+  // controlled n, which the fixed 70/30 split cannot provide.
+  std::printf(
+      "== F2PM perf: SVR SMO scaling - dense seed vs kernel-row cache ==\n");
+  std::printf(
+      "synthetic regression, %zu features, validation on 400 held-out rows, "
+      "tolerance %.0e\n\n",
+      kFeatures, bench_options().tolerance);
+  std::printf("%-8s%-16s%-16s%-16s%-14s%-10s\n", "n", "impl",
+              "train (s)", "kernel (KB)", "iterations", "mae");
+  std::printf("%s\n", std::string(80, '-').c_str());
+  std::vector<Result> results;
+  const std::vector<std::size_t> sizes{500, 1000, 2000};
+  double seed_at_max = 0.0;
+  double cached_at_max = 0.0;
+  for (std::size_t n : sizes) {
+    util::Rng rng(2015);
+    linalg::Matrix x;
+    std::vector<double> y;
+    make_data(n, rng, x, y);
+    linalg::Matrix x_val;
+    std::vector<double> y_val;
+    make_data(400, rng, x_val, y_val);
+    // Tight budget: 1/8 of the dense matrix, so the cache is genuinely
+    // partial and eviction/recompute churn shows up in the numbers.
+    const std::size_t tight_budget = std::max<std::size_t>(
+        2 * n * sizeof(double), n * n * sizeof(double) / 8);
+    const std::size_t default_budget = ml::SvrOptions{}.cache_bytes;
+    const Result seed = run_seed(x, y, x_val, y_val);
+    const Result full =
+        run_cached(x, y, x_val, y_val, false, default_budget, "cache_full");
+    const Result shrink =
+        run_cached(x, y, x_val, y_val, true, default_budget, "cache_shrink");
+    const Result tight =
+        run_cached(x, y, x_val, y_val, true, tight_budget, "cache_tight");
+    for (const Result& r : {seed, full, shrink, tight}) {
+      std::printf("%-8zu%-16s%-16.4f%-16.1f%-14zu%-10.5f\n", r.n,
+                  r.impl.c_str(), r.train_seconds,
+                  static_cast<double>(r.kernel_bytes) / 1024.0, r.iterations,
+                  r.mae);
+      results.push_back(r);
+    }
+    if (n == sizes.back()) {
+      seed_at_max = seed.train_seconds;
+      cached_at_max = shrink.train_seconds;
+    }
+  }
+  const double speedup =
+      cached_at_max > 0.0 ? seed_at_max / cached_at_max : 0.0;
+  std::printf("\nspeedup at n=%zu (seed_dense / cache_shrink): %.2fx\n\n",
+              sizes.back(), speedup);
+  write_json(results, speedup, sizes.back());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

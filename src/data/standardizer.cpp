@@ -20,6 +20,24 @@ Standardizer Standardizer::fit(const linalg::Matrix& x) {
   return s;
 }
 
+Standardizer Standardizer::from_moments(std::vector<double> means,
+                                        std::vector<double> scales) {
+  if (means.size() != scales.size()) {
+    throw std::invalid_argument(
+        "Standardizer::from_moments: means/scales size mismatch");
+  }
+  for (double scale : scales) {
+    if (!(scale > 0.0)) {
+      throw std::invalid_argument(
+          "Standardizer::from_moments: scales must be > 0");
+    }
+  }
+  Standardizer s;
+  s.means_ = std::move(means);
+  s.scales_ = std::move(scales);
+  return s;
+}
+
 linalg::Matrix Standardizer::transform(const linalg::Matrix& x) const {
   if (x.cols() != means_.size()) {
     throw std::invalid_argument("Standardizer::transform: column mismatch");

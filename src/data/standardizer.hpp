@@ -19,6 +19,14 @@ class Standardizer {
   /// transform maps them to 0 instead of dividing by zero.
   static Standardizer fit(const linalg::Matrix& x);
 
+  /// Rebuilds a standardizer from serialized moments, exactly. Model
+  /// deserialization must use this rather than refitting on synthetic
+  /// mean ± scale rows: the refit loses clamped scales of constant columns
+  /// and cancels tiny scales against large means. Throws
+  /// std::invalid_argument on size mismatch or non-positive scales.
+  static Standardizer from_moments(std::vector<double> means,
+                                   std::vector<double> scales);
+
   /// (x - mean) / stddev, column-wise. Throws on column-count mismatch.
   [[nodiscard]] linalg::Matrix transform(const linalg::Matrix& x) const;
 

@@ -1,5 +1,6 @@
 #include "linalg/blas.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
@@ -57,8 +58,30 @@ std::vector<double> gemv_transposed(const Matrix& a,
     throw std::invalid_argument("gemv_transposed: dimension mismatch");
   }
   std::vector<double> y(a.cols(), 0.0);
-  for (std::size_t r = 0; r < a.rows(); ++r) {
-    axpy(x[r], a.row(r), y);
+  constexpr std::size_t kParallelThreshold = 512;
+  if (a.rows() * a.cols() < kParallelThreshold * 8) {
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+      axpy(x[r], a.row(r), y);
+    }
+    return y;
+  }
+  // Aᵀx is a sum over rows, so concurrent chunks need private accumulators.
+  // The partials are merged in chunk order, which keeps the result
+  // independent of task scheduling (it depends only on the chunk layout).
+  auto& pool = parallel::ThreadPool::global();
+  const std::size_t num_chunks =
+      std::min(a.rows(), pool.num_threads() * std::size_t{4});
+  Matrix partials(num_chunks, a.cols());
+  parallel::parallel_for(pool, 0, num_chunks, [&](std::size_t c) {
+    const std::size_t lo = c * a.rows() / num_chunks;
+    const std::size_t hi = (c + 1) * a.rows() / num_chunks;
+    auto partial = partials.row(c);
+    for (std::size_t r = lo; r < hi; ++r) {
+      axpy(x[r], a.row(r), partial);
+    }
+  });
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    axpy(1.0, partials.row(c), y);
   }
   return y;
 }
@@ -92,12 +115,37 @@ Matrix gemm(const Matrix& a, const Matrix& b) {
 Matrix gram(const Matrix& a) {
   const std::size_t n = a.cols();
   Matrix g(n, n);
-  for (std::size_t r = 0; r < a.rows(); ++r) {
-    const auto row = a.row(r);
-    for (std::size_t i = 0; i < n; ++i) {
-      const double v = row[i];
-      if (v == 0.0) continue;
-      for (std::size_t j = i; j < n; ++j) g(i, j) += v * row[j];
+  auto accumulate_rows = [&a, n](std::size_t lo, std::size_t hi, Matrix& out) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      const auto row = a.row(r);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double v = row[i];
+        if (v == 0.0) continue;
+        for (std::size_t j = i; j < n; ++j) out(i, j) += v * row[j];
+      }
+    }
+  };
+  constexpr std::size_t kParallelFlops = 1u << 16;
+  if (a.rows() * n * n < kParallelFlops) {
+    accumulate_rows(0, a.rows(), g);
+  } else {
+    // AᵀA sums rank-1 contributions over rows; chunks accumulate into
+    // private upper-triangular partials that are merged in chunk order, so
+    // the result does not depend on task scheduling. Chunk count is capped
+    // at the worker count to bound the n x n partial storage.
+    auto& pool = parallel::ThreadPool::global();
+    const std::size_t num_chunks = std::min(a.rows(), pool.num_threads());
+    std::vector<Matrix> partials(num_chunks);
+    parallel::parallel_for(pool, 0, num_chunks, [&](std::size_t c) {
+      const std::size_t lo = c * a.rows() / num_chunks;
+      const std::size_t hi = (c + 1) * a.rows() / num_chunks;
+      partials[c] = Matrix(n, n);
+      accumulate_rows(lo, hi, partials[c]);
+    });
+    for (const Matrix& partial : partials) {
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) g(i, j) += partial(i, j);
+      }
     }
   }
   for (std::size_t i = 0; i < n; ++i) {

@@ -26,11 +26,15 @@ struct CrossValidationResult {
 
 /// Runs k-fold CV. `factory` builds a fresh unfitted model per fold.
 /// Rows are shuffled once with `rng`; each fold serves as validation once.
-/// Throws std::invalid_argument when k < 2 or the data has fewer than k
-/// rows.
+/// With `parallel` set, folds run concurrently on the global thread pool;
+/// `factory` must then be callable from multiple threads at once. Results
+/// are written by fold index and aggregated in fold order, so the outcome
+/// is bitwise-identical to the serial run for the same `rng` state,
+/// regardless of thread count. Throws std::invalid_argument when k < 2 or
+/// the data has fewer than k rows.
 CrossValidationResult k_fold_cross_validation(
     const std::function<std::unique_ptr<Regressor>()>& factory,
     const linalg::Matrix& x, std::span<const double> y, std::size_t k,
-    util::Rng& rng, double soft_threshold);
+    util::Rng& rng, double soft_threshold, bool parallel = false);
 
 }  // namespace f2pm::ml

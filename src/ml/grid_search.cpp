@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "ml/registry.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace f2pm::ml {
 
@@ -34,22 +35,37 @@ GridSearchResult grid_search(const std::string& name,
                              const linalg::Matrix& x,
                              std::span<const double> y, std::size_t folds,
                              util::Rng& rng, double soft_threshold,
-                             const util::Config& base) {
+                             const util::Config& base, bool parallel) {
   GridSearchResult result;
   // A fixed fold assignment across grid points makes the comparison fair:
-  // derive one child RNG and reuse its seed for every point.
+  // derive one child RNG and reuse its seed for every point. It also makes
+  // the parallel path deterministic: each point owns a private Rng seeded
+  // identically, writes only its own slot, and the stable sort below sees
+  // the same enumeration order either way.
   const std::uint64_t fold_seed = rng();
-  for (const auto& params : enumerate_grid(grid, base)) {
+  const std::vector<util::Config> configs = enumerate_grid(grid, base);
+  result.points.resize(configs.size());
+  const auto run_point = [&](std::size_t index) {
+    const util::Config& params = configs[index];
     util::Rng fold_rng(fold_seed);
     const CrossValidationResult cv = k_fold_cross_validation(
         [&name, &params] { return make_model(name, params); }, x, y, folds,
         fold_rng, soft_threshold);
-    GridPoint point;
+    GridPoint& point = result.points[index];
     point.params = params;
     point.mean_mae = cv.mean_mae;
     point.std_mae = cv.std_mae;
+    point.mean_soft_mae = cv.mean_soft_mae;
+    point.mean_rae = cv.mean_rae;
     point.mean_training_seconds = cv.mean_training_seconds;
-    result.points.push_back(std::move(point));
+  };
+  if (parallel) {
+    parallel::parallel_for(parallel::ThreadPool::global(), 0, configs.size(),
+                           run_point);
+  } else {
+    for (std::size_t index = 0; index < configs.size(); ++index) {
+      run_point(index);
+    }
   }
   std::stable_sort(result.points.begin(), result.points.end(),
                    [](const GridPoint& a, const GridPoint& b) {

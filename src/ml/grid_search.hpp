@@ -22,6 +22,8 @@ struct GridPoint {
   util::Config params;
   double mean_mae = 0.0;
   double std_mae = 0.0;
+  double mean_soft_mae = 0.0;
+  double mean_rae = 0.0;
   double mean_training_seconds = 0.0;
 };
 
@@ -34,13 +36,18 @@ struct GridSearchResult {
 
 /// Exhaustively evaluates the cartesian product of `grid` for model
 /// `name` with k-fold CV. `base` supplies values for keys not in the
-/// grid. Throws std::invalid_argument on an empty grid dimension.
+/// grid. With `parallel` set, grid points run concurrently on the global
+/// thread pool; every point reuses the same fold seed either way, so the
+/// result (points, order, statistics) is bitwise-identical to the serial
+/// run for the same `rng` state. Throws std::invalid_argument on an empty
+/// grid dimension.
 GridSearchResult grid_search(const std::string& name,
                              const ParameterGrid& grid,
                              const linalg::Matrix& x,
                              std::span<const double> y, std::size_t folds,
                              util::Rng& rng, double soft_threshold,
-                             const util::Config& base = {});
+                             const util::Config& base = {},
+                             bool parallel = false);
 
 /// Enumerates the cartesian product of a grid as Config overlays (exposed
 /// for tests and for custom search loops).

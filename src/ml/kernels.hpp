@@ -44,6 +44,20 @@ linalg::Matrix kernel_matrix(const KernelParams& params,
                              const linalg::Matrix& a,
                              const linalg::Matrix& b);
 
+/// Per-row squared Euclidean norms ||x_i||², precomputed once so RBF rows
+/// reduce to a dot-product pass plus a separate vectorizable exp pass
+/// (||a - b||² = ||a||² + ||b||² - 2 a·b).
+std::vector<double> row_squared_norms(const linalg::Matrix& x);
+
+/// Writes K(i, j) for every row j of x into `out` (out.size() must equal
+/// x.rows()). `row_norms` must be row_squared_norms(x); it is only read by
+/// the RBF kernel. Specialised per kernel type — the transcendental is
+/// hoisted out of the distance loop — and parallel over column blocks for
+/// large n. This is the on-demand primitive under KernelRowCache.
+void kernel_row(const KernelParams& params, const linalg::Matrix& x,
+                std::size_t i, std::span<const double> row_norms,
+                std::span<double> out);
+
 /// Resolves gamma <= 0 to the 1/num_features default.
 double resolve_gamma(const KernelParams& params, std::size_t num_features);
 

@@ -95,12 +95,7 @@ std::unique_ptr<KnnRegressor> KnnRegressor::load(util::BinaryReader& reader) {
       scales.size() != model->num_inputs_) {
     throw std::runtime_error("KnnRegressor::load: bad scaler data");
   }
-  linalg::Matrix synth(2, model->num_inputs_);
-  for (std::size_t c = 0; c < model->num_inputs_; ++c) {
-    synth(0, c) = means[c] - scales[c];
-    synth(1, c) = means[c] + scales[c];
-  }
-  model->input_scaler_ = data::Standardizer::fit(synth);
+  model->input_scaler_ = data::Standardizer::from_moments(means, scales);
   model->fitted_ = true;
   return model;
 }

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "linalg/blas.hpp"
 #include "linalg/solve.hpp"
 
 namespace f2pm::ml {
@@ -26,18 +27,20 @@ void LsSvm::fit(const linalg::Matrix& x_raw, std::span<const double> y_raw) {
   fitted_kernel_.gamma = resolve_gamma(options_.kernel, support_.cols());
 
   const std::size_t n = support_.rows();
-  const linalg::Matrix k = kernel_matrix(fitted_kernel_, support_);
-  // Bordered system: row/col 0 is the bias, the rest is K + I/γ.
+  // Bordered system: row/col 0 is the bias, the rest is K + I/γ. Kernel
+  // rows are written straight into the system via kernel_row (parallel,
+  // with the RBF exp hoisted), so no separate n x n kernel matrix is ever
+  // materialized.
+  const std::vector<double> norms = row_squared_norms(support_);
   linalg::Matrix system(n + 1, n + 1);
   std::vector<double> rhs(n + 1, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
+    auto row = system.row(i + 1);
+    kernel_row(fitted_kernel_, support_, i, norms, row.subspan(1));
+    row[0] = 1.0;
     system(0, i + 1) = 1.0;
-    system(i + 1, 0) = 1.0;
-    rhs[i + 1] = y[i];
-    for (std::size_t j = 0; j < n; ++j) {
-      system(i + 1, j + 1) = k(i, j);
-    }
     system(i + 1, i + 1) += 1.0 / options_.gamma;
+    rhs[i + 1] = y[i];
   }
   const std::vector<double> solution = linalg::solve(system, rhs);
   bias_ = solution[0];
@@ -59,6 +62,18 @@ double LsSvm::predict_row(std::span<const double> row) const {
         alphas_[s] * kernel_value(fitted_kernel_, support_.row(s), scaled);
   }
   return target_scaler_.inverse(value);
+}
+
+std::vector<double> LsSvm::predict(const linalg::Matrix& x) const {
+  if (!fitted_) throw std::logic_error("Regressor: predict before fit");
+  if (x.cols() != num_inputs_) {
+    throw std::invalid_argument("Regressor: input width mismatch");
+  }
+  const linalg::Matrix scaled = input_scaler_.transform(x);
+  const linalg::Matrix k = kernel_matrix(fitted_kernel_, scaled, support_);
+  std::vector<double> out = linalg::gemv(k, alphas_);
+  for (double& value : out) value = target_scaler_.inverse(value + bias_);
+  return out;
 }
 
 void LsSvm::save(util::BinaryWriter& writer) const {
@@ -104,12 +119,7 @@ std::unique_ptr<LsSvm> LsSvm::load(util::BinaryReader& reader) {
       scales.size() != model->num_inputs_) {
     throw std::runtime_error("LsSvm::load: bad scaler data");
   }
-  linalg::Matrix synth(2, model->num_inputs_);
-  for (std::size_t c = 0; c < model->num_inputs_; ++c) {
-    synth(0, c) = means[c] - scales[c];
-    synth(1, c) = means[c] + scales[c];
-  }
-  model->input_scaler_ = data::Standardizer::fit(synth);
+  model->input_scaler_ = data::Standardizer::from_moments(means, scales);
   model->target_scaler_.mean = reader.read_double();
   model->target_scaler_.scale = reader.read_double();
   model->fitted_ = true;

@@ -32,6 +32,9 @@ class LsSvm final : public Regressor {
 
   void fit(const linalg::Matrix& x, std::span<const double> y) override;
   [[nodiscard]] double predict_row(std::span<const double> row) const override;
+  /// Batched prediction via one cross-kernel matrix + gemv.
+  [[nodiscard]] std::vector<double> predict(
+      const linalg::Matrix& x) const override;
   [[nodiscard]] std::string name() const override { return "svm2"; }
   [[nodiscard]] bool is_fitted() const override { return fitted_; }
   [[nodiscard]] std::size_t num_inputs() const override { return num_inputs_; }

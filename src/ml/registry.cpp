@@ -1,5 +1,6 @@
 #include "ml/registry.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "ml/ensemble.hpp"
@@ -97,6 +98,9 @@ std::unique_ptr<Regressor> make_model(const std::string& name,
     options.tolerance = params.get_double("svm.tolerance", 1e-3);
     options.max_iterations = static_cast<std::size_t>(
         params.get_int("svm.max_iterations", 2'000'000));
+    options.cache_bytes = static_cast<std::size_t>(
+        std::max(0.0, params.get_double("svm.cache_mb", 100.0)) * (1 << 20));
+    options.shrinking = params.get_bool("svm.shrinking", true);
     return std::make_unique<KernelSvr>(options);
   }
   if (name == "svm2") {

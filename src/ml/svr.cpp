@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numeric>
 #include <stdexcept>
+
+#include "linalg/blas.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace f2pm::ml {
 
@@ -11,6 +15,10 @@ namespace {
 
 // Guard for non-positive-curvature pair subproblems (LIBSVM's TAU).
 constexpr double kTau = 1e-12;
+
+// Below this many active variables the chunked gradient update costs more
+// in dispatch than it saves in arithmetic.
+constexpr std::size_t kParallelGradientThreshold = 4096;
 
 }  // namespace
 
@@ -42,47 +50,153 @@ void KernelSvr::fit(const linalg::Matrix& x_raw, std::span<const double> y_raw) 
 
   // SMO over the 2n-variable dual: t < n are the α (sign +1) variables,
   // t >= n the α* (sign -1) variables; Q_tt' = s_t s_t' K_{t%n, t'%n}.
-  const linalg::Matrix k = kernel_matrix(fitted_kernel_, x);
-  std::vector<double> alpha(2 * n, 0.0);
-  std::vector<double> grad(2 * n);
+  // Kernel rows are fetched on demand through an LRU cache instead of a
+  // precomputed dense matrix, so kernel storage stays within cache_bytes.
+  KernelRowCache cache(fitted_kernel_, x, options_.cache_bytes);
+  const std::span<const double> diag = cache.diagonal();
+
+  const std::size_t size = 2 * n;
+  std::vector<double> alpha(size, 0.0);
+  std::vector<double> p(size);  // linear term of the dual gradient
   for (std::size_t i = 0; i < n; ++i) {
-    grad[i] = eps - y[i];       // p for the α block
-    grad[n + i] = eps + y[i];   // p for the α* block
+    p[i] = eps - y[i];       // α block
+    p[n + i] = eps + y[i];   // α* block
   }
+  std::vector<double> grad(p);
   auto sign_of = [n](std::size_t t) { return t < n ? 1.0 : -1.0; };
   auto base_of = [n](std::size_t t) { return t < n ? t : t - n; };
+  auto is_in_up = [&](std::size_t t) {
+    return t < n ? alpha[t] < c : alpha[t] > 0.0;
+  };
+  auto is_in_low = [&](std::size_t t) {
+    return t < n ? alpha[t] > 0.0 : alpha[t] < c;
+  };
 
-  iterations_used_ = 0;
-  const std::size_t size = 2 * n;
-  while (iterations_used_ < options_.max_iterations) {
-    // WSS-1: maximal violating pair.
+  // Shrinking state: the first active_size entries of `order` are the
+  // working set; shrunk variables keep stale gradients until the mandatory
+  // reconstruction.
+  std::vector<std::size_t> order(size);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::size_t active_size = size;
+  std::vector<char> active_flag(size, 1);
+  bool unshrunk = false;
+  const std::size_t shrink_interval = std::min<std::size_t>(size, 1000);
+  std::size_t counter = shrink_interval;
+
+  // Recomputes the stale gradients of shrunk variables from scratch:
+  // grad[t] = p[t] + s_t Σ_b θ_b K(base(t), b) with θ_b = α_b - α*_b.
+  auto reconstruct_gradient = [&] {
+    if (active_size == size) return;
+    std::vector<double> g(n, 0.0);
+    for (std::size_t b = 0; b < n; ++b) {
+      const double theta = alpha[b] - alpha[n + b];
+      if (theta == 0.0) continue;
+      linalg::axpy(theta, cache.row(b), g);
+    }
+    for (std::size_t t = 0; t < size; ++t) {
+      if (!active_flag[t]) grad[t] = p[t] + sign_of(t) * g[base_of(t)];
+    }
+  };
+
+  auto activate_all = [&] {
+    active_size = size;
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::fill(active_flag.begin(), active_flag.end(), char{1});
+  };
+
+  // LIBSVM-style shrinking: a bound variable whose KKT desire points
+  // further into its bound than every candidate on the other side can
+  // never join a violating pair, so it leaves the working set.
+  auto do_shrinking = [&] {
     double m_up = -std::numeric_limits<double>::infinity();
     double m_low = std::numeric_limits<double>::infinity();
-    std::size_t i = size;
-    std::size_t j = size;
-    for (std::size_t t = 0; t < size; ++t) {
-      const double s = sign_of(t);
-      const double score = -s * grad[t];
-      const bool in_up = (s > 0.0 && alpha[t] < c) || (s < 0.0 && alpha[t] > 0.0);
-      const bool in_low = (s < 0.0 && alpha[t] < c) || (s > 0.0 && alpha[t] > 0.0);
-      if (in_up && score > m_up) {
+    for (std::size_t pos = 0; pos < active_size; ++pos) {
+      const std::size_t t = order[pos];
+      const double score = -sign_of(t) * grad[t];
+      if (is_in_up(t)) m_up = std::max(m_up, score);
+      if (is_in_low(t)) m_low = std::min(m_low, score);
+    }
+    if (!unshrunk && m_up - m_low <= options_.tolerance * 10.0) {
+      // Close to convergence: reconstruct once and re-shrink from the full
+      // set, in case the heuristic dropped a variable prematurely.
+      unshrunk = true;
+      reconstruct_gradient();
+      activate_all();
+    }
+    std::size_t pos = 0;
+    while (pos < active_size) {
+      const std::size_t t = order[pos];
+      const bool in_up = is_in_up(t);
+      const bool in_low = is_in_low(t);
+      bool shrink = false;
+      if (!(in_up && in_low)) {  // free variables are never shrunk
+        const double score = -sign_of(t) * grad[t];
+        if (in_up && score < m_low) shrink = true;
+        if (in_low && score > m_up) shrink = true;
+      }
+      if (shrink) {
+        --active_size;
+        std::swap(order[pos], order[active_size]);
+        active_flag[t] = 0;
+      } else {
+        ++pos;
+      }
+    }
+  };
+
+  // WSS-1: maximal violating pair over the working set. Returns false when
+  // the working set satisfies the KKT conditions within tolerance.
+  auto select_pair = [&](std::size_t& i, std::size_t& j) {
+    double m_up = -std::numeric_limits<double>::infinity();
+    double m_low = std::numeric_limits<double>::infinity();
+    i = size;
+    j = size;
+    for (std::size_t pos = 0; pos < active_size; ++pos) {
+      const std::size_t t = order[pos];
+      const double score = -sign_of(t) * grad[t];
+      if (is_in_up(t) && score > m_up) {
         m_up = score;
         i = t;
       }
-      if (in_low && score < m_low) {
+      if (is_in_low(t) && score < m_low) {
         m_low = score;
         j = t;
       }
     }
-    if (i == size || j == size || m_up - m_low < options_.tolerance) break;
+    return !(i == size || j == size || m_up - m_low < options_.tolerance);
+  };
+
+  iterations_used_ = 0;
+  while (iterations_used_ < options_.max_iterations) {
+    if (options_.shrinking && --counter == 0) {
+      do_shrinking();
+      counter = shrink_interval;
+    }
+
+    std::size_t i = size;
+    std::size_t j = size;
+    if (!select_pair(i, j)) {
+      if (active_size == size) break;
+      // Converged on the shrunk set only: mandatory full-gradient
+      // reconstruction, then re-check against every variable before
+      // declaring convergence. Re-checking immediately (rather than on the
+      // next iteration) matters: shrinking would otherwise drop the same
+      // variables again and the loop would never see the full set.
+      reconstruct_gradient();
+      activate_all();
+      if (!select_pair(i, j)) break;
+      counter = 1;  // work remains: re-shrink on the next iteration
+    }
 
     const double si = sign_of(i);
     const double sj = sign_of(j);
     const std::size_t bi = base_of(i);
     const std::size_t bj = base_of(j);
-    const double kii = k(bi, bi);
-    const double kjj = k(bj, bj);
-    const double kij = k(bi, bj);
+    const auto ki = cache.row(bi);
+    const auto kj = cache.row(bj);
+    const double kii = diag[bi];
+    const double kjj = diag[bj];
+    const double kij = ki[bj];
     const double old_ai = alpha[i];
     const double old_aj = alpha[j];
 
@@ -152,11 +266,21 @@ void KernelSvr::fit(const linalg::Matrix& x_raw, std::span<const double> y_raw) 
       ++iterations_used_;
       continue;
     }
-    // G_t += Q_ti Δα_i + Q_tj Δα_j for every variable t.
-    for (std::size_t t = 0; t < size; ++t) {
-      const double st = sign_of(t);
-      const std::size_t bt = base_of(t);
-      grad[t] += st * (si * k(bt, bi) * delta_i + sj * k(bt, bj) * delta_j);
+    // G_t += Q_ti Δα_i + Q_tj Δα_j for every working-set variable t.
+    // Elementwise, so chunking over the pool cannot change the result.
+    auto update_block = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t pos = lo; pos < hi; ++pos) {
+        const std::size_t t = order[pos];
+        const std::size_t bt = base_of(t);
+        grad[t] +=
+            sign_of(t) * (si * ki[bt] * delta_i + sj * kj[bt] * delta_j);
+      }
+    };
+    if (active_size < kParallelGradientThreshold) {
+      update_block(0, active_size);
+    } else {
+      parallel::parallel_for_chunked(parallel::ThreadPool::global(), 0,
+                                     active_size, update_block);
     }
     ++iterations_used_;
   }
@@ -171,9 +295,7 @@ void KernelSvr::fit(const linalg::Matrix& x_raw, std::span<const double> y_raw) 
   std::vector<double> g(n, 0.0);
   for (std::size_t jcol = 0; jcol < n; ++jcol) {
     if (theta[jcol] == 0.0) continue;
-    for (std::size_t irow = 0; irow < n; ++irow) {
-      g[irow] += theta[jcol] * k(irow, jcol);
-    }
+    linalg::axpy(theta[jcol], cache.row(jcol), g);
   }
   double free_sum = 0.0;
   std::size_t free_count = 0;
@@ -213,6 +335,7 @@ void KernelSvr::fit(const linalg::Matrix& x_raw, std::span<const double> y_raw) 
     }
   }
   support_ = x.select_rows(sv_rows);
+  cache_stats_ = cache.stats();
   fitted_ = true;
 }
 
@@ -231,6 +354,18 @@ double KernelSvr::predict_row(std::span<const double> row) const {
              kernel_value(fitted_kernel_, support_.row(s), scaled);
   }
   return target_scaler_.inverse(value);
+}
+
+std::vector<double> KernelSvr::predict(const linalg::Matrix& x) const {
+  if (!fitted_) throw std::logic_error("Regressor: predict before fit");
+  if (x.cols() != num_inputs_) {
+    throw std::invalid_argument("Regressor: input width mismatch");
+  }
+  const linalg::Matrix scaled = input_scaler_.transform(x);
+  const linalg::Matrix k = kernel_matrix(fitted_kernel_, scaled, support_);
+  std::vector<double> out = linalg::gemv(k, dual_coeffs_);
+  for (double& value : out) value = target_scaler_.inverse(value + bias_);
+  return out;
 }
 
 void KernelSvr::save(util::BinaryWriter& writer) const {
@@ -268,20 +403,13 @@ std::unique_ptr<KernelSvr> KernelSvr::load(util::BinaryReader& reader) {
     }
     std::copy(row.begin(), row.end(), model->support_.row(r).begin());
   }
-  // Standardizer internals are rebuilt through a fit on a synthetic
-  // two-row matrix encoding mean ± scale.
   const auto means = reader.read_doubles();
   const auto scales = reader.read_doubles();
   if (means.size() != model->num_inputs_ ||
       scales.size() != model->num_inputs_) {
     throw std::runtime_error("KernelSvr::load: bad scaler data");
   }
-  linalg::Matrix synth(2, model->num_inputs_);
-  for (std::size_t c = 0; c < model->num_inputs_; ++c) {
-    synth(0, c) = means[c] - scales[c];
-    synth(1, c) = means[c] + scales[c];
-  }
-  model->input_scaler_ = data::Standardizer::fit(synth);
+  model->input_scaler_ = data::Standardizer::from_moments(means, scales);
   model->target_scaler_.mean = reader.read_double();
   model->target_scaler_.scale = reader.read_double();
   model->fitted_ = true;

@@ -1,7 +1,8 @@
 // ε-insensitive Support Vector Regression (paper §III-D "SVM"), trained
 // with an SMO solver in the style of LIBSVM: the 2n-variable dual (one α
 // and one α* per sample), maximal-violating-pair working-set selection
-// (WSS-1), and a precomputed kernel matrix.
+// (WSS-1), an LRU kernel-row cache instead of a precomputed kernel matrix,
+// and optional shrinking of bound, KKT-satisfied variables.
 //
 // Inputs and targets are standardized internally — kernel methods need
 // comparable feature scales — and predictions are mapped back to seconds.
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "data/standardizer.hpp"
+#include "ml/kernel_cache.hpp"
 #include "ml/kernels.hpp"
 #include "ml/model.hpp"
 
@@ -27,6 +29,14 @@ struct SvrOptions {
   double epsilon = 0.01;        ///< Insensitive-tube half width (standardized).
   double tolerance = 1e-3;      ///< KKT violation stopping threshold.
   std::size_t max_iterations = 2'000'000;  ///< SMO pair updates.
+  /// Kernel-row cache budget in bytes (LIBSVM-style). The solver never
+  /// materializes the dense n x n kernel matrix; at most
+  /// max(2, cache_bytes / (8 n)) rows are resident at once.
+  std::size_t cache_bytes = 100ull << 20;
+  /// Periodically drop bound, KKT-satisfied variables from the working set
+  /// (LIBSVM shrinking). The full gradient is always reconstructed before
+  /// the final convergence check, so the stopping criterion is unchanged.
+  bool shrinking = true;
 };
 
 /// ε-SVR with SMO training.
@@ -36,6 +46,10 @@ class KernelSvr final : public Regressor {
 
   void fit(const linalg::Matrix& x, std::span<const double> y) override;
   [[nodiscard]] double predict_row(std::span<const double> row) const override;
+  /// Batched prediction via one cross-kernel matrix + gemv, replacing
+  /// per-row per-SV kernel_value calls.
+  [[nodiscard]] std::vector<double> predict(
+      const linalg::Matrix& x) const override;
   [[nodiscard]] std::string name() const override { return "svm"; }
   [[nodiscard]] bool is_fitted() const override { return fitted_; }
   [[nodiscard]] std::size_t num_inputs() const override { return num_inputs_; }
@@ -51,6 +65,11 @@ class KernelSvr final : public Regressor {
   [[nodiscard]] std::size_t iterations_used() const {
     return iterations_used_;
   }
+  /// Kernel-row cache counters from the last fit (hit/miss/eviction and
+  /// peak resident bytes — the memory bound the cache enforced).
+  [[nodiscard]] const KernelCacheStats& cache_stats() const {
+    return cache_stats_;
+  }
 
  private:
   SvrOptions options_;
@@ -62,6 +81,7 @@ class KernelSvr final : public Regressor {
   data::TargetScaler target_scaler_;
   std::size_t num_inputs_ = 0;
   std::size_t iterations_used_ = 0;
+  KernelCacheStats cache_stats_;
   bool fitted_ = false;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 
 namespace f2pm::parallel {
 
@@ -39,6 +40,18 @@ void ThreadPool::worker_loop() {
     }
     task();
   }
+}
+
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
 }
 
 ThreadPool& ThreadPool::global() {
@@ -83,6 +96,15 @@ void parallel_for_chunked(
   }
   std::exception_ptr first_error;
   for (auto& future : futures) {
+    // Help drain the queue while waiting so nested parallel regions on the
+    // same pool cannot deadlock (a blocked chunk's sub-chunks are always
+    // runnable by whichever thread is waiting on them).
+    while (future.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!pool.try_run_one()) {
+        future.wait_for(std::chrono::microseconds(50));
+      }
+    }
     try {
       future.get();
     } catch (...) {

@@ -51,6 +51,13 @@ class ThreadPool {
     return result;
   }
 
+  /// Pops one queued task and runs it on the calling thread. Returns false
+  /// when the queue is empty. This is the "helping" primitive that makes
+  /// nested parallel regions on one pool deadlock-free: a thread blocked on
+  /// a barrier drains the queue instead of sleeping, so queued sub-tasks
+  /// always make progress even when every worker is itself waiting.
+  bool try_run_one();
+
   /// Process-wide default pool, sized to the hardware.
   static ThreadPool& global();
 
@@ -67,7 +74,10 @@ class ThreadPool {
 /// Runs body(i) for i in [begin, end) across the pool, blocking until all
 /// iterations complete. Iterations are grouped into contiguous chunks
 /// (roughly 4 per worker) to amortize scheduling overhead. The first
-/// exception thrown by any iteration is rethrown here.
+/// exception thrown by any iteration is rethrown here. While waiting, the
+/// calling thread helps drain the pool's queue, so parallel regions may be
+/// nested on the same pool (e.g. parallel CV folds whose model fits run
+/// parallel kernel loops) without deadlocking.
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body);
 

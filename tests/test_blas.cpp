@@ -56,6 +56,21 @@ TEST(Blas, GemvTransposedMatchesExplicitTranspose) {
   }
 }
 
+TEST(Blas, GemvTransposedLargeEnoughToTriggerParallelPath) {
+  // 300 x 50 clears the size threshold, so this runs the chunked path with
+  // per-chunk accumulators merged at the barrier.
+  util::Rng rng(15);
+  const Matrix a = random_matrix(300, 50, rng);
+  std::vector<double> x(300);
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+  const auto direct = gemv_transposed(a, x);
+  const auto via_transpose = gemv(a.transposed(), x);
+  ASSERT_EQ(direct.size(), via_transpose.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct[i], via_transpose[i], 1e-9);
+  }
+}
+
 TEST(Blas, GemmMatchesNaive) {
   util::Rng rng(6);
   const Matrix a = random_matrix(13, 7, rng);
@@ -95,6 +110,21 @@ TEST(Blas, GramIsSymmetricAndMatchesAtA) {
   const Matrix g = gram(a);
   const Matrix expected = gemm(a.transposed(), a);
   EXPECT_LT(max_abs_diff(g, expected), 1e-10);
+  for (std::size_t i = 0; i < g.rows(); ++i) {
+    for (std::size_t j = 0; j < g.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(g(i, j), g(j, i));
+    }
+  }
+}
+
+TEST(Blas, GramLargeEnoughToTriggerParallelPath) {
+  // 400 rows x 30 cols exceeds the flop threshold, exercising the
+  // per-chunk partial matrices and their ordered merge.
+  util::Rng rng(16);
+  const Matrix a = random_matrix(400, 30, rng);
+  const Matrix g = gram(a);
+  const Matrix expected = gemm(a.transposed(), a);
+  EXPECT_LT(max_abs_diff(g, expected), 1e-9);
   for (std::size_t i = 0; i < g.rows(); ++i) {
     for (std::size_t j = 0; j < g.cols(); ++j) {
       EXPECT_DOUBLE_EQ(g(i, j), g(j, i));

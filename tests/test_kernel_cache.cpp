@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ml/kernel_cache.hpp"
+#include "ml/kernels.hpp"
+#include "util/rng.hpp"
+
+namespace f2pm::ml {
+namespace {
+
+linalg::Matrix make_data(std::size_t n, std::size_t d, std::uint64_t seed) {
+  util::Rng rng(seed);
+  linalg::Matrix x(n, d);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < d; ++c) x(r, c) = rng.uniform(-2.0, 2.0);
+  }
+  return x;
+}
+
+KernelParams rbf(double gamma = 0.5) {
+  return KernelParams{.type = KernelType::kRbf, .gamma = gamma};
+}
+
+TEST(KernelRowCache, RowMatchesKernelValue) {
+  const linalg::Matrix x = make_data(16, 3, 11);
+  for (const KernelParams& params :
+       {rbf(), KernelParams{.type = KernelType::kLinear},
+        KernelParams{.type = KernelType::kPolynomial,
+                     .gamma = 0.5,
+                     .coef0 = 1.0,
+                     .degree = 3}}) {
+    KernelRowCache cache(params, x, 1 << 20);
+    for (std::size_t i : {std::size_t{0}, std::size_t{7}, std::size_t{15}}) {
+      const auto row = cache.row(i);
+      ASSERT_EQ(row.size(), x.rows());
+      for (std::size_t j = 0; j < x.rows(); ++j) {
+        EXPECT_NEAR(row[j], kernel_value(params, x.row(i), x.row(j)), 1e-12);
+      }
+    }
+  }
+}
+
+TEST(KernelRowCache, DiagonalMatchesKernelValue) {
+  const linalg::Matrix x = make_data(10, 4, 12);
+  KernelRowCache cache(rbf(0.25), x, 1 << 20);
+  const auto diag = cache.diagonal();
+  ASSERT_EQ(diag.size(), x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    EXPECT_DOUBLE_EQ(diag[i], kernel_value(rbf(0.25), x.row(i), x.row(i)));
+  }
+}
+
+TEST(KernelRowCache, HitMissEvictionUnderTinyBudget) {
+  const std::size_t n = 8;
+  const linalg::Matrix x = make_data(n, 2, 13);
+  // One row is n doubles = 64 bytes; 192 bytes -> exactly 3 resident rows.
+  KernelRowCache cache(rbf(), x, 3 * n * sizeof(double));
+  ASSERT_EQ(cache.max_rows(), 3u);
+
+  cache.row(0);  // miss (0)
+  cache.row(0);  // hit
+  cache.row(1);  // miss (0 1)
+  cache.row(2);  // miss (0 1 2)
+  cache.row(3);  // miss, evicts 0 (1 2 3)
+  cache.row(0);  // miss again, evicts 1 (2 3 0)
+  cache.row(3);  // hit
+  const KernelCacheStats& stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 5u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.peak_bytes, 3 * n * sizeof(double));
+
+  // Re-fetched row content survives eviction/recomputation unchanged.
+  const auto row0 = cache.row(0);
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_NEAR(row0[j], kernel_value(rbf(), x.row(0), x.row(j)), 1e-12);
+  }
+}
+
+TEST(KernelRowCache, PairOfRowsStaysResident) {
+  // The MRU row must never be reclaimed: an SMO pair update holds two row
+  // spans at once, so fetching row j must not invalidate just-fetched row i.
+  const std::size_t n = 6;
+  const linalg::Matrix x = make_data(n, 2, 14);
+  KernelRowCache cache(rbf(), x, 1);  // clamped up to the 2-row floor
+  ASSERT_EQ(cache.max_rows(), 2u);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto ri = cache.row(i);
+      const auto rj = cache.row(j);
+      EXPECT_NEAR(ri[j], kernel_value(rbf(), x.row(i), x.row(j)), 1e-12);
+      EXPECT_NEAR(rj[i], ri[j], 1e-12);
+    }
+  }
+}
+
+TEST(KernelRowCache, PeakBoundedByBudget) {
+  const std::size_t n = 32;
+  const linalg::Matrix x = make_data(n, 3, 15);
+  const std::size_t budget = 10 * n * sizeof(double);
+  KernelRowCache cache(rbf(), x, budget);
+  util::Rng rng(99);
+  for (int access = 0; access < 500; ++access) {
+    cache.row(static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1)));
+  }
+  EXPECT_LE(cache.stats().peak_bytes, budget);
+  EXPECT_LE(cache.max_rows(), 10u);
+}
+
+TEST(KernelRowCache, LargeBudgetCapsAtFullMatrix) {
+  const linalg::Matrix x = make_data(5, 2, 16);
+  KernelRowCache cache(rbf(), x, 1ull << 30);
+  EXPECT_EQ(cache.max_rows(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) cache.row(i);
+  for (std::size_t i = 0; i < 5; ++i) cache.row(i);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.stats().hits, 5u);
+}
+
+TEST(KernelRowCache, OutOfRangeRowThrows) {
+  const linalg::Matrix x = make_data(4, 2, 17);
+  KernelRowCache cache(rbf(), x, 1 << 20);
+  EXPECT_THROW(cache.row(4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace f2pm::ml

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "ml/cross_validation.hpp"
+#include "ml/grid_search.hpp"
+#include "ml/registry.hpp"
+#include "ml/svr.hpp"
+#include "util/rng.hpp"
+
+namespace f2pm::ml {
+namespace {
+
+void make_quadratic_data(std::size_t n, util::Rng& rng, linalg::Matrix& x,
+                         std::vector<double>& y) {
+  x = linalg::Matrix(n, 2);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(-2.0, 2.0);
+    x(i, 1) = rng.uniform(0.0, 4.0);
+    y[i] = x(i, 0) * x(i, 0) + 0.5 * x(i, 1) + rng.normal(0.0, 0.05);
+  }
+}
+
+void expect_identical(const CrossValidationResult& a,
+                      const CrossValidationResult& b) {
+  EXPECT_DOUBLE_EQ(a.mean_mae, b.mean_mae);
+  EXPECT_DOUBLE_EQ(a.std_mae, b.std_mae);
+  EXPECT_DOUBLE_EQ(a.mean_soft_mae, b.mean_soft_mae);
+  EXPECT_DOUBLE_EQ(a.mean_rae, b.mean_rae);
+  ASSERT_EQ(a.folds.size(), b.folds.size());
+  for (std::size_t f = 0; f < a.folds.size(); ++f) {
+    EXPECT_DOUBLE_EQ(a.folds[f].mae, b.folds[f].mae);
+    EXPECT_DOUBLE_EQ(a.folds[f].rae, b.folds[f].rae);
+    EXPECT_DOUBLE_EQ(a.folds[f].soft_mae, b.folds[f].soft_mae);
+  }
+}
+
+TEST(ParallelCrossValidation, MatchesSerialBitwise) {
+  util::Rng data_rng(21);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_quadratic_data(120, data_rng, x, y);
+  const auto factory = [] { return make_model("linear"); };
+  util::Rng serial_rng(7);
+  util::Rng parallel_rng(7);
+  const auto serial =
+      k_fold_cross_validation(factory, x, y, 6, serial_rng, 1.0, false);
+  const auto parallel =
+      k_fold_cross_validation(factory, x, y, 6, parallel_rng, 1.0, true);
+  expect_identical(serial, parallel);
+}
+
+TEST(ParallelCrossValidation, MatchesSerialForSvr) {
+  // The SVR fit itself uses the shared pool (kernel rows, gradient
+  // chunks); nested parallelism must neither deadlock nor perturb the
+  // result.
+  util::Rng data_rng(22);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_quadratic_data(90, data_rng, x, y);
+  const auto factory = [] {
+    SvrOptions options;
+    options.c = 10.0;
+    options.kernel.gamma = 0.5;
+    return std::make_unique<KernelSvr>(options);
+  };
+  util::Rng serial_rng(3);
+  util::Rng parallel_rng(3);
+  const auto serial =
+      k_fold_cross_validation(factory, x, y, 5, serial_rng, 1.0, false);
+  const auto parallel =
+      k_fold_cross_validation(factory, x, y, 5, parallel_rng, 1.0, true);
+  expect_identical(serial, parallel);
+}
+
+TEST(ParallelGridSearch, MatchesSerialBitwise) {
+  util::Rng data_rng(23);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_quadratic_data(100, data_rng, x, y);
+  const ParameterGrid grid{{"ridge.lambda", {"0.01", "1.0", "100.0"}},
+                           {"unused.flag", {"a", "b"}}};
+  util::Rng serial_rng(11);
+  util::Rng parallel_rng(11);
+  const auto serial =
+      grid_search("ridge", grid, x, y, 4, serial_rng, 1.0, {}, false);
+  const auto parallel =
+      grid_search("ridge", grid, x, y, 4, parallel_rng, 1.0, {}, true);
+  ASSERT_EQ(serial.points.size(), 6u);
+  ASSERT_EQ(parallel.points.size(), 6u);
+  for (std::size_t p = 0; p < serial.points.size(); ++p) {
+    EXPECT_DOUBLE_EQ(serial.points[p].mean_mae, parallel.points[p].mean_mae);
+    EXPECT_DOUBLE_EQ(serial.points[p].std_mae, parallel.points[p].std_mae);
+    EXPECT_DOUBLE_EQ(serial.points[p].mean_soft_mae,
+                     parallel.points[p].mean_soft_mae);
+    EXPECT_DOUBLE_EQ(serial.points[p].mean_rae, parallel.points[p].mean_rae);
+    EXPECT_EQ(serial.points[p].params.get_string("ridge.lambda", ""),
+              parallel.points[p].params.get_string("ridge.lambda", ""));
+  }
+}
+
+TEST(ParallelGridSearch, GridPointCarriesSoftMaeAndRae) {
+  util::Rng data_rng(24);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_quadratic_data(80, data_rng, x, y);
+  const ParameterGrid grid{{"ridge.lambda", {"0.1", "10.0"}}};
+  util::Rng rng(5);
+  const double threshold = 0.5;
+  const auto result =
+      grid_search("ridge", grid, x, y, 4, rng, threshold, {}, true);
+  for (const GridPoint& point : result.points) {
+    // Soft MAE forgives errors below the threshold, so it can only shrink
+    // relative to MAE; both must be populated (RAE of a sane model on this
+    // data is finite and positive).
+    EXPECT_LE(point.mean_soft_mae, point.mean_mae);
+    EXPECT_GE(point.mean_soft_mae, 0.0);
+    EXPECT_GT(point.mean_rae, 0.0);
+    EXPECT_TRUE(std::isfinite(point.mean_rae));
+  }
+}
+
+}  // namespace
+}  // namespace f2pm::ml

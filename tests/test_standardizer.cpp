@@ -47,6 +47,33 @@ TEST(Standardizer, ColumnMismatchThrows) {
                std::invalid_argument);
 }
 
+TEST(Standardizer, FromMomentsReproducesFittedScalerExactly) {
+  util::Rng rng(9);
+  linalg::Matrix x(50, 3);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    x(r, 0) = rng.normal(1e9, 1e-4);  // large mean, tiny spread
+    x(r, 1) = rng.uniform(-1.0, 1.0);
+    x(r, 2) = 5.0;  // constant column -> clamped scale of 1
+  }
+  const Standardizer fitted = Standardizer::fit(x);
+  const Standardizer rebuilt =
+      Standardizer::from_moments(fitted.means(), fitted.scales());
+  EXPECT_EQ(rebuilt.means(), fitted.means());
+  EXPECT_EQ(rebuilt.scales(), fitted.scales());
+  const linalg::Matrix a = fitted.transform(x);
+  const linalg::Matrix b = rebuilt.transform(x);
+  EXPECT_DOUBLE_EQ(linalg::max_abs_diff(a, b), 0.0);
+}
+
+TEST(Standardizer, FromMomentsValidatesInput) {
+  EXPECT_THROW(Standardizer::from_moments({1.0, 2.0}, {1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(Standardizer::from_moments({1.0}, {0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(Standardizer::from_moments({1.0}, {-2.0}),
+               std::invalid_argument);
+}
+
 TEST(TargetScaler, NormalizesAndInverts) {
   const std::vector<double> y{10.0, 20.0, 30.0};
   const TargetScaler scaler = TargetScaler::fit(y);

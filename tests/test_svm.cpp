@@ -111,6 +111,112 @@ TEST(Svr, ConstantTargetPredictsConstant) {
   EXPECT_NEAR(model.predict_row(std::vector<double>{10.0}), 4.0, 1e-6);
 }
 
+TEST(Svr, ShrinkingAndTinyCacheMatchDenseSolver) {
+  // The kernel cache and shrinking are pure optimizations: at a tight
+  // solver tolerance both configurations must land on the same solution.
+  // A generous cache with shrinking off reproduces the old dense-matrix
+  // solver's trajectory; an 8 KB cache (a handful of rows at n = 120)
+  // with shrinking on exercises eviction and gradient reconstruction.
+  // The data is 3-dimensional so the kernel matrix is well conditioned and
+  // the dual optimum is sharp — on near-singular problems two KKT-optimal
+  // points can legitimately predict differently.
+  util::Rng rng(31);
+  const std::size_t n = 120;
+  linalg::Matrix x(n, 3);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(-2.0, 2.0);
+    x(i, 1) = rng.uniform(-2.0, 2.0);
+    x(i, 2) = rng.uniform(-2.0, 2.0);
+    y[i] = std::sin(x(i, 0)) + 0.3 * x(i, 1) * x(i, 1) - 0.5 * x(i, 2) +
+           rng.normal(0.0, 0.05);
+  }
+  SvrOptions reference;
+  reference.c = 5.0;
+  reference.epsilon = 0.05;
+  reference.kernel.gamma = 0.5;
+  reference.tolerance = 1e-10;
+  reference.cache_bytes = 1ull << 30;
+  reference.shrinking = false;
+  SvrOptions optimized = reference;
+  optimized.cache_bytes = 8 * 1024;
+  optimized.shrinking = true;
+  KernelSvr reference_model(reference);
+  KernelSvr optimized_model(optimized);
+  reference_model.fit(x, y);
+  optimized_model.fit(x, y);
+  ASSERT_LT(reference_model.iterations_used(), reference.max_iterations);
+  ASSERT_LT(optimized_model.iterations_used(), optimized.max_iterations);
+  EXPECT_GT(optimized_model.cache_stats().evictions, 0u);
+  util::Rng probe_rng(7);
+  for (int probe = 0; probe < 100; ++probe) {
+    const std::vector<double> row{probe_rng.uniform(-2.0, 2.0),
+                                  probe_rng.uniform(-2.0, 2.0),
+                                  probe_rng.uniform(-2.0, 2.0)};
+    EXPECT_NEAR(optimized_model.predict_row(row),
+                reference_model.predict_row(row), 1e-8);
+  }
+}
+
+TEST(Svr, CacheStatsReportedAndBounded) {
+  util::Rng rng(32);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_sine_data(150, 0.02, rng, x, y);
+  SvrOptions options = strong_svr();
+  options.cache_bytes = 8 * 1024;  // ~6 rows at n = 150
+  KernelSvr model(options);
+  model.fit(x, y);
+  const KernelCacheStats& stats = model.cache_stats();
+  EXPECT_GT(stats.misses, 0u);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_LE(stats.peak_bytes, options.cache_bytes);
+  EXPECT_EQ(stats.budget_bytes, options.cache_bytes);
+}
+
+TEST(Svr, BatchPredictMatchesRowPredict) {
+  util::Rng rng(33);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_sine_data(150, 0.02, rng, x, y);
+  KernelSvr model(strong_svr());
+  model.fit(x, y);
+  linalg::Matrix probes(40, 1);
+  for (std::size_t i = 0; i < probes.rows(); ++i) {
+    probes(i, 0) = rng.uniform(-2.0, 2.0);
+  }
+  const std::vector<double> batched = model.predict(probes);
+  ASSERT_EQ(batched.size(), probes.rows());
+  for (std::size_t i = 0; i < probes.rows(); ++i) {
+    EXPECT_NEAR(batched[i], model.predict_row(probes.row(i)), 1e-9);
+  }
+}
+
+TEST(Svr, SaveLoadRoundTripsExtremeFeatureScales) {
+  // A feature with a huge mean and a tiny spread breaks the old
+  // refit-on-synthetic-rows deserialization (catastrophic cancellation);
+  // from_moments must reproduce predictions exactly.
+  util::Rng rng(34);
+  const std::size_t n = 60;
+  linalg::Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(-2.0, 2.0);
+    x(i, 1) = 1e9 + rng.uniform(0.0, 1e-4);  // constant-ish extreme column
+    y[i] = std::sin(2.0 * x(i, 0)) + rng.normal(0.0, 0.01);
+  }
+  KernelSvr model(strong_svr());
+  model.fit(x, y);
+  std::stringstream buffer;
+  save_model(model, buffer);
+  const auto loaded = load_model(buffer);
+  for (std::size_t i = 0; i < 10; ++i) {
+    const std::vector<double> row{rng.uniform(-2.0, 2.0),
+                                  1e9 + rng.uniform(0.0, 1e-4)};
+    EXPECT_DOUBLE_EQ(loaded->predict_row(row), model.predict_row(row));
+  }
+}
+
 TEST(LsSvm, FitsNonlinearFunction) {
   util::Rng rng(5);
   linalg::Matrix x;

@@ -98,5 +98,47 @@ TEST(GlobalPool, IsSingleton) {
   EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
 }
 
+TEST(ParallelFor, NestedRegionsOnOnePoolComplete) {
+  // Outer iterations block on inner parallel_for barriers while every
+  // worker may itself be an outer iteration: without help-while-waiting
+  // this deadlocks. Oversubscribe a tiny pool to force the situation.
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(8 * 64);
+  parallel_for(pool, 0, 8, [&](std::size_t outer) {
+    parallel_for(pool, 0, 64, [&, outer](std::size_t inner) {
+      hits[outer * 64 + inner].fetch_add(1);
+    });
+  });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, TryRunOneDrainsQueue) {
+  // With no workers contending (tasks held back by a slow pool), the
+  // caller can execute queued work itself.
+  ThreadPool pool(1);
+  std::promise<void> gate;
+  std::shared_future<void> gate_future = gate.get_future().share();
+  // Occupy the single worker so submitted tasks stay queued. Wait until
+  // the worker has actually started the blocker, else this thread could
+  // pop it below and deadlock on its own gate.
+  std::atomic<bool> blocker_started{false};
+  auto blocker = pool.submit([gate_future, &blocker_started] {
+    blocker_started.store(true);
+    gate_future.wait();
+  });
+  while (!blocker_started.load()) {
+    std::this_thread::yield();
+  }
+  std::atomic<int> ran{0};
+  pool.submit([&ran] { ran.fetch_add(1); });
+  pool.submit([&ran] { ran.fetch_add(1); });
+  while (pool.try_run_one()) {
+  }
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_FALSE(pool.try_run_one());
+  gate.set_value();
+  blocker.get();
+}
+
 }  // namespace
 }  // namespace f2pm::parallel
