@@ -1,0 +1,259 @@
+// Load bench for the f2pm_serve prediction service: N concurrent
+// simulated FMC clients replay TPC-W campaign traces over loopback while
+// the service scores every closed aggregation window and streams the RTTF
+// predictions back. For N in {1, 8, 64, 256} it reports sustained
+// datapoints/sec, prediction round-trip latency (p50/p99, measured from
+// the send of the window-closing datapoint to the receipt of its
+// prediction), sessions held and the dropped/garbled-frame count (must be
+// zero).
+//
+// Emits BENCH_serve_throughput.json next to the binary.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/aggregation.hpp"
+#include "data/dataset.hpp"
+#include "ml/linear_regression.hpp"
+#include "net/fmc.hpp"
+#include "serve/model_store.hpp"
+#include "serve/service.hpp"
+#include "sim/campaign.hpp"
+
+namespace {
+
+using namespace f2pm;
+using Clock = std::chrono::steady_clock;
+
+constexpr double kWindowSeconds = 30.0;
+
+struct Trace {
+  data::DataHistory history;
+  std::size_t total_samples = 0;
+};
+
+Trace make_trace() {
+  sim::CampaignConfig config;
+  config.num_runs = 6;
+  config.seed = 2015;
+  config.workload.num_browsers = 60;
+  Trace trace;
+  trace.history = sim::run_campaign(config);
+  trace.total_samples = trace.history.num_samples();
+  return trace;
+}
+
+std::shared_ptr<const ml::Regressor> train_model(
+    const data::DataHistory& history) {
+  data::AggregationOptions aggregation;
+  aggregation.window_seconds = kWindowSeconds;
+  const data::Dataset dataset =
+      data::build_dataset(data::aggregate(history, aggregation));
+  auto model = std::make_shared<ml::LinearRegression>();
+  model->fit(dataset.x, dataset.y);
+  return model;
+}
+
+struct ClientResult {
+  std::size_t sent = 0;
+  std::size_t predictions = 0;
+  std::size_t unmatched = 0;  ///< Predictions with no recorded datapoint.
+  std::vector<double> latencies_ms;
+  bool failed = false;
+};
+
+/// Replays campaign runs (datapoints + fail events, tgen restarting per
+/// run) until `budget` datapoints were sent, recording per-datapoint send
+/// times to measure prediction round-trip latency.
+ClientResult run_client(std::uint16_t port, const data::DataHistory& history,
+                        std::size_t budget, int id) {
+  ClientResult result;
+  // Send-time record per run; predictions arrive in window order, so one
+  // run index that advances when window_end restarts is enough to match.
+  std::vector<std::vector<std::pair<double, Clock::time_point>>> sent_runs(1);
+  std::size_t prediction_run = 0;
+  double last_window_end = -1.0;
+
+  const auto on_prediction = [&](const net::Prediction& prediction) {
+    const Clock::time_point now = Clock::now();
+    ++result.predictions;
+    if (prediction.window_end <= last_window_end &&
+        prediction_run + 1 < sent_runs.size()) {
+      ++prediction_run;  // the stream restarted: next run's windows
+    }
+    last_window_end = prediction.window_end;
+    const auto& run = sent_runs[prediction_run];
+    const auto it = std::lower_bound(
+        run.begin(), run.end(), prediction.window_end,
+        [](const auto& entry, double t) { return entry.first < t; });
+    if (it == run.end()) {
+      ++result.unmatched;
+      return;
+    }
+    result.latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(now - it->second).count());
+  };
+
+  try {
+    net::FeatureMonitorClient client("127.0.0.1", port);
+    client.hello("bench-client-" + std::to_string(id));
+    while (result.sent < budget) {
+      for (const data::Run& run : history.runs()) {
+        if (result.sent >= budget) break;
+        for (const data::RawDatapoint& sample : run.samples) {
+          if (result.sent >= budget) break;
+          sent_runs.back().emplace_back(sample.tgen, Clock::now());
+          client.send(sample);
+          ++result.sent;
+          while (auto prediction = client.poll_prediction()) {
+            on_prediction(*prediction);
+          }
+        }
+        client.report_failure(run.fail_time);
+        sent_runs.emplace_back();
+      }
+    }
+    client.finish();
+    while (auto prediction = client.wait_prediction()) {
+      on_prediction(*prediction);
+    }
+  } catch (const std::exception&) {
+    result.failed = true;
+  }
+  return result;
+}
+
+struct BenchResult {
+  std::size_t clients = 0;
+  std::size_t datapoints = 0;
+  std::size_t predictions = 0;
+  double wall_seconds = 0.0;
+  double datapoints_per_second = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::size_t sessions_held = 0;   ///< Accepted and served to completion.
+  std::size_t dropped_frames = 0;  ///< Protocol errors + failed clients.
+};
+
+double percentile(std::vector<double>& values, double p) {
+  if (values.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1));
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(rank),
+                   values.end());
+  return values[rank];
+}
+
+BenchResult run_load(std::size_t num_clients, const Trace& trace,
+                     const std::shared_ptr<const ml::Regressor>& model) {
+  auto store = std::make_shared<serve::ModelStore>();
+  store->swap(model);
+  serve::ServiceOptions options;
+  options.aggregation.window_seconds = kWindowSeconds;
+  options.max_sessions = std::max<std::size_t>(num_clients, 256);
+  serve::PredictionService service(options, store);
+
+  // Fixed total volume across configurations so every N is comparable;
+  // each client replays at least 500 datapoints.
+  const std::size_t budget =
+      std::max<std::size_t>(500, 96'000 / num_clients);
+
+  std::vector<ClientResult> results(num_clients);
+  std::vector<std::thread> threads;
+  threads.reserve(num_clients);
+  const Clock::time_point start = Clock::now();
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    threads.emplace_back([&, c] {
+      results[c] = run_client(service.port(), trace.history, budget,
+                              static_cast<int>(c));
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  service.stop();
+  const serve::ServiceStats stats = service.stats();
+
+  BenchResult bench;
+  bench.clients = num_clients;
+  bench.wall_seconds = wall;
+  std::vector<double> latencies;
+  for (const ClientResult& r : results) {
+    bench.datapoints += r.sent;
+    bench.predictions += r.predictions;
+    bench.dropped_frames += r.unmatched + (r.failed ? 1 : 0);
+    latencies.insert(latencies.end(), r.latencies_ms.begin(),
+                     r.latencies_ms.end());
+  }
+  bench.dropped_frames += stats.protocol_errors;
+  bench.datapoints_per_second =
+      wall > 0.0 ? static_cast<double>(bench.datapoints) / wall : 0.0;
+  bench.p50_ms = percentile(latencies, 0.50);
+  bench.p99_ms = percentile(latencies, 0.99);
+  bench.sessions_held = stats.sessions_accepted;
+  return bench;
+}
+
+void write_json(const std::vector<BenchResult>& results) {
+  std::FILE* out = std::fopen("BENCH_serve_throughput.json", "w");
+  if (out == nullptr) return;
+  std::fprintf(out, "{\n  \"bench\": \"serve_throughput\",\n");
+  std::fprintf(out, "  \"window_seconds\": %.1f,\n", kWindowSeconds);
+  std::fprintf(out, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    std::fprintf(
+        out,
+        "    {\"clients\": %zu, \"datapoints\": %zu, \"predictions\": %zu, "
+        "\"wall_seconds\": %.3f, \"datapoints_per_second\": %.0f, "
+        "\"latency_p50_ms\": %.3f, \"latency_p99_ms\": %.3f, "
+        "\"sessions_held\": %zu, \"dropped_frames\": %zu}%s\n",
+        r.clients, r.datapoints, r.predictions, r.wall_seconds,
+        r.datapoints_per_second, r.p50_ms, r.p99_ms, r.sessions_held,
+        r.dropped_frames, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+}
+
+void run_all() {
+  std::printf("== F2PM serve: multi-session prediction service load ==\n");
+  const Trace trace = make_trace();
+  const auto model = train_model(trace.history);
+  std::printf(
+      "trace: %zu campaign runs, %zu raw datapoints; linear model on %.0fs "
+      "windows; loopback TCP, one event loop + scoring pool\n\n",
+      trace.history.num_runs(), trace.total_samples, kWindowSeconds);
+  std::printf("%-10s%-14s%-14s%-16s%-12s%-12s%-12s%-10s\n", "clients",
+              "datapoints", "dp/sec", "predictions", "p50 (ms)", "p99 (ms)",
+              "sessions", "dropped");
+  std::printf("%s\n", std::string(100, '-').c_str());
+  std::vector<BenchResult> results;
+  for (std::size_t n : {1u, 8u, 64u, 256u}) {
+    const BenchResult r = run_load(n, trace, model);
+    std::printf("%-10zu%-14zu%-14.0f%-16zu%-12.3f%-12.3f%-12zu%-10zu\n",
+                r.clients, r.datapoints, r.datapoints_per_second,
+                r.predictions, r.p50_ms, r.p99_ms, r.sessions_held,
+                r.dropped_frames);
+    results.push_back(r);
+  }
+  write_json(results);
+  std::printf("\nwrote BENCH_serve_throughput.json\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

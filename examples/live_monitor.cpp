@@ -8,14 +8,24 @@
 // front-end to show the derived metrics a model would consume. No process
 // on the host is instrumented or even aware of being watched.
 //
-// Usage: live_monitor [--seconds=N] [--interval=S]
+// With --model=path/to/archive (written by ml::save_model) the stream is
+// served by the f2pm_serve PredictionService instead of the plain FMS,
+// and each closed aggregation window prints the RTTF the server predicts
+// for this host.
+//
+// Usage: live_monitor [--seconds=N] [--interval=S] [--model=PATH]
 #include <chrono>
 #include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
 #include <thread>
 
 #include "data/aggregation.hpp"
 #include "net/fmc.hpp"
 #include "net/fms.hpp"
+#include "serve/model_store.hpp"
+#include "serve/service.hpp"
 #include "sysmon/proc_source.hpp"
 #include "util/config.hpp"
 
@@ -26,6 +36,7 @@ int main(int argc, char** argv) {
   args.apply_args(argc, argv);
   const double seconds = args.get_double("seconds", 6.0);
   const double interval = args.get_double("interval", 1.5);
+  const std::string model_path = args.get_string("model", "");
 
   sysmon::ProcFeatureSource source;
   if (!source.available()) {
@@ -33,16 +44,42 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  net::FeatureMonitorServer fms;
-  net::FeatureMonitorClient fmc("127.0.0.1", fms.port());
+  // With a model the serving side is the multi-session PredictionService;
+  // without one it is the legacy collection-only FMS.
+  std::optional<net::FeatureMonitorServer> fms;
+  std::unique_ptr<serve::PredictionService> service;
+  std::uint16_t port = 0;
+  if (!model_path.empty()) {
+    auto store = std::make_shared<serve::ModelStore>();
+    try {
+      store->load_file(model_path);
+    } catch (const std::exception& error) {
+      std::printf("cannot serve --model=%s: %s\n", model_path.c_str(),
+                  error.what());
+      return 1;
+    }
+    serve::ServiceOptions options;
+    options.aggregation.window_seconds = interval * 2.0;
+    service = std::make_unique<serve::PredictionService>(options, store);
+    port = service->port();
+    std::printf("serving %s (model v%u)\n", model_path.c_str(),
+                store->version());
+  } else {
+    fms.emplace();
+    port = fms->port();
+  }
+
+  net::FeatureMonitorClient fmc("127.0.0.1", port);
+  fmc.hello("live-monitor-host");
   std::printf("monitoring this host for %.0fs (FMC -> 127.0.0.1:%u)\n\n",
-              seconds, fms.port());
+              seconds, port);
   std::printf("%-8s%-12s%-12s%-12s%-10s%-10s%-10s%-10s\n", "t_s",
               "mem_used", "mem_free", "mem_cached", "threads", "cpu_us",
               "cpu_sys", "cpu_idle");
 
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration<double>(seconds);
+  std::size_t predictions = 0;
   while (std::chrono::steady_clock::now() < deadline) {
     const data::RawDatapoint sample = source.sample();
     fmc.send(sample);
@@ -54,11 +91,26 @@ int main(int argc, char** argv) {
                 sample[data::FeatureId::kCpuUser],
                 sample[data::FeatureId::kCpuSystem],
                 sample[data::FeatureId::kCpuIdle]);
+    while (auto prediction = fmc.poll_prediction()) {
+      ++predictions;
+      std::printf("        >> server predicts rttf %.0fs for window ending "
+                  "t=%.1fs%s\n",
+                  prediction->rttf, prediction->window_end,
+                  prediction->alarm ? "  [rejuvenate]" : "");
+    }
     std::this_thread::sleep_for(std::chrono::duration<double>(interval));
   }
   fmc.finish();
 
-  const data::DataHistory history = fms.wait_and_take_history();
+  if (service) {
+    while (auto prediction = fmc.wait_prediction()) ++predictions;
+    service->stop();
+    std::printf("\nprediction service returned %zu predictions over TCP\n",
+                predictions);
+    return 0;
+  }
+
+  const data::DataHistory history = fms->wait_and_take_history();
   std::printf("\nFMS received %zu datapoints over TCP\n",
               history.num_samples());
 

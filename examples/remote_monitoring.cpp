@@ -3,18 +3,27 @@
 // monitored machine and streams datapoints over a real TCP connection
 // (loopback here — the code path is identical across machines).
 //
-// The monitored "machine" is a simulated TPC-W run; every datapoint the
-// in-sim monitor produces is forwarded through the FMC, and the crash is
-// reported as a fail event. The FMS reassembles the DataHistory and the
-// pipeline trains on it — byte-identical to training on the local history.
+// Phase 1 — collection: a simulated TPC-W campaign streams every monitor
+// datapoint through the FMC (opening with a Hello handshake; hello-less
+// legacy clients still work), the FMS reassembles the DataHistory, and
+// the pipeline trains on it — byte-identical to training on the local
+// history.
+//
+// Phase 2 — deployment: the trained model is published to the f2pm_serve
+// PredictionService and a fresh monitored run streams through it, printing
+// the RTTF predictions the server sends back.
 //
 // Usage: remote_monitoring [--runs=N] [--seed=S]
 #include <cstdio>
+#include <memory>
 
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
+#include "ml/linear_regression.hpp"
 #include "net/fmc.hpp"
 #include "net/fms.hpp"
+#include "serve/model_store.hpp"
+#include "serve/service.hpp"
 #include "sim/campaign.hpp"
 #include "util/config.hpp"
 
@@ -39,6 +48,7 @@ int main(int argc, char** argv) {
   campaign.use_synthetic_injectors = true;
 
   net::FeatureMonitorClient fmc("127.0.0.1", fms.port());
+  fmc.hello("training-vm");  // optional: legacy clients skip this
   util::Rng seed_rng(campaign.seed);
   for (std::size_t r = 0; r < runs; ++r) {
     const sim::RunResult result = sim::execute_run(campaign, seed_rng());
@@ -52,8 +62,9 @@ int main(int argc, char** argv) {
 
   // Train on what arrived over the wire.
   const data::DataHistory history = fms.wait_and_take_history();
-  std::printf("FMS reassembled %zu runs / %zu datapoints\n",
-              history.num_runs(), history.num_samples());
+  std::printf("FMS reassembled %zu runs / %zu datapoints from '%s'\n",
+              history.num_runs(), history.num_samples(),
+              fms.client_id().c_str());
 
   core::PipelineOptions options;
   options.models = {"linear", "reptree", "m5p"};
@@ -63,5 +74,37 @@ int main(int argc, char** argv) {
               core::render_full_scorecard(result.using_all_features,
                                           "Models trained on streamed data")
                   .c_str());
+
+  // Phase 2: serve the model and stream a fresh run against it live.
+  auto model = std::make_shared<ml::LinearRegression>();
+  model->fit(result.train.x, result.train.y);
+  auto store = std::make_shared<serve::ModelStore>();
+  store->swap(model);
+  serve::ServiceOptions serve_options;
+  serve_options.aggregation = options.aggregation;
+  serve::PredictionService service(serve_options, store);
+  std::printf("prediction service on 127.0.0.1:%u, streaming a fresh run\n",
+              service.port());
+
+  const sim::RunResult fresh = sim::execute_run(campaign, seed_rng());
+  net::FeatureMonitorClient live("127.0.0.1", service.port());
+  live.hello("deployed-vm");
+  std::size_t printed = 0;
+  for (const auto& sample : fresh.run.samples) {
+    live.send(sample);
+    while (auto prediction = live.poll_prediction()) {
+      if (++printed <= 8) {
+        std::printf("  t=%7.1fs  predicted rttf %8.1fs  actual %8.1fs%s\n",
+                    prediction->window_end, prediction->rttf,
+                    fresh.run.fail_time - prediction->window_end,
+                    prediction->alarm ? "  [rejuvenate]" : "");
+      }
+    }
+  }
+  live.finish();
+  while (auto prediction = live.wait_prediction()) ++printed;
+  std::printf("received %zu live predictions for %zu datapoints\n", printed,
+              live.datapoints_sent());
+  service.stop();
   return 0;
 }

@@ -1,10 +1,16 @@
 #include "net/fmc.hpp"
 
+#include <array>
+
 namespace f2pm::net {
 
 FeatureMonitorClient::FeatureMonitorClient(const std::string& host,
                                            std::uint16_t port)
     : stream_(TcpStream::connect(host, port)) {}
+
+void FeatureMonitorClient::hello(const std::string& client_id) {
+  send_hello(stream_, Hello{kProtocolVersion, client_id});
+}
 
 void FeatureMonitorClient::send(const data::RawDatapoint& datapoint) {
   send_datapoint(stream_, datapoint);
@@ -18,8 +24,52 @@ void FeatureMonitorClient::report_failure(double fail_time) {
 void FeatureMonitorClient::finish() {
   if (finished_) return;
   send_bye(stream_);
-  stream_.close();
+  // Half-close so a prediction service can still flush replies earned by
+  // the datapoints we sent; wait_prediction() drains them until EOF.
+  stream_.shutdown_write();
   finished_ = true;
+}
+
+std::optional<Prediction> FeatureMonitorClient::next_buffered_prediction() {
+  while (auto frame = decoder_.next()) {
+    if (const auto* prediction = std::get_if<Prediction>(&*frame)) {
+      ++predictions_received_;
+      return *prediction;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Prediction> FeatureMonitorClient::poll_prediction() {
+  if (auto buffered = next_buffered_prediction()) return buffered;
+  std::array<char, 4096> chunk;
+  stream_.set_nonblocking(true);
+  while (true) {
+    std::size_t got = 0;
+    const IoResult io = stream_.recv_some(chunk.data(), chunk.size(), got);
+    if (io != IoResult::kOk) break;  // kWouldBlock or kEof: nothing more now
+    decoder_.feed(chunk.data(), got);
+    if (auto prediction = next_buffered_prediction()) {
+      stream_.set_nonblocking(false);
+      return prediction;
+    }
+  }
+  stream_.set_nonblocking(false);
+  return std::nullopt;
+}
+
+std::optional<Prediction> FeatureMonitorClient::wait_prediction() {
+  if (auto buffered = next_buffered_prediction()) return buffered;
+  std::array<char, 4096> chunk;
+  while (true) {
+    std::size_t got = 0;
+    const IoResult io = stream_.recv_some(chunk.data(), chunk.size(), got);
+    if (io == IoResult::kEof) return std::nullopt;
+    if (io == IoResult::kOk) {
+      decoder_.feed(chunk.data(), got);
+      if (auto prediction = next_buffered_prediction()) return prediction;
+    }
+  }
 }
 
 }  // namespace f2pm::net

@@ -5,7 +5,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "data/datapoint.hpp"
 #include "net/protocol.hpp"
@@ -19,21 +21,45 @@ class FeatureMonitorClient {
   /// Connects to the FMS; throws std::runtime_error on failure.
   FeatureMonitorClient(const std::string& host, std::uint16_t port);
 
+  /// Announces this client to the server (versioned Hello frame). Calling
+  /// it is optional — hello-less clients are served as ingest-only — but
+  /// only sessions that said hello receive Prediction replies from the
+  /// f2pm_serve prediction service.
+  void hello(const std::string& client_id);
+
   /// Forwards one datapoint.
   void send(const data::RawDatapoint& datapoint);
+
+  /// Drains any server->client frames already received without blocking
+  /// and returns the next Prediction, if one arrived. Other server frames
+  /// are ignored. Returns nullopt when no complete prediction is pending.
+  std::optional<Prediction> poll_prediction();
+
+  /// Blocks until the next Prediction arrives or the server closes the
+  /// connection (then returns nullopt).
+  std::optional<Prediction> wait_prediction();
 
   /// Signals that the monitored system met the failure condition at
   /// `fail_time` (elapsed seconds); the FMS closes the current run.
   void report_failure(double fail_time);
 
-  /// Sends the bye frame and closes the connection.
+  /// Sends the bye frame and half-closes the connection (write side).
+  /// Call wait_prediction() afterwards to drain any replies the server
+  /// still flushes; it returns nullopt once the server closes.
   void finish();
 
   [[nodiscard]] std::size_t datapoints_sent() const { return sent_; }
+  [[nodiscard]] std::size_t predictions_received() const {
+    return predictions_received_;
+  }
 
  private:
+  std::optional<Prediction> next_buffered_prediction();
+
   TcpStream stream_;
+  FrameDecoder decoder_;  ///< Reassembles server->client reply frames.
   std::size_t sent_ = 0;
+  std::size_t predictions_received_ = 0;
   bool finished_ = false;
 };
 

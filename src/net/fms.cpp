@@ -1,11 +1,26 @@
 #include "net/fms.hpp"
 
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <utility>
+
+#include "net/poller.hpp"
 #include "util/logging.hpp"
 
 namespace f2pm::net {
 
 FeatureMonitorServer::FeatureMonitorServer(std::uint16_t port)
-    : listener_(port), thread_([this] { serve(); }) {}
+    : listener_(port) {
+  int pipe_fds[2] = {-1, -1};
+  if (::pipe(pipe_fds) != 0) {
+    throw std::runtime_error("FeatureMonitorServer: pipe failed");
+  }
+  stop_rx_ = Socket(pipe_fds[0]);
+  stop_tx_ = Socket(pipe_fds[1]);
+  thread_ = std::thread([this] { serve(); });
+}
 
 FeatureMonitorServer::~FeatureMonitorServer() {
   stop();
@@ -13,30 +28,83 @@ FeatureMonitorServer::~FeatureMonitorServer() {
 }
 
 void FeatureMonitorServer::serve() {
-  auto client = listener_.accept();
-  if (!client) {
+  Poller poller;
+  listener_.set_nonblocking(true);
+  poller.add(listener_.fd(), /*want_read=*/true, /*want_write=*/false);
+  poller.add(stop_rx_.fd(), /*want_read=*/true, /*want_write=*/false);
+
+  std::optional<TcpStream> client;
+  FrameDecoder decoder;
+  std::array<char, 16384> chunk;
+  bool running = true;
+
+  // handle_frame returns false when the session is over (bye received).
+  auto handle_frame = [this](const Frame& frame) {
     std::lock_guard<std::mutex> lock(mutex_);
-    done_ = true;
-    return;
-  }
-  try {
-    while (true) {
-      auto frame = receive_frame(*client);
-      if (!frame) break;  // client vanished without bye
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (const auto* datapoint = std::get_if<data::RawDatapoint>(&*frame)) {
-        current_run_.samples.push_back(*datapoint);
-      } else if (const auto* fail = std::get_if<FailEvent>(&*frame)) {
-        current_run_.failed = true;
-        current_run_.fail_time = fail->fail_time;
-        history_.add_run(std::move(current_run_));
-        current_run_ = data::Run{};
-      } else {
-        break;  // bye
+    if (const auto* datapoint = std::get_if<data::RawDatapoint>(&frame)) {
+      current_run_.samples.push_back(*datapoint);
+    } else if (const auto* fail = std::get_if<FailEvent>(&frame)) {
+      current_run_.failed = true;
+      current_run_.fail_time = fail->fail_time;
+      history_.add_run(std::move(current_run_));
+      current_run_ = data::Run{};
+    } else if (const auto* hello = std::get_if<Hello>(&frame)) {
+      client_id_ = hello->client_id;
+    } else if (std::get_if<Bye>(&frame) != nullptr) {
+      return false;
+    }
+    // Prediction frames are server->client only; a client echoing one is
+    // harmless and ignored here.
+    return true;
+  };
+
+  while (running) {
+    for (const Poller::Event& event : poller.wait(-1)) {
+      if (event.fd == stop_rx_.fd()) {
+        running = false;
+        break;
+      }
+      if (event.fd == listener_.fd()) {
+        auto accepted = listener_.try_accept();
+        if (!accepted) continue;
+        // Legacy one-client semantics: serve the first connection only.
+        poller.remove(listener_.fd());
+        client = std::move(*accepted);
+        client->set_nonblocking(true);
+        poller.add(client->fd(), /*want_read=*/true, /*want_write=*/false);
+        continue;
+      }
+      if (!client || event.fd != client->fd()) continue;
+      try {
+        while (running) {
+          std::size_t got = 0;
+          const IoResult io = client->recv_some(chunk.data(), chunk.size(), got);
+          if (io == IoResult::kWouldBlock) break;
+          if (io == IoResult::kEof) {
+            if (decoder.mid_frame()) {
+              F2PM_LOG(kWarn, "fms") << "client closed mid-frame; keeping "
+                                        "the datapoints received so far";
+            }
+            running = false;  // client vanished without bye
+            break;
+          }
+          decoder.feed(chunk.data(), got);
+          while (auto frame = decoder.next()) {
+            if (!handle_frame(*frame)) {
+              running = false;
+              break;
+            }
+          }
+        }
+      } catch (const std::exception& e) {
+        F2PM_LOG(kWarn, "fms") << "connection error: " << e.what();
+        running = false;
       }
     }
-  } catch (const std::exception& e) {
-    F2PM_LOG(kWarn, "fms") << "connection error: " << e.what();
+  }
+  if (client) {
+    poller.remove(client->fd());
+    client->close();
   }
   std::lock_guard<std::mutex> lock(mutex_);
   done_ = true;
@@ -55,6 +123,16 @@ data::DataHistory FeatureMonitorServer::wait_and_take_history() {
   return std::move(history_);
 }
 
-void FeatureMonitorServer::stop() { listener_.shutdown(); }
+void FeatureMonitorServer::stop() {
+  if (!stop_tx_.valid()) return;
+  const char byte = 1;
+  // Idempotent wakeup; EAGAIN/EPIPE are fine (already stopping/stopped).
+  [[maybe_unused]] const ssize_t n = ::write(stop_tx_.fd(), &byte, 1);
+}
+
+std::string FeatureMonitorServer::client_id() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return client_id_;
+}
 
 }  // namespace f2pm::net

@@ -2,10 +2,19 @@
 // background thread and accumulates the received datapoints into a
 // DataHistory, closing a run whenever a fail event arrives. The resulting
 // history feeds straight into the F2PM pipeline.
+//
+// Since the f2pm_serve subsystem landed, this legacy one-client server is
+// a thin wrapper over the same building blocks the multi-session
+// PredictionService uses: a Poller-driven readiness loop (so stop() is a
+// race-free self-pipe wakeup instead of closing a socket out from under a
+// blocked accept()) and the byte-incremental FrameDecoder (one framing
+// code path). Clients that open with a Hello frame are recognized and
+// their id recorded; hello-less legacy clients keep working unchanged.
 #pragma once
 
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <thread>
 
 #include "data/data_history.hpp"
@@ -17,7 +26,7 @@ namespace f2pm::net {
 /// One-client FMS running on a background thread.
 class FeatureMonitorServer {
  public:
-  /// Binds loopback:port (0 = ephemeral) and starts the accept thread.
+  /// Binds loopback:port (0 = ephemeral) and starts the serving thread.
   explicit FeatureMonitorServer(std::uint16_t port = 0);
   FeatureMonitorServer(const FeatureMonitorServer&) = delete;
   FeatureMonitorServer& operator=(const FeatureMonitorServer&) = delete;
@@ -31,17 +40,25 @@ class FeatureMonitorServer {
   /// an unfailed run.
   data::DataHistory wait_and_take_history();
 
-  /// Force-stops the server (unblocks accept; the thread exits).
+  /// Force-stops the server: wakes the event loop via the self-pipe, so
+  /// it is safe to call at any point (before, during or after an accept)
+  /// and any number of times.
   void stop();
+
+  /// The client id announced via Hello ("" for hello-less legacy clients).
+  [[nodiscard]] std::string client_id() const;
 
  private:
   void serve();
 
   TcpListener listener_;
+  Socket stop_rx_;  ///< Self-pipe read end, registered with the poller.
+  Socket stop_tx_;  ///< Self-pipe write end; stop() writes one byte.
   std::thread thread_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   data::DataHistory history_;
   data::Run current_run_;
+  std::string client_id_;
   bool done_ = false;
 };
 

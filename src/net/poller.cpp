@@ -1,0 +1,148 @@
+#include "net/poller.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#define F2PM_HAVE_EPOLL 1
+#endif
+
+namespace f2pm::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Poller::Backend Poller::default_backend() noexcept {
+#if defined(F2PM_HAVE_EPOLL)
+  return Backend::kEpoll;
+#else
+  return Backend::kPoll;
+#endif
+}
+
+Poller::Poller(Backend backend) : backend_(backend) {
+#if defined(F2PM_HAVE_EPOLL)
+  if (backend_ == Backend::kEpoll) {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) throw_errno("epoll_create1");
+  }
+#else
+  if (backend_ == Backend::kEpoll) {
+    backend_ = Backend::kPoll;  // epoll is unavailable on this platform
+  }
+#endif
+}
+
+Poller::~Poller() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void Poller::add(int fd, bool want_read, bool want_write) {
+  if (fd < 0) throw std::runtime_error("Poller::add: bad fd");
+  if (interest_.count(fd) != 0) {
+    throw std::runtime_error("Poller::add: fd already registered");
+  }
+#if defined(F2PM_HAVE_EPOLL)
+  if (backend_ == Backend::kEpoll) {
+    epoll_event ev{};
+    ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      throw_errno("epoll_ctl(ADD)");
+    }
+  }
+#endif
+  interest_[fd] = Interest{want_read, want_write};
+}
+
+void Poller::modify(int fd, bool want_read, bool want_write) {
+  auto it = interest_.find(fd);
+  if (it == interest_.end()) {
+    throw std::runtime_error("Poller::modify: fd not registered");
+  }
+  if (it->second.read == want_read && it->second.write == want_write) return;
+#if defined(F2PM_HAVE_EPOLL)
+  if (backend_ == Backend::kEpoll) {
+    epoll_event ev{};
+    ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+      throw_errno("epoll_ctl(MOD)");
+    }
+  }
+#endif
+  it->second = Interest{want_read, want_write};
+}
+
+void Poller::remove(int fd) {
+  auto it = interest_.find(fd);
+  if (it == interest_.end()) return;
+#if defined(F2PM_HAVE_EPOLL)
+  if (backend_ == Backend::kEpoll) {
+    // Ignore errors: the fd may already be closed, which removed it.
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+#endif
+  interest_.erase(it);
+}
+
+std::vector<Poller::Event> Poller::wait(int timeout_ms) {
+  std::vector<Event> out;
+#if defined(F2PM_HAVE_EPOLL)
+  if (backend_ == Backend::kEpoll) {
+    epoll_event events[64];
+    int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return out;
+      throw_errno("epoll_wait");
+    }
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      Event ev;
+      ev.fd = events[i].data.fd;
+      ev.readable = (events[i].events & EPOLLIN) != 0;
+      ev.writable = (events[i].events & EPOLLOUT) != 0;
+      ev.error = (events[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      out.push_back(ev);
+    }
+    return out;
+  }
+#endif
+  std::vector<pollfd> fds;
+  fds.reserve(interest_.size());
+  for (const auto& [fd, want] : interest_) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = static_cast<short>((want.read ? POLLIN : 0) |
+                                  (want.write ? POLLOUT : 0));
+    fds.push_back(p);
+  }
+  const int n = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return out;
+    throw_errno("poll");
+  }
+  for (const pollfd& p : fds) {
+    if (p.revents == 0) continue;
+    Event ev;
+    ev.fd = p.fd;
+    ev.readable = (p.revents & POLLIN) != 0;
+    ev.writable = (p.revents & POLLOUT) != 0;
+    ev.error = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+    out.push_back(ev);
+  }
+  return out;
+}
+
+}  // namespace f2pm::net

@@ -1,0 +1,63 @@
+// Readiness multiplexer for the networked components: a thin wrapper over
+// epoll (Linux) with a portable poll(2) fallback, selectable at runtime so
+// both backends stay tested on any host. Single-threaded: one Poller is
+// owned and driven by exactly one event-loop thread.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+namespace f2pm::net {
+
+/// Edge-free (level-triggered) readiness poller.
+class Poller {
+ public:
+  enum class Backend { kEpoll, kPoll };
+
+  /// kEpoll where available (Linux), kPoll otherwise.
+  static Backend default_backend() noexcept;
+
+  /// One readiness report. `error` covers EPOLLERR/EPOLLHUP/POLLNVAL;
+  /// handlers should read the fd to surface the actual error/EOF.
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool error = false;
+  };
+
+  explicit Poller(Backend backend = default_backend());
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+  ~Poller();
+
+  [[nodiscard]] Backend backend() const noexcept { return backend_; }
+  [[nodiscard]] std::size_t size() const noexcept { return interest_.size(); }
+
+  /// Registers `fd` with the given interest set. Throws std::runtime_error
+  /// on failure or if the fd is already registered.
+  void add(int fd, bool want_read, bool want_write);
+
+  /// Updates the interest set of a registered fd.
+  void modify(int fd, bool want_read, bool want_write);
+
+  /// Deregisters a fd (no-op if it was never added).
+  void remove(int fd);
+
+  /// Blocks for up to `timeout_ms` (-1 = forever, 0 = poll) and returns the
+  /// ready events. An empty result means the timeout elapsed.
+  std::vector<Event> wait(int timeout_ms);
+
+ private:
+  struct Interest {
+    bool read = false;
+    bool write = false;
+  };
+
+  Backend backend_;
+  int epoll_fd_ = -1;
+  std::unordered_map<int, Interest> interest_;
+};
+
+}  // namespace f2pm::net

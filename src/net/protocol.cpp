@@ -1,72 +1,282 @@
 #include "net/protocol.hpp"
 
-#include <array>
 #include <cstring>
-#include <stdexcept>
 
 namespace f2pm::net {
 
 namespace {
 
-struct Header {
-  std::uint32_t magic;
-  std::uint32_t type;
-};
+constexpr std::size_t kHeaderBytes = 2 * sizeof(std::uint32_t);
+constexpr std::size_t kDatapointPayload =
+    (1 + data::kFeatureCount) * sizeof(double);
+constexpr std::size_t kFailEventPayload = sizeof(double);
+constexpr std::size_t kHelloFixedPayload = 2 * sizeof(std::uint32_t);
+constexpr std::size_t kPredictionPayload =
+    2 * sizeof(double) + 2 * sizeof(std::uint32_t);
 
-void send_header(TcpStream& stream, FrameType type) {
-  const Header header{kProtocolMagic, static_cast<std::uint32_t>(type)};
-  stream.send_all(&header, sizeof(header));
+void append_raw(std::vector<std::uint8_t>& out, const void* data,
+                std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  out.insert(out.end(), bytes, bytes + size);
+}
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  append_raw(out, &value, sizeof(value));
+}
+
+void append_f64(std::vector<std::uint8_t>& out, double value) {
+  append_raw(out, &value, sizeof(value));
+}
+
+void append_header(std::vector<std::uint8_t>& out, FrameType type) {
+  append_u32(out, kProtocolMagic);
+  append_u32(out, static_cast<std::uint32_t>(type));
+}
+
+template <typename T>
+T read_at(const std::vector<std::uint8_t>& buffer, std::size_t offset) {
+  T value;
+  std::memcpy(&value, buffer.data() + offset, sizeof(T));
+  return value;
 }
 
 }  // namespace
 
+void FrameEncoder::encode_datapoint(std::vector<std::uint8_t>& out,
+                                    const data::RawDatapoint& datapoint) {
+  append_header(out, FrameType::kDatapoint);
+  append_f64(out, datapoint.tgen);
+  append_raw(out, datapoint.values.data(),
+             data::kFeatureCount * sizeof(double));
+}
+
+void FrameEncoder::encode_fail_event(std::vector<std::uint8_t>& out,
+                                     double fail_time) {
+  append_header(out, FrameType::kFailEvent);
+  append_f64(out, fail_time);
+}
+
+void FrameEncoder::encode_bye(std::vector<std::uint8_t>& out) {
+  append_header(out, FrameType::kBye);
+}
+
+void FrameEncoder::encode_hello(std::vector<std::uint8_t>& out,
+                                const Hello& hello) {
+  if (hello.client_id.size() > kMaxClientIdBytes) {
+    throw std::invalid_argument("protocol: client_id exceeds " +
+                                std::to_string(kMaxClientIdBytes) + " bytes");
+  }
+  append_header(out, FrameType::kHello);
+  append_u32(out, hello.version);
+  append_u32(out, static_cast<std::uint32_t>(hello.client_id.size()));
+  append_raw(out, hello.client_id.data(), hello.client_id.size());
+}
+
+void FrameEncoder::encode_prediction(std::vector<std::uint8_t>& out,
+                                     const Prediction& prediction) {
+  append_header(out, FrameType::kPrediction);
+  append_f64(out, prediction.window_end);
+  append_f64(out, prediction.rttf);
+  append_u32(out, prediction.alarm ? 1u : 0u);
+  append_u32(out, prediction.model_version);
+}
+
+void FrameDecoder::feed(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  buffer_.insert(buffer_.end(), bytes, bytes + size);
+}
+
+void FrameDecoder::reset() {
+  buffer_.clear();
+  pos_ = 0;
+}
+
+std::size_t FrameDecoder::bytes_needed() const {
+  const std::size_t have = buffered_bytes();
+  if (have < kHeaderBytes) return kHeaderBytes - have;
+  const auto type =
+      static_cast<FrameType>(read_at<std::uint32_t>(buffer_, pos_ + 4));
+  std::size_t payload = 0;
+  switch (type) {
+    case FrameType::kDatapoint:
+      payload = kDatapointPayload;
+      break;
+    case FrameType::kFailEvent:
+      payload = kFailEventPayload;
+      break;
+    case FrameType::kBye:
+      payload = 0;
+      break;
+    case FrameType::kPrediction:
+      payload = kPredictionPayload;
+      break;
+    case FrameType::kHello: {
+      if (have < kHeaderBytes + kHelloFixedPayload) {
+        return kHeaderBytes + kHelloFixedPayload - have;
+      }
+      payload = kHelloFixedPayload +
+                read_at<std::uint32_t>(buffer_, pos_ + kHeaderBytes + 4);
+      break;
+    }
+    default:
+      // next() throws on a complete invalid header; asking for one more
+      // byte here keeps blocking callers making progress until it does.
+      return 1;
+  }
+  const std::size_t total = kHeaderBytes + payload;
+  return have >= total ? 1 : total - have;
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (buffered_bytes() < kHeaderBytes) return std::nullopt;
+  const auto magic = read_at<std::uint32_t>(buffer_, pos_);
+  if (magic != kProtocolMagic) {
+    throw ProtocolError(ProtocolError::Kind::kBadMagic,
+                        "protocol: bad frame magic");
+  }
+  const auto raw_type = read_at<std::uint32_t>(buffer_, pos_ + 4);
+  const auto type = static_cast<FrameType>(raw_type);
+
+  std::size_t payload = 0;
+  switch (type) {
+    case FrameType::kDatapoint:
+      payload = kDatapointPayload;
+      break;
+    case FrameType::kFailEvent:
+      payload = kFailEventPayload;
+      break;
+    case FrameType::kBye:
+      payload = 0;
+      break;
+    case FrameType::kPrediction:
+      payload = kPredictionPayload;
+      break;
+    case FrameType::kHello: {
+      if (buffered_bytes() < kHeaderBytes + kHelloFixedPayload) {
+        return std::nullopt;
+      }
+      const auto id_len =
+          read_at<std::uint32_t>(buffer_, pos_ + kHeaderBytes + 4);
+      if (id_len > kMaxClientIdBytes) {
+        throw ProtocolError(ProtocolError::Kind::kOversized,
+                            "protocol: hello client_id of " +
+                                std::to_string(id_len) + " bytes exceeds " +
+                                std::to_string(kMaxClientIdBytes));
+      }
+      payload = kHelloFixedPayload + id_len;
+      break;
+    }
+    default:
+      throw ProtocolError(
+          ProtocolError::Kind::kUnknownType,
+          "protocol: unknown frame type " + std::to_string(raw_type));
+  }
+
+  const std::size_t total = kHeaderBytes + payload;
+  if (buffered_bytes() < total) return std::nullopt;
+  const std::size_t body = pos_ + kHeaderBytes;
+
+  Frame frame = Bye{};
+  switch (type) {
+    case FrameType::kDatapoint: {
+      data::RawDatapoint datapoint;
+      datapoint.tgen = read_at<double>(buffer_, body);
+      std::memcpy(datapoint.values.data(), buffer_.data() + body + 8,
+                  data::kFeatureCount * sizeof(double));
+      frame = datapoint;
+      break;
+    }
+    case FrameType::kFailEvent:
+      frame = FailEvent{read_at<double>(buffer_, body)};
+      break;
+    case FrameType::kBye:
+      frame = Bye{};
+      break;
+    case FrameType::kHello: {
+      Hello hello;
+      hello.version = read_at<std::uint32_t>(buffer_, body);
+      const auto id_len = read_at<std::uint32_t>(buffer_, body + 4);
+      hello.client_id.assign(
+          reinterpret_cast<const char*>(buffer_.data() + body + 8), id_len);
+      frame = std::move(hello);
+      break;
+    }
+    case FrameType::kPrediction: {
+      Prediction prediction;
+      prediction.window_end = read_at<double>(buffer_, body);
+      prediction.rttf = read_at<double>(buffer_, body + 8);
+      prediction.alarm = read_at<std::uint32_t>(buffer_, body + 16) != 0;
+      prediction.model_version = read_at<std::uint32_t>(buffer_, body + 20);
+      frame = prediction;
+      break;
+    }
+  }
+
+  pos_ += total;
+  if (pos_ == buffer_.size()) {
+    buffer_.clear();
+    pos_ = 0;
+  } else if (pos_ >= 4096) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  return frame;
+}
+
 void send_datapoint(TcpStream& stream, const data::RawDatapoint& datapoint) {
-  send_header(stream, FrameType::kDatapoint);
-  std::array<double, 1 + data::kFeatureCount> payload{};
-  payload[0] = datapoint.tgen;
-  std::memcpy(payload.data() + 1, datapoint.values.data(),
-              data::kFeatureCount * sizeof(double));
-  stream.send_all(payload.data(), payload.size() * sizeof(double));
+  std::vector<std::uint8_t> bytes;
+  FrameEncoder::encode_datapoint(bytes, datapoint);
+  stream.send_all(bytes.data(), bytes.size());
 }
 
 void send_fail_event(TcpStream& stream, double fail_time) {
-  send_header(stream, FrameType::kFailEvent);
-  stream.send_all(&fail_time, sizeof(fail_time));
+  std::vector<std::uint8_t> bytes;
+  FrameEncoder::encode_fail_event(bytes, fail_time);
+  stream.send_all(bytes.data(), bytes.size());
 }
 
-void send_bye(TcpStream& stream) { send_header(stream, FrameType::kBye); }
+void send_bye(TcpStream& stream) {
+  std::vector<std::uint8_t> bytes;
+  FrameEncoder::encode_bye(bytes);
+  stream.send_all(bytes.data(), bytes.size());
+}
+
+void send_hello(TcpStream& stream, const Hello& hello) {
+  std::vector<std::uint8_t> bytes;
+  FrameEncoder::encode_hello(bytes, hello);
+  stream.send_all(bytes.data(), bytes.size());
+}
+
+void send_prediction(TcpStream& stream, const Prediction& prediction) {
+  std::vector<std::uint8_t> bytes;
+  FrameEncoder::encode_prediction(bytes, prediction);
+  stream.send_all(bytes.data(), bytes.size());
+}
+
+std::optional<Frame> receive_frame(TcpStream& stream, FrameDecoder& decoder) {
+  while (true) {
+    if (auto frame = decoder.next()) return frame;
+    const std::size_t need = decoder.bytes_needed();
+    std::vector<std::uint8_t> chunk(need);
+    if (!stream.recv_exact(chunk.data(), need)) {
+      // EOF before any byte of this read: clean close only if no partial
+      // frame is already buffered. (EOF inside the read throws from
+      // recv_exact — that is always a mid-frame truncation.)
+      if (decoder.mid_frame()) {
+        throw std::runtime_error("protocol: connection closed mid-frame");
+      }
+      return std::nullopt;
+    }
+    decoder.feed(chunk.data(), need);
+  }
+}
 
 std::optional<Frame> receive_frame(TcpStream& stream) {
-  Header header{};
-  if (!stream.recv_exact(&header, sizeof(header))) return std::nullopt;
-  if (header.magic != kProtocolMagic) {
-    throw std::runtime_error("protocol: bad frame magic");
-  }
-  switch (static_cast<FrameType>(header.type)) {
-    case FrameType::kDatapoint: {
-      std::array<double, 1 + data::kFeatureCount> payload{};
-      if (!stream.recv_exact(payload.data(),
-                             payload.size() * sizeof(double))) {
-        throw std::runtime_error("protocol: truncated datapoint frame");
-      }
-      data::RawDatapoint datapoint;
-      datapoint.tgen = payload[0];
-      std::memcpy(datapoint.values.data(), payload.data() + 1,
-                  data::kFeatureCount * sizeof(double));
-      return Frame{datapoint};
-    }
-    case FrameType::kFailEvent: {
-      FailEvent event;
-      if (!stream.recv_exact(&event.fail_time, sizeof(event.fail_time))) {
-        throw std::runtime_error("protocol: truncated fail-event frame");
-      }
-      return Frame{event};
-    }
-    case FrameType::kBye:
-      return Frame{Bye{}};
-  }
-  throw std::runtime_error("protocol: unknown frame type " +
-                           std::to_string(header.type));
+  // A call-local decoder is sound here: the loop above reads exactly
+  // bytes_needed(), so no bytes beyond the returned frame are buffered.
+  FrameDecoder decoder;
+  return receive_frame(stream, decoder);
 }
 
 }  // namespace f2pm::net

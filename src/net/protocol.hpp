@@ -1,15 +1,30 @@
-// Wire protocol between the Feature Monitor Client and Server: fixed-size
-// little-endian frames, one per datapoint, plus a run-boundary marker.
+// Wire protocol between the Feature Monitor Client and the server side
+// (legacy one-client FMS or the f2pm_serve prediction service): fixed
+// little-endian framed messages.
 //
 //   [u32 magic][u32 type][payload]
-//   type kDatapoint: payload = f64 tgen + 14 x f64 feature values
-//   type kFailEvent: payload = f64 fail_time (the run crashed; restart)
-//   type kBye:       payload empty (client is done)
+//   type kDatapoint:  payload = f64 tgen + 14 x f64 feature values
+//   type kFailEvent:  payload = f64 fail_time (the run crashed; restart)
+//   type kBye:        payload empty (client is done)
+//   type kHello:      payload = u32 proto_version + u32 len + len id bytes
+//   type kPrediction: payload = f64 window_end + f64 rttf + u32 alarm +
+//                               u32 model_version   (server -> client)
+//
+// Hello is optional and versioned: legacy clients that never send it keep
+// working (they are treated as ingest-only and receive no predictions).
+//
+// Two code paths share one framing implementation: the byte-incremental
+// FrameDecoder drives the non-blocking event loops, and the blocking
+// receive_frame() is a thin loop over the same decoder.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <variant>
+#include <vector>
 
 #include "data/datapoint.hpp"
 #include "net/socket.hpp"
@@ -18,10 +33,19 @@ namespace f2pm::net {
 
 inline constexpr std::uint32_t kProtocolMagic = 0x46'32'50'4D;  // "F2PM"
 
+/// Highest Hello version this build understands.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Hard cap on the Hello client-id length; longer ids are a protocol
+/// violation (they would let a hostile client demand unbounded buffers).
+inline constexpr std::size_t kMaxClientIdBytes = 256;
+
 enum class FrameType : std::uint32_t {
   kDatapoint = 1,
   kFailEvent = 2,
   kBye = 3,
+  kHello = 4,
+  kPrediction = 5,
 };
 
 /// A fail-event frame body.
@@ -32,8 +56,91 @@ struct FailEvent {
 /// A bye frame body.
 struct Bye {};
 
+/// Session-opening handshake (client -> server).
+struct Hello {
+  std::uint32_t version = kProtocolVersion;
+  std::string client_id;
+};
+
+/// An RTTF prediction reply (server -> client), emitted when an
+/// aggregation window closes on the server side.
+struct Prediction {
+  double window_end = 0.0;  ///< Elapsed time the prediction refers to.
+  double rttf = 0.0;        ///< Predicted remaining time to failure (s).
+  bool alarm = false;       ///< Rejuvenation advisor says "act now".
+  std::uint32_t model_version = 0;  ///< ModelStore version that scored it.
+};
+
 /// Any received frame.
-using Frame = std::variant<data::RawDatapoint, FailEvent, Bye>;
+using Frame =
+    std::variant<data::RawDatapoint, FailEvent, Bye, Hello, Prediction>;
+
+/// Protocol violation: bad magic, unknown frame type or an oversized
+/// variable-length payload. Distinct from truncation (see FrameDecoder).
+class ProtocolError : public std::runtime_error {
+ public:
+  enum class Kind { kBadMagic, kUnknownType, kOversized };
+
+  ProtocolError(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+/// Appends the serialized form of a frame to `out`. Used by the
+/// non-blocking send path (per-connection outbound queues) and, through
+/// the send_* helpers below, by the blocking clients.
+class FrameEncoder {
+ public:
+  static void encode_datapoint(std::vector<std::uint8_t>& out,
+                               const data::RawDatapoint& datapoint);
+  static void encode_fail_event(std::vector<std::uint8_t>& out,
+                                double fail_time);
+  static void encode_bye(std::vector<std::uint8_t>& out);
+  /// Throws std::invalid_argument when client_id exceeds kMaxClientIdBytes.
+  static void encode_hello(std::vector<std::uint8_t>& out, const Hello& hello);
+  static void encode_prediction(std::vector<std::uint8_t>& out,
+                                const Prediction& prediction);
+};
+
+/// Byte-incremental frame parser: feed() arbitrary chunks (single bytes,
+/// split frames, coalesced frames), pop complete frames with next().
+/// Throws ProtocolError on violations; after a throw the decoder is
+/// poisoned and the connection should be dropped.
+class FrameDecoder {
+ public:
+  /// Appends raw bytes from the wire.
+  void feed(const void* data, std::size_t size);
+
+  /// Returns the next complete frame, or nullopt when more bytes are
+  /// needed. Throws ProtocolError on bad magic / unknown type / oversized
+  /// payloads.
+  std::optional<Frame> next();
+
+  /// True when buffered bytes form an incomplete frame — at EOF this is
+  /// the difference between a clean close (between frames) and a
+  /// mid-frame truncation.
+  [[nodiscard]] bool mid_frame() const noexcept { return pos_ < buffer_.size(); }
+
+  /// How many more bytes are certainly required before next() can make
+  /// progress (>= 1 whenever next() returned nullopt). Blocking callers
+  /// use this to read exactly one frame without over-reading.
+  [[nodiscard]] std::size_t bytes_needed() const;
+
+  [[nodiscard]] std::size_t buffered_bytes() const noexcept {
+    return buffer_.size() - pos_;
+  }
+
+  /// Drops all buffered bytes (e.g. after a per-run reconnect).
+  void reset();
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t pos_ = 0;  ///< Consumed prefix; compacted between frames.
+};
 
 /// Serializes and sends one datapoint frame.
 void send_datapoint(TcpStream& stream, const data::RawDatapoint& datapoint);
@@ -44,9 +151,20 @@ void send_fail_event(TcpStream& stream, double fail_time);
 /// Serializes and sends a bye frame.
 void send_bye(TcpStream& stream);
 
-/// Receives the next frame. Returns nullopt on clean EOF; throws
-/// std::runtime_error on protocol violations (bad magic / unknown type /
-/// truncation).
+/// Serializes and sends a hello frame.
+void send_hello(TcpStream& stream, const Hello& hello);
+
+/// Serializes and sends a prediction frame.
+void send_prediction(TcpStream& stream, const Prediction& prediction);
+
+/// Receives the next frame, blocking. Returns nullopt on clean EOF at a
+/// frame boundary; throws ProtocolError on protocol violations and
+/// std::runtime_error on mid-frame truncation. `decoder` carries partial
+/// state across calls, so mixing this with non-blocking reads is safe.
+std::optional<Frame> receive_frame(TcpStream& stream, FrameDecoder& decoder);
+
+/// Convenience overload with a call-local decoder (reads exactly one
+/// frame, never buffering past it).
 std::optional<Frame> receive_frame(TcpStream& stream);
 
 }  // namespace f2pm::net

@@ -1,6 +1,7 @@
 #include "net/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -17,6 +18,15 @@ namespace {
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void set_fd_nonblocking(int fd, bool enabled, const char* who) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw_errno(std::string(who) + ": fcntl(F_GETFL)");
+  const int wanted = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (wanted != flags && ::fcntl(fd, F_SETFL, wanted) < 0) {
+    throw_errno(std::string(who) + ": fcntl(F_SETFL)");
+  }
 }
 
 }  // namespace
@@ -92,7 +102,46 @@ bool TcpStream::recv_exact(void* data, std::size_t size) {
   return true;
 }
 
-TcpListener::TcpListener(std::uint16_t port) {
+IoResult TcpStream::recv_some(void* data, std::size_t size,
+                              std::size_t& transferred) {
+  transferred = 0;
+  while (true) {
+    const ssize_t n = ::recv(socket_.fd(), data, size, 0);
+    if (n > 0) {
+      transferred = static_cast<std::size_t>(n);
+      return IoResult::kOk;
+    }
+    if (n == 0) return IoResult::kEof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kWouldBlock;
+    throw_errno("recv");
+  }
+}
+
+IoResult TcpStream::send_some(const void* data, std::size_t size,
+                              std::size_t& transferred) {
+  transferred = 0;
+  while (true) {
+    const ssize_t n = ::send(socket_.fd(), data, size, MSG_NOSIGNAL);
+    if (n >= 0) {
+      transferred = static_cast<std::size_t>(n);
+      return IoResult::kOk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kWouldBlock;
+    throw_errno("send");
+  }
+}
+
+void TcpStream::set_nonblocking(bool enabled) {
+  set_fd_nonblocking(socket_.fd(), enabled, "TcpStream");
+}
+
+void TcpStream::shutdown_write() noexcept {
+  if (socket_.valid()) ::shutdown(socket_.fd(), SHUT_WR);
+}
+
+TcpListener::TcpListener(std::uint16_t port, int backlog) {
   socket_ = Socket(::socket(AF_INET, SOCK_STREAM, 0));
   if (!socket_.valid()) throw_errno("socket");
   const int one = 1;
@@ -105,7 +154,7 @@ TcpListener::TcpListener(std::uint16_t port) {
              sizeof(addr)) != 0) {
     throw_errno("bind");
   }
-  if (::listen(socket_.fd(), 8) != 0) throw_errno("listen");
+  if (::listen(socket_.fd(), backlog) != 0) throw_errno("listen");
   socklen_t len = sizeof(addr);
   if (::getsockname(socket_.fd(), reinterpret_cast<sockaddr*>(&addr), &len) !=
       0) {
@@ -121,6 +170,20 @@ std::optional<TcpStream> TcpListener::accept() {
     return std::nullopt;
   }
   return TcpStream(Socket(fd));
+}
+
+std::optional<TcpStream> TcpListener::try_accept() {
+  while (true) {
+    const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+    if (fd >= 0) return TcpStream(Socket(fd));
+    if (errno == EINTR) continue;
+    // EAGAIN (nothing pending), or EBADF/EINVAL after shutdown().
+    return std::nullopt;
+  }
+}
+
+void TcpListener::set_nonblocking(bool enabled) {
+  set_fd_nonblocking(socket_.fd(), enabled, "TcpListener");
 }
 
 void TcpListener::shutdown() noexcept {

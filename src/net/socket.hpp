@@ -31,6 +31,13 @@ class Socket {
   int fd_ = -1;
 };
 
+/// Result of one non-blocking read/write attempt.
+enum class IoResult {
+  kOk,          ///< At least one byte was transferred.
+  kWouldBlock,  ///< The socket is not ready (EAGAIN/EWOULDBLOCK).
+  kEof,         ///< The peer closed the connection (reads only).
+};
+
 /// Connected TCP byte stream.
 class TcpStream {
  public:
@@ -47,26 +54,56 @@ class TcpStream {
   /// byte; throws std::runtime_error on mid-message EOF or error.
   bool recv_exact(void* data, std::size_t size);
 
+  /// One read attempt: up to `size` bytes into `data`; `transferred` gets
+  /// the byte count on kOk. Never blocks on a non-blocking socket (and on a
+  /// blocking one, kWouldBlock cannot occur). Throws on hard errors.
+  IoResult recv_some(void* data, std::size_t size, std::size_t& transferred);
+
+  /// One write attempt: up to `size` bytes from `data`. Partial writes are
+  /// normal; `transferred` gets the byte count on kOk. Throws on hard
+  /// errors (a reset peer surfaces here as an exception).
+  IoResult send_some(const void* data, std::size_t size,
+                     std::size_t& transferred);
+
+  /// Switches O_NONBLOCK on or off; throws std::runtime_error on failure.
+  void set_nonblocking(bool enabled);
+
+  /// Half-close: shuts down the write side (the peer sees EOF) while
+  /// reads stay open, so replies in flight can still be drained.
+  void shutdown_write() noexcept;
+
   [[nodiscard]] bool valid() const noexcept { return socket_.valid(); }
+  [[nodiscard]] int fd() const noexcept { return socket_.fd(); }
   void close() noexcept { socket_.close(); }
 
  private:
   Socket socket_;
 };
 
-/// Listening TCP socket bound to 127.0.0.1.
+/// Listening TCP socket bound to 127.0.0.1. SO_REUSEADDR is always set so
+/// start/stop cycles in tests never hit "address already in use".
 class TcpListener {
  public:
-  /// Binds and listens on loopback:port (port 0 picks an ephemeral port);
-  /// throws std::runtime_error on failure.
-  explicit TcpListener(std::uint16_t port);
+  /// Binds and listens on loopback:port (port 0 picks an ephemeral port)
+  /// with the given accept backlog; throws std::runtime_error on failure.
+  explicit TcpListener(std::uint16_t port, int backlog = 128);
 
   /// The actually bound port (useful with port 0).
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 
+  /// The listening descriptor, for poll/epoll readiness loops.
+  [[nodiscard]] int fd() const noexcept { return socket_.fd(); }
+
   /// Blocks until a client connects; returns nullopt if the listener was
   /// shut down concurrently.
   std::optional<TcpStream> accept();
+
+  /// Non-blocking accept: nullopt when no connection is pending (requires
+  /// set_nonblocking(true)) or after shutdown().
+  std::optional<TcpStream> try_accept();
+
+  /// Switches O_NONBLOCK on the listening socket.
+  void set_nonblocking(bool enabled);
 
   /// Unblocks a pending accept() and closes the listening socket.
   void shutdown() noexcept;

@@ -1,0 +1,126 @@
+#include "serve/model_store.hpp"
+
+#include <sys/stat.h>
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "data/aggregation.hpp"
+#include "util/logging.hpp"
+
+namespace f2pm::serve {
+
+namespace {
+
+void validate(const ml::Regressor& regressor,
+              const std::vector<std::size_t>& selected_columns) {
+  if (!regressor.is_fitted()) {
+    throw std::invalid_argument("ModelStore: model must be fitted");
+  }
+  const std::size_t expected = selected_columns.empty()
+                                   ? data::kInputCount
+                                   : selected_columns.size();
+  if (regressor.num_inputs() != expected) {
+    throw std::invalid_argument(
+        "ModelStore: model input width " +
+        std::to_string(regressor.num_inputs()) +
+        " does not match the feature layout (expected " +
+        std::to_string(expected) + ")");
+  }
+  for (std::size_t column : selected_columns) {
+    if (column >= data::kInputCount) {
+      throw std::invalid_argument("ModelStore: selected column out of range");
+    }
+  }
+}
+
+}  // namespace
+
+std::uint32_t ModelStore::swap(std::shared_ptr<const ml::Regressor> regressor,
+                               std::vector<std::size_t> selected_columns,
+                               std::string source) {
+  if (!regressor) {
+    throw std::invalid_argument("ModelStore: null model");
+  }
+  validate(*regressor, selected_columns);
+  auto next = std::make_shared<ScoringModel>();
+  next->regressor = std::move(regressor);
+  next->selected_columns = std::move(selected_columns);
+  next->source = std::move(source);
+  std::lock_guard<std::mutex> lock(mutex_);
+  next->version = next_version_++;
+  current_ = std::move(next);
+  return current_->version;
+}
+
+std::uint32_t ModelStore::load_file(const std::string& path,
+                                    std::vector<std::size_t> selected_columns) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("ModelStore: cannot open " + path);
+  }
+  // Fully parse (and thereby validate) the archive before publishing.
+  std::shared_ptr<const ml::Regressor> model = ml::load_model(in);
+  return swap(std::move(model), std::move(selected_columns), "file:" + path);
+}
+
+std::shared_ptr<const ScoringModel> ModelStore::current() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+std::uint32_t ModelStore::version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_ ? current_->version : 0;
+}
+
+void ModelStore::watch_file(const std::string& path,
+                            std::vector<std::size_t> selected_columns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  watch_path_ = path;
+  watch_columns_ = std::move(selected_columns);
+  watch_mtime_ns_ = -1;
+  watch_size_ = -1;
+}
+
+bool ModelStore::has_watch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !watch_path_.empty();
+}
+
+bool ModelStore::poll_watch() {
+  std::string path;
+  std::vector<std::size_t> columns;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (watch_path_.empty()) return false;
+    path = watch_path_;
+    columns = watch_columns_;
+  }
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return false;  // not there (yet)
+  const auto mtime_ns = static_cast<std::int64_t>(st.st_mtim.tv_sec) *
+                            1'000'000'000 +
+                        st.st_mtim.tv_nsec;
+  const auto size = static_cast<std::int64_t>(st.st_size);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (mtime_ns == watch_mtime_ns_ && size == watch_size_) return false;
+  }
+  try {
+    load_file(path, columns);
+  } catch (const std::exception& e) {
+    // Likely a non-atomic writer caught mid-write: keep the active model
+    // and retry on the next poll (the recorded mtime is not advanced).
+    F2PM_LOG(kWarn, "serve") << "model reload of " << path
+                             << " failed: " << e.what();
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  watch_mtime_ns_ = mtime_ns;
+  watch_size_ = size;
+  return true;
+}
+
+}  // namespace f2pm::serve

@@ -1,0 +1,82 @@
+// Hot-swappable model storage for the prediction service.
+//
+// The store holds one immutable ScoringModel snapshot behind a
+// shared_ptr; readers (scoring tasks on the thread pool) take a reference
+// under the lock and then score lock-free against a model that can never
+// change or half-load underneath them. Swapping in a new model — via the
+// API or the watched-file poll — builds and validates the complete
+// replacement first and only then publishes it, so sessions always see
+// either the old or the new model, never a torn state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ml/model.hpp"
+
+namespace f2pm::serve {
+
+/// One fully-loaded, immutable scoring configuration.
+struct ScoringModel {
+  std::shared_ptr<const ml::Regressor> regressor;
+  /// Lasso-selected input columns the model was trained on; empty means
+  /// the full data::kInputCount layout.
+  std::vector<std::size_t> selected_columns;
+  std::uint32_t version = 0;  ///< Monotonic swap counter (1 = first model).
+  std::string source;         ///< Provenance ("api", "file:<path>").
+};
+
+/// Thread-safe holder of the active ScoringModel.
+class ModelStore {
+ public:
+  ModelStore() = default;
+
+  /// Publishes a new model. Validates that it is fitted and that its
+  /// input width matches the aggregation layout (or `selected_columns`);
+  /// throws std::invalid_argument otherwise, leaving the active model
+  /// untouched. Returns the new version.
+  std::uint32_t swap(std::shared_ptr<const ml::Regressor> regressor,
+                     std::vector<std::size_t> selected_columns = {},
+                     std::string source = "api");
+
+  /// Loads a model archive written by ml::save_model and publishes it.
+  /// The file is parsed completely before the swap; on any error the
+  /// previous model stays active and the exception propagates.
+  std::uint32_t load_file(const std::string& path,
+                          std::vector<std::size_t> selected_columns = {});
+
+  /// The active model, or nullptr when none was ever published.
+  [[nodiscard]] std::shared_ptr<const ScoringModel> current() const;
+
+  /// Version of the active model (0 = none).
+  [[nodiscard]] std::uint32_t version() const;
+
+  /// Registers `path` for mtime-based reload; poll_watch() re-loads it
+  /// whenever the file changes. Writers should replace the file
+  /// atomically (write to a temp file, then rename); a half-written file
+  /// fails to parse and is retried on the next poll, never published.
+  void watch_file(const std::string& path,
+                  std::vector<std::size_t> selected_columns = {});
+
+  [[nodiscard]] bool has_watch() const;
+
+  /// Checks the watched file and hot-swaps it when its mtime/size
+  /// changed. Returns true when a new model was published; load errors
+  /// are swallowed (logged) so a torn write cannot take the service down.
+  bool poll_watch();
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const ScoringModel> current_;
+  std::uint32_t next_version_ = 1;
+
+  std::string watch_path_;
+  std::vector<std::size_t> watch_columns_;
+  std::int64_t watch_mtime_ns_ = -1;
+  std::int64_t watch_size_ = -1;
+};
+
+}  // namespace f2pm::serve

@@ -1,0 +1,113 @@
+// Per-connection state of the prediction service.
+//
+// Ownership/threading contract (enforced by PredictionService):
+//   * The event-loop thread owns the socket, frame decoder, outbound
+//     queue, inbox and all bookkeeping flags.
+//   * While `in_flight` is true, exactly one scoring task on the thread
+//     pool owns `predictor`, `advisor` and `model_version`; the loop does
+//     not touch them. The in_flight handoff is sequenced through the
+//     service's mutex-protected completion queue, so no field needs its
+//     own lock except the two atomics shared across that boundary.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/online.hpp"
+#include "data/datapoint.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+
+namespace f2pm::serve {
+
+/// One queued unit of per-session scoring work, in arrival order.
+struct InboxItem {
+  /// True for a run boundary (fail event): reset the streaming predictor
+  /// and the advisor debounce instead of scoring a datapoint.
+  bool reset = false;
+  data::RawDatapoint point;
+};
+
+/// State of one connected client.
+struct Session {
+  Session(net::TcpStream stream_in, core::AdvisorOptions advisor_options)
+      : stream(std::move(stream_in)),
+        advisor(advisor_options),
+        last_activity(std::chrono::steady_clock::now()) {}
+
+  net::TcpStream stream;
+  net::FrameDecoder decoder;
+  std::string client_id;  ///< From Hello; "" for legacy ingest clients.
+
+  /// Set by the loop thread on Hello, read by scoring tasks (gates
+  /// whether Prediction replies are produced) — hence atomic.
+  std::atomic<bool> hello_received{false};
+
+  // --- outbound queue (loop thread only) ---------------------------------
+  std::vector<std::uint8_t> outbound;
+  std::size_t outbound_pos = 0;  ///< Sent prefix of `outbound`.
+  bool want_write = false;       ///< Mirror of the poller write interest.
+  bool read_paused = false;      ///< Backpressure: inbox over the limit.
+  bool peer_eof = false;  ///< Client half-closed; never re-arm reads.
+  bool draining = false;  ///< Bye received or service stopping: flush+close.
+  bool closed = false;    ///< Unregistered; late completions are dropped.
+
+  // --- scoring pipeline --------------------------------------------------
+  std::vector<InboxItem> inbox;  ///< Loop thread only.
+  bool in_flight = false;        ///< A scoring task currently owns state.
+  std::unique_ptr<core::OnlinePredictor> predictor;  ///< Task-owned.
+  core::RejuvenationAdvisor advisor;                 ///< Task-owned.
+  std::uint32_t model_version = 0;                   ///< Task-owned.
+
+  std::chrono::steady_clock::time_point last_activity;
+  std::uint64_t datapoints = 0;
+  std::uint64_t predictions = 0;
+
+  [[nodiscard]] std::size_t outbound_pending() const {
+    return outbound.size() - outbound_pos;
+  }
+};
+
+/// fd-keyed session table with admission control. Loop thread only.
+class SessionRegistry {
+ public:
+  explicit SessionRegistry(std::size_t max_sessions)
+      : max_sessions_(max_sessions) {}
+
+  [[nodiscard]] bool can_admit() const {
+    return sessions_.size() < max_sessions_;
+  }
+
+  std::shared_ptr<Session> add(net::TcpStream stream,
+                               core::AdvisorOptions advisor_options) {
+    auto session =
+        std::make_shared<Session>(std::move(stream), advisor_options);
+    sessions_.emplace(session->stream.fd(), session);
+    return session;
+  }
+
+  [[nodiscard]] std::shared_ptr<Session> find(int fd) const {
+    auto it = sessions_.find(fd);
+    return it == sessions_.end() ? nullptr : it->second;
+  }
+
+  void erase(int fd) { sessions_.erase(fd); }
+
+  [[nodiscard]] std::size_t size() const { return sessions_.size(); }
+
+  [[nodiscard]] const std::unordered_map<int, std::shared_ptr<Session>>&
+  sessions() const {
+    return sessions_;
+  }
+
+ private:
+  std::size_t max_sessions_;
+  std::unordered_map<int, std::shared_ptr<Session>> sessions_;
+};
+
+}  // namespace f2pm::serve

@@ -108,6 +108,47 @@ TEST(FmcFms, EmptySessionYieldsEmptyHistory) {
   EXPECT_EQ(fms.wait_and_take_history().num_runs(), 0u);
 }
 
+TEST(FmcFms, HelloIsRecordedAndOptional) {
+  FeatureMonitorServer fms;
+  FeatureMonitorClient fmc("127.0.0.1", fms.port());
+  EXPECT_EQ(fms.client_id(), "");
+  fmc.hello("edge-node-3");
+  fmc.send(sample_at(1.0));
+  fmc.finish();
+  EXPECT_EQ(fms.wait_and_take_history().num_runs(), 1u);
+  EXPECT_EQ(fms.client_id(), "edge-node-3");
+}
+
+TEST(FmcFms, StopIsSafeAtAnyPointAndRepeatable) {
+  // stop() before any client ever connects: must not hang or crash, and
+  // must be callable any number of times.
+  for (int i = 0; i < 20; ++i) {
+    FeatureMonitorServer fms;
+    fms.stop();
+    fms.stop();
+    EXPECT_EQ(fms.wait_and_take_history().num_runs(), 0u);
+  }
+  // stop() racing a connected client mid-stream.
+  for (int i = 0; i < 20; ++i) {
+    FeatureMonitorServer fms;
+    FeatureMonitorClient fmc("127.0.0.1", fms.port());
+    fmc.send(sample_at(1.0));
+    fms.stop();
+  }
+}
+
+TEST(FmcFms, BackToBackServersReusePorts) {
+  // SO_REUSEADDR + proper teardown: rapid start/stop cycles never hit
+  // "address already in use".
+  for (int i = 0; i < 10; ++i) {
+    FeatureMonitorServer fms;
+    FeatureMonitorClient fmc("127.0.0.1", fms.port());
+    fmc.send(sample_at(static_cast<double>(i)));
+    fmc.finish();
+    EXPECT_EQ(fms.wait_and_take_history().num_runs(), 1u);
+  }
+}
+
 TEST(FmcFms, AbruptDisconnectKeepsReceivedData) {
   FeatureMonitorServer fms;
   {

@@ -1,0 +1,425 @@
+// Integration tests for the f2pm_serve prediction service: concurrent
+// sessions, model hot-swap under load, eviction of misbehaving clients,
+// admission control, idle timeouts, graceful drain and legacy clients.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/aggregation.hpp"
+#include "ml/linear_regression.hpp"
+#include "ml/model.hpp"
+#include "net/fmc.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "serve/model_store.hpp"
+#include "serve/service.hpp"
+
+namespace f2pm::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+data::RawDatapoint sample_at(double tgen) {
+  data::RawDatapoint sample;
+  sample.tgen = tgen;
+  sample[data::FeatureId::kMemUsed] = 500.0 + tgen;
+  sample[data::FeatureId::kCpuUser] = 10.0;
+  return sample;
+}
+
+// A fitted model that predicts exactly `value` for every input: OLS on a
+// full-rank random design with a constant target has the unique exact
+// solution beta = 0, intercept = value.
+std::shared_ptr<const ml::Regressor> constant_model(double value) {
+  const std::size_t rows = data::kInputCount + 8;
+  linalg::Matrix x(rows, data::kInputCount);
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < data::kInputCount; ++c) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      x(r, c) = static_cast<double>(state >> 40) / 1e6;
+    }
+  }
+  std::vector<double> y(rows, value);
+  auto model = std::make_shared<ml::LinearRegression>();
+  model->fit(x, y);
+  return model;
+}
+
+ServiceOptions fast_options() {
+  ServiceOptions options;
+  options.aggregation.window_seconds = 4.0;
+  options.aggregation.min_samples_per_window = 2;
+  options.scoring_threads = 2;
+  return options;
+}
+
+// Polls `predicate` until it holds or `deadline` passes.
+template <typename Predicate>
+bool eventually(Predicate predicate,
+                std::chrono::milliseconds deadline = 5000ms) {
+  const auto end = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < end) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return predicate();
+}
+
+TEST(ModelStore, ValidatesBeforePublishing) {
+  ModelStore store;
+  EXPECT_EQ(store.version(), 0u);
+  EXPECT_EQ(store.current(), nullptr);
+
+  // Unfitted model: rejected, store unchanged.
+  EXPECT_THROW(store.swap(std::make_shared<ml::LinearRegression>()),
+               std::invalid_argument);
+  EXPECT_EQ(store.version(), 0u);
+
+  // Width mismatch with the selected-columns layout: rejected.
+  EXPECT_THROW(store.swap(constant_model(1.0), {0, 1, 2}),
+               std::invalid_argument);
+
+  EXPECT_EQ(store.swap(constant_model(1.0)), 1u);
+  EXPECT_EQ(store.version(), 1u);
+  EXPECT_EQ(store.swap(constant_model(2.0)), 2u);
+  ASSERT_NE(store.current(), nullptr);
+  EXPECT_EQ(store.current()->version, 2u);
+}
+
+TEST(PredictionService, EndToEndSingleClient) {
+  auto store = std::make_shared<ModelStore>();
+  store->swap(constant_model(1000.0));
+  PredictionService service(fast_options(), store);
+
+  net::FeatureMonitorClient client("127.0.0.1", service.port());
+  client.hello("client-0");
+  for (int i = 0; i <= 6; ++i) client.send(sample_at(i));
+
+  auto prediction = client.wait_prediction();
+  ASSERT_TRUE(prediction.has_value());
+  EXPECT_NEAR(prediction->rttf, 1000.0, 1e-6);
+  EXPECT_EQ(prediction->model_version, 1u);
+  EXPECT_DOUBLE_EQ(prediction->window_end, 4.0);
+
+  client.finish();
+  service.stop();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.sessions_accepted, 1u);
+  EXPECT_EQ(stats.sessions_active, 0u);
+  EXPECT_EQ(stats.datapoints_received, 7u);
+  EXPECT_GE(stats.predictions_sent, 1u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+TEST(PredictionService, SixteenConcurrentSessions) {
+  auto store = std::make_shared<ModelStore>();
+  store->swap(constant_model(777.0));
+  PredictionService service(fast_options(), store);
+
+  constexpr int kClients = 16;
+  constexpr int kPointsPerClient = 13;  // 3 full windows
+  std::atomic<int> predictions_ok{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      net::FeatureMonitorClient client("127.0.0.1", service.port());
+      client.hello("client-" + std::to_string(c));
+      for (int i = 0; i < kPointsPerClient; ++i) client.send(sample_at(i));
+      int received = 0;
+      while (auto prediction = client.wait_prediction()) {
+        EXPECT_NEAR(prediction->rttf, 777.0, 1e-6);
+        if (++received == 3) break;
+      }
+      if (received == 3) ++predictions_ok;
+      client.finish();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(predictions_ok.load(), kClients);
+
+  service.stop();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.sessions_accepted, 16u);
+  EXPECT_EQ(stats.datapoints_received,
+            static_cast<std::uint64_t>(kClients) * kPointsPerClient);
+  EXPECT_GE(stats.predictions_sent, static_cast<std::uint64_t>(kClients) * 3);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+// Swap the model while clients are streaming. Every prediction must be
+// consistent: version 1 always scores 1000, version 2 always 5000 — a
+// half-loaded or torn model would break the pairing.
+TEST(PredictionService, HotSwapUnderLoadNeverMixesModels) {
+  auto store = std::make_shared<ModelStore>();
+  store->swap(constant_model(1000.0));
+  PredictionService service(fast_options(), store);
+
+  constexpr int kClients = 8;
+  std::atomic<bool> mismatch{false};
+  std::atomic<bool> keep_streaming{true};
+  std::atomic<int> clients_on_v2{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      net::FeatureMonitorClient client("127.0.0.1", service.port());
+      client.hello("swap-" + std::to_string(c));
+      bool saw_v2 = false;
+      const auto check = [&](const net::Prediction& prediction) {
+        const double expected =
+            prediction.model_version == 1 ? 1000.0 : 5000.0;
+        if (std::abs(prediction.rttf - expected) > 1e-6) mismatch = true;
+        if (prediction.model_version == 2 && !saw_v2) {
+          saw_v2 = true;
+          ++clients_on_v2;
+        }
+      };
+      double tgen = 0.0;
+      while (keep_streaming.load()) {
+        client.send(sample_at(tgen));
+        tgen += 1.0;
+        while (auto prediction = client.poll_prediction()) {
+          check(*prediction);
+        }
+      }
+      client.finish();
+      // Drain whatever the server still flushes for this session.
+      while (auto prediction = client.wait_prediction()) check(*prediction);
+    });
+  }
+
+  std::this_thread::sleep_for(30ms);  // let streams get going
+  EXPECT_EQ(store->swap(constant_model(5000.0)), 2u);
+  EXPECT_TRUE(eventually(
+      [&] { return clients_on_v2.load() == kClients; }, 15000ms))
+      << "only " << clients_on_v2.load()
+      << " clients ever saw the new model";
+  keep_streaming = false;
+
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_FALSE(mismatch.load());
+  service.stop();
+  EXPECT_EQ(service.stats().protocol_errors, 0u);
+}
+
+TEST(PredictionService, MisbehavingClientEvictedOthersUndisturbed) {
+  auto store = std::make_shared<ModelStore>();
+  store->swap(constant_model(42.0));
+  PredictionService service(fast_options(), store);
+
+  net::FeatureMonitorClient good("127.0.0.1", service.port());
+  good.hello("good");
+  for (int i = 0; i <= 4; ++i) good.send(sample_at(i));
+  ASSERT_TRUE(good.wait_prediction().has_value());
+
+  {  // a client that speaks garbage
+    net::TcpStream bad = net::TcpStream::connect("127.0.0.1", service.port());
+    const char garbage[] = "this is not the f2pm protocol";
+    bad.send_all(garbage, sizeof(garbage));
+    // The server must evict it (we observe EOF on our side).
+    char byte = 0;
+    EXPECT_FALSE(bad.recv_exact(&byte, 1));
+  }
+  ASSERT_TRUE(eventually([&] {
+    const ServiceStats stats = service.stats();
+    return stats.sessions_evicted >= 1 && stats.protocol_errors >= 1;
+  }));
+
+  // The well-behaved session keeps streaming and predicting.
+  for (int i = 5; i <= 8; ++i) good.send(sample_at(i));
+  auto prediction = good.wait_prediction();
+  ASSERT_TRUE(prediction.has_value());
+  EXPECT_NEAR(prediction->rttf, 42.0, 1e-6);
+  good.finish();
+  service.stop();
+}
+
+TEST(PredictionService, AdmissionControlRejectsExcessSessions) {
+  auto store = std::make_shared<ModelStore>();
+  ServiceOptions options = fast_options();
+  options.max_sessions = 2;
+  PredictionService service(options, store);
+
+  net::FeatureMonitorClient first("127.0.0.1", service.port());
+  net::FeatureMonitorClient second("127.0.0.1", service.port());
+  first.send(sample_at(0.0));
+  second.send(sample_at(0.0));
+  ASSERT_TRUE(eventually(
+      [&] { return service.stats().sessions_accepted == 2; }));
+
+  // The third connection is accepted by the kernel but closed by the
+  // service before any serving happens.
+  net::FeatureMonitorClient third("127.0.0.1", service.port());
+  EXPECT_FALSE(third.wait_prediction().has_value());  // EOF
+  ASSERT_TRUE(eventually(
+      [&] { return service.stats().sessions_rejected >= 1; }));
+  EXPECT_EQ(service.stats().sessions_active, 2u);
+
+  first.finish();
+  second.finish();
+  service.stop();
+}
+
+TEST(PredictionService, IdleSessionsEvicted) {
+  auto store = std::make_shared<ModelStore>();
+  ServiceOptions options = fast_options();
+  options.idle_timeout_seconds = 0.1;
+  PredictionService service(options, store);
+
+  net::FeatureMonitorClient idle("127.0.0.1", service.port());
+  idle.send(sample_at(0.0));
+  ASSERT_TRUE(eventually(
+      [&] { return service.stats().sessions_accepted == 1; }));
+  ASSERT_TRUE(eventually([&] {
+    const ServiceStats stats = service.stats();
+    return stats.sessions_evicted == 1 && stats.sessions_active == 0;
+  }));
+  service.stop();
+}
+
+// stop() must flush predictions already earned by received datapoints
+// before closing (graceful drain), not just slam the sockets shut.
+TEST(PredictionService, GracefulDrainFlushesPendingPredictions) {
+  auto store = std::make_shared<ModelStore>();
+  store->swap(constant_model(314.0));
+  auto service =
+      std::make_unique<PredictionService>(fast_options(), store);
+
+  net::FeatureMonitorClient client("127.0.0.1", service->port());
+  client.hello("drainee");
+  for (int i = 0; i <= 12; ++i) client.send(sample_at(i));
+  ASSERT_TRUE(eventually(
+      [&] { return service->stats().datapoints_received == 13; }));
+
+  service->stop();  // drain: queued windows still score and flush
+
+  int received = 0;
+  while (auto prediction = client.wait_prediction()) {
+    EXPECT_NEAR(prediction->rttf, 314.0, 1e-6);
+    ++received;
+  }
+  EXPECT_EQ(received, 3);  // windows ending at t = 4, 8, 12
+}
+
+// Hello-less legacy clients are ingest-only: datapoints are accepted but
+// no predictions come back.
+TEST(PredictionService, LegacyClientWithoutHelloGetsNoPredictions) {
+  auto store = std::make_shared<ModelStore>();
+  store->swap(constant_model(9.0));
+  PredictionService service(fast_options(), store);
+
+  net::FeatureMonitorClient legacy("127.0.0.1", service.port());
+  for (int i = 0; i <= 9; ++i) legacy.send(sample_at(i));
+  ASSERT_TRUE(eventually(
+      [&] { return service.stats().datapoints_received == 10; }));
+  std::this_thread::sleep_for(50ms);  // give scoring a chance to misfire
+  EXPECT_FALSE(legacy.poll_prediction().has_value());
+  EXPECT_EQ(service.stats().predictions_sent, 0u);
+  legacy.finish();
+  service.stop();
+}
+
+// A fail event is a run boundary: the window restarts, so tgen may start
+// over without tripping the nondecreasing check.
+TEST(PredictionService, FailEventResetsTheStream) {
+  auto store = std::make_shared<ModelStore>();
+  store->swap(constant_model(11.0));
+  PredictionService service(fast_options(), store);
+
+  net::FeatureMonitorClient client("127.0.0.1", service.port());
+  client.hello("restarting");
+  for (int i = 0; i <= 5; ++i) client.send(sample_at(i));
+  ASSERT_TRUE(client.wait_prediction().has_value());
+  client.report_failure(5.5);
+  for (int i = 0; i <= 5; ++i) client.send(sample_at(i));  // tgen restarts
+  auto prediction = client.wait_prediction();
+  ASSERT_TRUE(prediction.has_value());
+  EXPECT_NEAR(prediction->rttf, 11.0, 1e-6);
+  client.finish();
+  service.stop();
+  EXPECT_EQ(service.stats().protocol_errors, 0u);
+}
+
+TEST(PredictionService, PollBackendServes) {
+  auto store = std::make_shared<ModelStore>();
+  store->swap(constant_model(64.0));
+  ServiceOptions options = fast_options();
+  options.backend = net::Poller::Backend::kPoll;
+  PredictionService service(options, store);
+
+  net::FeatureMonitorClient client("127.0.0.1", service.port());
+  client.hello("poll-client");
+  for (int i = 0; i <= 6; ++i) client.send(sample_at(i));
+  auto prediction = client.wait_prediction();
+  ASSERT_TRUE(prediction.has_value());
+  EXPECT_NEAR(prediction->rttf, 64.0, 1e-6);
+  client.finish();
+  service.stop();
+}
+
+// The watched-file path: drop a new archive in place and the service
+// hot-swaps to it within the poll cadence.
+TEST(PredictionService, WatchedFileHotSwap) {
+  const std::string path =
+      testing::TempDir() + "f2pm_watch_model_" +
+      std::to_string(::getpid()) + ".bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    ml::save_model(*constant_model(100.0), out);
+  }
+  auto store = std::make_shared<ModelStore>();
+  store->watch_file(path);
+  ServiceOptions options = fast_options();
+  options.model_poll_seconds = 0.02;
+  PredictionService service(options, store);
+
+  ASSERT_TRUE(eventually([&] { return store->version() == 1; }));
+
+  net::FeatureMonitorClient client("127.0.0.1", service.port());
+  client.hello("watcher");
+  for (int i = 0; i <= 4; ++i) client.send(sample_at(i));
+  auto prediction = client.wait_prediction();
+  ASSERT_TRUE(prediction.has_value());
+  EXPECT_NEAR(prediction->rttf, 100.0, 1e-6);
+
+  {  // atomic replace: write aside, then rename over
+    const std::string tmp = path + ".tmp";
+    std::ofstream out(tmp, std::ios::binary);
+    ml::save_model(*constant_model(200.0), out);
+    out.close();
+    ASSERT_EQ(std::rename(tmp.c_str(), path.c_str()), 0);
+  }
+  ASSERT_TRUE(eventually([&] { return store->version() == 2; }));
+
+  double tgen = 5.0;
+  auto swapped = eventually([&] {
+    client.send(sample_at(tgen));
+    tgen += 1.0;
+    while (auto reply = client.poll_prediction()) {
+      if (reply->model_version == 2) {
+        EXPECT_NEAR(reply->rttf, 200.0, 1e-6);
+        return true;
+      }
+      EXPECT_NEAR(reply->rttf, 100.0, 1e-6);
+    }
+    return false;
+  });
+  EXPECT_TRUE(swapped);
+  client.finish();
+  service.stop();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace f2pm::serve

@@ -1,0 +1,252 @@
+// Framing tests for the byte-incremental FrameDecoder / FrameEncoder pair
+// shared by the blocking (FMC/FMS) and non-blocking (f2pm_serve) paths.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+
+namespace f2pm::net {
+namespace {
+
+data::RawDatapoint sample_at(double tgen) {
+  data::RawDatapoint sample;
+  sample.tgen = tgen;
+  sample[data::FeatureId::kMemUsed] = 123.0 + tgen;
+  sample[data::FeatureId::kCpuUser] = 45.5;
+  return sample;
+}
+
+// One of each frame type, back to back.
+std::vector<std::uint8_t> encode_all() {
+  std::vector<std::uint8_t> bytes;
+  FrameEncoder::encode_hello(bytes, Hello{kProtocolVersion, "vm-07"});
+  FrameEncoder::encode_datapoint(bytes, sample_at(3.5));
+  FrameEncoder::encode_fail_event(bytes, 99.25);
+  Prediction prediction;
+  prediction.window_end = 30.0;
+  prediction.rttf = 1234.5;
+  prediction.alarm = true;
+  prediction.model_version = 7;
+  FrameEncoder::encode_prediction(bytes, prediction);
+  FrameEncoder::encode_bye(bytes);
+  return bytes;
+}
+
+void expect_all_frames(const std::vector<Frame>& frames) {
+  ASSERT_EQ(frames.size(), 5u);
+  const auto* hello = std::get_if<Hello>(&frames[0]);
+  ASSERT_NE(hello, nullptr);
+  EXPECT_EQ(hello->version, kProtocolVersion);
+  EXPECT_EQ(hello->client_id, "vm-07");
+  const auto* datapoint = std::get_if<data::RawDatapoint>(&frames[1]);
+  ASSERT_NE(datapoint, nullptr);
+  EXPECT_EQ(*datapoint, sample_at(3.5));
+  const auto* fail = std::get_if<FailEvent>(&frames[2]);
+  ASSERT_NE(fail, nullptr);
+  EXPECT_DOUBLE_EQ(fail->fail_time, 99.25);
+  const auto* prediction = std::get_if<Prediction>(&frames[3]);
+  ASSERT_NE(prediction, nullptr);
+  EXPECT_DOUBLE_EQ(prediction->window_end, 30.0);
+  EXPECT_DOUBLE_EQ(prediction->rttf, 1234.5);
+  EXPECT_TRUE(prediction->alarm);
+  EXPECT_EQ(prediction->model_version, 7u);
+  EXPECT_NE(std::get_if<Bye>(&frames[4]), nullptr);
+}
+
+TEST(FrameDecoder, CoalescedFramesInOneFeed) {
+  const std::vector<std::uint8_t> bytes = encode_all();
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  std::vector<Frame> frames;
+  while (auto frame = decoder.next()) frames.push_back(std::move(*frame));
+  expect_all_frames(frames);
+  EXPECT_FALSE(decoder.mid_frame());
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(FrameDecoder, OneByteAtATime) {
+  const std::vector<std::uint8_t> bytes = encode_all();
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  for (std::uint8_t byte : bytes) {
+    decoder.feed(&byte, 1);
+    while (auto frame = decoder.next()) frames.push_back(std::move(*frame));
+  }
+  expect_all_frames(frames);
+  EXPECT_FALSE(decoder.mid_frame());
+}
+
+// Split the stream at EVERY byte boundary: two feeds [0,k) and [k,end).
+TEST(FrameDecoder, SplitAtEveryByteBoundary) {
+  const std::vector<std::uint8_t> bytes = encode_all();
+  for (std::size_t split = 0; split <= bytes.size(); ++split) {
+    FrameDecoder decoder;
+    std::vector<Frame> frames;
+    decoder.feed(bytes.data(), split);
+    while (auto frame = decoder.next()) frames.push_back(std::move(*frame));
+    decoder.feed(bytes.data() + split, bytes.size() - split);
+    while (auto frame = decoder.next()) frames.push_back(std::move(*frame));
+    expect_all_frames(frames);
+  }
+}
+
+TEST(FrameDecoder, BadMagicThrows) {
+  FrameDecoder decoder;
+  const char garbage[8] = {'g', 'a', 'r', 'b', 'a', 'g', 'e', '!'};
+  decoder.feed(garbage, sizeof(garbage));
+  try {
+    decoder.next();
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.kind(), ProtocolError::Kind::kBadMagic);
+  }
+}
+
+TEST(FrameDecoder, UnknownTypeThrows) {
+  std::vector<std::uint8_t> bytes(8, 0);
+  std::memcpy(bytes.data(), &kProtocolMagic, 4);
+  const std::uint32_t bogus_type = 999;
+  std::memcpy(bytes.data() + 4, &bogus_type, 4);
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  try {
+    decoder.next();
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.kind(), ProtocolError::Kind::kUnknownType);
+  }
+}
+
+TEST(FrameDecoder, OversizedHelloThrows) {
+  std::vector<std::uint8_t> bytes(16, 0);
+  std::memcpy(bytes.data(), &kProtocolMagic, 4);
+  const auto type = static_cast<std::uint32_t>(FrameType::kHello);
+  std::memcpy(bytes.data() + 4, &type, 4);
+  const std::uint32_t version = kProtocolVersion;
+  std::memcpy(bytes.data() + 8, &version, 4);
+  const std::uint32_t huge_len = 1u << 20;  // 1 MiB "client id"
+  std::memcpy(bytes.data() + 12, &huge_len, 4);
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  try {
+    decoder.next();
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.kind(), ProtocolError::Kind::kOversized);
+  }
+}
+
+TEST(FrameEncoder, RejectsOversizedClientId) {
+  std::vector<std::uint8_t> bytes;
+  Hello hello;
+  hello.client_id.assign(kMaxClientIdBytes + 1, 'x');
+  EXPECT_THROW(FrameEncoder::encode_hello(bytes, hello),
+               std::invalid_argument);
+}
+
+TEST(FrameEncoder, MaxLengthClientIdRoundTrips) {
+  std::vector<std::uint8_t> bytes;
+  Hello hello;
+  hello.client_id.assign(kMaxClientIdBytes, 'y');
+  FrameEncoder::encode_hello(bytes, hello);
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(std::get<Hello>(*frame).client_id, hello.client_id);
+}
+
+TEST(FrameDecoder, MidFrameAndBytesNeeded) {
+  FrameDecoder decoder;
+  EXPECT_FALSE(decoder.mid_frame());
+  EXPECT_EQ(decoder.bytes_needed(), 8u);  // a full header first
+
+  std::vector<std::uint8_t> bytes;
+  FrameEncoder::encode_datapoint(bytes, sample_at(1.0));
+  decoder.feed(bytes.data(), 3);  // partial header
+  EXPECT_TRUE(decoder.mid_frame());
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_EQ(decoder.bytes_needed(), 5u);
+
+  decoder.feed(bytes.data() + 3, 5);  // header complete, payload missing
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_EQ(decoder.bytes_needed(), bytes.size() - 8);
+  EXPECT_TRUE(decoder.mid_frame());
+
+  decoder.feed(bytes.data() + 8, bytes.size() - 8);
+  EXPECT_TRUE(decoder.next().has_value());
+  EXPECT_FALSE(decoder.mid_frame());
+}
+
+TEST(FrameDecoder, ResetDropsPartialFrame) {
+  std::vector<std::uint8_t> bytes;
+  FrameEncoder::encode_datapoint(bytes, sample_at(1.0));
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size() - 1);
+  EXPECT_TRUE(decoder.mid_frame());
+  decoder.reset();
+  EXPECT_FALSE(decoder.mid_frame());
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  // The decoder is reusable after reset.
+  decoder.feed(bytes.data(), bytes.size());
+  EXPECT_TRUE(decoder.next().has_value());
+}
+
+// Blocking receive_frame: clean EOF between frames is nullopt, EOF inside
+// a frame is an error — the distinction the legacy path used to lack.
+TEST(BlockingReceive, CleanEofVsMidFrameTruncation) {
+  {  // clean close after a complete frame
+    TcpListener listener(0);
+    std::thread client([port = listener.port()] {
+      TcpStream stream = TcpStream::connect("127.0.0.1", port);
+      send_datapoint(stream, sample_at(1.0));
+    });
+    auto server_side = listener.accept();
+    ASSERT_TRUE(server_side.has_value());
+    FrameDecoder decoder;
+    EXPECT_TRUE(receive_frame(*server_side, decoder).has_value());
+    client.join();
+    EXPECT_FALSE(receive_frame(*server_side, decoder).has_value());
+  }
+  {  // close mid-frame
+    TcpListener listener(0);
+    std::thread client([port = listener.port()] {
+      TcpStream stream = TcpStream::connect("127.0.0.1", port);
+      std::vector<std::uint8_t> bytes;
+      FrameEncoder::encode_datapoint(bytes, sample_at(1.0));
+      stream.send_all(bytes.data(), bytes.size() / 2);  // truncated
+    });
+    auto server_side = listener.accept();
+    ASSERT_TRUE(server_side.has_value());
+    FrameDecoder decoder;
+    EXPECT_THROW(receive_frame(*server_side, decoder), std::runtime_error);
+    client.join();
+  }
+}
+
+// A persistent decoder carries bytes across receive_frame calls, so a
+// peer that writes everything in one burst still yields frame-by-frame.
+TEST(BlockingReceive, PersistentDecoderAcrossCalls) {
+  TcpListener listener(0);
+  std::thread client([port = listener.port()] {
+    TcpStream stream = TcpStream::connect("127.0.0.1", port);
+    const std::vector<std::uint8_t> bytes = encode_all();
+    stream.send_all(bytes.data(), bytes.size());
+  });
+  auto server_side = listener.accept();
+  ASSERT_TRUE(server_side.has_value());
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  while (auto frame = receive_frame(*server_side, decoder)) {
+    frames.push_back(std::move(*frame));
+  }
+  expect_all_frames(frames);
+  client.join();
+}
+
+}  // namespace
+}  // namespace f2pm::net
