@@ -80,6 +80,7 @@ ClientResult run_client(std::uint16_t port, const data::DataHistory& history,
   std::vector<std::vector<std::pair<double, Clock::time_point>>> sent_runs(1);
   std::size_t prediction_run = 0;
   double last_window_end = -1.0;
+  bool finishing = false;
 
   const auto on_prediction = [&](const net::Prediction& prediction) {
     const Clock::time_point now = Clock::now();
@@ -94,7 +95,9 @@ ClientResult run_client(std::uint16_t port, const data::DataHistory& history,
         run.begin(), run.end(), prediction.window_end,
         [](const auto& entry, double t) { return entry.first < t; });
     if (it == run.end()) {
-      ++result.unmatched;
+      // After finish() the server flushes the open window; that final
+      // prediction has no window-closing datapoint to match against.
+      if (!finishing) ++result.unmatched;
       return;
     }
     result.latencies_ms.push_back(
@@ -120,6 +123,7 @@ ClientResult run_client(std::uint16_t port, const data::DataHistory& history,
         sent_runs.emplace_back();
       }
     }
+    finishing = true;
     client.finish();
     while (auto prediction = client.wait_prediction()) {
       on_prediction(*prediction);
@@ -159,6 +163,9 @@ BenchResult run_load(std::size_t num_clients, const Trace& trace,
   serve::ServiceOptions options;
   options.aggregation.window_seconds = kWindowSeconds;
   options.max_sessions = std::max<std::size_t>(num_clients, 256);
+  // The bench measures the instrumented configuration: metrics registry
+  // hot (it always is) plus a live scrape endpoint on an ephemeral port.
+  options.metrics_port = 0;
   serve::PredictionService service(options, store);
 
   // Fixed total volume across configurations so every N is comparable;

@@ -125,17 +125,23 @@ int cmd_predict(const util::Config& args) {
               "actual_rttf", "error_s");
   double mae = 0.0;
   std::size_t count = 0;
+  const auto report = [&](const core::OnlinePrediction& prediction) {
+    const double actual =
+        run.failed ? run.fail_time - prediction.window_end : -1.0;
+    const double error = actual >= 0.0 ? prediction.rttf - actual : 0.0;
+    mae += std::abs(error);
+    ++count;
+    std::printf("%-12.1f%-16.1f%-16.1f%-12.1f\n", prediction.window_end,
+                prediction.rttf, actual, error);
+  };
   for (const auto& sample : run.samples) {
     if (const auto prediction = predictor.observe(sample)) {
-      const double actual =
-          run.failed ? run.fail_time - prediction->window_end : -1.0;
-      const double error = actual >= 0.0 ? prediction->rttf - actual : 0.0;
-      mae += std::abs(error);
-      ++count;
-      std::printf("%-12.1f%-16.1f%-16.1f%-12.1f\n", prediction->window_end,
-                  prediction->rttf, actual, error);
+      report(*prediction);
     }
   }
+  // The stream ends mid-window more often than not; flush the open window
+  // so the trailing samples still produce a final prediction.
+  if (const auto prediction = predictor.flush()) report(*prediction);
   if (count > 0) {
     std::printf("\nMAE over %zu windows: %.1fs (model: %s)\n", count,
                 mae / static_cast<double>(count), model->name().c_str());

@@ -14,6 +14,7 @@
 // for this host.
 //
 // Usage: live_monitor [--seconds=N] [--interval=S] [--model=PATH]
+//                      [--metrics-port=P]   (-1 = off; only with --model)
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -37,6 +38,7 @@ int main(int argc, char** argv) {
   const double seconds = args.get_double("seconds", 6.0);
   const double interval = args.get_double("interval", 1.5);
   const std::string model_path = args.get_string("model", "");
+  const int metrics_port = static_cast<int>(args.get_int("metrics-port", -1));
 
   sysmon::ProcFeatureSource source;
   if (!source.available()) {
@@ -60,10 +62,15 @@ int main(int argc, char** argv) {
     }
     serve::ServiceOptions options;
     options.aggregation.window_seconds = interval * 2.0;
+    options.metrics_port = metrics_port;
     service = std::make_unique<serve::PredictionService>(options, store);
     port = service->port();
     std::printf("serving %s (model v%u)\n", model_path.c_str(),
                 store->version());
+    if (service->metrics_port() != 0) {
+      std::printf("metrics: curl http://127.0.0.1:%u/metrics\n",
+                  service->metrics_port());
+    }
   } else {
     fms.emplace();
     port = fms->port();

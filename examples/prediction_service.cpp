@@ -5,6 +5,8 @@
 // model mid-stream without dropping a session.
 //
 // Usage: prediction_service [--runs=N] [--seed=S] [--clients=C]
+//                           [--metrics-port=P]   (-1 = off, 0 = ephemeral)
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -31,6 +33,7 @@ int main(int argc, char** argv) {
   const auto runs = static_cast<std::size_t>(args.get_int("runs", 6));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2015));
   const auto clients = static_cast<std::size_t>(args.get_int("clients", 4));
+  const int metrics_port = static_cast<int>(args.get_int("metrics-port", 0));
 
   // ---- offline: monitoring campaign -> aggregated dataset -> model ------
   sim::CampaignConfig campaign;
@@ -60,12 +63,17 @@ int main(int argc, char** argv) {
   store->load_file(model_path);
   serve::ServiceOptions options;
   options.aggregation = aggregation;
+  options.metrics_port = metrics_port;
   serve::PredictionService service(options, store);
   std::printf("prediction service on 127.0.0.1:%u (model v%u, %s backend)\n",
               service.port(),
               store->version(),
               options.backend == net::Poller::Backend::kEpoll ? "epoll"
                                                               : "poll");
+  if (service.metrics_port() != 0) {
+    std::printf("metrics: curl http://127.0.0.1:%u/metrics\n",
+                service.metrics_port());
+  }
 
   // Fresh monitored systems (new seeds), one FMC session each.
   std::vector<std::thread> monitored;
@@ -89,6 +97,16 @@ int main(int argc, char** argv) {
               first_alarm = prediction->window_end;
             }
           }
+        }
+      }
+      if (c == 0) {
+        // In-band scrape: same text the HTTP endpoint serves.
+        if (auto stats_text = client.fetch_stats()) {
+          const std::size_t lines =
+              static_cast<std::size_t>(std::count(
+                  stats_text->begin(), stats_text->end(), '\n'));
+          std::printf("  vm-0 fetched server stats: %zu exposition lines\n",
+                      lines);
         }
       }
       client.finish();

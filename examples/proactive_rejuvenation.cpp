@@ -54,6 +54,16 @@ ReplayOutcome replay_run(const data::Run& run,
       break;
     }
   }
+  if (!outcome.rejuvenated) {
+    // The run's trailing samples sit in a window the crash never closed;
+    // flushing gives the policy one final chance, exactly like the serve
+    // drain path does for live sessions.
+    const auto prediction = predictor.flush();
+    if (prediction && advisor.update(*prediction)) {
+      outcome.rejuvenated = true;
+      outcome.action_time = advisor.trigger_time();
+    }
+  }
   return outcome;
 }
 

@@ -3,7 +3,30 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace f2pm::core {
+
+namespace {
+
+/// Registry handles are resolved once; updates are lock-free after that.
+struct OnlineMetrics {
+  obs::Counter& windows_scored;
+  obs::Histogram& predict_seconds;
+
+  static OnlineMetrics& get() {
+    auto& registry = obs::Registry::global();
+    static OnlineMetrics metrics{
+        registry.counter("f2pm_core_windows_scored_total",
+                         "Aggregation windows scored into RTTF predictions."),
+        registry.histogram("f2pm_core_predict_seconds",
+                           "Per-window model inference latency.",
+                           obs::Histogram::default_latency_bounds())};
+    return metrics;
+  }
+};
+
+}  // namespace
 
 OnlinePredictor::OnlinePredictor(std::shared_ptr<const ml::Regressor> model,
                                  data::AggregationOptions aggregation,
@@ -31,6 +54,18 @@ OnlinePredictor::OnlinePredictor(std::shared_ptr<const ml::Regressor> model,
           "OnlinePredictor: selected column out of range");
     }
   }
+}
+
+std::optional<OnlinePrediction> OnlinePredictor::flush() {
+  if (!window_open_) return std::nullopt;
+  std::optional<OnlinePrediction> emitted;
+  if (window_.size() >= aggregation_.min_samples_per_window) {
+    emitted = aggregate_and_predict();
+  }
+  if (!window_.empty()) boundary_tgen_ = window_.back().tgen;
+  window_.clear();
+  window_open_ = false;
+  return emitted;
 }
 
 void OnlinePredictor::reset() {
@@ -81,15 +116,20 @@ OnlinePrediction OnlinePredictor::aggregate_and_predict() {
   OnlinePrediction prediction;
   prediction.window_end = window_end_;
   prediction.window_samples = window_.size();
-  if (selected_columns_.empty()) {
-    prediction.rttf = model_->predict_row(full_row);
-  } else {
-    std::vector<double> row;
-    row.reserve(selected_columns_.size());
-    for (std::size_t column : selected_columns_) {
-      row.push_back(full_row[column]);
+  {
+    OnlineMetrics& metrics = OnlineMetrics::get();
+    obs::ScopedTimer timer(metrics.predict_seconds);
+    if (selected_columns_.empty()) {
+      prediction.rttf = model_->predict_row(full_row);
+    } else {
+      std::vector<double> row;
+      row.reserve(selected_columns_.size());
+      for (std::size_t column : selected_columns_) {
+        row.push_back(full_row[column]);
+      }
+      prediction.rttf = model_->predict_row(row);
     }
-    prediction.rttf = model_->predict_row(row);
+    metrics.windows_scored.add(1);
   }
   ++windows_emitted_;
   return prediction;

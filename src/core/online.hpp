@@ -47,6 +47,15 @@ class OnlinePredictor {
   /// samples.
   std::optional<OnlinePrediction> observe(const data::RawDatapoint& point);
 
+  /// Closes the currently open window without waiting for the sample that
+  /// would normally close it: emits a best-effort prediction when the open
+  /// window already holds min_samples_per_window samples, discards it
+  /// otherwise. Call when the stream ends (serve drain, Ctrl-C, end of a
+  /// replayed trace) so the final window of a session is not silently
+  /// lost. Idempotent: a second flush with no new samples, or a flush on
+  /// an empty stream, returns nullopt.
+  std::optional<OnlinePrediction> flush();
+
   /// Clears all window state (call after the system restarts).
   void reset();
 

@@ -30,7 +30,41 @@ void FeatureMonitorClient::finish() {
   finished_ = true;
 }
 
+std::optional<std::string> FeatureMonitorClient::fetch_stats() {
+  send_stats_request(stream_);
+  const auto take = [this](Frame& frame) -> std::optional<std::string> {
+    if (auto* reply = std::get_if<StatsReply>(&frame)) {
+      return std::move(reply->text);
+    }
+    // Predictions racing the reply belong to the caller's normal flow.
+    if (const auto* prediction = std::get_if<Prediction>(&frame)) {
+      pending_predictions_.push_back(*prediction);
+    }
+    return std::nullopt;
+  };
+  while (auto frame = decoder_.next()) {
+    if (auto text = take(*frame)) return text;
+  }
+  std::array<char, 4096> chunk;
+  while (true) {
+    std::size_t got = 0;
+    const IoResult io = stream_.recv_some(chunk.data(), chunk.size(), got);
+    if (io == IoResult::kEof) return std::nullopt;
+    if (io != IoResult::kOk) continue;
+    decoder_.feed(chunk.data(), got);
+    while (auto frame = decoder_.next()) {
+      if (auto text = take(*frame)) return text;
+    }
+  }
+}
+
 std::optional<Prediction> FeatureMonitorClient::next_buffered_prediction() {
+  if (!pending_predictions_.empty()) {
+    const Prediction prediction = pending_predictions_.front();
+    pending_predictions_.pop_front();
+    ++predictions_received_;
+    return prediction;
+  }
   while (auto frame = decoder_.next()) {
     if (const auto* prediction = std::get_if<Prediction>(&*frame)) {
       ++predictions_received_;

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <string>
 #include <vector>
@@ -43,6 +44,13 @@ class FeatureMonitorClient {
   /// `fail_time` (elapsed seconds); the FMS closes the current run.
   void report_failure(double fail_time);
 
+  /// Requests the server's metrics registry and blocks until the
+  /// StatsReply arrives (Prometheus text exposition). Prediction frames
+  /// received while waiting are buffered for the prediction accessors.
+  /// Returns nullopt when the server closes before replying (e.g. a
+  /// legacy FMS that does not understand the frame drops the session).
+  std::optional<std::string> fetch_stats();
+
   /// Sends the bye frame and half-closes the connection (write side).
   /// Call wait_prediction() afterwards to drain any replies the server
   /// still flushes; it returns nullopt once the server closes.
@@ -58,6 +66,9 @@ class FeatureMonitorClient {
 
   TcpStream stream_;
   FrameDecoder decoder_;  ///< Reassembles server->client reply frames.
+  /// Predictions decoded while waiting for a StatsReply, served to the
+  /// prediction accessors in arrival order.
+  std::deque<Prediction> pending_predictions_;
   std::size_t sent_ = 0;
   std::size_t predictions_received_ = 0;
   bool finished_ = false;

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/metrics.hpp"
+
 namespace f2pm::net {
 
 namespace {
@@ -13,6 +15,47 @@ constexpr std::size_t kFailEventPayload = sizeof(double);
 constexpr std::size_t kHelloFixedPayload = 2 * sizeof(std::uint32_t);
 constexpr std::size_t kPredictionPayload =
     2 * sizeof(double) + 2 * sizeof(std::uint32_t);
+constexpr std::size_t kStatsReplyFixedPayload = sizeof(std::uint32_t);
+
+struct NetMetrics {
+  obs::Counter& bytes_in;
+  obs::Counter& bytes_out;
+  obs::Counter& frames_in;
+  obs::Counter& frames_out;
+  obs::Counter& protocol_errors;
+
+  static NetMetrics& get() {
+    auto& registry = obs::Registry::global();
+    static NetMetrics metrics{
+        registry.counter("f2pm_net_bytes_in_total",
+                         "Raw bytes fed into frame decoders."),
+        registry.counter("f2pm_net_bytes_out_total",
+                         "Frame bytes produced by encoders."),
+        registry.counter("f2pm_net_frames_in_total",
+                         "Complete frames decoded."),
+        registry.counter("f2pm_net_frames_out_total", "Frames encoded."),
+        registry.counter("f2pm_net_protocol_errors_total",
+                         "Frame-level protocol violations (bad magic, "
+                         "unknown type, oversized payload).")};
+    return metrics;
+  }
+};
+
+/// Counts one encoded frame and its bytes once the encode completes.
+class EncodeScope {
+ public:
+  explicit EncodeScope(const std::vector<std::uint8_t>& out)
+      : out_(out), before_(out.size()) {}
+  ~EncodeScope() {
+    NetMetrics& metrics = NetMetrics::get();
+    metrics.frames_out.add(1);
+    metrics.bytes_out.add(out_.size() - before_);
+  }
+
+ private:
+  const std::vector<std::uint8_t>& out_;
+  std::size_t before_;
+};
 
 void append_raw(std::vector<std::uint8_t>& out, const void* data,
                 std::size_t size) {
@@ -44,6 +87,7 @@ T read_at(const std::vector<std::uint8_t>& buffer, std::size_t offset) {
 
 void FrameEncoder::encode_datapoint(std::vector<std::uint8_t>& out,
                                     const data::RawDatapoint& datapoint) {
+  EncodeScope scope(out);
   append_header(out, FrameType::kDatapoint);
   append_f64(out, datapoint.tgen);
   append_raw(out, datapoint.values.data(),
@@ -52,11 +96,13 @@ void FrameEncoder::encode_datapoint(std::vector<std::uint8_t>& out,
 
 void FrameEncoder::encode_fail_event(std::vector<std::uint8_t>& out,
                                      double fail_time) {
+  EncodeScope scope(out);
   append_header(out, FrameType::kFailEvent);
   append_f64(out, fail_time);
 }
 
 void FrameEncoder::encode_bye(std::vector<std::uint8_t>& out) {
+  EncodeScope scope(out);
   append_header(out, FrameType::kBye);
 }
 
@@ -66,6 +112,7 @@ void FrameEncoder::encode_hello(std::vector<std::uint8_t>& out,
     throw std::invalid_argument("protocol: client_id exceeds " +
                                 std::to_string(kMaxClientIdBytes) + " bytes");
   }
+  EncodeScope scope(out);
   append_header(out, FrameType::kHello);
   append_u32(out, hello.version);
   append_u32(out, static_cast<std::uint32_t>(hello.client_id.size()));
@@ -74,6 +121,7 @@ void FrameEncoder::encode_hello(std::vector<std::uint8_t>& out,
 
 void FrameEncoder::encode_prediction(std::vector<std::uint8_t>& out,
                                      const Prediction& prediction) {
+  EncodeScope scope(out);
   append_header(out, FrameType::kPrediction);
   append_f64(out, prediction.window_end);
   append_f64(out, prediction.rttf);
@@ -81,9 +129,27 @@ void FrameEncoder::encode_prediction(std::vector<std::uint8_t>& out,
   append_u32(out, prediction.model_version);
 }
 
+void FrameEncoder::encode_stats_request(std::vector<std::uint8_t>& out) {
+  EncodeScope scope(out);
+  append_header(out, FrameType::kStatsRequest);
+}
+
+void FrameEncoder::encode_stats_reply(std::vector<std::uint8_t>& out,
+                                      const StatsReply& reply) {
+  if (reply.text.size() > kMaxStatsBytes) {
+    throw std::invalid_argument("protocol: stats reply exceeds " +
+                                std::to_string(kMaxStatsBytes) + " bytes");
+  }
+  EncodeScope scope(out);
+  append_header(out, FrameType::kStatsReply);
+  append_u32(out, static_cast<std::uint32_t>(reply.text.size()));
+  append_raw(out, reply.text.data(), reply.text.size());
+}
+
 void FrameDecoder::feed(const void* data, std::size_t size) {
   const auto* bytes = static_cast<const std::uint8_t*>(data);
   buffer_.insert(buffer_.end(), bytes, bytes + size);
+  NetMetrics::get().bytes_in.add(size);
 }
 
 void FrameDecoder::reset() {
@@ -110,6 +176,17 @@ std::size_t FrameDecoder::bytes_needed() const {
     case FrameType::kPrediction:
       payload = kPredictionPayload;
       break;
+    case FrameType::kStatsRequest:
+      payload = 0;
+      break;
+    case FrameType::kStatsReply: {
+      if (have < kHeaderBytes + kStatsReplyFixedPayload) {
+        return kHeaderBytes + kStatsReplyFixedPayload - have;
+      }
+      payload = kStatsReplyFixedPayload +
+                read_at<std::uint32_t>(buffer_, pos_ + kHeaderBytes);
+      break;
+    }
     case FrameType::kHello: {
       if (have < kHeaderBytes + kHelloFixedPayload) {
         return kHeaderBytes + kHelloFixedPayload - have;
@@ -131,6 +208,7 @@ std::optional<Frame> FrameDecoder::next() {
   if (buffered_bytes() < kHeaderBytes) return std::nullopt;
   const auto magic = read_at<std::uint32_t>(buffer_, pos_);
   if (magic != kProtocolMagic) {
+    NetMetrics::get().protocol_errors.add(1);
     throw ProtocolError(ProtocolError::Kind::kBadMagic,
                         "protocol: bad frame magic");
   }
@@ -151,6 +229,24 @@ std::optional<Frame> FrameDecoder::next() {
     case FrameType::kPrediction:
       payload = kPredictionPayload;
       break;
+    case FrameType::kStatsRequest:
+      payload = 0;
+      break;
+    case FrameType::kStatsReply: {
+      if (buffered_bytes() < kHeaderBytes + kStatsReplyFixedPayload) {
+        return std::nullopt;
+      }
+      const auto text_len = read_at<std::uint32_t>(buffer_, pos_ + kHeaderBytes);
+      if (text_len > kMaxStatsBytes) {
+        NetMetrics::get().protocol_errors.add(1);
+        throw ProtocolError(ProtocolError::Kind::kOversized,
+                            "protocol: stats reply of " +
+                                std::to_string(text_len) + " bytes exceeds " +
+                                std::to_string(kMaxStatsBytes));
+      }
+      payload = kStatsReplyFixedPayload + text_len;
+      break;
+    }
     case FrameType::kHello: {
       if (buffered_bytes() < kHeaderBytes + kHelloFixedPayload) {
         return std::nullopt;
@@ -158,6 +254,7 @@ std::optional<Frame> FrameDecoder::next() {
       const auto id_len =
           read_at<std::uint32_t>(buffer_, pos_ + kHeaderBytes + 4);
       if (id_len > kMaxClientIdBytes) {
+        NetMetrics::get().protocol_errors.add(1);
         throw ProtocolError(ProtocolError::Kind::kOversized,
                             "protocol: hello client_id of " +
                                 std::to_string(id_len) + " bytes exceeds " +
@@ -167,6 +264,7 @@ std::optional<Frame> FrameDecoder::next() {
       break;
     }
     default:
+      NetMetrics::get().protocol_errors.add(1);
       throw ProtocolError(
           ProtocolError::Kind::kUnknownType,
           "protocol: unknown frame type " + std::to_string(raw_type));
@@ -210,8 +308,20 @@ std::optional<Frame> FrameDecoder::next() {
       frame = prediction;
       break;
     }
+    case FrameType::kStatsRequest:
+      frame = StatsRequest{};
+      break;
+    case FrameType::kStatsReply: {
+      StatsReply reply;
+      const auto text_len = read_at<std::uint32_t>(buffer_, body);
+      reply.text.assign(
+          reinterpret_cast<const char*>(buffer_.data() + body + 4), text_len);
+      frame = std::move(reply);
+      break;
+    }
   }
 
+  NetMetrics::get().frames_in.add(1);
   pos_ += total;
   if (pos_ == buffer_.size()) {
     buffer_.clear();
@@ -251,6 +361,18 @@ void send_hello(TcpStream& stream, const Hello& hello) {
 void send_prediction(TcpStream& stream, const Prediction& prediction) {
   std::vector<std::uint8_t> bytes;
   FrameEncoder::encode_prediction(bytes, prediction);
+  stream.send_all(bytes.data(), bytes.size());
+}
+
+void send_stats_request(TcpStream& stream) {
+  std::vector<std::uint8_t> bytes;
+  FrameEncoder::encode_stats_request(bytes);
+  stream.send_all(bytes.data(), bytes.size());
+}
+
+void send_stats_reply(TcpStream& stream, const StatsReply& reply) {
+  std::vector<std::uint8_t> bytes;
+  FrameEncoder::encode_stats_reply(bytes, reply);
   stream.send_all(bytes.data(), bytes.size());
 }
 

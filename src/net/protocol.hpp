@@ -3,12 +3,15 @@
 // little-endian framed messages.
 //
 //   [u32 magic][u32 type][payload]
-//   type kDatapoint:  payload = f64 tgen + 14 x f64 feature values
-//   type kFailEvent:  payload = f64 fail_time (the run crashed; restart)
-//   type kBye:        payload empty (client is done)
-//   type kHello:      payload = u32 proto_version + u32 len + len id bytes
-//   type kPrediction: payload = f64 window_end + f64 rttf + u32 alarm +
-//                               u32 model_version   (server -> client)
+//   type kDatapoint:    payload = f64 tgen + 14 x f64 feature values
+//   type kFailEvent:    payload = f64 fail_time (the run crashed; restart)
+//   type kBye:          payload empty (client is done)
+//   type kHello:        payload = u32 proto_version + u32 len + len id bytes
+//   type kPrediction:   payload = f64 window_end + f64 rttf + u32 alarm +
+//                                 u32 model_version   (server -> client)
+//   type kStatsRequest: payload empty (client asks for a metrics dump)
+//   type kStatsReply:   payload = u32 len + len bytes of Prometheus text
+//                                 exposition   (server -> client)
 //
 // Hello is optional and versioned: legacy clients that never send it keep
 // working (they are treated as ingest-only and receive no predictions).
@@ -40,12 +43,17 @@ inline constexpr std::uint32_t kProtocolVersion = 1;
 /// violation (they would let a hostile client demand unbounded buffers).
 inline constexpr std::size_t kMaxClientIdBytes = 256;
 
+/// Hard cap on a StatsReply exposition body, same rationale.
+inline constexpr std::size_t kMaxStatsBytes = 1u << 20;
+
 enum class FrameType : std::uint32_t {
   kDatapoint = 1,
   kFailEvent = 2,
   kBye = 3,
   kHello = 4,
   kPrediction = 5,
+  kStatsRequest = 6,
+  kStatsReply = 7,
 };
 
 /// A fail-event frame body.
@@ -71,9 +79,18 @@ struct Prediction {
   std::uint32_t model_version = 0;  ///< ModelStore version that scored it.
 };
 
+/// Client -> server: dump the service's metrics registry.
+struct StatsRequest {};
+
+/// Server -> client: the metrics registry in Prometheus text form — the
+/// same bytes the HTTP scrape endpoint serves.
+struct StatsReply {
+  std::string text;
+};
+
 /// Any received frame.
-using Frame =
-    std::variant<data::RawDatapoint, FailEvent, Bye, Hello, Prediction>;
+using Frame = std::variant<data::RawDatapoint, FailEvent, Bye, Hello,
+                           Prediction, StatsRequest, StatsReply>;
 
 /// Protocol violation: bad magic, unknown frame type or an oversized
 /// variable-length payload. Distinct from truncation (see FrameDecoder).
@@ -104,6 +121,10 @@ class FrameEncoder {
   static void encode_hello(std::vector<std::uint8_t>& out, const Hello& hello);
   static void encode_prediction(std::vector<std::uint8_t>& out,
                                 const Prediction& prediction);
+  static void encode_stats_request(std::vector<std::uint8_t>& out);
+  /// Throws std::invalid_argument when the text exceeds kMaxStatsBytes.
+  static void encode_stats_reply(std::vector<std::uint8_t>& out,
+                                 const StatsReply& reply);
 };
 
 /// Byte-incremental frame parser: feed() arbitrary chunks (single bytes,
@@ -156,6 +177,12 @@ void send_hello(TcpStream& stream, const Hello& hello);
 
 /// Serializes and sends a prediction frame.
 void send_prediction(TcpStream& stream, const Prediction& prediction);
+
+/// Serializes and sends a stats-request frame.
+void send_stats_request(TcpStream& stream);
+
+/// Serializes and sends a stats-reply frame.
+void send_stats_reply(TcpStream& stream, const StatsReply& reply);
 
 /// Receives the next frame, blocking. Returns nullopt on clean EOF at a
 /// frame boundary; throws ProtocolError on protocol violations and

@@ -1,0 +1,120 @@
+#include "obs/exposition.hpp"
+
+#include <charconv>
+#include <cstdint>
+
+namespace f2pm::obs {
+
+namespace {
+
+/// Shortest round-trip representation, locale-independent. (snprintf is
+/// off-limits here: under LC_NUMERIC=de_DE it would emit `3,14`, which is
+/// not a valid Prometheus sample value.)
+std::string format_number(double value) {
+  char buffer[64];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  if (ec != std::errc{}) return "NaN";
+  return std::string(buffer, ptr);
+}
+
+std::string format_count(std::uint64_t value) {
+  char buffer[32];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  if (ec != std::errc{}) return "0";
+  return std::string(buffer, ptr);
+}
+
+void append_series(std::string& out, const std::string& name,
+                   const std::string& labels, const std::string& value) {
+  out += name;
+  if (!labels.empty()) {
+    out += '{';
+    out += labels;
+    out += '}';
+  }
+  out += ' ';
+  out += value;
+  out += '\n';
+}
+
+void append_histogram(std::string& out, const MetricSnapshot& metric) {
+  const HistogramSnapshot& hist = metric.histogram;
+  const std::string prefix =
+      metric.labels.empty() ? std::string() : metric.labels + ",";
+  for (std::size_t b = 0; b < hist.bounds.size(); ++b) {
+    append_series(out, metric.name + "_bucket",
+                  prefix + "le=\"" + format_number(hist.bounds[b]) + "\"",
+                  format_count(hist.cumulative[b]));
+  }
+  append_series(out, metric.name + "_bucket", prefix + "le=\"+Inf\"",
+                format_count(hist.count));
+  append_series(out, metric.name + "_sum", metric.labels,
+                format_number(hist.sum));
+  append_series(out, metric.name + "_count", metric.labels,
+                format_count(hist.count));
+}
+
+const char* type_name(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string render_prometheus(const std::vector<MetricSnapshot>& snapshot) {
+  std::string out;
+  const std::string* previous_family = nullptr;
+  for (const MetricSnapshot& metric : snapshot) {
+    // Label variants of one family share a single HELP/TYPE header (the
+    // snapshot arrives sorted by name, so variants are adjacent).
+    if (previous_family == nullptr || *previous_family != metric.name) {
+      if (!metric.help.empty()) {
+        out += "# HELP " + metric.name + " " + metric.help + "\n";
+      }
+      out += "# TYPE " + metric.name + " ";
+      out += type_name(metric.type);
+      out += '\n';
+      previous_family = &metric.name;
+    }
+    switch (metric.type) {
+      case MetricType::kCounter:
+        append_series(out, metric.name, metric.labels,
+                      format_count(static_cast<std::uint64_t>(metric.value)));
+        break;
+      case MetricType::kGauge:
+        append_series(out, metric.name, metric.labels,
+                      format_number(metric.value));
+        break;
+      case MetricType::kHistogram:
+        append_histogram(out, metric);
+        break;
+    }
+  }
+  return out;
+}
+
+std::string render_prometheus(const Registry& registry) {
+  return render_prometheus(registry.snapshot());
+}
+
+std::string http_response(const std::string& body) {
+  std::string out =
+      "HTTP/1.0 200 OK\r\n"
+      "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+      "Content-Length: ";
+  out += format_count(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace f2pm::obs

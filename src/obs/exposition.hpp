@@ -1,0 +1,26 @@
+// Prometheus text exposition (format 0.0.4) for obs::Registry snapshots,
+// plus the minimal HTTP/1.0 response wrapper the serve-side metrics
+// listener and any embedding application can reply to a scraper with.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace f2pm::obs {
+
+/// Renders `# HELP` / `# TYPE` headers and one series per metric.
+/// Histograms expose the classic `_bucket{le=...}` / `_sum` / `_count`
+/// triple; labelled metrics merge their label body into each series.
+/// Numbers are locale-independent (std::to_chars shortest form).
+std::string render_prometheus(const std::vector<MetricSnapshot>& snapshot);
+
+/// Convenience: snapshot + render in one call.
+std::string render_prometheus(const Registry& registry);
+
+/// Wraps a rendered body in a complete `HTTP/1.0 200 OK` response with the
+/// Prometheus text content type and Content-Length, connection-close.
+std::string http_response(const std::string& body);
+
+}  // namespace f2pm::obs

@@ -4,7 +4,34 @@
 #include <atomic>
 #include <chrono>
 
+#include "obs/metrics.hpp"
+
 namespace f2pm::parallel {
+
+namespace {
+
+struct PoolMetrics {
+  obs::Gauge& queue_depth;
+  obs::Histogram& wait_seconds;
+  obs::Histogram& run_seconds;
+
+  static PoolMetrics& get() {
+    auto& registry = obs::Registry::global();
+    static PoolMetrics metrics{
+        registry.gauge("f2pm_pool_queue_depth",
+                       "Tasks waiting in thread-pool queues."),
+        registry.histogram("f2pm_pool_task_wait_seconds",
+                           "Time tasks spent queued before a worker (or a "
+                           "helping waiter) picked them up.",
+                           obs::Histogram::default_latency_bounds()),
+        registry.histogram("f2pm_pool_task_run_seconds",
+                           "Task execution time on the pool.",
+                           obs::Histogram::default_latency_bounds())};
+    return metrics;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -25,9 +52,33 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+void ThreadPool::enqueue(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool: submit after shutdown");
+    }
+    queue_.push_back(
+        QueuedTask{std::move(fn), std::chrono::steady_clock::now()});
+  }
+  PoolMetrics::get().queue_depth.add(1.0);
+  cv_.notify_one();
+}
+
+void ThreadPool::run_task(QueuedTask task) {
+  PoolMetrics& metrics = PoolMetrics::get();
+  metrics.queue_depth.sub(1.0);
+  metrics.wait_seconds.observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    task.enqueued)
+          .count());
+  obs::ScopedTimer run_timer(metrics.run_seconds);
+  task.fn();
+}
+
 void ThreadPool::worker_loop() {
   while (true) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -38,19 +89,19 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    run_task(std::move(task));
   }
 }
 
 bool ThreadPool::try_run_one() {
-  std::function<void()> task;
+  QueuedTask task;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
   }
-  task();
+  run_task(std::move(task));
   return true;
 }
 

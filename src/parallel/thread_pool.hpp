@@ -8,6 +8,7 @@
 // captured and rethrown on the submitting thread.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -40,14 +41,7 @@ class ThreadPool {
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> result = task->get_future();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (stopping_) {
-        throw std::runtime_error("ThreadPool: submit after shutdown");
-      }
-      queue_.emplace_back([task]() { (*task)(); });
-    }
-    cv_.notify_one();
+    enqueue([task]() { (*task)(); });
     return result;
   }
 
@@ -62,10 +56,26 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
+  /// One queued task plus its enqueue timestamp, so the obs layer can
+  /// report how long work sat in the queue before a worker picked it up.
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  /// Locks, rejects after shutdown, records queue-depth/wait-time metrics
+  /// and notifies one worker. (Out of line so the template above stays
+  /// free of the obs dependency.)
+  void enqueue(std::function<void()> fn);
+
+  /// Pops `task` off the queue (caller holds no lock) and runs it,
+  /// feeding the wait/run-time histograms.
+  static void run_task(QueuedTask task);
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;

@@ -7,11 +7,28 @@
 #include <utility>
 
 #include "data/aggregation.hpp"
+#include "obs/metrics.hpp"
 #include "util/logging.hpp"
 
 namespace f2pm::serve {
 
 namespace {
+
+struct StoreMetrics {
+  obs::Counter& hot_swaps;
+  obs::Gauge& model_version;
+
+  static StoreMetrics& get() {
+    auto& registry = obs::Registry::global();
+    static StoreMetrics metrics{
+        registry.counter("f2pm_serve_model_hot_swaps_total",
+                         "Models published into the store (API or "
+                         "watched-file reload)."),
+        registry.gauge("f2pm_serve_model_version",
+                       "Version of the active scoring model (0 = none).")};
+    return metrics;
+  }
+};
 
 void validate(const ml::Regressor& regressor,
               const std::vector<std::size_t>& selected_columns) {
@@ -48,10 +65,17 @@ std::uint32_t ModelStore::swap(std::shared_ptr<const ml::Regressor> regressor,
   next->regressor = std::move(regressor);
   next->selected_columns = std::move(selected_columns);
   next->source = std::move(source);
-  std::lock_guard<std::mutex> lock(mutex_);
-  next->version = next_version_++;
-  current_ = std::move(next);
-  return current_->version;
+  std::uint32_t version = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    next->version = next_version_++;
+    current_ = std::move(next);
+    version = current_->version;
+  }
+  StoreMetrics& metrics = StoreMetrics::get();
+  metrics.hot_swaps.add(1);
+  metrics.model_version.set(static_cast<double>(version));
+  return version;
 }
 
 std::uint32_t ModelStore::load_file(const std::string& path,

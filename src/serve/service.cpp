@@ -10,6 +10,8 @@
 #include <cerrno>
 #include <utility>
 
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
 #include "util/logging.hpp"
 
 namespace f2pm::serve {
@@ -26,6 +28,47 @@ void make_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
+
+/// Cached handles into the global obs registry; mirrors ServiceStats so a
+/// scrape sees the same numbers stats() reports.
+struct ServeMetrics {
+  obs::Gauge& sessions_active;
+  obs::Counter& sessions_accepted;
+  obs::Counter& sessions_rejected;
+  obs::Counter& sessions_evicted;
+  obs::Gauge& inbox_depth;
+  obs::Counter& datapoints;
+  obs::Counter& predictions;
+  obs::Counter& outbound_bytes;
+  obs::Histogram& batch_seconds;
+
+  static ServeMetrics& get() {
+    auto& registry = obs::Registry::global();
+    static ServeMetrics metrics{
+        registry.gauge("f2pm_serve_sessions_active",
+                       "Currently connected prediction sessions."),
+        registry.counter("f2pm_serve_sessions_accepted_total",
+                         "Connections admitted."),
+        registry.counter("f2pm_serve_sessions_rejected_total",
+                         "Connections turned away at max_sessions."),
+        registry.counter("f2pm_serve_sessions_evicted_total",
+                         "Sessions dropped for protocol violations, "
+                         "backpressure or idle timeout."),
+        registry.gauge("f2pm_serve_inbox_depth",
+                       "Datapoints queued for scoring across all sessions."),
+        registry.counter("f2pm_serve_datapoints_received_total",
+                         "Datapoint frames ingested."),
+        registry.counter("f2pm_serve_predictions_sent_total",
+                         "Prediction frames queued to clients."),
+        registry.counter("f2pm_serve_outbound_bytes_total",
+                         "Reply bytes written to client sockets."),
+        registry.histogram(
+            "f2pm_serve_scoring_batch_seconds",
+            "Wall-clock time scoring one session inbox batch.",
+            obs::Histogram::default_latency_bounds())};
+    return metrics;
+  }
+};
 
 }  // namespace
 
@@ -51,6 +94,14 @@ PredictionService::PredictionService(ServiceOptions options,
   listener_.set_nonblocking(true);
   poller_.add(listener_.fd(), /*want_read=*/true, /*want_write=*/false);
   poller_.add(wake_rx_.fd(), /*want_read=*/true, /*want_write=*/false);
+
+  if (options_.metrics_port >= 0) {
+    metrics_listener_ = std::make_unique<net::TcpListener>(
+        static_cast<std::uint16_t>(options_.metrics_port));
+    metrics_listener_->set_nonblocking(true);
+    poller_.add(metrics_listener_->fd(), /*want_read=*/true,
+                /*want_write=*/false);
+  }
 
   pool_ = std::make_unique<parallel::ThreadPool>(options_.scoring_threads);
   last_model_poll_ = Clock::now();
@@ -89,6 +140,7 @@ void PredictionService::run_loop() {
                     std::chrono::duration<double>(
                         options_.drain_timeout_seconds));
       poller_.remove(listener_.fd());
+      shutdown_metrics_endpoint();
       // Existing sessions flush their queued work, then close.
       std::vector<int> fds;
       fds.reserve(registry_.size());
@@ -143,6 +195,14 @@ void PredictionService::run_loop() {
         handle_accept();
         continue;
       }
+      if (metrics_listener_ && event.fd == metrics_listener_->fd()) {
+        handle_metrics_accept();
+        continue;
+      }
+      if (metrics_conns_.count(event.fd) != 0) {
+        handle_metrics_event(event.fd, event);
+        continue;
+      }
       auto session = registry_.find(event.fd);
       if (!session) continue;
       if (event.error) {
@@ -188,6 +248,7 @@ void PredictionService::run_loop() {
 void PredictionService::handle_accept() {
   while (auto accepted = listener_.try_accept()) {
     if (!registry_.can_admit()) {
+      ServeMetrics::get().sessions_rejected.add(1);
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.sessions_rejected;
       continue;  // `accepted` goes out of scope and closes.
@@ -198,6 +259,9 @@ void PredictionService::handle_accept() {
     auto session = registry_.add(std::move(*accepted), options_.advisor);
     poller_.add(session->stream.fd(), /*want_read=*/true,
                 /*want_write=*/false);
+    ServeMetrics& metrics = ServeMetrics::get();
+    metrics.sessions_accepted.add(1);
+    metrics.sessions_active.set(static_cast<double>(registry_.size()));
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.sessions_accepted;
     stats_.sessions_active = registry_.size();
@@ -271,6 +335,9 @@ bool PredictionService::handle_frame(const std::shared_ptr<Session>& session,
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.datapoints_received;
     }
+    ServeMetrics& metrics = ServeMetrics::get();
+    metrics.datapoints.add(1);
+    metrics.inbox_depth.add(1.0);
     ++session->datapoints;
     session->inbox.push_back(InboxItem{false, *datapoint});
     if (session->inbox.size() >= options_.max_pending_datapoints &&
@@ -285,6 +352,7 @@ bool PredictionService::handle_frame(const std::shared_ptr<Session>& session,
     return true;
   }
   if (std::get_if<net::FailEvent>(&frame) != nullptr) {
+    ServeMetrics::get().inbox_depth.add(1.0);
     session->inbox.push_back(InboxItem{true, {}});
     dispatch_scoring(session);
     return true;
@@ -309,12 +377,26 @@ bool PredictionService::handle_frame(const std::shared_ptr<Session>& session,
     finish_if_drained(session);
     return !session->closed;
   }
-  // A client must not send Prediction frames; treat it as a violation.
+  if (std::get_if<net::StatsRequest>(&frame) != nullptr) {
+    // In-band metrics dump: the same text the HTTP scrape endpoint
+    // serves, framed as a StatsReply.
+    net::StatsReply reply;
+    reply.text = obs::render_prometheus(obs::Registry::global());
+    if (reply.text.size() > net::kMaxStatsBytes) {
+      reply.text.resize(net::kMaxStatsBytes);
+    }
+    std::vector<std::uint8_t> bytes;
+    net::FrameEncoder::encode_stats_reply(bytes, reply);
+    queue_reply(session, bytes);
+    return !session->closed;
+  }
+  // Clients must not send server-to-client frames (Prediction,
+  // StatsReply); treat it as a violation.
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.protocol_errors;
   }
-  close_session(session, /*evicted=*/true, "unexpected prediction frame");
+  close_session(session, /*evicted=*/true, "unexpected server-side frame");
   return false;
 }
 
@@ -324,6 +406,7 @@ void PredictionService::dispatch_scoring(
   session->in_flight = true;
   std::vector<InboxItem> batch = std::move(session->inbox);
   session->inbox.clear();
+  ServeMetrics::get().inbox_depth.sub(static_cast<double>(batch.size()));
   pool_->submit([this, session, batch = std::move(batch)]() mutable {
     score_batch(session, std::move(batch));
   });
@@ -333,6 +416,7 @@ void PredictionService::score_batch(const std::shared_ptr<Session>& session,
                                     std::vector<InboxItem> batch) {
   Completion completion;
   completion.session = session;
+  obs::ScopedTimer batch_timer(ServeMetrics::get().batch_seconds);
   try {
     const std::shared_ptr<const ScoringModel> model = store_->current();
     if (model && session->model_version != model->version) {
@@ -344,6 +428,16 @@ void PredictionService::score_batch(const std::shared_ptr<Session>& session,
       session->advisor.reset();
       session->model_version = model->version;
     }
+    const auto emit = [&](const core::OnlinePrediction& prediction) {
+      const bool alarm = session->advisor.update(prediction);
+      net::Prediction reply;
+      reply.window_end = prediction.window_end;
+      reply.rttf = prediction.rttf;
+      reply.alarm = alarm;
+      reply.model_version = session->model_version;
+      net::FrameEncoder::encode_prediction(completion.reply_bytes, reply);
+      ++completion.predictions;
+    };
     for (const InboxItem& item : batch) {
       if (item.reset) {
         if (session->predictor) session->predictor->reset();
@@ -354,6 +448,12 @@ void PredictionService::score_batch(const std::shared_ptr<Session>& session,
       // datapoint is consumed without scoring.
       if (!session->predictor) continue;
       if (!session->hello_received.load()) continue;
+      if (item.flush) {
+        // End of stream: the open window would otherwise be dropped even
+        // when it already has enough samples for a prediction.
+        if (auto prediction = session->predictor->flush()) emit(*prediction);
+        continue;
+      }
       std::optional<core::OnlinePrediction> prediction;
       try {
         prediction = session->predictor->observe(item.point);
@@ -364,15 +464,7 @@ void PredictionService::score_batch(const std::shared_ptr<Session>& session,
         session->advisor.reset();
         prediction = session->predictor->observe(item.point);
       }
-      if (!prediction) continue;
-      const bool alarm = session->advisor.update(*prediction);
-      net::Prediction reply;
-      reply.window_end = prediction->window_end;
-      reply.rttf = prediction->rttf;
-      reply.alarm = alarm;
-      reply.model_version = session->model_version;
-      net::FrameEncoder::encode_prediction(completion.reply_bytes, reply);
-      ++completion.predictions;
+      if (prediction) emit(*prediction);
     }
   } catch (const std::exception& e) {
     F2PM_LOG(kWarn, "serve") << "scoring batch failed: " << e.what();
@@ -396,6 +488,7 @@ void PredictionService::drain_completions() {
     if (session->closed) continue;
     if (completion.predictions > 0) {
       session->predictions += completion.predictions;
+      ServeMetrics::get().predictions.add(completion.predictions);
       std::lock_guard<std::mutex> lock(stats_mutex_);
       stats_.predictions_sent += completion.predictions;
     }
@@ -441,6 +534,7 @@ void PredictionService::handle_writable(
           session->outbound_pending(), sent);
       if (io == net::IoResult::kWouldBlock) break;
       session->outbound_pos += sent;
+      ServeMetrics::get().outbound_bytes.add(sent);
     }
   } catch (const std::exception& e) {
     close_session(session, /*evicted=*/true,
@@ -474,6 +568,20 @@ void PredictionService::finish_if_drained(
     const std::shared_ptr<Session>& session) {
   if (!session->draining || session->closed) return;
   if (session->in_flight || !session->inbox.empty()) return;
+  if (!session->flush_enqueued) {
+    session->flush_enqueued = true;
+    if (session->hello_received.load()) {
+      // Last chance for the open aggregation window: queue the flush
+      // marker so the scoring task emits a final best-effort prediction
+      // before the connection closes.
+      InboxItem item;
+      item.flush = true;
+      session->inbox.push_back(std::move(item));
+      ServeMetrics::get().inbox_depth.add(1.0);
+      dispatch_scoring(session);
+      return;
+    }
+  }
   if (session->outbound_pending() > 0) return;
   close_session(session, /*evicted=*/false, "session complete");
 }
@@ -483,6 +591,11 @@ void PredictionService::close_session(const std::shared_ptr<Session>& session,
                                       const std::string& reason) {
   if (session->closed) return;
   session->closed = true;
+  if (!session->inbox.empty()) {
+    ServeMetrics::get().inbox_depth.sub(
+        static_cast<double>(session->inbox.size()));
+    session->inbox.clear();
+  }
   poller_.remove(session->stream.fd());
   registry_.erase(session->stream.fd());
   session->stream.close();
@@ -490,9 +603,95 @@ void PredictionService::close_session(const std::shared_ptr<Session>& session,
     F2PM_LOG(kInfo, "serve") << "evicting session '" << session->client_id
                              << "': " << reason;
   }
+  ServeMetrics& metrics = ServeMetrics::get();
+  metrics.sessions_active.set(static_cast<double>(registry_.size()));
+  if (evicted) metrics.sessions_evicted.add(1);
   std::lock_guard<std::mutex> lock(stats_mutex_);
   stats_.sessions_active = registry_.size();
   if (evicted) ++stats_.sessions_evicted;
+}
+
+void PredictionService::handle_metrics_accept() {
+  while (auto accepted = metrics_listener_->try_accept()) {
+    accepted->set_nonblocking(true);
+    const int fd = accepted->fd();
+    metrics_conns_.emplace(fd, MetricsConn(std::move(*accepted)));
+    poller_.add(fd, /*want_read=*/true, /*want_write=*/false);
+  }
+}
+
+void PredictionService::handle_metrics_event(int fd,
+                                             const net::Poller::Event& event) {
+  auto it = metrics_conns_.find(fd);
+  if (it == metrics_conns_.end()) return;
+  MetricsConn& conn = it->second;
+  try {
+    if (event.error) {
+      close_metrics_conn(fd);
+      return;
+    }
+    if (event.readable && conn.response.empty()) {
+      std::array<char, 4096> chunk;
+      bool request_complete = false;
+      while (true) {
+        std::size_t got = 0;
+        const net::IoResult io =
+            conn.stream.recv_some(chunk.data(), chunk.size(), got);
+        if (io == net::IoResult::kWouldBlock) break;
+        if (io == net::IoResult::kEof) {
+          request_complete = true;
+          break;
+        }
+        conn.request.append(chunk.data(), got);
+        if (conn.request.size() > 16384) {
+          close_metrics_conn(fd);
+          return;
+        }
+        if (conn.request.find("\r\n\r\n") != std::string::npos ||
+            conn.request.find("\n\n") != std::string::npos) {
+          request_complete = true;
+          break;
+        }
+      }
+      if (request_complete) {
+        conn.response =
+            obs::http_response(obs::render_prometheus(obs::Registry::global()));
+        poller_.modify(fd, /*want_read=*/false, /*want_write=*/true);
+      }
+    }
+    if (!conn.response.empty()) {
+      while (conn.sent < conn.response.size()) {
+        std::size_t sent = 0;
+        const net::IoResult io = conn.stream.send_some(
+            conn.response.data() + conn.sent, conn.response.size() - conn.sent,
+            sent);
+        if (io == net::IoResult::kWouldBlock) return;
+        conn.sent += sent;
+      }
+      close_metrics_conn(fd);
+    }
+  } catch (const std::exception&) {
+    close_metrics_conn(fd);
+  }
+}
+
+void PredictionService::close_metrics_conn(int fd) {
+  auto it = metrics_conns_.find(fd);
+  if (it == metrics_conns_.end()) return;
+  poller_.remove(fd);
+  it->second.stream.close();
+  metrics_conns_.erase(it);
+}
+
+void PredictionService::shutdown_metrics_endpoint() {
+  if (metrics_listener_) {
+    poller_.remove(metrics_listener_->fd());
+    metrics_listener_.reset();
+  }
+  std::vector<int> fds;
+  fds.reserve(metrics_conns_.size());
+  for (const auto& [fd, conn] : metrics_conns_) fds.push_back(fd);
+  for (int fd : fds) close_metrics_conn(fd);
 }
 
 void PredictionService::evict_idle_sessions() {

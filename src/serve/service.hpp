@@ -27,6 +27,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/online.hpp"
@@ -56,6 +57,12 @@ struct ServiceOptions {
   double idle_timeout_seconds = 0.0;   ///< 0 disables idle eviction.
   double drain_timeout_seconds = 5.0;  ///< stop(): max time to flush.
   double model_poll_seconds = 1.0;     ///< Watched-file check cadence.
+
+  /// Prometheus scrape endpoint: -1 disables it, 0 binds an ephemeral
+  /// port (read back via metrics_port()), >0 binds that port. Served from
+  /// the same event loop — GET /metrics (any request, actually) returns
+  /// the global obs registry as text exposition.
+  int metrics_port = -1;
 
   std::size_t scoring_threads = 0;  ///< 0 = hardware concurrency.
 
@@ -90,6 +97,11 @@ class PredictionService {
 
   [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
 
+  /// Bound metrics port, or 0 when the endpoint is disabled.
+  [[nodiscard]] std::uint16_t metrics_port() const {
+    return metrics_listener_ ? metrics_listener_->port() : 0;
+  }
+
   [[nodiscard]] ModelStore& model_store() { return *store_; }
 
   [[nodiscard]] ServiceStats stats() const;
@@ -104,6 +116,18 @@ class PredictionService {
     std::shared_ptr<Session> session;
     std::vector<std::uint8_t> reply_bytes;  ///< Encoded Prediction frames.
     std::size_t predictions = 0;
+  };
+
+  /// One plain-HTTP scrape connection on the metrics port. Request bytes
+  /// are read until a blank line (or EOF), then the exposition is written
+  /// and the connection closed — enough HTTP for curl and Prometheus.
+  struct MetricsConn {
+    explicit MetricsConn(net::TcpStream stream_in)
+        : stream(std::move(stream_in)) {}
+    net::TcpStream stream;
+    std::string request;
+    std::string response;  ///< Non-empty once the reply is being sent.
+    std::size_t sent = 0;
   };
 
   void run_loop();
@@ -125,6 +149,10 @@ class PredictionService {
   void close_session(const std::shared_ptr<Session>& session, bool evicted,
                      const std::string& reason);
   void evict_idle_sessions();
+  void handle_metrics_accept();
+  void handle_metrics_event(int fd, const net::Poller::Event& event);
+  void close_metrics_conn(int fd);
+  void shutdown_metrics_endpoint();
 
   ServiceOptions options_;
   std::shared_ptr<ModelStore> store_;
@@ -132,6 +160,10 @@ class PredictionService {
   net::TcpListener listener_;
   net::Socket wake_rx_;
   net::Socket wake_tx_;
+
+  // Metrics endpoint (loop thread only past construction).
+  std::unique_ptr<net::TcpListener> metrics_listener_;
+  std::unordered_map<int, MetricsConn> metrics_conns_;
 
   mutable std::mutex stats_mutex_;
   ServiceStats stats_;

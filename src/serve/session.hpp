@@ -31,6 +31,10 @@ struct InboxItem {
   /// and the advisor debounce instead of scoring a datapoint.
   bool reset = false;
   data::RawDatapoint point;
+  /// True for the end-of-stream marker the drain path enqueues: flush the
+  /// predictor's open window (best-effort final prediction) instead of
+  /// scoring a datapoint.
+  bool flush = false;
 };
 
 /// State of one connected client.
@@ -56,6 +60,8 @@ struct Session {
   bool peer_eof = false;  ///< Client half-closed; never re-arm reads.
   bool draining = false;  ///< Bye received or service stopping: flush+close.
   bool closed = false;    ///< Unregistered; late completions are dropped.
+  /// The drain path queued the final flush marker (at most once).
+  bool flush_enqueued = false;
 
   // --- scoring pipeline --------------------------------------------------
   std::vector<InboxItem> inbox;  ///< Loop thread only.

@@ -1,7 +1,6 @@
 #include "util/csv.hpp"
 
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
 
 #include "util/string_util.hpp"
@@ -95,7 +94,6 @@ CsvTable read_csv_file(const std::string& path) {
 
 void write_csv(std::ostream& out, const CsvTable& table) {
   out << join(table.header, ",") << '\n';
-  std::ostringstream cell;
   for (const auto& row : table.rows) {
     for (std::size_t i = 0; i < row.size(); ++i) {
       if (i != 0) out << ',';

@@ -2,7 +2,6 @@
 
 #include <cctype>
 #include <charconv>
-#include <cstdio>
 #include <stdexcept>
 
 namespace f2pm::util {
@@ -87,9 +86,19 @@ std::int64_t parse_int(std::string_view text) {
 }
 
 std::string format_double(double value, int precision) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
-  std::string out(buffer);
+  // std::to_chars, not snprintf("%.*f"): the latter honours LC_NUMERIC,
+  // so an embedding application running under e.g. de_DE would write
+  // "3,14" — which the strict from_chars in parse_double rejects,
+  // breaking every CSV/archive round-trip. to_chars is locale-free.
+  char buffer[512];  // fixed notation of a double can need ~330 chars
+  auto result = std::to_chars(buffer, buffer + sizeof(buffer), value,
+                              std::chars_format::fixed, precision);
+  if (result.ec != std::errc{}) {
+    result = std::to_chars(buffer, buffer + sizeof(buffer), value,
+                           std::chars_format::general);
+    if (result.ec != std::errc{}) return "0";
+  }
+  std::string out(buffer, result.ptr);
   if (out.find('.') != std::string::npos) {
     while (!out.empty() && out.back() == '0') out.pop_back();
     if (!out.empty() && out.back() == '.') out.pop_back();

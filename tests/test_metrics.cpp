@@ -21,7 +21,7 @@ TEST(Metrics, MaxAe) {
 }
 
 TEST(Metrics, RaeAgainstMeanBaseline) {
-  // Mean |y| = (12+20+30)/3 = 62/3. Baseline error:
+  // Ȳ = (12+20+30)/3 = 62/3. Baseline error:
   // |62/3-12| + |62/3-20| + |62/3-30| = 26/3 + 2/3 + 28/3 = 56/3.
   EXPECT_NEAR(relative_absolute_error(kPredicted, kActual), 7.0 / (56.0 / 3.0),
               1e-12);
@@ -29,8 +29,19 @@ TEST(Metrics, RaeAgainstMeanBaseline) {
 
 TEST(Metrics, RaeOfMeanPredictorIsOne) {
   const std::vector<double> actual{1.0, 2.0, 3.0};
-  const std::vector<double> predicted(3, 2.0);  // mean of |y|
+  const std::vector<double> predicted(3, 2.0);  // mean of y
   EXPECT_NEAR(relative_absolute_error(predicted, actual), 1.0, 1e-12);
+}
+
+TEST(Metrics, RaeBaselineUsesSignedMean) {
+  // With signed targets, the denominator must be Σ|Ȳ - y_i| with the
+  // signed mean Ȳ, not the mean of |y|. Here Ȳ = (-1-1+4)/3 = 2/3, so the
+  // baseline error is |2/3+1|*2 + |2/3-4| = 10/3 + 10/3 = 20/3 and the
+  // zero predictor scores 6 / (20/3) = 0.9. The old mean-of-|y| baseline
+  // (2, giving 3+3+2 = 8) would have reported 0.75.
+  const std::vector<double> actual{-1.0, -1.0, 4.0};
+  const std::vector<double> predicted{0.0, 0.0, 0.0};
+  EXPECT_NEAR(relative_absolute_error(predicted, actual), 0.9, 1e-12);
 }
 
 TEST(Metrics, SoftMaeZeroesSmallErrors) {

@@ -1,0 +1,229 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/exposition.hpp"
+
+namespace f2pm::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Registry registry;
+  Counter& counter = registry.counter("t_counter", "help");
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(Counter, SameNameReturnsSameInstance) {
+  Registry registry;
+  Counter& a = registry.counter("t_counter", "help");
+  Counter& b = registry.counter("t_counter", "other help ignored");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  EXPECT_EQ(b.value(), 7u);
+}
+
+TEST(Counter, LabelVariantsAreDistinct) {
+  Registry registry;
+  Counter& a = registry.counter("t_counter", "help", "model=\"linear\"");
+  Counter& b = registry.counter("t_counter", "help", "model=\"m5p\"");
+  EXPECT_NE(&a, &b);
+  a.add(1);
+  EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(Gauge, SetAddSub) {
+  Registry registry;
+  Gauge& gauge = registry.gauge("t_gauge", "help");
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+  gauge.set(10.0);
+  gauge.add(2.5);
+  gauge.sub(0.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 12.0);
+  gauge.set(-3.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), -3.0);
+}
+
+TEST(Registry, TypeMismatchThrows) {
+  Registry registry;
+  registry.counter("t_metric", "help");
+  EXPECT_THROW(registry.gauge("t_metric", "help"), std::invalid_argument);
+  EXPECT_THROW(
+      registry.histogram("t_metric", "help", {1.0}),
+      std::invalid_argument);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  Registry registry;
+  EXPECT_THROW(registry.histogram("t_h1", "help", {}),
+               std::invalid_argument);
+  EXPECT_THROW(registry.histogram("t_h2", "help", {1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(registry.histogram("t_h3", "help", {2.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(Histogram, BucketsArePrometheusCumulative) {
+  Registry registry;
+  Histogram& hist = registry.histogram("t_hist", "help", {1.0, 5.0, 10.0});
+  hist.observe(0.5);   // le=1
+  hist.observe(1.0);   // boundary lands in le=1 (le means <=)
+  hist.observe(3.0);   // le=5
+  hist.observe(100.0); // +Inf only
+  const HistogramSnapshot snap = hist.snapshot();
+  ASSERT_EQ(snap.bounds.size(), 3u);
+  ASSERT_EQ(snap.cumulative.size(), 4u);
+  EXPECT_EQ(snap.cumulative[0], 2u);  // <= 1
+  EXPECT_EQ(snap.cumulative[1], 3u);  // <= 5
+  EXPECT_EQ(snap.cumulative[2], 3u);  // <= 10
+  EXPECT_EQ(snap.cumulative[3], 4u);  // +Inf
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 104.5);
+}
+
+TEST(Histogram, ExponentialBounds) {
+  const auto bounds = Histogram::exponential_bounds(0.001, 10.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 0.001);
+  EXPECT_DOUBLE_EQ(bounds[3], 1.0);
+  EXPECT_THROW(Histogram::exponential_bounds(0.0, 2.0, 3),
+               std::invalid_argument);
+  EXPECT_THROW(Histogram::exponential_bounds(1.0, 1.0, 3),
+               std::invalid_argument);
+}
+
+TEST(Registry, SnapshotUnderConcurrentWriters) {
+  // Hammer one counter, one gauge and one histogram from several threads
+  // while snapshotting concurrently; the final totals must be exact and
+  // every intermediate snapshot internally consistent. Run under TSan to
+  // prove the write path is race-free.
+  Registry registry;
+  Counter& counter = registry.counter("t_conc_counter", "help");
+  Gauge& gauge = registry.gauge("t_conc_gauge", "help");
+  Histogram& hist = registry.histogram("t_conc_hist", "help", {0.5, 1.5});
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10'000;
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    std::uint64_t last_count = 0;
+    while (!stop.load()) {
+      const auto metrics = registry.snapshot();
+      for (const MetricSnapshot& metric : metrics) {
+        if (metric.name == "t_conc_counter") {
+          // Counters must be monotonic across snapshots.
+          const auto value = static_cast<std::uint64_t>(metric.value);
+          EXPECT_GE(value, last_count);
+          last_count = value;
+        }
+        if (metric.name == "t_conc_hist") {
+          // Cumulative buckets must never decrease left to right.
+          const auto& cumulative = metric.histogram.cumulative;
+          for (std::size_t b = 1; b < cumulative.size(); ++b) {
+            EXPECT_GE(cumulative[b], cumulative[b - 1]);
+          }
+          EXPECT_EQ(metric.histogram.count,
+                    metric.histogram.cumulative.back());
+        }
+      }
+    }
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        counter.add(1);
+        gauge.add(1.0);
+        hist.observe(1.0);
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  stop.store(true);
+  snapshotter.join();
+
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_DOUBLE_EQ(gauge.value(), static_cast<double>(kThreads) * kIters);
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(snap.cumulative[0], 0u);        // nothing <= 0.5
+  EXPECT_EQ(snap.cumulative[1], snap.count);  // all <= 1.5
+}
+
+TEST(Exposition, GoldenOutput) {
+  Registry registry;
+  registry.counter("f2pm_test_requests_total", "Requests handled.").add(3);
+  registry.gauge("f2pm_test_depth", "Queue depth.").set(2.5);
+  Histogram& hist =
+      registry.histogram("f2pm_test_latency_seconds", "Latency.", {0.1, 1.0});
+  hist.observe(0.05);
+  hist.observe(0.5);
+  hist.observe(5.0);
+  const std::string expected =
+      "# HELP f2pm_test_depth Queue depth.\n"
+      "# TYPE f2pm_test_depth gauge\n"
+      "f2pm_test_depth 2.5\n"
+      "# HELP f2pm_test_latency_seconds Latency.\n"
+      "# TYPE f2pm_test_latency_seconds histogram\n"
+      "f2pm_test_latency_seconds_bucket{le=\"0.1\"} 1\n"
+      "f2pm_test_latency_seconds_bucket{le=\"1\"} 2\n"
+      "f2pm_test_latency_seconds_bucket{le=\"+Inf\"} 3\n"
+      "f2pm_test_latency_seconds_sum 5.55\n"
+      "f2pm_test_latency_seconds_count 3\n"
+      "# HELP f2pm_test_requests_total Requests handled.\n"
+      "# TYPE f2pm_test_requests_total counter\n"
+      "f2pm_test_requests_total 3\n";
+  EXPECT_EQ(render_prometheus(registry), expected);
+}
+
+TEST(Exposition, LabeledFamiliesShareOneHeader) {
+  Registry registry;
+  registry.counter("f2pm_test_fits_total", "Fits.", "model=\"linear\"")
+      .add(1);
+  registry.counter("f2pm_test_fits_total", "Fits.", "model=\"m5p\"").add(2);
+  const std::string text = render_prometheus(registry);
+  EXPECT_EQ(text,
+            "# HELP f2pm_test_fits_total Fits.\n"
+            "# TYPE f2pm_test_fits_total counter\n"
+            "f2pm_test_fits_total{model=\"linear\"} 1\n"
+            "f2pm_test_fits_total{model=\"m5p\"} 2\n");
+}
+
+TEST(Exposition, HttpResponseFramesTheBody) {
+  const std::string response = http_response("hello\n");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 6\r\n"), std::string::npos);
+  const std::size_t body_at = response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  EXPECT_EQ(response.substr(body_at + 4), "hello\n");
+}
+
+TEST(ScopedTimer, ObservesElapsedSeconds) {
+  Registry registry;
+  Histogram& hist =
+      registry.histogram("t_timer", "help", {0.000001, 10.0});
+  { ScopedTimer timer(hist); }
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.cumulative[1], 1u);  // well under 10 s
+  EXPECT_GE(snap.sum, 0.0);
+}
+
+TEST(Registry, GlobalIsASingleton) {
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+}  // namespace
+}  // namespace f2pm::obs

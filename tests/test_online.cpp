@@ -69,6 +69,72 @@ TEST(OnlinePredictor, SparseWindowsAreSkipped) {
   EXPECT_FALSE(predictor.observe(sample_at(12.0)).has_value());
 }
 
+TEST(OnlinePredictor, FlushOnFreshPredictorEmitsNothing) {
+  auto model = std::make_shared<ConstantModel>(1.0, data::kInputCount);
+  OnlinePredictor predictor(model, data::AggregationOptions{});
+  EXPECT_FALSE(predictor.flush().has_value());
+}
+
+TEST(OnlinePredictor, FlushBelowMinimumEmitsNothing) {
+  auto model = std::make_shared<ConstantModel>(1.0, data::kInputCount);
+  data::AggregationOptions aggregation;
+  aggregation.window_seconds = 10.0;
+  aggregation.min_samples_per_window = 3;
+  OnlinePredictor predictor(model, aggregation);
+  predictor.observe(sample_at(1.0));
+  predictor.observe(sample_at(2.0));
+  EXPECT_FALSE(predictor.flush().has_value());
+  EXPECT_EQ(predictor.windows_emitted(), 0u);
+}
+
+TEST(OnlinePredictor, FlushEmitsOpenWindowAtExactMinimum) {
+  // The stream ends mid-window with exactly min_samples collected: without
+  // flush() this prediction was silently dropped.
+  auto model = std::make_shared<ConstantModel>(500.0, data::kInputCount);
+  data::AggregationOptions aggregation;
+  aggregation.window_seconds = 10.0;
+  aggregation.min_samples_per_window = 2;
+  OnlinePredictor predictor(model, aggregation);
+  EXPECT_FALSE(predictor.observe(sample_at(11.0)).has_value());
+  EXPECT_FALSE(predictor.observe(sample_at(15.0)).has_value());
+  const auto prediction = predictor.flush();
+  ASSERT_TRUE(prediction.has_value());
+  EXPECT_DOUBLE_EQ(prediction->window_end, 20.0);
+  EXPECT_DOUBLE_EQ(prediction->rttf, 500.0);
+  EXPECT_EQ(prediction->window_samples, 2u);
+  EXPECT_EQ(predictor.windows_emitted(), 1u);
+}
+
+TEST(OnlinePredictor, DoubleFlushIsIdempotent) {
+  auto model = std::make_shared<ConstantModel>(500.0, data::kInputCount);
+  data::AggregationOptions aggregation;
+  aggregation.window_seconds = 10.0;
+  OnlinePredictor predictor(model, aggregation);
+  predictor.observe(sample_at(1.0));
+  predictor.observe(sample_at(5.0));
+  ASSERT_TRUE(predictor.flush().has_value());
+  // The window was consumed: a second flush must not re-emit it.
+  EXPECT_FALSE(predictor.flush().has_value());
+  EXPECT_EQ(predictor.windows_emitted(), 1u);
+}
+
+TEST(OnlinePredictor, ObserveAfterFlushDoesNotReEmit) {
+  auto model = std::make_shared<ConstantModel>(500.0, data::kInputCount);
+  data::AggregationOptions aggregation;
+  aggregation.window_seconds = 10.0;
+  aggregation.min_samples_per_window = 1;
+  OnlinePredictor predictor(model, aggregation);
+  predictor.observe(sample_at(1.0));
+  predictor.observe(sample_at(5.0));
+  ASSERT_TRUE(predictor.flush().has_value());
+  // A later sample opens a new window; the flushed one stays consumed.
+  EXPECT_FALSE(predictor.observe(sample_at(12.0)).has_value());
+  const auto next = predictor.observe(sample_at(22.0));
+  ASSERT_TRUE(next.has_value());
+  EXPECT_DOUBLE_EQ(next->window_end, 20.0);
+  EXPECT_EQ(predictor.windows_emitted(), 2u);
+}
+
 TEST(OnlinePredictor, RejectsOutOfOrderSamples) {
   auto model = std::make_shared<ConstantModel>(1.0, data::kInputCount);
   OnlinePredictor predictor(model, data::AggregationOptions{});

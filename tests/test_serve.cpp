@@ -312,6 +312,142 @@ TEST(PredictionService, GracefulDrainFlushesPendingPredictions) {
   EXPECT_EQ(received, 3);  // windows ending at t = 4, 8, 12
 }
 
+// A client that half-closes (EOF, no Bye) mid-window must still receive a
+// prediction for the open window when it has enough samples — this is the
+// data-loss case the drain-path flush exists for: the window would never
+// close on its own because no later datapoint can arrive.
+TEST(PredictionService, HalfCloseAfterCompleteWindowGetsFlushedPrediction) {
+  auto store = std::make_shared<ModelStore>();
+  store->swap(constant_model(250.0));
+  PredictionService service(fast_options(), store);
+
+  net::TcpStream stream =
+      net::TcpStream::connect("127.0.0.1", service.port());
+  net::send_hello(stream, net::Hello{net::kProtocolVersion, "half-closer"});
+  // Three samples inside [0,4): above min_samples_per_window but the
+  // window never closes because no t >= 4 sample follows.
+  for (int i = 0; i <= 2; ++i) net::send_datapoint(stream, sample_at(i));
+  stream.shutdown_write();  // EOF without Bye
+
+  net::FrameDecoder decoder;
+  std::size_t predictions = 0;
+  while (auto frame = net::receive_frame(stream, decoder)) {
+    const auto* prediction = std::get_if<net::Prediction>(&*frame);
+    ASSERT_NE(prediction, nullptr);
+    EXPECT_NEAR(prediction->rttf, 250.0, 1e-6);
+    EXPECT_DOUBLE_EQ(prediction->window_end, 4.0);
+    ++predictions;
+  }
+  EXPECT_EQ(predictions, 1u);
+  service.stop();
+  EXPECT_EQ(service.stats().protocol_errors, 0u);
+}
+
+// Same shape, but the open window is below the minimum: the flush must
+// emit nothing and the session still closes cleanly.
+TEST(PredictionService, HalfCloseBelowMinimumFlushesNothing) {
+  auto store = std::make_shared<ModelStore>();
+  store->swap(constant_model(250.0));
+  PredictionService service(fast_options(), store);
+
+  net::TcpStream stream =
+      net::TcpStream::connect("127.0.0.1", service.port());
+  net::send_hello(stream, net::Hello{net::kProtocolVersion, "sparse"});
+  net::send_datapoint(stream, sample_at(0.0));  // one sample < min of 2
+  stream.shutdown_write();
+
+  net::FrameDecoder decoder;
+  EXPECT_FALSE(net::receive_frame(stream, decoder).has_value());  // EOF
+  service.stop();
+  EXPECT_EQ(service.stats().predictions_sent, 0u);
+  EXPECT_EQ(service.stats().protocol_errors, 0u);
+}
+
+// The in-band stats frame: a hello'd client can pull the same Prometheus
+// text the HTTP endpoint serves, interleaved with its prediction stream.
+TEST(PredictionService, StatsRequestReturnsExposition) {
+  auto store = std::make_shared<ModelStore>();
+  store->swap(constant_model(77.0));
+  PredictionService service(fast_options(), store);
+
+  net::FeatureMonitorClient client("127.0.0.1", service.port());
+  client.hello("stats-client");
+  for (int i = 0; i <= 4; ++i) client.send(sample_at(i));
+  ASSERT_TRUE(client.wait_prediction().has_value());
+
+  const auto text = client.fetch_stats();
+  ASSERT_TRUE(text.has_value());
+  EXPECT_NE(text->find("# TYPE f2pm_serve_sessions_active gauge"),
+            std::string::npos);
+  EXPECT_NE(text->find("f2pm_serve_datapoints_received_total"),
+            std::string::npos);
+  EXPECT_NE(text->find("f2pm_serve_scoring_batch_seconds_bucket"),
+            std::string::npos);
+
+  // The session survives the stats exchange and keeps predicting.
+  for (int i = 5; i <= 8; ++i) client.send(sample_at(i));
+  auto prediction = client.wait_prediction();
+  ASSERT_TRUE(prediction.has_value());
+  EXPECT_NEAR(prediction->rttf, 77.0, 1e-6);
+  client.finish();
+  service.stop();
+  EXPECT_EQ(service.stats().protocol_errors, 0u);
+}
+
+// The HTTP scrape endpoint: a live service exposes session gauges and the
+// scoring-latency histogram over plain HTTP on the metrics port.
+TEST(PredictionService, MetricsEndpointServesPrometheusScrape) {
+  auto store = std::make_shared<ModelStore>();
+  store->swap(constant_model(123.0));
+  ServiceOptions options = fast_options();
+  options.metrics_port = 0;  // ephemeral
+  PredictionService service(options, store);
+  ASSERT_NE(service.metrics_port(), 0u);
+  ASSERT_NE(service.metrics_port(), service.port());
+
+  net::FeatureMonitorClient client("127.0.0.1", service.port());
+  client.hello("scraped");
+  for (int i = 0; i <= 6; ++i) client.send(sample_at(i));
+  ASSERT_TRUE(client.wait_prediction().has_value());
+
+  const auto scrape = [&]() -> std::string {
+    net::TcpStream http =
+        net::TcpStream::connect("127.0.0.1", service.metrics_port());
+    const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+    http.send_all(request.data(), request.size());
+    std::string response;
+    char chunk[4096];
+    std::size_t got = 0;
+    while (true) {
+      const net::IoResult io = http.recv_some(chunk, sizeof(chunk), got);
+      if (io == net::IoResult::kEof) break;
+      if (io == net::IoResult::kOk) response.append(chunk, got);
+    }
+    return response;
+  };
+
+  const std::string response = scrape();
+  EXPECT_EQ(response.rfind("HTTP/1.0 200 OK\r\n", 0), 0u);
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  // The one connected session shows in the gauge...
+  EXPECT_NE(response.find("\nf2pm_serve_sessions_active 1\n"),
+            std::string::npos);
+  // ...and scoring latencies landed in the histogram.
+  const std::size_t count_at =
+      response.find("\nf2pm_serve_scoring_batch_seconds_count ");
+  ASSERT_NE(count_at, std::string::npos);
+  EXPECT_NE(response.find("f2pm_serve_scoring_batch_seconds_bucket{le=\""),
+            std::string::npos);
+
+  // Scrapes are cheap and repeatable: a second connection works too.
+  EXPECT_EQ(scrape().rfind("HTTP/1.0 200 OK\r\n", 0), 0u);
+
+  client.finish();
+  service.stop();
+  EXPECT_EQ(service.stats().protocol_errors, 0u);
+}
+
 // Hello-less legacy clients are ingest-only: datapoints are accepted but
 // no predictions come back.
 TEST(PredictionService, LegacyClientWithoutHelloGetsNoPredictions) {

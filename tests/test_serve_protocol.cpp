@@ -32,12 +32,15 @@ std::vector<std::uint8_t> encode_all() {
   prediction.alarm = true;
   prediction.model_version = 7;
   FrameEncoder::encode_prediction(bytes, prediction);
+  FrameEncoder::encode_stats_request(bytes);
+  FrameEncoder::encode_stats_reply(
+      bytes, StatsReply{"f2pm_up 1\n# not parsed, just carried\n"});
   FrameEncoder::encode_bye(bytes);
   return bytes;
 }
 
 void expect_all_frames(const std::vector<Frame>& frames) {
-  ASSERT_EQ(frames.size(), 5u);
+  ASSERT_EQ(frames.size(), 7u);
   const auto* hello = std::get_if<Hello>(&frames[0]);
   ASSERT_NE(hello, nullptr);
   EXPECT_EQ(hello->version, kProtocolVersion);
@@ -54,7 +57,11 @@ void expect_all_frames(const std::vector<Frame>& frames) {
   EXPECT_DOUBLE_EQ(prediction->rttf, 1234.5);
   EXPECT_TRUE(prediction->alarm);
   EXPECT_EQ(prediction->model_version, 7u);
-  EXPECT_NE(std::get_if<Bye>(&frames[4]), nullptr);
+  EXPECT_NE(std::get_if<StatsRequest>(&frames[4]), nullptr);
+  const auto* stats = std::get_if<StatsReply>(&frames[5]);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->text, "f2pm_up 1\n# not parsed, just carried\n");
+  EXPECT_NE(std::get_if<Bye>(&frames[6]), nullptr);
 }
 
 TEST(FrameDecoder, CoalescedFramesInOneFeed) {
@@ -138,6 +145,43 @@ TEST(FrameDecoder, OversizedHelloThrows) {
   } catch (const ProtocolError& e) {
     EXPECT_EQ(e.kind(), ProtocolError::Kind::kOversized);
   }
+}
+
+TEST(FrameDecoder, OversizedStatsReplyThrows) {
+  std::vector<std::uint8_t> bytes(12, 0);
+  std::memcpy(bytes.data(), &kProtocolMagic, 4);
+  const auto type = static_cast<std::uint32_t>(FrameType::kStatsReply);
+  std::memcpy(bytes.data() + 4, &type, 4);
+  const std::uint32_t huge_len =
+      static_cast<std::uint32_t>(kMaxStatsBytes) + 1;
+  std::memcpy(bytes.data() + 8, &huge_len, 4);
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  try {
+    decoder.next();
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.kind(), ProtocolError::Kind::kOversized);
+  }
+}
+
+TEST(FrameEncoder, RejectsOversizedStatsReply) {
+  std::vector<std::uint8_t> bytes;
+  StatsReply reply;
+  reply.text.assign(kMaxStatsBytes + 1, 'm');
+  EXPECT_THROW(FrameEncoder::encode_stats_reply(bytes, reply),
+               std::invalid_argument);
+}
+
+TEST(FrameDecoder, EmptyStatsReplyRoundTrips) {
+  std::vector<std::uint8_t> bytes;
+  FrameEncoder::encode_stats_reply(bytes, StatsReply{});
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_TRUE(std::get<StatsReply>(*frame).text.empty());
+  EXPECT_FALSE(decoder.mid_frame());
 }
 
 TEST(FrameEncoder, RejectsOversizedClientId) {

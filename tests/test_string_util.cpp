@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <string>
+
 namespace f2pm::util {
 namespace {
 
@@ -71,6 +74,21 @@ TEST(FormatDouble, RoundTripThroughParse) {
   for (double v : {0.125, -17.5, 123456.75}) {
     EXPECT_DOUBLE_EQ(parse_double(format_double(v, 9)), v);
   }
+}
+
+TEST(FormatDouble, IgnoresNumericLocale) {
+  // CSV/ARFF exports must always use '.' as the decimal separator; the old
+  // ostringstream path honoured the global locale and wrote "3,14" under
+  // e.g. de_DE, silently corrupting every exported dataset.
+  const std::string previous = std::setlocale(LC_NUMERIC, nullptr);
+  const char* locale = std::setlocale(LC_NUMERIC, "de_DE.UTF-8");
+  if (locale == nullptr) locale = std::setlocale(LC_NUMERIC, "de_DE");
+  if (locale == nullptr) {
+    GTEST_SKIP() << "no comma-decimal locale available on this system";
+  }
+  const std::string formatted = format_double(3.14, 6);
+  std::setlocale(LC_NUMERIC, previous.c_str());
+  EXPECT_EQ(formatted, "3.14");
 }
 
 }  // namespace
