@@ -1,0 +1,522 @@
+// Tree-training scaling: the v0 growth-seed REP-Tree fit (recursive build
+// with a fresh per-node gather-sort split search, per-node row-vector
+// allocations, recursive prune/backfit/importances — replicated verbatim
+// below) vs the presorted and histogram engines, plus the in-tree kNaive
+// engine mode, bagged-ensemble fit at several worker counts, and batched
+// vs row-by-row prediction for the tree family and KNN.
+//
+// Emits BENCH_tree_training.json next to the binary: per-config fit and
+// predict timings (min over reps) plus headline speedups (presort over
+// the v0 seed at the largest n, parallel bagging over serial). `--smoke`
+// shrinks every size so CI can execute the full code path in seconds.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ml/ensemble.hpp"
+#include "ml/knn.hpp"
+#include "ml/m5p.hpp"
+#include "ml/metrics.hpp"
+#include "ml/reptree.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace f2pm;
+
+// Telemetry-style width: failure-prediction feature sets (resource and
+// error metrics before model-specific selection) run tens of columns.
+constexpr std::size_t kFeatures = 16;
+
+// WEKA's -M: minimum instances per leaf. 25 is a typical setting for
+// noisy telemetry regressions at n in the tens of thousands; both the
+// seed replica and the engines run with the same value.
+constexpr std::size_t kMinLeaf = 25;
+
+/// Piecewise response over mixed continuous/discrete features — enough
+/// structure that the trees grow to realistic depth, enough ties that the
+/// split search does real work on duplicate values.
+void make_data(std::size_t n, util::Rng& rng, linalg::Matrix& x,
+               std::vector<double>& y) {
+  x = linalg::Matrix(n, kFeatures);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < kFeatures; ++c) {
+      x(i, c) = c % 3 == 0 ? static_cast<double>(rng.uniform_int(0, 15))
+                           : rng.uniform(-2.0, 2.0);
+    }
+    y[i] = std::sin(x(i, 1)) + 0.3 * x(i, 0) +
+           (x(i, 2) > 0.5 ? 2.0 : -1.0) + 0.2 * x(i, 4) * x(i, 5) +
+           rng.normal(0.0, 0.05);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Verbatim replica of the v0 growth-seed REP-Tree fit. The split search is
+// the seed's exact code: one carried sort buffer per node, plain std::sort
+// with a gather comparator (tie order unspecified), moments recomputed from
+// scratch; grow/prune/backfit/importances all recurse with fresh row-vector
+// allocations at every node. This is the honest pre-engine baseline.
+
+ml::BestSplit seed_find_best_split(const linalg::Matrix& x,
+                                   std::span<const double> y,
+                                   const std::vector<std::size_t>& rows,
+                                   std::size_t min_leaf,
+                                   ml::SplitCriterion criterion) {
+  ml::BestSplit best;
+  if (rows.size() < 2 * min_leaf) return best;
+  const ml::Moments total = ml::compute_moments(y, rows);
+  if (total.sse() <= 0.0) return best;
+  const double total_sd = total.sd();
+  const double inv_count = 1.0 / static_cast<double>(total.count);
+  std::vector<std::size_t> sorted(rows);
+  for (std::size_t feature = 0; feature < x.cols(); ++feature) {
+    std::sort(sorted.begin(), sorted.end(),
+              [&](std::size_t a, std::size_t b) {
+                return x(a, feature) < x(b, feature);
+              });
+    ml::Moments left;
+    ml::Moments right = total;
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      const double value = y[sorted[i]];
+      left.add(value);
+      right.sum -= value;
+      right.sum_sq -= value * value;
+      --right.count;
+      const double v_here = x(sorted[i], feature);
+      const double v_next = x(sorted[i + 1], feature);
+      if (v_here == v_next) continue;
+      if (left.count < min_leaf || right.count < min_leaf) continue;
+      double score = 0.0;
+      if (criterion == ml::SplitCriterion::kVarianceReduction) {
+        score = total.sse() - (left.sse() + right.sse());
+      } else {
+        const double weighted_sd =
+            (static_cast<double>(left.count) * left.sd() +
+             static_cast<double>(right.count) * right.sd()) *
+            inv_count;
+        score = total_sd - weighted_sd;
+      }
+      if (score > best.score || !best.found) {
+        if (score <= 0.0) continue;
+        best.found = true;
+        best.feature = feature;
+        best.threshold = v_here + (v_next - v_here) / 2.0;
+        best.score = score;
+      }
+    }
+  }
+  return best;
+}
+
+struct SeedTree {
+  struct N {
+    std::size_t f = 0;
+    double t = 0.0;
+    double v = 0.0;
+    std::size_t l = ml::kNoNode;
+    std::size_t r = ml::kNoNode;
+    [[nodiscard]] bool leaf() const { return l == ml::kNoNode; }
+  };
+  std::vector<N> nodes;
+  std::vector<double> imps;
+  std::size_t root = ml::kNoNode;
+  ml::RepTreeOptions opt;
+
+  std::size_t build(const linalg::Matrix& x, std::span<const double> y,
+                    const std::vector<std::size_t>& rows, std::size_t depth,
+                    double root_var) {
+    const ml::Moments m = ml::compute_moments(y, rows);
+    N node;
+    node.v = m.mean();
+    const bool depth_ok = opt.max_depth == 0 || depth < opt.max_depth;
+    const double var =
+        m.count == 0 ? 0.0 : m.sse() / static_cast<double>(m.count);
+    ml::BestSplit split;
+    if (depth_ok && var > opt.min_variance_proportion * root_var) {
+      split = seed_find_best_split(x, y, rows, opt.min_instances_per_leaf,
+                                   ml::SplitCriterion::kVarianceReduction);
+    }
+    const std::size_t id = nodes.size();
+    nodes.push_back(node);
+    if (!split.found) return id;
+    std::vector<std::size_t> lr;
+    std::vector<std::size_t> rr;
+    ml::partition_rows(x, rows, split.feature, split.threshold, lr, rr);
+    const std::size_t li = build(x, y, lr, depth + 1, root_var);
+    const std::size_t ri = build(x, y, rr, depth + 1, root_var);
+    nodes[id].f = split.feature;
+    nodes[id].t = split.threshold;
+    nodes[id].l = li;
+    nodes[id].r = ri;
+    return id;
+  }
+
+  double prune(std::size_t id, const linalg::Matrix& x,
+               std::span<const double> y,
+               const std::vector<std::size_t>& rows) {
+    N& node = nodes[id];
+    double leaf_sse = 0.0;
+    for (std::size_t r : rows) {
+      const double e = y[r] - node.v;
+      leaf_sse += e * e;
+    }
+    if (node.leaf()) return leaf_sse;
+    std::vector<std::size_t> lr;
+    std::vector<std::size_t> rr;
+    ml::partition_rows(x, rows, node.f, node.t, lr, rr);
+    const double sub = prune(node.l, x, y, lr) + prune(node.r, x, y, rr);
+    if (leaf_sse <= sub) {
+      node.l = ml::kNoNode;
+      node.r = ml::kNoNode;
+      return leaf_sse;
+    }
+    return sub;
+  }
+
+  void backfit(std::size_t id, const linalg::Matrix& x,
+               std::span<const double> y,
+               const std::vector<std::size_t>& rows) {
+    N& node = nodes[id];
+    if (!rows.empty()) node.v = ml::compute_moments(y, rows).mean();
+    if (node.leaf()) return;
+    std::vector<std::size_t> lr;
+    std::vector<std::size_t> rr;
+    ml::partition_rows(x, rows, node.f, node.t, lr, rr);
+    backfit(node.l, x, y, lr);
+    backfit(node.r, x, y, rr);
+  }
+
+  double accimp(std::size_t id, const linalg::Matrix& x,
+                std::span<const double> y,
+                const std::vector<std::size_t>& rows) {
+    const double sse = ml::compute_moments(y, rows).sse();
+    N& node = nodes[id];
+    if (node.leaf()) return sse;
+    std::vector<std::size_t> lr;
+    std::vector<std::size_t> rr;
+    ml::partition_rows(x, rows, node.f, node.t, lr, rr);
+    const double child = accimp(node.l, x, y, lr) + accimp(node.r, x, y, rr);
+    imps[node.f] += std::max(sse - child, 0.0);
+    return child;
+  }
+
+  void fit(const linalg::Matrix& x, std::span<const double> y) {
+    nodes.clear();
+    const std::size_t n = x.rows();
+    std::vector<std::size_t> gr;
+    std::vector<std::size_t> pr;
+    const bool can_prune = opt.prune && n >= 2 * opt.num_folds;
+    if (can_prune) {
+      util::Rng rng(opt.seed);
+      const auto perm = rng.permutation(n);
+      const std::size_t pc = n / opt.num_folds;
+      pr.assign(perm.begin(), perm.begin() + pc);
+      gr.assign(perm.begin() + pc, perm.end());
+      std::sort(gr.begin(), gr.end());
+      std::sort(pr.begin(), pr.end());
+    } else {
+      gr.resize(n);
+      for (std::size_t i = 0; i < n; ++i) gr[i] = i;
+    }
+    const ml::Moments rm = ml::compute_moments(y, gr);
+    const double rv =
+        rm.count == 0 ? 0.0 : rm.sse() / static_cast<double>(rm.count);
+    root = build(x, y, gr, 0, rv);
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    if (can_prune) {
+      prune(root, x, y, pr);
+      backfit(root, x, y, all);
+    }
+    imps.assign(x.cols(), 0.0);
+    accimp(root, x, y, all);
+  }
+
+  [[nodiscard]] double predict(std::span<const double> row) const {
+    std::size_t id = root;
+    while (!nodes[id].leaf()) {
+      id = row[nodes[id].f] <= nodes[id].t ? nodes[id].l : nodes[id].r;
+    }
+    return nodes[id].v;
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+struct Result {
+  std::string section;
+  std::string impl;
+  std::size_t n = 0;
+  double seconds = 0.0;
+  double mae = 0.0;
+};
+
+std::vector<Result> g_results;
+
+void record(const Result& r) {
+  std::printf("%-24s%-20s%-10zu%-14.4f%-10.5f\n", r.section.c_str(),
+              r.impl.c_str(), r.n, r.seconds, r.mae);
+  g_results.push_back(r);
+}
+
+/// Minimum wall-clock over `reps` runs of `fn` (re-fitting each time).
+template <typename Fn>
+double timed_min(std::size_t reps, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < reps; ++i) {
+    best = std::min(best, util::timed(fn));
+  }
+  return best;
+}
+
+ml::RepTreeOptions bench_tree_options(ml::SplitMode mode) {
+  ml::RepTreeOptions options;
+  options.split_mode = mode;
+  options.min_instances_per_leaf = kMinLeaf;
+  return options;
+}
+
+double fit_seed(std::size_t reps, const linalg::Matrix& x,
+                const std::vector<double>& y, const linalg::Matrix& x_val,
+                const std::vector<double>& y_val) {
+  SeedTree tree;
+  tree.opt.min_instances_per_leaf = kMinLeaf;
+  Result r;
+  r.section = "reptree_fit";
+  r.impl = "seed_v0";
+  r.n = x.rows();
+  r.seconds = timed_min(reps, [&] { tree.fit(x, y); });
+  std::vector<double> pred(x_val.rows());
+  for (std::size_t i = 0; i < x_val.rows(); ++i) {
+    pred[i] = tree.predict(x_val.row(i));
+  }
+  r.mae = ml::mean_absolute_error(pred, y_val);
+  record(r);
+  return r.seconds;
+}
+
+double fit_reptree(std::size_t reps, ml::SplitMode mode,
+                   const linalg::Matrix& x, const std::vector<double>& y,
+                   const linalg::Matrix& x_val,
+                   const std::vector<double>& y_val, const char* impl) {
+  ml::RepTree tree(bench_tree_options(mode));
+  Result r;
+  r.section = "reptree_fit";
+  r.impl = impl;
+  r.n = x.rows();
+  r.seconds = timed_min(reps, [&] { tree.fit(x, y); });
+  r.mae = ml::mean_absolute_error(tree.predict(x_val), y_val);
+  record(r);
+  return r.seconds;
+}
+
+double fit_m5p(std::size_t reps, ml::SplitMode mode, const linalg::Matrix& x,
+               const std::vector<double>& y, const linalg::Matrix& x_val,
+               const std::vector<double>& y_val, const char* impl) {
+  ml::M5POptions options;
+  options.split_mode = mode;
+  ml::M5P model(options);
+  Result r;
+  r.section = "m5p_fit";
+  r.impl = impl;
+  r.n = x.rows();
+  r.seconds = timed_min(reps, [&] { model.fit(x, y); });
+  r.mae = ml::mean_absolute_error(model.predict(x_val), y_val);
+  record(r);
+  return r.seconds;
+}
+
+double fit_bagging(std::size_t workers, std::size_t num_trees,
+                   const linalg::Matrix& x, const std::vector<double>& y,
+                   const linalg::Matrix& x_val,
+                   const std::vector<double>& y_val) {
+  ml::BaggedTreesOptions options;
+  options.num_trees = num_trees;
+  options.fit_workers = workers;
+  ml::BaggedTrees model(options);
+  Result r;
+  r.section = "bagging_fit";
+  r.impl = "workers_" + std::to_string(workers);
+  r.n = x.rows();
+  r.seconds = util::timed([&] { model.fit(x, y); });
+  r.mae = ml::mean_absolute_error(model.predict(x_val), y_val);
+  record(r);
+  return r.seconds;
+}
+
+/// Times model.predict(x) against the row-by-row loop it replaces.
+template <typename Model>
+void predict_pair(const char* section, const Model& model,
+                  const linalg::Matrix& queries) {
+  std::vector<double> batched;
+  std::vector<double> rowwise(queries.rows());
+  Result batch;
+  batch.section = section;
+  batch.impl = "batched";
+  batch.n = queries.rows();
+  batch.seconds = util::timed([&] { batched = model.predict(queries); });
+  Result loop;
+  loop.section = section;
+  loop.impl = "row_by_row";
+  loop.n = queries.rows();
+  loop.seconds = util::timed([&] {
+    for (std::size_t r = 0; r < queries.rows(); ++r) {
+      rowwise[r] = model.predict_row(queries.row(r));
+    }
+  });
+  batch.mae = ml::mean_absolute_error(batched, rowwise);  // ~0: same model
+  loop.mae = batch.mae;
+  record(batch);
+  record(loop);
+}
+
+void write_json(double presort_speedup, std::size_t presort_n,
+                double bagging_speedup, std::size_t bagging_workers) {
+  std::FILE* out = std::fopen("BENCH_tree_training.json", "w");
+  if (out == nullptr) return;
+  std::fprintf(out, "{\n  \"bench\": \"tree_training_scaling\",\n");
+  std::fprintf(out, "  \"results\": [\n");
+  for (std::size_t i = 0; i < g_results.size(); ++i) {
+    const Result& r = g_results[i];
+    std::fprintf(out,
+                 "    {\"section\": \"%s\", \"impl\": \"%s\", \"n\": %zu, "
+                 "\"seconds\": %.6f, \"mae\": %.6f}%s\n",
+                 r.section.c_str(), r.impl.c_str(), r.n, r.seconds, r.mae,
+                 i + 1 < g_results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"reptree_presort_speedup\": {\"n\": %zu, \"value\": "
+               "%.3f},\n",
+               presort_n, presort_speedup);
+  std::fprintf(out,
+               "  \"bagging_parallel_speedup\": {\"workers\": %zu, \"value\": "
+               "%.3f},\n",
+               bagging_workers, bagging_speedup);
+  std::fprintf(out, "  \"hardware_threads\": %u\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+}
+
+void run_all(bool smoke) {
+  std::printf("== F2PM perf: tree training - v0 seed vs presort/histogram "
+              "engines ==\n");
+  std::printf("synthetic regression, %zu features, min_leaf %zu; hardware "
+              "threads: %u%s\n\n",
+              kFeatures, kMinLeaf, std::thread::hardware_concurrency(),
+              smoke ? " [smoke]" : "");
+  std::printf("%-24s%-20s%-10s%-14s%-10s\n", "section", "impl", "n",
+              "seconds", "mae");
+  std::printf("%s\n", std::string(78, '-').c_str());
+
+  const std::vector<std::size_t> tree_sizes =
+      smoke ? std::vector<std::size_t>{500}
+            : std::vector<std::size_t>{2000, 20000};
+  const std::size_t reps = smoke ? 1 : 3;
+  const std::size_t bagging_n = smoke ? 400 : 2000;
+  const std::size_t bagging_trees = smoke ? 6 : 50;
+  const std::size_t bagging_workers = 8;
+  const std::size_t knn_n = smoke ? 400 : 4000;
+
+  double seed_at_max = 0.0;
+  double presort_at_max = 0.0;
+  for (const std::size_t n : tree_sizes) {
+    util::Rng rng(4242);
+    linalg::Matrix x;
+    std::vector<double> y;
+    make_data(n, rng, x, y);
+    linalg::Matrix x_val;
+    std::vector<double> y_val;
+    make_data(500, rng, x_val, y_val);
+
+    const double seed = fit_seed(reps, x, y, x_val, y_val);
+    fit_reptree(reps, ml::SplitMode::kNaive, x, y, x_val, y_val, "naive");
+    const double presort = fit_reptree(reps, ml::SplitMode::kPresort, x, y,
+                                       x_val, y_val, "presort");
+    fit_reptree(reps, ml::SplitMode::kHistogram, x, y, x_val, y_val,
+                "histogram");
+    if (n == tree_sizes.back()) {
+      seed_at_max = seed;
+      presort_at_max = presort;
+    }
+
+    fit_m5p(reps, ml::SplitMode::kNaive, x, y, x_val, y_val, "naive");
+    fit_m5p(reps, ml::SplitMode::kPresort, x, y, x_val, y_val, "presort");
+  }
+
+  // Bagged ensembles: identical models at every worker count, so the mae
+  // column doubles as a sanity check.
+  util::Rng rng(77);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_data(bagging_n, rng, x, y);
+  linalg::Matrix x_val;
+  std::vector<double> y_val;
+  make_data(500, rng, x_val, y_val);
+  const double serial = fit_bagging(1, bagging_trees, x, y, x_val, y_val);
+  const double parallel =
+      fit_bagging(bagging_workers, bagging_trees, x, y, x_val, y_val);
+
+  // Batched vs row-by-row prediction.
+  {
+    ml::RepTree tree;
+    tree.fit(x, y);
+    predict_pair("reptree_predict", tree, x);
+    ml::BaggedTreesOptions bag_options;
+    bag_options.num_trees = bagging_trees;
+    ml::BaggedTrees bag(bag_options);
+    bag.fit(x, y);
+    predict_pair("bagging_predict", bag, x);
+  }
+  {
+    util::Rng knn_rng(99);
+    linalg::Matrix knn_x;
+    std::vector<double> knn_y;
+    make_data(knn_n, knn_rng, knn_x, knn_y);
+    ml::KnnRegressor knn;
+    knn.fit(knn_x, knn_y);
+    predict_pair("knn_predict", knn, knn_x);
+  }
+
+  const double presort_speedup =
+      presort_at_max > 0.0 ? seed_at_max / presort_at_max : 0.0;
+  const double bagging_speedup = parallel > 0.0 ? serial / parallel : 0.0;
+  std::printf("\nreptree presort speedup at n=%zu (seed_v0 / presort): "
+              "%.2fx\n",
+              tree_sizes.back(), presort_speedup);
+  std::printf("bagging speedup at %zu workers (serial / parallel): %.2fx\n\n",
+              bagging_workers, bagging_speedup);
+  write_json(presort_speedup, tree_sizes.back(), bagging_speedup,
+             bagging_workers);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  // Strip --smoke before handing the remaining flags to the benchmark
+  // library (it rejects flags it does not know).
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  run_all(smoke);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -112,6 +112,35 @@ Matrix gemm(const Matrix& a, const Matrix& b) {
   return c;
 }
 
+void gemm_nt_block(const Matrix& a, std::size_t a_begin, std::size_t a_end,
+                   const Matrix& b, Matrix& out) {
+  if (a.cols() != b.cols()) {
+    throw std::invalid_argument("gemm_nt_block: dimension mismatch");
+  }
+  const std::size_t block = a_end - a_begin;
+  if (a_end > a.rows() || out.rows() != block || out.cols() != b.rows()) {
+    throw std::invalid_argument("gemm_nt_block: bad block shape");
+  }
+  // Loop order keeps both operands streaming: for each B row, dot it
+  // against every A row of the block (block rows are typically few and
+  // stay cache-resident).
+  auto b_rows = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t j = lo; j < hi; ++j) {
+      const auto bj = b.row(j);
+      for (std::size_t i = 0; i < block; ++i) {
+        out(i, j) = dot(a.row(a_begin + i), bj);
+      }
+    }
+  };
+  constexpr std::size_t kParallelFlops = 1u << 16;
+  if (block * b.rows() * a.cols() < kParallelFlops) {
+    b_rows(0, b.rows());
+  } else {
+    parallel::parallel_for_chunked(parallel::ThreadPool::global(), 0,
+                                   b.rows(), b_rows);
+  }
+}
+
 Matrix gram(const Matrix& a) {
   const std::size_t n = a.cols();
   Matrix g(n, n);

@@ -39,4 +39,13 @@ Matrix gemm(const Matrix& a, const Matrix& b);
 /// C = A^T * A (the Gram matrix of the design matrix); exploits symmetry.
 Matrix gram(const Matrix& a);
 
+/// out(i, j) = dot(a.row(a_begin + i), b.row(j)) for a row block of A
+/// against all rows of B (i.e. a block of A * B^T). `out` must already be
+/// (a_end - a_begin) x b.rows(); it is fully overwritten. Used by the
+/// batched KNN distance computation ‖q−t‖² = ‖q‖² + ‖t‖² − 2·q·t, where the
+/// cross terms for a query block are exactly such a block product.
+/// Parallel over B rows for large blocks.
+void gemm_nt_block(const Matrix& a, std::size_t a_begin, std::size_t a_end,
+                   const Matrix& b, Matrix& out);
+
 }  // namespace f2pm::linalg

@@ -2,8 +2,11 @@
 
 
 #include <cmath>
+#include <functional>
+#include <optional>
 #include <stdexcept>
 
+#include "parallel/thread_pool.hpp"
 #include "util/rng.hpp"
 
 namespace f2pm::ml {
@@ -23,28 +26,51 @@ void BaggedTrees::fit(const linalg::Matrix& x, std::span<const double> y) {
   check_fit_args(x, y);
   trees_.clear();
   num_inputs_ = x.cols();
-  util::Rng rng(options_.seed);
   const std::size_t n = x.rows();
   const auto sample_size = std::max<std::size_t>(
       1, static_cast<std::size_t>(static_cast<double>(n) *
                                   options_.sample_fraction));
+
+  // Pre-draw every tree's bootstrap seed and grow/prune seed from the
+  // master stream. Each fit task then owns an independent Rng, so the
+  // fitted ensemble is bitwise identical no matter how many workers fit
+  // it (and no matter the interleaving of their draws).
+  util::Rng rng(options_.seed);
+  std::vector<std::uint64_t> boot_seeds(options_.num_trees);
+  std::vector<std::uint64_t> tree_seeds(options_.num_trees);
   for (std::size_t t = 0; t < options_.num_trees; ++t) {
-    // Bootstrap: sample rows with replacement.
+    boot_seeds[t] = rng();
+    tree_seeds[t] = rng();
+  }
+
+  std::vector<std::unique_ptr<RepTree>> trees(options_.num_trees);
+  const auto fit_one = [&](std::size_t t) {
+    util::Rng boot_rng(boot_seeds[t]);
     std::vector<std::size_t> rows(sample_size);
     for (auto& row : rows) {
       row = static_cast<std::size_t>(
-          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+          boot_rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
     }
     const linalg::Matrix x_boot = x.select_rows(rows);
     std::vector<double> y_boot(sample_size);
     for (std::size_t i = 0; i < sample_size; ++i) y_boot[i] = y[rows[i]];
 
     RepTreeOptions tree_options = options_.tree;
-    tree_options.seed = rng();  // independent grow/prune shuffles per tree
+    tree_options.seed = tree_seeds[t];  // independent shuffles per tree
     auto tree = std::make_unique<RepTree>(tree_options);
     tree->fit(x_boot, y_boot);
-    trees_.push_back(std::move(tree));
+    trees[t] = std::move(tree);
+  };
+
+  if (options_.fit_workers == 1) {
+    for (std::size_t t = 0; t < options_.num_trees; ++t) fit_one(t);
+  } else if (options_.fit_workers == 0) {
+    parallel::parallel_for(0, options_.num_trees, fit_one);
+  } else {
+    parallel::ThreadPool pool(options_.fit_workers);
+    parallel::parallel_for(pool, 0, options_.num_trees, fit_one);
   }
+  trees_ = std::move(trees);
 }
 
 double BaggedTrees::predict_row(std::span<const double> row) const {
@@ -52,6 +78,23 @@ double BaggedTrees::predict_row(std::span<const double> row) const {
   double sum = 0.0;
   for (const auto& tree : trees_) sum += tree->predict_row(row);
   return sum / static_cast<double>(trees_.size());
+}
+
+std::vector<double> BaggedTrees::predict(const linalg::Matrix& x) const {
+  if (trees_.empty()) throw std::logic_error("Regressor: predict before fit");
+  if (x.cols() != num_inputs_) {
+    throw std::invalid_argument("Regressor: input width mismatch");
+  }
+  // Accumulate the member trees' batched predictions in tree order — the
+  // same summation order as predict_row, so the results agree bit-for-bit.
+  std::vector<double> sums(x.rows(), 0.0);
+  for (const auto& tree : trees_) {
+    const std::vector<double> preds = tree->predict(x);
+    for (std::size_t r = 0; r < sums.size(); ++r) sums[r] += preds[r];
+  }
+  const auto count = static_cast<double>(trees_.size());
+  for (auto& value : sums) value /= count;
+  return sums;
 }
 
 BaggedTrees::Prediction BaggedTrees::predict_with_uncertainty(

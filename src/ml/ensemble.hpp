@@ -20,6 +20,11 @@ struct BaggedTreesOptions {
   double sample_fraction = 1.0;
   RepTreeOptions tree;  ///< Base-learner configuration.
   std::uint64_t seed = 1;
+  /// Worker threads for fitting member trees: 0 = use the global pool,
+  /// 1 = fit serially on the calling thread. Per-tree bootstrap and
+  /// grow/prune seeds are pre-drawn from `seed`, so the fitted ensemble is
+  /// bitwise identical at any worker count.
+  std::size_t fit_workers = 0;
 };
 
 /// Averaged ensemble of REP-Trees over bootstrap resamples.
@@ -29,6 +34,10 @@ class BaggedTrees final : public Regressor {
 
   void fit(const linalg::Matrix& x, std::span<const double> y) override;
   [[nodiscard]] double predict_row(std::span<const double> row) const override;
+  /// Batched prediction: accumulates the member trees' batched predictions
+  /// in tree order, so it matches predict_row per row exactly.
+  [[nodiscard]] std::vector<double> predict(
+      const linalg::Matrix& x) const override;
   [[nodiscard]] std::string name() const override { return "bagging"; }
   [[nodiscard]] bool is_fitted() const override { return !trees_.empty(); }
   [[nodiscard]] std::size_t num_inputs() const override { return num_inputs_; }

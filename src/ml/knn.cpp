@@ -3,8 +3,40 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
+
+#include "linalg/blas.hpp"
 
 namespace f2pm::ml {
+
+namespace {
+
+/// Inverse-distance weighted average of the k nearest entries of `dist`
+/// (first k after nth_element), shared by the row-wise and batched paths.
+double weighted_knn_value(std::vector<std::pair<double, std::size_t>>& dist,
+                          std::size_t k, bool distance_weighted,
+                          std::span<const double> train_y) {
+  std::nth_element(dist.begin(), dist.begin() + (k - 1), dist.end());
+  double weight_sum = 0.0;
+  double value = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto [d, idx] = dist[i];
+    const double w = distance_weighted ? 1.0 / (std::sqrt(d) + 1e-9) : 1.0;
+    weight_sum += w;
+    value += w * train_y[idx];
+  }
+  return value / weight_sum;
+}
+
+std::vector<double> row_norms(const linalg::Matrix& m) {
+  std::vector<double> norms(m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    norms[r] = linalg::dot(m.row(r), m.row(r));
+  }
+  return norms;
+}
+
+}  // namespace
 
 KnnRegressor::KnnRegressor(KnnOptions options) : options_(options) {
   if (options_.k == 0) {
@@ -17,6 +49,7 @@ void KnnRegressor::fit(const linalg::Matrix& x, std::span<const double> y) {
   num_inputs_ = x.cols();
   input_scaler_ = data::Standardizer::fit(x);
   train_x_ = input_scaler_.transform(x);
+  train_norms_ = row_norms(train_x_);
   train_y_.assign(y.begin(), y.end());
   fitted_ = true;
 }
@@ -42,17 +75,44 @@ double KnnRegressor::predict_row(std::span<const double> row) const {
     }
     dist[i] = {d, i};
   }
-  std::nth_element(dist.begin(), dist.begin() + (k - 1), dist.end());
-  double weight_sum = 0.0;
-  double value = 0.0;
-  for (std::size_t i = 0; i < k; ++i) {
-    const auto [d, idx] = dist[i];
-    const double w =
-        options_.distance_weighted ? 1.0 / (std::sqrt(d) + 1e-9) : 1.0;
-    weight_sum += w;
-    value += w * train_y_[idx];
+  return weighted_knn_value(dist, k, options_.distance_weighted, train_y_);
+}
+
+std::vector<double> KnnRegressor::predict(const linalg::Matrix& x) const {
+  if (!fitted_) throw std::logic_error("Regressor: predict before fit");
+  if (x.cols() != num_inputs_) {
+    throw std::invalid_argument("Regressor: input width mismatch");
   }
-  return value / weight_sum;
+  const std::size_t n = train_x_.rows();
+  const std::size_t k = std::min(options_.k, n);
+  const linalg::Matrix queries = input_scaler_.transform(x);
+  const std::vector<double> query_norms = row_norms(queries);
+
+  // Query blocks bound the cross-term scratch to kBlock x n doubles while
+  // keeping each product large enough to amortize the kernel dispatch.
+  constexpr std::size_t kBlock = 128;
+  std::vector<double> out(x.rows());
+  std::vector<std::pair<double, std::size_t>> dist(n);  // reused scratch
+  linalg::Matrix cross;
+  for (std::size_t begin = 0; begin < queries.rows(); begin += kBlock) {
+    const std::size_t end = std::min(queries.rows(), begin + kBlock);
+    if (cross.rows() != end - begin) {
+      cross = linalg::Matrix(end - begin, n);
+    }
+    linalg::gemm_nt_block(queries, begin, end, train_x_, cross);
+    for (std::size_t q = begin; q < end; ++q) {
+      const double qn = query_norms[q];
+      const auto g = cross.row(q - begin);
+      for (std::size_t i = 0; i < n; ++i) {
+        // Clamp: rounding can push the identity slightly negative.
+        const double d = qn + train_norms_[i] - 2.0 * g[i];
+        dist[i] = {d > 0.0 ? d : 0.0, i};
+      }
+      out[q] = weighted_knn_value(dist, k, options_.distance_weighted,
+                                  train_y_);
+    }
+  }
+  return out;
 }
 
 void KnnRegressor::save(util::BinaryWriter& writer) const {
@@ -61,10 +121,9 @@ void KnnRegressor::save(util::BinaryWriter& writer) const {
   writer.write_bool(options_.distance_weighted);
   writer.write_u64(num_inputs_);
   writer.write_u64(train_x_.rows());
-  for (std::size_t r = 0; r < train_x_.rows(); ++r) {
-    const auto row = train_x_.row(r);
-    writer.write_doubles(std::vector<double>(row.begin(), row.end()));
-  }
+  // One contiguous field for the whole training matrix (row-major); older
+  // archives stored one double[] field per row — load() accepts both.
+  writer.write_doubles(train_x_.data());
   writer.write_doubles(train_y_);
   writer.write_doubles(input_scaler_.means());
   writer.write_doubles(input_scaler_.scales());
@@ -78,13 +137,25 @@ std::unique_ptr<KnnRegressor> KnnRegressor::load(util::BinaryReader& reader) {
   model->num_inputs_ = reader.read_u64();
   const std::uint64_t rows = reader.read_u64();
   model->train_x_ = linalg::Matrix(rows, model->num_inputs_);
-  for (std::uint64_t r = 0; r < rows; ++r) {
-    const auto row = reader.read_doubles();
-    if (row.size() != model->num_inputs_) {
-      throw std::runtime_error("KnnRegressor::load: bad row width");
+  // Format shim: the first double[] field is either the whole row-major
+  // matrix (current format) or just row 0 (legacy per-row format). The two
+  // coincide harmlessly when rows == 1.
+  const auto first = reader.read_doubles();
+  if (first.size() == rows * model->num_inputs_) {
+    std::copy(first.begin(), first.end(), model->train_x_.data().begin());
+  } else if (first.size() == model->num_inputs_ && rows > 0) {
+    std::copy(first.begin(), first.end(), model->train_x_.row(0).begin());
+    for (std::uint64_t r = 1; r < rows; ++r) {
+      const auto row = reader.read_doubles();
+      if (row.size() != model->num_inputs_) {
+        throw std::runtime_error("KnnRegressor::load: bad row width");
+      }
+      std::copy(row.begin(), row.end(), model->train_x_.row(r).begin());
     }
-    std::copy(row.begin(), row.end(), model->train_x_.row(r).begin());
+  } else {
+    throw std::runtime_error("KnnRegressor::load: bad training matrix field");
   }
+  model->train_norms_ = row_norms(model->train_x_);
   model->train_y_ = reader.read_doubles();
   if (model->train_y_.size() != rows) {
     throw std::runtime_error("KnnRegressor::load: inconsistent archive");

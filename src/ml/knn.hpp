@@ -25,6 +25,12 @@ class KnnRegressor final : public Regressor {
 
   void fit(const linalg::Matrix& x, std::span<const double> y) override;
   [[nodiscard]] double predict_row(std::span<const double> row) const override;
+  /// Batched prediction over query blocks: squared distances come from
+  /// ‖q−t‖² = ‖q‖² + ‖t‖² − 2·q·t with the cross terms computed as a block
+  /// matrix product (linalg::gemm_nt_block) and the train norms cached at
+  /// fit time. Equivalent to predict_row up to floating-point rounding.
+  [[nodiscard]] std::vector<double> predict(
+      const linalg::Matrix& x) const override;
   [[nodiscard]] std::string name() const override { return "knn"; }
   [[nodiscard]] bool is_fitted() const override { return fitted_; }
   [[nodiscard]] std::size_t num_inputs() const override { return num_inputs_; }
@@ -35,7 +41,8 @@ class KnnRegressor final : public Regressor {
 
  private:
   KnnOptions options_;
-  linalg::Matrix train_x_;  ///< Standardized.
+  linalg::Matrix train_x_;           ///< Standardized.
+  std::vector<double> train_norms_;  ///< ‖t‖² per train row (not archived).
   std::vector<double> train_y_;
   data::Standardizer input_scaler_;
   std::size_t num_inputs_ = 0;

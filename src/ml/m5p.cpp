@@ -7,6 +7,7 @@
 #include "linalg/blas.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/qr.hpp"
+#include "obs/metrics.hpp"
 
 namespace f2pm::ml {
 
@@ -19,39 +20,57 @@ M5P::M5P(M5POptions options) : options_(options) {
   }
 }
 
-std::size_t M5P::build(const linalg::Matrix& x, std::span<const double> y,
-                       const std::vector<std::size_t>& rows, double root_sd) {
-  const Moments moments = compute_moments(y, rows);
-  Node node;
-  node.count = moments.count;
-  // Until pruning fits a proper model, the node predicts its mean.
-  node.lm_coeffs.assign(x.cols(), 0.0);
-  node.lm_intercept = moments.mean();
+std::size_t M5P::build(TreeGrowthEngine& engine, std::size_t num_features,
+                       double root_sd) {
+  // Explicit work stack mirroring RepTree::build: right child pushed
+  // first, so the recursive preorder node numbering is reproduced without
+  // unbounded call-stack depth.
+  struct Task {
+    TreeGrowthEngine::NodeId enode;
+    std::size_t parent;
+    bool is_left;
+  };
+  std::vector<Task> stack{{engine.root(), kNoNode, false}};
+  std::size_t root_id = kNoNode;
+  while (!stack.empty()) {
+    const Task task = stack.back();
+    stack.pop_back();
+    const Moments moments = engine.moments(task.enode);
+    Node node;
+    node.count = moments.count;
+    // Until pruning fits a proper model, the node predicts its mean.
+    node.lm_coeffs.assign(num_features, 0.0);
+    node.lm_intercept = moments.mean();
+    const std::size_t node_id = nodes_.size();
+    nodes_.push_back(std::move(node));
+    if (task.parent == kNoNode) {
+      root_id = node_id;
+    } else if (task.is_left) {
+      nodes_[task.parent].left = node_id;
+    } else {
+      nodes_[task.parent].right = node_id;
+    }
 
-  BestSplit split;
-  // The M5 stopping rule: few instances, or target spread already small
-  // relative to the whole training set.
-  if (rows.size() >= 2 * options_.min_instances &&
-      moments.sd() >= options_.sd_fraction * root_sd) {
-    split = find_best_split(x, y, rows, options_.min_instances,
-                            SplitCriterion::kStdDevReduction);
+    BestSplit split;
+    // The M5 stopping rule: few instances, or target spread already small
+    // relative to the whole training set.
+    if (moments.count >= 2 * options_.min_instances &&
+        moments.sd() >= options_.sd_fraction * root_sd) {
+      split = engine.find_best_split(task.enode, options_.min_instances,
+                                     SplitCriterion::kStdDevReduction,
+                                     &moments);
+    }
+    if (!split.found) {
+      engine.release(task.enode);
+      continue;
+    }
+    const auto [left, right] = engine.apply_split(task.enode, split);
+    nodes_[node_id].feature = split.feature;
+    nodes_[node_id].threshold = split.threshold;
+    stack.push_back({right, node_id, false});
+    stack.push_back({left, node_id, true});
   }
-  const std::size_t node_id = nodes_.size();
-  nodes_.push_back(std::move(node));
-  node_rows_.push_back(rows);
-  if (!split.found) return node_id;
-
-  std::vector<std::size_t> left_rows;
-  std::vector<std::size_t> right_rows;
-  partition_rows(x, rows, split.feature, split.threshold, left_rows,
-                 right_rows);
-  const std::size_t left_id = build(x, y, left_rows, root_sd);
-  const std::size_t right_id = build(x, y, right_rows, root_sd);
-  nodes_[node_id].feature = split.feature;
-  nodes_[node_id].threshold = split.threshold;
-  nodes_[node_id].left = left_id;
-  nodes_[node_id].right = right_id;
-  return node_id;
+  return root_id;
 }
 
 void M5P::fit_linear_model(Node& node, const linalg::Matrix& x,
@@ -176,17 +195,25 @@ double M5P::prune_subtree(std::size_t node_id, const linalg::Matrix& x,
 
 void M5P::fit(const linalg::Matrix& x, std::span<const double> y) {
   check_fit_args(x, y);
+  static obs::Histogram& fit_hist = obs::Registry::global().histogram(
+      "f2pm_ml_tree_fit_seconds",
+      "Tree-learner fit wall-clock time (growth engine).",
+      obs::Histogram::default_latency_bounds(), "model=\"m5p\"");
+  const obs::ScopedTimer fit_timer(fit_hist);
   nodes_.clear();
-  node_rows_.clear();
   num_inputs_ = x.cols();
 
   std::vector<std::size_t> all_rows(x.rows());
   for (std::size_t i = 0; i < all_rows.size(); ++i) all_rows[i] = i;
-  const double root_sd = compute_moments(y, all_rows).sd();
-  root_ = build(x, y, all_rows, root_sd);
+  TreeGrowthEngine::Config engine_config;
+  engine_config.mode = options_.split_mode;
+  engine_config.histogram_bins = options_.histogram_bins;
+  engine_config.min_split_size = 2 * options_.min_instances;
+  TreeGrowthEngine engine(x, y, all_rows, engine_config);
+  const double root_sd = engine.moments(engine.root()).sd();
+  root_ = build(engine, x.cols(), root_sd);
   std::vector<bool> attrs_used(x.cols(), false);
   prune_subtree(root_, x, y, all_rows, attrs_used);
-  node_rows_.clear();
   fitted_ = true;
 }
 
@@ -214,6 +241,41 @@ double M5P::predict_row(std::span<const double> row) const {
                  (n + options_.smoothing_k);
   }
   return prediction;
+}
+
+std::vector<double> M5P::predict(const linalg::Matrix& x) const {
+  if (!fitted_) throw std::logic_error("Regressor: predict before fit");
+  if (x.cols() != num_inputs_) {
+    throw std::invalid_argument("Regressor: input width mismatch");
+  }
+  std::vector<double> out(x.rows());
+  std::vector<std::size_t> path;  // reused across rows
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    path.clear();
+    std::size_t node_id = root_;
+    path.push_back(node_id);
+    while (!nodes_[node_id].is_leaf()) {
+      const Node& node = nodes_[node_id];
+      node_id = row[node.feature] <= node.threshold ? node.left : node.right;
+      path.push_back(node_id);
+    }
+    double prediction = node_predict(nodes_[node_id], row);
+    if (options_.smoothing) {
+      // Identical smoothing recurrence to predict_row, so batched and
+      // row-by-row predictions agree bit-for-bit.
+      for (std::size_t i = path.size() - 1; i-- > 0;) {
+        const Node& parent = nodes_[path[i]];
+        const Node& child = nodes_[path[i + 1]];
+        const double n = static_cast<double>(child.count);
+        const double q = node_predict(parent, row);
+        prediction = (n * prediction + options_.smoothing_k * q) /
+                     (n + options_.smoothing_k);
+      }
+    }
+    out[r] = prediction;
+  }
+  return out;
 }
 
 std::size_t M5P::num_leaves() const {

@@ -29,6 +29,10 @@ struct M5POptions {
   /// Penalty factor numerator/denominator guard: with n <= v + 1 the
   /// estimated error blows up; this caps the multiplier.
   double max_penalty_factor = 10.0;
+  /// Split-search engine (see tree_common.hpp). kPresort is exact and the
+  /// default; kHistogram approximates thresholds for large n.
+  SplitMode split_mode = SplitMode::kPresort;
+  std::size_t histogram_bins = 64;  ///< Bins per feature (kHistogram).
 };
 
 /// M5P regression model tree.
@@ -38,6 +42,10 @@ class M5P final : public Regressor {
 
   void fit(const linalg::Matrix& x, std::span<const double> y) override;
   [[nodiscard]] double predict_row(std::span<const double> row) const override;
+  /// Batched prediction: one traversal + smoothing loop over the whole
+  /// matrix with a reused path buffer (matches predict_row exactly).
+  [[nodiscard]] std::vector<double> predict(
+      const linalg::Matrix& x) const override;
   [[nodiscard]] std::string name() const override { return "m5p"; }
   [[nodiscard]] bool is_fitted() const override { return fitted_; }
   [[nodiscard]] std::size_t num_inputs() const override { return num_inputs_; }
@@ -63,8 +71,10 @@ class M5P final : public Regressor {
     [[nodiscard]] bool is_leaf() const { return left == kNoNode; }
   };
 
-  std::size_t build(const linalg::Matrix& x, std::span<const double> y,
-                    const std::vector<std::size_t>& rows, double root_sd);
+  /// Grows the tree from the engine's root with an explicit work stack
+  /// (preorder node ids, no call-stack recursion); returns the root id.
+  std::size_t build(TreeGrowthEngine& engine, std::size_t num_features,
+                    double root_sd);
   /// Bottom-up pruning; returns {estimated abs error of the kept subtree,
   /// attribute set referenced under the node}.
   double prune_subtree(std::size_t node_id, const linalg::Matrix& x,
@@ -80,8 +90,6 @@ class M5P final : public Regressor {
 
   M5POptions options_;
   std::vector<Node> nodes_;
-  /// Rows per node, kept only during fit (cleared before returning).
-  std::vector<std::vector<std::size_t>> node_rows_;
   std::size_t root_ = kNoNode;
   std::size_t num_inputs_ = 0;
   bool fitted_ = false;

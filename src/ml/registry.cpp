@@ -49,6 +49,15 @@ KernelParams kernel_from_config(const util::Config& params,
   return kernel;
 }
 
+SplitMode split_mode_from_config(const util::Config& params,
+                                 const std::string& prefix) {
+  const std::string mode = params.get_string(prefix + ".split_mode", "presort");
+  if (mode == "presort") return SplitMode::kPresort;
+  if (mode == "naive") return SplitMode::kNaive;
+  if (mode == "histogram") return SplitMode::kHistogram;
+  throw std::invalid_argument("unknown split mode: " + mode);
+}
+
 }  // namespace
 
 std::unique_ptr<Regressor> make_model(const std::string& name,
@@ -79,6 +88,9 @@ std::unique_ptr<Regressor> make_model(const std::string& name,
     options.prune = params.get_bool("reptree.prune", true);
     options.seed =
         static_cast<std::uint64_t>(params.get_int("reptree.seed", 1));
+    options.split_mode = split_mode_from_config(params, "reptree");
+    options.histogram_bins = static_cast<std::size_t>(
+        params.get_int("reptree.histogram_bins", 64));
     return std::make_unique<RepTree>(options);
   }
   if (name == "m5p") {
@@ -88,6 +100,9 @@ std::unique_ptr<Regressor> make_model(const std::string& name,
     options.prune = params.get_bool("m5p.prune", true);
     options.smoothing = params.get_bool("m5p.smoothing", true);
     options.smoothing_k = params.get_double("m5p.smoothing_k", 15.0);
+    options.split_mode = split_mode_from_config(params, "m5p");
+    options.histogram_bins = static_cast<std::size_t>(
+        params.get_int("m5p.histogram_bins", 64));
     return std::make_unique<M5P>(options);
   }
   if (name == "svm") {
@@ -127,6 +142,9 @@ std::unique_ptr<Regressor> make_model(const std::string& name,
         params.get_double("bagging.sample_fraction", 1.0);
     options.seed =
         static_cast<std::uint64_t>(params.get_int("bagging.seed", 1));
+    options.tree.split_mode = split_mode_from_config(params, "bagging");
+    options.tree.histogram_bins = static_cast<std::size_t>(
+        params.get_int("bagging.histogram_bins", 64));
     return std::make_unique<BaggedTrees>(options);
   }
   throw std::invalid_argument("make_model: unknown model name: " + name);

@@ -3,9 +3,39 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace f2pm::ml {
+
+namespace {
+
+/// Stable in-place partition of rows[begin, end) on x(r, feature) <=
+/// threshold; returns the boundary. Produces the same element order as
+/// partition_rows into two fresh vectors, without the allocations.
+std::size_t split_range(const linalg::Matrix& x,
+                        std::vector<std::size_t>& rows, std::size_t begin,
+                        std::size_t end, std::size_t feature, double threshold,
+                        std::vector<std::size_t>& scratch) {
+  std::size_t out = begin;
+  std::size_t spill = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::size_t r = rows[i];
+    // Branchless select: the comparison outcome is effectively random, so
+    // a branch would mispredict on every other row.
+    const bool left = x(r, feature) <= threshold;
+    std::size_t* dst = left ? rows.data() + out : scratch.data() + spill;
+    *dst = r;
+    out += left ? 1 : 0;
+    spill += left ? 0 : 1;
+  }
+  std::copy(scratch.begin(),
+            scratch.begin() + static_cast<std::ptrdiff_t>(spill),
+            rows.begin() + static_cast<std::ptrdiff_t>(out));
+  return out;
+}
+
+}  // namespace
 
 RepTree::RepTree(RepTreeOptions options) : options_(options) {
   if (options_.min_instances_per_leaf == 0) {
@@ -16,96 +46,143 @@ RepTree::RepTree(RepTreeOptions options) : options_(options) {
   }
 }
 
-std::size_t RepTree::build(const linalg::Matrix& x, std::span<const double> y,
-                           const std::vector<std::size_t>& rows,
-                           std::size_t depth, double root_variance) {
-  const Moments moments = compute_moments(y, rows);
-  Node node;
-  node.value = moments.mean();
-  node.grow_count = static_cast<double>(moments.count);
+std::size_t RepTree::build(TreeGrowthEngine& engine, double root_variance) {
+  // Explicit work stack: right child pushed first so the left subtree is
+  // finished before the right one starts, reproducing the recursive
+  // preorder node numbering exactly — without call-stack depth limits.
+  struct Task {
+    TreeGrowthEngine::NodeId enode;
+    std::size_t depth;
+    std::size_t parent;  ///< Node id whose child link to patch, or kNoNode.
+    bool is_left;
+  };
+  std::vector<Task> stack{{engine.root(), 0, kNoNode, false}};
+  std::size_t root_id = kNoNode;
+  while (!stack.empty()) {
+    const Task task = stack.back();
+    stack.pop_back();
+    const Moments moments = engine.moments(task.enode);
+    Node node;
+    node.value = moments.mean();
+    node.grow_count = static_cast<double>(moments.count);
+    const std::size_t node_id = nodes_.size();
+    nodes_.push_back(node);
+    if (task.parent == kNoNode) {
+      root_id = node_id;
+    } else if (task.is_left) {
+      nodes_[task.parent].left = node_id;
+    } else {
+      nodes_[task.parent].right = node_id;
+    }
 
-  const bool depth_ok =
-      options_.max_depth == 0 || depth < options_.max_depth;
-  const double variance =
-      moments.count == 0 ? 0.0
-                         : moments.sse() / static_cast<double>(moments.count);
-  const bool variance_ok =
-      variance > options_.min_variance_proportion * root_variance;
-  BestSplit split;
-  if (depth_ok && variance_ok) {
-    split = find_best_split(x, y, rows, options_.min_instances_per_leaf,
-                            SplitCriterion::kVarianceReduction);
+    const bool depth_ok =
+        options_.max_depth == 0 || task.depth < options_.max_depth;
+    const double variance =
+        moments.count == 0
+            ? 0.0
+            : moments.sse() / static_cast<double>(moments.count);
+    const bool variance_ok =
+        variance > options_.min_variance_proportion * root_variance;
+    BestSplit split;
+    if (depth_ok && variance_ok) {
+      split = engine.find_best_split(task.enode,
+                                     options_.min_instances_per_leaf,
+                                     SplitCriterion::kVarianceReduction,
+                                     &moments);
+    }
+    if (!split.found) {
+      engine.release(task.enode);
+      continue;
+    }
+    const auto [left, right] = engine.apply_split(task.enode, split);
+    nodes_[node_id].feature = split.feature;
+    nodes_[node_id].threshold = split.threshold;
+    stack.push_back({right, task.depth + 1, node_id, false});
+    stack.push_back({left, task.depth + 1, node_id, true});
   }
-  const std::size_t node_id = nodes_.size();
-  nodes_.push_back(node);
-  if (!split.found) return node_id;
-
-  std::vector<std::size_t> left_rows;
-  std::vector<std::size_t> right_rows;
-  partition_rows(x, rows, split.feature, split.threshold, left_rows,
-                 right_rows);
-  // Children are built after the parent is stored, so fix up links by id.
-  const std::size_t left_id =
-      build(x, y, left_rows, depth + 1, root_variance);
-  const std::size_t right_id =
-      build(x, y, right_rows, depth + 1, root_variance);
-  nodes_[node_id].feature = split.feature;
-  nodes_[node_id].threshold = split.threshold;
-  nodes_[node_id].left = left_id;
-  nodes_[node_id].right = right_id;
-  return node_id;
+  return root_id;
 }
 
-double RepTree::prune_subtree(std::size_t node_id, const linalg::Matrix& x,
+double RepTree::prune_subtree(std::size_t root_id, const linalg::Matrix& x,
                               std::span<const double> y,
                               const std::vector<std::size_t>& prune_rows) {
-  Node& node = nodes_[node_id];
-  // SSE on the prune set if this node were a leaf predicting node.value.
-  double leaf_sse = 0.0;
-  for (std::size_t r : prune_rows) {
-    const double err = y[r] - node.value;
-    leaf_sse += err * err;
+  // Post-order explicit-stack traversal (deep unpruned trees would
+  // otherwise overflow the call stack). The prune rows live in one shared
+  // workspace; each frame owns a [begin, end) range of it, stably
+  // partitioned in place when the frame expands — descendants only
+  // reorder within their own subrange, and a frame never re-reads its
+  // range after expanding, so every accumulation sees the same sequence
+  // the per-node-vectors version did.
+  struct Frame {
+    std::size_t node;
+    std::size_t begin;
+    std::size_t end;
+    std::size_t mid = 0;
+    double leaf_sse = 0.0;
+    double child_sse = 0.0;
+    int stage = 0;  ///< 0 = unexpanded, 1 = left pending, 2 = right pending.
+  };
+  std::vector<std::size_t> work(prune_rows);
+  std::vector<std::size_t> scratch(work.size());
+  std::vector<Frame> stack;
+  stack.push_back({root_id, 0, work.size()});
+  double returned = 0.0;
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    Node& node = nodes_[frame.node];
+    if (frame.stage == 0) {
+      for (std::size_t i = frame.begin; i < frame.end; ++i) {
+        const double err = y[work[i]] - node.value;
+        frame.leaf_sse += err * err;
+      }
+      if (node.is_leaf()) {
+        returned = frame.leaf_sse;
+        stack.pop_back();
+        continue;
+      }
+      frame.mid = split_range(x, work, frame.begin, frame.end, node.feature,
+                              node.threshold, scratch);
+      frame.stage = 1;
+      const std::size_t child = node.left;
+      const std::size_t begin = frame.begin;
+      const std::size_t mid = frame.mid;
+      stack.push_back({child, begin, mid});
+      continue;
+    }
+    if (frame.stage == 1) {
+      frame.child_sse += returned;
+      frame.stage = 2;
+      const std::size_t child = node.right;
+      const std::size_t mid = frame.mid;
+      const std::size_t end = frame.end;
+      stack.push_back({child, mid, end});
+      continue;
+    }
+    frame.child_sse += returned;
+    if (frame.leaf_sse <= frame.child_sse) {
+      // Reduced-error pruning: the split does not pay for itself on unseen
+      // data; collapse. (Children stay in the node pool but are
+      // unreachable; serialization walks from the root so they are dropped
+      // on save.)
+      node.left = kNoNode;
+      node.right = kNoNode;
+      returned = frame.leaf_sse;
+    } else {
+      returned = frame.child_sse;
+    }
+    stack.pop_back();
   }
-  if (node.is_leaf()) return leaf_sse;
-
-  std::vector<std::size_t> left_rows;
-  std::vector<std::size_t> right_rows;
-  partition_rows(x, prune_rows, node.feature, node.threshold, left_rows,
-                 right_rows);
-  const double subtree_sse =
-      prune_subtree(node.left, x, y, left_rows) +
-      prune_subtree(node.right, x, y, right_rows);
-  if (leaf_sse <= subtree_sse) {
-    // Reduced-error pruning: the split does not pay for itself on unseen
-    // data; collapse. (Children stay in the node pool but are unreachable;
-    // serialization walks from the root so they are dropped on save.)
-    node.left = kNoNode;
-    node.right = kNoNode;
-    return leaf_sse;
-  }
-  return subtree_sse;
+  return returned;
 }
 
-void RepTree::backfit(std::size_t node_id, const linalg::Matrix& x,
-                      std::span<const double> y,
-                      const std::vector<std::size_t>& rows) {
-  Node& node = nodes_[node_id];
-  // Re-estimate the node value from the full training data reaching it
-  // (grow + prune rows); this is WEKA's backfitting step.
-  if (!rows.empty()) {
-    const Moments moments = compute_moments(y, rows);
-    node.value = moments.mean();
-  }
-  if (node.is_leaf()) return;
-  std::vector<std::size_t> left_rows;
-  std::vector<std::size_t> right_rows;
-  partition_rows(x, rows, node.feature, node.threshold, left_rows, right_rows);
-  backfit(node.left, x, y, left_rows);
-  backfit(node.right, x, y, right_rows);
-}
 
 void RepTree::fit(const linalg::Matrix& x, std::span<const double> y) {
   check_fit_args(x, y);
+  static obs::Histogram& fit_hist = obs::Registry::global().histogram(
+      "f2pm_ml_tree_fit_seconds",
+      "Tree-learner fit wall-clock time (growth engine).",
+      obs::Histogram::default_latency_bounds(), "model=\"reptree\"");
+  const obs::ScopedTimer fit_timer(fit_hist);
   nodes_.clear();
   root_ = kNoNode;
   num_inputs_ = x.cols();
@@ -118,29 +195,38 @@ void RepTree::fit(const linalg::Matrix& x, std::span<const double> y) {
     util::Rng rng(options_.seed);
     const auto perm = rng.permutation(n);
     const std::size_t prune_count = n / options_.num_folds;
-    prune_rows.assign(perm.begin(), perm.begin() + prune_count);
-    grow_rows.assign(perm.begin() + prune_count, perm.end());
-    std::sort(grow_rows.begin(), grow_rows.end());
-    std::sort(prune_rows.begin(), prune_rows.end());
+    // Membership flags + one ascending sweep: same sets, already sorted —
+    // exactly what sorting the two permutation halves produced, in O(n).
+    std::vector<std::uint8_t> in_prune(n, 0);
+    for (std::size_t i = 0; i < prune_count; ++i) in_prune[perm[i]] = 1;
+    prune_rows.reserve(prune_count);
+    grow_rows.reserve(n - prune_count);
+    for (std::size_t r = 0; r < n; ++r) {
+      (in_prune[r] != 0 ? prune_rows : grow_rows).push_back(r);
+    }
   } else {
     grow_rows.resize(n);
     for (std::size_t i = 0; i < n; ++i) grow_rows[i] = i;
   }
 
-  const Moments root_moments = compute_moments(y, grow_rows);
+  TreeGrowthEngine::Config engine_config;
+  engine_config.mode = options_.split_mode;
+  engine_config.histogram_bins = options_.histogram_bins;
+  engine_config.min_split_size = 2 * options_.min_instances_per_leaf;
+  TreeGrowthEngine engine(x, y, std::move(grow_rows), engine_config);
+  const Moments root_moments = engine.moments(engine.root());
   const double root_variance =
       root_moments.count == 0
           ? 0.0
           : root_moments.sse() / static_cast<double>(root_moments.count);
-  root_ = build(x, y, grow_rows, 0, root_variance);
+  root_ = build(engine, root_variance);
   std::vector<std::size_t> all_rows(n);
   for (std::size_t i = 0; i < n; ++i) all_rows[i] = i;
   if (can_prune) {
     prune_subtree(root_, x, y, prune_rows);
-    backfit(root_, x, y, all_rows);
   }
   importances_.assign(x.cols(), 0.0);
-  accumulate_importances(root_, x, y, all_rows);
+  backfit_and_importances(root_, x, y, all_rows, can_prune);
   double total = 0.0;
   for (double v : importances_) total += v;
   if (total > 0.0) {
@@ -149,21 +235,72 @@ void RepTree::fit(const linalg::Matrix& x, std::span<const double> y) {
   fitted_ = true;
 }
 
-double RepTree::accumulate_importances(
-    std::size_t node_id, const linalg::Matrix& x, std::span<const double> y,
-    const std::vector<std::size_t>& rows) {
-  const Node& node = nodes_[node_id];
-  const double sse = compute_moments(y, rows).sse();
-  if (node.is_leaf()) return sse;
-  std::vector<std::size_t> left_rows;
-  std::vector<std::size_t> right_rows;
-  partition_rows(x, rows, node.feature, node.threshold, left_rows,
-                 right_rows);
-  const double child_sse =
-      accumulate_importances(node.left, x, y, left_rows) +
-      accumulate_importances(node.right, x, y, right_rows);
-  importances_[node.feature] += std::max(sse - child_sse, 0.0);
-  return child_sse;
+void RepTree::backfit_and_importances(std::size_t root_id,
+                                      const linalg::Matrix& x,
+                                      std::span<const double> y,
+                                      const std::vector<std::size_t>& rows,
+                                      bool update_values) {
+  // Post-order explicit-stack walk mirroring prune_subtree, over the same
+  // shared in-place workspace. Each frame's stage-0 moments serve both
+  // fused passes: the mean backfits the node value (WEKA re-estimation
+  // from grow + prune rows) and the SSE feeds the importance credits — a
+  // leaf yields its SSE; an internal node credits (own SSE - children's
+  // yield) to its split feature and yields the children's sum, exactly as
+  // the two separate seed passes did.
+  struct Frame {
+    std::size_t node;
+    std::size_t begin;
+    std::size_t end;
+    std::size_t mid = 0;
+    double sse = 0.0;
+    double child_sse = 0.0;
+    int stage = 0;
+  };
+  std::vector<std::size_t> work(rows);
+  std::vector<std::size_t> scratch(work.size());
+  std::vector<Frame> stack;
+  stack.push_back({root_id, 0, work.size()});
+  double returned = 0.0;
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    Node& node = nodes_[frame.node];
+    if (frame.stage == 0) {
+      Moments moments;
+      for (std::size_t i = frame.begin; i < frame.end; ++i) {
+        moments.add(y[work[i]]);
+      }
+      frame.sse = moments.sse();
+      if (update_values && frame.end > frame.begin) {
+        node.value = moments.mean();
+      }
+      if (node.is_leaf()) {
+        returned = frame.sse;
+        stack.pop_back();
+        continue;
+      }
+      frame.mid = split_range(x, work, frame.begin, frame.end, node.feature,
+                              node.threshold, scratch);
+      frame.stage = 1;
+      const std::size_t child = node.left;
+      const std::size_t begin = frame.begin;
+      const std::size_t mid = frame.mid;
+      stack.push_back({child, begin, mid});
+      continue;
+    }
+    if (frame.stage == 1) {
+      frame.child_sse += returned;
+      frame.stage = 2;
+      const std::size_t child = node.right;
+      const std::size_t mid = frame.mid;
+      const std::size_t end = frame.end;
+      stack.push_back({child, mid, end});
+      continue;
+    }
+    frame.child_sse += returned;
+    importances_[node.feature] += std::max(frame.sse - frame.child_sse, 0.0);
+    returned = frame.child_sse;
+    stack.pop_back();
+  }
 }
 
 double RepTree::predict_row(std::span<const double> row) const {
@@ -174,6 +311,25 @@ double RepTree::predict_row(std::span<const double> row) const {
     node_id = row[node.feature] <= node.threshold ? node.left : node.right;
   }
   return nodes_[node_id].value;
+}
+
+std::vector<double> RepTree::predict(const linalg::Matrix& x) const {
+  if (!fitted_) throw std::logic_error("Regressor: predict before fit");
+  if (x.cols() != num_inputs_) {
+    throw std::invalid_argument("Regressor: input width mismatch");
+  }
+  std::vector<double> out(x.rows());
+  const Node* nodes = nodes_.data();
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double* row = x.row(r).data();
+    std::size_t id = root_;
+    while (nodes[id].left != kNoNode) {
+      const Node& node = nodes[id];
+      id = row[node.feature] <= node.threshold ? node.left : node.right;
+    }
+    out[r] = nodes[id].value;
+  }
+  return out;
 }
 
 std::size_t RepTree::num_leaves() const {
@@ -194,9 +350,20 @@ std::size_t RepTree::num_leaves() const {
 }
 
 std::size_t RepTree::subtree_depth(std::size_t node_id) const {
-  if (nodes_[node_id].is_leaf()) return 0;
-  return 1 + std::max(subtree_depth(nodes_[node_id].left),
-                      subtree_depth(nodes_[node_id].right));
+  // Iterative: track (node, depth) pairs and take the maximum leaf depth.
+  std::size_t max_depth = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> stack{{node_id, 0}};
+  while (!stack.empty()) {
+    const auto [id, depth] = stack.back();
+    stack.pop_back();
+    if (nodes_[id].is_leaf()) {
+      max_depth = std::max(max_depth, depth);
+    } else {
+      stack.push_back({nodes_[id].left, depth + 1});
+      stack.push_back({nodes_[id].right, depth + 1});
+    }
+  }
+  return max_depth;
 }
 
 std::size_t RepTree::depth() const {

@@ -28,6 +28,11 @@ struct RepTreeOptions {
   /// split further (WEKA's minVarianceProp, default 1e-3).
   double min_variance_proportion = 1e-3;
   std::uint64_t seed = 1;                  ///< Grow/prune shuffle seed.
+  /// Split-search engine. kPresort (default) grows node-for-node identical
+  /// trees to kNaive at a fraction of the cost; kHistogram trades exact
+  /// thresholds for O(bins) split scans on large n.
+  SplitMode split_mode = SplitMode::kPresort;
+  std::size_t histogram_bins = 64;  ///< Bins per feature (kHistogram).
 };
 
 /// Regression REP-Tree.
@@ -37,6 +42,10 @@ class RepTree final : public Regressor {
 
   void fit(const linalg::Matrix& x, std::span<const double> y) override;
   [[nodiscard]] double predict_row(std::span<const double> row) const override;
+  /// Batched prediction: one tight traversal loop over the flat node array
+  /// for the whole matrix (exactly matches predict_row per row).
+  [[nodiscard]] std::vector<double> predict(
+      const linalg::Matrix& x) const override;
   [[nodiscard]] std::string name() const override { return "reptree"; }
   [[nodiscard]] bool is_fitted() const override { return fitted_; }
   [[nodiscard]] std::size_t num_inputs() const override { return num_inputs_; }
@@ -71,23 +80,24 @@ class RepTree final : public Regressor {
     [[nodiscard]] bool is_leaf() const { return left == kNoNode; }
   };
 
-  std::size_t build(const linalg::Matrix& x, std::span<const double> y,
-                    const std::vector<std::size_t>& rows, std::size_t depth,
-                    double root_variance);
+  /// Grows the tree from the engine's root node with an explicit work
+  /// stack (preorder node ids, no call-stack recursion) and returns the
+  /// root id.
+  std::size_t build(TreeGrowthEngine& engine, double root_variance);
   /// Returns the prune-set SSE of the subtree; collapses nodes where the
-  /// node-as-leaf SSE is no worse.
+  /// node-as-leaf SSE is no worse. Explicit-stack post-order traversal.
   double prune_subtree(std::size_t node_id, const linalg::Matrix& x,
                        std::span<const double> y,
                        const std::vector<std::size_t>& prune_rows);
-  void backfit(std::size_t node_id, const linalg::Matrix& x,
-               std::span<const double> y,
-               const std::vector<std::size_t>& rows);
-  /// Walks the final tree with the full training data, accumulating the
-  /// per-feature SSE reductions into importances_. Returns the SSE of the
-  /// subtree's rows.
-  double accumulate_importances(std::size_t node_id, const linalg::Matrix& x,
-                                std::span<const double> y,
-                                const std::vector<std::size_t>& rows);
+  /// One post-order walk of the final tree with the full training data
+  /// that both backfits node values (WEKA's re-estimation from grow +
+  /// prune rows; skipped when `update_values` is false) and accumulates
+  /// the per-feature SSE reductions into importances_ — the two passes
+  /// partition the same rows down the same tree, so they are fused.
+  void backfit_and_importances(std::size_t node_id, const linalg::Matrix& x,
+                               std::span<const double> y,
+                               const std::vector<std::size_t>& rows,
+                               bool update_values);
   [[nodiscard]] std::size_t subtree_depth(std::size_t node_id) const;
 
   RepTreeOptions options_;

@@ -1,7 +1,11 @@
 #include "ml/tree_common.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <stdexcept>
+
+#include "parallel/thread_pool.hpp"
 
 namespace f2pm::ml {
 
@@ -43,13 +47,18 @@ BestSplit find_best_split(const linalg::Matrix& x, std::span<const double> y,
   const double total_sd = total.sd();
   const double inv_count = 1.0 / static_cast<double>(total.count);
 
-  // Row order sorted per feature; reused buffer to avoid reallocation.
-  std::vector<std::size_t> sorted(rows);
+  // Row order sorted per feature; reused buffer to avoid reallocation. The
+  // buffer is re-initialized from `rows` for every feature and the sort is
+  // stable, so each feature's tie order (hence the floating-point
+  // accumulation order) is pinned to the caller's row order — the presort
+  // engine reproduces exactly this order down the tree.
+  std::vector<std::size_t> sorted(rows.size());
   for (std::size_t feature = 0; feature < x.cols(); ++feature) {
-    std::sort(sorted.begin(), sorted.end(),
-              [&](std::size_t a, std::size_t b) {
-                return x(a, feature) < x(b, feature);
-              });
+    std::copy(rows.begin(), rows.end(), sorted.begin());
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return x(a, feature) < x(b, feature);
+                     });
     Moments left;
     Moments right = total;
     for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
@@ -82,6 +91,556 @@ BestSplit find_best_split(const linalg::Matrix& x, std::span<const double> y,
     }
   }
   return best;
+}
+
+TreeGrowthEngine::TreeGrowthEngine(const linalg::Matrix& x,
+                                   std::span<const double> y,
+                                   std::vector<std::size_t> rows,
+                                   Config config)
+    : x_(x), y_(y), config_(config), num_features_(x.cols()),
+      rows_(std::move(rows)) {
+  if (config_.mode == SplitMode::kHistogram && config_.histogram_bins < 2) {
+    throw std::invalid_argument(
+        "TreeGrowthEngine: histogram_bins must be >= 2");
+  }
+  if (config_.histogram_bins > std::numeric_limits<std::uint16_t>::max()) {
+    throw std::invalid_argument("TreeGrowthEngine: histogram_bins too large");
+  }
+  if (x_.rows() > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument("TreeGrowthEngine: too many rows");
+  }
+  const std::size_t n = rows_.size();
+  segments_.push_back({0, n, 0, 0, 0});
+  mark_.assign(x_.rows(), 0);
+  scratch_.resize(n);
+  scratch_y_.resize(n);
+  yrows_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) yrows_[i] = y_[rows_[i]];
+
+  if (config_.mode == SplitMode::kPresort) {
+    // One per-feature sort at the root: an LSD radix sort on an
+    // order-preserving integer image of the doubles. Radix is stable, so
+    // ties keep ascending position — exactly the reference's stable tie
+    // order over the caller's row order. Buffers are deliberately left
+    // uninitialized (write-before-read by construction): buffer 0 is
+    // filled by the sorts below, buffer 1 only ever by a split's
+    // partition pass.
+    for (int b = 0; b < 2; ++b) {
+      order_[b] = std::make_unique_for_overwrite<std::uint32_t[]>(
+          num_features_ * n);
+      xval_[b] = std::make_unique_for_overwrite<double[]>(num_features_ * n);
+      yval_[b] = std::make_unique_for_overwrite<double[]>(num_features_ * n);
+    }
+    // Monotone bijection double -> uint64: flip all bits of negatives,
+    // set the sign bit of non-negatives; unsigned order then matches
+    // double order. -0.0 is canonicalized to +0.0 first so the two zeros
+    // share a key — the reference comparator also treats them as equal,
+    // and no downstream arithmetic distinguishes the zero signs.
+    constexpr std::uint64_t kMsb = std::uint64_t{1} << 63;
+    auto key_of = [](double v) {
+      if (v == 0.0) v = 0.0;  // -0.0 -> +0.0
+      const std::uint64_t b = std::bit_cast<std::uint64_t>(v);
+      return (b & kMsb) != 0 ? ~b : (b | kMsb);
+    };
+    auto val_of = [](std::uint64_t k) {
+      return std::bit_cast<double>((k & kMsb) != 0 ? (k & ~kMsb) : ~k);
+    };
+    struct Entry {
+      std::uint64_t key;
+      std::uint32_t pos;
+    };
+    // Features are keyed in blocks sharing one sweep of the row-major
+    // matrix: a single-feature fill reads 8 useful bytes per cache line,
+    // so feeding kFillBlock features' key arrays from the same pass cuts
+    // the matrix traffic of the root presort by that factor.
+    constexpr std::size_t kFillBlock = 8;
+    const std::size_t block_features = std::min(kFillBlock, num_features_);
+    auto fill = std::make_unique_for_overwrite<Entry[]>(block_features * n);
+    std::vector<std::uint8_t> root_const(num_features_, 0);
+    auto sort_feature = [&](std::size_t f, Entry* a) {
+      if (n == 0) return;
+      auto b = std::make_unique_for_overwrite<Entry[]>(n);
+      std::uint32_t* ord = order_[0].get() + f * n;
+      double* xv = xval_[0].get() + f * n;
+      double* yv = yval_[0].get() + f * n;
+      // All eight digit histograms in one read; a pass whose histogram
+      // puts every element in one bucket is the identity and is skipped
+      // (for similar-magnitude data the high exponent bytes usually are).
+      std::array<std::array<std::uint32_t, 256>, 8> counts{};
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t k = a[i].key;
+        for (std::size_t p = 0; p < 8; ++p) {
+          ++counts[p][(k >> (8 * p)) & 255];
+        }
+      }
+      bool constant = true;
+      for (std::size_t p = 0; p < 8 && constant; ++p) {
+        constant = counts[p][(a[0].key >> (8 * p)) & 255] == n;
+      }
+      if (constant) {
+        // Constant feature: already "sorted" (all keys equal); record it
+        // so the root scan and every partition skip it from the start.
+        root_const[f] = 1;
+      }
+      Entry* src = a;
+      Entry* dst = b.get();
+      for (std::size_t p = 0; p < 8; ++p) {
+        const auto& count = counts[p];
+        const std::size_t shift = 8 * p;
+        if (count[(src[0].key >> shift) & 255] == n) continue;
+        std::array<std::uint32_t, 256> offs;
+        std::uint32_t running = 0;
+        for (std::size_t d = 0; d < 256; ++d) {
+          offs[d] = running;
+          running += count[d];
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          dst[offs[(src[i].key >> shift) & 255]++] = src[i];
+        }
+        std::swap(src, dst);
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const Entry e = src[i];
+        ord[i] = static_cast<std::uint32_t>(rows_[e.pos]);
+        xv[i] = val_of(e.key);
+        yv[i] = yrows_[e.pos];
+      }
+    };
+    auto& pool = parallel::ThreadPool::global();
+    const bool par = config_.allow_parallel && pool.num_threads() > 1 &&
+                     n * num_features_ >= config_.parallel_min_work;
+    for (std::size_t base = 0; base < num_features_; base += kFillBlock) {
+      const std::size_t nf = std::min(kFillBlock, num_features_ - base);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t r = rows_[i];
+        for (std::size_t j = 0; j < nf; ++j) {
+          fill[j * n + i] = {key_of(x_(r, base + j)),
+                            static_cast<std::uint32_t>(i)};
+        }
+      }
+      auto run = [&](std::size_t j) {
+        sort_feature(base + j, fill.get() + j * n);
+      };
+      if (par) {
+        parallel::parallel_for(pool, 0, nf, run);
+      } else {
+        for (std::size_t j = 0; j < nf; ++j) run(j);
+      }
+    }
+    for (std::size_t f = 0; f < num_features_ && f < 64; ++f) {
+      if (root_const[f] != 0) segments_[0].const_mask |= std::uint64_t{1} << f;
+    }
+  } else if (config_.mode == SplitMode::kHistogram) {
+    const std::size_t bins = config_.histogram_bins;
+    bin_of_.assign(num_features_ * x_.rows(), 0);
+    bin_lo_.assign(num_features_ * bins,
+                   std::numeric_limits<double>::infinity());
+    bin_hi_.assign(num_features_ * bins,
+                   -std::numeric_limits<double>::infinity());
+    for (std::size_t f = 0; f < num_features_; ++f) {
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = -lo;
+      for (std::size_t r : rows_) {
+        lo = std::min(lo, x_(r, f));
+        hi = std::max(hi, x_(r, f));
+      }
+      const double width =
+          hi > lo ? (hi - lo) / static_cast<double>(bins) : 0.0;
+      for (std::size_t r : rows_) {
+        const double v = x_(r, f);
+        std::size_t b = 0;
+        if (width > 0.0) {
+          b = std::min(bins - 1,
+                       static_cast<std::size_t>((v - lo) / width));
+        }
+        bin_of_[f * x_.rows() + r] = static_cast<std::uint16_t>(b);
+        double& blo = bin_lo_[f * bins + b];
+        double& bhi = bin_hi_[f * bins + b];
+        blo = std::min(blo, v);
+        bhi = std::max(bhi, v);
+      }
+    }
+    hists_.resize(1);
+  }
+}
+
+std::span<const std::size_t> TreeGrowthEngine::rows(NodeId id) const {
+  const Segment& s = segments_[id];
+  return {rows_.data() + s.begin, s.end - s.begin};
+}
+
+std::size_t TreeGrowthEngine::node_size(NodeId id) const {
+  const Segment& s = segments_[id];
+  return s.end - s.begin;
+}
+
+Moments TreeGrowthEngine::moments(NodeId id) const {
+  // yrows_ is maintained in rows_ order, so this streams the same value
+  // sequence compute_moments(y, rows(id)) would gather — bit-identical
+  // sums with contiguous access.
+  const Segment& s = segments_[id];
+  Moments m;
+  const double* yr = yrows_.data();
+  for (std::size_t i = s.begin; i < s.end; ++i) m.add(yr[i]);
+  return m;
+}
+
+std::span<const std::uint32_t> TreeGrowthEngine::order_slice(
+    std::size_t feature, const Segment& segment) const {
+  return {order_[buf_of(feature, segment)].get() + feature * rows_.size() +
+              segment.begin,
+          segment.end - segment.begin};
+}
+
+std::span<const double> TreeGrowthEngine::xval_slice(
+    std::size_t feature, const Segment& segment) const {
+  return {xval_[buf_of(feature, segment)].get() + feature * rows_.size() +
+              segment.begin,
+          segment.end - segment.begin};
+}
+
+std::span<const double> TreeGrowthEngine::yval_slice(
+    std::size_t feature, const Segment& segment) const {
+  return {yval_[buf_of(feature, segment)].get() + feature * rows_.size() +
+              segment.begin,
+          segment.end - segment.begin};
+}
+
+BestSplit TreeGrowthEngine::scan_feature_presorted(
+    std::size_t feature, const Segment& segment, const Moments& total,
+    std::size_t min_leaf, SplitCriterion criterion) const {
+  // Exact replica of the reference scan over one feature: same traversal
+  // order, same accumulation order, same accept rule — the only difference
+  // is that the sorted order comes from the maintained presort instead of
+  // a fresh stable sort, and the x/y values stream from the contiguous
+  // per-feature arrays instead of being gathered row by row.
+  // total.sse() is loop-invariant (one division) — hoisted by hand since
+  // the hot loop is division-bound.
+  const double total_sse = total.sse();
+  const double total_sd = total.sd();
+  const double inv_count = 1.0 / static_cast<double>(total.count);
+  const std::span<const double> xv = xval_slice(feature, segment);
+  const std::span<const double> yv = yval_slice(feature, segment);
+  BestSplit best;
+  Moments left;
+  Moments right = total;
+  for (std::size_t i = 0; i + 1 < xv.size(); ++i) {
+    const double value = yv[i];
+    left.add(value);
+    right.sum -= value;
+    right.sum_sq -= value * value;
+    --right.count;
+    const double v_here = xv[i];
+    const double v_next = xv[i + 1];
+    if (v_here == v_next) continue;
+    if (left.count < min_leaf || right.count < min_leaf) continue;
+    double score = 0.0;
+    if (criterion == SplitCriterion::kVarianceReduction) {
+      score = total_sse - (left.sse() + right.sse());
+    } else {
+      const double weighted_sd =
+          (static_cast<double>(left.count) * left.sd() +
+           static_cast<double>(right.count) * right.sd()) *
+          inv_count;
+      score = total_sd - weighted_sd;
+    }
+    if (score > best.score || !best.found) {
+      if (score <= 0.0) continue;
+      best.found = true;
+      best.feature = feature;
+      best.threshold = v_here + (v_next - v_here) / 2.0;
+      best.score = score;
+    }
+  }
+  return best;
+}
+
+BestSplit TreeGrowthEngine::scan_feature_histogram(
+    std::size_t feature, std::span<const double> hist, const Moments& total,
+    std::size_t min_leaf, SplitCriterion criterion) const {
+  const std::size_t bins = config_.histogram_bins;
+  const double total_sd = total.sd();
+  const double inv_count = 1.0 / static_cast<double>(total.count);
+  const double* h = hist.data() + feature * bins * 3;
+  const double* lo = bin_lo_.data() + feature * bins;
+  const double* hi = bin_hi_.data() + feature * bins;
+  BestSplit best;
+  Moments left;
+  Moments right = total;
+  std::size_t prev = bins;  // last non-empty bin accumulated into `left`
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double count_b = h[b * 3 + 2];
+    if (count_b <= 0.0) continue;
+    // Candidate boundary between the previous non-empty bin and this one.
+    // The threshold midpoints the root-level value bounds of the two bins,
+    // so partitioning by `value <= threshold` agrees exactly with the
+    // histogram counts for every training row.
+    if (prev != bins && left.count >= min_leaf && right.count >= min_leaf) {
+      double score = 0.0;
+      if (criterion == SplitCriterion::kVarianceReduction) {
+        score = total.sse() - (left.sse() + right.sse());
+      } else {
+        const double weighted_sd =
+            (static_cast<double>(left.count) * left.sd() +
+             static_cast<double>(right.count) * right.sd()) *
+            inv_count;
+        score = total_sd - weighted_sd;
+      }
+      if (score > 0.0 && (score > best.score || !best.found)) {
+        best.found = true;
+        best.feature = feature;
+        best.threshold = hi[prev] + (lo[b] - hi[prev]) / 2.0;
+        best.score = score;
+      }
+    }
+    left.sum += h[b * 3];
+    left.sum_sq += h[b * 3 + 1];
+    left.count += static_cast<std::size_t>(count_b);
+    right.sum -= h[b * 3];
+    right.sum_sq -= h[b * 3 + 1];
+    right.count -= static_cast<std::size_t>(count_b);
+    prev = b;
+  }
+  return best;
+}
+
+void TreeGrowthEngine::accumulate_histogram(const Segment& segment,
+                                            std::span<double> hist) const {
+  const std::size_t bins = config_.histogram_bins;
+  for (std::size_t i = segment.begin; i < segment.end; ++i) {
+    const std::size_t r = rows_[i];
+    const double v = yrows_[i];
+    for (std::size_t f = 0; f < num_features_; ++f) {
+      const std::size_t b = bin_of_[f * x_.rows() + r];
+      double* cell = hist.data() + (f * bins + b) * 3;
+      cell[0] += v;
+      cell[1] += v * v;
+      cell[2] += 1.0;
+    }
+  }
+}
+
+void TreeGrowthEngine::build_histogram(NodeId id) {
+  if (!hists_[id].empty()) return;
+  hists_[id].assign(num_features_ * config_.histogram_bins * 3, 0.0);
+  accumulate_histogram(segments_[id], hists_[id]);
+}
+
+BestSplit TreeGrowthEngine::find_best_split(NodeId id, std::size_t min_leaf,
+                                            SplitCriterion criterion,
+                                            const Moments* total_hint) {
+  const Segment segment = segments_[id];
+  const std::size_t len = segment.end - segment.begin;
+  BestSplit best;
+  if (len < 2 * min_leaf) return best;
+
+  if (config_.mode == SplitMode::kNaive) {
+    const std::vector<std::size_t> node_rows(rows_.begin() + segment.begin,
+                                             rows_.begin() + segment.end);
+    return ml::find_best_split(x_, y_, node_rows, min_leaf, criterion);
+  }
+
+  // Total accumulated in rows(id) order — identical to the reference's
+  // compute_moments over the node rows. Tree builders compute the node
+  // moments anyway (for the leaf value), so they pass them in.
+  const Moments total = total_hint != nullptr ? *total_hint : moments(id);
+  if (total.sse() <= 0.0) return best;
+
+  if (config_.mode == SplitMode::kHistogram) {
+    build_histogram(id);
+    for (std::size_t f = 0; f < num_features_; ++f) {
+      const BestSplit cand =
+          scan_feature_histogram(f, hists_[id], total, min_leaf, criterion);
+      if (cand.found && (!best.found || cand.score > best.score)) best = cand;
+    }
+    return best;
+  }
+
+  // Presort mode. A feature whose sorted slice starts and ends with the
+  // same value is constant within the node: it has no candidate boundary,
+  // so skipping its scan is exact — and since constancy is inherited, the
+  // mask also lets apply_split stop partitioning the feature's slices for
+  // the whole subtree. (Only features < 64 fit the mask; the rest are
+  // simply always scanned.)
+  std::vector<std::size_t> active;
+  active.reserve(num_features_);
+  for (std::size_t f = 0; f < num_features_; ++f) {
+    if (f < 64 && (segments_[id].const_mask >> f) & 1) continue;
+    const std::span<const double> xv = xval_slice(f, segment);
+    if (xv.front() == xv.back()) {
+      if (f < 64) segments_[id].const_mask |= std::uint64_t{1} << f;
+      continue;
+    }
+    active.push_back(f);
+  }
+
+  // Per-feature scans are independent and self-contained, so they may fan
+  // out on the pool; the reduction below always runs in feature order,
+  // which makes the result — including tie resolution — bitwise
+  // independent of the thread count. Reducing per-feature local bests
+  // with "strictly greater wins" is equivalent to the reference's single
+  // carried-best loop: within a feature the first occurrence of the
+  // feature maximum is recorded either way.
+  auto& pool = parallel::ThreadPool::global();
+  const bool parallel = config_.allow_parallel && pool.num_threads() > 1 &&
+                        len * active.size() >= config_.parallel_min_work;
+  std::vector<BestSplit> per_feature(active.size());
+  auto scan = [&](std::size_t i) {
+    per_feature[i] =
+        scan_feature_presorted(active[i], segment, total, min_leaf, criterion);
+  };
+  if (parallel) {
+    parallel::parallel_for(pool, 0, active.size(), scan);
+  } else {
+    for (std::size_t i = 0; i < active.size(); ++i) scan(i);
+  }
+  for (const BestSplit& cand : per_feature) {
+    if (cand.found && (!best.found || cand.score > best.score)) best = cand;
+  }
+  return best;
+}
+
+std::pair<TreeGrowthEngine::NodeId, TreeGrowthEngine::NodeId>
+TreeGrowthEngine::apply_split(NodeId id, const BestSplit& split) {
+  const Segment segment = segments_[id];
+  const bool presort = config_.mode == SplitMode::kPresort;
+
+  // Mark left membership once, then stable-partition the original-order
+  // array and every per-feature slice against the marks. In presort mode
+  // the split feature's slice is already sorted, so the left set is a
+  // prefix: a binary search finds it without touching the matrix, and
+  // only the left rows need marking.
+  std::size_t num_left = 0;
+  if (presort) {
+    const std::span<const double> xv = xval_slice(split.feature, segment);
+    num_left = static_cast<std::size_t>(
+        std::upper_bound(xv.begin(), xv.end(), split.threshold) - xv.begin());
+    const std::span<const std::uint32_t> ord =
+        order_slice(split.feature, segment);
+    for (std::size_t i = 0; i < num_left; ++i) mark_[ord[i]] = 1;
+  } else {
+    for (std::size_t i = segment.begin; i < segment.end; ++i) {
+      const std::size_t r = rows_[i];
+      const bool left = x_(r, split.feature) <= split.threshold;
+      mark_[r] = left ? 1 : 0;
+      num_left += left ? 1 : 0;
+    }
+  }
+
+  // rows_ and yrows_ partition in place (stable, spill buffers for the
+  // right side). Branchless select of the output cursor — the marks are
+  // effectively random, so a conditional branch here would mispredict on
+  // every other element.
+  {
+    std::size_t out = segment.begin;
+    std::size_t spill = 0;
+    for (std::size_t i = segment.begin; i < segment.end; ++i) {
+      const std::size_t r = rows_[i];
+      const std::size_t m = mark_[r];
+      std::size_t* rdst = m != 0 ? rows_.data() + out : scratch_.data() + spill;
+      double* ydst = m != 0 ? yrows_.data() + out : scratch_y_.data() + spill;
+      *rdst = r;
+      *ydst = yrows_[i];
+      out += m;
+      spill += 1 - m;
+    }
+    std::copy(scratch_.begin(),
+              scratch_.begin() + static_cast<std::ptrdiff_t>(spill),
+              rows_.begin() + static_cast<std::ptrdiff_t>(out));
+    std::copy(scratch_y_.begin(),
+              scratch_y_.begin() + static_cast<std::ptrdiff_t>(spill),
+              yrows_.begin() + static_cast<std::ptrdiff_t>(out));
+  }
+
+  std::uint64_t child_mask = segment.buf_mask;
+  std::uint8_t child_hi = segment.buf_hi;
+  const std::size_t num_right = segment.end - segment.begin - num_left;
+  // When neither child can ever be scanned again (both below the caller's
+  // split-size floor), their slices are never read — skip the whole
+  // maintenance pass and leave the parities unchanged (stale slices are
+  // unreachable: find_best_split rejects such nodes before touching them).
+  const bool maintain_slices = num_left >= config_.min_split_size ||
+                               num_right >= config_.min_split_size;
+  if (presort && maintain_slices) {
+    // Single forward pass per feature from its current buffer into the
+    // other: left rows stream to [begin, begin+num_left), right rows to
+    // [begin+num_left, end), both in encounter order — a stable partition
+    // with no spill and no copy-back. Two features need no pass at all:
+    // constants (their stale slices are never read again, descendants
+    // inherit the mask) and the split feature itself, whose sorted slice
+    // is already partitioned — its left child is exactly the prefix.
+    const std::size_t n = rows_.size();
+    for (std::size_t f = 0; f < num_features_; ++f) {
+      if (f < 64) {
+        if ((segment.const_mask >> f) & 1) continue;
+        if (f == split.feature) continue;
+        child_mask ^= std::uint64_t{1} << f;
+      }
+      const std::size_t src = buf_of(f, segment);
+      const std::size_t base = f * n;
+      const std::uint32_t* so = order_[src].get() + base;
+      const double* sx = xval_[src].get() + base;
+      const double* sy = yval_[src].get() + base;
+      std::uint32_t* to = order_[1 - src].get() + base;
+      double* tx = xval_[1 - src].get() + base;
+      double* ty = yval_[1 - src].get() + base;
+      std::size_t left_out = segment.begin;
+      std::size_t right_out = segment.begin + num_left;
+      for (std::size_t i = segment.begin; i < segment.end; ++i) {
+        const std::uint32_t r = so[i];
+        const std::size_t m = mark_[r];
+        // Branchless cursor select: the marks are effectively random, so
+        // a branch would mispredict on every other element.
+        const std::size_t out = m != 0 ? left_out : right_out;
+        to[out] = r;
+        tx[out] = sx[i];
+        ty[out] = sy[i];
+        left_out += m;
+        right_out += 1 - m;
+      }
+    }
+    // Features >= 64 share one parity bit, so all of them are always
+    // partitioned (including the split feature when it lands there).
+    if (num_features_ > 64) child_hi = 1 - child_hi;
+  }
+  // Only left rows ever carry a set mark, and after the rows_ partition
+  // they are exactly the prefix — clear just those.
+  for (std::size_t i = segment.begin; i < segment.begin + num_left; ++i) {
+    mark_[rows_[i]] = 0;
+  }
+
+  const NodeId left_id = segments_.size();
+  segments_.push_back({segment.begin, segment.begin + num_left, child_mask,
+                       child_hi, segment.const_mask});
+  const NodeId right_id = segments_.size();
+  segments_.push_back({segment.begin + num_left, segment.end, child_mask,
+                       child_hi, segment.const_mask});
+
+  if (config_.mode == SplitMode::kHistogram) {
+    hists_.resize(segments_.size());
+    // Sibling subtraction: build the smaller child by iteration, derive
+    // the larger one from the parent.
+    build_histogram(id);  // normally already present from find_best_split
+    const NodeId small = num_left <= num_right ? left_id : right_id;
+    const NodeId large = small == left_id ? right_id : left_id;
+    hists_[small].assign(hists_[id].size(), 0.0);
+    accumulate_histogram(segments_[small], hists_[small]);
+    hists_[large] = std::move(hists_[id]);
+    std::vector<double>& large_hist = hists_[large];
+    const std::vector<double>& small_hist = hists_[small];
+    for (std::size_t i = 0; i < large_hist.size(); ++i) {
+      large_hist[i] -= small_hist[i];
+    }
+    hists_[id].clear();
+    hists_[id].shrink_to_fit();
+  }
+  return {left_id, right_id};
+}
+
+void TreeGrowthEngine::release(NodeId id) {
+  if (config_.mode != SplitMode::kHistogram) return;
+  hists_[id].clear();
+  hists_[id].shrink_to_fit();
 }
 
 }  // namespace f2pm::ml

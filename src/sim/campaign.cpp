@@ -1,6 +1,7 @@
 #include "sim/campaign.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 #include "util/logging.hpp"
 #include "parallel/thread_pool.hpp"
@@ -97,13 +98,24 @@ data::DataHistory run_campaign(
 
   std::vector<RunResult> results(config.num_runs);
   if (config.parallel_runs > 1) {
+    // Progress fires as each run completes (completion order, not index
+    // order), serialized by a mutex so the callback never runs
+    // concurrently with itself. Previously it only fired from the merge
+    // loop after the whole campaign had finished, which made long
+    // parallel campaigns look hung.
+    std::mutex progress_mutex;
     parallel::ThreadPool pool(config.parallel_runs);
     parallel::parallel_for(pool, 0, config.num_runs, [&](std::size_t r) {
       results[r] = execute_run(config, seeds[r]);
+      if (progress) {
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        progress(r, results[r]);
+      }
     });
   } else {
     for (std::size_t r = 0; r < config.num_runs; ++r) {
       results[r] = execute_run(config, seeds[r]);
+      if (progress) progress(r, results[r]);
     }
   }
 
@@ -116,7 +128,6 @@ data::DataHistory run_campaign(
         << " samples=" << result.run.samples.size()
         << " leaks=" << result.leaks_injected
         << " threads=" << result.threads_injected;
-    if (progress) progress(r, result);
     history.add_run(std::move(result.run));
   }
   return history;

@@ -59,9 +59,10 @@ struct CampaignConfig {
   SyntheticThreadConfig synthetic_thread;
 
   /// Worker threads for executing runs concurrently (runs are fully
-  /// independent simulations). 0 or 1 = sequential. Results and the
-  /// progress-callback order are identical either way: per-run seeds are
-  /// drawn up front and runs are reported in index order.
+  /// independent simulations). 0 or 1 = sequential. Results are identical
+  /// either way (per-run seeds are drawn up front); the progress callback
+  /// fires once per run in both modes, in index order when sequential and
+  /// in completion order when parallel.
   std::size_t parallel_runs = 0;
 };
 
@@ -78,8 +79,10 @@ struct RunResult {
 /// Executes a single run-to-crash with the given per-run seed.
 RunResult execute_run(const CampaignConfig& config, std::uint64_t run_seed);
 
-/// Executes the whole campaign. `progress`, when set, is invoked after
-/// each run with (run_index, result).
+/// Executes the whole campaign. `progress`, when set, is invoked as each
+/// run completes with (run_index, result) — under parallel_runs > 1 the
+/// calls come from worker threads in completion order, serialized by a
+/// mutex (the callback itself need not be thread-safe).
 data::DataHistory run_campaign(
     const CampaignConfig& config,
     const std::function<void(std::size_t, const RunResult&)>& progress = {});

@@ -48,6 +48,10 @@ void BinaryWriter::write_string(const std::string& value) {
 }
 
 void BinaryWriter::write_doubles(const std::vector<double>& values) {
+  write_doubles(std::span<const double>(values));
+}
+
+void BinaryWriter::write_doubles(std::span<const double> values) {
   write_u64(values.size());
   if (!values.empty()) {
     write_raw(values.data(), values.size() * sizeof(double));

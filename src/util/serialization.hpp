@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,10 @@ class BinaryWriter {
   void write_bool(bool value);
   void write_string(const std::string& value);
   void write_doubles(const std::vector<double>& values);
+  /// Span overload: writes any contiguous double range (e.g. a whole
+  /// matrix) without an intermediate vector copy. Wire-identical to the
+  /// vector overload.
+  void write_doubles(std::span<const double> values);
   void write_u64s(const std::vector<std::uint64_t>& values);
 
  private:

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 namespace f2pm::sim {
 namespace {
 
@@ -94,6 +97,25 @@ TEST(Campaign, RunCampaignCollectsAllRunsAndReportsProgress) {
   EXPECT_EQ(callbacks, config.num_runs);
   EXPECT_EQ(history.num_failures(), config.num_runs);
   EXPECT_GT(history.mean_time_to_failure(), 0.0);
+}
+
+TEST(Campaign, ParallelCampaignReportsProgressPerRun) {
+  CampaignConfig config = small_campaign();
+  config.num_runs = 4;
+  config.parallel_runs = 4;
+  // Progress must fire once per run as runs complete (completion order is
+  // scheduling-dependent), with each index seen exactly once. The mutex in
+  // run_campaign means no extra synchronization is needed here.
+  std::vector<std::size_t> seen;
+  const data::DataHistory history = run_campaign(
+      config, [&seen](std::size_t run, const RunResult& result) {
+        EXPECT_TRUE(result.run.failed);
+        seen.push_back(run);
+      });
+  EXPECT_EQ(history.num_runs(), config.num_runs);
+  ASSERT_EQ(seen.size(), config.num_runs);
+  std::sort(seen.begin(), seen.end());
+  for (std::size_t r = 0; r < config.num_runs; ++r) EXPECT_EQ(seen[r], r);
 }
 
 TEST(Campaign, ParallelCampaignMatchesSequential) {

@@ -79,6 +79,44 @@ TEST(Knn, SaveLoadPreservesPredictions) {
   EXPECT_NEAR(loaded->predict_row(probe), model.predict_row(probe), 1e-9);
 }
 
+TEST(Knn, LoadAcceptsLegacyPerRowArchives) {
+  // Archives written before the contiguous-matrix format stored one
+  // double[] field per training row. Reconstruct such an archive by hand
+  // and check load() still reads it, with identical predictions.
+  util::Rng rng(6);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_linear_data(40, rng, x, y);
+  KnnRegressor model(KnnOptions{.k = 3});
+  model.fit(x, y);
+
+  const auto scaler = data::Standardizer::fit(x);
+  const linalg::Matrix scaled = scaler.transform(x);
+  std::stringstream buffer;
+  {
+    util::BinaryWriter writer(buffer);
+    writer.write_u64(3);      // k
+    writer.write_bool(true);  // distance_weighted
+    writer.write_u64(x.cols());
+    writer.write_u64(x.rows());
+    for (std::size_t r = 0; r < scaled.rows(); ++r) {
+      const auto row = scaled.row(r);
+      writer.write_doubles(std::vector<double>(row.begin(), row.end()));
+    }
+    writer.write_doubles(y);
+    writer.write_doubles(scaler.means());
+    writer.write_doubles(scaler.scales());
+  }
+  util::BinaryReader reader(buffer);
+  const auto loaded = KnnRegressor::load(reader);
+  ASSERT_TRUE(loaded->is_fitted());
+  EXPECT_EQ(loaded->num_inputs(), x.cols());
+  for (const double probe : {-3.0, -0.5, 0.0, 1.5, 4.0}) {
+    const std::vector<double> row{probe, -probe};
+    EXPECT_DOUBLE_EQ(loaded->predict_row(row), model.predict_row(row));
+  }
+}
+
 TEST(CrossValidation, FoldsPartitionTheData) {
   util::Rng rng(3);
   linalg::Matrix x;

@@ -1,0 +1,364 @@
+// Equivalence and invariance suite for the tree-growth engine:
+//  - presort mode grows node-for-node identical trees to the retained
+//    naive reference, across randomized datasets stacked with ties,
+//    constant features and duplicated rows;
+//  - the parallel split scan returns bitwise-identical splits to the
+//    serial scan;
+//  - BaggedTrees fits a bitwise-identical ensemble at any worker count;
+//  - the batched predict() overrides match predict_row exactly (trees)
+//    or to rounding (KNN's gram-identity distances);
+//  - deep chain-shaped trees build without recursion (explicit stacks).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "ml/ensemble.hpp"
+#include "ml/knn.hpp"
+#include "ml/m5p.hpp"
+#include "ml/reptree.hpp"
+#include "ml/tree_common.hpp"
+#include "util/rng.hpp"
+
+namespace f2pm::ml {
+namespace {
+
+/// Random dataset deliberately rich in the cases that expose tie-order or
+/// threshold-placement divergence: features drawn from a small discrete
+/// grid (many exact ties), one constant feature, and a block of duplicated
+/// rows.
+void make_adversarial_data(std::size_t n, std::size_t num_features,
+                           util::Rng& rng, linalg::Matrix& x,
+                           std::vector<double>& y) {
+  x = linalg::Matrix(n, num_features);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t f = 0; f < num_features; ++f) {
+      if (f == num_features - 1) {
+        x(i, f) = 42.0;  // constant feature: never splittable
+      } else if (f % 2 == 0) {
+        // Discrete grid -> massive tie groups within each feature.
+        x(i, f) = static_cast<double>(rng.uniform_int(0, 7));
+      } else {
+        x(i, f) = rng.uniform(-1.0, 1.0);
+      }
+    }
+    y[i] = x(i, 0) > 3.0 ? rng.uniform(5.0, 6.0) : rng.uniform(-1.0, 1.0);
+  }
+  // Duplicate a block of rows verbatim (identical rows, identical y).
+  for (std::size_t i = 0; i + n / 4 < n; i += 7) {
+    const std::size_t j = i + n / 4;
+    for (std::size_t f = 0; f < num_features; ++f) x(j, f) = x(i, f);
+    y[j] = y[i];
+  }
+}
+
+/// Serializes any fitted model to bytes for archive-equality checks.
+template <typename Model>
+std::string archive_bytes(const Model& model) {
+  std::ostringstream buffer;
+  util::BinaryWriter writer(buffer);
+  model.save(writer);
+  return buffer.str();
+}
+
+TEST(TreeGrowthEngine, PresortGrowsIdenticalRepTreesToNaive) {
+  util::Rng rng(101);
+  for (int round = 0; round < 8; ++round) {
+    linalg::Matrix x;
+    std::vector<double> y;
+    make_adversarial_data(200 + 50 * round, 5, rng, x, y);
+
+    RepTreeOptions naive_options;
+    naive_options.split_mode = SplitMode::kNaive;
+    naive_options.seed = static_cast<std::uint64_t>(round + 1);
+    RepTreeOptions presort_options = naive_options;
+    presort_options.split_mode = SplitMode::kPresort;
+
+    RepTree naive(naive_options);
+    RepTree presort(presort_options);
+    naive.fit(x, y);
+    presort.fit(x, y);
+    EXPECT_EQ(archive_bytes(naive), archive_bytes(presort))
+        << "round " << round;
+    EXPECT_EQ(naive.num_nodes(), presort.num_nodes());
+    EXPECT_EQ(naive.depth(), presort.depth());
+  }
+}
+
+TEST(TreeGrowthEngine, PresortGrowsIdenticalRepTreesAcrossOptionVariants) {
+  util::Rng rng(77);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_adversarial_data(300, 4, rng, x, y);
+
+  const RepTreeOptions base;
+  std::vector<RepTreeOptions> variants(5, base);
+  variants[1].prune = false;
+  variants[2].max_depth = 3;
+  variants[3].min_instances_per_leaf = 10;
+  variants[4].min_variance_proportion = 0.1;
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    RepTreeOptions naive_options = variants[v];
+    naive_options.split_mode = SplitMode::kNaive;
+    RepTreeOptions presort_options = variants[v];
+    presort_options.split_mode = SplitMode::kPresort;
+    RepTree naive(naive_options);
+    RepTree presort(presort_options);
+    naive.fit(x, y);
+    presort.fit(x, y);
+    EXPECT_EQ(archive_bytes(naive), archive_bytes(presort)) << "variant " << v;
+  }
+}
+
+TEST(TreeGrowthEngine, PresortGrowsIdenticalM5PTreesToNaive) {
+  util::Rng rng(303);
+  for (int round = 0; round < 4; ++round) {
+    linalg::Matrix x;
+    std::vector<double> y;
+    make_adversarial_data(250, 4, rng, x, y);
+
+    M5POptions naive_options;
+    naive_options.split_mode = SplitMode::kNaive;
+    M5POptions presort_options;
+    presort_options.split_mode = SplitMode::kPresort;
+    M5P naive(naive_options);
+    M5P presort(presort_options);
+    naive.fit(x, y);
+    presort.fit(x, y);
+    EXPECT_EQ(archive_bytes(naive), archive_bytes(presort))
+        << "round " << round;
+  }
+}
+
+TEST(TreeGrowthEngine, ParallelSplitScanMatchesSerial) {
+  util::Rng rng(55);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_adversarial_data(400, 6, rng, x, y);
+  std::vector<std::size_t> rows(x.rows());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+
+  TreeGrowthEngine::Config serial_config;
+  serial_config.allow_parallel = false;
+  TreeGrowthEngine::Config parallel_config;
+  parallel_config.allow_parallel = true;
+  parallel_config.parallel_min_work = 0;  // force the fan-out path
+
+  TreeGrowthEngine serial(x, y, rows, serial_config);
+  TreeGrowthEngine parallel_engine(x, y, rows, parallel_config);
+  for (const auto criterion :
+       {SplitCriterion::kVarianceReduction, SplitCriterion::kStdDevReduction}) {
+    const BestSplit a = serial.find_best_split(serial.root(), 2, criterion);
+    const BestSplit b =
+        parallel_engine.find_best_split(parallel_engine.root(), 2, criterion);
+    ASSERT_EQ(a.found, b.found);
+    EXPECT_EQ(a.feature, b.feature);
+    EXPECT_DOUBLE_EQ(a.threshold, b.threshold);
+    EXPECT_DOUBLE_EQ(a.score, b.score);
+    // Both must also match the free-function reference.
+    const BestSplit ref = find_best_split(x, y, rows, 2, criterion);
+    ASSERT_EQ(ref.found, a.found);
+    EXPECT_EQ(ref.feature, a.feature);
+    EXPECT_DOUBLE_EQ(ref.threshold, a.threshold);
+    EXPECT_DOUBLE_EQ(ref.score, a.score);
+  }
+}
+
+TEST(TreeGrowthEngine, EngineMomentsMatchComputeMoments) {
+  util::Rng rng(31);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_adversarial_data(150, 3, rng, x, y);
+  std::vector<std::size_t> rows(x.rows());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+
+  TreeGrowthEngine engine(x, y, rows);
+  const Moments expected = compute_moments(y, rows);
+  const Moments actual = engine.moments(engine.root());
+  EXPECT_EQ(actual.count, expected.count);
+  EXPECT_DOUBLE_EQ(actual.sum, expected.sum);
+  EXPECT_DOUBLE_EQ(actual.sum_sq, expected.sum_sq);
+
+  // After a split, child segments keep the original relative row order, so
+  // child moments match compute_moments over partition_rows output exactly.
+  const BestSplit split =
+      engine.find_best_split(engine.root(), 2, SplitCriterion::kVarianceReduction);
+  ASSERT_TRUE(split.found);
+  const auto [left, right] = engine.apply_split(engine.root(), split);
+  std::vector<std::size_t> left_rows;
+  std::vector<std::size_t> right_rows;
+  partition_rows(x, rows, split.feature, split.threshold, left_rows,
+                 right_rows);
+  const auto left_span = engine.rows(left);
+  ASSERT_EQ(left_span.size(), left_rows.size());
+  for (std::size_t i = 0; i < left_rows.size(); ++i) {
+    EXPECT_EQ(left_span[i], left_rows[i]);
+  }
+  const auto right_span = engine.rows(right);
+  ASSERT_EQ(right_span.size(), right_rows.size());
+  for (std::size_t i = 0; i < right_rows.size(); ++i) {
+    EXPECT_EQ(right_span[i], right_rows[i]);
+  }
+  const Moments left_expected = compute_moments(y, left_rows);
+  const Moments left_actual = engine.moments(left);
+  EXPECT_DOUBLE_EQ(left_actual.sum, left_expected.sum);
+  EXPECT_DOUBLE_EQ(left_actual.sum_sq, left_expected.sum_sq);
+  EXPECT_EQ(left_actual.count, left_expected.count);
+}
+
+TEST(TreeGrowthEngine, HistogramModeLearnsStepFunction) {
+  util::Rng rng(17);
+  const std::size_t n = 600;
+  linalg::Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(-1.0, 1.0);
+    x(i, 1) = rng.uniform(-1.0, 1.0);
+    y[i] = (x(i, 0) < 0.0 ? 10.0 : -5.0) + rng.normal(0.0, 0.01);
+  }
+  RepTreeOptions options;
+  options.split_mode = SplitMode::kHistogram;
+  options.histogram_bins = 32;
+  RepTree tree(options);
+  tree.fit(x, y);
+  EXPECT_GE(tree.num_leaves(), 2u);
+  // Bin-boundary thresholds are approximate; a coarse step is still easy.
+  EXPECT_NEAR(tree.predict_row(std::vector<double>{-0.5, 0.0}), 10.0, 0.75);
+  EXPECT_NEAR(tree.predict_row(std::vector<double>{0.5, 0.0}), -5.0, 0.75);
+}
+
+TEST(TreeGrowthEngine, DeepChainTreeBuildsWithoutRecursion) {
+  // Exponentially growing targets make the best variance-reduction split
+  // peel one row off the top at every node, so the unpruned tree is a
+  // chain of depth ~n. The explicit-stack build/prune/depth walks must
+  // handle it without touching the call stack. n is capped so sum(y²)
+  // (~1.5^(2n)) stays finite in double precision.
+  const std::size_t n = 768;
+  linalg::Matrix x(n, 1);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = std::pow(1.5, static_cast<double>(i));
+  }
+  RepTreeOptions options;
+  options.prune = false;
+  options.max_depth = 0;  // unlimited
+  options.min_variance_proportion = 0.0;
+  options.min_instances_per_leaf = 1;
+  RepTree tree(options);
+  tree.fit(x, y);
+  EXPECT_GE(tree.depth(), n / 4);
+  EXPECT_DOUBLE_EQ(tree.predict_row(std::vector<double>{0.0}), y[0]);
+  EXPECT_DOUBLE_EQ(
+      tree.predict_row(std::vector<double>{static_cast<double>(n - 1)}),
+      y[n - 1]);
+}
+
+TEST(BaggedTrees, FitIsInvariantToWorkerCount) {
+  util::Rng rng(909);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_adversarial_data(300, 4, rng, x, y);
+
+  BaggedTreesOptions serial_options;
+  serial_options.num_trees = 12;
+  serial_options.seed = 7;
+  serial_options.fit_workers = 1;
+  BaggedTreesOptions parallel_options = serial_options;
+  parallel_options.fit_workers = 4;
+
+  BaggedTrees serial(serial_options);
+  BaggedTrees parallel_ensemble(parallel_options);
+  serial.fit(x, y);
+  parallel_ensemble.fit(x, y);
+  EXPECT_EQ(archive_bytes(serial), archive_bytes(parallel_ensemble));
+}
+
+TEST(BatchedPredict, RepTreeMatchesRowByRowExactly) {
+  util::Rng rng(21);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_adversarial_data(400, 5, rng, x, y);
+  RepTree tree;
+  tree.fit(x, y);
+  const std::vector<double> batched = tree.predict(x);
+  ASSERT_EQ(batched.size(), x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    EXPECT_DOUBLE_EQ(batched[r], tree.predict_row(x.row(r))) << "row " << r;
+  }
+}
+
+TEST(BatchedPredict, M5PMatchesRowByRowExactly) {
+  util::Rng rng(22);
+  const std::size_t n = 500;
+  linalg::Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(-2.0, 2.0);
+    x(i, 1) = rng.uniform(-2.0, 2.0);
+    y[i] = (x(i, 0) < 0.0 ? 3.0 * x(i, 0) : -x(i, 0)) + 0.5 * x(i, 1) +
+           rng.normal(0.0, 0.02);
+  }
+  for (const bool smoothing : {true, false}) {
+    M5POptions options;
+    options.smoothing = smoothing;
+    M5P model(options);
+    model.fit(x, y);
+    const std::vector<double> batched = model.predict(x);
+    ASSERT_EQ(batched.size(), x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      EXPECT_DOUBLE_EQ(batched[r], model.predict_row(x.row(r)))
+          << "row " << r << " smoothing " << smoothing;
+    }
+  }
+}
+
+TEST(BatchedPredict, BaggedTreesMatchesRowByRowExactly) {
+  util::Rng rng(23);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_adversarial_data(250, 4, rng, x, y);
+  BaggedTreesOptions options;
+  options.num_trees = 8;
+  BaggedTrees model(options);
+  model.fit(x, y);
+  const std::vector<double> batched = model.predict(x);
+  ASSERT_EQ(batched.size(), x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    EXPECT_DOUBLE_EQ(batched[r], model.predict_row(x.row(r))) << "row " << r;
+  }
+}
+
+TEST(BatchedPredict, KnnMatchesRowByRowToRounding) {
+  util::Rng rng(24);
+  const std::size_t n = 300;
+  linalg::Matrix x(n, 3);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t f = 0; f < 3; ++f) x(i, f) = rng.uniform(-5.0, 5.0);
+    y[i] = x(i, 0) + 2.0 * x(i, 1) - x(i, 2) + rng.normal(0.0, 0.1);
+  }
+  for (const bool weighted : {true, false}) {
+    KnnOptions options;
+    options.k = 5;
+    options.distance_weighted = weighted;
+    KnnRegressor model(options);
+    model.fit(x, y);
+    // Query count spans multiple blocks (block size 128).
+    const std::vector<double> batched = model.predict(x);
+    ASSERT_EQ(batched.size(), x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      // Gram-identity distances differ from diff-squared distances by
+      // rounding only; with well-separated random points the same
+      // neighbours win and the weights agree to ~1e-9 relative.
+      EXPECT_NEAR(batched[r], model.predict_row(x.row(r)),
+                  1e-6 * (1.0 + std::abs(batched[r])))
+          << "row " << r << " weighted " << weighted;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace f2pm::ml
