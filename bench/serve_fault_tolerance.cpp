@@ -1,0 +1,188 @@
+// Fault-tolerance bench for the f2pm_serve prediction service: the chaos
+// harness (tests/chaos_driver.hpp) drives a fleet of reconnecting clients
+// through increasing fault intensities and measures what the faults cost —
+// sustained datapoints/sec, reconnects, replayed datapoints and delivery
+// completeness (closed windows received / guaranteed). Intensity 0 runs
+// with NO injector installed, so the first row doubles as the zero-cost
+// baseline for the fault hooks themselves.
+//
+// Emits BENCH_serve_fault.json next to the binary. `--smoke` shrinks the
+// volume for CI.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/fault.hpp"
+#include "serve/model_store.hpp"
+#include "serve/service.hpp"
+#include "tests/chaos_driver.hpp"
+
+namespace {
+
+using namespace f2pm;
+using Clock = std::chrono::steady_clock;
+
+constexpr double kExpectedRttf = 1000.0;
+
+/// Scales the standard chaos soak plan by `intensity` (the headline knob
+/// is the connect-refusal rate; everything else scales with it).
+net::FaultPlan plan_at(double intensity, std::uint64_t seed) {
+  net::FaultPlan plan;
+  plan.seed = seed;
+  plan.refuse_connect_rate = intensity;
+  plan.delay_connect_rate = intensity / 2.0;
+  plan.connect_delay_ms = 1;
+  plan.accept_drop_rate = intensity / 2.0;
+  plan.read_reset_rate = intensity / 50.0;
+  plan.write_reset_rate = intensity / 50.0;
+  plan.short_read_rate = intensity / 2.0;
+  plan.short_write_rate = intensity / 2.0;
+  plan.short_io_bytes = 3;
+  plan.read_eagain_rate = intensity / 5.0;
+  plan.write_eagain_rate = intensity / 5.0;
+  plan.eagain_burst = 2;
+  plan.stall_rate = intensity / 50.0;
+  plan.stall_ms = 1;
+  return plan;
+}
+
+struct FaultBenchResult {
+  double intensity = 0.0;
+  std::size_t clients = 0;
+  std::size_t datapoints = 0;
+  std::size_t predictions = 0;
+  std::size_t guaranteed = 0;  ///< Closed-window predictions owed in total.
+  std::size_t reconnects = 0;
+  std::size_t replayed = 0;
+  std::size_t faults_injected = 0;
+  std::size_t client_errors = 0;
+  double wall_seconds = 0.0;
+  double datapoints_per_second = 0.0;
+  double delivery = 0.0;  ///< predictions owed that arrived, as a fraction.
+};
+
+FaultBenchResult run_intensity(double intensity, std::size_t num_clients,
+                               std::size_t num_points) {
+  auto store = std::make_shared<serve::ModelStore>();
+  store->swap(chaos::constant_model(kExpectedRttf));
+  serve::ServiceOptions options = chaos::chaos_service_options();
+  options.max_sessions = std::max<std::size_t>(num_clients * 2, 64);
+  serve::PredictionService service(options, store);
+
+  FaultBenchResult result;
+  result.intensity = intensity;
+  result.clients = num_clients;
+  result.guaranteed = num_clients * chaos::closed_windows(num_points);
+
+  std::vector<chaos::ChaosClientReport> reports;
+  const Clock::time_point start = Clock::now();
+  if (intensity > 0.0) {
+    net::ScopedFaultInjection injection(
+        plan_at(intensity, 0xFA57 + static_cast<std::uint64_t>(
+                               intensity * 1000.0)));
+    reports = chaos::run_chaos_fleet(service.port(), num_clients, num_points,
+                                     kExpectedRttf, /*jitter_seed_base=*/11);
+    service.stop();  // drain through the gates, before injector teardown
+    result.faults_injected = injection.injector().total_injected();
+  } else {
+    reports = chaos::run_chaos_fleet(service.port(), num_clients, num_points,
+                                     kExpectedRttf, /*jitter_seed_base=*/11);
+    service.stop();
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  for (const chaos::ChaosClientReport& report : reports) {
+    result.datapoints += report.sent;
+    result.predictions += report.received;
+    result.reconnects += report.reconnects;
+    result.replayed += report.replayed;
+    if (!report.error.empty()) ++result.client_errors;
+  }
+  result.datapoints_per_second =
+      result.wall_seconds > 0.0
+          ? static_cast<double>(result.datapoints) / result.wall_seconds
+          : 0.0;
+  result.delivery =
+      result.guaranteed > 0
+          ? static_cast<double>(result.predictions) /
+                static_cast<double>(result.guaranteed)
+          : 1.0;
+  return result;
+}
+
+void write_json(const std::vector<FaultBenchResult>& results) {
+  std::FILE* out = std::fopen("BENCH_serve_fault.json", "w");
+  if (out == nullptr) return;
+  std::fprintf(out, "{\n  \"bench\": \"serve_fault_tolerance\",\n");
+  std::fprintf(out, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const FaultBenchResult& r = results[i];
+    std::fprintf(
+        out,
+        "    {\"intensity\": %.3f, \"clients\": %zu, \"datapoints\": %zu, "
+        "\"predictions\": %zu, \"guaranteed\": %zu, \"reconnects\": %zu, "
+        "\"replayed\": %zu, \"faults_injected\": %zu, \"client_errors\": %zu, "
+        "\"wall_seconds\": %.3f, \"datapoints_per_second\": %.0f, "
+        "\"delivery\": %.4f}%s\n",
+        r.intensity, r.clients, r.datapoints, r.predictions, r.guaranteed,
+        r.reconnects, r.replayed, r.faults_injected, r.client_errors,
+        r.wall_seconds, r.datapoints_per_second, r.delivery,
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+}
+
+void run_all(bool smoke) {
+  const std::size_t num_clients = smoke ? 4 : 8;
+  const std::size_t num_points = smoke ? 200 : 2000;
+  std::printf("== F2PM serve: throughput under injected transport faults ==\n");
+  std::printf(
+      "%zu clients x %zu datapoints over loopback; intensity scales every "
+      "fault class (connect refusal = intensity); intensity 0 has no "
+      "injector installed (hook-cost baseline)\n\n",
+      num_clients, num_points);
+  std::printf("%-12s%-12s%-12s%-13s%-12s%-10s%-10s%-10s%-10s\n", "intensity",
+              "dp/sec", "wall (s)", "predictions", "delivery", "reconn",
+              "replayed", "faults", "errors");
+  std::printf("%s\n", std::string(99, '-').c_str());
+  std::vector<FaultBenchResult> results;
+  for (const double intensity : {0.0, 0.01, 0.05, 0.1}) {
+    const FaultBenchResult r =
+        run_intensity(intensity, num_clients, num_points);
+    std::printf("%-12.2f%-12.0f%-12.3f%-13zu%-12.4f%-10zu%-10zu%-10zu%-10zu\n",
+                r.intensity, r.datapoints_per_second, r.wall_seconds,
+                r.predictions, r.delivery, r.reconnects, r.replayed,
+                r.faults_injected, r.client_errors);
+    results.push_back(r);
+  }
+  write_json(results);
+  std::printf("\nwrote BENCH_serve_fault.json\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  // Strip --smoke before handing the remaining flags to the benchmark
+  // library (it rejects flags it does not know).
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  run_all(smoke);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,238 @@
+#include "net/fault.hpp"
+
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+
+namespace f2pm::net {
+
+namespace {
+
+/// splitmix64: the standard 64-bit finalizer-style mixer — cheap, and
+/// statistically good enough to turn (seed, lane, op, ordinal) into an
+/// independent uniform draw.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t script_key(std::uint64_t lane, FaultOp op,
+                         std::uint64_t index) noexcept {
+  return mix64(mix64(lane) ^ (index * kFaultOpCount +
+                              static_cast<std::uint64_t>(op)));
+}
+
+/// Uniform draw in [0, 1) for one (seed, lane, op, ordinal) coordinate.
+double uniform_at(std::uint64_t seed, std::uint64_t lane, FaultOp op,
+                  std::uint64_t index) noexcept {
+  const std::uint64_t h =
+      mix64(seed ^ script_key(lane, op, index) ^ 0xa5a5a5a5a5a5a5a5ull);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Per-thread lane state: which lane this thread speaks for, its per-op
+/// ordinals, and the remaining length of an in-progress EAGAIN storm.
+struct LaneState {
+  std::uint64_t lane = 0;
+  bool named = false;
+  std::array<std::uint64_t, kFaultOpCount> ordinals{};
+  std::uint32_t eagain_left = 0;
+};
+
+LaneState& lane_state() noexcept {
+  thread_local LaneState state;
+  return state;
+}
+
+/// Anonymous lanes: stable per thread, drawn from a dedicated id space so
+/// they can never collide with test-named lanes (small integers).
+std::uint64_t anonymous_lane() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return (1ull << 62) | next.fetch_add(1, std::memory_order_relaxed);
+}
+
+const char* action_label(FaultAction action) noexcept {
+  switch (action) {
+    case FaultAction::kRefuse:
+      return "refuse";
+    case FaultAction::kReset:
+      return "reset";
+    case FaultAction::kShortIo:
+      return "short_io";
+    case FaultAction::kEagain:
+      return "eagain";
+    case FaultAction::kDelay:
+      return "delay";
+    case FaultAction::kNone:
+      break;
+  }
+  return "none";
+}
+
+/// One obs counter per injected-fault kind, resolved once.
+obs::Counter& fault_counter(FaultAction action) {
+  auto& registry = obs::Registry::global();
+  static std::array<obs::Counter*, kFaultActionCount> counters = [&] {
+    std::array<obs::Counter*, kFaultActionCount> table{};
+    for (std::size_t a = 1; a < kFaultActionCount; ++a) {
+      table[a] = &registry.counter(
+          "f2pm_net_faults_injected_total",
+          "Transport faults injected by the active FaultPlan.",
+          std::string("kind=\"") +
+              action_label(static_cast<FaultAction>(a)) + "\"");
+    }
+    return table;
+  }();
+  return *counters[static_cast<std::size_t>(action)];
+}
+
+}  // namespace
+
+std::atomic<FaultInjector*> FaultInjector::active_{nullptr};
+
+bool FaultPlan::empty() const noexcept {
+  return refuse_connect_rate == 0.0 && delay_connect_rate == 0.0 &&
+         accept_drop_rate == 0.0 && read_reset_rate == 0.0 &&
+         write_reset_rate == 0.0 && short_read_rate == 0.0 &&
+         short_write_rate == 0.0 && read_eagain_rate == 0.0 &&
+         write_eagain_rate == 0.0 && stall_rate == 0.0 && script.empty();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  for (const ScriptedFault& event : plan_.script) {
+    script_[script_key(event.lane, event.op, event.index)] =
+        FaultDecision{event.action, event.param};
+  }
+}
+
+std::uint64_t FaultInjector::total_injected() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& count : counts_) {
+    total += count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void FaultInjector::count(FaultAction action) noexcept {
+  counts_[static_cast<std::size_t>(action)].fetch_add(
+      1, std::memory_order_relaxed);
+  fault_counter(action).add(1);
+}
+
+FaultDecision FaultInjector::decide(std::uint64_t lane, FaultOp op,
+                                    std::uint64_t index) const noexcept {
+  if (!script_.empty()) {
+    const auto it = script_.find(script_key(lane, op, index));
+    if (it != script_.end()) return it->second;
+  }
+  const double u = uniform_at(plan_.seed, lane, op, index);
+  // One uniform draw walks a cumulative threshold ladder per op, so the
+  // configured rates are marginal probabilities of each action.
+  double edge = 0.0;
+  const auto hits = [&](double rate) {
+    if (rate <= 0.0) return false;
+    edge += rate;
+    return u < edge;
+  };
+  switch (op) {
+    case FaultOp::kConnect:
+      if (hits(plan_.refuse_connect_rate)) {
+        return {FaultAction::kRefuse, 0};
+      }
+      if (hits(plan_.delay_connect_rate)) {
+        return {FaultAction::kDelay, plan_.connect_delay_ms};
+      }
+      break;
+    case FaultOp::kAccept:
+      if (hits(plan_.accept_drop_rate)) return {FaultAction::kRefuse, 0};
+      break;
+    case FaultOp::kRead:
+      if (hits(plan_.read_reset_rate)) return {FaultAction::kReset, 0};
+      if (hits(plan_.short_read_rate)) {
+        return {FaultAction::kShortIo, plan_.short_io_bytes};
+      }
+      if (hits(plan_.read_eagain_rate)) {
+        return {FaultAction::kEagain, plan_.eagain_burst};
+      }
+      if (hits(plan_.stall_rate)) return {FaultAction::kDelay, plan_.stall_ms};
+      break;
+    case FaultOp::kWrite:
+      if (hits(plan_.write_reset_rate)) return {FaultAction::kReset, 0};
+      if (hits(plan_.short_write_rate)) {
+        return {FaultAction::kShortIo, plan_.short_io_bytes};
+      }
+      if (hits(plan_.write_eagain_rate)) {
+        return {FaultAction::kEagain, plan_.eagain_burst};
+      }
+      if (hits(plan_.stall_rate)) return {FaultAction::kDelay, plan_.stall_ms};
+      break;
+  }
+  return {};
+}
+
+FaultDecision FaultInjector::next(FaultOp op) noexcept {
+  LaneState& state = lane_state();
+  if (!state.named) {
+    state.lane = anonymous_lane();
+    state.named = true;
+  }
+  // A storm in progress swallows the op without advancing the ordinal, so
+  // the schedule downstream of the storm is unchanged by its length.
+  if (state.eagain_left > 0 &&
+      (op == FaultOp::kRead || op == FaultOp::kWrite)) {
+    --state.eagain_left;
+    count(FaultAction::kEagain);
+    return {FaultAction::kEagain, 0};
+  }
+  const std::uint64_t index =
+      state.ordinals[static_cast<std::size_t>(op)]++;
+  FaultDecision decision = decide(state.lane, op, index);
+  if (decision.action == FaultAction::kEagain) {
+    // The decision itself is the first not-ready report; param - 1 more
+    // follow on the next calls.
+    state.eagain_left =
+        decision.param > 0 ? decision.param - 1 : 0;
+    decision.param = 0;
+  }
+  if (decision.action != FaultAction::kNone) count(decision.action);
+  return decision;
+}
+
+ScopedFaultInjection::ScopedFaultInjection(FaultPlan plan)
+    : injector_(std::move(plan)) {
+  FaultInjector* expected = nullptr;
+  if (!FaultInjector::active_.compare_exchange_strong(
+          expected, &injector_, std::memory_order_release,
+          std::memory_order_relaxed)) {
+    throw std::logic_error(
+        "ScopedFaultInjection: another fault plan is already installed");
+  }
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  FaultInjector::active_.store(nullptr, std::memory_order_release);
+}
+
+FaultLaneScope::FaultLaneScope(std::uint64_t lane) {
+  LaneState& state = lane_state();
+  previous_lane_ = state.lane;
+  previous_named_ = state.named;
+  previous_ordinals_ = state.ordinals;
+  previous_eagain_left_ = state.eagain_left;
+  state.lane = lane;
+  state.named = true;
+  state.ordinals.fill(0);
+  state.eagain_left = 0;
+}
+
+FaultLaneScope::~FaultLaneScope() {
+  LaneState& state = lane_state();
+  state.lane = previous_lane_;
+  state.named = previous_named_;
+  state.ordinals = previous_ordinals_;
+  state.eagain_left = previous_eagain_left_;
+}
+
+}  // namespace f2pm::net

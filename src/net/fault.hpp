@@ -1,0 +1,184 @@
+// Deterministic fault injection for the serve/net stack.
+//
+// A FaultPlan describes the partial failures a transport should suffer —
+// refused/delayed connects, mid-frame resets, short reads/writes, EAGAIN
+// storms, silent stalls, accept-time drops — either as seeded rates or as
+// an exact script ("lane 3's 57th write resets"). Installing a plan
+// (ScopedFaultInjection) publishes a process-wide FaultInjector that the
+// TcpStream/TcpListener I/O primitives consult on every operation; the
+// FMC, FMS and f2pm_serve therefore all run through it without any
+// test-only code paths of their own.
+//
+// Determinism: every decision is a pure function of (plan seed, lane, op,
+// per-lane op ordinal). A lane is a logical actor — typically one client
+// thread — named with FaultLaneScope; threads that never name a lane get
+// a stable anonymous one. Re-running the same single-threaded op sequence
+// under the same plan yields byte-identical fault schedules, which is what
+// lets the chaos suite replay a failing seed.
+//
+// Cost when disarmed: one relaxed atomic load per I/O call (measured to be
+// in the noise of bench/serve_throughput); no allocation, no locks.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace f2pm::net {
+
+/// The transport operations a plan can target.
+enum class FaultOp : std::size_t {
+  kConnect = 0,  ///< TcpStream::connect
+  kAccept = 1,   ///< TcpListener::accept / try_accept
+  kRead = 2,     ///< recv_some / recv_exact
+  kWrite = 3,    ///< send_some / send_all
+};
+inline constexpr std::size_t kFaultOpCount = 4;
+
+/// What to do to one targeted operation.
+enum class FaultAction : std::size_t {
+  kNone = 0,
+  kRefuse = 1,   ///< Connect: fail as if ECONNREFUSED. Accept: drop the
+                 ///< freshly accepted connection on the floor.
+  kReset = 2,    ///< Read/write: hard-close the socket (RST via SO_LINGER)
+                 ///< and surface a connection-reset error.
+  kShortIo = 3,  ///< Read/write: clamp the transfer to `param` bytes.
+  kEagain = 4,   ///< Read/write: report not-ready `param` times in a row
+                 ///< (an EAGAIN storm) before real I/O resumes.
+  kDelay = 5,    ///< Any op: sleep `param` milliseconds first (delayed
+                 ///< connect, stalled peer).
+};
+inline constexpr std::size_t kFaultActionCount = 6;
+
+/// One scripted event: lane `lane`'s `index`-th `op` suffers `action`.
+struct ScriptedFault {
+  std::uint64_t lane = 0;
+  FaultOp op = FaultOp::kRead;
+  std::uint64_t index = 0;  ///< 0-based ordinal of that op within the lane.
+  FaultAction action = FaultAction::kNone;
+  std::uint32_t param = 0;  ///< Bytes for kShortIo, count for kEagain,
+                            ///< milliseconds for kDelay; unused otherwise.
+};
+
+/// A deterministic schedule of transport faults. Rates are per-operation
+/// probabilities in [0, 1]; the script overrides the rates at its exact
+/// (lane, op, index) coordinates.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+
+  double refuse_connect_rate = 0.0;
+  double delay_connect_rate = 0.0;
+  std::uint32_t connect_delay_ms = 2;
+
+  double accept_drop_rate = 0.0;
+
+  double read_reset_rate = 0.0;
+  double write_reset_rate = 0.0;
+
+  double short_read_rate = 0.0;
+  double short_write_rate = 0.0;
+  std::uint32_t short_io_bytes = 1;
+
+  double read_eagain_rate = 0.0;
+  double write_eagain_rate = 0.0;
+  std::uint32_t eagain_burst = 3;
+
+  double stall_rate = 0.0;  ///< Applies to reads and writes.
+  std::uint32_t stall_ms = 1;
+
+  std::vector<ScriptedFault> script;
+
+  /// True when no rate is set and the script is empty — an empty plan
+  /// makes every decision kNone (used to measure instrumentation cost).
+  [[nodiscard]] bool empty() const noexcept;
+};
+
+/// The verdict for one operation, applied by the socket layer.
+struct FaultDecision {
+  FaultAction action = FaultAction::kNone;
+  std::uint32_t param = 0;
+};
+
+/// Decides and counts faults for an installed plan. All methods are
+/// thread-safe; decision state advances per calling thread's lane.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// The process-wide injector, or nullptr when fault injection is off.
+  /// This is the hot-path check: a single relaxed atomic load.
+  static FaultInjector* active() noexcept {
+    return active_.load(std::memory_order_acquire);
+  }
+
+  /// Advances the calling lane's ordinal for `op` and returns the verdict.
+  /// Non-kNone verdicts are counted (see injected()).
+  FaultDecision next(FaultOp op) noexcept;
+
+  /// How many faults of one kind have been injected so far.
+  [[nodiscard]] std::uint64_t injected(FaultAction action) const noexcept {
+    return counts_[static_cast<std::size_t>(action)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Total injected faults of any kind.
+  [[nodiscard]] std::uint64_t total_injected() const noexcept;
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  friend class ScopedFaultInjection;
+
+  [[nodiscard]] FaultDecision decide(std::uint64_t lane, FaultOp op,
+                                     std::uint64_t index) const noexcept;
+  void count(FaultAction action) noexcept;
+
+  static std::atomic<FaultInjector*> active_;
+
+  FaultPlan plan_;
+  /// Script indexed by a mixed (lane, op, index) key for O(1) lookup.
+  std::unordered_map<std::uint64_t, FaultDecision> script_;
+  std::array<std::atomic<std::uint64_t>, kFaultActionCount> counts_{};
+};
+
+/// Installs a plan process-wide for the lifetime of the scope. Only one
+/// may be active at a time (throws std::logic_error otherwise). The caller
+/// must not destroy the scope while injected I/O is still in flight — in
+/// tests, uninstall after the service is stopped and clients joined.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(FaultPlan plan);
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+  ~ScopedFaultInjection();
+
+  [[nodiscard]] FaultInjector& injector() noexcept { return injector_; }
+
+ private:
+  FaultInjector injector_;
+};
+
+/// Names the calling thread's fault lane for the lifetime of the scope
+/// (restores the previous lane on exit). Lane ordinals restart from zero
+/// each time a lane is entered, so "client c under seed s" is a fully
+/// reproducible schedule regardless of thread interleaving.
+class FaultLaneScope {
+ public:
+  explicit FaultLaneScope(std::uint64_t lane);
+  FaultLaneScope(const FaultLaneScope&) = delete;
+  FaultLaneScope& operator=(const FaultLaneScope&) = delete;
+  ~FaultLaneScope();
+
+ private:
+  std::uint64_t previous_lane_;
+  bool previous_named_;
+  std::array<std::uint64_t, kFaultOpCount> previous_ordinals_;
+  std::uint32_t previous_eagain_left_;
+};
+
+}  // namespace f2pm::net

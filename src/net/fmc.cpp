@@ -1,60 +1,285 @@
 #include "net/fmc.hpp"
 
+#include <poll.h>
+
+#include <algorithm>
 #include <array>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
 
 namespace f2pm::net {
 
+namespace {
+
+/// Distinct from transport errors so the recovery paths never mistake an
+/// exhausted time budget for a reconnectable fault.
+struct DeadlineExceeded : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// splitmix64 finalizer, used to derive deterministic backoff jitter.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Blocks until the descriptor is readable (or errored/hung up) or the
+/// timeout elapses; false on timeout or interruption.
+bool wait_readable_fd(int fd, int timeout_ms) {
+  pollfd entry{};
+  entry.fd = fd;
+  entry.events = POLLIN;
+  return ::poll(&entry, 1, timeout_ms) > 0;
+}
+
+}  // namespace
+
+/// A per-operation time budget. Unlimited (the default options) costs one
+/// branch per loop iteration and never consults the clock.
+struct FeatureMonitorClient::Deadline {
+  std::chrono::steady_clock::time_point end{};
+  bool limited = false;
+
+  [[nodiscard]] int remaining_ms() const {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        end - std::chrono::steady_clock::now());
+    return std::max<int>(0, static_cast<int>(left.count()));
+  }
+
+  [[nodiscard]] bool expired() const {
+    return limited && std::chrono::steady_clock::now() >= end;
+  }
+
+  void check(const char* what) const {
+    if (expired()) {
+      throw DeadlineExceeded(std::string("FeatureMonitorClient: ") + what +
+                             ": operation deadline exceeded");
+    }
+  }
+};
+
+FeatureMonitorClient::Deadline FeatureMonitorClient::start_op() const {
+  Deadline deadline;
+  if (options_.op_deadline_seconds > 0.0) {
+    deadline.limited = true;
+    deadline.end = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(
+                           options_.op_deadline_seconds));
+  }
+  return deadline;
+}
+
 FeatureMonitorClient::FeatureMonitorClient(const std::string& host,
                                            std::uint16_t port)
-    : stream_(TcpStream::connect(host, port)) {}
+    : FeatureMonitorClient(host, port, ClientOptions{}) {}
+
+FeatureMonitorClient::FeatureMonitorClient(const std::string& host,
+                                           std::uint16_t port,
+                                           ClientOptions options)
+    : host_(host),
+      port_(port),
+      options_(options),
+      stream_(connect_with_backoff()) {}
+
+void FeatureMonitorClient::backoff_sleep(std::size_t attempt,
+                                         const Deadline& deadline) {
+  double delay = options_.backoff_initial_seconds;
+  for (std::size_t k = 0; k < attempt && delay < options_.backoff_max_seconds;
+       ++k) {
+    delay *= options_.backoff_multiplier;
+  }
+  delay = std::min(delay, options_.backoff_max_seconds);
+  // Deterministic jitter in [0.5, 1): the same jitter_seed reproduces the
+  // same retry schedule, which the chaos suite relies on.
+  const std::uint64_t draw =
+      mix64(options_.jitter_seed ^ mix64(backoff_draws_++));
+  delay *= 0.5 + 0.5 * (static_cast<double>(draw >> 11) * 0x1.0p-53);
+  if (deadline.limited) {
+    delay = std::min(delay, deadline.remaining_ms() / 1000.0);
+  }
+  if (delay > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+  }
+}
+
+TcpStream FeatureMonitorClient::connect_with_backoff() {
+  const std::size_t attempts =
+      std::max<std::size_t>(1, options_.max_connect_attempts);
+  const Deadline deadline = start_op();
+  for (std::size_t attempt = 0;; ++attempt) {
+    deadline.check("connect");
+    try {
+      return TcpStream::connect(host_, port_);
+    } catch (const std::exception&) {
+      if (attempt + 1 >= attempts) throw;
+      backoff_sleep(attempt, deadline);
+    }
+  }
+}
+
+void FeatureMonitorClient::reconnect_and_replay(const Deadline& deadline) {
+  const std::size_t attempts =
+      std::max<std::size_t>(1, options_.max_connect_attempts);
+  for (std::size_t attempt = 0;; ++attempt) {
+    deadline.check("reconnect");
+    stream_.close();
+    decoder_.reset();
+    try {
+      stream_ = TcpStream::connect(host_, port_);
+      if (hello_sent_) {
+        send_hello(stream_, Hello{kProtocolVersion, client_id_});
+      }
+      // Rebuild the server's open aggregation window: windows align to
+      // absolute multiples of the width, so replaying the unacknowledged
+      // tail reproduces the exact window state the bounce destroyed.
+      for (const data::RawDatapoint& datapoint : replay_) {
+        send_datapoint(stream_, datapoint);
+        ++replayed_;
+      }
+      ++reconnects_;
+      return;
+    } catch (const std::exception&) {
+      if (attempt + 1 >= attempts) throw;
+      backoff_sleep(attempt, deadline);
+    }
+  }
+}
+
+bool FeatureMonitorClient::admit_prediction(const Prediction& prediction) {
+  if (!options_.reconnect) return true;
+  // A pre-bounce flush and a replayed window can both produce the same
+  // prediction; the watermark keeps exactly one visible and also shields
+  // callers from out-of-order arrivals across reconnects.
+  if (have_watermark_ && prediction.window_end <= last_window_end_) {
+    return false;
+  }
+  have_watermark_ = true;
+  last_window_end_ = prediction.window_end;
+  // Datapoints in now-closed windows can never be needed again.
+  while (!replay_.empty() && replay_.front().tgen < prediction.window_end) {
+    replay_.pop_front();
+  }
+  return true;
+}
 
 void FeatureMonitorClient::hello(const std::string& client_id) {
-  send_hello(stream_, Hello{kProtocolVersion, client_id});
+  client_id_ = client_id;
+  hello_sent_ = true;
+  try {
+    send_hello(stream_, Hello{kProtocolVersion, client_id});
+  } catch (const std::exception&) {
+    if (!options_.reconnect || finished_) throw;
+    reconnect_and_replay(start_op());  // re-sends the hello itself
+  }
 }
 
 void FeatureMonitorClient::send(const data::RawDatapoint& datapoint) {
-  send_datapoint(stream_, datapoint);
+  if (options_.reconnect) {
+    replay_.push_back(datapoint);
+    if (replay_.size() > options_.max_replay_datapoints) replay_.pop_front();
+  }
+  try {
+    send_datapoint(stream_, datapoint);
+  } catch (const std::exception&) {
+    if (!options_.reconnect || finished_) throw;
+    reconnect_and_replay(start_op());  // the replay covers this datapoint
+  }
   ++sent_;
 }
 
 void FeatureMonitorClient::report_failure(double fail_time) {
-  send_fail_event(stream_, fail_time);
+  // The aggregation timeline restarts after a failure: pre-fail datapoints
+  // must not be replayed into the new run, and post-fail window ends start
+  // over below the watermark.
+  replay_.clear();
+  have_watermark_ = false;
+  last_window_end_ = 0.0;
+  const Deadline deadline = start_op();
+  const std::size_t rounds =
+      std::max<std::size_t>(1, options_.max_connect_attempts);
+  for (std::size_t round = 0;; ++round) {
+    try {
+      send_fail_event(stream_, fail_time);
+      return;
+    } catch (const DeadlineExceeded&) {
+      throw;
+    } catch (const std::exception&) {
+      if (!options_.reconnect || finished_ || round + 1 >= rounds) throw;
+      reconnect_and_replay(deadline);
+    }
+  }
 }
 
 void FeatureMonitorClient::finish() {
   if (finished_) return;
-  send_bye(stream_);
-  // Half-close so a prediction service can still flush replies earned by
-  // the datapoints we sent; wait_prediction() drains them until EOF.
-  stream_.shutdown_write();
+  try {
+    send_bye(stream_);
+    // Half-close so a prediction service can still flush replies earned by
+    // the datapoints we sent; wait_prediction() drains them until EOF.
+    stream_.shutdown_write();
+  } catch (const std::exception&) {
+    if (!options_.reconnect) throw;
+    // The connection already died; there is nothing left to flush.
+    stream_.close();
+  }
   finished_ = true;
 }
 
 std::optional<std::string> FeatureMonitorClient::fetch_stats() {
-  send_stats_request(stream_);
+  const Deadline deadline = start_op();
   const auto take = [this](Frame& frame) -> std::optional<std::string> {
     if (auto* reply = std::get_if<StatsReply>(&frame)) {
       return std::move(reply->text);
     }
     // Predictions racing the reply belong to the caller's normal flow.
     if (const auto* prediction = std::get_if<Prediction>(&frame)) {
-      pending_predictions_.push_back(*prediction);
+      if (admit_prediction(*prediction)) {
+        pending_predictions_.push_back(*prediction);
+      }
     }
     return std::nullopt;
   };
-  while (auto frame = decoder_.next()) {
-    if (auto text = take(*frame)) return text;
-  }
-  std::array<char, 4096> chunk;
-  while (true) {
-    std::size_t got = 0;
-    const IoResult io = stream_.recv_some(chunk.data(), chunk.size(), got);
-    if (io == IoResult::kEof) return std::nullopt;
-    if (io != IoResult::kOk) continue;
-    decoder_.feed(chunk.data(), got);
-    while (auto frame = decoder_.next()) {
-      if (auto text = take(*frame)) return text;
+  for (;;) {
+    bool need_reconnect = false;
+    try {
+      send_stats_request(stream_);
+      while (auto frame = decoder_.next()) {
+        if (auto text = take(*frame)) return text;
+      }
+      std::array<char, 4096> chunk;
+      while (!need_reconnect) {
+        deadline.check("fetch_stats");
+        if (deadline.limited &&
+            !wait_readable_fd(stream_.fd(), deadline.remaining_ms())) {
+          continue;  // the check above throws once the budget is gone
+        }
+        std::size_t got = 0;
+        const IoResult io = stream_.recv_some(chunk.data(), chunk.size(), got);
+        if (io == IoResult::kEof) {
+          if (!options_.reconnect || finished_) return std::nullopt;
+          need_reconnect = true;
+          break;
+        }
+        if (io != IoResult::kOk) continue;  // injected EAGAIN: retry
+        decoder_.feed(chunk.data(), got);
+        while (auto frame = decoder_.next()) {
+          if (auto text = take(*frame)) return text;
+        }
+      }
+    } catch (const DeadlineExceeded&) {
+      throw;
+    } catch (const ProtocolError&) {
+      throw;
+    } catch (const std::exception&) {
+      if (!options_.reconnect || finished_) throw;
+      need_reconnect = true;
     }
+    if (need_reconnect) reconnect_and_replay(deadline);
   }
 }
 
@@ -67,6 +292,7 @@ std::optional<Prediction> FeatureMonitorClient::next_buffered_prediction() {
   }
   while (auto frame = decoder_.next()) {
     if (const auto* prediction = std::get_if<Prediction>(&*frame)) {
+      if (!admit_prediction(*prediction)) continue;
       ++predictions_received_;
       return *prediction;
     }
@@ -76,17 +302,34 @@ std::optional<Prediction> FeatureMonitorClient::next_buffered_prediction() {
 
 std::optional<Prediction> FeatureMonitorClient::poll_prediction() {
   if (auto buffered = next_buffered_prediction()) return buffered;
+  if (!stream_.valid()) return std::nullopt;
   std::array<char, 4096> chunk;
   stream_.set_nonblocking(true);
-  while (true) {
-    std::size_t got = 0;
-    const IoResult io = stream_.recv_some(chunk.data(), chunk.size(), got);
-    if (io != IoResult::kOk) break;  // kWouldBlock or kEof: nothing more now
-    decoder_.feed(chunk.data(), got);
-    if (auto prediction = next_buffered_prediction()) {
-      stream_.set_nonblocking(false);
-      return prediction;
+  try {
+    while (true) {
+      std::size_t got = 0;
+      const IoResult io = stream_.recv_some(chunk.data(), chunk.size(), got);
+      if (io == IoResult::kEof) {
+        if (options_.reconnect && !finished_) {
+          reconnect_and_replay(start_op());
+        } else {
+          stream_.set_nonblocking(false);
+        }
+        return std::nullopt;
+      }
+      if (io != IoResult::kOk) break;  // kWouldBlock: nothing more now
+      decoder_.feed(chunk.data(), got);
+      if (auto prediction = next_buffered_prediction()) {
+        stream_.set_nonblocking(false);
+        return prediction;
+      }
     }
+  } catch (const ProtocolError&) {
+    throw;
+  } catch (const std::exception&) {
+    if (!options_.reconnect || finished_) throw;
+    reconnect_and_replay(start_op());
+    return std::nullopt;
   }
   stream_.set_nonblocking(false);
   return std::nullopt;
@@ -94,15 +337,34 @@ std::optional<Prediction> FeatureMonitorClient::poll_prediction() {
 
 std::optional<Prediction> FeatureMonitorClient::wait_prediction() {
   if (auto buffered = next_buffered_prediction()) return buffered;
+  if (!stream_.valid()) return std::nullopt;
+  const Deadline deadline = start_op();
   std::array<char, 4096> chunk;
   while (true) {
-    std::size_t got = 0;
-    const IoResult io = stream_.recv_some(chunk.data(), chunk.size(), got);
-    if (io == IoResult::kEof) return std::nullopt;
-    if (io == IoResult::kOk) {
-      decoder_.feed(chunk.data(), got);
-      if (auto prediction = next_buffered_prediction()) return prediction;
+    deadline.check("wait_prediction");
+    if (deadline.limited &&
+        !wait_readable_fd(stream_.fd(), deadline.remaining_ms())) {
+      continue;  // the check above throws once the budget is gone
     }
+    std::size_t got = 0;
+    IoResult io;
+    try {
+      io = stream_.recv_some(chunk.data(), chunk.size(), got);
+    } catch (const std::exception&) {
+      if (!options_.reconnect || finished_) throw;
+      reconnect_and_replay(deadline);
+      continue;
+    }
+    if (io == IoResult::kEof) {
+      if (options_.reconnect && !finished_) {
+        reconnect_and_replay(deadline);
+        continue;
+      }
+      return std::nullopt;
+    }
+    if (io != IoResult::kOk) continue;  // injected EAGAIN: retry
+    decoder_.feed(chunk.data(), got);
+    if (auto prediction = next_buffered_prediction()) return prediction;
   }
 }
 

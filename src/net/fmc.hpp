@@ -2,6 +2,16 @@
 // monitored system. It forwards datapoints (here: whatever source produces
 // them — in production /proc readings, in this repo the simulator's
 // monitor) to the Feature Monitor Server over TCP.
+//
+// Resilience: with ClientOptions::reconnect enabled the client survives a
+// server bounce. Sent datapoints are kept in a bounded replay buffer until
+// a Prediction proves their window closed server-side; after a reconnect
+// (capped exponential backoff + deterministic jitter) the client re-sends
+// its Hello and replays the buffer. Because OnlinePredictor aligns windows
+// to absolute multiples of the window width, the replay reproduces the
+// exact window the server lost, so the open aggregation window survives
+// the bounce. A window-end watermark drops the rare duplicate prediction
+// when a pre-bounce flush overlaps the replayed window.
 #pragma once
 
 #include <cstdint>
@@ -16,16 +26,46 @@
 
 namespace f2pm::net {
 
+/// Tuning knobs for connection establishment and fault recovery. The
+/// defaults reproduce the legacy single-shot client: one connect attempt,
+/// no reconnect, no deadlines.
+struct ClientOptions {
+  /// Total connect attempts (initial connect and each reconnect round).
+  std::size_t max_connect_attempts = 1;
+
+  /// Exponential backoff between attempts: delay k is
+  /// min(backoff_max_seconds, backoff_initial_seconds * multiplier^k)
+  /// scaled by a deterministic jitter factor in [0.5, 1).
+  double backoff_initial_seconds = 0.02;
+  double backoff_max_seconds = 1.0;
+  double backoff_multiplier = 2.0;
+  std::uint64_t jitter_seed = 0;
+
+  /// Recover from transport errors by reconnecting, re-sending the Hello
+  /// and replaying unacknowledged datapoints.
+  bool reconnect = false;
+
+  /// Upper bound on one blocking operation (wait_prediction, fetch_stats),
+  /// including any reconnects it triggers. 0 means no deadline. Exceeding
+  /// it throws std::runtime_error.
+  double op_deadline_seconds = 0.0;
+
+  /// Replay buffer cap; the oldest entries are dropped beyond it.
+  std::size_t max_replay_datapoints = 4096;
+};
+
 /// Connected FMC session.
 class FeatureMonitorClient {
  public:
   /// Connects to the FMS; throws std::runtime_error on failure.
   FeatureMonitorClient(const std::string& host, std::uint16_t port);
+  FeatureMonitorClient(const std::string& host, std::uint16_t port,
+                       ClientOptions options);
 
   /// Announces this client to the server (versioned Hello frame). Calling
   /// it is optional — hello-less clients are served as ingest-only — but
   /// only sessions that said hello receive Prediction replies from the
-  /// f2pm_serve prediction service.
+  /// f2pm_serve prediction service. Re-sent automatically on reconnect.
   void hello(const std::string& client_id);
 
   /// Forwards one datapoint.
@@ -37,11 +77,15 @@ class FeatureMonitorClient {
   std::optional<Prediction> poll_prediction();
 
   /// Blocks until the next Prediction arrives or the server closes the
-  /// connection (then returns nullopt).
+  /// connection (then returns nullopt). With reconnect enabled, a closed
+  /// or reset connection before finish() triggers reconnect-and-replay
+  /// instead of returning.
   std::optional<Prediction> wait_prediction();
 
   /// Signals that the monitored system met the failure condition at
-  /// `fail_time` (elapsed seconds); the FMS closes the current run.
+  /// `fail_time` (elapsed seconds); the FMS closes the current run. Also
+  /// clears the replay buffer and prediction watermark — the aggregation
+  /// timeline restarts after a failure.
   void report_failure(double fail_time);
 
   /// Requests the server's metrics registry and blocks until the
@@ -60,17 +104,45 @@ class FeatureMonitorClient {
   [[nodiscard]] std::size_t predictions_received() const {
     return predictions_received_;
   }
+  /// How many times the session recovered by reconnecting.
+  [[nodiscard]] std::size_t reconnects() const { return reconnects_; }
+  /// Datapoints re-sent across all reconnects.
+  [[nodiscard]] std::size_t replayed_datapoints() const { return replayed_; }
 
  private:
+  struct Deadline;  ///< Per-operation time budget (see fmc.cpp).
+
+  [[nodiscard]] Deadline start_op() const;
+  TcpStream connect_with_backoff();
+  void reconnect_and_replay(const Deadline& deadline);
+  void backoff_sleep(std::size_t attempt, const Deadline& deadline);
+
+  /// Applies dedup + replay pruning; false means "duplicate, drop it".
+  bool admit_prediction(const Prediction& prediction);
   std::optional<Prediction> next_buffered_prediction();
 
+  std::string host_;
+  std::uint16_t port_;
+  ClientOptions options_;
+  std::uint64_t backoff_draws_ = 0;  ///< Jitter stream position.
   TcpStream stream_;
   FrameDecoder decoder_;  ///< Reassembles server->client reply frames.
   /// Predictions decoded while waiting for a StatsReply, served to the
   /// prediction accessors in arrival order.
   std::deque<Prediction> pending_predictions_;
+
+  /// Datapoints sent but not yet covered by a received Prediction; what a
+  /// reconnect replays to rebuild the server's open window.
+  std::deque<data::RawDatapoint> replay_;
+  bool have_watermark_ = false;
+  double last_window_end_ = 0.0;
+
+  std::string client_id_;
+  bool hello_sent_ = false;
   std::size_t sent_ = 0;
   std::size_t predictions_received_ = 0;
+  std::size_t reconnects_ = 0;
+  std::size_t replayed_ = 0;
   bool finished_ = false;
 };
 

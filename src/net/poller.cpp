@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <string>
@@ -20,6 +21,29 @@ namespace {
 [[noreturn]] void throw_errno(const std::string& what) {
   throw std::runtime_error(what + ": " + std::strerror(errno));
 }
+
+/// Tracks how much of a wait timeout is left across EINTR retries:
+/// -1 (infinite) stays -1; finite budgets shrink with the clock so a
+/// signal storm cannot extend the wait.
+class WaitBudget {
+ public:
+  explicit WaitBudget(int timeout_ms)
+      : infinite_(timeout_ms < 0),
+        deadline_(std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms)) {
+  }
+
+  [[nodiscard]] int remaining_ms() const {
+    if (infinite_) return -1;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline_ - std::chrono::steady_clock::now());
+    return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+  }
+
+ private:
+  bool infinite_;
+  std::chrono::steady_clock::time_point deadline_;
+};
 
 }  // namespace
 
@@ -99,14 +123,17 @@ void Poller::remove(int fd) {
 
 std::vector<Poller::Event> Poller::wait(int timeout_ms) {
   std::vector<Event> out;
+  const WaitBudget budget(timeout_ms);
 #if defined(F2PM_HAVE_EPOLL)
   if (backend_ == Backend::kEpoll) {
     epoll_event events[64];
-    int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
-    if (n < 0) {
-      if (errno == EINTR) return out;
-      throw_errno("epoll_wait");
-    }
+    int n;
+    // Retry interrupted waits with the remaining budget: a signal must not
+    // surface as a spurious empty wakeup nor stretch the timeout.
+    do {
+      n = ::epoll_wait(epoll_fd_, events, 64, budget.remaining_ms());
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) throw_errno("epoll_wait");
     out.reserve(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {
       Event ev;
@@ -128,11 +155,11 @@ std::vector<Poller::Event> Poller::wait(int timeout_ms) {
                                   (want.write ? POLLOUT : 0));
     fds.push_back(p);
   }
-  const int n = ::poll(fds.data(), fds.size(), timeout_ms);
-  if (n < 0) {
-    if (errno == EINTR) return out;
-    throw_errno("poll");
-  }
+  int n;
+  do {
+    n = ::poll(fds.data(), fds.size(), budget.remaining_ms());
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) throw_errno("poll");
   for (const pollfd& p : fds) {
     if (p.revents == 0) continue;
     Event ev;

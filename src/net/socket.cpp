@@ -7,10 +7,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 #include <utility>
+
+#include "net/fault.hpp"
 
 namespace f2pm::net {
 
@@ -18,6 +23,76 @@ namespace {
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void fault_sleep_ms(std::uint32_t ms) {
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+/// Applies the active fault plan's verdict to one read/write attempt.
+/// May clamp `size` (short I/O), sleep (stall), throw (reset — mirrors a
+/// real ECONNRESET: the error surfaces but the fd stays open for the
+/// owner to clean up), or return true meaning "report not ready" (EAGAIN
+/// storm). Returns false when the real I/O should proceed.
+bool fault_gate_io(FaultOp op, std::size_t& size, const char* what) {
+  FaultInjector* injector = FaultInjector::active();
+  if (injector == nullptr) return false;
+  const FaultDecision decision = injector->next(op);
+  switch (decision.action) {
+    case FaultAction::kNone:
+    case FaultAction::kRefuse:  // not meaningful for reads/writes
+      return false;
+    case FaultAction::kReset:
+      throw std::runtime_error(std::string(what) +
+                               ": injected connection reset (fault plan)");
+    case FaultAction::kShortIo:
+      if (decision.param > 0) {
+        size = std::min<std::size_t>(size, decision.param);
+      }
+      return false;
+    case FaultAction::kEagain:
+      return true;
+    case FaultAction::kDelay:
+      fault_sleep_ms(decision.param);
+      return false;
+  }
+  return false;
+}
+
+/// Connect-time verdict: may sleep (delayed connect) or throw (refused).
+void fault_gate_connect() {
+  FaultInjector* injector = FaultInjector::active();
+  if (injector == nullptr) return;
+  const FaultDecision decision = injector->next(FaultOp::kConnect);
+  if (decision.action == FaultAction::kDelay) {
+    fault_sleep_ms(decision.param);
+  } else if (decision.action == FaultAction::kRefuse) {
+    throw std::runtime_error(
+        "connect: injected connection refused (fault plan)");
+  }
+}
+
+/// Accept-time verdict on a freshly accepted fd. Returns false when the
+/// connection should be dropped on the floor (the fd is closed here).
+bool fault_gate_accept(int fd) {
+  FaultInjector* injector = FaultInjector::active();
+  if (injector == nullptr) return true;
+  const FaultDecision decision = injector->next(FaultOp::kAccept);
+  if (decision.action == FaultAction::kDelay) {
+    fault_sleep_ms(decision.param);
+    return true;
+  }
+  if (decision.action == FaultAction::kRefuse ||
+      decision.action == FaultAction::kReset) {
+    // Abort rather than close so the client sees a reset, not a clean FIN.
+    struct linger hard {};
+    hard.l_onoff = 1;
+    hard.l_linger = 0;
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+    ::close(fd);
+    return false;
+  }
+  return true;
 }
 
 void set_fd_nonblocking(int fd, bool enabled, const char* who) {
@@ -51,6 +126,7 @@ void Socket::close() noexcept {
 }
 
 TcpStream TcpStream::connect(const std::string& host, std::uint16_t port) {
+  fault_gate_connect();
   Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
   if (!socket.valid()) throw_errno("socket");
   sockaddr_in addr{};
@@ -73,7 +149,11 @@ void TcpStream::send_all(const void* data, std::size_t size) {
   const char* bytes = static_cast<const char*>(data);
   std::size_t sent = 0;
   while (sent < size) {
-    const ssize_t n = ::send(socket_.fd(), bytes + sent, size - sent,
+    std::size_t attempt = size - sent;
+    // On a blocking socket an injected EAGAIN is just a retry; short
+    // writes clamp `attempt` and the loop completes the rest.
+    if (fault_gate_io(FaultOp::kWrite, attempt, "send")) continue;
+    const ssize_t n = ::send(socket_.fd(), bytes + sent, attempt,
                              MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -87,8 +167,9 @@ bool TcpStream::recv_exact(void* data, std::size_t size) {
   char* bytes = static_cast<char*>(data);
   std::size_t received = 0;
   while (received < size) {
-    const ssize_t n = ::recv(socket_.fd(), bytes + received, size - received,
-                             0);
+    std::size_t attempt = size - received;
+    if (fault_gate_io(FaultOp::kRead, attempt, "recv")) continue;
+    const ssize_t n = ::recv(socket_.fd(), bytes + received, attempt, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
       throw_errno("recv");
@@ -105,6 +186,9 @@ bool TcpStream::recv_exact(void* data, std::size_t size) {
 IoResult TcpStream::recv_some(void* data, std::size_t size,
                               std::size_t& transferred) {
   transferred = 0;
+  if (fault_gate_io(FaultOp::kRead, size, "recv")) {
+    return IoResult::kWouldBlock;
+  }
   while (true) {
     const ssize_t n = ::recv(socket_.fd(), data, size, 0);
     if (n > 0) {
@@ -121,6 +205,9 @@ IoResult TcpStream::recv_some(void* data, std::size_t size,
 IoResult TcpStream::send_some(const void* data, std::size_t size,
                               std::size_t& transferred) {
   transferred = 0;
+  if (fault_gate_io(FaultOp::kWrite, size, "send")) {
+    return IoResult::kWouldBlock;
+  }
   while (true) {
     const ssize_t n = ::send(socket_.fd(), data, size, MSG_NOSIGNAL);
     if (n >= 0) {
@@ -139,6 +226,15 @@ void TcpStream::set_nonblocking(bool enabled) {
 
 void TcpStream::shutdown_write() noexcept {
   if (socket_.valid()) ::shutdown(socket_.fd(), SHUT_WR);
+}
+
+void TcpStream::abort_connection() noexcept {
+  if (!socket_.valid()) return;
+  struct linger hard {};
+  hard.l_onoff = 1;
+  hard.l_linger = 0;
+  ::setsockopt(socket_.fd(), SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+  socket_.close();
 }
 
 TcpListener::TcpListener(std::uint16_t port, int backlog) {
@@ -164,18 +260,24 @@ TcpListener::TcpListener(std::uint16_t port, int backlog) {
 }
 
 std::optional<TcpStream> TcpListener::accept() {
-  const int fd = ::accept(socket_.fd(), nullptr, nullptr);
-  if (fd < 0) {
-    // EBADF / EINVAL after shutdown(), or interrupted: report "no client".
-    return std::nullopt;
+  while (true) {
+    const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      // EBADF / EINVAL after shutdown(), or interrupted: report "no client".
+      return std::nullopt;
+    }
+    if (!fault_gate_accept(fd)) continue;  // injected drop: wait for the next
+    return TcpStream(Socket(fd));
   }
-  return TcpStream(Socket(fd));
 }
 
 std::optional<TcpStream> TcpListener::try_accept() {
   while (true) {
     const int fd = ::accept(socket_.fd(), nullptr, nullptr);
-    if (fd >= 0) return TcpStream(Socket(fd));
+    if (fd >= 0) {
+      if (!fault_gate_accept(fd)) continue;  // injected drop
+      return TcpStream(Socket(fd));
+    }
     if (errno == EINTR) continue;
     // EAGAIN (nothing pending), or EBADF/EINVAL after shutdown().
     return std::nullopt;

@@ -72,6 +72,11 @@ class TcpStream {
   /// reads stay open, so replies in flight can still be drained.
   void shutdown_write() noexcept;
 
+  /// Hard-closes the connection so the peer sees a reset (RST, via
+  /// SO_LINGER 0) rather than a clean FIN. Used by the fault-injection
+  /// layer to simulate a crashed peer; idempotent.
+  void abort_connection() noexcept;
+
   [[nodiscard]] bool valid() const noexcept { return socket_.valid(); }
   [[nodiscard]] int fd() const noexcept { return socket_.fd(); }
   void close() noexcept { socket_.close(); }

@@ -40,6 +40,9 @@ struct ServeMetrics {
   obs::Counter& datapoints;
   obs::Counter& predictions;
   obs::Counter& outbound_bytes;
+  obs::Counter& disconnects_clean;
+  obs::Counter& disconnects_truncated;
+  obs::Counter& disconnects_reset;
   obs::Histogram& batch_seconds;
 
   static ServeMetrics& get() {
@@ -62,6 +65,15 @@ struct ServeMetrics {
                          "Prediction frames queued to clients."),
         registry.counter("f2pm_serve_outbound_bytes_total",
                          "Reply bytes written to client sockets."),
+        registry.counter("f2pm_serve_disconnects_total",
+                         "Session transport endings by kind.",
+                         "kind=\"clean\""),
+        registry.counter("f2pm_serve_disconnects_total",
+                         "Session transport endings by kind.",
+                         "kind=\"truncated\""),
+        registry.counter("f2pm_serve_disconnects_total",
+                         "Session transport endings by kind.",
+                         "kind=\"reset\""),
         registry.histogram(
             "f2pm_serve_scoring_batch_seconds",
             "Wall-clock time scoring one session inbox batch.",
@@ -120,6 +132,25 @@ void PredictionService::wake() {
   if (!wake_tx_.valid()) return;
   const char byte = 1;
   [[maybe_unused]] const ssize_t n = ::write(wake_tx_.fd(), &byte, 1);
+}
+
+void PredictionService::note_disconnect(DisconnectKind kind) {
+  ServeMetrics& metrics = ServeMetrics::get();
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  switch (kind) {
+    case DisconnectKind::kClean:
+      ++stats_.disconnects_clean;
+      metrics.disconnects_clean.add(1);
+      break;
+    case DisconnectKind::kTruncated:
+      ++stats_.disconnects_truncated;
+      metrics.disconnects_truncated.add(1);
+      break;
+    case DisconnectKind::kReset:
+      ++stats_.disconnects_reset;
+      metrics.disconnects_reset.add(1);
+      break;
+  }
 }
 
 ServiceStats PredictionService::stats() const {
@@ -206,6 +237,7 @@ void PredictionService::run_loop() {
       auto session = registry_.find(event.fd);
       if (!session) continue;
       if (event.error) {
+        note_disconnect(DisconnectKind::kReset);
         close_session(session, /*evicted=*/true, "socket error/hangup");
         continue;
       }
@@ -291,13 +323,11 @@ void PredictionService::handle_readable(
       if (io == net::IoResult::kWouldBlock) break;
       if (io == net::IoResult::kEof) {
         if (session->decoder.mid_frame()) {
-          // Truncated mid-frame: a garbled stream, drop it on the spot.
-          {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
-            ++stats_.protocol_errors;
-          }
+          // EOF in the middle of a frame: the peer died or was cut off,
+          // not a protocol bug — account it as a truncated disconnect.
+          note_disconnect(DisconnectKind::kTruncated);
           close_session(session, /*evicted=*/true,
-                        "connection closed mid-frame");
+                        "connection closed mid-frame (truncated)");
           return;
         }
         // Clean EOF (often just a half-close after Bye): stop reading but
@@ -323,6 +353,7 @@ void PredictionService::handle_readable(
     close_session(session, /*evicted=*/true,
                   std::string("protocol violation: ") + e.what());
   } catch (const std::exception& e) {
+    note_disconnect(DisconnectKind::kReset);
     close_session(session, /*evicted=*/true,
                   std::string("read error: ") + e.what());
   }
@@ -537,6 +568,7 @@ void PredictionService::handle_writable(
       ServeMetrics::get().outbound_bytes.add(sent);
     }
   } catch (const std::exception& e) {
+    note_disconnect(DisconnectKind::kReset);
     close_session(session, /*evicted=*/true,
                   std::string("write error: ") + e.what());
     return;
@@ -591,6 +623,7 @@ void PredictionService::close_session(const std::shared_ptr<Session>& session,
                                       const std::string& reason) {
   if (session->closed) return;
   session->closed = true;
+  if (!evicted) note_disconnect(DisconnectKind::kClean);
   if (!session->inbox.empty()) {
     ServeMetrics::get().inbox_depth.sub(
         static_cast<double>(session->inbox.size()));

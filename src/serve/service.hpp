@@ -81,6 +81,11 @@ struct ServiceStats {
   std::uint64_t datapoints_received = 0;
   std::uint64_t predictions_sent = 0;
   std::uint64_t protocol_errors = 0;
+  /// Disconnect taxonomy: how sessions ended. A bounced or faulty client
+  /// shows up as truncated/reset, never as a protocol error.
+  std::uint64_t disconnects_clean = 0;      ///< Bye / clean EOF completion.
+  std::uint64_t disconnects_truncated = 0;  ///< EOF in the middle of a frame.
+  std::uint64_t disconnects_reset = 0;      ///< Socket error, hangup or RST.
   std::uint32_t model_version = 0;  ///< Active ModelStore version.
 };
 
@@ -130,6 +135,10 @@ class PredictionService {
     std::size_t sent = 0;
   };
 
+  /// How a session's transport ended (see ServiceStats).
+  enum class DisconnectKind { kClean, kTruncated, kReset };
+
+  void note_disconnect(DisconnectKind kind);
   void run_loop();
   void wake();
   void handle_accept();

@@ -1,0 +1,191 @@
+// Shared chaos harness: drives a fleet of FeatureMonitorClients through a
+// FaultPlan against a live PredictionService and validates the delivery
+// guarantees (bounded loss, exactly-once visible predictions, monotonic
+// window ends). Used by tests/test_chaos.cpp for correctness soaks and by
+// bench/serve_fault_tolerance.cpp to measure throughput vs fault rate.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/datapoint.hpp"
+#include "linalg/matrix.hpp"
+#include "ml/linear_regression.hpp"
+#include "net/fault.hpp"
+#include "net/fmc.hpp"
+#include "serve/service.hpp"
+
+namespace f2pm::chaos {
+
+inline data::RawDatapoint sample_at(double tgen) {
+  data::RawDatapoint sample;
+  sample.tgen = tgen;
+  sample[data::FeatureId::kMemUsed] = 500.0 + tgen;
+  sample[data::FeatureId::kCpuUser] = 10.0;
+  return sample;
+}
+
+// A fitted model that predicts exactly `value` for every input: OLS on a
+// full-rank random design with a constant target has the unique exact
+// solution beta = 0, intercept = value.
+inline std::shared_ptr<const ml::Regressor> constant_model(double value) {
+  const std::size_t rows = data::kInputCount + 8;
+  linalg::Matrix x(rows, data::kInputCount);
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < data::kInputCount; ++c) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      x(r, c) = static_cast<double>(state >> 40) / 1e6;
+    }
+  }
+  std::vector<double> y(rows, value);
+  auto model = std::make_shared<ml::LinearRegression>();
+  model->fit(x, y);
+  return model;
+}
+
+/// The aggregation layout every chaos scenario runs under. Window width 4
+/// with 1-second samples means datapoint tgen=t closes the window ending
+/// at floor(t/4)*4.
+inline constexpr double kChaosWindowSeconds = 4.0;
+
+inline serve::ServiceOptions chaos_service_options() {
+  serve::ServiceOptions options;
+  options.aggregation.window_seconds = kChaosWindowSeconds;
+  options.aggregation.min_samples_per_window = 2;
+  options.scoring_threads = 2;
+  return options;
+}
+
+/// Client tuned for fast recovery in tests: aggressive reconnect with
+/// millisecond backoff, and a hard deadline so a wedged scenario fails the
+/// test instead of hanging it.
+inline net::ClientOptions chaos_client_options(std::uint64_t jitter_seed) {
+  net::ClientOptions options;
+  options.reconnect = true;
+  options.max_connect_attempts = 8;
+  options.backoff_initial_seconds = 0.001;
+  options.backoff_max_seconds = 0.05;
+  options.jitter_seed = jitter_seed;
+  options.op_deadline_seconds = 30.0;
+  return options;
+}
+
+/// The standard soak plan: every fault class at once, rates low enough
+/// that most operations succeed but every client sees several faults over
+/// a 120-point stream.
+inline net::FaultPlan chaos_plan(std::uint64_t seed) {
+  net::FaultPlan plan;
+  plan.seed = seed;
+  plan.refuse_connect_rate = 0.10;
+  plan.delay_connect_rate = 0.05;
+  plan.connect_delay_ms = 1;
+  plan.accept_drop_rate = 0.05;
+  plan.read_reset_rate = 0.002;
+  plan.write_reset_rate = 0.002;
+  plan.short_read_rate = 0.05;
+  plan.short_write_rate = 0.05;
+  plan.short_io_bytes = 3;
+  plan.read_eagain_rate = 0.02;
+  plan.write_eagain_rate = 0.02;
+  plan.eagain_burst = 2;
+  plan.stall_rate = 0.002;
+  plan.stall_ms = 1;
+  return plan;
+}
+
+/// What one chaos client observed end to end.
+struct ChaosClientReport {
+  std::size_t sent = 0;
+  std::size_t received = 0;    ///< Predictions that reached the caller.
+  std::size_t reconnects = 0;
+  std::size_t replayed = 0;    ///< Datapoints re-sent across reconnects.
+  bool monotonic = true;       ///< window_end strictly increased.
+  bool rttf_ok = true;         ///< Every rttf matched the constant model.
+  double last_window_end = 0.0;
+  std::string error;           ///< Non-empty when the client aborted.
+};
+
+/// Runs one client: sends `num_points` samples at 1-second spacing inside
+/// fault lane `lane`, insists on receiving every closed window, then
+/// finishes and drains. The final flush prediction is best-effort (it can
+/// die with the connection), so callers should expect
+/// `closed_windows(num_points) <= received <= closed_windows + 1`.
+inline ChaosClientReport run_chaos_client(std::uint16_t port,
+                                          std::uint64_t lane,
+                                          std::size_t num_points,
+                                          double expected_rttf,
+                                          const net::ClientOptions& options) {
+  ChaosClientReport report;
+  net::FaultLaneScope scope(lane);
+  const auto note = [&report, expected_rttf](const net::Prediction& p) {
+    if (report.received > 0 && p.window_end <= report.last_window_end) {
+      report.monotonic = false;
+    }
+    report.last_window_end = p.window_end;
+    if (std::abs(p.rttf - expected_rttf) > 1e-6) report.rttf_ok = false;
+    ++report.received;
+  };
+  try {
+    net::FeatureMonitorClient client("127.0.0.1", port, options);
+    client.hello("chaos-" + std::to_string(lane));
+    for (std::size_t i = 0; i < num_points; ++i) {
+      client.send(sample_at(static_cast<double>(i)));
+      if (auto p = client.poll_prediction()) note(*p);
+    }
+    // Every window already closed by a sent datapoint must arrive: the
+    // replay/reconnect machinery recomputes anything a fault destroyed.
+    const double closed_edge =
+        std::floor(static_cast<double>(num_points - 1) / kChaosWindowSeconds) *
+        kChaosWindowSeconds;
+    while (report.last_window_end < closed_edge) {
+      auto p = client.wait_prediction();
+      if (!p) {
+        report.error = "server closed before all closed windows arrived";
+        break;
+      }
+      note(*p);
+    }
+    client.finish();
+    // Drain the best-effort flush of the final open window.
+    while (auto p = client.wait_prediction()) note(*p);
+    report.sent = client.datapoints_sent();
+    report.reconnects = client.reconnects();
+    report.replayed = client.replayed_datapoints();
+  } catch (const std::exception& e) {
+    report.error = e.what();
+  }
+  return report;
+}
+
+/// Predictions guaranteed (lower bound) for a `num_points` stream.
+inline std::size_t closed_windows(std::size_t num_points) {
+  return static_cast<std::size_t>(
+      std::floor(static_cast<double>(num_points - 1) / kChaosWindowSeconds));
+}
+
+/// Runs `num_clients` chaos clients concurrently (lane = client index + 1,
+/// lane 0 stays free for scripted faults) and returns their reports.
+inline std::vector<ChaosClientReport> run_chaos_fleet(
+    std::uint16_t port, std::size_t num_clients, std::size_t num_points,
+    double expected_rttf, std::uint64_t jitter_seed_base) {
+  std::vector<ChaosClientReport> reports(num_clients);
+  std::vector<std::thread> threads;
+  threads.reserve(num_clients);
+  for (std::size_t i = 0; i < num_clients; ++i) {
+    threads.emplace_back([&reports, port, num_points, expected_rttf,
+                          jitter_seed_base, i] {
+      net::ClientOptions options = chaos_client_options(jitter_seed_base + i);
+      reports[i] =
+          run_chaos_client(port, i + 1, num_points, expected_rttf, options);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  return reports;
+}
+
+}  // namespace f2pm::chaos

@@ -1,0 +1,246 @@
+// Chaos soak for the serve/net stack: a fleet of reconnecting clients
+// survives a scripted storm of transport faults with bounded prediction
+// loss and no duplicate or out-of-order predictions; a session survives a
+// hard server bounce without losing its open aggregation window; and the
+// service accounts disconnect kinds (clean / truncated / reset) without
+// mislabelling dead peers as protocol violations.
+//
+// The seed matrix: each test derives its fault schedules from
+// F2PM_CHAOS_SEED (default 1), so CI can sweep seeds without a rebuild
+// and a failing seed reproduces locally with the same env var.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+
+#include "chaos_driver.hpp"
+#include "net/fault.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "serve/model_store.hpp"
+
+namespace f2pm {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::uint64_t chaos_base_seed() {
+  const char* env = std::getenv("F2PM_CHAOS_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 1;
+}
+
+template <typename Predicate>
+bool eventually(Predicate predicate,
+                std::chrono::milliseconds deadline = 5000ms) {
+  const auto end = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < end) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return predicate();
+}
+
+// The headline soak: 16 concurrent clients, 120 datapoints each, every
+// fault class injected at once. Delivery contract under faults:
+//   - every closed window's prediction arrives exactly once, in order;
+//   - only the final flush prediction may be lost (bounded loss of 1);
+//   - the service drains to zero sessions.
+TEST(ChaosSoak, FleetSurvivesFaultStorm) {
+  constexpr std::size_t kClients = 16;
+  constexpr std::size_t kPoints = 120;
+  const std::size_t guaranteed = chaos::closed_windows(kPoints);
+
+  const std::uint64_t seed = chaos_base_seed();
+  auto store = std::make_shared<serve::ModelStore>();
+  store->swap(chaos::constant_model(1000.0));
+  serve::PredictionService service(chaos::chaos_service_options(), store);
+
+  std::size_t total_faults = 0;
+  std::size_t total_reconnects = 0;
+  {
+    net::ScopedFaultInjection injection(chaos::chaos_plan(seed));
+    const auto reports = chaos::run_chaos_fleet(service.port(), kClients,
+                                                kPoints, 1000.0, seed * 1000);
+    // Stop while the plan is still installed (the drain path runs through
+    // the fault gates too), then uninstall only after the loop has joined
+    // so no in-flight I/O can race the injector teardown.
+    service.stop();
+    total_faults = injection.injector().total_injected();
+
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const chaos::ChaosClientReport& report = reports[i];
+      SCOPED_TRACE("client " + std::to_string(i) + " seed " +
+                   std::to_string(seed));
+      EXPECT_EQ(report.error, "");
+      EXPECT_EQ(report.sent, kPoints);
+      EXPECT_TRUE(report.monotonic);
+      EXPECT_TRUE(report.rttf_ok);
+      EXPECT_GE(report.received, guaranteed);
+      EXPECT_LE(report.received, guaranteed + 1);
+      total_reconnects += report.reconnects;
+    }
+  }
+
+  // The plan actually fired: with these rates a 16-client soak sees
+  // hundreds of faults; a silently disarmed injector would void the test.
+  EXPECT_GT(total_faults, 0u);
+
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.sessions_active, 0u);
+  EXPECT_EQ(stats.protocol_errors, 0u);  // faults are not protocol bugs
+  // Reconnected clients show up as extra accepted sessions; accept-gate
+  // drops and failed replay rounds make the exact count seed-dependent.
+  EXPECT_GE(stats.sessions_accepted, kClients);
+  (void)total_reconnects;
+}
+
+// Scripted, surgical faults: exactly one mid-stream reset per client at a
+// known operation index. Deterministic across runs — the fault schedule
+// is part of the test, not a roll of the dice.
+TEST(ChaosSoak, ScriptedMidStreamResetsRecover) {
+  constexpr std::size_t kClients = 8;
+  constexpr std::size_t kPoints = 60;
+  const std::size_t guaranteed = chaos::closed_windows(kPoints);
+
+  auto store = std::make_shared<serve::ModelStore>();
+  store->swap(chaos::constant_model(250.0));
+  serve::PredictionService service(chaos::chaos_service_options(), store);
+
+  net::FaultPlan plan;  // rates all zero: only the script fires
+  for (std::size_t c = 0; c < kClients; ++c) {
+    net::ScriptedFault fault;
+    fault.lane = c + 1;  // run_chaos_fleet names lanes 1..kClients
+    fault.op = net::FaultOp::kWrite;
+    fault.index = 20 + 3 * c;  // mid-frame for most frame sizes
+    fault.action = net::FaultAction::kReset;
+    plan.script.push_back(fault);
+  }
+
+  {
+    net::ScopedFaultInjection injection(plan);
+    const auto reports =
+        chaos::run_chaos_fleet(service.port(), kClients, kPoints, 250.0, 7);
+    service.stop();
+    EXPECT_EQ(injection.injector().injected(net::FaultAction::kReset),
+              kClients);
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      SCOPED_TRACE("client " + std::to_string(i));
+      const chaos::ChaosClientReport& report = reports[i];
+      EXPECT_EQ(report.error, "");
+      EXPECT_EQ(report.reconnects, 1u);
+      EXPECT_GT(report.replayed, 0u);
+      EXPECT_TRUE(report.monotonic);
+      EXPECT_TRUE(report.rttf_ok);
+      EXPECT_GE(report.received, guaranteed);
+      EXPECT_LE(report.received, guaranteed + 1);
+    }
+  }
+  EXPECT_EQ(service.stats().sessions_active, 0u);
+}
+
+// A server bounce (hard stop, zero drain — the kill -9 case — then a
+// restart on the same port) must not cost the client its open
+// aggregation window: the replayed tail rebuilds it and the prediction
+// for that window still arrives.
+TEST(ChaosResume, OpenWindowSurvivesServerBounce) {
+  auto store = std::make_shared<serve::ModelStore>();
+  store->swap(chaos::constant_model(500.0));
+
+  serve::ServiceOptions hard_kill = chaos::chaos_service_options();
+  hard_kill.drain_timeout_seconds = 0.0;  // slam sessions, flush nothing
+  auto service =
+      std::make_unique<serve::PredictionService>(hard_kill, store);
+  const std::uint16_t port = service->port();
+
+  net::FeatureMonitorClient client("127.0.0.1", port,
+                                   chaos::chaos_client_options(42));
+  client.hello("bounce-survivor");
+
+  // Windows [0,4) and [4,8) close; 8 and 9 sit in the open window [8,12).
+  for (int t = 0; t <= 9; ++t) client.send(chaos::sample_at(t));
+  for (int expected = 4; expected <= 8; expected += 4) {
+    auto prediction = client.wait_prediction();
+    ASSERT_TRUE(prediction.has_value());
+    EXPECT_DOUBLE_EQ(prediction->window_end, expected);
+  }
+
+  // Bounce: the open window [8,12) dies with the server.
+  service->stop();
+  service.reset();
+  serve::ServiceOptions same_port = chaos::chaos_service_options();
+  same_port.port = port;
+  service = std::make_unique<serve::PredictionService>(same_port, store);
+
+  // The client notices the dead connection on its own (send failure or
+  // read EOF), reconnects, re-hellos and replays 8 and 9 — so observing
+  // 10..12 closes the very window the bounce destroyed.
+  for (int t = 10; t <= 12; ++t) client.send(chaos::sample_at(t));
+  auto prediction = client.wait_prediction();
+  ASSERT_TRUE(prediction.has_value());
+  EXPECT_DOUBLE_EQ(prediction->window_end, 12.0);
+  EXPECT_NEAR(prediction->rttf, 500.0, 1e-6);
+  EXPECT_GE(client.reconnects(), 1u);
+  EXPECT_GE(client.replayed_datapoints(), 2u);  // at least 8 and 9
+
+  client.finish();
+  while (client.wait_prediction()) {
+  }
+  service->stop();
+  EXPECT_EQ(service->stats().sessions_active, 0u);
+}
+
+// Disconnect taxonomy: a peer that dies mid-frame is a truncated
+// disconnect, a reset peer is a reset disconnect, and neither is a
+// protocol error; a polite Bye is a clean disconnect.
+TEST(ChaosAccounting, DisconnectKindsAreDistinguished) {
+  auto store = std::make_shared<serve::ModelStore>();
+  serve::PredictionService service(chaos::chaos_service_options(), store);
+
+  {  // Clean: hello + bye.
+    net::FeatureMonitorClient client("127.0.0.1", service.port());
+    client.hello("polite");
+    client.finish();
+    while (client.wait_prediction()) {
+    }
+  }
+  ASSERT_TRUE(eventually(
+      [&] { return service.stats().disconnects_clean == 1; }));
+
+  {  // Truncated: half a datapoint frame, then FIN.
+    net::TcpStream stream = net::TcpStream::connect("127.0.0.1",
+                                                    service.port());
+    std::vector<std::uint8_t> bytes;
+    net::FrameEncoder::encode_datapoint(bytes, chaos::sample_at(1.0));
+    stream.send_all(bytes.data(), bytes.size() / 2);
+    stream.close();
+  }
+  ASSERT_TRUE(eventually(
+      [&] { return service.stats().disconnects_truncated == 1; }));
+
+  {  // Reset: a valid frame, then an RST (SO_LINGER hard close).
+    net::TcpStream stream = net::TcpStream::connect("127.0.0.1",
+                                                    service.port());
+    std::vector<std::uint8_t> bytes;
+    net::FrameEncoder::encode_datapoint(bytes, chaos::sample_at(1.0));
+    stream.send_all(bytes.data(), bytes.size());
+    stream.abort_connection();
+  }
+  ASSERT_TRUE(eventually(
+      [&] { return service.stats().disconnects_reset == 1; }));
+
+  service.stop();
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  EXPECT_EQ(stats.disconnects_clean, 1u);
+  EXPECT_EQ(stats.disconnects_truncated, 1u);
+  EXPECT_EQ(stats.disconnects_reset, 1u);
+  EXPECT_EQ(stats.sessions_active, 0u);
+}
+
+}  // namespace
+}  // namespace f2pm

@@ -1,0 +1,328 @@
+// Unit tests for the deterministic fault-injection layer: schedule
+// determinism, scripted events, the zero-cost disarmed path, each
+// transport gate (connect / accept / read / write), and the
+// FeatureMonitorClient connect-retry/backoff built on top of it.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/fault.hpp"
+#include "net/fmc.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+
+namespace f2pm::net {
+namespace {
+
+FaultPlan rates_plan(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.read_reset_rate = 0.2;
+  plan.write_reset_rate = 0.2;
+  plan.short_read_rate = 0.2;
+  plan.read_eagain_rate = 0.2;
+  plan.stall_rate = 0.1;
+  plan.stall_ms = 0;  // decide "delay", but never actually sleep in tests
+  return plan;
+}
+
+std::vector<FaultAction> decisions(FaultInjector& injector, std::uint64_t lane,
+                                   FaultOp op, std::size_t count) {
+  FaultLaneScope scope(lane);
+  std::vector<FaultAction> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(injector.next(op).action);
+  }
+  return out;
+}
+
+TEST(FaultInjector, SameSeedSameLaneSameSchedule) {
+  FaultInjector a(rates_plan(11));
+  FaultInjector b(rates_plan(11));
+  EXPECT_EQ(decisions(a, 3, FaultOp::kRead, 200),
+            decisions(b, 3, FaultOp::kRead, 200));
+  EXPECT_EQ(decisions(a, 3, FaultOp::kWrite, 200),
+            decisions(b, 3, FaultOp::kWrite, 200));
+  // Re-entering a lane restarts its ordinals: the schedule replays.
+  EXPECT_EQ(decisions(a, 3, FaultOp::kRead, 200),
+            decisions(b, 3, FaultOp::kRead, 200));
+}
+
+TEST(FaultInjector, DifferentSeedsOrLanesDiffer) {
+  FaultInjector a(rates_plan(11));
+  FaultInjector b(rates_plan(12));
+  EXPECT_NE(decisions(a, 3, FaultOp::kRead, 200),
+            decisions(b, 3, FaultOp::kRead, 200));
+  EXPECT_NE(decisions(a, 3, FaultOp::kRead, 200),
+            decisions(a, 4, FaultOp::kRead, 200));
+}
+
+TEST(FaultInjector, ScriptOverridesExactCoordinate) {
+  FaultPlan plan;  // all rates zero
+  plan.script.push_back({/*lane=*/7, FaultOp::kWrite, /*index=*/5,
+                         FaultAction::kReset, 0});
+  FaultInjector injector(plan);
+  const auto lane7 = decisions(injector, 7, FaultOp::kWrite, 10);
+  for (std::size_t i = 0; i < lane7.size(); ++i) {
+    EXPECT_EQ(lane7[i], i == 5 ? FaultAction::kReset : FaultAction::kNone)
+        << "index " << i;
+  }
+  // Neighbouring lanes and ops are untouched.
+  for (const FaultAction action : decisions(injector, 8, FaultOp::kWrite, 10)) {
+    EXPECT_EQ(action, FaultAction::kNone);
+  }
+  for (const FaultAction action : decisions(injector, 7, FaultOp::kRead, 10)) {
+    EXPECT_EQ(action, FaultAction::kNone);
+  }
+  EXPECT_EQ(injector.injected(FaultAction::kReset), 1u);
+  EXPECT_EQ(injector.total_injected(), 1u);
+}
+
+TEST(FaultInjector, EagainStormSwallowsOpsWithoutAdvancingSchedule) {
+  FaultPlan plan;
+  plan.script.push_back({/*lane=*/1, FaultOp::kRead, /*index=*/2,
+                         FaultAction::kEagain, /*param=*/3});
+  plan.script.push_back({/*lane=*/1, FaultOp::kRead, /*index=*/3,
+                         FaultAction::kReset, 0});
+  FaultInjector injector(plan);
+  const auto lane1 = decisions(injector, 1, FaultOp::kRead, 8);
+  // Index 2 starts a 3-long storm (the decision plus two swallowed ops);
+  // the scripted reset at ordinal 3 still fires right after it ends.
+  const std::vector<FaultAction> expected{
+      FaultAction::kNone,   FaultAction::kNone,  FaultAction::kEagain,
+      FaultAction::kEagain, FaultAction::kEagain, FaultAction::kReset,
+      FaultAction::kNone,   FaultAction::kNone};
+  EXPECT_EQ(lane1, expected);
+  EXPECT_EQ(injector.injected(FaultAction::kEagain), 3u);
+}
+
+TEST(FaultInjector, EmptyPlanDecidesNothing) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  plan.short_read_rate = 0.5;
+  EXPECT_FALSE(plan.empty());
+
+  FaultInjector injector(FaultPlan{});
+  for (const FaultAction action :
+       decisions(injector, 1, FaultOp::kRead, 100)) {
+    EXPECT_EQ(action, FaultAction::kNone);
+  }
+  EXPECT_EQ(injector.total_injected(), 0u);
+}
+
+TEST(ScopedFaultInjection, InstallsAndExcludes) {
+  EXPECT_EQ(FaultInjector::active(), nullptr);
+  {
+    ScopedFaultInjection injection{FaultPlan{}};
+    EXPECT_EQ(FaultInjector::active(), &injection.injector());
+    EXPECT_THROW(ScopedFaultInjection{FaultPlan{}}, std::logic_error);
+  }
+  EXPECT_EQ(FaultInjector::active(), nullptr);
+}
+
+TEST(FaultLaneScope, NestsAndRestores) {
+  FaultInjector injector(rates_plan(5));
+  FaultLaneScope outer(10);
+  injector.next(FaultOp::kRead);  // lane 10 ordinal 0
+  {
+    FaultLaneScope inner(11);
+    injector.next(FaultOp::kRead);  // lane 11 ordinal 0
+  }
+  // Back in lane 10 with its ordinal intact: next read is ordinal 1, and
+  // it must match a fresh replay of lane 10's schedule.
+  const FaultDecision got = injector.next(FaultOp::kRead);
+  FaultInjector replay(rates_plan(5));
+  const auto expected = decisions(replay, 10, FaultOp::kRead, 2);
+  EXPECT_EQ(got.action, expected[1]);
+}
+
+// --- Transport gates, through real sockets -------------------------------
+
+TEST(FaultGates, ScriptedConnectRefusalThenSuccess) {
+  TcpListener listener(0);
+  FaultPlan plan;
+  plan.script.push_back({/*lane=*/1, FaultOp::kConnect, /*index=*/0,
+                         FaultAction::kRefuse, 0});
+  ScopedFaultInjection injection(plan);
+  FaultLaneScope lane(1);
+  try {
+    TcpStream::connect("127.0.0.1", listener.port());
+    FAIL() << "expected injected refusal";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("injected connection refused"),
+              std::string::npos);
+  }
+  EXPECT_NO_THROW(TcpStream::connect("127.0.0.1", listener.port()));
+  EXPECT_EQ(injection.injector().injected(FaultAction::kRefuse), 1u);
+}
+
+TEST(FaultGates, ShortWritesAndReadsAreTransparentToBlockingIo) {
+  TcpListener listener(0);
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.short_write_rate = 1.0;
+  plan.short_read_rate = 1.0;
+  plan.short_io_bytes = 7;
+  ScopedFaultInjection injection(plan);
+
+  TcpStream client = TcpStream::connect("127.0.0.1", listener.port());
+  auto server = listener.accept();
+  ASSERT_TRUE(server.has_value());
+
+  std::vector<char> sent(1000);
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    sent[i] = static_cast<char>(i * 31 + 7);
+  }
+  std::thread writer([&] {
+    FaultLaneScope lane(2);
+    client.send_all(sent.data(), sent.size());
+  });
+  std::vector<char> received(sent.size());
+  {
+    FaultLaneScope lane(3);
+    ASSERT_TRUE(server->recv_exact(received.data(), received.size()));
+  }
+  writer.join();
+  EXPECT_EQ(std::memcmp(sent.data(), received.data(), sent.size()), 0);
+  // Every 7-byte transfer was clamped: ~1000/7 short ops on each side.
+  EXPECT_GE(injection.injector().injected(FaultAction::kShortIo), 250u);
+}
+
+TEST(FaultGates, InjectedResetSurfacesAsSendError) {
+  TcpListener listener(0);
+  FaultPlan plan;
+  plan.script.push_back({/*lane=*/4, FaultOp::kWrite, /*index=*/0,
+                         FaultAction::kReset, 0});
+  ScopedFaultInjection injection(plan);
+  TcpStream client = TcpStream::connect("127.0.0.1", listener.port());
+  FaultLaneScope lane(4);
+  const char byte = 'x';
+  try {
+    client.send_all(&byte, 1);
+    FAIL() << "expected injected reset";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("injected connection reset"),
+              std::string::npos);
+  }
+  // The fd itself stays open (like a real ECONNRESET): cleanup is ours.
+  EXPECT_TRUE(client.valid());
+}
+
+TEST(FaultGates, EagainStormOnNonblockingRead) {
+  TcpListener listener(0);
+  FaultPlan plan;
+  plan.script.push_back({/*lane=*/5, FaultOp::kRead, /*index=*/0,
+                         FaultAction::kEagain, /*param=*/3});
+  ScopedFaultInjection injection(plan);
+  TcpStream client = TcpStream::connect("127.0.0.1", listener.port());
+  auto server = listener.accept();
+  ASSERT_TRUE(server.has_value());
+  const char byte = 'y';
+  server->send_all(&byte, 1);
+
+  FaultLaneScope lane(5);
+  char got = 0;
+  std::size_t n = 0;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(client.recv_some(&got, 1, n), IoResult::kWouldBlock);
+  }
+  EXPECT_EQ(client.recv_some(&got, 1, n), IoResult::kOk);
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(got, 'y');
+}
+
+TEST(FaultGates, AcceptDropNeverDeliversTheConnection) {
+  TcpListener listener(0);
+  listener.set_nonblocking(true);
+  FaultPlan plan;
+  plan.accept_drop_rate = 1.0;
+  ScopedFaultInjection injection(plan);
+  TcpStream client = TcpStream::connect("127.0.0.1", listener.port());
+  // The handshake completed via the backlog, but the accept gate drops
+  // every connection on the floor.
+  EXPECT_FALSE(listener.try_accept().has_value());
+  EXPECT_GE(injection.injector().injected(FaultAction::kRefuse), 1u);
+  // The dropped peer sees a reset on its next read.
+  char got = 0;
+  std::size_t n = 0;
+  EXPECT_THROW(
+      {
+        while (client.recv_some(&got, 1, n) == IoResult::kOk) {
+        }
+      },
+      std::runtime_error);
+}
+
+// --- FeatureMonitorClient retry machinery --------------------------------
+
+ClientOptions retry_options(std::size_t attempts) {
+  ClientOptions options;
+  options.max_connect_attempts = attempts;
+  options.backoff_initial_seconds = 0.001;
+  options.backoff_max_seconds = 0.004;
+  options.jitter_seed = 99;
+  return options;
+}
+
+TEST(FmcRetry, ConnectRetriesThroughRefusalsThenSucceeds) {
+  TcpListener listener(0);
+  FaultPlan plan;
+  plan.script.push_back({/*lane=*/6, FaultOp::kConnect, /*index=*/0,
+                         FaultAction::kRefuse, 0});
+  plan.script.push_back({/*lane=*/6, FaultOp::kConnect, /*index=*/1,
+                         FaultAction::kRefuse, 0});
+  ScopedFaultInjection injection(plan);
+  FaultLaneScope lane(6);
+  FeatureMonitorClient client("127.0.0.1", listener.port(),
+                              retry_options(/*attempts=*/3));
+  EXPECT_EQ(injection.injector().injected(FaultAction::kRefuse), 2u);
+}
+
+TEST(FmcRetry, ConnectGivesUpAfterMaxAttempts) {
+  TcpListener listener(0);
+  FaultPlan plan;
+  plan.script.push_back({/*lane=*/6, FaultOp::kConnect, /*index=*/0,
+                         FaultAction::kRefuse, 0});
+  plan.script.push_back({/*lane=*/6, FaultOp::kConnect, /*index=*/1,
+                         FaultAction::kRefuse, 0});
+  ScopedFaultInjection injection(plan);
+  FaultLaneScope lane(6);
+  EXPECT_THROW(FeatureMonitorClient("127.0.0.1", listener.port(),
+                                    retry_options(/*attempts=*/2)),
+               std::runtime_error);
+}
+
+TEST(FmcRetry, WaitPredictionHonoursOpDeadline) {
+  TcpListener listener(0);  // accepts via backlog, never replies
+  ClientOptions options;
+  options.op_deadline_seconds = 0.2;
+  FeatureMonitorClient client("127.0.0.1", listener.port(), options);
+  client.hello("deadline");
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    client.wait_prediction();
+    FAIL() << "expected deadline error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("deadline exceeded"),
+              std::string::npos);
+  }
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(waited, 0.15);
+  EXPECT_LT(waited, 5.0);
+}
+
+TEST(FmcRetry, LegacyTwoArgClientIsSingleShot) {
+  // No server at all: the legacy constructor must fail immediately
+  // rather than retry (port 1 is never bindable by tests).
+  EXPECT_THROW(FeatureMonitorClient("127.0.0.1", 1), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace f2pm::net

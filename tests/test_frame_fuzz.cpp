@@ -1,0 +1,209 @@
+// Seeded mutation fuzzing of the FrameDecoder: valid frame streams are
+// corrupted (bit flips, splices, length-field stomps) and fed back in
+// arbitrary chunkings. The decoder must never crash, never buffer past
+// its declared payload caps, and either keep producing frames or throw a
+// ProtocolError — after which a reset() makes it fully usable again.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "data/datapoint.hpp"
+#include "net/protocol.hpp"
+
+namespace f2pm::net {
+namespace {
+
+/// splitmix64-based test RNG: cheap and fully deterministic per seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t x = state_;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  std::size_t below(std::size_t n) { return n == 0 ? 0 : next() % n; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// One of every frame type, back to back — the replayed corpus.
+std::vector<std::uint8_t> valid_stream() {
+  std::vector<std::uint8_t> bytes;
+  Hello hello;
+  hello.client_id = "fuzz-client";
+  FrameEncoder::encode_hello(bytes, hello);
+  data::RawDatapoint datapoint;
+  datapoint.tgen = 1.5;
+  for (std::size_t i = 0; i < datapoint.values.size(); ++i) {
+    datapoint.values[i] = static_cast<double>(i) * 3.25;
+  }
+  FrameEncoder::encode_datapoint(bytes, datapoint);
+  FrameEncoder::encode_fail_event(bytes, 42.0);
+  Prediction prediction;
+  prediction.window_end = 8.0;
+  prediction.rttf = 123.0;
+  prediction.alarm = true;
+  prediction.model_version = 3;
+  FrameEncoder::encode_prediction(bytes, prediction);
+  FrameEncoder::encode_stats_request(bytes);
+  StatsReply reply;
+  reply.text = "# HELP f2pm_up 1 if alive\nf2pm_up 1\n";
+  FrameEncoder::encode_stats_reply(bytes, reply);
+  FrameEncoder::encode_bye(bytes);
+  return bytes;
+}
+
+constexpr std::size_t kValidFrameCount = 7;
+
+/// Applies 1–4 random corruptions: single-bit flips, range removal or
+/// duplication (splices), and 4-byte stomps that statistically land on
+/// magic, type and length fields.
+std::vector<std::uint8_t> mutate(const std::vector<std::uint8_t>& original,
+                                 Rng& rng) {
+  std::vector<std::uint8_t> bytes = original;
+  const std::size_t mutations = 1 + rng.below(4);
+  for (std::size_t m = 0; m < mutations && !bytes.empty(); ++m) {
+    switch (rng.below(4)) {
+      case 0: {  // bit flip
+        const std::size_t at = rng.below(bytes.size());
+        bytes[at] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+        break;
+      }
+      case 1: {  // splice out a range
+        const std::size_t from = rng.below(bytes.size());
+        const std::size_t len = 1 + rng.below(bytes.size() - from);
+        bytes.erase(bytes.begin() + static_cast<std::ptrdiff_t>(from),
+                    bytes.begin() + static_cast<std::ptrdiff_t>(from + len));
+        break;
+      }
+      case 2: {  // duplicate a range (reordered/replayed bytes)
+        const std::size_t from = rng.below(bytes.size());
+        const std::size_t len =
+            1 + rng.below(std::min<std::size_t>(bytes.size() - from, 32));
+        std::vector<std::uint8_t> dup(
+            bytes.begin() + static_cast<std::ptrdiff_t>(from),
+            bytes.begin() + static_cast<std::ptrdiff_t>(from + len));
+        const std::size_t at = rng.below(bytes.size() + 1);
+        bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(at),
+                     dup.begin(), dup.end());
+        break;
+      }
+      default: {  // stomp a 32-bit field (length/type/magic corruption)
+        if (bytes.size() < 4) break;
+        const std::size_t at = rng.below(bytes.size() - 3);
+        // Half the stomps write huge values to specifically provoke the
+        // oversized-length defence.
+        const std::uint32_t value = (rng.next() & 1u) != 0
+                                        ? 0xffffffffu - rng.below(1024)
+                                        : static_cast<std::uint32_t>(rng.next());
+        std::memcpy(bytes.data() + at, &value, sizeof(value));
+        break;
+      }
+    }
+  }
+  return bytes;
+}
+
+/// Feeds `bytes` in random chunkings, draining after every feed. Returns
+/// the number of complete frames decoded; ProtocolError is a valid
+/// outcome. Asserts the buffering cap the whole way.
+std::size_t feed_and_drain(FrameDecoder& decoder,
+                           const std::vector<std::uint8_t>& bytes, Rng& rng) {
+  // An incomplete frame can hold at most a header plus the largest capped
+  // payload; anything above that means the decoder hoarded garbage.
+  const std::size_t max_buffered = 8 + kMaxStatsBytes + 4 + 256;
+  std::size_t frames = 0;
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    const std::size_t chunk = 1 + rng.below(64);
+    const std::size_t take = std::min(chunk, bytes.size() - offset);
+    decoder.feed(bytes.data() + offset, take);
+    offset += take;
+    while (decoder.next().has_value()) ++frames;
+    EXPECT_LE(decoder.buffered_bytes(), max_buffered);
+  }
+  return frames;
+}
+
+/// After any outcome, a reset decoder must decode the pristine corpus.
+void expect_full_recovery(FrameDecoder& decoder, Rng& rng) {
+  decoder.reset();
+  const std::vector<std::uint8_t> pristine = valid_stream();
+  const std::size_t frames = feed_and_drain(decoder, pristine, rng);
+  EXPECT_EQ(frames, kValidFrameCount);
+  EXPECT_FALSE(decoder.mid_frame());
+}
+
+TEST(FrameFuzz, ValidStreamSurvivesAnyChunking) {
+  const std::vector<std::uint8_t> bytes = valid_stream();
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed);
+    FrameDecoder decoder;
+    EXPECT_EQ(feed_and_drain(decoder, bytes, rng), kValidFrameCount);
+    EXPECT_FALSE(decoder.mid_frame());
+  }
+}
+
+TEST(FrameFuzz, MutatedStreamsNeverCrashAndAlwaysRecover) {
+  const std::vector<std::uint8_t> corpus = valid_stream();
+  std::size_t protocol_errors = 0;
+  std::size_t survived = 0;
+  for (std::uint64_t seed = 0; seed < 1000; ++seed) {
+    Rng rng(seed);
+    const std::vector<std::uint8_t> mutated = mutate(corpus, rng);
+    FrameDecoder decoder;
+    try {
+      feed_and_drain(decoder, mutated, rng);
+      ++survived;
+    } catch (const ProtocolError&) {
+      ++protocol_errors;  // the only acceptable failure mode
+    }
+    expect_full_recovery(decoder, rng);
+  }
+  // The mutator is aggressive enough that both outcomes happen often; if
+  // either count collapses to ~0 the fuzz lost its teeth.
+  EXPECT_GT(protocol_errors, 100u);
+  EXPECT_GT(survived, 50u);
+}
+
+TEST(FrameFuzz, OversizedLengthFieldsAreRejectedWithoutBuffering) {
+  // A hello that declares a (capped-at-256) id length of 2^31: the
+  // decoder must throw kOversized as soon as the header parses, not wait
+  // for gigabytes that never come.
+  std::vector<std::uint8_t> bytes;
+  const std::uint32_t magic = kProtocolMagic;
+  const std::uint32_t type = static_cast<std::uint32_t>(FrameType::kHello);
+  const std::uint32_t version = kProtocolVersion;
+  const std::uint32_t huge = 1u << 31;
+  const auto put = [&bytes](const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    bytes.insert(bytes.end(), b, b + n);
+  };
+  put(&magic, 4);
+  put(&type, 4);
+  put(&version, 4);
+  put(&huge, 4);
+
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  try {
+    decoder.next();
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.kind(), ProtocolError::Kind::kOversized);
+  }
+  EXPECT_LE(decoder.buffered_bytes(), bytes.size());
+}
+
+}  // namespace
+}  // namespace f2pm::net

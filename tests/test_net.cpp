@@ -1,9 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <pthread.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "net/fmc.hpp"
 #include "net/fms.hpp"
+#include "net/poller.hpp"
 #include "net/protocol.hpp"
 
 namespace f2pm::net {
@@ -147,6 +154,100 @@ TEST(FmcFms, BackToBackServersReusePorts) {
     fmc.finish();
     EXPECT_EQ(fms.wait_and_take_history().num_runs(), 1u);
   }
+}
+
+// A signal delivered to a thread blocked in Poller::wait must not surface
+// as a spurious empty return (callers treat that as "timeout elapsed") —
+// the wait retries the syscall and still reports the real event. The
+// handler is installed without SA_RESTART so the syscall genuinely fails
+// with EINTR instead of being restarted by the kernel.
+void expect_wait_survives_eintr(Poller::Backend backend) {
+  struct sigaction action {};
+  action.sa_handler = [](int) {};
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: force EINTR out of the wait
+  struct sigaction previous {};
+  ASSERT_EQ(::sigaction(SIGUSR1, &action, &previous), 0);
+
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  Poller poller(backend);
+  poller.add(fds[0], /*want_read=*/true, /*want_write=*/false);
+
+  const pthread_t waiter_handle = ::pthread_self();
+  std::atomic<bool> waiting{false};
+  std::thread interrupter([&] {
+    while (!waiting.load()) std::this_thread::yield();
+    // Storm of signals while the waiter is blocked, then the real event.
+    for (int i = 0; i < 20; ++i) {
+      ::pthread_kill(waiter_handle, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    const char byte = 'x';
+    ASSERT_EQ(::write(fds[1], &byte, 1), 1);
+  });
+
+  waiting.store(true);
+  const auto events = poller.wait(/*timeout_ms=*/-1);  // forever: only the
+                                                       // pipe write may end it
+  interrupter.join();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].fd, fds[0]);
+  EXPECT_TRUE(events[0].readable);
+
+  poller.remove(fds[0]);
+  ::close(fds[0]);
+  ::close(fds[1]);
+  ASSERT_EQ(::sigaction(SIGUSR1, &previous, nullptr), 0);
+}
+
+TEST(PollerEintr, EpollWaitRetriesThroughSignals) {
+  expect_wait_survives_eintr(Poller::Backend::kEpoll);
+}
+
+TEST(PollerEintr, PollWaitRetriesThroughSignals) {
+  expect_wait_survives_eintr(Poller::Backend::kPoll);
+}
+
+TEST(PollerEintr, FiniteTimeoutStillExpiresUnderSignalStorm) {
+  // The EINTR retry must not reset the clock: a 100 ms wait peppered with
+  // signals still returns (empty) in bounded time instead of spinning on
+  // a refreshed timeout forever.
+  struct sigaction action {};
+  action.sa_handler = [](int) {};
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  struct sigaction previous {};
+  ASSERT_EQ(::sigaction(SIGUSR1, &action, &previous), 0);
+
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  Poller poller;
+  poller.add(fds[0], /*want_read=*/true, /*want_write=*/false);
+
+  const pthread_t waiter_handle = ::pthread_self();
+  std::atomic<bool> done{false};
+  std::thread interrupter([&] {
+    while (!done.load()) {
+      ::pthread_kill(waiter_handle, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto events = poller.wait(/*timeout_ms=*/100);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  done.store(true);
+  interrupter.join();
+
+  EXPECT_TRUE(events.empty());
+  EXPECT_GE(elapsed, std::chrono::milliseconds(90));
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+
+  poller.remove(fds[0]);
+  ::close(fds[0]);
+  ::close(fds[1]);
+  ASSERT_EQ(::sigaction(SIGUSR1, &previous, nullptr), 0);
 }
 
 TEST(FmcFms, AbruptDisconnectKeepsReceivedData) {
