@@ -1,19 +1,30 @@
-// Load bench for the f2pm_serve prediction service: N concurrent
-// simulated FMC clients replay TPC-W campaign traces over loopback while
-// the service scores every closed aggregation window and streams the RTTF
-// predictions back. For N in {1, 8, 64, 256} it reports sustained
-// datapoints/sec, prediction round-trip latency (p50/p99, measured from
-// the send of the window-closing datapoint to the receipt of its
-// prediction), sessions held and the dropped/garbled-frame count (must be
-// zero).
+// Load bench for the f2pm_serve prediction service: N concurrent load
+// generators replay TPC-W campaign traces over loopback while the service
+// scores every closed aggregation window and streams the RTTF predictions
+// back. The sweep crosses reactor shard counts {1, 2, 4, 8} with client
+// counts and reports sustained datapoints/sec, scaling efficiency vs the
+// 1-shard baseline at the same client count, prediction round-trip
+// latency (p50/p99), sessions held and the dropped/garbled-frame count
+// (must be zero).
 //
-// Emits BENCH_serve_throughput.json next to the binary.
+// Load generator: each client runs a dedicated SENDER thread (raw frame
+// encoding straight onto the socket, timestamping every datapoint) and a
+// dedicated RECEIVER thread (blocking frame decode, timestamping every
+// prediction), so reading predictions never throttles the send path —
+// the classic single-threaded poll-between-sends loop understates a
+// sharded server because the generator itself becomes the bottleneck.
+// Latencies are matched post-hoc: per-session predictions are exactly
+// once and in order, so prediction k of run r pairs with the datapoint
+// whose send closed that window.
+//
+// Emits BENCH_serve_throughput.json next to the binary. `--smoke` runs a
+// seconds-scale subset (CI) with the same output schema.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -22,7 +33,8 @@
 #include "data/aggregation.hpp"
 #include "data/dataset.hpp"
 #include "ml/linear_regression.hpp"
-#include "net/fmc.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
 #include "serve/model_store.hpp"
 #include "serve/service.hpp"
 #include "sim/campaign.hpp"
@@ -69,77 +81,103 @@ struct ClientResult {
   bool failed = false;
 };
 
-/// Replays campaign runs (datapoints + fail events, tgen restarting per
-/// run) until `budget` datapoints were sent, recording per-datapoint send
-/// times to measure prediction round-trip latency.
+/// One client: a sender thread replaying campaign runs (datapoints + fail
+/// events, tgen restarting per run) until `budget` datapoints are on the
+/// wire, and a receiver thread draining predictions until server EOF.
+/// Timestamps from both sides are joined after the threads finish.
 ClientResult run_client(std::uint16_t port, const data::DataHistory& history,
                         std::size_t budget, int id) {
   ClientResult result;
-  // Send-time record per run; predictions arrive in window order, so one
-  // run index that advances when window_end restarts is enough to match.
+  // Send log: per run, (tgen, send time) per datapoint. Receive log:
+  // (window_end, arrival time) in arrival order.
   std::vector<std::vector<std::pair<double, Clock::time_point>>> sent_runs(1);
-  std::size_t prediction_run = 0;
-  double last_window_end = -1.0;
-  bool finishing = false;
-
-  const auto on_prediction = [&](const net::Prediction& prediction) {
-    const Clock::time_point now = Clock::now();
-    ++result.predictions;
-    if (prediction.window_end <= last_window_end &&
-        prediction_run + 1 < sent_runs.size()) {
-      ++prediction_run;  // the stream restarted: next run's windows
-    }
-    last_window_end = prediction.window_end;
-    const auto& run = sent_runs[prediction_run];
-    const auto it = std::lower_bound(
-        run.begin(), run.end(), prediction.window_end,
-        [](const auto& entry, double t) { return entry.first < t; });
-    if (it == run.end()) {
-      // After finish() the server flushes the open window; that final
-      // prediction has no window-closing datapoint to match against.
-      if (!finishing) ++result.unmatched;
-      return;
-    }
-    result.latencies_ms.push_back(
-        std::chrono::duration<double, std::milli>(now - it->second).count());
-  };
+  std::vector<std::pair<double, Clock::time_point>> received;
+  bool receiver_failed = false;
 
   try {
-    net::FeatureMonitorClient client("127.0.0.1", port);
-    client.hello("bench-client-" + std::to_string(id));
+    net::TcpStream stream = net::TcpStream::connect("127.0.0.1", port);
+    net::send_hello(stream,
+                    net::Hello{net::kProtocolVersion,
+                               "bench-client-" + std::to_string(id)});
+
+    std::thread receiver([&stream, &received, &receiver_failed] {
+      try {
+        net::FrameDecoder decoder;
+        while (auto frame = net::receive_frame(stream, decoder)) {
+          if (const auto* p = std::get_if<net::Prediction>(&*frame)) {
+            received.emplace_back(p->window_end, Clock::now());
+          }
+        }
+      } catch (const std::exception&) {
+        receiver_failed = true;
+      }
+    });
+
+    std::vector<std::uint8_t> wire;
     while (result.sent < budget) {
       for (const data::Run& run : history.runs()) {
         if (result.sent >= budget) break;
         for (const data::RawDatapoint& sample : run.samples) {
           if (result.sent >= budget) break;
+          wire.clear();
+          net::FrameEncoder::encode_datapoint(wire, sample);
+          stream.send_all(wire.data(), wire.size());
           sent_runs.back().emplace_back(sample.tgen, Clock::now());
-          client.send(sample);
           ++result.sent;
-          while (auto prediction = client.poll_prediction()) {
-            on_prediction(*prediction);
-          }
         }
-        client.report_failure(run.fail_time);
+        net::send_fail_event(stream, run.fail_time);
         sent_runs.emplace_back();
       }
     }
-    finishing = true;
-    client.finish();
-    while (auto prediction = client.wait_prediction()) {
-      on_prediction(*prediction);
-    }
+    net::send_bye(stream);
+    stream.shutdown_write();
+    receiver.join();
+    result.failed = receiver_failed;
   } catch (const std::exception&) {
     result.failed = true;
+    return result;
+  }
+
+  // Post-hoc latency join. Window ends restart at run boundaries; one run
+  // cursor that advances whenever window_end stops increasing re-creates
+  // the per-run pairing (predictions are in order and exactly once).
+  std::size_t prediction_run = 0;
+  double last_window_end = -1.0;
+  for (std::size_t k = 0; k < received.size(); ++k) {
+    const auto& [window_end, arrival] = received[k];
+    ++result.predictions;
+    if (window_end <= last_window_end &&
+        prediction_run + 1 < sent_runs.size()) {
+      ++prediction_run;
+    }
+    last_window_end = window_end;
+    const auto& run = sent_runs[prediction_run];
+    // The window-closing datapoint is the first with tgen >= window_end.
+    const auto it = std::lower_bound(
+        run.begin(), run.end(), window_end,
+        [](const auto& entry, double t) { return entry.first < t; });
+    if (it == run.end()) {
+      // The final flush prediction (open window, emitted on Bye) has no
+      // closing datapoint; anything else unmatched is a real loss.
+      if (k + 1 != received.size()) ++result.unmatched;
+      continue;
+    }
+    result.latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(arrival - it->second)
+            .count());
   }
   return result;
 }
 
 struct BenchResult {
+  std::size_t shards = 0;
   std::size_t clients = 0;
   std::size_t datapoints = 0;
   std::size_t predictions = 0;
   double wall_seconds = 0.0;
   double datapoints_per_second = 0.0;
+  double speedup_vs_1shard = 0.0;     ///< dp/s over 1-shard, same clients.
+  double scaling_efficiency = 0.0;    ///< speedup / shards.
   double p50_ms = 0.0;
   double p99_ms = 0.0;
   std::size_t sessions_held = 0;   ///< Accepted and served to completion.
@@ -156,22 +194,24 @@ double percentile(std::vector<double>& values, double p) {
   return values[rank];
 }
 
-BenchResult run_load(std::size_t num_clients, const Trace& trace,
+BenchResult run_load(std::size_t num_shards, std::size_t num_clients,
+                     std::size_t total_budget, const Trace& trace,
                      const std::shared_ptr<const ml::Regressor>& model) {
   auto store = std::make_shared<serve::ModelStore>();
   store->swap(model);
   serve::ServiceOptions options;
   options.aggregation.window_seconds = kWindowSeconds;
+  options.shards = num_shards;
   options.max_sessions = std::max<std::size_t>(num_clients, 256);
   // The bench measures the instrumented configuration: metrics registry
   // hot (it always is) plus a live scrape endpoint on an ephemeral port.
   options.metrics_port = 0;
   serve::PredictionService service(options, store);
 
-  // Fixed total volume across configurations so every N is comparable;
-  // each client replays at least 500 datapoints.
+  // Fixed total volume per configuration so every (shards, clients) cell
+  // is comparable; each client replays at least 500 datapoints.
   const std::size_t budget =
-      std::max<std::size_t>(500, 96'000 / num_clients);
+      std::max<std::size_t>(500, total_budget / num_clients);
 
   std::vector<ClientResult> results(num_clients);
   std::vector<std::thread> threads;
@@ -190,6 +230,7 @@ BenchResult run_load(std::size_t num_clients, const Trace& trace,
   const serve::ServiceStats stats = service.stats();
 
   BenchResult bench;
+  bench.shards = service.shards();
   bench.clients = num_clients;
   bench.wall_seconds = wall;
   std::vector<double> latencies;
@@ -209,57 +250,86 @@ BenchResult run_load(std::size_t num_clients, const Trace& trace,
   return bench;
 }
 
-void write_json(const std::vector<BenchResult>& results) {
+void write_json(const std::vector<BenchResult>& results, bool smoke) {
   std::FILE* out = std::fopen("BENCH_serve_throughput.json", "w");
   if (out == nullptr) return;
   std::fprintf(out, "{\n  \"bench\": \"serve_throughput\",\n");
   std::fprintf(out, "  \"window_seconds\": %.1f,\n", kWindowSeconds);
+  std::fprintf(out, "  \"host_cores\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out, "  \"accept_mode\": \"reuse_port\",\n");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(out, "  \"results\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
     std::fprintf(
         out,
-        "    {\"clients\": %zu, \"datapoints\": %zu, \"predictions\": %zu, "
-        "\"wall_seconds\": %.3f, \"datapoints_per_second\": %.0f, "
-        "\"latency_p50_ms\": %.3f, \"latency_p99_ms\": %.3f, "
-        "\"sessions_held\": %zu, \"dropped_frames\": %zu}%s\n",
-        r.clients, r.datapoints, r.predictions, r.wall_seconds,
-        r.datapoints_per_second, r.p50_ms, r.p99_ms, r.sessions_held,
-        r.dropped_frames, i + 1 < results.size() ? "," : "");
+        "    {\"shards\": %zu, \"clients\": %zu, \"datapoints\": %zu, "
+        "\"predictions\": %zu, \"wall_seconds\": %.3f, "
+        "\"datapoints_per_second\": %.0f, \"speedup_vs_1shard\": %.3f, "
+        "\"scaling_efficiency\": %.3f, \"latency_p50_ms\": %.3f, "
+        "\"latency_p99_ms\": %.3f, \"sessions_held\": %zu, "
+        "\"dropped_frames\": %zu}%s\n",
+        r.shards, r.clients, r.datapoints, r.predictions, r.wall_seconds,
+        r.datapoints_per_second, r.speedup_vs_1shard, r.scaling_efficiency,
+        r.p50_ms, r.p99_ms, r.sessions_held, r.dropped_frames,
+        i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
 }
 
-void run_all() {
-  std::printf("== F2PM serve: multi-session prediction service load ==\n");
+void run_all(bool smoke) {
+  std::printf("== F2PM serve: sharded prediction service load ==\n");
   const Trace trace = make_trace();
   const auto model = train_model(trace.history);
   std::printf(
       "trace: %zu campaign runs, %zu raw datapoints; linear model on %.0fs "
-      "windows; loopback TCP, one event loop + scoring pool\n\n",
-      trace.history.num_runs(), trace.total_samples, kWindowSeconds);
-  std::printf("%-10s%-14s%-14s%-16s%-12s%-12s%-12s%-10s\n", "clients",
-              "datapoints", "dp/sec", "predictions", "p50 (ms)", "p99 (ms)",
-              "sessions", "dropped");
-  std::printf("%s\n", std::string(100, '-').c_str());
+      "windows; loopback TCP, SO_REUSEPORT shard sweep; %u host cores\n\n",
+      trace.history.num_runs(), trace.total_samples, kWindowSeconds,
+      std::thread::hardware_concurrency());
+  std::printf("%-8s%-10s%-13s%-12s%-9s%-8s%-11s%-11s%-10s%-9s\n", "shards",
+              "clients", "datapoints", "dp/sec", "speedup", "eff", "p50 (ms)",
+              "p99 (ms)", "sessions", "dropped");
+  std::printf("%s\n", std::string(101, '-').c_str());
+
+  const std::vector<std::size_t> shard_counts =
+      smoke ? std::vector<std::size_t>{1, 2}
+            : std::vector<std::size_t>{1, 2, 4, 8};
+  const std::vector<std::size_t> client_counts =
+      smoke ? std::vector<std::size_t>{4} : std::vector<std::size_t>{8, 32};
+  const std::size_t total_budget = smoke ? 4'000 : 48'000;
+
   std::vector<BenchResult> results;
-  for (std::size_t n : {1u, 8u, 64u, 256u}) {
-    const BenchResult r = run_load(n, trace, model);
-    std::printf("%-10zu%-14zu%-14.0f%-16zu%-12.3f%-12.3f%-12zu%-10zu\n",
-                r.clients, r.datapoints, r.datapoints_per_second,
-                r.predictions, r.p50_ms, r.p99_ms, r.sessions_held,
-                r.dropped_frames);
-    results.push_back(r);
+  for (std::size_t clients : client_counts) {
+    double baseline_dps = 0.0;
+    for (std::size_t shards : shard_counts) {
+      BenchResult r = run_load(shards, clients, total_budget, trace, model);
+      if (shards == 1) baseline_dps = r.datapoints_per_second;
+      r.speedup_vs_1shard =
+          baseline_dps > 0.0 ? r.datapoints_per_second / baseline_dps : 0.0;
+      r.scaling_efficiency =
+          r.speedup_vs_1shard / static_cast<double>(r.shards);
+      std::printf(
+          "%-8zu%-10zu%-13zu%-12.0f%-9.2f%-8.2f%-11.3f%-11.3f%-10zu%-9zu\n",
+          r.shards, r.clients, r.datapoints, r.datapoints_per_second,
+          r.speedup_vs_1shard, r.scaling_efficiency, r.p50_ms, r.p99_ms,
+          r.sessions_held, r.dropped_frames);
+      results.push_back(r);
+    }
   }
-  write_json(results);
+  write_json(results, smoke);
   std::printf("\nwrote BENCH_serve_throughput.json\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  run_all();
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  run_all(smoke);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

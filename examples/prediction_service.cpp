@@ -5,6 +5,7 @@
 // model mid-stream without dropping a session.
 //
 // Usage: prediction_service [--runs=N] [--seed=S] [--clients=C]
+//                           [--shards=S]         (0 = one per core)
 //                           [--metrics-port=P]   (-1 = off, 0 = ephemeral)
 #include <algorithm>
 #include <cstdio>
@@ -34,6 +35,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2015));
   const auto clients = static_cast<std::size_t>(args.get_int("clients", 4));
   const int metrics_port = static_cast<int>(args.get_int("metrics-port", 0));
+  const auto shards = static_cast<std::size_t>(args.get_int("shards", 1));
 
   // ---- offline: monitoring campaign -> aggregated dataset -> model ------
   sim::CampaignConfig campaign;
@@ -64,12 +66,14 @@ int main(int argc, char** argv) {
   serve::ServiceOptions options;
   options.aggregation = aggregation;
   options.metrics_port = metrics_port;
+  options.shards = shards;  // 0 = one reactor shard per hardware thread
   serve::PredictionService service(options, store);
-  std::printf("prediction service on 127.0.0.1:%u (model v%u, %s backend)\n",
-              service.port(),
-              store->version(),
-              options.backend == net::Poller::Backend::kEpoll ? "epoll"
-                                                              : "poll");
+  std::printf(
+      "prediction service on 127.0.0.1:%u (model v%u, %s backend, "
+      "%zu shard%s)\n",
+      service.port(), store->version(),
+      options.backend == net::Poller::Backend::kEpoll ? "epoll" : "poll",
+      service.shards(), service.shards() == 1 ? "" : "s");
   if (service.metrics_port() != 0) {
     std::printf("metrics: curl http://127.0.0.1:%u/metrics\n",
                 service.metrics_port());

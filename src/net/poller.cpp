@@ -1,17 +1,21 @@
 #include "net/poller.hpp"
 
+#include <fcntl.h>
 #include <poll.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
+#include <cstdint>
 #include <cstring>
 #include <stdexcept>
 #include <string>
 
 #if defined(__linux__)
 #include <sys/epoll.h>
+#include <sys/eventfd.h>
 #define F2PM_HAVE_EPOLL 1
+#define F2PM_HAVE_EVENTFD 1
 #endif
 
 namespace f2pm::net {
@@ -46,6 +50,52 @@ class WaitBudget {
 };
 
 }  // namespace
+
+Wakeup::Wakeup() {
+#if defined(F2PM_HAVE_EVENTFD)
+  read_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (read_fd_ >= 0) {
+    write_fd_ = read_fd_;
+    return;
+  }
+  // eventfd exhausted/unavailable: fall through to the pipe pair.
+#endif
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) throw_errno("Wakeup: pipe");
+  for (int fd : fds) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    const int fdflags = ::fcntl(fd, F_GETFD, 0);
+    if (fdflags >= 0) ::fcntl(fd, F_SETFD, fdflags | FD_CLOEXEC);
+  }
+  read_fd_ = fds[0];
+  write_fd_ = fds[1];
+}
+
+Wakeup::~Wakeup() {
+  if (write_fd_ >= 0 && write_fd_ != read_fd_) ::close(write_fd_);
+  if (read_fd_ >= 0) ::close(read_fd_);
+}
+
+void Wakeup::notify() noexcept {
+  if (write_fd_ < 0) return;
+  const std::uint64_t token = 1;
+  // EAGAIN means the counter/pipe is already full — the wakeup is
+  // guaranteed regardless; EINTR is retried once and then dropped for the
+  // same reason.
+  [[maybe_unused]] ssize_t n;
+  do {
+    n = ::write(write_fd_, &token,
+                write_fd_ == read_fd_ ? sizeof(token) : 1);
+  } while (n < 0 && errno == EINTR);
+}
+
+void Wakeup::drain() noexcept {
+  if (read_fd_ < 0) return;
+  std::uint64_t sink[32];
+  while (::read(read_fd_, sink, sizeof(sink)) > 0) {
+  }
+}
 
 Poller::Backend Poller::default_backend() noexcept {
 #if defined(F2PM_HAVE_EPOLL)

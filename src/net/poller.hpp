@@ -2,6 +2,11 @@
 // epoll (Linux) with a portable poll(2) fallback, selectable at runtime so
 // both backends stay tested on any host. Single-threaded: one Poller is
 // owned and driven by exactly one event-loop thread.
+//
+// Wakeup is the cross-thread control primitive that pairs with it: any
+// thread may notify() a Wakeup whose fd is registered with a Poller, and
+// the owning loop returns from wait() immediately instead of sleeping out
+// its timeout — the mechanism behind instant stop/drain/swap signalling.
 #pragma once
 
 #include <cstddef>
@@ -9,6 +14,33 @@
 #include <vector>
 
 namespace f2pm::net {
+
+/// Edge-free cross-thread wakeup: an eventfd on Linux (one fd, one
+/// counter) with a non-blocking self-pipe fallback elsewhere. Register
+/// fd() read-interest with a Poller; notify() from any thread makes the
+/// next (or current) wait() return; drain() consumes the pending tokens so
+/// a level-triggered loop does not spin. notify() never blocks: a full
+/// pipe/counter already guarantees the loop will wake.
+class Wakeup {
+ public:
+  Wakeup();
+  Wakeup(const Wakeup&) = delete;
+  Wakeup& operator=(const Wakeup&) = delete;
+  ~Wakeup();
+
+  /// The readable descriptor to register with a Poller.
+  [[nodiscard]] int fd() const noexcept { return read_fd_; }
+
+  /// Makes the owning loop's wait() return. Thread-safe, non-blocking.
+  void notify() noexcept;
+
+  /// Consumes all queued notifications (loop thread, after readiness).
+  void drain() noexcept;
+
+ private:
+  int read_fd_ = -1;
+  int write_fd_ = -1;  ///< Equals read_fd_ for the eventfd backend.
+};
 
 /// Edge-free (level-triggered) readiness poller.
 class Poller {

@@ -237,11 +237,25 @@ void TcpStream::abort_connection() noexcept {
   socket_.close();
 }
 
-TcpListener::TcpListener(std::uint16_t port, int backlog) {
+TcpListener::TcpListener(std::uint16_t port, int backlog)
+    : TcpListener(port, Options{backlog, /*reuse_port=*/false}) {}
+
+TcpListener::TcpListener(std::uint16_t port, const Options& options) {
   socket_ = Socket(::socket(AF_INET, SOCK_STREAM, 0));
   if (!socket_.valid()) throw_errno("socket");
   const int one = 1;
   ::setsockopt(socket_.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (options.reuse_port) {
+#if defined(SO_REUSEPORT)
+    if (::setsockopt(socket_.fd(), SOL_SOCKET, SO_REUSEPORT, &one,
+                     sizeof(one)) != 0) {
+      throw_errno("setsockopt(SO_REUSEPORT)");
+    }
+#else
+    throw std::runtime_error(
+        "TcpListener: SO_REUSEPORT unsupported on this platform");
+#endif
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -250,7 +264,7 @@ TcpListener::TcpListener(std::uint16_t port, int backlog) {
              sizeof(addr)) != 0) {
     throw_errno("bind");
   }
-  if (::listen(socket_.fd(), backlog) != 0) throw_errno("listen");
+  if (::listen(socket_.fd(), options.backlog) != 0) throw_errno("listen");
   socklen_t len = sizeof(addr);
   if (::getsockname(socket_.fd(), reinterpret_cast<sockaddr*>(&addr), &len) !=
       0) {

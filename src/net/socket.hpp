@@ -89,9 +89,20 @@ class TcpStream {
 /// start/stop cycles in tests never hit "address already in use".
 class TcpListener {
  public:
+  struct Options {
+    int backlog = 128;
+    /// Sets SO_REUSEPORT before bind so several listeners (one per reactor
+    /// shard) can share one port and let the kernel spread accepts across
+    /// them. Every listener on the port must set it, including the first.
+    bool reuse_port = false;
+  };
+
   /// Binds and listens on loopback:port (port 0 picks an ephemeral port)
   /// with the given accept backlog; throws std::runtime_error on failure.
   explicit TcpListener(std::uint16_t port, int backlog = 128);
+
+  /// Same, with the full option set (reuse-port sharding).
+  TcpListener(std::uint16_t port, const Options& options);
 
   /// The actually bound port (useful with port 0).
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }

@@ -69,8 +69,12 @@ std::uint32_t ModelStore::swap(std::shared_ptr<const ml::Regressor> regressor,
   {
     std::lock_guard<std::mutex> lock(mutex_);
     next->version = next_version_++;
-    current_ = std::move(next);
-    version = current_->version;
+    version = next->version;
+    // RCU publish: the complete snapshot first, then the version gate the
+    // scoring hot path polls — a reader that observes the new version is
+    // guaranteed to load the new snapshot (or a newer one).
+    current_.store(std::move(next), std::memory_order_release);
+    version_.store(version, std::memory_order_release);
   }
   StoreMetrics& metrics = StoreMetrics::get();
   metrics.hot_swaps.add(1);
@@ -90,13 +94,7 @@ std::uint32_t ModelStore::load_file(const std::string& path,
 }
 
 std::shared_ptr<const ScoringModel> ModelStore::current() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return current_;
-}
-
-std::uint32_t ModelStore::version() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return current_ ? current_->version : 0;
+  return current_.load(std::memory_order_acquire);
 }
 
 void ModelStore::watch_file(const std::string& path,

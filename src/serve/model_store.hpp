@@ -1,14 +1,19 @@
 // Hot-swappable model storage for the prediction service.
 //
-// The store holds one immutable ScoringModel snapshot behind a
-// shared_ptr; readers (scoring tasks on the thread pool) take a reference
-// under the lock and then score lock-free against a model that can never
-// change or half-load underneath them. Swapping in a new model — via the
-// API or the watched-file poll — builds and validates the complete
-// replacement first and only then publishes it, so sessions always see
-// either the old or the new model, never a torn state.
+// The store holds one immutable ScoringModel snapshot behind an atomic
+// shared_ptr (RCU-style: writers copy-and-publish, readers only ever see
+// a complete snapshot). The steady-state read path is version(), a single
+// acquire load of an atomic counter — scoring tasks across every reactor
+// shard gate on it and call current() only when the version actually
+// moved, so a hot swap never stalls scoring and scoring never delays a
+// swap. Swapping in a new model — via the API or the watched-file poll —
+// builds and validates the complete replacement first and only then
+// publishes it, so sessions always see either the old or the new model,
+// never a torn state; the writer-side mutex serializes swappers and the
+// watch bookkeeping only, never readers.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -48,11 +53,15 @@ class ModelStore {
   std::uint32_t load_file(const std::string& path,
                           std::vector<std::size_t> selected_columns = {});
 
-  /// The active model, or nullptr when none was ever published.
+  /// The active model, or nullptr when none was ever published. Lock-free
+  /// with respect to swappers: an atomic shared_ptr load.
   [[nodiscard]] std::shared_ptr<const ScoringModel> current() const;
 
-  /// Version of the active model (0 = none).
-  [[nodiscard]] std::uint32_t version() const;
+  /// Version of the active model (0 = none). One atomic acquire load —
+  /// the per-batch steady-state check on every scoring path.
+  [[nodiscard]] std::uint32_t version() const noexcept {
+    return version_.load(std::memory_order_acquire);
+  }
 
   /// Registers `path` for mtime-based reload; poll_watch() re-loads it
   /// whenever the file changes. Writers should replace the file
@@ -69,8 +78,13 @@ class ModelStore {
   bool poll_watch();
 
  private:
+  /// Serializes writers (swap, watch bookkeeping); readers never take it.
   mutable std::mutex mutex_;
-  std::shared_ptr<const ScoringModel> current_;
+  /// RCU publication point: complete snapshots only, never torn.
+  std::atomic<std::shared_ptr<const ScoringModel>> current_;
+  /// Published after current_ (release) so a reader that observes the new
+  /// version is guaranteed to load the new (or an even newer) snapshot.
+  std::atomic<std::uint32_t> version_{0};
   std::uint32_t next_version_ = 1;
 
   std::string watch_path_;

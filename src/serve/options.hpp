@@ -1,0 +1,90 @@
+// Shared parameter/stat types of the prediction service, split out so the
+// shard implementation (serve/shard.hpp) and the orchestrating service
+// (serve/service.hpp) can both see them without a cycle.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/online.hpp"
+#include "data/aggregation.hpp"
+#include "net/poller.hpp"
+
+namespace f2pm::serve {
+
+/// Service parameterization.
+struct ServiceOptions {
+  std::uint16_t port = 0;  ///< 0 = ephemeral (read back via port()).
+  net::Poller::Backend backend = net::Poller::default_backend();
+
+  /// Reactor shard count: each shard runs its own event loop, session
+  /// registry and scoring pool so the steady-state path never crosses a
+  /// shard boundary. 0 = one shard per hardware thread; 1 (the default)
+  /// reproduces the single-reactor service exactly.
+  std::size_t shards = 1;
+
+  /// How connections reach their shard when shards > 1 (single-shard
+  /// services always accept directly, whatever this says).
+  enum class AcceptMode {
+    /// Every shard binds its own SO_REUSEPORT listener on the one agreed
+    /// port; the kernel spreads connections by 4-tuple hash. Zero
+    /// cross-shard work on accept.
+    kReusePort,
+    /// Shard 0 owns the only listener and hands accepted fds to shards
+    /// round-robin — deterministic placement for tests, and the fallback
+    /// for kernels without working SO_REUSEPORT balancing.
+    kHandoff,
+  };
+  AcceptMode accept_mode = AcceptMode::kReusePort;
+
+  std::size_t max_sessions = 256;  ///< Admission control: excess connects
+                                   ///< are closed immediately (enforced
+                                   ///< service-wide across shards).
+  /// Hard cap on one session's unsent reply bytes; a client that stops
+  /// reading its predictions is evicted once it is exceeded.
+  std::size_t max_outbound_bytes = 4u << 20;
+  /// Backpressure bound on one session's unscored datapoints: reading
+  /// from the client pauses above this and resumes at half of it.
+  std::size_t max_pending_datapoints = 4096;
+
+  double idle_timeout_seconds = 0.0;   ///< 0 disables idle eviction.
+  double drain_timeout_seconds = 5.0;  ///< stop(): max time to flush.
+  double model_poll_seconds = 1.0;     ///< Watched-file check cadence.
+
+  /// Prometheus scrape endpoint: -1 disables it, 0 binds an ephemeral
+  /// port (read back via metrics_port()), >0 binds that port. Served from
+  /// shard 0's event loop — GET /metrics (any request, actually) returns
+  /// the global obs registry as text exposition.
+  int metrics_port = -1;
+
+  /// Scoring workers across the whole service; each shard gets its own
+  /// pool of max(1, scoring_threads / shards) so scoring dispatch never
+  /// contends across shards. 0 = hardware concurrency.
+  std::size_t scoring_threads = 0;
+
+  /// Streaming aggregation layout; must match what the served models were
+  /// trained on.
+  data::AggregationOptions aggregation;
+  core::AdvisorOptions advisor;  ///< Per-session rejuvenation policy.
+};
+
+/// Monotonic service counters. stats() aggregates a consistent-enough
+/// snapshot across shards (each field is a sum of per-shard relaxed
+/// atomics); shard_stats() exposes the per-shard views.
+struct ServiceStats {
+  std::size_t sessions_active = 0;
+  std::uint64_t sessions_accepted = 0;
+  std::uint64_t sessions_rejected = 0;  ///< Turned away at max_sessions.
+  std::uint64_t sessions_evicted = 0;   ///< Protocol/backpressure/idle.
+  std::uint64_t datapoints_received = 0;
+  std::uint64_t predictions_sent = 0;
+  std::uint64_t protocol_errors = 0;
+  /// Disconnect taxonomy: how sessions ended. A bounced or faulty client
+  /// shows up as truncated/reset, never as a protocol error.
+  std::uint64_t disconnects_clean = 0;      ///< Bye / clean EOF completion.
+  std::uint64_t disconnects_truncated = 0;  ///< EOF in the middle of a frame.
+  std::uint64_t disconnects_reset = 0;      ///< Socket error, hangup or RST.
+  std::uint32_t model_version = 0;  ///< Active ModelStore version.
+};
+
+}  // namespace f2pm::serve

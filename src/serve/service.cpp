@@ -1,745 +1,123 @@
 #include "serve/service.hpp"
 
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <array>
-#include <cerrno>
+#include <stdexcept>
+#include <thread>
 #include <utility>
-
-#include "obs/exposition.hpp"
-#include "obs/metrics.hpp"
-#include "util/logging.hpp"
 
 namespace f2pm::serve {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-int to_millis_clamped(double seconds) {
-  return static_cast<int>(std::max(1.0, seconds * 1000.0));
+std::size_t resolve_shards(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
-void make_nonblocking(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+std::size_t resolve_scoring_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
-
-/// Cached handles into the global obs registry; mirrors ServiceStats so a
-/// scrape sees the same numbers stats() reports.
-struct ServeMetrics {
-  obs::Gauge& sessions_active;
-  obs::Counter& sessions_accepted;
-  obs::Counter& sessions_rejected;
-  obs::Counter& sessions_evicted;
-  obs::Gauge& inbox_depth;
-  obs::Counter& datapoints;
-  obs::Counter& predictions;
-  obs::Counter& outbound_bytes;
-  obs::Counter& disconnects_clean;
-  obs::Counter& disconnects_truncated;
-  obs::Counter& disconnects_reset;
-  obs::Histogram& batch_seconds;
-
-  static ServeMetrics& get() {
-    auto& registry = obs::Registry::global();
-    static ServeMetrics metrics{
-        registry.gauge("f2pm_serve_sessions_active",
-                       "Currently connected prediction sessions."),
-        registry.counter("f2pm_serve_sessions_accepted_total",
-                         "Connections admitted."),
-        registry.counter("f2pm_serve_sessions_rejected_total",
-                         "Connections turned away at max_sessions."),
-        registry.counter("f2pm_serve_sessions_evicted_total",
-                         "Sessions dropped for protocol violations, "
-                         "backpressure or idle timeout."),
-        registry.gauge("f2pm_serve_inbox_depth",
-                       "Datapoints queued for scoring across all sessions."),
-        registry.counter("f2pm_serve_datapoints_received_total",
-                         "Datapoint frames ingested."),
-        registry.counter("f2pm_serve_predictions_sent_total",
-                         "Prediction frames queued to clients."),
-        registry.counter("f2pm_serve_outbound_bytes_total",
-                         "Reply bytes written to client sockets."),
-        registry.counter("f2pm_serve_disconnects_total",
-                         "Session transport endings by kind.",
-                         "kind=\"clean\""),
-        registry.counter("f2pm_serve_disconnects_total",
-                         "Session transport endings by kind.",
-                         "kind=\"truncated\""),
-        registry.counter("f2pm_serve_disconnects_total",
-                         "Session transport endings by kind.",
-                         "kind=\"reset\""),
-        registry.histogram(
-            "f2pm_serve_scoring_batch_seconds",
-            "Wall-clock time scoring one session inbox batch.",
-            obs::Histogram::default_latency_bounds())};
-    return metrics;
-  }
-};
 
 }  // namespace
 
 PredictionService::PredictionService(ServiceOptions options,
                                      std::shared_ptr<ModelStore> store)
-    : options_(std::move(options)),
-      store_(std::move(store)),
-      listener_(options_.port),
-      poller_(options_.backend),
-      registry_(options_.max_sessions) {
+    : options_(std::move(options)), store_(std::move(store)) {
   if (!store_) {
     throw std::invalid_argument("PredictionService: null ModelStore");
   }
-  int pipe_fds[2] = {-1, -1};
-  if (::pipe(pipe_fds) != 0) {
-    throw std::runtime_error("PredictionService: pipe failed");
+  const std::size_t shard_count = resolve_shards(options_.shards);
+  // Each shard gets its own pool so scoring dispatch never contends
+  // across shards; the service-wide thread budget is split evenly.
+  const std::size_t scoring_total =
+      resolve_scoring_threads(options_.scoring_threads);
+  const std::size_t per_shard_scoring =
+      std::max<std::size_t>(1, scoring_total / shard_count);
+
+  const bool reuse_port =
+      shard_count > 1 &&
+      options_.accept_mode == ServiceOptions::AcceptMode::kReusePort;
+
+  // Client-facing listeners. The first bind settles the port (ephemeral
+  // port 0 included) before any shard starts, so port() is always the
+  // one true answer; the remaining shards bind that exact port.
+  std::vector<std::unique_ptr<net::TcpListener>> listeners(shard_count);
+  net::TcpListener::Options listen_options;
+  listen_options.reuse_port = reuse_port;
+  listeners[0] =
+      std::make_unique<net::TcpListener>(options_.port, listen_options);
+  port_ = listeners[0]->port();
+  if (reuse_port) {
+    for (std::size_t i = 1; i < shard_count; ++i) {
+      listeners[i] = std::make_unique<net::TcpListener>(port_, listen_options);
+    }
   }
-  wake_rx_ = net::Socket(pipe_fds[0]);
-  wake_tx_ = net::Socket(pipe_fds[1]);
-  make_nonblocking(wake_rx_.fd());
-  make_nonblocking(wake_tx_.fd());
+  // kHandoff (or single shard): only shard 0 listens; it round-robins
+  // accepted fds over the shards when there is more than one.
 
-  listener_.set_nonblocking(true);
-  poller_.add(listener_.fd(), /*want_read=*/true, /*want_write=*/false);
-  poller_.add(wake_rx_.fd(), /*want_read=*/true, /*want_write=*/false);
-
+  std::unique_ptr<net::TcpListener> metrics_listener;
   if (options_.metrics_port >= 0) {
-    metrics_listener_ = std::make_unique<net::TcpListener>(
+    metrics_listener = std::make_unique<net::TcpListener>(
         static_cast<std::uint16_t>(options_.metrics_port));
-    metrics_listener_->set_nonblocking(true);
-    poller_.add(metrics_listener_->fd(), /*want_read=*/true,
-                /*want_write=*/false);
   }
 
-  pool_ = std::make_unique<parallel::ThreadPool>(options_.scoring_threads);
-  last_model_poll_ = Clock::now();
-  thread_ = std::thread([this] { run_loop(); });
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<ServiceShard>(
+        i, options_, *store_, admission_, std::move(listeners[i]),
+        i == 0 ? std::move(metrics_listener) : nullptr, per_shard_scoring));
+  }
+  if (!reuse_port && shard_count > 1) {
+    std::vector<ServiceShard*> peers;
+    peers.reserve(shard_count);
+    for (const auto& shard : shards_) peers.push_back(shard.get());
+    shards_.front()->set_handoff_peers(std::move(peers));
+  }
+  for (const auto& shard : shards_) shard->start();
 }
 
 PredictionService::~PredictionService() { stop(); }
 
-void PredictionService::stop() {
-  stopping_.store(true);
-  wake();
-  if (thread_.joinable()) thread_.join();
-}
-
-void PredictionService::wake() {
-  if (!wake_tx_.valid()) return;
-  const char byte = 1;
-  [[maybe_unused]] const ssize_t n = ::write(wake_tx_.fd(), &byte, 1);
-}
-
-void PredictionService::note_disconnect(DisconnectKind kind) {
-  ServeMetrics& metrics = ServeMetrics::get();
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  switch (kind) {
-    case DisconnectKind::kClean:
-      ++stats_.disconnects_clean;
-      metrics.disconnects_clean.add(1);
-      break;
-    case DisconnectKind::kTruncated:
-      ++stats_.disconnects_truncated;
-      metrics.disconnects_truncated.add(1);
-      break;
-    case DisconnectKind::kReset:
-      ++stats_.disconnects_reset;
-      metrics.disconnects_reset.add(1);
-      break;
-  }
-}
-
 ServiceStats PredictionService::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  ServiceStats snapshot = stats_;
-  snapshot.model_version = store_->version();
-  return snapshot;
+  ServiceStats total;
+  for (const auto& shard : shards_) {
+    const ServiceStats s = shard->snapshot();
+    total.sessions_active += s.sessions_active;
+    total.sessions_accepted += s.sessions_accepted;
+    total.sessions_rejected += s.sessions_rejected;
+    total.sessions_evicted += s.sessions_evicted;
+    total.datapoints_received += s.datapoints_received;
+    total.predictions_sent += s.predictions_sent;
+    total.protocol_errors += s.protocol_errors;
+    total.disconnects_clean += s.disconnects_clean;
+    total.disconnects_truncated += s.disconnects_truncated;
+    total.disconnects_reset += s.disconnects_reset;
+  }
+  total.model_version = store_->version();
+  return total;
 }
 
-void PredictionService::run_loop() {
-  while (true) {
-    const Clock::time_point now = Clock::now();
-
-    if (stopping_.load() && !drain_started_) {
-      drain_started_ = true;
-      drain_deadline_ =
-          now + std::chrono::duration_cast<Clock::duration>(
-                    std::chrono::duration<double>(
-                        options_.drain_timeout_seconds));
-      poller_.remove(listener_.fd());
-      shutdown_metrics_endpoint();
-      // Existing sessions flush their queued work, then close.
-      std::vector<int> fds;
-      fds.reserve(registry_.size());
-      for (const auto& [fd, session] : registry_.sessions()) {
-        session->draining = true;
-        fds.push_back(fd);
-      }
-      for (int fd : fds) {
-        if (auto session = registry_.find(fd)) finish_if_drained(session);
-      }
-    }
-
-    if (drain_started_) {
-      if (registry_.size() == 0) break;
-      if (now >= drain_deadline_) {
-        std::vector<int> fds;
-        fds.reserve(registry_.size());
-        for (const auto& [fd, session] : registry_.sessions()) {
-          fds.push_back(fd);
-        }
-        for (int fd : fds) {
-          if (auto session = registry_.find(fd)) {
-            close_session(session, /*evicted=*/true, "drain deadline");
-          }
-        }
-        break;
-      }
-    }
-
-    // Wait granularity: fine-grained while draining, the model-watch /
-    // idle-scan cadence otherwise, forever when there is nothing timed.
-    int timeout_ms = -1;
-    if (drain_started_) {
-      timeout_ms = 10;
-    } else if (store_->has_watch()) {
-      timeout_ms = to_millis_clamped(options_.model_poll_seconds);
-    }
-    if (!drain_started_ && options_.idle_timeout_seconds > 0.0) {
-      const int idle_ms =
-          to_millis_clamped(options_.idle_timeout_seconds / 4.0);
-      timeout_ms = timeout_ms < 0 ? idle_ms : std::min(timeout_ms, idle_ms);
-    }
-
-    for (const net::Poller::Event& event : poller_.wait(timeout_ms)) {
-      if (event.fd == wake_rx_.fd()) {
-        std::array<char, 256> sink;
-        while (::read(wake_rx_.fd(), sink.data(), sink.size()) > 0) {
-        }
-        continue;
-      }
-      if (event.fd == listener_.fd()) {
-        handle_accept();
-        continue;
-      }
-      if (metrics_listener_ && event.fd == metrics_listener_->fd()) {
-        handle_metrics_accept();
-        continue;
-      }
-      if (metrics_conns_.count(event.fd) != 0) {
-        handle_metrics_event(event.fd, event);
-        continue;
-      }
-      auto session = registry_.find(event.fd);
-      if (!session) continue;
-      if (event.error) {
-        note_disconnect(DisconnectKind::kReset);
-        close_session(session, /*evicted=*/true, "socket error/hangup");
-        continue;
-      }
-      if (event.writable) handle_writable(session);
-      if (session->closed) continue;
-      if (event.readable) handle_readable(session);
-    }
-
-    drain_completions();
-
-    if (store_->has_watch() && !drain_started_) {
-      const Clock::time_point poll_now = Clock::now();
-      if (std::chrono::duration<double>(poll_now - last_model_poll_).count() >=
-          options_.model_poll_seconds) {
-        last_model_poll_ = poll_now;
-        if (store_->poll_watch()) {
-          F2PM_LOG(kInfo, "serve")
-              << "hot-swapped model to version " << store_->version();
-        }
-      }
-    }
-
-    if (options_.idle_timeout_seconds > 0.0 && !drain_started_) {
-      evict_idle_sessions();
-    }
+std::vector<ServiceStats> PredictionService::shard_stats() const {
+  std::vector<ServiceStats> all;
+  all.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ServiceStats s = shard->snapshot();
+    s.model_version = store_->version();
+    all.push_back(s);
   }
-
-  // Loop exited: close anything left (normally nothing). Queued scoring
-  // tasks still hold their session shared_ptrs; their late completions
-  // are dropped because every session is marked closed.
-  std::vector<int> fds;
-  for (const auto& [fd, session] : registry_.sessions()) fds.push_back(fd);
-  for (int fd : fds) {
-    if (auto session = registry_.find(fd)) {
-      close_session(session, /*evicted=*/true, "service stopped");
-    }
-  }
+  return all;
 }
 
-void PredictionService::handle_accept() {
-  while (auto accepted = listener_.try_accept()) {
-    if (!registry_.can_admit()) {
-      ServeMetrics::get().sessions_rejected.add(1);
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.sessions_rejected;
-      continue;  // `accepted` goes out of scope and closes.
-    }
-    accepted->set_nonblocking(true);
-    const int one = 1;
-    ::setsockopt(accepted->fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    auto session = registry_.add(std::move(*accepted), options_.advisor);
-    poller_.add(session->stream.fd(), /*want_read=*/true,
-                /*want_write=*/false);
-    ServeMetrics& metrics = ServeMetrics::get();
-    metrics.sessions_accepted.add(1);
-    metrics.sessions_active.set(static_cast<double>(registry_.size()));
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.sessions_accepted;
-    stats_.sessions_active = registry_.size();
-  }
-}
-
-bool PredictionService::process_buffered_frames(
-    const std::shared_ptr<Session>& session) {
-  while (!session->read_paused && !session->closed) {
-    auto frame = session->decoder.next();  // may throw ProtocolError
-    if (!frame) break;
-    if (!handle_frame(session, std::move(*frame))) return false;
-  }
-  return !session->closed;
-}
-
-void PredictionService::handle_readable(
-    const std::shared_ptr<Session>& session) {
-  std::array<char, 16384> chunk;
-  try {
-    // Frames left buffered by a backpressure pause parse first.
-    if (!process_buffered_frames(session)) return;
-    while (!session->closed && !session->read_paused) {
-      std::size_t got = 0;
-      const net::IoResult io =
-          session->stream.recv_some(chunk.data(), chunk.size(), got);
-      if (io == net::IoResult::kWouldBlock) break;
-      if (io == net::IoResult::kEof) {
-        if (session->decoder.mid_frame()) {
-          // EOF in the middle of a frame: the peer died or was cut off,
-          // not a protocol bug — account it as a truncated disconnect.
-          note_disconnect(DisconnectKind::kTruncated);
-          close_session(session, /*evicted=*/true,
-                        "connection closed mid-frame (truncated)");
-          return;
-        }
-        // Clean EOF (often just a half-close after Bye): stop reading but
-        // keep flushing — in-flight scoring results and queued predictions
-        // still belong to the client. If it really went away, the flush
-        // fails and the write path closes the session.
-        session->peer_eof = true;
-        session->draining = true;
-        poller_.modify(session->stream.fd(), /*want_read=*/false,
-                       session->want_write);
-        finish_if_drained(session);
-        return;
-      }
-      session->decoder.feed(chunk.data(), got);
-      session->last_activity = Clock::now();
-      if (!process_buffered_frames(session)) return;
-    }
-  } catch (const net::ProtocolError& e) {
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.protocol_errors;
-    }
-    close_session(session, /*evicted=*/true,
-                  std::string("protocol violation: ") + e.what());
-  } catch (const std::exception& e) {
-    note_disconnect(DisconnectKind::kReset);
-    close_session(session, /*evicted=*/true,
-                  std::string("read error: ") + e.what());
-  }
-}
-
-bool PredictionService::handle_frame(const std::shared_ptr<Session>& session,
-                                     net::Frame frame) {
-  if (auto* datapoint = std::get_if<data::RawDatapoint>(&frame)) {
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.datapoints_received;
-    }
-    ServeMetrics& metrics = ServeMetrics::get();
-    metrics.datapoints.add(1);
-    metrics.inbox_depth.add(1.0);
-    ++session->datapoints;
-    session->inbox.push_back(InboxItem{false, *datapoint});
-    if (session->inbox.size() >= options_.max_pending_datapoints &&
-        !session->read_paused) {
-      // Backpressure: this client is far ahead of scoring; stop reading
-      // until the inbox drains (resumed in drain_completions()).
-      session->read_paused = true;
-      poller_.modify(session->stream.fd(), /*want_read=*/false,
-                     session->want_write);
-    }
-    dispatch_scoring(session);
-    return true;
-  }
-  if (std::get_if<net::FailEvent>(&frame) != nullptr) {
-    ServeMetrics::get().inbox_depth.add(1.0);
-    session->inbox.push_back(InboxItem{true, {}});
-    dispatch_scoring(session);
-    return true;
-  }
-  if (auto* hello = std::get_if<net::Hello>(&frame)) {
-    if (hello->version > net::kProtocolVersion) {
-      {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.protocol_errors;
-      }
-      close_session(session, /*evicted=*/true,
-                    "unsupported protocol version " +
-                        std::to_string(hello->version));
-      return false;
-    }
-    session->client_id = hello->client_id;
-    session->hello_received.store(true);
-    return true;
-  }
-  if (std::get_if<net::Bye>(&frame) != nullptr) {
-    session->draining = true;
-    finish_if_drained(session);
-    return !session->closed;
-  }
-  if (std::get_if<net::StatsRequest>(&frame) != nullptr) {
-    // In-band metrics dump: the same text the HTTP scrape endpoint
-    // serves, framed as a StatsReply.
-    net::StatsReply reply;
-    reply.text = obs::render_prometheus(obs::Registry::global());
-    if (reply.text.size() > net::kMaxStatsBytes) {
-      reply.text.resize(net::kMaxStatsBytes);
-    }
-    std::vector<std::uint8_t> bytes;
-    net::FrameEncoder::encode_stats_reply(bytes, reply);
-    queue_reply(session, bytes);
-    return !session->closed;
-  }
-  // Clients must not send server-to-client frames (Prediction,
-  // StatsReply); treat it as a violation.
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.protocol_errors;
-  }
-  close_session(session, /*evicted=*/true, "unexpected server-side frame");
-  return false;
-}
-
-void PredictionService::dispatch_scoring(
-    const std::shared_ptr<Session>& session) {
-  if (session->in_flight || session->inbox.empty()) return;
-  session->in_flight = true;
-  std::vector<InboxItem> batch = std::move(session->inbox);
-  session->inbox.clear();
-  ServeMetrics::get().inbox_depth.sub(static_cast<double>(batch.size()));
-  pool_->submit([this, session, batch = std::move(batch)]() mutable {
-    score_batch(session, std::move(batch));
-  });
-}
-
-void PredictionService::score_batch(const std::shared_ptr<Session>& session,
-                                    std::vector<InboxItem> batch) {
-  Completion completion;
-  completion.session = session;
-  obs::ScopedTimer batch_timer(ServeMetrics::get().batch_seconds);
-  try {
-    const std::shared_ptr<const ScoringModel> model = store_->current();
-    if (model && session->model_version != model->version) {
-      // Hot swap (or first model): rebuild the streaming state against
-      // the new immutable snapshot. Window state restarts; a swap can
-      // never mix two models within one prediction.
-      session->predictor = std::make_unique<core::OnlinePredictor>(
-          model->regressor, options_.aggregation, model->selected_columns);
-      session->advisor.reset();
-      session->model_version = model->version;
-    }
-    const auto emit = [&](const core::OnlinePrediction& prediction) {
-      const bool alarm = session->advisor.update(prediction);
-      net::Prediction reply;
-      reply.window_end = prediction.window_end;
-      reply.rttf = prediction.rttf;
-      reply.alarm = alarm;
-      reply.model_version = session->model_version;
-      net::FrameEncoder::encode_prediction(completion.reply_bytes, reply);
-      ++completion.predictions;
-    };
-    for (const InboxItem& item : batch) {
-      if (item.reset) {
-        if (session->predictor) session->predictor->reset();
-        session->advisor.reset();
-        continue;
-      }
-      // No model yet, or an ingest-only (hello-less legacy) client: the
-      // datapoint is consumed without scoring.
-      if (!session->predictor) continue;
-      if (!session->hello_received.load()) continue;
-      if (item.flush) {
-        // End of stream: the open window would otherwise be dropped even
-        // when it already has enough samples for a prediction.
-        if (auto prediction = session->predictor->flush()) emit(*prediction);
-        continue;
-      }
-      std::optional<core::OnlinePrediction> prediction;
-      try {
-        prediction = session->predictor->observe(item.point);
-      } catch (const std::invalid_argument&) {
-        // Out-of-order tgen without a fail event (client restarted its
-        // stream): treat as an implicit run boundary.
-        session->predictor->reset();
-        session->advisor.reset();
-        prediction = session->predictor->observe(item.point);
-      }
-      if (prediction) emit(*prediction);
-    }
-  } catch (const std::exception& e) {
-    F2PM_LOG(kWarn, "serve") << "scoring batch failed: " << e.what();
-  }
-  {
-    std::lock_guard<std::mutex> lock(completions_mutex_);
-    completions_.push_back(std::move(completion));
-  }
-  wake();
-}
-
-void PredictionService::drain_completions() {
-  std::vector<Completion> done;
-  {
-    std::lock_guard<std::mutex> lock(completions_mutex_);
-    done.swap(completions_);
-  }
-  for (Completion& completion : done) {
-    const std::shared_ptr<Session>& session = completion.session;
-    session->in_flight = false;
-    if (session->closed) continue;
-    if (completion.predictions > 0) {
-      session->predictions += completion.predictions;
-      ServeMetrics::get().predictions.add(completion.predictions);
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      stats_.predictions_sent += completion.predictions;
-    }
-    if (!completion.reply_bytes.empty()) {
-      queue_reply(session, completion.reply_bytes);
-      if (session->closed) continue;
-    }
-    if (!session->inbox.empty()) {
-      dispatch_scoring(session);
-    }
-    if (session->read_paused && !session->peer_eof &&
-        session->inbox.size() < options_.max_pending_datapoints / 2) {
-      session->read_paused = false;
-      poller_.modify(session->stream.fd(), /*want_read=*/true,
-                     session->want_write);
-      // Frames buffered while paused (and any new bytes) parse now.
-      handle_readable(session);
-      if (session->closed) continue;
-    }
-    finish_if_drained(session);
-  }
-}
-
-void PredictionService::queue_reply(const std::shared_ptr<Session>& session,
-                                    const std::vector<std::uint8_t>& bytes) {
-  session->outbound.insert(session->outbound.end(), bytes.begin(),
-                           bytes.end());
-  if (session->outbound_pending() > options_.max_outbound_bytes) {
-    close_session(session, /*evicted=*/true,
-                  "outbound backlog exceeded (client not reading)");
-    return;
-  }
-  handle_writable(session);  // opportunistic flush before arming EPOLLOUT
-}
-
-void PredictionService::handle_writable(
-    const std::shared_ptr<Session>& session) {
-  try {
-    while (session->outbound_pending() > 0) {
-      std::size_t sent = 0;
-      const net::IoResult io = session->stream.send_some(
-          session->outbound.data() + session->outbound_pos,
-          session->outbound_pending(), sent);
-      if (io == net::IoResult::kWouldBlock) break;
-      session->outbound_pos += sent;
-      ServeMetrics::get().outbound_bytes.add(sent);
-    }
-  } catch (const std::exception& e) {
-    note_disconnect(DisconnectKind::kReset);
-    close_session(session, /*evicted=*/true,
-                  std::string("write error: ") + e.what());
-    return;
-  }
-  if (session->outbound_pos == session->outbound.size()) {
-    session->outbound.clear();
-    session->outbound_pos = 0;
-  } else if (session->outbound_pos >= 65536) {
-    session->outbound.erase(
-        session->outbound.begin(),
-        session->outbound.begin() +
-            static_cast<std::ptrdiff_t>(session->outbound_pos));
-    session->outbound_pos = 0;
-  }
-  update_write_interest(session);
-  finish_if_drained(session);
-}
-
-void PredictionService::update_write_interest(
-    const std::shared_ptr<Session>& session) {
-  const bool want_write = session->outbound_pending() > 0;
-  if (want_write == session->want_write) return;
-  session->want_write = want_write;
-  const bool want_read = !session->read_paused && !session->peer_eof;
-  poller_.modify(session->stream.fd(), want_read, want_write);
-}
-
-void PredictionService::finish_if_drained(
-    const std::shared_ptr<Session>& session) {
-  if (!session->draining || session->closed) return;
-  if (session->in_flight || !session->inbox.empty()) return;
-  if (!session->flush_enqueued) {
-    session->flush_enqueued = true;
-    if (session->hello_received.load()) {
-      // Last chance for the open aggregation window: queue the flush
-      // marker so the scoring task emits a final best-effort prediction
-      // before the connection closes.
-      InboxItem item;
-      item.flush = true;
-      session->inbox.push_back(std::move(item));
-      ServeMetrics::get().inbox_depth.add(1.0);
-      dispatch_scoring(session);
-      return;
-    }
-  }
-  if (session->outbound_pending() > 0) return;
-  close_session(session, /*evicted=*/false, "session complete");
-}
-
-void PredictionService::close_session(const std::shared_ptr<Session>& session,
-                                      bool evicted,
-                                      const std::string& reason) {
-  if (session->closed) return;
-  session->closed = true;
-  if (!evicted) note_disconnect(DisconnectKind::kClean);
-  if (!session->inbox.empty()) {
-    ServeMetrics::get().inbox_depth.sub(
-        static_cast<double>(session->inbox.size()));
-    session->inbox.clear();
-  }
-  poller_.remove(session->stream.fd());
-  registry_.erase(session->stream.fd());
-  session->stream.close();
-  if (evicted) {
-    F2PM_LOG(kInfo, "serve") << "evicting session '" << session->client_id
-                             << "': " << reason;
-  }
-  ServeMetrics& metrics = ServeMetrics::get();
-  metrics.sessions_active.set(static_cast<double>(registry_.size()));
-  if (evicted) metrics.sessions_evicted.add(1);
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  stats_.sessions_active = registry_.size();
-  if (evicted) ++stats_.sessions_evicted;
-}
-
-void PredictionService::handle_metrics_accept() {
-  while (auto accepted = metrics_listener_->try_accept()) {
-    accepted->set_nonblocking(true);
-    const int fd = accepted->fd();
-    metrics_conns_.emplace(fd, MetricsConn(std::move(*accepted)));
-    poller_.add(fd, /*want_read=*/true, /*want_write=*/false);
-  }
-}
-
-void PredictionService::handle_metrics_event(int fd,
-                                             const net::Poller::Event& event) {
-  auto it = metrics_conns_.find(fd);
-  if (it == metrics_conns_.end()) return;
-  MetricsConn& conn = it->second;
-  try {
-    if (event.error) {
-      close_metrics_conn(fd);
-      return;
-    }
-    if (event.readable && conn.response.empty()) {
-      std::array<char, 4096> chunk;
-      bool request_complete = false;
-      while (true) {
-        std::size_t got = 0;
-        const net::IoResult io =
-            conn.stream.recv_some(chunk.data(), chunk.size(), got);
-        if (io == net::IoResult::kWouldBlock) break;
-        if (io == net::IoResult::kEof) {
-          request_complete = true;
-          break;
-        }
-        conn.request.append(chunk.data(), got);
-        if (conn.request.size() > 16384) {
-          close_metrics_conn(fd);
-          return;
-        }
-        if (conn.request.find("\r\n\r\n") != std::string::npos ||
-            conn.request.find("\n\n") != std::string::npos) {
-          request_complete = true;
-          break;
-        }
-      }
-      if (request_complete) {
-        conn.response =
-            obs::http_response(obs::render_prometheus(obs::Registry::global()));
-        poller_.modify(fd, /*want_read=*/false, /*want_write=*/true);
-      }
-    }
-    if (!conn.response.empty()) {
-      while (conn.sent < conn.response.size()) {
-        std::size_t sent = 0;
-        const net::IoResult io = conn.stream.send_some(
-            conn.response.data() + conn.sent, conn.response.size() - conn.sent,
-            sent);
-        if (io == net::IoResult::kWouldBlock) return;
-        conn.sent += sent;
-      }
-      close_metrics_conn(fd);
-    }
-  } catch (const std::exception&) {
-    close_metrics_conn(fd);
-  }
-}
-
-void PredictionService::close_metrics_conn(int fd) {
-  auto it = metrics_conns_.find(fd);
-  if (it == metrics_conns_.end()) return;
-  poller_.remove(fd);
-  it->second.stream.close();
-  metrics_conns_.erase(it);
-}
-
-void PredictionService::shutdown_metrics_endpoint() {
-  if (metrics_listener_) {
-    poller_.remove(metrics_listener_->fd());
-    metrics_listener_.reset();
-  }
-  std::vector<int> fds;
-  fds.reserve(metrics_conns_.size());
-  for (const auto& [fd, conn] : metrics_conns_) fds.push_back(fd);
-  for (int fd : fds) close_metrics_conn(fd);
-}
-
-void PredictionService::evict_idle_sessions() {
-  const Clock::time_point now = Clock::now();
-  std::vector<int> idle;
-  for (const auto& [fd, session] : registry_.sessions()) {
-    const double idle_seconds =
-        std::chrono::duration<double>(now - session->last_activity).count();
-    if (idle_seconds > options_.idle_timeout_seconds) idle.push_back(fd);
-  }
-  for (int fd : idle) {
-    if (auto session = registry_.find(fd)) {
-      close_session(session, /*evicted=*/true, "idle timeout");
-    }
-  }
+void PredictionService::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  // Two-phase so every shard drains concurrently: the whole service
+  // flushes within one drain_timeout_seconds, not shards × timeout.
+  for (const auto& shard : shards_) shard->request_stop();
+  for (const auto& shard : shards_) shard->join();
 }
 
 }  // namespace f2pm::serve

@@ -1,199 +1,89 @@
 // f2pm_serve: a multi-session RTTF prediction service (the deployable
 // form of the paper's Feature Monitor Server + online predictor).
 //
-// Architecture: one event-loop thread drives an epoll (poll-fallback)
-// readiness loop over non-blocking TCP sessions. Frame parsing is the
-// byte-incremental net::FrameDecoder shared with the legacy blocking
-// path. Scoring is offloaded to a parallel::ThreadPool: each session's
-// datapoints queue in an inbox and are scored in order by at most one
-// task at a time against an immutable ModelStore snapshot, so model
-// hot-swaps can never expose a half-loaded model. Completed predictions
-// come back to the loop through a mutex-protected completion queue plus a
-// self-pipe wakeup and are flushed through per-connection outbound
-// queues.
+// Architecture: N independent reactor shards (serve/shard.hpp), each a
+// complete event loop owning a disjoint slice of the session space —
+// its own Poller, SessionRegistry, inbox backpressure, idle eviction and
+// scoring ThreadPool. The steady-state accept→decode→aggregate→score→
+// reply path is entirely shard-local; the only cross-shard state is
+// lock-free (the admission counter, the ModelStore's RCU version gate
+// and the sharded-atomic obs metrics). With shards = 1 (the default)
+// the service behaves exactly like the historical single-reactor build.
 //
-// Operational guards: max-session admission control, bounded per-session
-// inbox (reads pause while a client is too far ahead of scoring), a hard
-// cap on the outbound queue (clients that stop reading their predictions
-// are evicted), idle timeouts, eviction of protocol-violating clients
-// without disturbing others, and a graceful drain on stop() that keeps
-// flushing queued predictions until a deadline.
+// Connection placement: with AcceptMode::kReusePort every shard binds
+// its own SO_REUSEPORT listener on one agreed port and the kernel
+// spreads connections; with kHandoff shard 0 owns the only listener and
+// round-robins accepted fds over the shards (deterministic placement).
+//
+// Operational guards: service-wide max-session admission, bounded
+// per-session inboxes, outbound-queue caps, idle timeouts, per-shard
+// eviction of protocol violators, and a graceful drain on stop() that
+// flushes every open aggregation window on every shard.
 #pragma once
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <string>
-#include <thread>
-#include <unordered_map>
 #include <vector>
 
-#include "core/online.hpp"
-#include "data/aggregation.hpp"
-#include "net/poller.hpp"
-#include "net/socket.hpp"
-#include "parallel/thread_pool.hpp"
 #include "serve/model_store.hpp"
-#include "serve/session.hpp"
+#include "serve/options.hpp"
+#include "serve/shard.hpp"
 
 namespace f2pm::serve {
 
-/// Service parameterization.
-struct ServiceOptions {
-  std::uint16_t port = 0;  ///< 0 = ephemeral (read back via port()).
-  net::Poller::Backend backend = net::Poller::default_backend();
-
-  std::size_t max_sessions = 256;  ///< Admission control: excess connects
-                                   ///< are closed immediately.
-  /// Hard cap on one session's unsent reply bytes; a client that stops
-  /// reading its predictions is evicted once it is exceeded.
-  std::size_t max_outbound_bytes = 4u << 20;
-  /// Backpressure bound on one session's unscored datapoints: reading
-  /// from the client pauses above this and resumes at half of it.
-  std::size_t max_pending_datapoints = 4096;
-
-  double idle_timeout_seconds = 0.0;   ///< 0 disables idle eviction.
-  double drain_timeout_seconds = 5.0;  ///< stop(): max time to flush.
-  double model_poll_seconds = 1.0;     ///< Watched-file check cadence.
-
-  /// Prometheus scrape endpoint: -1 disables it, 0 binds an ephemeral
-  /// port (read back via metrics_port()), >0 binds that port. Served from
-  /// the same event loop — GET /metrics (any request, actually) returns
-  /// the global obs registry as text exposition.
-  int metrics_port = -1;
-
-  std::size_t scoring_threads = 0;  ///< 0 = hardware concurrency.
-
-  /// Streaming aggregation layout; must match what the served models were
-  /// trained on.
-  data::AggregationOptions aggregation;
-  core::AdvisorOptions advisor;  ///< Per-session rejuvenation policy.
-};
-
-/// Monotonic service counters (a consistent snapshot under one lock).
-struct ServiceStats {
-  std::size_t sessions_active = 0;
-  std::uint64_t sessions_accepted = 0;
-  std::uint64_t sessions_rejected = 0;  ///< Turned away at max_sessions.
-  std::uint64_t sessions_evicted = 0;   ///< Protocol/backpressure/idle.
-  std::uint64_t datapoints_received = 0;
-  std::uint64_t predictions_sent = 0;
-  std::uint64_t protocol_errors = 0;
-  /// Disconnect taxonomy: how sessions ended. A bounced or faulty client
-  /// shows up as truncated/reset, never as a protocol error.
-  std::uint64_t disconnects_clean = 0;      ///< Bye / clean EOF completion.
-  std::uint64_t disconnects_truncated = 0;  ///< EOF in the middle of a frame.
-  std::uint64_t disconnects_reset = 0;      ///< Socket error, hangup or RST.
-  std::uint32_t model_version = 0;  ///< Active ModelStore version.
-};
-
-/// Multi-session epoll-based RTTF prediction server.
+/// Multi-reactor (sharded) RTTF prediction server.
 class PredictionService {
  public:
-  /// Binds the port and starts the event loop + scoring pool. The store
-  /// may start empty (sessions are ingest-only until a model is swapped
-  /// in). Throws std::runtime_error when the port cannot be bound.
+  /// Binds the listeners and starts every shard's event loop + scoring
+  /// pool. The store may start empty (sessions are ingest-only until a
+  /// model is swapped in). Throws std::runtime_error when the port
+  /// cannot be bound (including when SO_REUSEPORT is unavailable and
+  /// shards > 1 with AcceptMode::kReusePort).
   PredictionService(ServiceOptions options, std::shared_ptr<ModelStore> store);
   PredictionService(const PredictionService&) = delete;
   PredictionService& operator=(const PredictionService&) = delete;
   ~PredictionService();
 
-  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+  /// The one client-facing port every shard listener agreed on. Correct
+  /// before start: with port 0 the first listener's ephemeral pick is
+  /// read back and all remaining shards bind that exact port.
+  [[nodiscard]] std::uint16_t port() const { return port_; }
 
-  /// Bound metrics port, or 0 when the endpoint is disabled.
+  /// Bound metrics port, or 0 when the endpoint is disabled. Served from
+  /// shard 0's loop.
   [[nodiscard]] std::uint16_t metrics_port() const {
-    return metrics_listener_ ? metrics_listener_->port() : 0;
+    return shards_.empty() ? 0 : shards_.front()->metrics_port();
   }
 
   [[nodiscard]] ModelStore& model_store() { return *store_; }
 
+  /// Number of reactor shards actually running (>= 1).
+  [[nodiscard]] std::size_t shards() const { return shards_.size(); }
+
+  /// Cross-shard aggregate: each counter is the sum of the per-shard
+  /// relaxed atomics (monotonic, but not a single-instant snapshot).
   [[nodiscard]] ServiceStats stats() const;
 
-  /// Graceful shutdown: stop accepting, drain scoring inboxes and flush
-  /// outbound predictions (up to drain_timeout_seconds), close all
-  /// sessions, then join the loop and the scoring pool. Idempotent.
+  /// Per-shard counter snapshots, indexed by shard.
+  [[nodiscard]] std::vector<ServiceStats> shard_stats() const;
+
+  /// Graceful shutdown: every shard stops accepting, drains its scoring
+  /// inboxes and flushes outbound predictions (up to
+  /// drain_timeout_seconds, concurrently across shards), closes its
+  /// sessions, then the loops and scoring pools are joined. Idempotent.
   void stop();
 
  private:
-  struct Completion {
-    std::shared_ptr<Session> session;
-    std::vector<std::uint8_t> reply_bytes;  ///< Encoded Prediction frames.
-    std::size_t predictions = 0;
-  };
-
-  /// One plain-HTTP scrape connection on the metrics port. Request bytes
-  /// are read until a blank line (or EOF), then the exposition is written
-  /// and the connection closed — enough HTTP for curl and Prometheus.
-  struct MetricsConn {
-    explicit MetricsConn(net::TcpStream stream_in)
-        : stream(std::move(stream_in)) {}
-    net::TcpStream stream;
-    std::string request;
-    std::string response;  ///< Non-empty once the reply is being sent.
-    std::size_t sent = 0;
-  };
-
-  /// How a session's transport ended (see ServiceStats).
-  enum class DisconnectKind { kClean, kTruncated, kReset };
-
-  void note_disconnect(DisconnectKind kind);
-  void run_loop();
-  void wake();
-  void handle_accept();
-  void handle_readable(const std::shared_ptr<Session>& session);
-  bool process_buffered_frames(const std::shared_ptr<Session>& session);
-  void handle_writable(const std::shared_ptr<Session>& session);
-  bool handle_frame(const std::shared_ptr<Session>& session,
-                    net::Frame frame);
-  void dispatch_scoring(const std::shared_ptr<Session>& session);
-  void score_batch(const std::shared_ptr<Session>& session,
-                   std::vector<InboxItem> batch);
-  void drain_completions();
-  void queue_reply(const std::shared_ptr<Session>& session,
-                   const std::vector<std::uint8_t>& bytes);
-  void update_write_interest(const std::shared_ptr<Session>& session);
-  void finish_if_drained(const std::shared_ptr<Session>& session);
-  void close_session(const std::shared_ptr<Session>& session, bool evicted,
-                     const std::string& reason);
-  void evict_idle_sessions();
-  void handle_metrics_accept();
-  void handle_metrics_event(int fd, const net::Poller::Event& event);
-  void close_metrics_conn(int fd);
-  void shutdown_metrics_endpoint();
-
   ServiceOptions options_;
   std::shared_ptr<ModelStore> store_;
+  std::uint16_t port_ = 0;
 
-  net::TcpListener listener_;
-  net::Socket wake_rx_;
-  net::Socket wake_tx_;
+  /// Service-wide active-session count, CAS-reserved on accept.
+  std::atomic<std::size_t> admission_{0};
 
-  // Metrics endpoint (loop thread only past construction).
-  std::unique_ptr<net::TcpListener> metrics_listener_;
-  std::unordered_map<int, MetricsConn> metrics_conns_;
-
-  mutable std::mutex stats_mutex_;
-  ServiceStats stats_;
-
-  std::mutex completions_mutex_;
-  std::vector<Completion> completions_;
-
-  std::atomic<bool> stopping_{false};
-  bool drain_started_ = false;
-  std::chrono::steady_clock::time_point drain_deadline_{};
-  std::chrono::steady_clock::time_point last_model_poll_{};
-
-  // Loop-thread state (constructed before the thread starts).
-  net::Poller poller_;
-  SessionRegistry registry_;
-
-  // Declared last so they are destroyed first: the pool join must happen
-  // while the completion queue and store are still alive, and the loop
-  // thread join before that.
-  std::unique_ptr<parallel::ThreadPool> pool_;
-  std::thread thread_;
+  std::vector<std::unique_ptr<ServiceShard>> shards_;
+  bool stopped_ = false;
 };
 
 }  // namespace f2pm::serve

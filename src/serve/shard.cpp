@@ -1,0 +1,811 @@
+#include "serve/shard.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <utility>
+
+#include "obs/exposition.hpp"
+#include "util/logging.hpp"
+
+namespace f2pm::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int to_millis_clamped(double seconds) {
+  return static_cast<int>(std::max(1.0, seconds * 1000.0));
+}
+
+void make_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+std::string shard_label(std::size_t index) {
+  return "shard=\"" + std::to_string(index) + "\"";
+}
+
+}  // namespace
+
+ServiceShard::Metrics::Metrics(std::size_t shard_index)
+    : sessions_active(obs::Registry::global().gauge(
+          "f2pm_serve_sessions_active",
+          "Currently connected prediction sessions.",
+          shard_label(shard_index))),
+      sessions_accepted(obs::Registry::global().counter(
+          "f2pm_serve_sessions_accepted_total", "Connections admitted.",
+          shard_label(shard_index))),
+      sessions_rejected(obs::Registry::global().counter(
+          "f2pm_serve_sessions_rejected_total",
+          "Connections turned away at max_sessions.",
+          shard_label(shard_index))),
+      sessions_evicted(obs::Registry::global().counter(
+          "f2pm_serve_sessions_evicted_total",
+          "Sessions dropped for protocol violations, backpressure or idle "
+          "timeout.",
+          shard_label(shard_index))),
+      inbox_depth(obs::Registry::global().gauge(
+          "f2pm_serve_inbox_depth",
+          "Datapoints queued for scoring across the shard's sessions.",
+          shard_label(shard_index))),
+      datapoints(obs::Registry::global().counter(
+          "f2pm_serve_datapoints_received_total",
+          "Datapoint frames ingested.", shard_label(shard_index))),
+      predictions(obs::Registry::global().counter(
+          "f2pm_serve_predictions_sent_total",
+          "Prediction frames queued to clients.", shard_label(shard_index))),
+      outbound_bytes(obs::Registry::global().counter(
+          "f2pm_serve_outbound_bytes_total",
+          "Reply bytes written to client sockets.",
+          shard_label(shard_index))),
+      disconnects_clean(obs::Registry::global().counter(
+          "f2pm_serve_disconnects_total",
+          "Session transport endings by kind.",
+          "kind=\"clean\"," + shard_label(shard_index))),
+      disconnects_truncated(obs::Registry::global().counter(
+          "f2pm_serve_disconnects_total",
+          "Session transport endings by kind.",
+          "kind=\"truncated\"," + shard_label(shard_index))),
+      disconnects_reset(obs::Registry::global().counter(
+          "f2pm_serve_disconnects_total",
+          "Session transport endings by kind.",
+          "kind=\"reset\"," + shard_label(shard_index))),
+      batch_seconds(obs::Registry::global().histogram(
+          "f2pm_serve_scoring_batch_seconds",
+          "Wall-clock time scoring one session inbox batch.",
+          obs::Histogram::default_latency_bounds(),
+          shard_label(shard_index))) {}
+
+ServiceShard::ServiceShard(std::size_t index, const ServiceOptions& options,
+                           ModelStore& store,
+                           std::atomic<std::size_t>& admission,
+                           std::unique_ptr<net::TcpListener> listener,
+                           std::unique_ptr<net::TcpListener> metrics_listener,
+                           std::size_t scoring_threads)
+    : index_(index),
+      options_(options),
+      store_(store),
+      admission_(admission),
+      scoring_threads_(scoring_threads),
+      listener_(std::move(listener)),
+      metrics_listener_(std::move(metrics_listener)),
+      metrics_(index),
+      poller_(options.backend),
+      registry_(options.max_sessions) {
+  poller_.add(wake_.fd(), /*want_read=*/true, /*want_write=*/false);
+  if (listener_) {
+    listener_->set_nonblocking(true);
+    poller_.add(listener_->fd(), /*want_read=*/true, /*want_write=*/false);
+  }
+  if (metrics_listener_) {
+    metrics_listener_->set_nonblocking(true);
+    poller_.add(metrics_listener_->fd(), /*want_read=*/true,
+                /*want_write=*/false);
+  }
+}
+
+ServiceShard::~ServiceShard() {
+  request_stop();
+  join();
+}
+
+void ServiceShard::set_handoff_peers(std::vector<ServiceShard*> peers) {
+  peers_ = std::move(peers);
+}
+
+void ServiceShard::start() {
+  pool_ = std::make_unique<parallel::ThreadPool>(scoring_threads_);
+  last_model_poll_ = Clock::now();
+  thread_ = std::thread([this] { run_loop(); });
+}
+
+void ServiceShard::request_stop() {
+  stopping_.store(true);
+  wake_.notify();
+}
+
+void ServiceShard::join() {
+  if (thread_.joinable()) thread_.join();
+  pool_.reset();
+}
+
+void ServiceShard::adopt_admitted(net::TcpStream stream) {
+  {
+    std::lock_guard<std::mutex> lock(adopted_mutex_);
+    adopted_.push_back(std::move(stream));
+  }
+  adopted_pending_.store(true, std::memory_order_release);
+  wake_.notify();
+}
+
+ServiceStats ServiceShard::snapshot() const {
+  ServiceStats stats;
+  stats.sessions_active =
+      counters_.sessions_active.load(std::memory_order_relaxed);
+  stats.sessions_accepted =
+      counters_.sessions_accepted.load(std::memory_order_relaxed);
+  stats.sessions_rejected =
+      counters_.sessions_rejected.load(std::memory_order_relaxed);
+  stats.sessions_evicted =
+      counters_.sessions_evicted.load(std::memory_order_relaxed);
+  stats.datapoints_received =
+      counters_.datapoints_received.load(std::memory_order_relaxed);
+  stats.predictions_sent =
+      counters_.predictions_sent.load(std::memory_order_relaxed);
+  stats.protocol_errors =
+      counters_.protocol_errors.load(std::memory_order_relaxed);
+  stats.disconnects_clean =
+      counters_.disconnects_clean.load(std::memory_order_relaxed);
+  stats.disconnects_truncated =
+      counters_.disconnects_truncated.load(std::memory_order_relaxed);
+  stats.disconnects_reset =
+      counters_.disconnects_reset.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ServiceShard::note_disconnect(DisconnectKind kind) {
+  switch (kind) {
+    case DisconnectKind::kClean:
+      counters_.disconnects_clean.fetch_add(1, std::memory_order_relaxed);
+      metrics_.disconnects_clean.add(1);
+      break;
+    case DisconnectKind::kTruncated:
+      counters_.disconnects_truncated.fetch_add(1, std::memory_order_relaxed);
+      metrics_.disconnects_truncated.add(1);
+      break;
+    case DisconnectKind::kReset:
+      counters_.disconnects_reset.fetch_add(1, std::memory_order_relaxed);
+      metrics_.disconnects_reset.add(1);
+      break;
+  }
+}
+
+bool ServiceShard::try_admit() {
+  std::size_t active = admission_.load(std::memory_order_relaxed);
+  while (active < options_.max_sessions) {
+    if (admission_.compare_exchange_weak(active, active + 1,
+                                         std::memory_order_acq_rel)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ServiceShard::release_admission() {
+  admission_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void ServiceShard::run_loop() {
+  while (true) {
+    const Clock::time_point now = Clock::now();
+
+    if (stopping_.load() && !drain_started_) {
+      drain_started_ = true;
+      drain_deadline_ =
+          now + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(
+                        options_.drain_timeout_seconds));
+      if (listener_) poller_.remove(listener_->fd());
+      shutdown_metrics_endpoint();
+      // Connections handed off but not yet registered close unserved;
+      // their admission slots must still be released.
+      drain_adopted();
+      // Existing sessions flush their queued work, then close.
+      std::vector<int> fds;
+      fds.reserve(registry_.size());
+      for (const auto& [fd, session] : registry_.sessions()) {
+        session->draining = true;
+        fds.push_back(fd);
+      }
+      for (int fd : fds) {
+        if (auto session = registry_.find(fd)) finish_if_drained(session);
+      }
+    }
+
+    if (drain_started_) {
+      if (registry_.size() == 0) break;
+      if (now >= drain_deadline_) {
+        std::vector<int> fds;
+        fds.reserve(registry_.size());
+        for (const auto& [fd, session] : registry_.sessions()) {
+          fds.push_back(fd);
+        }
+        for (int fd : fds) {
+          if (auto session = registry_.find(fd)) {
+            close_session(session, /*evicted=*/true, "drain deadline");
+          }
+        }
+        break;
+      }
+    }
+
+    // Wait granularity: fine-grained while draining, the model-watch /
+    // idle-scan cadence otherwise, forever when there is nothing timed —
+    // control messages arrive through the wakeup fd, never the timeout.
+    int timeout_ms = -1;
+    if (drain_started_) {
+      timeout_ms = 10;
+    } else if (index_ == 0 && store_.has_watch()) {
+      timeout_ms = to_millis_clamped(options_.model_poll_seconds);
+    }
+    if (!drain_started_ && options_.idle_timeout_seconds > 0.0) {
+      const int idle_ms =
+          to_millis_clamped(options_.idle_timeout_seconds / 4.0);
+      timeout_ms = timeout_ms < 0 ? idle_ms : std::min(timeout_ms, idle_ms);
+    }
+
+    for (const net::Poller::Event& event : poller_.wait(timeout_ms)) {
+      if (event.fd == wake_.fd()) {
+        wake_.drain();
+        continue;
+      }
+      if (listener_ && event.fd == listener_->fd()) {
+        handle_accept();
+        continue;
+      }
+      if (metrics_listener_ && event.fd == metrics_listener_->fd()) {
+        handle_metrics_accept();
+        continue;
+      }
+      if (metrics_conns_.count(event.fd) != 0) {
+        handle_metrics_event(event.fd, event);
+        continue;
+      }
+      auto session = registry_.find(event.fd);
+      if (!session) continue;
+      if (event.error) {
+        note_disconnect(DisconnectKind::kReset);
+        close_session(session, /*evicted=*/true, "socket error/hangup");
+        continue;
+      }
+      if (event.writable) handle_writable(session);
+      if (session->closed) continue;
+      if (event.readable) handle_readable(session);
+    }
+
+    if (!drain_started_ &&
+        adopted_pending_.load(std::memory_order_acquire)) {
+      drain_adopted();
+    }
+
+    drain_completions();
+
+    if (index_ == 0 && store_.has_watch() && !drain_started_) {
+      const Clock::time_point poll_now = Clock::now();
+      if (std::chrono::duration<double>(poll_now - last_model_poll_).count() >=
+          options_.model_poll_seconds) {
+        last_model_poll_ = poll_now;
+        if (store_.poll_watch()) {
+          F2PM_LOG(kInfo, "serve")
+              << "hot-swapped model to version " << store_.version();
+        }
+      }
+    }
+
+    if (options_.idle_timeout_seconds > 0.0 && !drain_started_) {
+      evict_idle_sessions();
+    }
+  }
+
+  // Loop exited: close anything left (normally nothing). Queued scoring
+  // tasks still hold their session shared_ptrs; their late completions
+  // are dropped because every session is marked closed.
+  std::vector<int> fds;
+  for (const auto& [fd, session] : registry_.sessions()) fds.push_back(fd);
+  for (int fd : fds) {
+    if (auto session = registry_.find(fd)) {
+      close_session(session, /*evicted=*/true, "service stopped");
+    }
+  }
+}
+
+void ServiceShard::handle_accept() {
+  while (auto accepted = listener_->try_accept()) {
+    if (!try_admit()) {
+      metrics_.sessions_rejected.add(1);
+      counters_.sessions_rejected.fetch_add(1, std::memory_order_relaxed);
+      continue;  // `accepted` goes out of scope and closes.
+    }
+    if (!peers_.empty()) {
+      // kHandoff acceptor: deterministic round-robin placement. The
+      // admission slot just reserved travels with the stream.
+      ServiceShard* target = peers_[next_peer_];
+      next_peer_ = (next_peer_ + 1) % peers_.size();
+      if (target != this) {
+        target->adopt_admitted(std::move(*accepted));
+        continue;
+      }
+    }
+    register_session(std::move(*accepted));
+  }
+}
+
+void ServiceShard::drain_adopted() {
+  adopted_pending_.store(false, std::memory_order_release);
+  std::vector<net::TcpStream> adopted;
+  {
+    std::lock_guard<std::mutex> lock(adopted_mutex_);
+    adopted.swap(adopted_);
+  }
+  for (net::TcpStream& stream : adopted) {
+    if (drain_started_) {
+      // Stopping: the connection was admitted but never served.
+      release_admission();
+      continue;
+    }
+    register_session(std::move(stream));
+  }
+}
+
+void ServiceShard::register_session(net::TcpStream stream) {
+  stream.set_nonblocking(true);
+  const int one = 1;
+  ::setsockopt(stream.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  auto session = registry_.add(std::move(stream), options_.advisor);
+  poller_.add(session->stream.fd(), /*want_read=*/true,
+              /*want_write=*/false);
+  metrics_.sessions_accepted.add(1);
+  metrics_.sessions_active.set(static_cast<double>(registry_.size()));
+  counters_.sessions_accepted.fetch_add(1, std::memory_order_relaxed);
+  counters_.sessions_active.store(registry_.size(),
+                                  std::memory_order_relaxed);
+}
+
+bool ServiceShard::process_buffered_frames(
+    const std::shared_ptr<Session>& session) {
+  while (!session->read_paused && !session->closed) {
+    auto frame = session->decoder.next();  // may throw ProtocolError
+    if (!frame) break;
+    if (!handle_frame(session, std::move(*frame))) return false;
+  }
+  return !session->closed;
+}
+
+void ServiceShard::handle_readable(const std::shared_ptr<Session>& session) {
+  std::array<char, 16384> chunk;
+  try {
+    // Frames left buffered by a backpressure pause parse first.
+    if (!process_buffered_frames(session)) return;
+    while (!session->closed && !session->read_paused) {
+      std::size_t got = 0;
+      const net::IoResult io =
+          session->stream.recv_some(chunk.data(), chunk.size(), got);
+      if (io == net::IoResult::kWouldBlock) break;
+      if (io == net::IoResult::kEof) {
+        if (session->decoder.mid_frame()) {
+          // EOF in the middle of a frame: the peer died or was cut off,
+          // not a protocol bug — account it as a truncated disconnect.
+          note_disconnect(DisconnectKind::kTruncated);
+          close_session(session, /*evicted=*/true,
+                        "connection closed mid-frame (truncated)");
+          return;
+        }
+        // Clean EOF (often just a half-close after Bye): stop reading but
+        // keep flushing — in-flight scoring results and queued predictions
+        // still belong to the client. If it really went away, the flush
+        // fails and the write path closes the session.
+        session->peer_eof = true;
+        session->draining = true;
+        poller_.modify(session->stream.fd(), /*want_read=*/false,
+                       session->want_write);
+        finish_if_drained(session);
+        return;
+      }
+      session->decoder.feed(chunk.data(), got);
+      session->last_activity = Clock::now();
+      if (!process_buffered_frames(session)) return;
+    }
+  } catch (const net::ProtocolError& e) {
+    counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    close_session(session, /*evicted=*/true,
+                  std::string("protocol violation: ") + e.what());
+  } catch (const std::exception& e) {
+    note_disconnect(DisconnectKind::kReset);
+    close_session(session, /*evicted=*/true,
+                  std::string("read error: ") + e.what());
+  }
+}
+
+bool ServiceShard::handle_frame(const std::shared_ptr<Session>& session,
+                                net::Frame frame) {
+  if (auto* datapoint = std::get_if<data::RawDatapoint>(&frame)) {
+    counters_.datapoints_received.fetch_add(1, std::memory_order_relaxed);
+    metrics_.datapoints.add(1);
+    metrics_.inbox_depth.add(1.0);
+    ++session->datapoints;
+    session->inbox.push_back(InboxItem{false, *datapoint});
+    if (session->inbox.size() >= options_.max_pending_datapoints &&
+        !session->read_paused) {
+      // Backpressure: this client is far ahead of scoring; stop reading
+      // until the inbox drains (resumed in drain_completions()).
+      session->read_paused = true;
+      poller_.modify(session->stream.fd(), /*want_read=*/false,
+                     session->want_write);
+    }
+    dispatch_scoring(session);
+    return true;
+  }
+  if (std::get_if<net::FailEvent>(&frame) != nullptr) {
+    metrics_.inbox_depth.add(1.0);
+    session->inbox.push_back(InboxItem{true, {}});
+    dispatch_scoring(session);
+    return true;
+  }
+  if (auto* hello = std::get_if<net::Hello>(&frame)) {
+    if (hello->version > net::kProtocolVersion) {
+      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      close_session(session, /*evicted=*/true,
+                    "unsupported protocol version " +
+                        std::to_string(hello->version));
+      return false;
+    }
+    session->client_id = hello->client_id;
+    session->hello_received.store(true);
+    return true;
+  }
+  if (std::get_if<net::Bye>(&frame) != nullptr) {
+    session->draining = true;
+    finish_if_drained(session);
+    return !session->closed;
+  }
+  if (std::get_if<net::StatsRequest>(&frame) != nullptr) {
+    // In-band metrics dump: the same text the HTTP scrape endpoint
+    // serves, framed as a StatsReply.
+    net::StatsReply reply;
+    reply.text = obs::render_prometheus(obs::Registry::global());
+    if (reply.text.size() > net::kMaxStatsBytes) {
+      reply.text.resize(net::kMaxStatsBytes);
+    }
+    std::vector<std::uint8_t> bytes;
+    net::FrameEncoder::encode_stats_reply(bytes, reply);
+    queue_reply(session, bytes);
+    return !session->closed;
+  }
+  // Clients must not send server-to-client frames (Prediction,
+  // StatsReply); treat it as a violation.
+  counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+  close_session(session, /*evicted=*/true, "unexpected server-side frame");
+  return false;
+}
+
+void ServiceShard::dispatch_scoring(const std::shared_ptr<Session>& session) {
+  if (session->in_flight || session->inbox.empty()) return;
+  session->in_flight = true;
+  std::vector<InboxItem> batch = std::move(session->inbox);
+  session->inbox.clear();
+  metrics_.inbox_depth.sub(static_cast<double>(batch.size()));
+  pool_->submit([this, session, batch = std::move(batch)]() mutable {
+    score_batch(session, std::move(batch));
+  });
+}
+
+void ServiceShard::score_batch(const std::shared_ptr<Session>& session,
+                               std::vector<InboxItem> batch) {
+  Completion completion;
+  completion.session = session;
+  obs::ScopedTimer batch_timer(metrics_.batch_seconds);
+  try {
+    // Steady-state model check: one atomic load. Only an actual version
+    // move (hot swap, or the first model) pays for the RCU snapshot load
+    // and the predictor rebuild.
+    if (store_.version() != session->model_version) {
+      const std::shared_ptr<const ScoringModel> model = store_.current();
+      if (model && session->model_version != model->version) {
+        // Hot swap (or first model): rebuild the streaming state against
+        // the new immutable snapshot. Window state restarts; a swap can
+        // never mix two models within one prediction.
+        session->predictor = std::make_unique<core::OnlinePredictor>(
+            model->regressor, options_.aggregation, model->selected_columns);
+        session->advisor.reset();
+        session->model_version = model->version;
+      }
+    }
+    const auto emit = [&](const core::OnlinePrediction& prediction) {
+      const bool alarm = session->advisor.update(prediction);
+      net::Prediction reply;
+      reply.window_end = prediction.window_end;
+      reply.rttf = prediction.rttf;
+      reply.alarm = alarm;
+      reply.model_version = session->model_version;
+      net::FrameEncoder::encode_prediction(completion.reply_bytes, reply);
+      ++completion.predictions;
+    };
+    for (const InboxItem& item : batch) {
+      if (item.reset) {
+        if (session->predictor) session->predictor->reset();
+        session->advisor.reset();
+        continue;
+      }
+      // No model yet, or an ingest-only (hello-less legacy) client: the
+      // datapoint is consumed without scoring.
+      if (!session->predictor) continue;
+      if (!session->hello_received.load()) continue;
+      if (item.flush) {
+        // End of stream: the open window would otherwise be dropped even
+        // when it already has enough samples for a prediction.
+        if (auto prediction = session->predictor->flush()) emit(*prediction);
+        continue;
+      }
+      std::optional<core::OnlinePrediction> prediction;
+      try {
+        prediction = session->predictor->observe(item.point);
+      } catch (const std::invalid_argument&) {
+        // Out-of-order tgen without a fail event (client restarted its
+        // stream): treat as an implicit run boundary.
+        session->predictor->reset();
+        session->advisor.reset();
+        prediction = session->predictor->observe(item.point);
+      }
+      if (prediction) emit(*prediction);
+    }
+  } catch (const std::exception& e) {
+    F2PM_LOG(kWarn, "serve") << "scoring batch failed: " << e.what();
+  }
+  {
+    std::lock_guard<std::mutex> lock(completions_mutex_);
+    completions_.push_back(std::move(completion));
+  }
+  wake_.notify();
+}
+
+void ServiceShard::drain_completions() {
+  std::vector<Completion> done;
+  {
+    std::lock_guard<std::mutex> lock(completions_mutex_);
+    done.swap(completions_);
+  }
+  for (Completion& completion : done) {
+    const std::shared_ptr<Session>& session = completion.session;
+    session->in_flight = false;
+    if (session->closed) continue;
+    if (completion.predictions > 0) {
+      session->predictions += completion.predictions;
+      metrics_.predictions.add(completion.predictions);
+      counters_.predictions_sent.fetch_add(completion.predictions,
+                                           std::memory_order_relaxed);
+    }
+    if (!completion.reply_bytes.empty()) {
+      queue_reply(session, completion.reply_bytes);
+      if (session->closed) continue;
+    }
+    if (!session->inbox.empty()) {
+      dispatch_scoring(session);
+    }
+    if (session->read_paused && !session->peer_eof &&
+        session->inbox.size() < options_.max_pending_datapoints / 2) {
+      session->read_paused = false;
+      poller_.modify(session->stream.fd(), /*want_read=*/true,
+                     session->want_write);
+      // Frames buffered while paused (and any new bytes) parse now.
+      handle_readable(session);
+      if (session->closed) continue;
+    }
+    finish_if_drained(session);
+  }
+}
+
+void ServiceShard::queue_reply(const std::shared_ptr<Session>& session,
+                               const std::vector<std::uint8_t>& bytes) {
+  session->outbound.insert(session->outbound.end(), bytes.begin(),
+                           bytes.end());
+  if (session->outbound_pending() > options_.max_outbound_bytes) {
+    close_session(session, /*evicted=*/true,
+                  "outbound backlog exceeded (client not reading)");
+    return;
+  }
+  handle_writable(session);  // opportunistic flush before arming EPOLLOUT
+}
+
+void ServiceShard::handle_writable(const std::shared_ptr<Session>& session) {
+  try {
+    while (session->outbound_pending() > 0) {
+      std::size_t sent = 0;
+      const net::IoResult io = session->stream.send_some(
+          session->outbound.data() + session->outbound_pos,
+          session->outbound_pending(), sent);
+      if (io == net::IoResult::kWouldBlock) break;
+      session->outbound_pos += sent;
+      metrics_.outbound_bytes.add(sent);
+    }
+  } catch (const std::exception& e) {
+    note_disconnect(DisconnectKind::kReset);
+    close_session(session, /*evicted=*/true,
+                  std::string("write error: ") + e.what());
+    return;
+  }
+  if (session->outbound_pos == session->outbound.size()) {
+    session->outbound.clear();
+    session->outbound_pos = 0;
+  } else if (session->outbound_pos >= 65536) {
+    session->outbound.erase(
+        session->outbound.begin(),
+        session->outbound.begin() +
+            static_cast<std::ptrdiff_t>(session->outbound_pos));
+    session->outbound_pos = 0;
+  }
+  update_write_interest(session);
+  finish_if_drained(session);
+}
+
+void ServiceShard::update_write_interest(
+    const std::shared_ptr<Session>& session) {
+  const bool want_write = session->outbound_pending() > 0;
+  if (want_write == session->want_write) return;
+  session->want_write = want_write;
+  const bool want_read = !session->read_paused && !session->peer_eof;
+  poller_.modify(session->stream.fd(), want_read, want_write);
+}
+
+void ServiceShard::finish_if_drained(const std::shared_ptr<Session>& session) {
+  if (!session->draining || session->closed) return;
+  if (session->in_flight || !session->inbox.empty()) return;
+  if (!session->flush_enqueued) {
+    session->flush_enqueued = true;
+    if (session->hello_received.load()) {
+      // Last chance for the open aggregation window: queue the flush
+      // marker so the scoring task emits a final best-effort prediction
+      // before the connection closes.
+      InboxItem item;
+      item.flush = true;
+      session->inbox.push_back(std::move(item));
+      metrics_.inbox_depth.add(1.0);
+      dispatch_scoring(session);
+      return;
+    }
+  }
+  if (session->outbound_pending() > 0) return;
+  close_session(session, /*evicted=*/false, "session complete");
+}
+
+void ServiceShard::close_session(const std::shared_ptr<Session>& session,
+                                 bool evicted, const std::string& reason) {
+  if (session->closed) return;
+  session->closed = true;
+  if (!evicted) note_disconnect(DisconnectKind::kClean);
+  if (!session->inbox.empty()) {
+    metrics_.inbox_depth.sub(static_cast<double>(session->inbox.size()));
+    session->inbox.clear();
+  }
+  poller_.remove(session->stream.fd());
+  registry_.erase(session->stream.fd());
+  session->stream.close();
+  release_admission();
+  if (evicted) {
+    F2PM_LOG(kInfo, "serve") << "shard " << index_ << " evicting session '"
+                             << session->client_id << "': " << reason;
+  }
+  metrics_.sessions_active.set(static_cast<double>(registry_.size()));
+  if (evicted) {
+    metrics_.sessions_evicted.add(1);
+    counters_.sessions_evicted.fetch_add(1, std::memory_order_relaxed);
+  }
+  counters_.sessions_active.store(registry_.size(),
+                                  std::memory_order_relaxed);
+}
+
+void ServiceShard::handle_metrics_accept() {
+  while (auto accepted = metrics_listener_->try_accept()) {
+    accepted->set_nonblocking(true);
+    const int fd = accepted->fd();
+    metrics_conns_.emplace(fd, MetricsConn(std::move(*accepted)));
+    poller_.add(fd, /*want_read=*/true, /*want_write=*/false);
+  }
+}
+
+void ServiceShard::handle_metrics_event(int fd,
+                                        const net::Poller::Event& event) {
+  auto it = metrics_conns_.find(fd);
+  if (it == metrics_conns_.end()) return;
+  MetricsConn& conn = it->second;
+  try {
+    if (event.error) {
+      close_metrics_conn(fd);
+      return;
+    }
+    if (event.readable && conn.response.empty()) {
+      std::array<char, 4096> chunk;
+      bool request_complete = false;
+      while (true) {
+        std::size_t got = 0;
+        const net::IoResult io =
+            conn.stream.recv_some(chunk.data(), chunk.size(), got);
+        if (io == net::IoResult::kWouldBlock) break;
+        if (io == net::IoResult::kEof) {
+          request_complete = true;
+          break;
+        }
+        conn.request.append(chunk.data(), got);
+        if (conn.request.size() > 16384) {
+          close_metrics_conn(fd);
+          return;
+        }
+        if (conn.request.find("\r\n\r\n") != std::string::npos ||
+            conn.request.find("\n\n") != std::string::npos) {
+          request_complete = true;
+          break;
+        }
+      }
+      if (request_complete) {
+        conn.response =
+            obs::http_response(obs::render_prometheus(obs::Registry::global()));
+        poller_.modify(fd, /*want_read=*/false, /*want_write=*/true);
+      }
+    }
+    if (!conn.response.empty()) {
+      while (conn.sent < conn.response.size()) {
+        std::size_t sent = 0;
+        const net::IoResult io = conn.stream.send_some(
+            conn.response.data() + conn.sent, conn.response.size() - conn.sent,
+            sent);
+        if (io == net::IoResult::kWouldBlock) return;
+        conn.sent += sent;
+      }
+      close_metrics_conn(fd);
+    }
+  } catch (const std::exception&) {
+    close_metrics_conn(fd);
+  }
+}
+
+void ServiceShard::close_metrics_conn(int fd) {
+  auto it = metrics_conns_.find(fd);
+  if (it == metrics_conns_.end()) return;
+  poller_.remove(fd);
+  it->second.stream.close();
+  metrics_conns_.erase(it);
+}
+
+void ServiceShard::shutdown_metrics_endpoint() {
+  if (metrics_listener_) {
+    poller_.remove(metrics_listener_->fd());
+    metrics_listener_.reset();
+  }
+  std::vector<int> fds;
+  fds.reserve(metrics_conns_.size());
+  for (const auto& [fd, conn] : metrics_conns_) fds.push_back(fd);
+  for (int fd : fds) close_metrics_conn(fd);
+}
+
+void ServiceShard::evict_idle_sessions() {
+  const Clock::time_point now = Clock::now();
+  std::vector<int> idle;
+  for (const auto& [fd, session] : registry_.sessions()) {
+    const double idle_seconds =
+        std::chrono::duration<double>(now - session->last_activity).count();
+    if (idle_seconds > options_.idle_timeout_seconds) idle.push_back(fd);
+  }
+  for (int fd : idle) {
+    if (auto session = registry_.find(fd)) {
+      close_session(session, /*evicted=*/true, "idle timeout");
+    }
+  }
+}
+
+}  // namespace f2pm::serve

@@ -1,0 +1,210 @@
+// One reactor shard of the prediction service.
+//
+// A shard is a complete, self-contained serving reactor: its own event
+// loop (Poller + Wakeup), its own SessionRegistry slice, its own inbox
+// backpressure and idle eviction, and its own scoring ThreadPool with a
+// shard-local completion queue. The steady-state path — accept, decode,
+// aggregate, score, reply — touches only shard-local state plus three
+// lock-free globals: the admission counter (one atomic CAS per accept),
+// the ModelStore version gate (one atomic load per scoring batch) and the
+// sharded-atomic obs metrics. No mutex is ever shared between shards.
+//
+// Cross-thread control (stop, drain, fd hand-off in kHandoff accept mode)
+// goes through the Wakeup primitive, so a control message is acted on
+// immediately instead of waiting out the poll timeout.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/poller.hpp"
+#include "net/socket.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/thread_pool.hpp"
+#include "serve/model_store.hpp"
+#include "serve/options.hpp"
+#include "serve/session.hpp"
+
+namespace f2pm::serve {
+
+/// Per-shard counters: written by the owning shard's loop and pool threads
+/// with relaxed atomics, summed by PredictionService::stats().
+struct ShardCounters {
+  std::atomic<std::size_t> sessions_active{0};
+  std::atomic<std::uint64_t> sessions_accepted{0};
+  std::atomic<std::uint64_t> sessions_rejected{0};
+  std::atomic<std::uint64_t> sessions_evicted{0};
+  std::atomic<std::uint64_t> datapoints_received{0};
+  std::atomic<std::uint64_t> predictions_sent{0};
+  std::atomic<std::uint64_t> protocol_errors{0};
+  std::atomic<std::uint64_t> disconnects_clean{0};
+  std::atomic<std::uint64_t> disconnects_truncated{0};
+  std::atomic<std::uint64_t> disconnects_reset{0};
+};
+
+/// One event-loop shard. Constructed and owned by PredictionService; all
+/// public methods except the accessors are the cross-thread control
+/// surface (start/request_stop/join/adopt_admitted).
+class ServiceShard {
+ public:
+  /// `listener` may be null (non-acceptor shards in kHandoff mode);
+  /// `metrics_listener` is non-null on shard 0 only. `admission` is the
+  /// service-wide active-session counter shared by every shard.
+  ServiceShard(std::size_t index, const ServiceOptions& options,
+               ModelStore& store, std::atomic<std::size_t>& admission,
+               std::unique_ptr<net::TcpListener> listener,
+               std::unique_ptr<net::TcpListener> metrics_listener,
+               std::size_t scoring_threads);
+  ServiceShard(const ServiceShard&) = delete;
+  ServiceShard& operator=(const ServiceShard&) = delete;
+  ~ServiceShard();
+
+  /// kHandoff wiring: the acceptor shard round-robins fresh connections
+  /// across `peers` (which includes itself). Must be set before start().
+  void set_handoff_peers(std::vector<ServiceShard*> peers);
+
+  /// Spawns the loop thread and the scoring pool.
+  void start();
+
+  /// Signals stop+drain and wakes the loop immediately. Thread-safe.
+  void request_stop();
+
+  /// Joins the loop thread (the loop drains first, bounded by
+  /// drain_timeout_seconds) and then the scoring pool.
+  void join();
+
+  /// Receives an already-admitted connection from the acceptor shard
+  /// (kHandoff mode): enqueue + wake. The admission slot travels with the
+  /// stream and is released by this shard when the session closes.
+  void adopt_admitted(net::TcpStream stream);
+
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+  [[nodiscard]] std::uint16_t metrics_port() const noexcept {
+    return metrics_listener_ ? metrics_listener_->port() : 0;
+  }
+  [[nodiscard]] const ShardCounters& counters() const noexcept {
+    return counters_;
+  }
+  /// Snapshot of this shard's counters as a ServiceStats (model_version
+  /// left 0; the service fills it in).
+  [[nodiscard]] ServiceStats snapshot() const;
+
+ private:
+  /// Cached handles into the global obs registry, one set per shard label
+  /// so /metrics breaks every serve series down by shard.
+  struct Metrics {
+    explicit Metrics(std::size_t shard_index);
+    obs::Gauge& sessions_active;
+    obs::Counter& sessions_accepted;
+    obs::Counter& sessions_rejected;
+    obs::Counter& sessions_evicted;
+    obs::Gauge& inbox_depth;
+    obs::Counter& datapoints;
+    obs::Counter& predictions;
+    obs::Counter& outbound_bytes;
+    obs::Counter& disconnects_clean;
+    obs::Counter& disconnects_truncated;
+    obs::Counter& disconnects_reset;
+    obs::Histogram& batch_seconds;
+  };
+
+  struct Completion {
+    std::shared_ptr<Session> session;
+    std::vector<std::uint8_t> reply_bytes;  ///< Encoded Prediction frames.
+    std::size_t predictions = 0;
+  };
+
+  /// One plain-HTTP scrape connection on the metrics port (shard 0).
+  struct MetricsConn {
+    explicit MetricsConn(net::TcpStream stream_in)
+        : stream(std::move(stream_in)) {}
+    net::TcpStream stream;
+    std::string request;
+    std::string response;  ///< Non-empty once the reply is being sent.
+    std::size_t sent = 0;
+  };
+
+  /// How a session's transport ended (see ServiceStats).
+  enum class DisconnectKind { kClean, kTruncated, kReset };
+
+  void note_disconnect(DisconnectKind kind);
+  void run_loop();
+  /// Service-wide admission: CAS-reserves one active-session slot.
+  bool try_admit();
+  void release_admission();
+  void handle_accept();
+  void drain_adopted();
+  void register_session(net::TcpStream stream);
+  void handle_readable(const std::shared_ptr<Session>& session);
+  bool process_buffered_frames(const std::shared_ptr<Session>& session);
+  void handle_writable(const std::shared_ptr<Session>& session);
+  bool handle_frame(const std::shared_ptr<Session>& session,
+                    net::Frame frame);
+  void dispatch_scoring(const std::shared_ptr<Session>& session);
+  void score_batch(const std::shared_ptr<Session>& session,
+                   std::vector<InboxItem> batch);
+  void drain_completions();
+  void queue_reply(const std::shared_ptr<Session>& session,
+                   const std::vector<std::uint8_t>& bytes);
+  void update_write_interest(const std::shared_ptr<Session>& session);
+  void finish_if_drained(const std::shared_ptr<Session>& session);
+  void close_session(const std::shared_ptr<Session>& session, bool evicted,
+                     const std::string& reason);
+  void evict_idle_sessions();
+  void handle_metrics_accept();
+  void handle_metrics_event(int fd, const net::Poller::Event& event);
+  void close_metrics_conn(int fd);
+  void shutdown_metrics_endpoint();
+
+  const std::size_t index_;
+  const ServiceOptions& options_;  ///< Owned by the service, immutable.
+  ModelStore& store_;
+  std::atomic<std::size_t>& admission_;  ///< Service-wide active sessions.
+  std::size_t scoring_threads_;
+
+  std::unique_ptr<net::TcpListener> listener_;  ///< May be null (handoff).
+  net::Wakeup wake_;
+
+  // kHandoff accept: the acceptor round-robins over peers_; other shards
+  // receive admitted streams through the adopted_ queue. The mutex is
+  // touched on accept hand-off only, never on the steady-state path.
+  std::vector<ServiceShard*> peers_;
+  std::size_t next_peer_ = 0;
+  std::mutex adopted_mutex_;
+  std::vector<net::TcpStream> adopted_;
+  std::atomic<bool> adopted_pending_{false};
+
+  // Metrics endpoint (shard 0, loop thread only past construction).
+  std::unique_ptr<net::TcpListener> metrics_listener_;
+  std::unordered_map<int, MetricsConn> metrics_conns_;
+
+  ShardCounters counters_;
+  Metrics metrics_;
+
+  std::mutex completions_mutex_;
+  std::vector<Completion> completions_;
+
+  std::atomic<bool> stopping_{false};
+  bool drain_started_ = false;
+  std::chrono::steady_clock::time_point drain_deadline_{};
+  std::chrono::steady_clock::time_point last_model_poll_{};
+
+  // Loop-thread state (constructed before the thread starts).
+  net::Poller poller_;
+  SessionRegistry registry_;
+
+  // Declared last so they are destroyed first: the pool join must happen
+  // while the completion queue and store are still alive, and the loop
+  // thread join before that.
+  std::unique_ptr<parallel::ThreadPool> pool_;
+  std::thread thread_;
+};
+
+}  // namespace f2pm::serve

@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -53,11 +54,23 @@ inline std::shared_ptr<const ml::Regressor> constant_model(double value) {
 /// at floor(t/4)*4.
 inline constexpr double kChaosWindowSeconds = 4.0;
 
+/// Shard count for the chaos matrix: F2PM_CHAOS_SHARDS (default 1), so CI
+/// can run the same binaries against a sharded service without a rebuild.
+inline std::size_t chaos_shards() {
+  const char* env = std::getenv("F2PM_CHAOS_SHARDS");
+  if (env != nullptr && *env != '\0') {
+    const unsigned long value = std::strtoul(env, nullptr, 10);
+    if (value >= 1) return static_cast<std::size_t>(value);
+  }
+  return 1;
+}
+
 inline serve::ServiceOptions chaos_service_options() {
   serve::ServiceOptions options;
   options.aggregation.window_seconds = kChaosWindowSeconds;
   options.aggregation.min_samples_per_window = 2;
   options.scoring_threads = 2;
+  options.shards = chaos_shards();
   return options;
 }
 

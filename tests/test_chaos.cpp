@@ -10,6 +10,7 @@
 // and a failing seed reproduces locally with the same env var.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <memory>
@@ -240,6 +241,97 @@ TEST(ChaosAccounting, DisconnectKindsAreDistinguished) {
   EXPECT_EQ(stats.disconnects_truncated, 1u);
   EXPECT_EQ(stats.disconnects_reset, 1u);
   EXPECT_EQ(stats.sessions_active, 0u);
+}
+
+// The fault-storm soak against a sharded service: reconnecting clients
+// land on whichever shard the kernel (SO_REUSEPORT) picks, so a client's
+// replacement session routinely lives on a different shard than its
+// predecessor — the exactly-once/in-order contract must hold anyway
+// because recovery state (replay buffer, watermark) is client-side.
+// Forced to 2 shards even without F2PM_CHAOS_SHARDS so the cross-shard
+// reconnect path is always covered.
+TEST(ChaosSharded, FleetSurvivesFaultStormAcrossShards) {
+  constexpr std::size_t kClients = 8;
+  constexpr std::size_t kPoints = 80;
+  const std::size_t guaranteed = chaos::closed_windows(kPoints);
+
+  const std::uint64_t seed = chaos_base_seed();
+  auto store = std::make_shared<serve::ModelStore>();
+  store->swap(chaos::constant_model(1000.0));
+  serve::ServiceOptions options = chaos::chaos_service_options();
+  options.shards = std::max<std::size_t>(2, options.shards);
+  serve::PredictionService service(options, store);
+  ASSERT_GE(service.shards(), 2u);
+
+  std::size_t total_faults = 0;
+  {
+    net::ScopedFaultInjection injection(chaos::chaos_plan(seed ^ 0x5a5a));
+    const auto reports = chaos::run_chaos_fleet(
+        service.port(), kClients, kPoints, 1000.0, seed * 2000);
+    service.stop();
+    total_faults = injection.injector().total_injected();
+
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const chaos::ChaosClientReport& report = reports[i];
+      SCOPED_TRACE("client " + std::to_string(i) + " seed " +
+                   std::to_string(seed));
+      EXPECT_EQ(report.error, "");
+      EXPECT_EQ(report.sent, kPoints);
+      EXPECT_TRUE(report.monotonic);
+      EXPECT_TRUE(report.rttf_ok);
+      EXPECT_GE(report.received, guaranteed);
+      EXPECT_LE(report.received, guaranteed + 1);
+    }
+  }
+  EXPECT_GT(total_faults, 0u);
+
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.sessions_active, 0u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+// Bounce a sharded service (hard kill, restart on the same port, still
+// sharded): replay must rebuild the open window even though the
+// replacement session may land on any shard of the new instance.
+TEST(ChaosSharded, OpenWindowSurvivesShardedServerBounce) {
+  auto store = std::make_shared<serve::ModelStore>();
+  store->swap(chaos::constant_model(500.0));
+
+  serve::ServiceOptions hard_kill = chaos::chaos_service_options();
+  hard_kill.shards = std::max<std::size_t>(2, hard_kill.shards);
+  hard_kill.drain_timeout_seconds = 0.0;
+  auto service =
+      std::make_unique<serve::PredictionService>(hard_kill, store);
+  const std::uint16_t port = service->port();
+
+  net::FeatureMonitorClient client("127.0.0.1", port,
+                                   chaos::chaos_client_options(43));
+  client.hello("sharded-bounce-survivor");
+  for (int t = 0; t <= 9; ++t) client.send(chaos::sample_at(t));
+  for (int expected = 4; expected <= 8; expected += 4) {
+    auto prediction = client.wait_prediction();
+    ASSERT_TRUE(prediction.has_value());
+    EXPECT_DOUBLE_EQ(prediction->window_end, expected);
+  }
+
+  service->stop();
+  service.reset();
+  serve::ServiceOptions same_port = hard_kill;
+  same_port.port = port;
+  service = std::make_unique<serve::PredictionService>(same_port, store);
+
+  for (int t = 10; t <= 12; ++t) client.send(chaos::sample_at(t));
+  auto prediction = client.wait_prediction();
+  ASSERT_TRUE(prediction.has_value());
+  EXPECT_DOUBLE_EQ(prediction->window_end, 12.0);
+  EXPECT_NEAR(prediction->rttf, 500.0, 1e-6);
+  EXPECT_GE(client.reconnects(), 1u);
+
+  client.finish();
+  while (client.wait_prediction()) {
+  }
+  service->stop();
+  EXPECT_EQ(service->stats().sessions_active, 0u);
 }
 
 }  // namespace

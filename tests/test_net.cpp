@@ -250,6 +250,48 @@ TEST(PollerEintr, FiniteTimeoutStillExpiresUnderSignalStorm) {
   ASSERT_EQ(::sigaction(SIGUSR1, &previous, nullptr), 0);
 }
 
+// Wakeup: a cross-thread notify() must make a blocked Poller::wait()
+// return well before its timeout, and drain() must clear the readiness so
+// the next wait blocks again.
+TEST(Wakeup, NotifyInterruptsBlockedPollerWait) {
+  Poller poller;
+  Wakeup wake;
+  poller.add(wake.fd(), /*want_read=*/true, /*want_write=*/false);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::thread notifier([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    wake.notify();
+  });
+  const auto events = poller.wait(/*timeout_ms=*/5000);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  notifier.join();
+
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].fd, wake.fd());
+  EXPECT_TRUE(events[0].readable);
+  // Poll timeout was 5 s; the notify must have cut the wait short.
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 2.0);
+
+  // Coalescing + drain: any number of pending notifies clears in one
+  // drain, after which the fd is quiet.
+  wake.notify();
+  wake.notify();
+  wake.drain();
+  EXPECT_TRUE(poller.wait(/*timeout_ms=*/10).empty());
+}
+
+// notify() is safe to call many times without a drain in between (the
+// eventfd counter / pipe buffer must not fill up and block or error).
+TEST(Wakeup, RepeatedNotifyWithoutDrainIsNonBlocking) {
+  Wakeup wake;
+  for (int i = 0; i < 100000; ++i) wake.notify();
+  wake.drain();
+  Poller poller;
+  poller.add(wake.fd(), /*want_read=*/true, /*want_write=*/false);
+  EXPECT_TRUE(poller.wait(/*timeout_ms=*/10).empty());
+}
+
 TEST(FmcFms, AbruptDisconnectKeepsReceivedData) {
   FeatureMonitorServer fms;
   {

@@ -430,15 +430,16 @@ TEST(PredictionService, MetricsEndpointServesPrometheusScrape) {
   EXPECT_EQ(response.rfind("HTTP/1.0 200 OK\r\n", 0), 0u);
   EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
             std::string::npos);
-  // The one connected session shows in the gauge...
-  EXPECT_NE(response.find("\nf2pm_serve_sessions_active 1\n"),
+  // The one connected session shows in the (shard-labeled) gauge...
+  EXPECT_NE(response.find("\nf2pm_serve_sessions_active{shard=\"0\"} 1\n"),
             std::string::npos);
   // ...and scoring latencies landed in the histogram.
   const std::size_t count_at =
-      response.find("\nf2pm_serve_scoring_batch_seconds_count ");
+      response.find("\nf2pm_serve_scoring_batch_seconds_count{shard=\"0\"} ");
   ASSERT_NE(count_at, std::string::npos);
-  EXPECT_NE(response.find("f2pm_serve_scoring_batch_seconds_bucket{le=\""),
-            std::string::npos);
+  EXPECT_NE(
+      response.find("f2pm_serve_scoring_batch_seconds_bucket{shard=\"0\",le=\""),
+      std::string::npos);
 
   // Scrapes are cheap and repeatable: a second connection works too.
   EXPECT_EQ(scrape().rfind("HTTP/1.0 200 OK\r\n", 0), 0u);
@@ -555,6 +556,315 @@ TEST(PredictionService, WatchedFileHotSwap) {
   client.finish();
   service.stop();
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Multi-shard (multi-reactor) variants. kHandoff placement is round-robin
+// and therefore deterministic: with S shards and k*S sequential connects,
+// every shard serves exactly k sessions.
+// ---------------------------------------------------------------------------
+
+ServiceOptions sharded_options(std::size_t shards,
+                               ServiceOptions::AcceptMode mode) {
+  ServiceOptions options = fast_options();
+  options.shards = shards;
+  options.accept_mode = mode;
+  return options;
+}
+
+TEST(ShardedService, HandoffSpreadsSessionsDeterministically) {
+  auto store = std::make_shared<ModelStore>();
+  store->swap(constant_model(321.0));
+  PredictionService service(
+      sharded_options(4, ServiceOptions::AcceptMode::kHandoff), store);
+  ASSERT_EQ(service.shards(), 4u);
+
+  constexpr int kClients = 8;  // 2 per shard
+  std::vector<std::unique_ptr<net::FeatureMonitorClient>> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.push_back(std::make_unique<net::FeatureMonitorClient>(
+        "127.0.0.1", service.port()));
+    clients.back()->hello("spread-" + std::to_string(c));
+    // Wait for registration so the next connect round-robins after it.
+    ASSERT_TRUE(eventually([&] {
+      return service.stats().sessions_accepted ==
+             static_cast<std::uint64_t>(c) + 1;
+    }));
+  }
+  for (auto& client : clients) {
+    for (int i = 0; i <= 4; ++i) client->send(sample_at(i));
+    auto prediction = client->wait_prediction();
+    ASSERT_TRUE(prediction.has_value());
+    EXPECT_NEAR(prediction->rttf, 321.0, 1e-6);
+  }
+
+  const std::vector<ServiceStats> per_shard = service.shard_stats();
+  ASSERT_EQ(per_shard.size(), 4u);
+  for (const ServiceStats& s : per_shard) {
+    EXPECT_EQ(s.sessions_accepted, 2u);  // exact round-robin
+    EXPECT_GE(s.predictions_sent, 2u);
+  }
+  for (auto& client : clients) client->finish();
+  service.stop();
+  const ServiceStats total = service.stats();
+  EXPECT_EQ(total.sessions_accepted, 8u);
+  EXPECT_EQ(total.sessions_active, 0u);
+  EXPECT_EQ(total.protocol_errors, 0u);
+}
+
+TEST(ShardedService, ReusePortServesConcurrentClients) {
+  auto store = std::make_shared<ModelStore>();
+  store->swap(constant_model(654.0));
+  PredictionService service(
+      sharded_options(2, ServiceOptions::AcceptMode::kReusePort), store);
+  ASSERT_EQ(service.shards(), 2u);
+
+  constexpr int kClients = 12;
+  std::atomic<int> predictions_ok{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      net::FeatureMonitorClient client("127.0.0.1", service.port());
+      client.hello("reuse-" + std::to_string(c));
+      for (int i = 0; i <= 8; ++i) client.send(sample_at(i));
+      int received = 0;
+      while (auto prediction = client.wait_prediction()) {
+        EXPECT_NEAR(prediction->rttf, 654.0, 1e-6);
+        if (++received == 2) break;
+      }
+      if (received == 2) ++predictions_ok;
+      client.finish();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(predictions_ok.load(), kClients);
+
+  service.stop();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.sessions_accepted, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(stats.datapoints_received,
+            static_cast<std::uint64_t>(kClients) * 9);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+// Admission control is service-wide, not per shard: with max_sessions = 2
+// and 4 shards, the third connection is rejected no matter where the
+// kernel or the round-robin placed the first two.
+TEST(ShardedService, AdmissionControlIsServiceWide) {
+  auto store = std::make_shared<ModelStore>();
+  ServiceOptions options =
+      sharded_options(4, ServiceOptions::AcceptMode::kHandoff);
+  options.max_sessions = 2;
+  PredictionService service(options, store);
+
+  net::FeatureMonitorClient first("127.0.0.1", service.port());
+  net::FeatureMonitorClient second("127.0.0.1", service.port());
+  first.send(sample_at(0.0));
+  second.send(sample_at(0.0));
+  ASSERT_TRUE(eventually(
+      [&] { return service.stats().sessions_accepted == 2; }));
+
+  net::FeatureMonitorClient third("127.0.0.1", service.port());
+  EXPECT_FALSE(third.wait_prediction().has_value());  // EOF
+  ASSERT_TRUE(eventually(
+      [&] { return service.stats().sessions_rejected >= 1; }));
+  EXPECT_EQ(service.stats().sessions_active, 2u);
+
+  first.finish();
+  second.finish();
+  service.stop();
+}
+
+// Hot swap with several reactor shards: the RCU version gate is global,
+// so every session on every shard flips to the new model, and no
+// prediction ever mixes versions.
+TEST(ShardedService, HotSwapUnderLoadReachesEveryShard) {
+  auto store = std::make_shared<ModelStore>();
+  store->swap(constant_model(1000.0));
+  PredictionService service(
+      sharded_options(4, ServiceOptions::AcceptMode::kHandoff), store);
+
+  constexpr int kClients = 8;  // 2 per shard
+  std::atomic<bool> mismatch{false};
+  std::atomic<bool> keep_streaming{true};
+  std::atomic<int> clients_on_v2{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      net::FeatureMonitorClient client("127.0.0.1", service.port());
+      client.hello("shard-swap-" + std::to_string(c));
+      bool saw_v2 = false;
+      const auto check = [&](const net::Prediction& prediction) {
+        const double expected =
+            prediction.model_version == 1 ? 1000.0 : 5000.0;
+        if (std::abs(prediction.rttf - expected) > 1e-6) mismatch = true;
+        if (prediction.model_version == 2 && !saw_v2) {
+          saw_v2 = true;
+          ++clients_on_v2;
+        }
+      };
+      double tgen = 0.0;
+      while (keep_streaming.load()) {
+        client.send(sample_at(tgen));
+        tgen += 1.0;
+        while (auto prediction = client.poll_prediction()) check(*prediction);
+      }
+      client.finish();
+      while (auto prediction = client.wait_prediction()) check(*prediction);
+    });
+  }
+
+  std::this_thread::sleep_for(30ms);
+  EXPECT_EQ(store->swap(constant_model(5000.0)), 2u);
+  EXPECT_TRUE(eventually(
+      [&] { return clients_on_v2.load() == kClients; }, 15000ms))
+      << "only " << clients_on_v2.load()
+      << " clients ever saw the new model";
+  keep_streaming = false;
+
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_FALSE(mismatch.load());
+  service.stop();
+  EXPECT_EQ(service.stats().protocol_errors, 0u);
+}
+
+// Graceful drain must flush the open aggregation window of every session
+// on EVERY shard, not just shard 0's.
+TEST(ShardedService, DrainFlushesFinalWindowOnEveryShard) {
+  auto store = std::make_shared<ModelStore>();
+  store->swap(constant_model(314.0));
+  auto service = std::make_unique<PredictionService>(
+      sharded_options(4, ServiceOptions::AcceptMode::kHandoff), store);
+
+  constexpr int kClients = 4;  // exactly 1 per shard (round-robin)
+  std::vector<std::unique_ptr<net::FeatureMonitorClient>> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.push_back(std::make_unique<net::FeatureMonitorClient>(
+        "127.0.0.1", service->port()));
+    clients.back()->hello("drain-" + std::to_string(c));
+    ASSERT_TRUE(eventually([&] {
+      return service->stats().sessions_accepted ==
+             static_cast<std::uint64_t>(c) + 1;
+    }));
+  }
+  // Three samples inside [0,4): a complete-but-open window on each shard
+  // that only the drain-path flush can turn into a prediction.
+  for (auto& client : clients) {
+    for (int i = 0; i <= 2; ++i) client->send(sample_at(i));
+  }
+  ASSERT_TRUE(eventually([&] {
+    return service->stats().datapoints_received ==
+           static_cast<std::uint64_t>(kClients) * 3;
+  }));
+
+  service->stop();
+
+  for (auto& client : clients) {
+    auto prediction = client->wait_prediction();
+    ASSERT_TRUE(prediction.has_value());
+    EXPECT_NEAR(prediction->rttf, 314.0, 1e-6);
+    EXPECT_DOUBLE_EQ(prediction->window_end, 4.0);
+  }
+  const std::vector<ServiceStats> per_shard = service->shard_stats();
+  ASSERT_EQ(per_shard.size(), 4u);
+  for (const ServiceStats& s : per_shard) {
+    EXPECT_EQ(s.sessions_accepted, 1u);
+    EXPECT_EQ(s.predictions_sent, 1u);  // the flushed final window
+    EXPECT_EQ(s.sessions_active, 0u);
+  }
+}
+
+// Session affinity: one session's predictions stay on one shard and stay
+// in order (strictly increasing window_end) even when other shards are
+// busy with their own sessions.
+TEST(ShardedService, PredictionsStayInOrderPerSession) {
+  auto store = std::make_shared<ModelStore>();
+  store->swap(constant_model(88.0));
+  PredictionService service(
+      sharded_options(2, ServiceOptions::AcceptMode::kHandoff), store);
+
+  constexpr int kClients = 4;
+  constexpr int kWindows = 8;
+  std::atomic<bool> out_of_order{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      net::FeatureMonitorClient client("127.0.0.1", service.port());
+      client.hello("order-" + std::to_string(c));
+      for (int i = 0; i <= kWindows * 4; ++i) client.send(sample_at(i));
+      double last_end = 0.0;
+      int received = 0;
+      while (auto prediction = client.wait_prediction()) {
+        if (prediction->window_end <= last_end) out_of_order = true;
+        last_end = prediction->window_end;
+        if (++received == kWindows) break;
+      }
+      EXPECT_EQ(received, kWindows);
+      client.finish();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_FALSE(out_of_order.load());
+  service.stop();
+  EXPECT_EQ(service.stats().protocol_errors, 0u);
+}
+
+// The metrics scrape of a sharded service carries one series per shard.
+TEST(ShardedService, MetricsScrapeBreaksSeriesDownByShard) {
+  auto store = std::make_shared<ModelStore>();
+  store->swap(constant_model(5.0));
+  ServiceOptions options =
+      sharded_options(2, ServiceOptions::AcceptMode::kHandoff);
+  options.metrics_port = 0;
+  PredictionService service(options, store);
+  ASSERT_NE(service.metrics_port(), 0u);
+
+  // One session per shard (round-robin), each scoring one window.
+  std::vector<std::unique_ptr<net::FeatureMonitorClient>> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.push_back(std::make_unique<net::FeatureMonitorClient>(
+        "127.0.0.1", service.port()));
+    clients.back()->hello("labeled-" + std::to_string(c));
+    ASSERT_TRUE(eventually([&] {
+      return service.stats().sessions_accepted ==
+             static_cast<std::uint64_t>(c) + 1;
+    }));
+  }
+  for (auto& client : clients) {
+    for (int i = 0; i <= 4; ++i) client->send(sample_at(i));
+    ASSERT_TRUE(client->wait_prediction().has_value());
+  }
+
+  net::TcpStream http =
+      net::TcpStream::connect("127.0.0.1", service.metrics_port());
+  const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+  http.send_all(request.data(), request.size());
+  std::string response;
+  char chunk[4096];
+  std::size_t got = 0;
+  while (true) {
+    const net::IoResult io = http.recv_some(chunk, sizeof(chunk), got);
+    if (io == net::IoResult::kEof) break;
+    if (io == net::IoResult::kOk) response.append(chunk, got);
+  }
+  // Gauges reflect the live service: one session on each shard. (Counter
+  // values are cumulative across every service in this process, so only
+  // the per-shard series' existence is asserted for those.)
+  EXPECT_NE(response.find("f2pm_serve_sessions_active{shard=\"0\"} 1"),
+            std::string::npos);
+  EXPECT_NE(response.find("f2pm_serve_sessions_active{shard=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(response.find("f2pm_serve_datapoints_received_total{shard=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(response.find("f2pm_serve_datapoints_received_total{shard=\"1\"}"),
+            std::string::npos);
+
+  for (auto& client : clients) client->finish();
+  service.stop();
+  EXPECT_EQ(service.stats().protocol_errors, 0u);
 }
 
 }  // namespace
