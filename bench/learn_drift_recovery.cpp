@@ -1,0 +1,311 @@
+// Drift-recovery bench for the continuous-learning loop (src/learn): a
+// live PredictionService wired to a ContinuousTrainer serves one FMC
+// client streaming memory-ramp runs; mid-campaign the leak rate doubles.
+// Measured:
+//
+//   - windows-to-recovery: shadow-scored windows between the shift and
+//     the drift-triggered hot swap landing in the serve tier,
+//   - retrain latency: wall seconds of the drift retrain itself,
+//   - serve throughput impact: client-observed datapoints/sec during the
+//     storm (drift detection + retrain + publish in flight) vs the
+//     pre-shift steady state — the retrain runs on the shared process
+//     pool, not the shards' scoring pools, so this should be flat.
+//
+// Emits BENCH_learn_drift.json next to the binary. `--smoke` shrinks the
+// volume for CI.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "learn/trainer.hpp"
+#include "net/fmc.hpp"
+#include "serve/model_store.hpp"
+#include "serve/service.hpp"
+#include "tests/chaos_driver.hpp"
+
+namespace {
+
+using namespace f2pm;
+using Clock = std::chrono::steady_clock;
+
+constexpr double kFailMem = 60.0;  ///< Crash threshold (ramp units).
+/// Monitor cadence. Dense sampling (vs the tests' 1 s) so each run's send
+/// loop moves enough packets for its throughput to be timeable; the drift
+/// scenario itself is time-based and unchanged by it.
+constexpr double kSampleInterval = 0.1;
+
+struct DriftBenchResult {
+  std::size_t runs_pre_shift = 0;
+  std::size_t runs_to_recovery = 0;     ///< Shifted runs until the swap.
+  std::size_t windows_to_recovery = 0;  ///< Shadow windows over the same.
+  double retrain_latency_seconds = 0.0;
+  std::uint64_t retrains_completed = 0;
+  std::uint64_t drift_verdicts = 0;
+  std::uint64_t publishes = 0;
+  double baseline_dps = 0.0;  ///< Pre-shift steady state (longer runs).
+  double storm_dps = 0.0;     ///< While drift detection + retrain ran.
+  double recovery_dps = 0.0;  ///< Post-swap, same run shape as the storm.
+  /// 1 - storm/recovery: the serve-side cost of the recovery machinery,
+  /// measured against runs of identical shape after the swap landed
+  /// (comparing against baseline_dps would mostly measure the shorter
+  /// post-shift runs, not the retrain).
+  double dps_impact_fraction = 0.0;
+  double pre_shift_smae = 0.0;
+  double recovered_smae = 0.0;
+  bool recovered = false;
+};
+
+learn::TrainerOptions trainer_options(const std::string& archive) {
+  learn::TrainerOptions options;
+  options.model_name = "reptree";
+  options.model_params.set("reptree.prune", "false");
+  options.archive_path = archive;
+  options.aggregation.window_seconds = chaos::kChaosWindowSeconds;
+  options.aggregation.min_samples_per_window = 2;
+  options.corpus.max_runs = 16;
+  options.drift.horizon = 20;
+  options.drift.degrade_ratio = 1.5;
+  options.drift.min_smae_seconds = 1.0;
+  options.drift.consecutive = 2;
+  options.min_corpus_runs = 3;
+  options.candidate_min_windows = 7;
+  return options;
+}
+
+/// Median of per-run throughput samples (robust to the occasional
+/// scheduler stall, which dominates a sum over runs this short).
+double median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t mid = values.size() / 2;
+  if (values.size() % 2 == 1) return values[mid];
+  return (values[mid - 1] + values[mid]) / 2.0;
+}
+
+bool wait_until(const std::function<bool()>& condition, double seconds) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration<double>(seconds);
+  while (Clock::now() < deadline) {
+    if (condition()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return condition();
+}
+
+DriftBenchResult run_campaign(bool smoke) {
+  const std::string archive = "BENCH_learn_drift_model.bin";
+  std::remove(archive.c_str());
+
+  auto store = std::make_shared<serve::ModelStore>();
+  store->watch_file(archive);
+  learn::ContinuousTrainer trainer(*store, trainer_options(archive));
+
+  serve::ServiceOptions options = chaos::chaos_service_options();
+  options.model_poll_seconds = 0.02;
+  options.run_sink = trainer.sink();
+  serve::PredictionService service(options, store);
+
+  net::ClientOptions client_options;
+  client_options.op_deadline_seconds = 30.0;
+  net::FeatureMonitorClient client("127.0.0.1", service.port(),
+                                   client_options);
+  client.hello("drift-bench");
+
+  std::uint64_t runs_streamed = 0;
+  // One ramp run; returns the send loop's datapoints/sec. Sample times are
+  // index * interval (never accumulated), so no sample's tgen can drift
+  // past fail_time — the serve tier rightly refuses to export such a run.
+  const auto stream_run = [&](double rate) {
+    const double fail_time = kFailMem / rate;
+    std::size_t sent = 0;
+    const Clock::time_point start = Clock::now();
+    for (std::size_t i = 0;; ++i) {
+      const double t = static_cast<double>(i) * kSampleInterval;
+      if (t > fail_time) break;
+      data::RawDatapoint sample;
+      sample.tgen = t;
+      sample[data::FeatureId::kMemUsed] = rate * t;
+      sample[data::FeatureId::kCpuUser] = 10.0;
+      client.send(sample);
+      ++sent;
+      while (client.poll_prediction().has_value()) {
+      }
+    }
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    client.report_failure(fail_time);
+    ++runs_streamed;
+    return elapsed > 0.0 ? static_cast<double>(sent) / elapsed : 0.0;
+  };
+  const auto wait_ingested = [&] {
+    return wait_until(
+        [&] {
+          const learn::TrainerStats s = trainer.stats();
+          return s.runs_ingested + s.runs_rejected >= runs_streamed;
+        },
+        10.0);
+  };
+
+  DriftBenchResult result;
+
+  // Bootstrap: serve starts model-less; the exported runs produce the
+  // first archive and hot swap. Unmeasured.
+  for (int i = 0; i < 10 && trainer.stats().publishes < 1; ++i) {
+    stream_run(1.0);
+    wait_ingested();
+    trainer.drain();
+  }
+  if (!wait_until([&] { return service.stats().model_version >= 1; }, 10.0)) {
+    std::fprintf(stderr, "bootstrap swap never landed\n");
+    return result;
+  }
+
+  // Steady state: the pre-shift throughput and accuracy baseline.
+  const std::size_t steady_runs = smoke ? 4 : 12;
+  std::vector<double> baseline_dps;
+  for (std::size_t i = 0; i < steady_runs; ++i) {
+    baseline_dps.push_back(stream_run(1.0));
+  }
+  wait_ingested();
+  trainer.drain();
+  result.runs_pre_shift = runs_streamed;
+  result.baseline_dps = median(std::move(baseline_dps));
+  result.pre_shift_smae = trainer.stats().live_smae;
+
+  // The storm: the leak rate doubles. Stream shifted runs, measuring the
+  // send loop only, until the drift retrain's archive lands in serve.
+  const learn::TrainerStats at_shift = trainer.stats();
+  std::vector<double> storm_dps;
+  const int max_storm_runs = smoke ? 25 : 50;
+  for (int i = 0; i < max_storm_runs; ++i) {
+    storm_dps.push_back(stream_run(2.0));
+    wait_ingested();
+    trainer.drain();
+    ++result.runs_to_recovery;
+    if (trainer.stats().publishes >= 2) break;
+  }
+  result.recovered =
+      trainer.stats().publishes >= 2 &&
+      wait_until([&] { return service.stats().model_version >= 2; }, 10.0);
+  const learn::TrainerStats at_recovery = trainer.stats();
+  result.windows_to_recovery =
+      at_recovery.windows_scored_live - at_shift.windows_scored_live;
+  result.retrain_latency_seconds = at_recovery.last_retrain_seconds;
+  result.retrains_completed = at_recovery.retrains_completed;
+  result.drift_verdicts = at_recovery.drift_verdicts;
+  result.publishes = at_recovery.publishes;
+  result.storm_dps = median(std::move(storm_dps));
+
+  // Post-swap: recovery runs refill the rolling window and provide the
+  // like-for-like throughput reference — same run shape AND same cadence
+  // (ingest-wait + drain between runs) as the storm, so the only
+  // difference left is the recovery machinery itself.
+  const std::size_t recovery_runs = smoke ? 4 : 8;
+  std::vector<double> recovery_dps;
+  for (std::size_t i = 0; i < recovery_runs; ++i) {
+    recovery_dps.push_back(stream_run(2.0));
+    wait_ingested();
+    trainer.drain();
+  }
+  result.recovery_dps = median(std::move(recovery_dps));
+  result.dps_impact_fraction =
+      result.recovery_dps > 0.0
+          ? 1.0 - result.storm_dps / result.recovery_dps
+          : 0.0;
+  result.recovered_smae = trainer.stats().live_smae;
+
+  client.finish();
+  service.stop();
+  trainer.stop();
+  std::remove(archive.c_str());
+  return result;
+}
+
+void write_json(const DriftBenchResult& r, bool smoke) {
+  std::FILE* out = std::fopen("BENCH_learn_drift.json", "w");
+  if (out == nullptr) return;
+  std::fprintf(out, "{\n  \"bench\": \"learn_drift_recovery\",\n");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"recovered\": %s,\n", r.recovered ? "true" : "false");
+  std::fprintf(out, "  \"runs_pre_shift\": %zu,\n", r.runs_pre_shift);
+  std::fprintf(out, "  \"runs_to_recovery\": %zu,\n", r.runs_to_recovery);
+  std::fprintf(out, "  \"windows_to_recovery\": %zu,\n",
+               r.windows_to_recovery);
+  std::fprintf(out, "  \"retrain_latency_seconds\": %.6f,\n",
+               r.retrain_latency_seconds);
+  std::fprintf(out, "  \"retrains_completed\": %llu,\n",
+               static_cast<unsigned long long>(r.retrains_completed));
+  std::fprintf(out, "  \"drift_verdicts\": %llu,\n",
+               static_cast<unsigned long long>(r.drift_verdicts));
+  std::fprintf(out, "  \"publishes\": %llu,\n",
+               static_cast<unsigned long long>(r.publishes));
+  std::fprintf(out, "  \"baseline_datapoints_per_second\": %.0f,\n",
+               r.baseline_dps);
+  std::fprintf(out, "  \"storm_datapoints_per_second\": %.0f,\n",
+               r.storm_dps);
+  std::fprintf(out, "  \"recovery_datapoints_per_second\": %.0f,\n",
+               r.recovery_dps);
+  std::fprintf(out, "  \"dps_impact_fraction\": %.4f,\n",
+               r.dps_impact_fraction);
+  std::fprintf(out, "  \"pre_shift_smae_seconds\": %.4f,\n",
+               r.pre_shift_smae);
+  std::fprintf(out, "  \"recovered_smae_seconds\": %.4f\n",
+               r.recovered_smae);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+}
+
+void run_all(bool smoke) {
+  std::printf("== F2PM learn: drift-storm recovery over a live service ==\n");
+  std::printf(
+      "one FMC client streams memory-ramp runs over loopback; the leak "
+      "rate doubles mid-campaign and the trainer must notice, retrain and "
+      "hot-swap; the send loop is timed to expose any serve-side cost\n\n");
+  const DriftBenchResult r = run_campaign(smoke);
+  std::printf("%-22s%-22s%-14s%-16s%-14s%-12s\n", "windows-to-recovery",
+              "retrain latency (s)", "storm dp/s", "recovery dp/s",
+              "dp/s impact", "recovered");
+  std::printf("%s\n", std::string(100, '-').c_str());
+  std::printf("%-22zu%-22.6f%-14.0f%-16.0f%-14.4f%-12s\n",
+              r.windows_to_recovery, r.retrain_latency_seconds, r.storm_dps,
+              r.recovery_dps, r.dps_impact_fraction,
+              r.recovered ? "yes" : "NO");
+  std::printf("pre-shift S-MAE %.4fs -> recovered S-MAE %.4fs "
+              "(%llu drift verdicts, %llu retrains, %llu publishes)\n",
+              r.pre_shift_smae, r.recovered_smae,
+              static_cast<unsigned long long>(r.drift_verdicts),
+              static_cast<unsigned long long>(r.retrains_completed),
+              static_cast<unsigned long long>(r.publishes));
+  write_json(r, smoke);
+  std::printf("\nwrote BENCH_learn_drift.json\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  // Strip --smoke before handing the remaining flags to the benchmark
+  // library (it rejects flags it does not know).
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  run_all(smoke);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

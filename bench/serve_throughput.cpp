@@ -326,9 +326,17 @@ void run_all(bool smoke) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  // Strip --smoke before handing the remaining flags to the benchmark
+  // library (it rejects flags it does not know).
+  int kept = 1;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
   }
+  argc = kept;
   run_all(smoke);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

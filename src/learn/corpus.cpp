@@ -1,0 +1,106 @@
+#include "learn/corpus.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace f2pm::learn {
+
+namespace {
+
+/// Same validation data::DataHistory::add_run applies, done up front so a
+/// malformed export is rejected before it displaces retained runs.
+void validate_run(const data::Run& run) {
+  if (run.samples.empty()) {
+    throw std::invalid_argument("SlidingCorpus: empty run");
+  }
+  for (std::size_t i = 1; i < run.samples.size(); ++i) {
+    if (run.samples[i].tgen < run.samples[i - 1].tgen) {
+      throw std::invalid_argument("SlidingCorpus: samples out of order");
+    }
+  }
+  if (run.fail_time < run.samples.back().tgen) {
+    throw std::invalid_argument(
+        "SlidingCorpus: fail time precedes the last sample");
+  }
+}
+
+}  // namespace
+
+SlidingCorpus::SlidingCorpus(CorpusOptions options) : options_(options) {
+  if (options_.max_runs == 0) {
+    throw std::invalid_argument("SlidingCorpus: max_runs must be >= 1");
+  }
+  if (options_.max_samples == 0) {
+    throw std::invalid_argument("SlidingCorpus: max_samples must be >= 1");
+  }
+}
+
+std::uint64_t SlidingCorpus::add(data::Run run, std::string client_id) {
+  validate_run(run);
+  CorpusRun record;
+  record.sequence = next_sequence_++;
+  record.client_id = std::move(client_id);
+  max_fail_time_ = std::max(max_fail_time_, run.fail_time);
+  total_samples_ += run.samples.size();
+  record.run = std::move(run);
+  runs_.push_back(std::move(record));
+
+  std::size_t drop = 0;
+  std::size_t dropped_samples = 0;
+  // Never evict the newest run, however large: an over-budget run still
+  // beats an empty corpus.
+  while (runs_.size() - drop > 1 &&
+         (runs_.size() - drop > options_.max_runs ||
+          total_samples_ - dropped_samples > options_.max_samples)) {
+    dropped_samples += runs_[drop].run.samples.size();
+    ++drop;
+  }
+  if (drop > 0) {
+    runs_.erase(runs_.begin(),
+                runs_.begin() + static_cast<std::ptrdiff_t>(drop));
+    total_samples_ -= dropped_samples;
+    evicted_ += drop;
+  }
+  return runs_.back().sequence;
+}
+
+CorpusSpan SlidingCorpus::span() const {
+  CorpusSpan span;
+  if (runs_.empty()) return span;
+  span.first_sequence = runs_.front().sequence;
+  span.last_sequence = runs_.back().sequence;
+  span.runs = runs_.size();
+  span.samples = total_samples_;
+  return span;
+}
+
+data::DataHistory SlidingCorpus::assemble(std::size_t sample_budget,
+                                          CorpusSpan& used) const {
+  used = CorpusSpan{};
+  if (runs_.empty()) return {};
+  // Walk newest -> oldest until the budget is spent, then emit in age
+  // order (DataHistory has no ordering requirement across runs, but age
+  // order keeps run indices meaningful in reports).
+  std::size_t first = runs_.size();
+  std::size_t samples = 0;
+  while (first > 0) {
+    const std::size_t next = samples + runs_[first - 1].run.samples.size();
+    if (sample_budget != 0 && next > sample_budget && first != runs_.size()) {
+      break;
+    }
+    samples = next;
+    --first;
+  }
+  data::DataHistory history;
+  for (std::size_t i = first; i < runs_.size(); ++i) {
+    history.add_run(runs_[i].run);
+  }
+  used.first_sequence = runs_[first].sequence;
+  used.last_sequence = runs_.back().sequence;
+  used.runs = runs_.size() - first;
+  used.samples = samples;
+  return history;
+}
+
+}  // namespace f2pm::learn

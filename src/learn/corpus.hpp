@@ -1,0 +1,84 @@
+// The sliding training corpus of the continuous-learning loop: completed,
+// crash-labeled runs exported by the serve tier, bounded by run count and
+// total raw-sample count, with per-run provenance (which client produced
+// it, and a monotonically increasing ingest sequence so a published model
+// can record exactly which span of the stream it was trained on).
+//
+// Not thread-safe by itself — the ContinuousTrainer serializes access —
+// so it stays trivially unit-testable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/data_history.hpp"
+
+namespace f2pm::learn {
+
+/// Corpus bounds. Oldest runs are evicted first when either bound is hit.
+struct CorpusOptions {
+  std::size_t max_runs = 64;
+  std::size_t max_samples = 500'000;  ///< Raw datapoints across all runs.
+};
+
+/// One retained run with its provenance.
+struct CorpusRun {
+  data::Run run;
+  std::string client_id;     ///< Serve session that produced the run.
+  std::uint64_t sequence = 0;  ///< Ingest order, 1-based, never reused.
+};
+
+/// The ingest-sequence span a training set was assembled from.
+struct CorpusSpan {
+  std::uint64_t first_sequence = 0;  ///< 0 when the corpus is empty.
+  std::uint64_t last_sequence = 0;
+  std::size_t runs = 0;
+  std::size_t samples = 0;
+};
+
+/// Bounded sliding window over the run stream.
+class SlidingCorpus {
+ public:
+  explicit SlidingCorpus(CorpusOptions options);
+
+  /// Appends a completed run (samples must be nondecreasing in tgen and
+  /// fail_time must not precede the last sample — the same contract as
+  /// data::DataHistory::add_run; throws std::invalid_argument otherwise).
+  /// Evicts oldest runs until both bounds hold again. Returns the run's
+  /// ingest sequence number.
+  std::uint64_t add(data::Run run, std::string client_id);
+
+  [[nodiscard]] std::size_t num_runs() const { return runs_.size(); }
+  [[nodiscard]] std::size_t num_samples() const { return total_samples_; }
+  [[nodiscard]] std::uint64_t runs_ingested() const { return next_sequence_ - 1; }
+  [[nodiscard]] std::uint64_t runs_evicted() const { return evicted_; }
+
+  /// Largest RTTF any retained-or-evicted run could label a window with
+  /// (monotonic max of fail times, kept stable across evictions so the
+  /// Soft-MAE tolerance derived from it never jumps downward mid-stream).
+  [[nodiscard]] double max_fail_time() const { return max_fail_time_; }
+
+  [[nodiscard]] const std::vector<CorpusRun>& runs() const { return runs_; }
+
+  /// Provenance span of the current contents.
+  [[nodiscard]] CorpusSpan span() const;
+
+  /// Assembles the training history from the newest runs whose combined
+  /// raw-sample count fits `sample_budget` (0 = everything). At least one
+  /// run is always included when the corpus is non-empty, so a tiny budget
+  /// degrades to "train on the newest run" rather than nothing. The span
+  /// of what was actually included is written to `used`.
+  [[nodiscard]] data::DataHistory assemble(std::size_t sample_budget,
+                                           CorpusSpan& used) const;
+
+ private:
+  CorpusOptions options_;
+  std::vector<CorpusRun> runs_;  ///< Oldest first.
+  std::size_t total_samples_ = 0;
+  std::uint64_t next_sequence_ = 1;
+  std::uint64_t evicted_ = 0;
+  double max_fail_time_ = 0.0;
+};
+
+}  // namespace f2pm::learn

@@ -1,0 +1,78 @@
+#include "learn/drift.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace f2pm::learn {
+
+RollingSmae::RollingSmae(std::size_t horizon) {
+  if (horizon == 0) {
+    throw std::invalid_argument("RollingSmae: horizon must be >= 1");
+  }
+  errors_.assign(horizon, 0.0);
+}
+
+void RollingSmae::observe(double predicted, double actual) {
+  errors_[next_] = std::abs(predicted - actual);
+  next_ = (next_ + 1) % errors_.size();
+  if (count_ < errors_.size()) ++count_;
+}
+
+double RollingSmae::value(double soft_threshold) const {
+  if (count_ == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    if (errors_[i] > soft_threshold) sum += errors_[i];
+  }
+  return sum / static_cast<double>(count_);
+}
+
+void RollingSmae::reset() {
+  next_ = 0;
+  count_ = 0;
+}
+
+DriftDetector::DriftDetector(DriftPolicy policy) : policy_(policy) {
+  if (policy_.consecutive == 0) {
+    throw std::invalid_argument("DriftDetector: consecutive must be >= 1");
+  }
+  if (policy_.degrade_ratio <= 0.0) {
+    throw std::invalid_argument("DriftDetector: degrade_ratio must be > 0");
+  }
+}
+
+bool DriftDetector::evaluate(double rolling_smae) {
+  if (!has_baseline_) {
+    // The first full-horizon evaluation after a (re)baseline seeds the
+    // reference the live model is held to from now on.
+    baseline_ = rolling_smae;
+    has_baseline_ = true;
+    return false;
+  }
+  // The baseline tracks the BEST steady state observed since the last
+  // reset: the first evaluation after a hot swap is dominated by whatever
+  // single run filled the rolling horizon and routinely overestimates;
+  // holding the model to its best self keeps a lucky-high seed from
+  // permanently raising the bar drift must clear. Frozen once triggered
+  // (the latched verdict's reference should stay what it fired against).
+  if (!triggered_ && rolling_smae < baseline_) baseline_ = rolling_smae;
+  const bool degraded = rolling_smae > baseline_ * policy_.degrade_ratio &&
+                        rolling_smae > policy_.min_smae_seconds;
+  if (!degraded) {
+    degraded_count_ = 0;
+    return false;
+  }
+  ++degraded_count_;
+  if (triggered_ || degraded_count_ < policy_.consecutive) return false;
+  triggered_ = true;
+  return true;
+}
+
+void DriftDetector::reset() {
+  baseline_ = 0.0;
+  has_baseline_ = false;
+  degraded_count_ = 0;
+  triggered_ = false;
+}
+
+}  // namespace f2pm::learn

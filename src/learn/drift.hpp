@@ -1,0 +1,109 @@
+// Drift detection for the continuous-learning loop (src/learn).
+//
+// The live model is evaluated the only way an RTTF model can be evaluated
+// online: retroactively, when a crash-labeled run arrives and every one of
+// its aggregation windows gains a ground-truth RTTF. RollingSmae keeps the
+// last `horizon` per-window absolute errors and reports the paper's
+// Soft-MAE (§III-D: errors below the rejuvenation lead time count as zero)
+// over that horizon. DriftDetector turns the rolling series into a
+// verdict: the lowest full-horizon evaluation since the last (re)baseline
+// is the reference — the model is held to its best observed steady state —
+// and the verdict fires after K consecutive evaluations degraded past
+// `degrade_ratio` times that reference.
+//
+// Both classes are pure state machines — no clock, no threads, no model —
+// so a deterministic window stream maps to an exact verdict sequence
+// (tests/test_learn.cpp exercises exactly that).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace f2pm::learn {
+
+/// Rolling Soft-MAE over the last `horizon` shadow-scored windows. Stores
+/// raw absolute errors; the soft threshold is applied at read time so a
+/// caller whose tolerance moves (it is a fraction of the largest observed
+/// RTTF) never has to rebuild the window.
+class RollingSmae {
+ public:
+  /// `horizon` must be >= 1; throws std::invalid_argument otherwise.
+  explicit RollingSmae(std::size_t horizon);
+
+  /// Records one shadow-scored window.
+  void observe(double predicted, double actual);
+
+  /// Soft-MAE over the retained window: mean of the absolute errors with
+  /// errors <= soft_threshold counted as zero. 0 when empty.
+  [[nodiscard]] double value(double soft_threshold) const;
+
+  /// Windows currently retained (<= horizon).
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+  /// True once `horizon` windows have been observed since the last reset.
+  [[nodiscard]] bool full() const { return count_ == errors_.size(); }
+
+  [[nodiscard]] std::size_t horizon() const { return errors_.size(); }
+
+  /// Forgets everything (hot swap: the new model starts fresh).
+  void reset();
+
+ private:
+  std::vector<double> errors_;  ///< Ring buffer of |predicted - actual|.
+  std::size_t next_ = 0;
+  std::size_t count_ = 0;
+};
+
+/// When the live model counts as drifted.
+struct DriftPolicy {
+  /// Windows in the rolling Soft-MAE (the evaluation horizon).
+  std::size_t horizon = 32;
+  /// Degraded when the rolling Soft-MAE exceeds baseline * degrade_ratio.
+  double degrade_ratio = 1.5;
+  /// ... and also exceeds this absolute floor (seconds). Guards against
+  /// ratio triggers on a near-zero baseline, where tiny noise is a large
+  /// multiple of nothing.
+  double min_smae_seconds = 1.0;
+  /// Consecutive degraded evaluations required before the verdict fires
+  /// (debounce, mirroring the RejuvenationAdvisor's policy shape).
+  std::size_t consecutive = 3;
+};
+
+/// Debounced threshold policy over a rolling Soft-MAE series. Feed one
+/// evaluation per shadow-scored window once the rolling horizon is full;
+/// the baseline is the lowest value seen since construction/reset().
+class DriftDetector {
+ public:
+  explicit DriftDetector(DriftPolicy policy);
+
+  /// Feeds one full-horizon evaluation. Returns true exactly when this
+  /// evaluation fires the verdict (the transition into triggered state).
+  bool evaluate(double rolling_smae);
+
+  /// Latched: stays true until reset().
+  [[nodiscard]] bool triggered() const { return triggered_; }
+
+  /// The reference Soft-MAE: the lowest evaluation seen since reset()
+  /// (frozen once triggered); 0 before any evaluation.
+  [[nodiscard]] double baseline() const { return baseline_; }
+  [[nodiscard]] bool has_baseline() const { return has_baseline_; }
+
+  /// Current run of consecutive degraded evaluations.
+  [[nodiscard]] std::size_t consecutive_degraded() const {
+    return degraded_count_;
+  }
+
+  [[nodiscard]] const DriftPolicy& policy() const { return policy_; }
+
+  /// Re-baselines from scratch (call after a model hot-swap).
+  void reset();
+
+ private:
+  DriftPolicy policy_;
+  double baseline_ = 0.0;
+  bool has_baseline_ = false;
+  std::size_t degraded_count_ = 0;
+  bool triggered_ = false;
+};
+
+}  // namespace f2pm::learn

@@ -1,0 +1,549 @@
+#include "learn/trainer.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <span>
+#include <stdexcept>
+#include <utility>
+
+#include "data/dataset.hpp"
+#include "ml/registry.hpp"
+#include "util/logging.hpp"
+
+namespace f2pm::learn {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Shadow-scores one aggregated window with a fitted model, applying the
+/// model's column selection to the full input layout.
+double predict_window(const ml::Regressor& model,
+                      const std::vector<std::size_t>& columns,
+                      const data::AggregatedDatapoint& window) {
+  const auto input = data::to_input_vector(window);
+  if (columns.empty()) {
+    return model.predict_row(std::span<const double>(input.data(),
+                                                     input.size()));
+  }
+  std::vector<double> row;
+  row.reserve(columns.size());
+  for (const std::size_t column : columns) row.push_back(input[column]);
+  return model.predict_row(row);
+}
+
+}  // namespace
+
+RetrainPlan plan_retrain(std::size_t corpus_samples, double budget_seconds,
+                         double estimated_seconds,
+                         double est_seconds_per_sample,
+                         std::size_t min_samples) {
+  RetrainPlan plan;
+  plan.estimated_seconds = estimated_seconds;
+  if (corpus_samples == 0) return plan;  // Nothing to train on.
+  if (budget_seconds <= 0.0 || estimated_seconds <= budget_seconds) {
+    plan.run = true;
+    return plan;
+  }
+  if (est_seconds_per_sample > 0.0) {
+    const auto affordable =
+        static_cast<std::size_t>(budget_seconds / est_seconds_per_sample);
+    if (affordable >= min_samples) {
+      plan.run = true;
+      plan.downscaled = true;
+      plan.sample_budget = std::min(affordable, corpus_samples);
+      plan.estimated_seconds =
+          est_seconds_per_sample * static_cast<double>(plan.sample_budget);
+      return plan;
+    }
+  }
+  // Over budget with no per-sample rate to downscale by (or the
+  // affordable set is below the floor): wait for a cheaper opportunity
+  // rather than blow the budget.
+  plan.skipped_budget = true;
+  return plan;
+}
+
+ContinuousTrainer::Metrics::Metrics()
+    : runs_ingested(obs::Registry::global().counter(
+          "f2pm_learn_runs_ingested_total",
+          "Completed runs accepted into the training corpus.")),
+      runs_rejected(obs::Registry::global().counter(
+          "f2pm_learn_runs_rejected_total",
+          "Exported runs rejected as malformed.")),
+      drift_verdicts(obs::Registry::global().counter(
+          "f2pm_learn_drift_verdicts_total",
+          "Drift verdicts fired against the live model.")),
+      retrains_completed(obs::Registry::global().counter(
+          "f2pm_learn_retrains_total", "Retrains by outcome.",
+          "outcome=\"completed\"")),
+      retrains_failed(obs::Registry::global().counter(
+          "f2pm_learn_retrains_total", "Retrains by outcome.",
+          "outcome=\"failed\"")),
+      retrains_skipped(obs::Registry::global().counter(
+          "f2pm_learn_retrains_total", "Retrains by outcome.",
+          "outcome=\"skipped_budget\"")),
+      publishes(obs::Registry::global().counter(
+          "f2pm_learn_publishes_total",
+          "Model archives published for hot swap.")),
+      publish_failures(obs::Registry::global().counter(
+          "f2pm_learn_publish_failures_total",
+          "Archive writes/renames that failed.")),
+      corpus_runs(obs::Registry::global().gauge(
+          "f2pm_learn_corpus_runs", "Runs currently in the corpus.")),
+      corpus_samples(obs::Registry::global().gauge(
+          "f2pm_learn_corpus_samples",
+          "Raw samples currently in the corpus.")),
+      corpus_span_first(obs::Registry::global().gauge(
+          "f2pm_learn_corpus_span_first_sequence",
+          "Ingest sequence of the oldest retained run.")),
+      corpus_span_last(obs::Registry::global().gauge(
+          "f2pm_learn_corpus_span_last_sequence",
+          "Ingest sequence of the newest retained run.")),
+      live_smae(obs::Registry::global().gauge(
+          "f2pm_learn_live_smae_seconds",
+          "Rolling Soft-MAE of the live model over the drift horizon.")),
+      candidate_smae(obs::Registry::global().gauge(
+          "f2pm_learn_candidate_smae_seconds",
+          "Rolling Soft-MAE of the candidate model (0 when none).")),
+      baseline_smae(obs::Registry::global().gauge(
+          "f2pm_learn_baseline_smae_seconds",
+          "Drift baseline the live model is held to.")),
+      drift_active(obs::Registry::global().gauge(
+          "f2pm_learn_drift_active",
+          "1 while a drift verdict is latched, 0 otherwise.")),
+      published_version(obs::Registry::global().gauge(
+          "f2pm_learn_published_version",
+          "Store version of the last model the trainer saw go live.")),
+      retrain_seconds(obs::Registry::global().histogram(
+          "f2pm_learn_retrain_seconds",
+          "Wall-clock time of one retrain (aggregate + fit).",
+          obs::Histogram::default_latency_bounds())) {}
+
+ContinuousTrainer::ContinuousTrainer(serve::ModelStore& store,
+                                     TrainerOptions options)
+    : store_(store),
+      options_(std::move(options)),
+      pool_(options_.pool != nullptr ? *options_.pool
+                                     : parallel::ThreadPool::global()),
+      corpus_(options_.corpus),
+      live_rolling_(options_.drift.horizon),
+      candidate_rolling_(options_.drift.horizon),
+      detector_(options_.drift) {
+  if (options_.archive_path.empty()) {
+    throw std::invalid_argument("ContinuousTrainer: archive_path required");
+  }
+  if (options_.smae_fraction < 0.0) {
+    throw std::invalid_argument(
+        "ContinuousTrainer: smae_fraction must be >= 0");
+  }
+}
+
+ContinuousTrainer::~ContinuousTrainer() { stop(); }
+
+serve::RunSink ContinuousTrainer::sink() {
+  return [this](serve::CompletedRun completed) {
+    ingest(std::move(completed));
+  };
+}
+
+void ContinuousTrainer::ingest(serve::CompletedRun completed) {
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    if (stopping_) return;
+    pending_.push_back(std::move(completed));
+    if (!process_scheduled_) {
+      process_scheduled_ = true;
+      schedule = true;
+    }
+  }
+  if (schedule) submit_task([this] { process(); });
+}
+
+void ContinuousTrainer::submit_task(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    if (stopping_) return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(task_mutex_);
+    ++outstanding_;
+  }
+  try {
+    pool_.submit([this, fn = std::move(fn)] {
+      try {
+        fn();
+      } catch (const std::exception& e) {
+        F2PM_LOG(kWarn, "learn") << "task failed: " << e.what();
+      }
+      std::lock_guard<std::mutex> lock(task_mutex_);
+      --outstanding_;
+      task_cv_.notify_all();
+    });
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(task_mutex_);
+    --outstanding_;
+    task_cv_.notify_all();
+    throw;
+  }
+}
+
+void ContinuousTrainer::drain() {
+  std::unique_lock<std::mutex> lock(task_mutex_);
+  task_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void ContinuousTrainer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    stopping_ = true;
+    pending_.clear();
+  }
+  drain();
+}
+
+void ContinuousTrainer::process() {
+  while (true) {
+    std::vector<serve::CompletedRun> batch;
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      if (pending_.empty()) {
+        // The queue-empty check and the scheduled-flag clear are one
+        // critical section, so a concurrent ingest either sees the flag
+        // still set (this loop picks its run up) or schedules a new task.
+        process_scheduled_ = false;
+        return;
+      }
+      batch.swap(pending_);
+    }
+    try {
+      std::lock_guard<std::mutex> lock(mutex_);
+      check_store_version_locked();
+      for (serve::CompletedRun& completed : batch) {
+        handle_run_locked(std::move(completed));
+      }
+      maybe_schedule_retrain_locked();
+    } catch (const std::exception& e) {
+      // Never leave process_scheduled_ latched on an escaped exception —
+      // that would silently stop all future ingestion.
+      F2PM_LOG(kWarn, "learn") << "ingest batch failed: " << e.what();
+    }
+  }
+}
+
+void ContinuousTrainer::check_store_version_locked() {
+  const std::uint32_t version = store_.version();
+  if (version == last_seen_version_) return;
+  last_seen_version_ = version;
+  live_model_ = store_.current();
+  ++stats_.swaps_observed;
+  stats_.observed_model_version = version;
+  publish_pending_ = false;
+  // New live model: everything the rolling scores and the drift baseline
+  // said was about the old one. Re-baseline from scratch; the candidate
+  // (if any) is obsolete — it was racing the model that just won.
+  live_rolling_.reset();
+  detector_.reset();
+  candidate_.reset();
+  candidate_rolling_.reset();
+  stats_.live_smae = 0.0;
+  stats_.candidate_smae = 0.0;
+  stats_.baseline_smae = 0.0;
+  metrics_.live_smae.set(0.0);
+  metrics_.candidate_smae.set(0.0);
+  metrics_.baseline_smae.set(0.0);
+  metrics_.drift_active.set(0.0);
+  metrics_.published_version.set(static_cast<double>(version));
+  F2PM_LOG(kInfo, "learn")
+      << "adopted model version " << version << " ("
+      << (live_model_ ? live_model_->source : std::string("none"))
+      << "); rolling scores and drift baseline reset";
+}
+
+void ContinuousTrainer::handle_run_locked(serve::CompletedRun completed) {
+  // Aggregating through a one-run DataHistory applies the exact contract
+  // validation the corpus enforces, so a run that aggregates cleanly is
+  // guaranteed to insert cleanly below.
+  std::vector<data::AggregatedDatapoint> windows;
+  try {
+    data::DataHistory single;
+    single.add_run(completed.run);
+    windows = data::aggregate(single, options_.aggregation);
+    // Same contract the one-run aggregation just checked, plus non-empty;
+    // inside the try so a malformed export can never wedge the loop.
+    corpus_.add(std::move(completed.run), std::move(completed.client_id));
+  } catch (const std::exception& e) {
+    ++stats_.runs_rejected;
+    metrics_.runs_rejected.add(1);
+    F2PM_LOG(kWarn, "learn")
+        << "rejected exported run from '" << completed.client_id
+        << "': " << e.what();
+    return;
+  }
+  ++stats_.runs_ingested;
+  ++runs_since_retrain_;
+  metrics_.runs_ingested.add(1);
+  const CorpusSpan span = corpus_.span();
+  metrics_.corpus_runs.set(static_cast<double>(span.runs));
+  metrics_.corpus_samples.set(static_cast<double>(span.samples));
+  metrics_.corpus_span_first.set(static_cast<double>(span.first_sequence));
+  metrics_.corpus_span_last.set(static_cast<double>(span.last_sequence));
+
+  const double threshold = soft_threshold_locked();
+  for (const data::AggregatedDatapoint& window : windows) {
+    if (live_model_ && live_model_->regressor) {
+      const double predicted = predict_window(
+          *live_model_->regressor, live_model_->selected_columns, window);
+      live_rolling_.observe(predicted, window.rttf);
+      ++stats_.windows_scored_live;
+    }
+    if (candidate_) {
+      const double predicted = predict_window(
+          *candidate_->regressor, options_.selected_columns, window);
+      candidate_rolling_.observe(predicted, window.rttf);
+      ++stats_.windows_scored_candidate;
+    }
+  }
+
+  if (live_model_ && live_rolling_.count() > 0) {
+    const double smae = live_rolling_.value(threshold);
+    stats_.live_smae = smae;
+    metrics_.live_smae.set(smae);
+    // One drift evaluation per ingested run, and only on a full horizon,
+    // so `consecutive` counts whole runs of sustained degradation rather
+    // than adjacent (heavily overlapping) window positions.
+    if (live_rolling_.full() && detector_.evaluate(smae)) {
+      ++stats_.drift_verdicts;
+      metrics_.drift_verdicts.add(1);
+      F2PM_LOG(kInfo, "learn")
+          << "drift verdict: live S-MAE " << smae << "s > baseline "
+          << detector_.baseline() << "s x " << options_.drift.degrade_ratio
+          << " for " << options_.drift.consecutive
+          << " consecutive runs; scheduling retrain";
+    }
+    stats_.baseline_smae = detector_.baseline();
+    metrics_.baseline_smae.set(detector_.baseline());
+    metrics_.drift_active.set(detector_.triggered() ? 1.0 : 0.0);
+  }
+  if (candidate_ && candidate_rolling_.count() > 0) {
+    const double smae = candidate_rolling_.value(threshold);
+    stats_.candidate_smae = smae;
+    metrics_.candidate_smae.set(smae);
+  }
+  maybe_publish_candidate_locked();
+}
+
+void ContinuousTrainer::maybe_publish_candidate_locked() {
+  if (!candidate_ || publish_pending_) return;
+  if (candidate_rolling_.count() < options_.candidate_min_windows) return;
+  const double threshold = soft_threshold_locked();
+  const double candidate_smae = candidate_rolling_.value(threshold);
+  const double live_smae = live_rolling_.value(threshold);
+  if (candidate_smae < live_smae * (1.0 - options_.publish_margin)) {
+    F2PM_LOG(kInfo, "learn")
+        << "candidate wins shadow evaluation (S-MAE " << candidate_smae
+        << "s vs live " << live_smae << "s over "
+        << candidate_rolling_.count() << " windows)";
+    if (publish_locked(candidate_->regressor, candidate_->trained_span,
+                       "drift")) {
+      candidate_.reset();
+      candidate_rolling_.reset();
+    }
+  }
+}
+
+void ContinuousTrainer::maybe_schedule_retrain_locked() {
+  if (retrain_in_flight_ || publish_pending_) return;
+  const bool bootstrap = !live_model_ && !candidate_ &&
+                         corpus_.num_runs() >= options_.min_corpus_runs;
+  // With drift latched, retrain when there is no candidate yet — or the
+  // current one has had its full evaluation window and still failed to
+  // beat the live model (refresh it with the newer corpus). Each attempt
+  // waits for at least one new run so a stagnant stream cannot spin.
+  const bool candidate_exhausted =
+      candidate_ &&
+      candidate_rolling_.count() >= options_.candidate_min_windows;
+  const bool drift = detector_.triggered() && runs_since_retrain_ > 0 &&
+                     (!candidate_ || candidate_exhausted);
+  if (!bootstrap && !drift) return;
+
+  const RetrainPlan plan = plan_retrain(
+      corpus_.num_samples(), options_.train_budget_seconds,
+      estimate_full_fit_seconds_locked(), est_seconds_per_sample_,
+      options_.min_train_samples);
+  if (!plan.run) {
+    if (plan.skipped_budget) {
+      ++stats_.retrains_skipped_budget;
+      metrics_.retrains_skipped.add(1);
+      runs_since_retrain_ = 0;  // Re-plan once new (cheaper?) data arrives.
+      F2PM_LOG(kWarn, "learn")
+          << "retrain skipped: estimated " << plan.estimated_seconds
+          << "s exceeds budget " << options_.train_budget_seconds << "s";
+    }
+    return;
+  }
+  CorpusSpan used;
+  data::DataHistory history = corpus_.assemble(plan.sample_budget, used);
+  retrain_in_flight_ = true;
+  ++stats_.retrains_started;
+  if (plan.downscaled) {
+    ++stats_.retrains_downscaled;
+    F2PM_LOG(kInfo, "learn")
+        << "retrain downscaled to " << used.samples << "/"
+        << corpus_.num_samples() << " samples to fit "
+        << options_.train_budget_seconds << "s budget";
+  }
+  runs_since_retrain_ = 0;
+  const bool publish_direct = !live_model_;
+  submit_task([this, history = std::move(history), used, publish_direct,
+               downscaled = plan.downscaled]() mutable {
+    run_retrain(std::move(history), used, publish_direct, downscaled);
+  });
+}
+
+void ContinuousTrainer::run_retrain(data::DataHistory history,
+                                    CorpusSpan used, bool publish_direct,
+                                    bool downscaled) {
+  (void)downscaled;
+  const Clock::time_point start = Clock::now();
+  std::shared_ptr<const ml::Regressor> fitted;
+  std::string error;
+  try {
+    const std::vector<data::AggregatedDatapoint> points =
+        data::aggregate(history, options_.aggregation);
+    data::Dataset dataset = data::build_dataset(points);
+    if (!options_.selected_columns.empty()) {
+      dataset = dataset.select_features(options_.selected_columns);
+    }
+    if (dataset.num_rows() == 0) {
+      throw std::runtime_error("corpus aggregated to zero windows");
+    }
+    std::unique_ptr<ml::Regressor> model =
+        ml::make_model(options_.model_name, options_.model_params);
+    model->fit(dataset.x, dataset.y);
+    fitted = std::move(model);
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  retrain_in_flight_ = false;
+  stats_.last_retrain_seconds = seconds;
+  metrics_.retrain_seconds.observe(seconds);
+  if (!fitted) {
+    ++stats_.retrains_failed;
+    metrics_.retrains_failed.add(1);
+    F2PM_LOG(kWarn, "learn") << "retrain failed: " << error;
+    return;
+  }
+  ++stats_.retrains_completed;
+  metrics_.retrains_completed.add(1);
+  if (used.samples > 0) {
+    const double rate = seconds / static_cast<double>(used.samples);
+    est_seconds_per_sample_ =
+        est_seconds_per_sample_ <= 0.0
+            ? rate
+            : (1.0 - options_.est_smoothing) * est_seconds_per_sample_ +
+                  options_.est_smoothing * rate;
+    stats_.est_seconds_per_sample = est_seconds_per_sample_;
+  }
+  F2PM_LOG(kInfo, "learn")
+      << "retrained " << options_.model_name << " on runs "
+      << used.first_sequence << ".." << used.last_sequence << " ("
+      << used.samples << " samples) in " << seconds << "s";
+  if (publish_direct) {
+    // Bootstrap: there is no live model to beat, so the first fit goes
+    // straight out.
+    publish_locked(fitted, used, "bootstrap");
+    return;
+  }
+  candidate_ = Candidate{std::move(fitted), used};
+  candidate_rolling_.reset();
+  stats_.candidate_smae = 0.0;
+  metrics_.candidate_smae.set(0.0);
+}
+
+bool ContinuousTrainer::publish_locked(
+    const std::shared_ptr<const ml::Regressor>& model, const CorpusSpan& span,
+    const std::string& trigger) {
+  const std::string tmp_path = options_.archive_path + ".tmp";
+  try {
+    {
+      std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        throw std::runtime_error("cannot open " + tmp_path);
+      }
+      ml::save_model(*model, out);
+      out.flush();
+      if (!out) {
+        throw std::runtime_error("write failed on " + tmp_path);
+      }
+    }
+    // rename() is the atomicity guarantee the ModelStore watch relies on:
+    // the watched path only ever names a complete archive.
+    if (std::rename(tmp_path.c_str(), options_.archive_path.c_str()) != 0) {
+      throw std::runtime_error("rename to " + options_.archive_path +
+                               " failed");
+    }
+  } catch (const std::exception& e) {
+    ++stats_.publish_failures;
+    metrics_.publish_failures.add(1);
+    std::remove(tmp_path.c_str());
+    F2PM_LOG(kWarn, "learn") << "publish failed: " << e.what();
+    return false;
+  }
+  publish_pending_ = true;
+  ++stats_.publishes;
+  metrics_.publishes.add(1);
+  stats_.last_published_span = span;
+  stats_.last_publish_trigger = trigger;
+  F2PM_LOG(kInfo, "learn")
+      << "published " << options_.model_name << " archive to "
+      << options_.archive_path << " (trigger=" << trigger << ", runs "
+      << span.first_sequence << ".." << span.last_sequence << ", "
+      << span.samples << " samples); awaiting hot swap";
+  return true;
+}
+
+double ContinuousTrainer::soft_threshold_locked() const {
+  return options_.smae_fraction * corpus_.max_fail_time();
+}
+
+double ContinuousTrainer::estimate_full_fit_seconds_locked() const {
+  if (est_seconds_per_sample_ > 0.0) {
+    return est_seconds_per_sample_ *
+           static_cast<double>(corpus_.num_samples());
+  }
+  // No measurement of our own yet: bootstrap from the obs fit-timer
+  // history the offline pipeline (or earlier fits of this model family)
+  // left behind. The mean is size-agnostic — good enough to decide
+  // whether a first retrain plausibly fits the budget.
+  const std::string label = "model=\"" + options_.model_name + "\"";
+  for (const char* name :
+       {"f2pm_ml_fit_seconds", "f2pm_ml_tree_fit_seconds"}) {
+    const auto snap = obs::Registry::global().find(name, label);
+    if (snap && snap->histogram.count > 0) {
+      return snap->histogram.sum /
+             static_cast<double>(snap->histogram.count);
+    }
+  }
+  return 0.0;
+}
+
+TrainerStats ContinuousTrainer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TrainerStats out = stats_;
+  out.corpus = corpus_.span();
+  out.live_window_count = live_rolling_.count();
+  out.candidate_window_count = candidate_rolling_.count();
+  out.drift_active = detector_.triggered();
+  out.publish_pending = publish_pending_;
+  out.soft_threshold = soft_threshold_locked();
+  return out;
+}
+
+}  // namespace f2pm::learn

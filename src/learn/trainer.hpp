@@ -1,0 +1,274 @@
+// The continuous-learning trainer daemon (ROADMAP: "Continuous-learning
+// loop: drift, retrain, hot-swap").
+//
+// The trainer closes the loop around the serve tier:
+//
+//   serve run_sink ──> ingest() ──> SlidingCorpus (bounded, provenanced)
+//                          │
+//                          ├──> shadow scoring: every window of every
+//                          │    completed run is re-scored by the live
+//                          │    model (and the candidate, when one is
+//                          │    installed) against the now-known RTTF
+//                          │    ground truth, feeding rolling S-MAE
+//                          │
+//                          ├──> DriftDetector: a drift verdict fires when
+//                          │    the live model degrades past the policy
+//                          │    for K consecutive run evaluations
+//                          │
+//                          └──> retrain (budgeted, on the shared pool)
+//                               ──> candidate shadow-scored out-of-sample
+//                               ──> publish: archive tmp-write + rename
+//                                   into the path the serve ModelStore
+//                                   watches ──> hot swap, no restart
+//
+// Ground truth is retroactive by nature: a window's real RTTF exists only
+// once its run has crashed, so shadow scoring happens at run completion,
+// not at serve time. That also makes candidate evaluation honestly
+// out-of-sample — a candidate is only ever scored on runs that arrived
+// after it was trained.
+//
+// Threading: ingest() is called on serve shard loop threads and only
+// queues (one mutex push) + schedules; all real work happens in
+// single-flight tasks on the configured thread pool. stop() (and the
+// destructor) block until every outstanding task has finished.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/aggregation.hpp"
+#include "learn/corpus.hpp"
+#include "learn/drift.hpp"
+#include "ml/model.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/thread_pool.hpp"
+#include "serve/model_store.hpp"
+#include "serve/options.hpp"
+#include "util/config.hpp"
+
+namespace f2pm::learn {
+
+/// Outcome of budget planning for one retrain attempt.
+struct RetrainPlan {
+  bool run = false;           ///< Train (possibly on a reduced corpus).
+  bool downscaled = false;    ///< The corpus was cut to fit the budget.
+  bool skipped_budget = false;  ///< Even the minimum set would not fit.
+  std::size_t sample_budget = 0;  ///< Raw-sample cap passed to assemble()
+                                  ///< (0 = the whole corpus).
+  double estimated_seconds = 0.0;  ///< Estimate for what will be trained.
+};
+
+/// Pure budget planner (Marzi et al.: bound model-building time so the
+/// loop keeps up with the stream). `estimated_seconds` is the projected
+/// cost of training on the full corpus; `est_seconds_per_sample` is the
+/// per-sample rate when one is known (0 = unknown — the plan then cannot
+/// downscale, only run or skip). A zero/negative `budget_seconds` means
+/// unbudgeted: always train on everything.
+RetrainPlan plan_retrain(std::size_t corpus_samples, double budget_seconds,
+                         double estimated_seconds,
+                         double est_seconds_per_sample,
+                         std::size_t min_samples);
+
+/// Trainer parameterization.
+struct TrainerOptions {
+  /// Registry name of the model family to retrain ("reptree", "m5p",
+  /// "linear", ...), with hyperparameters under "<name>." Config keys.
+  std::string model_name = "reptree";
+  util::Config model_params;
+  /// Lasso-selected input columns the models train and score on; empty =
+  /// the full data::kInputCount layout. Must match what the serve tier
+  /// was configured with.
+  std::vector<std::size_t> selected_columns;
+
+  /// Where winning models are published: written as `<archive_path>.tmp`
+  /// then renamed, so the serve ModelStore watching this path only ever
+  /// loads complete archives. Required.
+  std::string archive_path;
+
+  /// Window layout for shadow scoring and retraining; must match the
+  /// serve tier's aggregation options.
+  data::AggregationOptions aggregation;
+
+  CorpusOptions corpus;
+  DriftPolicy drift;
+
+  /// Soft-MAE tolerance as a fraction of the largest observed fail time
+  /// (the paper's 10% rule).
+  double smae_fraction = 0.10;
+
+  /// Bootstrap: with no live model yet, train and publish unconditionally
+  /// once this many runs are in the corpus.
+  std::size_t min_corpus_runs = 4;
+
+  /// A candidate must shadow-score at least this many windows before it
+  /// is compared against the live model.
+  std::size_t candidate_min_windows = 16;
+  /// Publish when candidate S-MAE < live S-MAE * (1 - publish_margin).
+  double publish_margin = 0.05;
+
+  /// Training-time budget per retrain; 0 = unbudgeted. When the estimate
+  /// exceeds it, the corpus is downscaled to the newest runs that fit (or
+  /// the retrain is skipped entirely — see plan_retrain).
+  double train_budget_seconds = 0.0;
+  /// Downscaling floor: never train on fewer raw samples than this.
+  std::size_t min_train_samples = 64;
+  /// EWMA weight of the newest (seconds / samples) measurement when
+  /// updating the per-sample cost estimate.
+  double est_smoothing = 0.5;
+
+  /// Pool the ingest/retrain tasks run on; nullptr = the process-global
+  /// pool (nested parallel fits are safe — the pool is helping-based).
+  parallel::ThreadPool* pool = nullptr;
+};
+
+/// Point-in-time view of the trainer (stats(); all monotonic unless
+/// noted).
+struct TrainerStats {
+  std::uint64_t runs_ingested = 0;
+  std::uint64_t runs_rejected = 0;  ///< Malformed exports.
+  CorpusSpan corpus;                ///< Current contents (not monotonic).
+
+  std::uint64_t windows_scored_live = 0;
+  std::uint64_t windows_scored_candidate = 0;
+  double live_smae = 0.0;       ///< Current rolling value (not monotonic).
+  double candidate_smae = 0.0;  ///< Meaningful while a candidate exists.
+  std::size_t live_window_count = 0;       ///< Windows in the live ring.
+  std::size_t candidate_window_count = 0;  ///< Windows in the cand. ring.
+  double baseline_smae = 0.0;
+  bool drift_active = false;  ///< Verdict latched, recovery pending.
+  std::uint64_t drift_verdicts = 0;
+
+  std::uint64_t retrains_started = 0;
+  std::uint64_t retrains_completed = 0;
+  std::uint64_t retrains_failed = 0;
+  std::uint64_t retrains_skipped_budget = 0;
+  std::uint64_t retrains_downscaled = 0;
+  double last_retrain_seconds = 0.0;
+  double est_seconds_per_sample = 0.0;  ///< 0 until the first measurement.
+
+  std::uint64_t publishes = 0;
+  std::uint64_t publish_failures = 0;
+  CorpusSpan last_published_span;
+  std::string last_publish_trigger;   ///< "bootstrap" / "drift".
+  std::uint32_t observed_model_version = 0;  ///< Last store version seen.
+  std::uint64_t swaps_observed = 0;
+  bool publish_pending = false;  ///< Archive written, swap not yet seen.
+
+  double soft_threshold = 0.0;  ///< Current S-MAE tolerance (seconds).
+};
+
+/// The trainer daemon. One instance per served model path.
+class ContinuousTrainer {
+ public:
+  /// `store` is the serve tier's ModelStore (the trainer reads the live
+  /// model from it for shadow scoring and watches its version to detect
+  /// that a published archive has landed). Throws std::invalid_argument
+  /// on an empty archive_path or a drift/corpus policy that cannot be
+  /// constructed.
+  ContinuousTrainer(serve::ModelStore& store, TrainerOptions options);
+  ContinuousTrainer(const ContinuousTrainer&) = delete;
+  ContinuousTrainer& operator=(const ContinuousTrainer&) = delete;
+  ~ContinuousTrainer();
+
+  /// The hook to hand to ServiceOptions::run_sink. Safe to call from any
+  /// thread; cheap (queue + wake). Runs ingested after stop() are dropped.
+  [[nodiscard]] serve::RunSink sink();
+
+  /// Queues one completed run for ingestion (what sink() forwards to).
+  void ingest(serve::CompletedRun completed);
+
+  /// Blocks until every queued run has been processed and no retrain or
+  /// publish task is outstanding. A swap published here may still be
+  /// waiting for the serve tier's watch poll — see stats().publish_pending.
+  void drain();
+
+  /// Stops accepting work and blocks until outstanding tasks finish.
+  /// Idempotent; also called by the destructor.
+  void stop();
+
+  [[nodiscard]] TrainerStats stats() const;
+
+ private:
+  struct Metrics {
+    Metrics();
+    obs::Counter& runs_ingested;
+    obs::Counter& runs_rejected;
+    obs::Counter& drift_verdicts;
+    obs::Counter& retrains_completed;
+    obs::Counter& retrains_failed;
+    obs::Counter& retrains_skipped;
+    obs::Counter& publishes;
+    obs::Counter& publish_failures;
+    obs::Gauge& corpus_runs;
+    obs::Gauge& corpus_samples;
+    obs::Gauge& corpus_span_first;
+    obs::Gauge& corpus_span_last;
+    obs::Gauge& live_smae;
+    obs::Gauge& candidate_smae;
+    obs::Gauge& baseline_smae;
+    obs::Gauge& drift_active;
+    obs::Gauge& published_version;
+    obs::Histogram& retrain_seconds;
+  };
+
+  struct Candidate {
+    std::shared_ptr<const ml::Regressor> regressor;
+    CorpusSpan trained_span;
+  };
+
+  /// Wraps `fn` in outstanding-task accounting and submits it; drops the
+  /// task when stopping.
+  void submit_task(std::function<void()> fn);
+  void process();  ///< Single-flight queue drainer (pool task).
+  void handle_run_locked(serve::CompletedRun completed);
+  void check_store_version_locked();
+  void maybe_publish_candidate_locked();
+  void maybe_schedule_retrain_locked();
+  void run_retrain(data::DataHistory history, CorpusSpan used,
+                   bool publish_direct, bool downscaled);
+  /// Writes the archive (tmp + rename). Returns false (and counts) on
+  /// failure.
+  bool publish_locked(const std::shared_ptr<const ml::Regressor>& model,
+                      const CorpusSpan& span, const std::string& trigger);
+  [[nodiscard]] double soft_threshold_locked() const;
+  [[nodiscard]] double estimate_full_fit_seconds_locked() const;
+
+  serve::ModelStore& store_;
+  const TrainerOptions options_;
+  parallel::ThreadPool& pool_;
+  Metrics metrics_;
+
+  // Ingest queue (pending_mutex_): touched by shard loop threads.
+  std::mutex pending_mutex_;
+  std::vector<serve::CompletedRun> pending_;
+  bool process_scheduled_ = false;
+  bool stopping_ = false;
+
+  // Outstanding-task accounting for stop()/drain().
+  mutable std::mutex task_mutex_;
+  std::condition_variable task_cv_;
+  std::size_t outstanding_ = 0;
+
+  // Learning state (mutex_): corpus, rolling scores, drift, candidate.
+  mutable std::mutex mutex_;
+  SlidingCorpus corpus_;
+  RollingSmae live_rolling_;
+  RollingSmae candidate_rolling_;
+  DriftDetector detector_;
+  std::shared_ptr<const serve::ScoringModel> live_model_;
+  std::optional<Candidate> candidate_;
+  bool retrain_in_flight_ = false;
+  bool publish_pending_ = false;
+  std::uint64_t runs_since_retrain_ = 0;
+  double est_seconds_per_sample_ = 0.0;
+  std::uint32_t last_seen_version_ = 0;
+  TrainerStats stats_;
+};
+
+}  // namespace f2pm::learn

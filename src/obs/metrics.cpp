@@ -161,6 +161,31 @@ std::vector<MetricSnapshot> Registry::snapshot() const {
   return out;
 }
 
+std::optional<MetricSnapshot> Registry::find(const std::string& name,
+                                             const std::string& labels) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(std::make_pair(name, labels));
+  if (it == entries_.end()) return std::nullopt;
+  const Entry& entry = it->second;
+  MetricSnapshot snap;
+  snap.name = name;
+  snap.labels = labels;
+  snap.help = entry.help;
+  snap.type = entry.type;
+  switch (entry.type) {
+    case MetricType::kCounter:
+      snap.value = static_cast<double>(entry.counter->value());
+      break;
+    case MetricType::kGauge:
+      snap.value = entry.gauge->value();
+      break;
+    case MetricType::kHistogram:
+      snap.histogram = entry.histogram->snapshot();
+      break;
+  }
+  return snap;
+}
+
 Registry& Registry::global() {
   static Registry registry;
   return registry;

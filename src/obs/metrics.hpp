@@ -24,6 +24,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -173,6 +174,13 @@ class Registry {
   /// sorted by (name, labels). Counter values are monotonic across
   /// successive snapshots even under concurrent writers.
   [[nodiscard]] std::vector<MetricSnapshot> snapshot() const;
+
+  /// Snapshot of one (name, labels) entry, or nullopt when it was never
+  /// registered. Lets an in-process consumer (the learn trainer reads the
+  /// ml fit timers to estimate a retrain budget) query a single series
+  /// without rendering the whole exposition.
+  [[nodiscard]] std::optional<MetricSnapshot> find(
+      const std::string& name, const std::string& labels = "") const;
 
   /// The process-wide registry every instrumented layer writes to.
   static Registry& global();

@@ -3,6 +3,7 @@
 #include <sys/stat.h>
 
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
@@ -16,6 +17,7 @@ namespace {
 
 struct StoreMetrics {
   obs::Counter& hot_swaps;
+  obs::Counter& swap_failures;
   obs::Gauge& model_version;
 
   static StoreMetrics& get() {
@@ -24,6 +26,10 @@ struct StoreMetrics {
         registry.counter("f2pm_serve_model_hot_swaps_total",
                          "Models published into the store (API or "
                          "watched-file reload)."),
+        registry.counter("f2pm_serve_swap_failures_total",
+                         "Model publish attempts rejected (archive open/"
+                         "parse or validation failure); the previous model "
+                         "stayed active."),
         registry.gauge("f2pm_serve_model_version",
                        "Version of the active scoring model (0 = none).")};
     return metrics;
@@ -57,10 +63,18 @@ void validate(const ml::Regressor& regressor,
 std::uint32_t ModelStore::swap(std::shared_ptr<const ml::Regressor> regressor,
                                std::vector<std::size_t> selected_columns,
                                std::string source) {
-  if (!regressor) {
-    throw std::invalid_argument("ModelStore: null model");
+  try {
+    if (!regressor) {
+      throw std::invalid_argument("ModelStore: null model");
+    }
+    validate(*regressor, selected_columns);
+  } catch (...) {
+    // One failed publish attempt = one tick, whatever the rejection
+    // reason. load_file counts only its pre-swap (open/read/parse) stage,
+    // so a rejected archive is never double-counted.
+    StoreMetrics::get().swap_failures.add(1);
+    throw;
   }
-  validate(*regressor, selected_columns);
   auto next = std::make_shared<ScoringModel>();
   next->regressor = std::move(regressor);
   next->selected_columns = std::move(selected_columns);
@@ -84,12 +98,27 @@ std::uint32_t ModelStore::swap(std::shared_ptr<const ml::Regressor> regressor,
 
 std::uint32_t ModelStore::load_file(const std::string& path,
                                     std::vector<std::size_t> selected_columns) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    throw std::runtime_error("ModelStore: cannot open " + path);
+  std::shared_ptr<const ml::Regressor> model;
+  try {
+    // Stage the whole archive into memory, then parse the staged copy.
+    // A writer racing the read (torn write, truncation mid-load) can only
+    // corrupt the staged bytes — which then fail to parse — never leave a
+    // half-deserialized model anywhere near the publish path.
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      throw std::runtime_error("ModelStore: cannot open " + path);
+    }
+    std::ostringstream staged;
+    staged << in.rdbuf();
+    if (in.bad()) {
+      throw std::runtime_error("ModelStore: read failed on " + path);
+    }
+    std::istringstream parse(std::move(staged).str());
+    model = ml::load_model(parse);
+  } catch (...) {
+    StoreMetrics::get().swap_failures.add(1);
+    throw;
   }
-  // Fully parse (and thereby validate) the archive before publishing.
-  std::shared_ptr<const ml::Regressor> model = ml::load_model(in);
   return swap(std::move(model), std::move(selected_columns), "file:" + path);
 }
 

@@ -48,8 +48,10 @@ class ModelStore {
                      std::string source = "api");
 
   /// Loads a model archive written by ml::save_model and publishes it.
-  /// The file is parsed completely before the swap; on any error the
-  /// previous model stays active and the exception propagates.
+  /// The file is staged fully into memory and parsed completely before
+  /// the swap, so a torn or concurrent write can only fail the parse; on
+  /// any error the previous model stays active, the failure is counted in
+  /// f2pm_serve_swap_failures_total, and the exception propagates.
   std::uint32_t load_file(const std::string& path,
                           std::vector<std::size_t> selected_columns = {});
 

@@ -5,12 +5,31 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <string>
 
 #include "core/online.hpp"
 #include "data/aggregation.hpp"
+#include "data/data_history.hpp"
 #include "net/poller.hpp"
 
 namespace f2pm::serve {
+
+/// A completed, crash-labeled run exported by the serve tier: a session's
+/// datapoint stream from (re)start up to the FailEvent that ended it.
+/// This is the raw material of the continuous-learning loop (src/learn) —
+/// every exported run carries provenance back to the producing session.
+struct CompletedRun {
+  data::Run run;          ///< Samples + fail event; run.failed is true.
+  std::string client_id;  ///< Hello id of the session ("" for legacy).
+  std::size_t shard = 0;  ///< Reactor shard that served the session.
+};
+
+/// Consumer of completed runs (ServiceOptions::run_sink). Invoked on the
+/// owning shard's event-loop thread, possibly concurrently across shards,
+/// so implementations must be thread-safe and cheap — hand the run off to
+/// another thread (the learn trainer queues it and returns immediately).
+using RunSink = std::function<void(CompletedRun)>;
 
 /// Service parameterization.
 struct ServiceOptions {
@@ -66,6 +85,17 @@ struct ServiceOptions {
   /// trained on.
   data::AggregationOptions aggregation;
   core::AdvisorOptions advisor;  ///< Per-session rejuvenation policy.
+
+  /// When set, every run a session completes (a FailEvent closing a
+  /// non-empty datapoint stream) is exported as a crash-labeled
+  /// CompletedRun — the ingest hook of the continuous-learning loop.
+  /// Unset (the default) costs nothing: no per-session sample retention.
+  RunSink run_sink;
+  /// Per-run cap on retained raw samples while a sink is set; a run that
+  /// exceeds it is not exported (counted in
+  /// f2pm_serve_runs_export_dropped_total) so a never-failing stream
+  /// cannot grow an unbounded buffer.
+  std::size_t run_export_max_samples = 100'000;
 };
 
 /// Monotonic service counters. stats() aggregates a consistent-enough

@@ -63,6 +63,15 @@ struct Session {
   /// The drain path queued the final flush marker (at most once).
   bool flush_enqueued = false;
 
+  // --- run export (loop thread only) -------------------------------------
+  /// Raw samples of the current run, retained only when the service has a
+  /// run_sink; moved out (and the buffer reset) when a FailEvent completes
+  /// the run.
+  std::vector<data::RawDatapoint> run_samples;
+  /// The current run overflowed run_export_max_samples: stop retaining and
+  /// skip exporting it (the next run starts clean).
+  bool run_export_overflow = false;
+
   // --- scoring pipeline --------------------------------------------------
   std::vector<InboxItem> inbox;  ///< Loop thread only.
   bool in_flight = false;        ///< A scoring task currently owns state.

@@ -77,6 +77,15 @@ ServiceShard::Metrics::Metrics(std::size_t shard_index)
           "f2pm_serve_disconnects_total",
           "Session transport endings by kind.",
           "kind=\"reset\"," + shard_label(shard_index))),
+      runs_exported(obs::Registry::global().counter(
+          "f2pm_serve_runs_exported_total",
+          "Completed crash-labeled runs handed to the run sink.",
+          shard_label(shard_index))),
+      runs_export_dropped(obs::Registry::global().counter(
+          "f2pm_serve_runs_export_dropped_total",
+          "Completed runs not exported (oversize, empty, inconsistent fail "
+          "time, or a throwing sink).",
+          shard_label(shard_index))),
       batch_seconds(obs::Registry::global().histogram(
           "f2pm_serve_scoring_batch_seconds",
           "Wall-clock time scoring one session inbox batch.",
@@ -440,6 +449,27 @@ bool ServiceShard::handle_frame(const std::shared_ptr<Session>& session,
     metrics_.datapoints.add(1);
     metrics_.inbox_depth.add(1.0);
     ++session->datapoints;
+    if (options_.run_sink) {
+      if (!session->run_samples.empty() &&
+          datapoint->tgen < session->run_samples.back().tgen) {
+        // Out-of-order tgen without a fail event: the scoring path treats
+        // it as an implicit run boundary, so the export buffer restarts
+        // too — the truncated run has no crash label and is not exported.
+        session->run_samples.clear();
+        session->run_export_overflow = false;
+      }
+      if (!session->run_export_overflow) {
+        if (session->run_samples.size() < options_.run_export_max_samples) {
+          session->run_samples.push_back(*datapoint);
+        } else {
+          // Oversize run: drop the whole run rather than export a
+          // truncated (mislabeled-RTTF) prefix or grow without bound.
+          session->run_export_overflow = true;
+          session->run_samples.clear();
+          session->run_samples.shrink_to_fit();
+        }
+      }
+    }
     session->inbox.push_back(InboxItem{false, *datapoint});
     if (session->inbox.size() >= options_.max_pending_datapoints &&
         !session->read_paused) {
@@ -452,7 +482,8 @@ bool ServiceShard::handle_frame(const std::shared_ptr<Session>& session,
     dispatch_scoring(session);
     return true;
   }
-  if (std::get_if<net::FailEvent>(&frame) != nullptr) {
+  if (auto* fail = std::get_if<net::FailEvent>(&frame)) {
+    if (options_.run_sink) export_run(session, fail->fail_time);
     metrics_.inbox_depth.add(1.0);
     session->inbox.push_back(InboxItem{true, {}});
     dispatch_scoring(session);
@@ -493,6 +524,37 @@ bool ServiceShard::handle_frame(const std::shared_ptr<Session>& session,
   counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
   close_session(session, /*evicted=*/true, "unexpected server-side frame");
   return false;
+}
+
+void ServiceShard::export_run(const std::shared_ptr<Session>& session,
+                              double fail_time) {
+  // The buffer always resets here: whatever happens to this run, the next
+  // one starts clean after the fail event.
+  std::vector<data::RawDatapoint> samples = std::move(session->run_samples);
+  session->run_samples = {};
+  const bool overflowed = session->run_export_overflow;
+  session->run_export_overflow = false;
+
+  if (overflowed || samples.empty() ||
+      fail_time < samples.back().tgen) {
+    // Oversize run, fail event with no preceding datapoints, or a fail
+    // time that precedes the last sample (which would mislabel RTTF).
+    metrics_.runs_export_dropped.add(1);
+    return;
+  }
+  CompletedRun completed;
+  completed.run.samples = std::move(samples);
+  completed.run.fail_time = fail_time;
+  completed.run.failed = true;
+  completed.client_id = session->client_id;
+  completed.shard = index_;
+  try {
+    options_.run_sink(std::move(completed));
+    metrics_.runs_exported.add(1);
+  } catch (const std::exception& e) {
+    metrics_.runs_export_dropped.add(1);
+    F2PM_LOG(kWarn, "serve") << "run sink failed: " << e.what();
+  }
 }
 
 void ServiceShard::dispatch_scoring(const std::shared_ptr<Session>& session) {

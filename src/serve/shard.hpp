@@ -112,6 +112,8 @@ class ServiceShard {
     obs::Counter& disconnects_clean;
     obs::Counter& disconnects_truncated;
     obs::Counter& disconnects_reset;
+    obs::Counter& runs_exported;
+    obs::Counter& runs_export_dropped;
     obs::Histogram& batch_seconds;
   };
 
@@ -147,6 +149,10 @@ class ServiceShard {
   void handle_writable(const std::shared_ptr<Session>& session);
   bool handle_frame(const std::shared_ptr<Session>& session,
                     net::Frame frame);
+  /// Hands the session's buffered run to options_.run_sink (if any) as a
+  /// crash-labeled CompletedRun ending at `fail_time`, then resets the
+  /// buffer for the next run. Loop thread only.
+  void export_run(const std::shared_ptr<Session>& session, double fail_time);
   void dispatch_scoring(const std::shared_ptr<Session>& session);
   void score_batch(const std::shared_ptr<Session>& session,
                    std::vector<InboxItem> batch);

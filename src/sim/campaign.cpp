@@ -9,6 +9,17 @@
 
 namespace f2pm::sim {
 
+CampaignConfig effective_config(const CampaignConfig& config,
+                                std::size_t run_index) {
+  CampaignConfig effective = config;
+  if (config.shift && run_index >= config.shift->after_run) {
+    effective.home_anomalies = config.shift->home_anomalies;
+    effective.intensity_min = config.shift->intensity_min;
+    effective.intensity_max = config.shift->intensity_max;
+  }
+  return effective;
+}
+
 RunResult execute_run(const CampaignConfig& config, std::uint64_t run_seed) {
   util::Rng rng(run_seed);
   // Independent streams per component keep the workload trajectory stable
@@ -106,7 +117,7 @@ data::DataHistory run_campaign(
     std::mutex progress_mutex;
     parallel::ThreadPool pool(config.parallel_runs);
     parallel::parallel_for(pool, 0, config.num_runs, [&](std::size_t r) {
-      results[r] = execute_run(config, seeds[r]);
+      results[r] = execute_run(effective_config(config, r), seeds[r]);
       if (progress) {
         const std::lock_guard<std::mutex> lock(progress_mutex);
         progress(r, results[r]);
@@ -114,7 +125,7 @@ data::DataHistory run_campaign(
     });
   } else {
     for (std::size_t r = 0; r < config.num_runs; ++r) {
-      results[r] = execute_run(config, seeds[r]);
+      results[r] = execute_run(effective_config(config, r), seeds[r]);
       if (progress) progress(r, results[r]);
     }
   }

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "data/data_history.hpp"
@@ -20,6 +21,18 @@
 #include "sim/tpcw_workload.hpp"
 
 namespace f2pm::sim {
+
+/// A mid-campaign regime change: from run index `after_run` onward, the
+/// anomaly parameters and intensity range below replace the campaign's.
+/// This is the drift generator for the continuous-learning loop — a model
+/// trained on the pre-shift regime sees its error grow on post-shift runs
+/// and must retrain to recover.
+struct CampaignShift {
+  std::size_t after_run = 0;  ///< First run index the shift applies to.
+  HomeAnomalyConfig home_anomalies;
+  double intensity_min = 0.5;
+  double intensity_max = 2.5;
+};
 
 /// Full campaign parameterization.
 struct CampaignConfig {
@@ -52,6 +65,11 @@ struct CampaignConfig {
   double intensity_min = 0.5;
   double intensity_max = 2.5;
 
+  /// Optional parameter shift applied to runs at index >= shift->after_run
+  /// (run_campaign applies it automatically; drive execute_run through
+  /// effective_config for index-aware single-run execution).
+  std::optional<CampaignShift> shift;
+
   /// When true, the §III-E synthetic injectors run alongside the workload
   /// (speeding up data collection, as the paper suggests).
   bool use_synthetic_injectors = false;
@@ -76,7 +94,14 @@ struct RunResult {
   double intensity = 1.0;               ///< The run's anomaly multiplier.
 };
 
-/// Executes a single run-to-crash with the given per-run seed.
+/// The campaign config as run `run_index` sees it: the base config with
+/// the shift's anomaly parameters and intensity range substituted when
+/// `config.shift` is set and run_index >= shift->after_run.
+CampaignConfig effective_config(const CampaignConfig& config,
+                                std::size_t run_index);
+
+/// Executes a single run-to-crash with the given per-run seed. Ignores
+/// config.shift (it has no run index); apply effective_config first.
 RunResult execute_run(const CampaignConfig& config, std::uint64_t run_seed);
 
 /// Executes the whole campaign. `progress`, when set, is invoked as each

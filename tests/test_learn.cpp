@@ -1,0 +1,452 @@
+// Unit coverage of the continuous-learning primitives: rolling-S-MAE
+// drift detection as a pure deterministic unit (window stream in → exact
+// verdict sequence out), the bounded sliding corpus, the retrain budget
+// planner, the hardened ModelStore archive swap, and the full trainer
+// loop (bootstrap → drift → retrain → publish) driven without a server.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "data/datapoint.hpp"
+#include "learn/corpus.hpp"
+#include "learn/drift.hpp"
+#include "learn/trainer.hpp"
+#include "ml/linear_regression.hpp"
+#include "obs/metrics.hpp"
+#include "serve/model_store.hpp"
+
+#include "chaos_driver.hpp"
+
+namespace f2pm::learn {
+namespace {
+
+// --- RollingSmae ----------------------------------------------------------
+
+TEST(RollingSmae, SoftThresholdAndRingBuffer) {
+  RollingSmae rolling(4);
+  EXPECT_EQ(rolling.count(), 0u);
+  EXPECT_FALSE(rolling.full());
+  EXPECT_DOUBLE_EQ(rolling.value(0.0), 0.0);
+
+  rolling.observe(10.0, 2.0);  // |err| = 8
+  rolling.observe(5.0, 5.0);   // 0
+  EXPECT_DOUBLE_EQ(rolling.value(0.0), 4.0);
+  // Errors at or below the tolerance count as zero but stay in the mean's
+  // denominator (the paper's Soft-MAE).
+  EXPECT_DOUBLE_EQ(rolling.value(8.0), 0.0);
+
+  rolling.observe(1.0, 3.0);  // 2
+  rolling.observe(0.0, 4.0);  // 4
+  EXPECT_TRUE(rolling.full());
+  EXPECT_DOUBLE_EQ(rolling.value(0.0), (8.0 + 0.0 + 2.0 + 4.0) / 4.0);
+
+  rolling.observe(9.0, 9.0);  // 0, evicting the oldest (8)
+  EXPECT_DOUBLE_EQ(rolling.value(0.0), (0.0 + 2.0 + 4.0 + 0.0) / 4.0);
+  // The threshold is applied at read time, so it may drift upward as the
+  // largest observed RTTF grows without rewriting history.
+  EXPECT_DOUBLE_EQ(rolling.value(3.0), 1.0);  // only the 4 survives
+
+  rolling.reset();
+  EXPECT_EQ(rolling.count(), 0u);
+  EXPECT_EQ(rolling.horizon(), 4u);
+  EXPECT_DOUBLE_EQ(rolling.value(0.0), 0.0);
+}
+
+TEST(RollingSmae, ZeroHorizonThrows) {
+  EXPECT_THROW(RollingSmae(0), std::invalid_argument);
+}
+
+// --- DriftDetector ---------------------------------------------------------
+
+TEST(DriftDetector, ExactVerdictSequence) {
+  DriftPolicy policy;
+  policy.degrade_ratio = 2.0;
+  policy.min_smae_seconds = 1.0;
+  policy.consecutive = 2;
+  DriftDetector detector(policy);
+
+  EXPECT_FALSE(detector.has_baseline());
+  // Deterministic stream → exact verdict sequence.
+  EXPECT_FALSE(detector.evaluate(2.0));  // first call only sets baseline
+  EXPECT_TRUE(detector.has_baseline());
+  EXPECT_DOUBLE_EQ(detector.baseline(), 2.0);
+  EXPECT_FALSE(detector.evaluate(3.9));  // below 2.0 * 2: healthy
+  EXPECT_FALSE(detector.evaluate(4.1));  // degraded streak 1 of 2
+  EXPECT_FALSE(detector.evaluate(3.0));  // healthy: streak resets
+  EXPECT_FALSE(detector.evaluate(5.0));  // degraded streak 1 of 2
+  EXPECT_TRUE(detector.evaluate(6.0));   // streak 2 → the one verdict
+  EXPECT_TRUE(detector.triggered());
+  EXPECT_FALSE(detector.evaluate(7.0));  // latched: never re-fires
+  EXPECT_FALSE(detector.evaluate(0.1));
+
+  detector.reset();
+  EXPECT_FALSE(detector.triggered());
+  EXPECT_FALSE(detector.has_baseline());
+  EXPECT_FALSE(detector.evaluate(0.5));  // re-baselines after reset
+  EXPECT_DOUBLE_EQ(detector.baseline(), 0.5);
+}
+
+TEST(DriftDetector, BaselineTracksTheBestObservedSteadyState) {
+  DriftPolicy policy;
+  policy.degrade_ratio = 1.5;
+  policy.min_smae_seconds = 1.0;
+  policy.consecutive = 2;
+  DriftDetector detector(policy);
+  // A lucky-high seed (the first post-swap evaluation is dominated by
+  // whichever run filled the horizon) must not permanently raise the bar.
+  EXPECT_FALSE(detector.evaluate(100.0));  // seed
+  EXPECT_DOUBLE_EQ(detector.baseline(), 100.0);
+  EXPECT_FALSE(detector.evaluate(10.0));  // steady state found
+  EXPECT_DOUBLE_EQ(detector.baseline(), 10.0);
+  EXPECT_FALSE(detector.evaluate(12.0));  // never raises
+  EXPECT_DOUBLE_EQ(detector.baseline(), 10.0);
+  EXPECT_FALSE(detector.evaluate(40.0));  // degraded vs 10, not vs 100
+  EXPECT_TRUE(detector.evaluate(40.0));
+  // Frozen once triggered: recovery noise below 10 must not move the
+  // reference the latched verdict fired against.
+  EXPECT_FALSE(detector.evaluate(5.0));
+  EXPECT_DOUBLE_EQ(detector.baseline(), 10.0);
+}
+
+TEST(DriftDetector, AbsoluteFloorGatesNearZeroBaselines) {
+  DriftPolicy policy;
+  policy.degrade_ratio = 1.5;
+  policy.min_smae_seconds = 1.0;
+  policy.consecutive = 2;
+  DriftDetector detector(policy);
+  EXPECT_FALSE(detector.evaluate(0.0));  // baseline 0: any ratio passes
+  // Without the absolute floor these would all be "degraded".
+  EXPECT_FALSE(detector.evaluate(0.5));
+  EXPECT_FALSE(detector.evaluate(0.9));
+  EXPECT_FALSE(detector.evaluate(1.1));  // over the floor: streak 1
+  EXPECT_TRUE(detector.evaluate(1.2));   // streak 2 → verdict
+}
+
+TEST(DriftDetector, RejectsBadPolicy) {
+  DriftPolicy zero_consecutive;
+  zero_consecutive.consecutive = 0;
+  EXPECT_THROW(DriftDetector{zero_consecutive}, std::invalid_argument);
+  DriftPolicy bad_ratio;
+  bad_ratio.degrade_ratio = 0.0;
+  EXPECT_THROW(DriftDetector{bad_ratio}, std::invalid_argument);
+}
+
+// --- SlidingCorpus ----------------------------------------------------------
+
+data::Run simple_run(std::size_t num_samples, double fail_time) {
+  data::Run run;
+  for (std::size_t i = 0; i < num_samples; ++i) {
+    data::RawDatapoint sample;
+    sample.tgen = static_cast<double>(i);
+    sample[data::FeatureId::kMemUsed] = static_cast<double>(i);
+    run.samples.push_back(sample);
+  }
+  run.fail_time = fail_time;
+  run.failed = true;
+  return run;
+}
+
+TEST(SlidingCorpus, SequencesAndEvictsOldestByRunBound) {
+  SlidingCorpus corpus({/*max_runs=*/2, /*max_samples=*/1000});
+  EXPECT_EQ(corpus.add(simple_run(4, 10.0), "a"), 1u);
+  EXPECT_EQ(corpus.add(simple_run(4, 10.0), "b"), 2u);
+  EXPECT_EQ(corpus.add(simple_run(4, 10.0), "c"), 3u);
+  EXPECT_EQ(corpus.num_runs(), 2u);
+  EXPECT_EQ(corpus.runs_evicted(), 1u);
+  const CorpusSpan span = corpus.span();
+  EXPECT_EQ(span.first_sequence, 2u);
+  EXPECT_EQ(span.last_sequence, 3u);
+  EXPECT_EQ(corpus.runs().front().client_id, "b");
+}
+
+TEST(SlidingCorpus, SampleBoundNeverEvictsTheNewestRun) {
+  SlidingCorpus corpus({/*max_runs=*/10, /*max_samples=*/10});
+  corpus.add(simple_run(6, 10.0), "old");
+  corpus.add(simple_run(8, 10.0), "new");  // 14 > 10: old must go
+  EXPECT_EQ(corpus.num_runs(), 1u);
+  EXPECT_EQ(corpus.num_samples(), 8u);
+  // An over-budget single run is still retained: it beats an empty corpus.
+  corpus.add(simple_run(64, 100.0), "huge");
+  EXPECT_EQ(corpus.num_runs(), 1u);
+  EXPECT_EQ(corpus.num_samples(), 64u);
+}
+
+TEST(SlidingCorpus, MaxFailTimeIsMonotonicAcrossEviction) {
+  SlidingCorpus corpus({/*max_runs=*/1, /*max_samples=*/1000});
+  corpus.add(simple_run(4, 100.0), "long");
+  corpus.add(simple_run(4, 10.0), "short");  // evicts the 100 s run
+  EXPECT_DOUBLE_EQ(corpus.max_fail_time(), 100.0);
+}
+
+TEST(SlidingCorpus, AssembleTakesNewestRunsWithinBudget) {
+  SlidingCorpus corpus({/*max_runs=*/10, /*max_samples=*/1000});
+  corpus.add(simple_run(10, 20.0), "a");  // seq 1
+  corpus.add(simple_run(10, 20.0), "b");  // seq 2
+  corpus.add(simple_run(10, 20.0), "c");  // seq 3
+  CorpusSpan used;
+  data::DataHistory history = corpus.assemble(/*sample_budget=*/25, used);
+  EXPECT_EQ(history.num_runs(), 2u);  // newest two fit, oldest does not
+  EXPECT_EQ(used.first_sequence, 2u);
+  EXPECT_EQ(used.last_sequence, 3u);
+  EXPECT_EQ(used.samples, 20u);
+  // A budget below even one run still trains on the newest run.
+  history = corpus.assemble(/*sample_budget=*/3, used);
+  EXPECT_EQ(history.num_runs(), 1u);
+  EXPECT_EQ(used.first_sequence, 3u);
+  // Budget 0 = everything.
+  history = corpus.assemble(0, used);
+  EXPECT_EQ(history.num_runs(), 3u);
+}
+
+TEST(SlidingCorpus, RejectsMalformedRuns) {
+  SlidingCorpus corpus({});
+  EXPECT_THROW(corpus.add(data::Run{}, "empty"), std::invalid_argument);
+  data::Run out_of_order = simple_run(3, 10.0);
+  out_of_order.samples[1].tgen = 5.0;
+  out_of_order.samples[2].tgen = 1.0;
+  EXPECT_THROW(corpus.add(std::move(out_of_order), "disorder"),
+               std::invalid_argument);
+  data::Run early_fail = simple_run(5, 1.0);  // last sample at tgen 4
+  EXPECT_THROW(corpus.add(std::move(early_fail), "early"),
+               std::invalid_argument);
+}
+
+// --- plan_retrain ------------------------------------------------------------
+
+TEST(PlanRetrain, UnbudgetedOrAffordableRunsFull) {
+  RetrainPlan plan = plan_retrain(10'000, /*budget=*/0.0, /*est=*/500.0,
+                                  /*rate=*/0.05, /*min=*/100);
+  EXPECT_TRUE(plan.run);
+  EXPECT_FALSE(plan.downscaled);
+  EXPECT_EQ(plan.sample_budget, 0u);
+
+  plan = plan_retrain(10'000, /*budget=*/2.0, /*est=*/1.5, 0.0, 100);
+  EXPECT_TRUE(plan.run);
+  EXPECT_FALSE(plan.downscaled);
+}
+
+TEST(PlanRetrain, DownscalesToTheAffordableNewestSamples) {
+  // 10k samples at 1 ms each = 10 s, budget 2 s → 2000 samples fit.
+  const RetrainPlan plan =
+      plan_retrain(10'000, /*budget=*/2.0, /*est=*/10.0, /*rate=*/0.001,
+                   /*min=*/100);
+  EXPECT_TRUE(plan.run);
+  EXPECT_TRUE(plan.downscaled);
+  EXPECT_EQ(plan.sample_budget, 2000u);
+  EXPECT_NEAR(plan.estimated_seconds, 2.0, 1e-9);
+}
+
+TEST(PlanRetrain, SkipsWhenEvenTheFloorWontFit) {
+  const RetrainPlan plan =
+      plan_retrain(10'000, /*budget=*/0.05, /*est=*/10.0, /*rate=*/0.001,
+                   /*min=*/100);  // affordable = 50 < floor 100
+  EXPECT_FALSE(plan.run);
+  EXPECT_TRUE(plan.skipped_budget);
+}
+
+TEST(PlanRetrain, SkipsOverBudgetWithUnknownRate) {
+  const RetrainPlan plan = plan_retrain(10'000, /*budget=*/2.0, /*est=*/10.0,
+                                        /*rate=*/0.0, /*min=*/100);
+  EXPECT_FALSE(plan.run);
+  EXPECT_TRUE(plan.skipped_budget);
+}
+
+TEST(PlanRetrain, EmptyCorpusNeverRuns) {
+  const RetrainPlan plan = plan_retrain(0, 0.0, 0.0, 0.0, 1);
+  EXPECT_FALSE(plan.run);
+  EXPECT_FALSE(plan.skipped_budget);
+}
+
+// --- ModelStore torn-write hardening -----------------------------------------
+
+std::uint64_t swap_failures_total() {
+  const auto snap =
+      obs::Registry::global().find("f2pm_serve_swap_failures_total");
+  return snap ? static_cast<std::uint64_t>(snap->value) : 0u;
+}
+
+TEST(ModelStoreSwap, TornArchiveKeepsOldModelAndCountsOneFailure) {
+  const std::string path = testing::TempDir() + "/torn_model.bin";
+  serve::ModelStore store;
+  store.swap(chaos::constant_model(42.0));
+  ASSERT_EQ(store.version(), 1u);
+  const auto live = store.current();
+
+  // A truncated real archive: exactly what a torn writer leaves behind.
+  std::ostringstream full;
+  ml::save_model(*chaos::constant_model(7.0), full);
+  const std::string bytes = full.str();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  const std::uint64_t before = swap_failures_total();
+  EXPECT_THROW(store.load_file(path), std::exception);
+  EXPECT_EQ(swap_failures_total(), before + 1);  // counted exactly once
+  EXPECT_EQ(store.version(), 1u);
+  EXPECT_EQ(store.current(), live);  // the old model stayed active
+
+  // The watch path swallows the same failure and keeps polling...
+  store.watch_file(path);
+  EXPECT_FALSE(store.poll_watch());
+  EXPECT_EQ(store.version(), 1u);
+  // ...and picks the archive up as soon as a complete write lands.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_TRUE(store.poll_watch());
+  EXPECT_EQ(store.version(), 2u);
+  EXPECT_NE(store.current(), live);
+  std::remove(path.c_str());
+}
+
+TEST(ModelStoreSwap, ValidationFailureCountsOnce) {
+  serve::ModelStore store;
+  const std::uint64_t before = swap_failures_total();
+  EXPECT_THROW(store.swap(nullptr), std::invalid_argument);
+  EXPECT_EQ(swap_failures_total(), before + 1);
+  auto unfitted = std::make_shared<ml::LinearRegression>();
+  EXPECT_THROW(store.swap(unfitted), std::invalid_argument);
+  EXPECT_EQ(swap_failures_total(), before + 2);
+  EXPECT_EQ(store.version(), 0u);
+}
+
+// --- ContinuousTrainer end to end (no server) --------------------------------
+
+/// A memory ramp run: mem grows at `rate` KB/s sampled once a second and
+/// the process dies when mem reaches `fail_mem`, so fail_time = fail_mem /
+/// rate and RTTF is exactly (fail_mem - mem) / rate. A model trained at
+/// one rate systematically mispredicts streams produced at another —
+/// drift by construction — while the per-window mem slope feature lets a
+/// retrained tree separate the regimes.
+data::Run ramp_run(double rate, double fail_mem) {
+  data::Run run;
+  const double fail_time = fail_mem / rate;
+  for (double t = 0.0; t <= fail_time + 1e-9; t += 1.0) {
+    data::RawDatapoint sample;
+    sample.tgen = t;
+    sample[data::FeatureId::kMemUsed] = rate * t;
+    sample[data::FeatureId::kCpuUser] = 10.0;
+    run.samples.push_back(sample);
+  }
+  run.fail_time = fail_time;
+  run.failed = true;
+  return run;
+}
+
+serve::CompletedRun completed(data::Run run) {
+  serve::CompletedRun out;
+  out.run = std::move(run);
+  out.client_id = "unit";
+  return out;
+}
+
+TEST(ContinuousTrainer, BootstrapDriftRetrainPublishRecover) {
+  const std::string archive = testing::TempDir() + "/trainer_model.bin";
+  std::remove(archive.c_str());
+  serve::ModelStore store;
+  store.watch_file(archive);
+
+  TrainerOptions options;
+  options.model_name = "reptree";
+  // The corpus is small and deterministic; reduced-error pruning would
+  // hold out a third of the few post-shift windows and can collapse their
+  // subtree, so grow the full tree.
+  options.model_params.set("reptree.prune", "false");
+  options.archive_path = archive;
+  options.aggregation.window_seconds = 4.0;
+  options.aggregation.min_samples_per_window = 2;
+  options.corpus.max_runs = 8;
+  options.drift.horizon = 20;
+  options.drift.degrade_ratio = 1.5;
+  options.drift.min_smae_seconds = 1.0;
+  options.drift.consecutive = 2;
+  options.min_corpus_runs = 3;
+  options.candidate_min_windows = 7;
+  ContinuousTrainer trainer(store, options);
+
+  // Bootstrap: three pre-shift runs (rate 1, fail at t=60) trigger the
+  // unconditional first publish.
+  for (int i = 0; i < 3; ++i) trainer.ingest(completed(ramp_run(1.0, 60.0)));
+  trainer.drain();
+  TrainerStats stats = trainer.stats();
+  ASSERT_EQ(stats.publishes, 1u);
+  EXPECT_EQ(stats.last_publish_trigger, "bootstrap");
+  EXPECT_TRUE(stats.publish_pending);
+  ASSERT_TRUE(store.poll_watch());  // the "serve side" adopts the archive
+  EXPECT_EQ(store.version(), 1u);
+
+  // Steady pre-shift regime: the live model shadow-scores cleanly.
+  for (int i = 0; i < 3; ++i) {
+    trainer.ingest(completed(ramp_run(1.0, 60.0)));
+    trainer.drain();
+  }
+  const TrainerStats pre = trainer.stats();
+  EXPECT_EQ(pre.observed_model_version, 1u);
+  EXPECT_FALSE(pre.publish_pending);
+  EXPECT_GE(pre.live_window_count, options.drift.horizon);
+  EXPECT_FALSE(pre.drift_active);
+  EXPECT_LT(pre.live_smae, 1.0);
+
+  // Drift storm: the leak rate doubles mid-campaign. The live model now
+  // over-predicts RTTF by ~2x; the trainer must notice, retrain, beat the
+  // live model in shadow, and publish — all without outside help.
+  int runs_to_recover = 0;
+  for (int i = 0; i < 25 && trainer.stats().publishes < 2; ++i) {
+    trainer.ingest(completed(ramp_run(2.0, 60.0)));
+    trainer.drain();
+    ++runs_to_recover;
+  }
+  stats = trainer.stats();
+  ASSERT_GE(stats.publishes, 2u) << "no drift publish after "
+                                 << runs_to_recover << " shifted runs";
+  EXPECT_GE(stats.drift_verdicts, 1u);
+  EXPECT_EQ(stats.last_publish_trigger, "drift");
+  EXPECT_GE(stats.retrains_completed, 2u);
+  ASSERT_TRUE(store.poll_watch());
+  EXPECT_EQ(store.version(), 2u);
+
+  // Recovery: post-swap windows score within 10% of the pre-shift
+  // baseline (both effectively zero under the Soft-MAE tolerance).
+  for (int i = 0; i < 4; ++i) {
+    trainer.ingest(completed(ramp_run(2.0, 60.0)));
+    trainer.drain();
+  }
+  const TrainerStats post = trainer.stats();
+  EXPECT_EQ(post.observed_model_version, 2u);
+  EXPECT_FALSE(post.drift_active);
+  EXPECT_GE(post.live_window_count, options.drift.horizon);
+  EXPECT_LE(post.live_smae, pre.live_smae * 1.10 + 0.5);
+  trainer.stop();
+  std::remove(archive.c_str());
+}
+
+TEST(ContinuousTrainer, RejectsMalformedExportsWithoutWedging) {
+  const std::string archive = testing::TempDir() + "/trainer_reject.bin";
+  std::remove(archive.c_str());
+  serve::ModelStore store;
+  TrainerOptions options;
+  options.archive_path = archive;
+  ContinuousTrainer trainer(store, options);
+  serve::CompletedRun empty;  // no samples: must be rejected, not fatal
+  trainer.ingest(std::move(empty));
+  trainer.drain();
+  EXPECT_EQ(trainer.stats().runs_rejected, 1u);
+  // The loop still works afterwards.
+  trainer.ingest(completed(ramp_run(1.0, 60.0)));
+  trainer.drain();
+  EXPECT_EQ(trainer.stats().runs_ingested, 1u);
+}
+
+TEST(ContinuousTrainer, RequiresArchivePath) {
+  serve::ModelStore store;
+  EXPECT_THROW(ContinuousTrainer(store, TrainerOptions{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace f2pm::learn

@@ -1,0 +1,166 @@
+// The drift-storm chaos scenario: a live PredictionService wired to a
+// ContinuousTrainer through run_sink, with a real FMC client streaming
+// crash-labeled runs over TCP. Mid-campaign the workload's leak rate
+// doubles (the anomaly-parameter shift); the service must bootstrap a
+// model, notice the drift, retrain, and hot-swap — twice, without a
+// restart, without the client ever reconnecting — and the rolling S-MAE
+// on post-swap windows must return to within 10% of the pre-shift
+// baseline.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "chaos_driver.hpp"
+#include "learn/trainer.hpp"
+#include "net/fmc.hpp"
+#include "serve/model_store.hpp"
+#include "serve/service.hpp"
+
+namespace f2pm {
+namespace {
+
+/// Polls `condition` until it holds or `seconds` elapse.
+bool wait_until(const std::function<bool()>& condition, double seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (condition()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return condition();
+}
+
+learn::TrainerOptions drift_storm_trainer_options(const std::string& archive) {
+  learn::TrainerOptions options;
+  options.model_name = "reptree";
+  // Small deterministic corpus: grow the full tree, no held-out pruning.
+  options.model_params.set("reptree.prune", "false");
+  options.archive_path = archive;
+  options.aggregation.window_seconds = chaos::kChaosWindowSeconds;
+  options.aggregation.min_samples_per_window = 2;
+  options.corpus.max_runs = 8;
+  options.drift.horizon = 20;
+  options.drift.degrade_ratio = 1.5;
+  options.drift.min_smae_seconds = 1.0;
+  options.drift.consecutive = 2;
+  options.min_corpus_runs = 3;
+  options.candidate_min_windows = 7;
+  return options;
+}
+
+TEST(LearnLoop, DriftStormRetrainsAndHotSwapsWithoutRestart) {
+  const std::string archive = testing::TempDir() + "/drift_storm_model.bin";
+  std::remove(archive.c_str());
+
+  auto store = std::make_shared<serve::ModelStore>();
+  store->watch_file(archive);
+  learn::ContinuousTrainer trainer(*store,
+                                   drift_storm_trainer_options(archive));
+
+  serve::ServiceOptions service_options = chaos::chaos_service_options();
+  service_options.model_poll_seconds = 0.02;
+  service_options.run_sink = trainer.sink();
+  serve::PredictionService service(service_options, store);
+
+  net::ClientOptions client_options;
+  client_options.op_deadline_seconds = 30.0;
+  net::FeatureMonitorClient client("127.0.0.1", service.port(),
+                                   client_options);
+  client.hello("drift-storm");
+
+  std::size_t predictions = 0;
+  std::uint64_t runs_streamed = 0;
+  // One memory-ramp run over the wire: mem grows at `rate` KB/s sampled
+  // once a second until it hits `fail_mem`, then the crash is reported.
+  // The per-window mem slope separates the two rate regimes for the tree.
+  // Run export is asynchronous (the shard processes the FailEvent after
+  // report_failure() returns), so wait for the ingest before draining.
+  const auto stream_run = [&](double rate, double fail_mem) {
+    const double fail_time = fail_mem / rate;
+    for (double t = 0.0; t <= fail_time + 1e-9; t += 1.0) {
+      data::RawDatapoint sample;
+      sample.tgen = t;
+      sample[data::FeatureId::kMemUsed] = rate * t;
+      sample[data::FeatureId::kCpuUser] = 10.0;
+      client.send(sample);
+      while (client.poll_prediction().has_value()) ++predictions;
+    }
+    client.report_failure(fail_time);
+    ++runs_streamed;
+    ASSERT_TRUE(wait_until(
+        [&] {
+          const learn::TrainerStats stats = trainer.stats();
+          return stats.runs_ingested + stats.runs_rejected >= runs_streamed;
+        },
+        10.0))
+        << "run " << runs_streamed << " was never exported to the trainer";
+    trainer.drain();
+  };
+
+  // Phase 1 — bootstrap. The service starts model-less; the exported runs
+  // alone must produce the first published model and the first hot swap.
+  for (int i = 0; i < 10 && trainer.stats().publishes < 1; ++i) {
+    stream_run(1.0, 60.0);
+  }
+  ASSERT_GE(trainer.stats().publishes, 1u) << "bootstrap never published";
+  EXPECT_EQ(trainer.stats().last_publish_trigger, "bootstrap");
+  ASSERT_TRUE(wait_until(
+      [&] { return service.stats().model_version >= 1; }, 10.0))
+      << "service never adopted the bootstrap archive";
+
+  // Phase 2 — steady state. Establish the pre-shift rolling baseline.
+  for (int i = 0; i < 4; ++i) stream_run(1.0, 60.0);
+  const learn::TrainerStats pre = trainer.stats();
+  ASSERT_EQ(pre.observed_model_version, 1u);
+  ASSERT_GE(pre.live_window_count, 20u);
+  EXPECT_FALSE(pre.drift_active);
+  EXPECT_LT(pre.live_smae, 1.0);
+  EXPECT_GT(predictions, 0u) << "no predictions flowed after the bootstrap";
+
+  // Phase 3 — the storm. The anomaly parameter shifts mid-campaign: the
+  // leak rate doubles, so the live model systematically over-predicts
+  // RTTF. Accuracy must recover through retrain + hot swap alone.
+  int shifted_runs = 0;
+  for (int i = 0; i < 25 && trainer.stats().publishes < 2; ++i) {
+    stream_run(2.0, 60.0);
+    ++shifted_runs;
+  }
+  const learn::TrainerStats storm = trainer.stats();
+  ASSERT_GE(storm.publishes, 2u)
+      << "no drift publish after " << shifted_runs << " shifted runs";
+  EXPECT_GE(storm.drift_verdicts, 1u);
+  EXPECT_EQ(storm.last_publish_trigger, "drift");
+  ASSERT_TRUE(wait_until(
+      [&] { return service.stats().model_version >= 2; }, 10.0))
+      << "service never adopted the retrained archive";
+
+  // Phase 4 — recovery. Post-swap windows must score within 10% of the
+  // pre-shift baseline (plus a small absolute allowance, as both sit at
+  // ~0 under the Soft-MAE tolerance).
+  const std::size_t predictions_before = predictions;
+  for (int i = 0; i < 4; ++i) stream_run(2.0, 60.0);
+  const learn::TrainerStats post = trainer.stats();
+  EXPECT_EQ(post.observed_model_version, 2u);
+  EXPECT_FALSE(post.drift_active);
+  EXPECT_GE(post.live_window_count, 20u);
+  EXPECT_LE(post.live_smae, pre.live_smae * 1.10 + 0.5);
+  EXPECT_GT(predictions, predictions_before)
+      << "no predictions flowed after the drift swap";
+
+  // "Without restart": the same connection served the whole campaign.
+  EXPECT_EQ(client.reconnects(), 0u);
+  EXPECT_EQ(service.stats().sessions_evicted, 0u);
+  EXPECT_EQ(service.stats().protocol_errors, 0u);
+
+  client.finish();
+  service.stop();
+  trainer.stop();
+  std::remove(archive.c_str());
+}
+
+}  // namespace
+}  // namespace f2pm
