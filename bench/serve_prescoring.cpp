@@ -1,0 +1,433 @@
+// Prescoring-cascade serving bench: the same traffic scored by the full
+// model alone vs a two-stage cascade (linear screen, ε-SVR full stage)
+// through the real TCP prediction service. The sweep varies the at-risk
+// fraction of the stream — the share of windows whose true RTTF is below
+// the promotion horizon — by replaying synthetic leak runs of different
+// lengths: a run that fails at time L with horizon H puts H/L of its
+// windows at risk. Reports sustained datapoints/sec per service core for
+// each (fraction, archive) cell plus the cascade's promotion rate.
+//
+// Both archives come from ONE fit: the cascade is trained, then its full
+// stage is serialized on its own as the baseline archive, so the two
+// services score promoted windows with the very same fitted model. The
+// bench verifies that property offline before measuring: on every
+// evaluation matrix, cascade predictions on promoted rows must be
+// bit-identical to the full model's, and the near-failure (RTTF < H)
+// S-MAE of the cascade must match the full model's within noise.
+//
+// Emits BENCH_serve_prescoring.json next to the binary. `--smoke` runs a
+// seconds-scale subset (CI) with the same output schema.
+#include <benchmark/benchmark.h>
+
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/aggregation.hpp"
+#include "data/data_history.hpp"
+#include "data/dataset.hpp"
+#include "ml/cascade.hpp"
+#include "ml/linear_regression.hpp"
+#include "ml/metrics.hpp"
+#include "ml/svr.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "serve/model_store.hpp"
+#include "serve/service.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace f2pm;
+using Clock = std::chrono::steady_clock;
+
+constexpr double kWindowSeconds = 30.0;
+constexpr double kHorizonSeconds = 600.0;
+constexpr double kSampleSpacing = 7.5;  ///< 4 samples per window.
+// The measured service: one reactor shard plus one scoring worker, so
+// "per core" divides by exactly two busy service threads and the
+// full-only/cascade cells differ in nothing but the archive.
+constexpr std::size_t kServiceCores = 2;
+
+/// A leak run failing at `length`: feature 0 carries a noisy linear RTTF
+/// signal (what the screen learns), feature 1 a noisy square-root of it
+/// (headroom for the kernel stage), the rest is uniform noise.
+data::Run make_run(double length, util::Rng& rng) {
+  data::Run run;
+  for (double tgen = rng.uniform(0.0, kSampleSpacing); tgen < length;
+       tgen += kSampleSpacing) {
+    data::RawDatapoint sample;
+    sample.tgen = tgen;
+    const double remaining = length - tgen;
+    sample.values[0] = remaining / 100.0 + rng.uniform(-0.5, 0.5);
+    sample.values[1] = std::sqrt(remaining) / 10.0 + rng.uniform(-0.2, 0.2);
+    for (std::size_t f = 2; f < data::kFeatureCount; ++f) {
+      sample.values[f] = rng.uniform(0.0, 1.0);
+    }
+    run.samples.push_back(sample);
+  }
+  run.fail_time = length;
+  run.failed = true;
+  return run;
+}
+
+data::DataHistory make_history(std::size_t runs, double length,
+                               std::uint64_t seed) {
+  util::Rng rng(seed);
+  data::DataHistory history;
+  for (std::size_t r = 0; r < runs; ++r) {
+    history.add_run(make_run(length, rng));
+  }
+  return history;
+}
+
+data::AggregationOptions aggregation_options() {
+  data::AggregationOptions aggregation;
+  aggregation.window_seconds = kWindowSeconds;
+  return aggregation;
+}
+
+/// Fits the cascade once on a corpus mixing short (at-risk-rich) and long
+/// runs, so the margin calibration sees the full RTTF range it will serve.
+std::shared_ptr<const ml::CascadeRegressor> train_cascade(bool smoke) {
+  util::Rng rng(7);
+  data::DataHistory corpus;
+  const std::size_t short_runs = smoke ? 2 : 8;
+  const std::size_t long_runs = smoke ? 1 : 2;
+  for (std::size_t r = 0; r < short_runs; ++r) {
+    corpus.add_run(make_run(3'000.0, rng));
+  }
+  for (std::size_t r = 0; r < long_runs; ++r) {
+    corpus.add_run(make_run(12'000.0, rng));
+  }
+  const data::Dataset dataset =
+      data::build_dataset(data::aggregate(corpus, aggregation_options()));
+
+  ml::CascadeOptions options;
+  options.horizon_seconds = kHorizonSeconds;
+  options.band_quantile = 1.0;
+  ml::SvrOptions svr;
+  svr.c = 10.0;
+  svr.epsilon = 0.001;  // Near-interpolating fit: most rows become SVs.
+  auto cascade = std::make_shared<ml::CascadeRegressor>(
+      std::make_unique<ml::LinearRegression>(),
+      std::make_unique<ml::KernelSvr>(svr), options);
+  cascade->fit(dataset.x, dataset.y);
+  return cascade;
+}
+
+/// Serializes the cascade and, separately, its already-fitted full stage —
+/// the baseline archive scores with the identical model object state.
+void write_archives(const ml::CascadeRegressor& cascade,
+                    const std::string& cascade_path,
+                    const std::string& full_path) {
+  {
+    std::ofstream out(cascade_path, std::ios::binary);
+    ml::save_model(cascade, out);
+  }
+  {
+    std::ofstream out(full_path, std::ios::binary);
+    ml::save_model(cascade.full(), out);
+  }
+}
+
+struct Verification {
+  std::size_t rows = 0;
+  std::size_t promoted_rows = 0;
+  std::size_t near_failure_rows = 0;
+  std::size_t bit_mismatches = 0;  ///< Promoted rows differing from full.
+  double smae_full = 0.0;          ///< Near-failure S-MAE, full model.
+  double smae_cascade = 0.0;       ///< Near-failure S-MAE, cascade.
+};
+
+/// Offline check on one serving history: promoted-window bit-identity and
+/// near-failure soft-MAE parity between the two archives' predictions.
+Verification verify(const ml::CascadeRegressor& cascade,
+                    const data::DataHistory& history) {
+  const data::Dataset dataset =
+      data::build_dataset(data::aggregate(history, aggregation_options()));
+  std::vector<std::uint8_t> promoted;
+  const std::vector<double> cascade_pred =
+      cascade.predict_traced(dataset.x, &promoted);
+  const std::vector<double> full_pred = cascade.full().predict(dataset.x);
+
+  Verification v;
+  v.rows = dataset.y.size();
+  std::vector<double> near_full;
+  std::vector<double> near_cascade;
+  std::vector<double> near_actual;
+  for (std::size_t r = 0; r < v.rows; ++r) {
+    if (promoted[r] != 0) {
+      ++v.promoted_rows;
+      if (std::bit_cast<std::uint64_t>(cascade_pred[r]) !=
+          std::bit_cast<std::uint64_t>(full_pred[r])) {
+        ++v.bit_mismatches;
+      }
+    }
+    if (dataset.y[r] < kHorizonSeconds) {
+      ++v.near_failure_rows;
+      near_full.push_back(full_pred[r]);
+      near_cascade.push_back(cascade_pred[r]);
+      near_actual.push_back(dataset.y[r]);
+    }
+  }
+  // The paper's S-MAE tolerance: 10% of the horizon's lead time.
+  const double threshold = 0.1 * kHorizonSeconds;
+  v.smae_full =
+      ml::soft_mean_absolute_error(near_full, near_actual, threshold);
+  v.smae_cascade =
+      ml::soft_mean_absolute_error(near_cascade, near_actual, threshold);
+  return v;
+}
+
+/// One load client: a sender thread replaying the history's runs (with
+/// fail events) until `budget` datapoints are sent, and a receiver thread
+/// draining predictions until server EOF.
+struct ClientResult {
+  std::size_t sent = 0;
+  std::size_t predictions = 0;
+  bool failed = false;
+};
+
+ClientResult run_client(std::uint16_t port, const data::DataHistory& history,
+                        std::size_t budget, int id) {
+  ClientResult result;
+  try {
+    net::TcpStream stream = net::TcpStream::connect("127.0.0.1", port);
+    net::send_hello(stream,
+                    net::Hello{net::kProtocolVersion,
+                               "prescoring-client-" + std::to_string(id)});
+    bool receiver_failed = false;
+    std::thread receiver([&stream, &result, &receiver_failed] {
+      try {
+        net::FrameDecoder decoder;
+        while (auto frame = net::receive_frame(stream, decoder)) {
+          if (std::holds_alternative<net::Prediction>(*frame)) {
+            ++result.predictions;
+          }
+        }
+      } catch (const std::exception&) {
+        receiver_failed = true;
+      }
+    });
+    std::vector<std::uint8_t> wire;
+    while (result.sent < budget) {
+      for (const data::Run& run : history.runs()) {
+        if (result.sent >= budget) break;
+        for (const data::RawDatapoint& sample : run.samples) {
+          if (result.sent >= budget) break;
+          wire.clear();
+          net::FrameEncoder::encode_datapoint(wire, sample);
+          stream.send_all(wire.data(), wire.size());
+          ++result.sent;
+        }
+        net::send_fail_event(stream, run.fail_time);
+      }
+    }
+    net::send_bye(stream);
+    stream.shutdown_write();
+    receiver.join();
+    result.failed = receiver_failed;
+  } catch (const std::exception&) {
+    result.failed = true;
+  }
+  return result;
+}
+
+struct BenchResult {
+  double at_risk_percent = 0.0;
+  std::string archive;  ///< "full" or "cascade".
+  std::size_t datapoints = 0;
+  std::size_t predictions = 0;
+  std::uint64_t windows_promoted = 0;
+  double wall_seconds = 0.0;
+  double datapoints_per_second = 0.0;
+  double dps_per_core = 0.0;
+  double promotion_rate = 0.0;
+  double speedup_vs_full = 0.0;  ///< Filled on cascade rows.
+  std::size_t errors = 0;
+};
+
+BenchResult run_load(const std::string& archive_path,
+                     const std::string& archive_name, double at_risk_percent,
+                     const data::DataHistory& history, std::size_t budget) {
+  auto store = std::make_shared<serve::ModelStore>();
+  store->load_file(archive_path);
+  serve::ServiceOptions options;
+  options.aggregation = aggregation_options();
+  options.shards = 1;
+  options.scoring_threads = 1;
+  serve::PredictionService service(options, store);
+
+  constexpr std::size_t kClients = 2;
+  std::vector<ClientResult> results(kClients);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  const Clock::time_point start = Clock::now();
+  for (std::size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      results[c] = run_client(service.port(), history, budget / kClients,
+                              static_cast<int>(c));
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  service.stop();
+  const serve::ServiceStats stats = service.stats();
+
+  BenchResult bench;
+  bench.at_risk_percent = at_risk_percent;
+  bench.archive = archive_name;
+  bench.wall_seconds = wall;
+  for (const ClientResult& r : results) {
+    bench.datapoints += r.sent;
+    bench.predictions += r.predictions;
+    bench.errors += r.failed ? 1 : 0;
+  }
+  bench.errors += stats.protocol_errors;
+  bench.windows_promoted = stats.windows_promoted;
+  bench.datapoints_per_second =
+      wall > 0.0 ? static_cast<double>(bench.datapoints) / wall : 0.0;
+  bench.dps_per_core =
+      bench.datapoints_per_second / static_cast<double>(kServiceCores);
+  bench.promotion_rate =
+      stats.predictions_sent > 0
+          ? static_cast<double>(stats.windows_promoted) /
+                static_cast<double>(stats.predictions_sent)
+          : 0.0;
+  return bench;
+}
+
+void write_json(const std::vector<BenchResult>& results,
+                const std::vector<Verification>& checks,
+                const std::vector<double>& fractions, bool smoke) {
+  std::FILE* out = std::fopen("BENCH_serve_prescoring.json", "w");
+  if (out == nullptr) return;
+  std::fprintf(out, "{\n  \"bench\": \"serve_prescoring\",\n");
+  std::fprintf(out, "  \"window_seconds\": %.1f,\n", kWindowSeconds);
+  std::fprintf(out, "  \"horizon_seconds\": %.1f,\n", kHorizonSeconds);
+  std::fprintf(out, "  \"service_cores\": %zu,\n", kServiceCores);
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"verification\": [\n");
+  for (std::size_t i = 0; i < checks.size(); ++i) {
+    const Verification& v = checks[i];
+    std::fprintf(out,
+                 "    {\"at_risk_percent\": %.1f, \"rows\": %zu, "
+                 "\"promoted_rows\": %zu, \"bit_mismatches\": %zu, "
+                 "\"near_failure_rows\": %zu, \"smae_full\": %.3f, "
+                 "\"smae_cascade\": %.3f}%s\n",
+                 fractions[i] * 100.0, v.rows, v.promoted_rows,
+                 v.bit_mismatches, v.near_failure_rows, v.smae_full,
+                 v.smae_cascade, i + 1 < checks.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    std::fprintf(
+        out,
+        "    {\"at_risk_percent\": %.1f, \"archive\": \"%s\", "
+        "\"datapoints\": %zu, \"predictions\": %zu, \"wall_seconds\": %.3f, "
+        "\"datapoints_per_second\": %.0f, \"dps_per_core\": %.0f, "
+        "\"promotion_rate\": %.4f, \"speedup_vs_full\": %.3f, "
+        "\"errors\": %zu}%s\n",
+        r.at_risk_percent, r.archive.c_str(), r.datapoints, r.predictions,
+        r.wall_seconds, r.datapoints_per_second, r.dps_per_core,
+        r.promotion_rate, r.speedup_vs_full, r.errors,
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+}
+
+void run_all(bool smoke) {
+  std::printf("== F2PM serve: two-stage prescoring cascade ==\n");
+  const auto cascade = train_cascade(smoke);
+  std::printf(
+      "cascade: screen=%s full=%s, horizon %.0fs, calibrated margin %.2fs; "
+      "%.0fs windows, %zu service cores\n\n",
+      cascade->screen().name().c_str(), cascade->full().name().c_str(),
+      kHorizonSeconds, cascade->margin(), kWindowSeconds, kServiceCores);
+
+  const std::string cascade_path = "bench_prescoring_cascade.f2pm";
+  const std::string full_path = "bench_prescoring_full.f2pm";
+  write_archives(*cascade, cascade_path, full_path);
+
+  // At-risk fraction H/L via the run length L; one serving history each.
+  const std::vector<double> fractions =
+      smoke ? std::vector<double>{0.05} : std::vector<double>{0.01, 0.05, 0.20};
+  const std::size_t budget = smoke ? 4'000 : 40'000;
+
+  std::vector<Verification> checks;
+  std::vector<data::DataHistory> histories;
+  bool verified = true;
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    const double length = kHorizonSeconds / fractions[i];
+    histories.push_back(make_history(2, length, 100 + i));
+    const Verification v = verify(*cascade, histories.back());
+    checks.push_back(v);
+    std::printf(
+        "verify %4.1f%% at risk: %zu windows, %zu promoted, %zu bit "
+        "mismatches, near-failure S-MAE full %.1fs vs cascade %.1fs\n",
+        fractions[i] * 100.0, v.rows, v.promoted_rows, v.bit_mismatches,
+        v.near_failure_rows > 0 ? v.smae_full : 0.0,
+        v.near_failure_rows > 0 ? v.smae_cascade : 0.0);
+    if (v.bit_mismatches > 0) verified = false;
+  }
+  std::printf("promoted-window bit-identity: %s\n\n",
+              verified ? "PASS" : "FAIL");
+
+  std::printf("%-10s%-10s%-13s%-12s%-14s%-12s%-10s%-8s\n", "at-risk",
+              "archive", "datapoints", "dp/sec", "dp/sec/core", "promoted",
+              "speedup", "errors");
+  std::printf("%s\n", std::string(89, '-').c_str());
+  std::vector<BenchResult> results;
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    BenchResult full = run_load(full_path, "full", fractions[i] * 100.0,
+                                histories[i], budget);
+    BenchResult casc = run_load(cascade_path, "cascade", fractions[i] * 100.0,
+                                histories[i], budget);
+    casc.speedup_vs_full = full.datapoints_per_second > 0.0
+                               ? casc.datapoints_per_second /
+                                     full.datapoints_per_second
+                               : 0.0;
+    for (const BenchResult& r : {full, casc}) {
+      std::printf("%-10.1f%-10s%-13zu%-12.0f%-14.0f%-12.4f%-10.2f%-8zu\n",
+                  r.at_risk_percent, r.archive.c_str(), r.datapoints,
+                  r.datapoints_per_second, r.dps_per_core, r.promotion_rate,
+                  r.speedup_vs_full, r.errors);
+      results.push_back(r);
+    }
+  }
+  write_json(results, checks, fractions, smoke);
+  std::printf("\nwrote BENCH_serve_prescoring.json\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  // Strip --smoke before handing the remaining flags to the benchmark
+  // library (it rejects flags it does not know).
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  run_all(smoke);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

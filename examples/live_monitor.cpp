@@ -121,14 +121,20 @@ int main(int argc, char** argv) {
   std::printf("\nFMS received %zu datapoints over TCP\n",
               history.num_samples());
 
-  // Push the stream through the aggregation front-end (the healthy host
-  // never "fails", so the run is included explicitly).
+  // Push the stream through the aggregation front-end. The healthy host
+  // never "fails", so the run is included explicitly — its windows come
+  // back flagged censored (rttf is only "time until monitoring stopped"),
+  // which keeps them out of any training label while the display-side
+  // feature statistics below stay available.
   data::AggregationOptions aggregation;
   aggregation.window_seconds = interval * 2.0;
   aggregation.include_unfailed_runs = true;
   const auto points = data::aggregate(history, aggregation);
-  std::printf("aggregated into %zu windows; derived metrics of the last:\n",
-              points.size());
+  std::size_t censored = 0;
+  for (const auto& point : points) censored += point.censored ? 1 : 0;
+  std::printf("aggregated into %zu windows (%zu censored, excluded from "
+              "training labels); derived metrics of the last:\n",
+              points.size(), censored);
   if (!points.empty()) {
     const auto& last = points.back();
     std::printf("  window [%.1f, %.1f)s: mem_used slope %.1f KiB/sample, "

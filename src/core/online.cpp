@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ml/cascade.hpp"
 #include "obs/metrics.hpp"
 
 namespace f2pm::core {
@@ -37,6 +38,7 @@ OnlinePredictor::OnlinePredictor(std::shared_ptr<const ml::Regressor> model,
   if (!model_ || !model_->is_fitted()) {
     throw std::invalid_argument("OnlinePredictor: model must be fitted");
   }
+  cascade_ = dynamic_cast<const ml::CascadeRegressor*>(model_.get());
   if (!(aggregation_.window_seconds > 0.0)) {
     throw std::invalid_argument("OnlinePredictor: window_seconds must be > 0");
   }
@@ -119,15 +121,26 @@ OnlinePrediction OnlinePredictor::aggregate_and_predict() {
   {
     OnlineMetrics& metrics = OnlineMetrics::get();
     obs::ScopedTimer timer(metrics.predict_seconds);
+    const auto score = [&](std::span<const double> row) {
+      if (cascade_ != nullptr) {
+        // Cascade path: screen cost only unless the screen promotes the
+        // window to the full model; the routing decision is surfaced.
+        const auto traced = cascade_->predict_row_traced(row);
+        prediction.rttf = traced.rttf;
+        prediction.promoted = traced.promoted;
+      } else {
+        prediction.rttf = model_->predict_row(row);
+      }
+    };
     if (selected_columns_.empty()) {
-      prediction.rttf = model_->predict_row(full_row);
+      score(full_row);
     } else {
       std::vector<double> row;
       row.reserve(selected_columns_.size());
       for (std::size_t column : selected_columns_) {
         row.push_back(full_row[column]);
       }
-      prediction.rttf = model_->predict_row(row);
+      score(row);
     }
     metrics.windows_scored.add(1);
   }

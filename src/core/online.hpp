@@ -19,6 +19,10 @@
 #include "data/datapoint.hpp"
 #include "ml/model.hpp"
 
+namespace f2pm::ml {
+class CascadeRegressor;
+}  // namespace f2pm::ml
+
 namespace f2pm::core {
 
 /// One prediction, produced when an aggregation window closes.
@@ -26,6 +30,9 @@ struct OnlinePrediction {
   double window_end = 0.0;   ///< Elapsed time the prediction refers to.
   double rttf = 0.0;         ///< Predicted remaining time to failure.
   std::size_t window_samples = 0;  ///< Raw datapoints in the window.
+  /// True when a cascade model promoted this window to its full stage
+  /// (always false for non-cascade models).
+  bool promoted = false;
 };
 
 /// Streams raw datapoints through the aggregation front-end into a fitted
@@ -67,6 +74,9 @@ class OnlinePredictor {
   [[nodiscard]] OnlinePrediction aggregate_and_predict();
 
   std::shared_ptr<const ml::Regressor> model_;
+  /// Non-null when model_ is a cascade: the window then pays screen cost
+  /// only unless promoted, and predictions carry the routing decision.
+  const ml::CascadeRegressor* cascade_ = nullptr;
   data::AggregationOptions aggregation_;
   std::vector<std::size_t> selected_columns_;
   std::vector<data::RawDatapoint> window_;  ///< Samples in current window.

@@ -14,21 +14,23 @@ void aggregate_run(const Run& run, std::size_t run_index,
   const double width = options.window_seconds;
   std::size_t begin = 0;
   while (begin < run.samples.size()) {
-    const auto window_id =
-        static_cast<std::size_t>(run.samples[begin].tgen / width);
-    const double window_start = static_cast<double>(window_id) * width;
+    // Same window-id idiom as OnlinePredictor::observe, so the offline and
+    // streaming paths bucket identically (see tests/test_parity.cpp).
+    const double window_start =
+        std::floor(run.samples[begin].tgen / width) * width;
     const double window_end = window_start + width;
     std::size_t end = begin;
     while (end < run.samples.size() && run.samples[end].tgen < window_end) {
       ++end;
     }
     const std::size_t count = end - begin;
-    // Drop the trailing partial window: its statistics would mix the
-    // near-crash regime with missing data (paper Fig. 2 keeps only datapoints
-    // of complete windows).
-    const bool is_last_window = end == run.samples.size();
-    const bool window_complete = !is_last_window || run.fail_time >= window_end;
-    if (count >= options.min_samples_per_window && window_complete &&
+    // Keep only windows the run outlived (fail_time at or past window_end):
+    // this drops the trailing partial window, whose statistics would mix the
+    // near-crash regime with missing data (paper Fig. 2 keeps only
+    // datapoints of complete windows), and is the single gate — a window
+    // before the last always satisfies it because samples past window_end
+    // exist and fail_time is at or after the last sample.
+    if (count >= options.min_samples_per_window &&
         run.fail_time >= window_end) {
       AggregatedDatapoint point;
       point.run_index = run_index;
@@ -67,7 +69,11 @@ void aggregate_run(const Run& run, std::size_t run_index,
         point.intergen_slope =
             (last_gap - first_gap) / static_cast<double>(gap_count);
       }
+      // For unfailed runs fail_time is the last sample time, so this rttf
+      // is right-censored: the run survived at least this long. The flag
+      // keeps such windows out of training labels (see build_dataset).
       point.rttf = run.fail_time - point.window_end;
+      point.censored = !run.failed;
       out.push_back(point);
     }
     begin = end;

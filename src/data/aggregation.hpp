@@ -35,6 +35,13 @@ struct AggregatedDatapoint {
   double intergen_slope = 0.0;  ///< Eq. (1) applied to inter-generation time.
 
   double rttf = 0.0;  ///< Remaining time to failure at window end (seconds).
+
+  /// True when the window comes from a run that never failed: `rttf` is
+  /// then a right-censored lower bound ("time until monitoring stopped"),
+  /// not an exact time-to-failure. Censored windows keep their feature
+  /// statistics (means, slopes, intergen) for display and standardization,
+  /// but build_dataset() excludes them from training labels by default.
+  bool censored = false;
 };
 
 /// Aggregation parameters.
@@ -44,8 +51,11 @@ struct AggregationOptions {
   /// Windows with fewer raw datapoints than this are dropped (a window with
   /// a single sample has no meaningful slope).
   std::size_t min_samples_per_window = 2;
-  /// When false, runs that never met the failure condition are skipped
-  /// (their RTTF label would be undefined).
+  /// When false, runs that never met the failure condition are skipped.
+  /// When true their windows are emitted with `censored = true`: the rttf
+  /// of such a window is only a lower bound (the run was still alive when
+  /// monitoring stopped), so it is excluded from training labels unless a
+  /// caller explicitly opts in (see build_dataset).
   bool include_unfailed_runs = false;
 };
 

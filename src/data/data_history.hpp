@@ -16,7 +16,11 @@ struct Run {
   std::vector<RawDatapoint> samples;
   /// Elapsed time (seconds since this run's start) at which the failure
   /// condition was met. Runs that never failed (e.g. the campaign was
-  /// stopped) have failed == false and fail_time == last sample time.
+  /// stopped) have failed == false and fail_time == last sample time; for
+  /// them fail_time is a right-censored observation bound, so windows
+  /// aggregated from such runs carry censored rttf labels (see
+  /// data::AggregatedDatapoint::censored) and are excluded from training
+  /// by default.
   double fail_time = 0.0;
   bool failed = false;
 };

@@ -48,20 +48,29 @@ Dataset Dataset::select_rows(const std::vector<std::size_t>& rows) const {
   return out;
 }
 
-Dataset build_dataset(const std::vector<AggregatedDatapoint>& points) {
+Dataset build_dataset(const std::vector<AggregatedDatapoint>& points,
+                      bool include_censored) {
+  // A censored window's rttf is "time until monitoring stopped", not a
+  // time-to-failure; training on it would bias labels low.
+  std::vector<std::size_t> kept;
+  kept.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (include_censored || !points[i].censored) kept.push_back(i);
+  }
   Dataset dataset;
   dataset.feature_names = input_feature_names();
-  dataset.x = linalg::Matrix(points.size(), kInputCount);
-  dataset.y.reserve(points.size());
-  dataset.run_index.reserve(points.size());
-  dataset.window_end.reserve(points.size());
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const auto row = to_input_vector(points[i]);
+  dataset.x = linalg::Matrix(kept.size(), kInputCount);
+  dataset.y.reserve(kept.size());
+  dataset.run_index.reserve(kept.size());
+  dataset.window_end.reserve(kept.size());
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    const AggregatedDatapoint& point = points[kept[i]];
+    const auto row = to_input_vector(point);
     auto dst = dataset.x.row(i);
     std::copy(row.begin(), row.end(), dst.begin());
-    dataset.y.push_back(points[i].rttf);
-    dataset.run_index.push_back(points[i].run_index);
-    dataset.window_end.push_back(points[i].window_end);
+    dataset.y.push_back(point.rttf);
+    dataset.run_index.push_back(point.run_index);
+    dataset.window_end.push_back(point.window_end);
   }
   return dataset;
 }

@@ -37,8 +37,13 @@ struct Dataset {
       const std::vector<std::size_t>& rows) const;
 };
 
-/// Builds the full 30-column dataset from aggregated datapoints.
-Dataset build_dataset(const std::vector<AggregatedDatapoint>& points);
+/// Builds the full dataset from aggregated datapoints. Right-censored
+/// windows (from runs that never failed — their rttf is only a lower
+/// bound) are excluded by default so they never enter training labels;
+/// pass include_censored = true only for label-free uses such as feature
+/// statistics or standardization corpora.
+Dataset build_dataset(const std::vector<AggregatedDatapoint>& points,
+                      bool include_censored = false);
 
 /// A shuffled train/validation partition.
 struct TrainValidationSplit {

@@ -1,0 +1,242 @@
+#include "ml/cascade.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "ml/lasso.hpp"
+#include "ml/registry.hpp"
+#include "obs/metrics.hpp"
+
+namespace f2pm::ml {
+
+namespace {
+
+/// Registry handles are resolved once; updates are lock-free after that.
+struct CascadeMetrics {
+  obs::Counter& screened;
+  obs::Counter& promoted;
+  obs::Histogram& screen_seconds;
+  obs::Histogram& full_seconds;
+
+  static CascadeMetrics& get() {
+    auto& registry = obs::Registry::global();
+    static CascadeMetrics metrics{
+        registry.counter("f2pm_ml_cascade_screened_total",
+                         "Rows scored by the cascade screen stage."),
+        registry.counter("f2pm_ml_cascade_promoted_total",
+                         "Rows promoted to the cascade full model."),
+        registry.histogram("f2pm_ml_cascade_screen_seconds",
+                           "Screen-stage prediction latency (per call: one "
+                           "row or one batch).",
+                           obs::Histogram::default_latency_bounds()),
+        registry.histogram("f2pm_ml_cascade_full_seconds",
+                           "Full-stage prediction latency over the promoted "
+                           "subset (per call).",
+                           obs::Histogram::default_latency_bounds())};
+    return metrics;
+  }
+};
+
+/// Nearest-rank quantile of an unsorted sample; 0 when empty.
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  if (q <= 0.0) return values.front();
+  const auto n = static_cast<double>(values.size());
+  const auto rank = static_cast<std::size_t>(std::ceil(q * n));
+  return values[std::min(values.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+}  // namespace
+
+CascadeRegressor::CascadeRegressor(std::unique_ptr<Regressor> screen,
+                                   std::unique_ptr<Regressor> full,
+                                   CascadeOptions options)
+    : options_(std::move(options)),
+      screen_(std::move(screen)),
+      full_(std::move(full)) {
+  if (!screen_ || !full_) {
+    throw std::invalid_argument(
+        "CascadeRegressor: both stages must be non-null");
+  }
+  if (!(options_.horizon_seconds >= 0.0)) {
+    throw std::invalid_argument(
+        "CascadeRegressor: horizon_seconds must be >= 0");
+  }
+  if (!(options_.band_quantile >= 0.0) || options_.band_quantile > 1.0) {
+    throw std::invalid_argument(
+        "CascadeRegressor: band_quantile must be in [0, 1]");
+  }
+}
+
+void CascadeRegressor::fit(const linalg::Matrix& x,
+                           std::span<const double> y) {
+  check_fit_args(x, y);
+  fitted_ = false;
+  num_inputs_ = x.cols();
+
+  // Resolve the screen-stage column subset: explicit subset, else a Lasso
+  // selection at the configured λ, else the full row. An empty selection
+  // (the Lasso zeroed every coefficient) also falls back to the full row —
+  // a zero-column screen cannot be fitted.
+  screen_columns_ = options_.screen_columns;
+  if (screen_columns_.empty() && options_.screen_lasso_lambda > 0.0) {
+    LassoOptions selector_options;
+    selector_options.lambda = options_.screen_lasso_lambda;
+    Lasso selector(selector_options);
+    selector.fit(x, y);
+    screen_columns_ = selector.selected_features();
+  }
+  for (const std::size_t column : screen_columns_) {
+    if (column >= x.cols()) {
+      throw std::invalid_argument(
+          "CascadeRegressor: screen column out of range");
+    }
+  }
+  if (screen_columns_.size() == x.cols()) screen_columns_.clear();
+
+  // Both stages refit from the same corpus.
+  const linalg::Matrix x_screen_subset =
+      screen_columns_.empty() ? linalg::Matrix()
+                              : x.select_columns(screen_columns_);
+  const linalg::Matrix& x_screen =
+      screen_columns_.empty() ? x : x_screen_subset;
+  screen_->fit(x_screen, y);
+  full_->fit(x, y);
+
+  // Calibrate the disagreement band on the rows the full model itself
+  // places in the near-failure region: the margin must absorb how much the
+  // screen can overestimate RTTF there, or a window the full model would
+  // flag could slip past the screen unpromoted.
+  const std::vector<double> screen_pred = screen_->predict(x_screen);
+  const std::vector<double> full_pred = full_->predict(x);
+  std::vector<double> overestimates;
+  for (std::size_t i = 0; i < full_pred.size(); ++i) {
+    if (full_pred[i] < options_.horizon_seconds) {
+      overestimates.push_back(screen_pred[i] - full_pred[i]);
+    }
+  }
+  margin_ = std::max(0.0, quantile(std::move(overestimates),
+                                   options_.band_quantile));
+  fitted_ = true;
+}
+
+std::vector<double> CascadeRegressor::screen_row(
+    std::span<const double> row) const {
+  std::vector<double> subset;
+  subset.reserve(screen_columns_.size());
+  for (const std::size_t column : screen_columns_) {
+    subset.push_back(row[column]);
+  }
+  return subset;
+}
+
+CascadeRegressor::TracedPrediction CascadeRegressor::predict_row_traced(
+    std::span<const double> row) const {
+  check_predict_args(row);
+  CascadeMetrics& metrics = CascadeMetrics::get();
+  TracedPrediction traced;
+  {
+    obs::ScopedTimer timer(metrics.screen_seconds);
+    traced.screen_rttf = screen_columns_.empty()
+                             ? screen_->predict_row(row)
+                             : screen_->predict_row(screen_row(row));
+  }
+  metrics.screened.add(1);
+  traced.promoted = traced.screen_rttf < promote_threshold();
+  if (traced.promoted) {
+    obs::ScopedTimer timer(metrics.full_seconds);
+    traced.rttf = full_->predict_row(row);
+    metrics.promoted.add(1);
+  } else {
+    traced.rttf = traced.screen_rttf;
+  }
+  return traced;
+}
+
+double CascadeRegressor::predict_row(std::span<const double> row) const {
+  return predict_row_traced(row).rttf;
+}
+
+std::vector<double> CascadeRegressor::predict_traced(
+    const linalg::Matrix& x, std::vector<std::uint8_t>* promoted_out) const {
+  if (!fitted_) throw std::logic_error("Regressor: predict before fit");
+  if (x.cols() != num_inputs_) {
+    throw std::invalid_argument("Regressor: input width mismatch");
+  }
+  CascadeMetrics& metrics = CascadeMetrics::get();
+  std::vector<double> out;
+  {
+    obs::ScopedTimer timer(metrics.screen_seconds);
+    out = screen_columns_.empty()
+              ? screen_->predict(x)
+              : screen_->predict(x.select_columns(screen_columns_));
+  }
+  metrics.screened.add(static_cast<std::uint64_t>(x.rows()));
+
+  std::vector<std::size_t> promoted_rows;
+  const double threshold = promote_threshold();
+  for (std::size_t r = 0; r < out.size(); ++r) {
+    if (out[r] < threshold) promoted_rows.push_back(r);
+  }
+  if (promoted_out) {
+    promoted_out->assign(x.rows(), 0);
+    for (const std::size_t r : promoted_rows) (*promoted_out)[r] = 1;
+  }
+  if (!promoted_rows.empty()) {
+    obs::ScopedTimer timer(metrics.full_seconds);
+    const std::vector<double> refined =
+        full_->predict(x.select_rows(promoted_rows));
+    for (std::size_t i = 0; i < promoted_rows.size(); ++i) {
+      out[promoted_rows[i]] = refined[i];
+    }
+    metrics.promoted.add(static_cast<std::uint64_t>(promoted_rows.size()));
+  }
+  return out;
+}
+
+std::vector<double> CascadeRegressor::predict(const linalg::Matrix& x) const {
+  return predict_traced(x, nullptr);
+}
+
+void CascadeRegressor::save(util::BinaryWriter& writer) const {
+  if (!fitted_) throw std::logic_error("CascadeRegressor::save before fit");
+  writer.write_u64(num_inputs_);
+  writer.write_double(options_.horizon_seconds);
+  writer.write_double(options_.band_quantile);
+  writer.write_double(options_.screen_lasso_lambda);
+  writer.write_double(margin_);
+  std::vector<std::uint64_t> columns(screen_columns_.begin(),
+                                     screen_columns_.end());
+  writer.write_u64s(columns);
+  // Sub-models serialize inline with their registry tag, the BaggedTrees
+  // idiom: no nested archive header.
+  writer.write_string(screen_->name());
+  screen_->save(writer);
+  writer.write_string(full_->name());
+  full_->save(writer);
+}
+
+std::unique_ptr<CascadeRegressor> CascadeRegressor::load(
+    util::BinaryReader& reader) {
+  std::unique_ptr<CascadeRegressor> model(new CascadeRegressor());
+  model->num_inputs_ = reader.read_u64();
+  model->options_.horizon_seconds = reader.read_double();
+  model->options_.band_quantile = reader.read_double();
+  model->options_.screen_lasso_lambda = reader.read_double();
+  model->margin_ = reader.read_double();
+  const std::vector<std::uint64_t> columns = reader.read_u64s();
+  model->screen_columns_.assign(columns.begin(), columns.end());
+  model->screen_ = load_model_body(reader.read_string(), reader);
+  model->full_ = load_model_body(reader.read_string(), reader);
+  if (model->full_->num_inputs() != model->num_inputs_) {
+    throw std::runtime_error(
+        "CascadeRegressor::load: full-model width mismatch");
+  }
+  model->fitted_ = true;
+  return model;
+}
+
+}  // namespace f2pm::ml

@@ -1,0 +1,123 @@
+// Two-stage prescoring cascade (ROADMAP "cheap screen, expensive refine").
+//
+// At production scale almost every monitored session is healthy almost all
+// the time, so scoring every closed window with the full model (SVR, M5P,
+// bagged trees) wastes nearly all serve CPU — high-fidelity RTTF is only
+// needed in the near-failure region (paper Fig. 5). The cascade screens
+// every row with a deliberately tiny model (LinearRegression on a
+// Lasso-selected subset, or a depth-capped REP-Tree) and promotes only
+// suspicious rows to the full model, the same shape as epa-ng's
+// `prescoring`/`prescoring_threshold` heuristic and Mantis's cost-aware
+// feature selection.
+//
+// Promotion policy: a row is promoted iff its screened RTTF falls strictly
+// below `horizon_seconds + margin`, where the margin is a screen-vs-full
+// disagreement band calibrated during fit() — the band_quantile quantile
+// of (screen - full) over the training rows the full model itself places
+// below the horizon. With band_quantile = 1 every training row the full
+// model considers near-failure is promoted, so promoted predictions are
+// bit-identical to running the full model alone.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ml/model.hpp"
+
+namespace f2pm::ml {
+
+/// Cascade parameters (registry prefix "cascade.").
+struct CascadeOptions {
+  /// Near-failure horizon in seconds: screened RTTF below horizon+margin
+  /// promotes the row to the full model. This should be at least the
+  /// rejuvenation lead time the deployment acts on.
+  double horizon_seconds = 600.0;
+  /// Quantile (in [0, 1]) of the screen-over-full disagreement, measured
+  /// during fit() on training rows the full model places below the
+  /// horizon, used as the promotion margin. 1 covers the whole observed
+  /// band; 0 degenerates to the bare horizon rule.
+  double band_quantile = 1.0;
+  /// When > 0 and screen_columns is empty, fit() runs a Lasso at this λ
+  /// over the training matrix and screens on the selected columns only.
+  /// An empty selection falls back to screening on every column.
+  double screen_lasso_lambda = 0.0;
+  /// Explicit screen-stage column subset (indices into the model input
+  /// row). Empty = screen on the full row (or the Lasso selection above).
+  std::vector<std::size_t> screen_columns;
+};
+
+/// Screen-then-refine regressor pair behind the ordinary Regressor
+/// interface, so cascades flow through the registry, model archives, the
+/// ModelStore hot-swap path and the continuous trainer unchanged.
+class CascadeRegressor final : public Regressor {
+ public:
+  /// One scored row plus the routing decision that produced it.
+  struct TracedPrediction {
+    double rttf = 0.0;         ///< Final prediction (full model if promoted).
+    double screen_rttf = 0.0;  ///< What the screen stage predicted.
+    bool promoted = false;     ///< True when the full model was consulted.
+  };
+
+  /// Takes ownership of both stages; neither may be null. Both are
+  /// (re)fitted by fit() from the same corpus — the screen on its column
+  /// subset, the full model on the complete row.
+  CascadeRegressor(std::unique_ptr<Regressor> screen,
+                   std::unique_ptr<Regressor> full,
+                   CascadeOptions options = {});
+
+  void fit(const linalg::Matrix& x, std::span<const double> y) override;
+  [[nodiscard]] double predict_row(std::span<const double> row) const override;
+  /// Batched prediction: one batched screen pass over every row, then one
+  /// batched full-model pass over only the promoted subset, scattered back.
+  /// Bit-identical to predict_row row by row.
+  [[nodiscard]] std::vector<double> predict(
+      const linalg::Matrix& x) const override;
+  [[nodiscard]] std::string name() const override { return "cascade"; }
+  [[nodiscard]] bool is_fitted() const override { return fitted_; }
+  [[nodiscard]] std::size_t num_inputs() const override {
+    return num_inputs_;
+  }
+  void save(util::BinaryWriter& writer) const override;
+  static std::unique_ptr<CascadeRegressor> load(util::BinaryReader& reader);
+
+  /// predict_row plus the routing decision (the serve tier surfaces
+  /// `promoted` per prediction).
+  [[nodiscard]] TracedPrediction predict_row_traced(
+      std::span<const double> row) const;
+  /// Batched predict that also reports which rows were promoted
+  /// (promoted_out, when non-null, is resized to x.rows()).
+  [[nodiscard]] std::vector<double> predict_traced(
+      const linalg::Matrix& x, std::vector<std::uint8_t>* promoted_out) const;
+
+  [[nodiscard]] const Regressor& screen() const { return *screen_; }
+  [[nodiscard]] const Regressor& full() const { return *full_; }
+  [[nodiscard]] const CascadeOptions& options() const { return options_; }
+  /// Columns the screen stage actually uses (resolved at fit time; empty =
+  /// full row).
+  [[nodiscard]] const std::vector<std::size_t>& screen_columns() const {
+    return screen_columns_;
+  }
+  /// Calibrated screen-vs-full disagreement band (>= 0).
+  [[nodiscard]] double margin() const { return margin_; }
+  /// Screened RTTF strictly below this promotes the row.
+  [[nodiscard]] double promote_threshold() const {
+    return options_.horizon_seconds + margin_;
+  }
+
+ private:
+  CascadeRegressor() = default;  // load()
+
+  [[nodiscard]] std::vector<double> screen_row(
+      std::span<const double> row) const;
+
+  CascadeOptions options_;
+  std::unique_ptr<Regressor> screen_;
+  std::unique_ptr<Regressor> full_;
+  std::vector<std::size_t> screen_columns_;
+  double margin_ = 0.0;
+  std::size_t num_inputs_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace f2pm::ml

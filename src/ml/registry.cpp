@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "ml/cascade.hpp"
 #include "ml/ensemble.hpp"
 #include "ml/exhaustion_heuristic.hpp"
 #include "ml/knn.hpp"
@@ -25,6 +26,7 @@ std::vector<std::string> all_model_names() {
   names.emplace_back("ridge");
   names.emplace_back("knn");
   names.emplace_back("bagging");
+  names.emplace_back("cascade");
   return names;
 }
 
@@ -56,6 +58,20 @@ SplitMode split_mode_from_config(const util::Config& params,
   if (mode == "naive") return SplitMode::kNaive;
   if (mode == "histogram") return SplitMode::kHistogram;
   throw std::invalid_argument("unknown split mode: " + mode);
+}
+
+/// Re-prefixes sub-model overrides: "cascade.screen.reptree.max_depth"
+/// becomes "reptree.max_depth" for the screen stage only, so the two
+/// cascade stages can be the same model type with different knobs.
+util::Config subset_config(const util::Config& params,
+                           const std::string& prefix) {
+  util::Config out;
+  for (const std::string& key : params.keys()) {
+    if (key.rfind(prefix, 0) == 0) {
+      out.set(key.substr(prefix.size()), *params.get(key));
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -147,6 +163,20 @@ std::unique_ptr<Regressor> make_model(const std::string& name,
         params.get_int("bagging.histogram_bins", 64));
     return std::make_unique<BaggedTrees>(options);
   }
+  if (name == "cascade") {
+    CascadeOptions options;
+    options.horizon_seconds =
+        params.get_double("cascade.horizon_seconds", 600.0);
+    options.band_quantile = params.get_double("cascade.band_quantile", 1.0);
+    options.screen_lasso_lambda =
+        params.get_double("cascade.screen_lasso_lambda", 0.0);
+    auto screen = make_model(params.get_string("cascade.screen", "linear"),
+                             subset_config(params, "cascade.screen."));
+    auto full = make_model(params.get_string("cascade.full", "reptree"),
+                           subset_config(params, "cascade.full."));
+    return std::make_unique<CascadeRegressor>(std::move(screen),
+                                              std::move(full), options);
+  }
   throw std::invalid_argument("make_model: unknown model name: " + name);
 }
 
@@ -166,6 +196,7 @@ std::unique_ptr<Regressor> load_model_body(const std::string& tag,
   if (tag == "knn") return KnnRegressor::load(reader);
   if (tag == "bagging") return BaggedTrees::load(reader);
   if (tag == "heuristic") return ExhaustionHeuristic::load(reader);
+  if (tag == "cascade") return CascadeRegressor::load(reader);
   throw std::runtime_error("load_model: unknown model tag: " + tag);
 }
 

@@ -108,6 +108,10 @@ struct ServiceStats {
   std::uint64_t sessions_evicted = 0;   ///< Protocol/backpressure/idle.
   std::uint64_t datapoints_received = 0;
   std::uint64_t predictions_sent = 0;
+  /// Windows a cascade model promoted to its full stage (0 for
+  /// non-cascade models); promotion rate = windows_promoted /
+  /// predictions_sent.
+  std::uint64_t windows_promoted = 0;
   std::uint64_t protocol_errors = 0;
   /// Disconnect taxonomy: how sessions ended. A bounced or faulty client
   /// shows up as truncated/reset, never as a protocol error.

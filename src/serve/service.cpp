@@ -91,6 +91,7 @@ ServiceStats PredictionService::stats() const {
     total.sessions_evicted += s.sessions_evicted;
     total.datapoints_received += s.datapoints_received;
     total.predictions_sent += s.predictions_sent;
+    total.windows_promoted += s.windows_promoted;
     total.protocol_errors += s.protocol_errors;
     total.disconnects_clean += s.disconnects_clean;
     total.disconnects_truncated += s.disconnects_truncated;

@@ -61,6 +61,11 @@ ServiceShard::Metrics::Metrics(std::size_t shard_index)
       predictions(obs::Registry::global().counter(
           "f2pm_serve_predictions_sent_total",
           "Prediction frames queued to clients.", shard_label(shard_index))),
+      windows_promoted(obs::Registry::global().counter(
+          "f2pm_serve_windows_promoted_total",
+          "Windows a cascade model promoted to its full stage (promotion "
+          "rate = promoted / predictions sent).",
+          shard_label(shard_index))),
       outbound_bytes(obs::Registry::global().counter(
           "f2pm_serve_outbound_bytes_total",
           "Reply bytes written to client sockets.",
@@ -168,6 +173,8 @@ ServiceStats ServiceShard::snapshot() const {
       counters_.datapoints_received.load(std::memory_order_relaxed);
   stats.predictions_sent =
       counters_.predictions_sent.load(std::memory_order_relaxed);
+  stats.windows_promoted =
+      counters_.windows_promoted.load(std::memory_order_relaxed);
   stats.protocol_errors =
       counters_.protocol_errors.load(std::memory_order_relaxed);
   stats.disconnects_clean =
@@ -598,6 +605,7 @@ void ServiceShard::score_batch(const std::shared_ptr<Session>& session,
       reply.model_version = session->model_version;
       net::FrameEncoder::encode_prediction(completion.reply_bytes, reply);
       ++completion.predictions;
+      if (prediction.promoted) ++completion.promoted;
     };
     for (const InboxItem& item : batch) {
       if (item.reset) {
@@ -652,6 +660,11 @@ void ServiceShard::drain_completions() {
       metrics_.predictions.add(completion.predictions);
       counters_.predictions_sent.fetch_add(completion.predictions,
                                            std::memory_order_relaxed);
+      if (completion.promoted > 0) {
+        metrics_.windows_promoted.add(completion.promoted);
+        counters_.windows_promoted.fetch_add(completion.promoted,
+                                             std::memory_order_relaxed);
+      }
     }
     if (!completion.reply_bytes.empty()) {
       queue_reply(session, completion.reply_bytes);

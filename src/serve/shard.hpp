@@ -43,6 +43,7 @@ struct ShardCounters {
   std::atomic<std::uint64_t> sessions_evicted{0};
   std::atomic<std::uint64_t> datapoints_received{0};
   std::atomic<std::uint64_t> predictions_sent{0};
+  std::atomic<std::uint64_t> windows_promoted{0};
   std::atomic<std::uint64_t> protocol_errors{0};
   std::atomic<std::uint64_t> disconnects_clean{0};
   std::atomic<std::uint64_t> disconnects_truncated{0};
@@ -108,6 +109,7 @@ class ServiceShard {
     obs::Gauge& inbox_depth;
     obs::Counter& datapoints;
     obs::Counter& predictions;
+    obs::Counter& windows_promoted;
     obs::Counter& outbound_bytes;
     obs::Counter& disconnects_clean;
     obs::Counter& disconnects_truncated;
@@ -121,6 +123,7 @@ class ServiceShard {
     std::shared_ptr<Session> session;
     std::vector<std::uint8_t> reply_bytes;  ///< Encoded Prediction frames.
     std::size_t predictions = 0;
+    std::size_t promoted = 0;  ///< Cascade full-stage promotions within.
   };
 
   /// One plain-HTTP scrape connection on the metrics port (shard 0).

@@ -122,6 +122,29 @@ TEST(Aggregation, UnfailedRunsSkippedUnlessRequested) {
   EXPECT_FALSE(aggregate(history, options).empty());
 }
 
+TEST(Aggregation, UnfailedRunWindowsAreRightCensored) {
+  DataHistory history;
+  history.add_run(linear_run(1.0, 50.0, 50.0, 0.0, 1.0));  // failed
+  f2pm::data::Run survivor = linear_run(1.0, 50.0, 50.0, 0.0, 1.0);
+  survivor.failed = false;
+  history.add_run(std::move(survivor));
+
+  AggregationOptions options;
+  options.window_seconds = 10.0;
+  options.include_unfailed_runs = true;
+  const auto points = aggregate(history, options);
+  ASSERT_FALSE(points.empty());
+  std::size_t censored = 0;
+  for (const auto& point : points) {
+    // Exactly the windows of the unfailed run carry the censored flag: their
+    // rttf is only "time until monitoring stopped".
+    EXPECT_EQ(point.censored, point.run_index == 1) << point.window_end;
+    censored += point.censored ? 1 : 0;
+  }
+  EXPECT_GT(censored, 0u);
+  EXPECT_LT(censored, points.size());
+}
+
 TEST(Aggregation, MultipleRunsKeepRunIndex) {
   DataHistory history;
   history.add_run(linear_run(1.0, 30.0, 30.0, 0.0, 1.0));

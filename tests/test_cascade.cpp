@@ -1,0 +1,335 @@
+// CascadeRegressor: promotion-policy boundaries, screen-column fallbacks,
+// bit-identical promoted predictions, archive roundtrip, registry wiring
+// and the OnlinePredictor cascade path.
+#include "ml/cascade.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "core/online.hpp"
+#include "data/aggregation.hpp"
+#include "ml/linear_regression.hpp"
+#include "ml/registry.hpp"
+#include "ml/reptree.hpp"
+#include "util/config.hpp"
+#include "util/rng.hpp"
+
+namespace f2pm::ml {
+namespace {
+
+constexpr std::size_t kCols = 6;
+
+/// Random design plus targets y ≈ 10·x0 spanning [0, 1000): plenty of rows
+/// on both sides of any mid-range horizon.
+struct Problem {
+  linalg::Matrix x;
+  std::vector<double> y;
+};
+
+Problem make_problem(std::size_t rows, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Problem problem;
+  problem.x = linalg::Matrix(rows, kCols);
+  problem.y.resize(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    problem.x(r, 0) = rng.uniform(0.0, 100.0);
+    for (std::size_t c = 1; c < kCols; ++c) {
+      problem.x(r, c) = rng.uniform(-5.0, 5.0);
+    }
+    problem.y[r] = 10.0 * problem.x(r, 0) + rng.normal(0.0, 3.0);
+  }
+  return problem;
+}
+
+std::unique_ptr<CascadeRegressor> fitted_cascade(const Problem& problem,
+                                                 CascadeOptions options) {
+  RepTreeOptions tree;
+  tree.seed = 7;
+  auto cascade = std::make_unique<CascadeRegressor>(
+      std::make_unique<LinearRegression>(), std::make_unique<RepTree>(tree),
+      options);
+  cascade->fit(problem.x, problem.y);
+  return cascade;
+}
+
+/// The full stage alone: a RepTree with the identical options and seed fit
+/// on the same data is bit-identical to the cascade's internal full model.
+std::unique_ptr<RepTree> reference_full(const Problem& problem) {
+  RepTreeOptions tree;
+  tree.seed = 7;
+  auto model = std::make_unique<RepTree>(tree);
+  model->fit(problem.x, problem.y);
+  return model;
+}
+
+/// A fitted constant stage, for exact promotion-boundary arithmetic.
+class ConstantStage final : public Regressor {
+ public:
+  explicit ConstantStage(double value) : value_(value) {}
+  void fit(const linalg::Matrix&, std::span<const double>) override {}
+  [[nodiscard]] double predict_row(std::span<const double>) const override {
+    return value_;
+  }
+  [[nodiscard]] std::string name() const override { return "constant"; }
+  [[nodiscard]] bool is_fitted() const override { return true; }
+  [[nodiscard]] std::size_t num_inputs() const override { return kCols; }
+  void save(util::BinaryWriter&) const override {}
+
+ private:
+  double value_;
+};
+
+TEST(Cascade, ScreenExactlyAtHorizonIsNotPromoted) {
+  // Constant stages make the boundary exact: screen == full == 50, so the
+  // calibrated margin is 0 and promotion hinges on the strict comparison
+  // "screened RTTF below the horizon".
+  const Problem problem = make_problem(40, 3);
+  CascadeOptions at_horizon;
+  at_horizon.horizon_seconds = 50.0;
+  CascadeRegressor cascade(std::make_unique<ConstantStage>(50.0),
+                           std::make_unique<ConstantStage>(50.0), at_horizon);
+  cascade.fit(problem.x, problem.y);
+  EXPECT_DOUBLE_EQ(cascade.margin(), 0.0);
+  const auto traced = cascade.predict_row_traced(problem.x.row(0));
+  EXPECT_DOUBLE_EQ(traced.screen_rttf, 50.0);
+  EXPECT_FALSE(traced.promoted);
+  EXPECT_DOUBLE_EQ(traced.rttf, 50.0);
+
+  CascadeOptions above_horizon = at_horizon;
+  above_horizon.horizon_seconds = 50.5;
+  CascadeRegressor promoting(std::make_unique<ConstantStage>(50.0),
+                             std::make_unique<ConstantStage>(50.0),
+                             above_horizon);
+  promoting.fit(problem.x, problem.y);
+  EXPECT_TRUE(promoting.predict_row_traced(problem.x.row(0)).promoted);
+}
+
+TEST(Cascade, PromotedPredictionsAreBitIdenticalToFullModel) {
+  const Problem problem = make_problem(300, 11);
+  CascadeOptions options;
+  options.horizon_seconds = 400.0;
+  const auto cascade = fitted_cascade(problem, options);
+  const auto reference = reference_full(problem);
+
+  const Problem probes = make_problem(128, 12);
+  std::vector<std::uint8_t> promoted;
+  const std::vector<double> predicted =
+      cascade->predict_traced(probes.x, &promoted);
+  const std::vector<double> full_only = reference->predict(probes.x);
+  ASSERT_EQ(promoted.size(), probes.x.rows());
+
+  std::size_t promoted_count = 0;
+  for (std::size_t r = 0; r < probes.x.rows(); ++r) {
+    if (promoted[r] != 0) {
+      ++promoted_count;
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(predicted[r]),
+                std::bit_cast<std::uint64_t>(full_only[r]))
+          << "promoted row " << r;
+    }
+    // Batched partitioned predict must equal the row-by-row path bitwise.
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(predicted[r]),
+              std::bit_cast<std::uint64_t>(
+                  cascade->predict_row(probes.x.row(r))))
+        << "row " << r;
+  }
+  // The sweep spans RTTF 0..1000 with a 400 s horizon: both routes happen.
+  EXPECT_GT(promoted_count, 0u);
+  EXPECT_LT(promoted_count, probes.x.rows());
+}
+
+TEST(Cascade, NearFailureRowsAreAlwaysPromotedOnTrainingData) {
+  // band_quantile = 1 calibrates the margin over the whole observed
+  // screen-vs-full band: every training row the full model places below
+  // the horizon must take the full-model route.
+  const Problem problem = make_problem(300, 21);
+  CascadeOptions options;
+  options.horizon_seconds = 350.0;
+  options.band_quantile = 1.0;
+  const auto cascade = fitted_cascade(problem, options);
+  const auto reference = reference_full(problem);
+
+  std::vector<std::uint8_t> promoted;
+  (void)cascade->predict_traced(problem.x, &promoted);
+  const std::vector<double> full_only = reference->predict(problem.x);
+  for (std::size_t r = 0; r < problem.x.rows(); ++r) {
+    if (full_only[r] < options.horizon_seconds) {
+      EXPECT_NE(promoted[r], 0) << "near-failure row " << r << " screened out";
+    }
+  }
+}
+
+TEST(Cascade, EmptyLassoSelectionFallsBackToFullRowScreen) {
+  const Problem problem = make_problem(200, 31);
+  CascadeOptions options;
+  options.horizon_seconds = 300.0;
+  options.screen_lasso_lambda = 1e18;  // zeroes every coefficient
+  const auto cascade = fitted_cascade(problem, options);
+  EXPECT_TRUE(cascade->screen_columns().empty());
+  EXPECT_EQ(cascade->screen().num_inputs(), kCols);
+  // Still a working cascade.
+  (void)cascade->predict(problem.x);
+}
+
+TEST(Cascade, LassoSelectionShrinksTheScreen) {
+  const Problem problem = make_problem(200, 41);
+  CascadeOptions options;
+  options.horizon_seconds = 300.0;
+  // y depends on x0 with slope 10 over [0,100]: a mid-strength λ keeps x0
+  // and drops the noise columns.
+  options.screen_lasso_lambda = 1e5;
+  const auto cascade = fitted_cascade(problem, options);
+  ASSERT_FALSE(cascade->screen_columns().empty());
+  EXPECT_LT(cascade->screen_columns().size(), kCols);
+  EXPECT_EQ(cascade->screen().num_inputs(), cascade->screen_columns().size());
+  EXPECT_EQ(cascade->screen_columns().front(), 0u);
+}
+
+TEST(Cascade, ScreenEqualsFullModelPromotionIsValueNeutral) {
+  // Both stages the same model type and hyperparameters: whatever the
+  // router decides, every prediction equals the full model bit for bit.
+  const Problem problem = make_problem(250, 51);
+  RepTreeOptions tree;
+  tree.seed = 7;
+  CascadeOptions options;
+  options.horizon_seconds = 400.0;
+  CascadeRegressor cascade(std::make_unique<RepTree>(tree),
+                           std::make_unique<RepTree>(tree), options);
+  cascade.fit(problem.x, problem.y);
+  const auto reference = reference_full(problem);
+
+  const Problem probes = make_problem(64, 52);
+  const std::vector<double> predicted = cascade.predict(probes.x);
+  const std::vector<double> expected = reference->predict(probes.x);
+  for (std::size_t r = 0; r < probes.x.rows(); ++r) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(predicted[r]),
+              std::bit_cast<std::uint64_t>(expected[r]));
+  }
+}
+
+TEST(Cascade, SaveLoadRoundTripIsBitIdentical) {
+  const Problem problem = make_problem(300, 61);
+  CascadeOptions options;
+  options.horizon_seconds = 420.0;
+  options.screen_lasso_lambda = 1e5;
+  const auto cascade = fitted_cascade(problem, options);
+
+  std::stringstream buffer;
+  save_model(*cascade, buffer);
+  const auto loaded_base = load_model(buffer);
+  ASSERT_NE(loaded_base, nullptr);
+  EXPECT_EQ(loaded_base->name(), "cascade");
+  const auto* loaded =
+      dynamic_cast<const CascadeRegressor*>(loaded_base.get());
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_DOUBLE_EQ(loaded->margin(), cascade->margin());
+  EXPECT_EQ(loaded->screen_columns(), cascade->screen_columns());
+  EXPECT_DOUBLE_EQ(loaded->options().horizon_seconds, 420.0);
+
+  const Problem probes = make_problem(96, 62);
+  std::vector<std::uint8_t> want_mask;
+  std::vector<std::uint8_t> got_mask;
+  const std::vector<double> want =
+      cascade->predict_traced(probes.x, &want_mask);
+  const std::vector<double> got = loaded->predict_traced(probes.x, &got_mask);
+  EXPECT_EQ(want_mask, got_mask);
+  for (std::size_t r = 0; r < probes.x.rows(); ++r) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(want[r]),
+              std::bit_cast<std::uint64_t>(got[r]));
+  }
+}
+
+TEST(Cascade, RegistryBuildsConfiguredStages) {
+  util::Config params;
+  params.set("cascade.horizon_seconds", "120");
+  params.set("cascade.screen", "reptree");
+  params.set("cascade.screen.reptree.max_depth", "2");
+  params.set("cascade.full", "reptree");
+  const auto model = make_model("cascade", params);
+  auto* cascade = dynamic_cast<CascadeRegressor*>(model.get());
+  ASSERT_NE(cascade, nullptr);
+  EXPECT_EQ(cascade->name(), "cascade");
+  EXPECT_DOUBLE_EQ(cascade->options().horizon_seconds, 120.0);
+  EXPECT_EQ(cascade->screen().name(), "reptree");
+  EXPECT_EQ(cascade->full().name(), "reptree");
+  EXPECT_FALSE(cascade->is_fitted());
+
+  const Problem problem = make_problem(120, 71);
+  model->fit(problem.x, problem.y);
+  EXPECT_TRUE(model->is_fitted());
+  EXPECT_EQ(model->num_inputs(), kCols);
+}
+
+TEST(Cascade, RejectsBadOptions) {
+  const auto make = [](CascadeOptions options) {
+    return CascadeRegressor(std::make_unique<LinearRegression>(),
+                            std::make_unique<LinearRegression>(), options);
+  };
+  CascadeOptions bad_quantile;
+  bad_quantile.band_quantile = 1.5;
+  EXPECT_THROW(make(bad_quantile), std::invalid_argument);
+  CascadeOptions bad_horizon;
+  bad_horizon.horizon_seconds = -1.0;
+  EXPECT_THROW(make(bad_horizon), std::invalid_argument);
+  EXPECT_THROW(CascadeRegressor(nullptr, std::make_unique<LinearRegression>(),
+                                CascadeOptions{}),
+               std::invalid_argument);
+
+  CascadeOptions bad_column;
+  bad_column.screen_columns = {kCols + 3};
+  auto cascade = make(bad_column);
+  const Problem problem = make_problem(50, 81);
+  EXPECT_THROW(cascade.fit(problem.x, problem.y), std::invalid_argument);
+}
+
+TEST(Cascade, OnlinePredictorSurfacesPromotion) {
+  // A steep leak: RTTF falls from ~1000 to ~0 across the run, so the
+  // stream starts unpromoted and ends promoted.
+  const Problem problem = make_problem(300, 91);
+  linalg::Matrix x(problem.x.rows(), data::kInputCount);
+  std::vector<double> y(problem.x.rows());
+  util::Rng rng(92);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < data::kInputCount; ++c) {
+      x(r, c) = rng.uniform(0.0, 1.0);
+    }
+    const std::size_t mem =
+        static_cast<std::size_t>(data::FeatureId::kMemUsed);
+    x(r, mem) = rng.uniform(0.0, 1000.0);
+    y[r] = 1000.0 - x(r, mem);  // rttf falls as mem_used grows
+  }
+  CascadeOptions options;
+  options.horizon_seconds = 300.0;
+  auto cascade = std::make_shared<CascadeRegressor>(
+      std::make_unique<LinearRegression>(),
+      std::make_unique<LinearRegression>(), options);
+  cascade->fit(x, y);
+
+  data::AggregationOptions aggregation;
+  aggregation.window_seconds = 10.0;
+  core::OnlinePredictor predictor(cascade, aggregation);
+  bool saw_unpromoted = false;
+  bool saw_promoted = false;
+  for (double t = 0.0; t < 1000.0; t += 2.0) {
+    data::RawDatapoint sample;
+    sample.tgen = t;
+    sample[data::FeatureId::kMemUsed] = t;  // leak toward rttf 0
+    if (const auto prediction = predictor.observe(sample)) {
+      if (prediction->promoted) {
+        saw_promoted = true;
+        EXPECT_LT(prediction->rttf, 2.0 * options.horizon_seconds);
+      } else {
+        saw_unpromoted = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_unpromoted);
+  EXPECT_TRUE(saw_promoted);
+}
+
+}  // namespace
+}  // namespace f2pm::ml

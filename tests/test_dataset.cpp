@@ -32,6 +32,27 @@ TEST(Dataset, BuildShapesAndProvenance) {
   EXPECT_DOUBLE_EQ(dataset.x(3, kInputCount - 2), 1.5);
 }
 
+TEST(Dataset, CensoredWindowsExcludedFromTrainingByDefault) {
+  auto points = make_points(10, 2);
+  points[3].censored = true;
+  points[7].censored = true;
+
+  // Default: censored rows never become training labels.
+  const Dataset trained = build_dataset(points);
+  EXPECT_EQ(trained.num_rows(), 8u);
+  for (const double label : trained.y) {
+    EXPECT_NE(label, points[3].rttf);
+    EXPECT_NE(label, points[7].rttf);
+  }
+  // Row order and provenance of the kept points are preserved.
+  EXPECT_DOUBLE_EQ(trained.x(3, 0), 4.0);  // point 4 shifted into row 3
+  EXPECT_DOUBLE_EQ(trained.window_end[3], 120.0);
+
+  // Label-free uses (feature statistics, standardization) can opt in.
+  const Dataset all = build_dataset(points, /*include_censored=*/true);
+  EXPECT_EQ(all.num_rows(), 10u);
+}
+
 TEST(Dataset, FeatureIndexLookup) {
   const Dataset dataset = build_dataset(make_points(2, 1));
   EXPECT_EQ(dataset.feature_index("n_threads"), 0u);

@@ -14,6 +14,7 @@
 #include "learn/corpus.hpp"
 #include "learn/drift.hpp"
 #include "learn/trainer.hpp"
+#include "ml/cascade.hpp"
 #include "ml/linear_regression.hpp"
 #include "obs/metrics.hpp"
 #include "serve/model_store.hpp"
@@ -421,6 +422,45 @@ TEST(ContinuousTrainer, BootstrapDriftRetrainPublishRecover) {
   EXPECT_FALSE(post.drift_active);
   EXPECT_GE(post.live_window_count, options.drift.horizon);
   EXPECT_LE(post.live_smae, pre.live_smae * 1.10 + 0.5);
+  trainer.stop();
+  std::remove(archive.c_str());
+}
+
+TEST(ContinuousTrainer, RetrainsAndPublishesCascadeArchives) {
+  const std::string archive = testing::TempDir() + "/trainer_cascade.bin";
+  std::remove(archive.c_str());
+  serve::ModelStore store;
+  store.watch_file(archive);
+
+  TrainerOptions options;
+  options.model_name = "cascade";
+  options.model_params.set("cascade.horizon_seconds", "30");
+  options.model_params.set("cascade.full", "reptree");
+  options.model_params.set("cascade.full.reptree.prune", "false");
+  options.archive_path = archive;
+  options.aggregation.window_seconds = 4.0;
+  options.aggregation.min_samples_per_window = 2;
+  options.min_corpus_runs = 3;
+  options.candidate_min_windows = 7;
+  ContinuousTrainer trainer(store, options);
+
+  for (int i = 0; i < 3; ++i) trainer.ingest(completed(ramp_run(1.0, 60.0)));
+  trainer.drain();
+  ASSERT_EQ(trainer.stats().publishes, 1u);
+  ASSERT_TRUE(store.poll_watch());
+  ASSERT_EQ(store.version(), 1u);
+
+  // The published archive carries the whole cascade: both stages refit
+  // from the same corpus, full-model width matching the serve layout.
+  const auto model = store.current();
+  ASSERT_NE(model, nullptr);
+  const auto* cascade =
+      dynamic_cast<const ml::CascadeRegressor*>(model->regressor.get());
+  ASSERT_NE(cascade, nullptr);
+  EXPECT_TRUE(cascade->screen().is_fitted());
+  EXPECT_TRUE(cascade->full().is_fitted());
+  EXPECT_EQ(cascade->full().num_inputs(), data::kInputCount);
+  EXPECT_DOUBLE_EQ(cascade->options().horizon_seconds, 30.0);
   trainer.stop();
   std::remove(archive.c_str());
 }

@@ -100,6 +100,15 @@ util::Config random_config(const std::string& name, util::Rng& rng) {
     params.set("bagging.seed", fmt(rng.uniform_int(1, 1 << 20)));
     params.set("bagging.split_mode", pick_split_mode(rng));
     params.set("bagging.histogram_bins", fmt(rng.uniform_int(8, 64)));
+  } else if (name == "cascade") {
+    params.set("cascade.horizon_seconds", fmt(rng.uniform(5.0, 80.0)));
+    params.set("cascade.band_quantile", fmt(rng.uniform(0.0, 1.0)));
+    if (rng.bernoulli(0.5)) {
+      params.set("cascade.screen_lasso_lambda", fmt(rng.uniform(0.01, 100.0)));
+    }
+    params.set("cascade.screen", rng.bernoulli(0.5) ? "linear" : "reptree");
+    params.set("cascade.screen.reptree.max_depth", "2");
+    params.set("cascade.full", rng.bernoulli(0.5) ? "reptree" : "m5p");
   }
   // "linear" has no hyperparameters; an empty config is its whole space.
   return params;

@@ -1,0 +1,127 @@
+// Offline/online aggregation parity: identical streams through
+// data::aggregate and OnlinePredictor::observe/flush must produce
+// BIT-IDENTICAL per-window model inputs — means, Eq. (1) slopes,
+// inter-generation metrics including the boundary gap across dropped
+// windows. Exact equality (IEEE-754 payload compare, not a tolerance) is
+// the property the serve tier relies on: a model trained on offline
+// aggregates scores streaming windows as the same function.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/online.hpp"
+#include "data/aggregation.hpp"
+#include "data/data_history.hpp"
+#include "util/rng.hpp"
+
+namespace f2pm::core {
+namespace {
+
+/// A fitted stub that records every row it is asked to score.
+class RecordingModel final : public ml::Regressor {
+ public:
+  void fit(const linalg::Matrix&, std::span<const double>) override {}
+  [[nodiscard]] double predict_row(std::span<const double> row) const override {
+    rows_.emplace_back(row.begin(), row.end());
+    return 0.0;
+  }
+  [[nodiscard]] std::string name() const override { return "recording"; }
+  [[nodiscard]] bool is_fitted() const override { return true; }
+  [[nodiscard]] std::size_t num_inputs() const override {
+    return data::kInputCount;
+  }
+  void save(util::BinaryWriter&) const override {}
+
+  [[nodiscard]] const std::vector<std::vector<double>>& rows() const {
+    return rows_;
+  }
+
+ private:
+  mutable std::vector<std::vector<double>> rows_;
+};
+
+/// Draws a stream with irregular spacing, occasional whole-window gaps
+/// (so boundary gaps cross dropped windows) and sparse windows that fall
+/// under min_samples_per_window on one side only if the two paths ever
+/// disagreed about bucketing.
+data::Run random_run(util::Rng& rng, double width) {
+  data::Run run;
+  double tgen = rng.uniform(0.0, 2.0 * width);
+  const std::size_t samples = 50 + static_cast<std::size_t>(
+                                       rng.uniform_int(0, 250));
+  for (std::size_t i = 0; i < samples; ++i) {
+    data::RawDatapoint sample;
+    sample.tgen = tgen;
+    for (std::size_t f = 0; f < data::kFeatureCount; ++f) {
+      sample.values[f] = rng.uniform(-1000.0, 1000.0);
+    }
+    run.samples.push_back(sample);
+    // Mostly dense sampling; sometimes jump past one or more windows.
+    tgen += rng.bernoulli(0.1) ? rng.uniform(width, 4.0 * width)
+                               : rng.uniform(0.01, width / 3.0);
+  }
+  // Far-future fail time: every closed window is complete offline, so the
+  // two paths emit the same window set.
+  run.fail_time = run.samples.back().tgen + 10.0 * width;
+  run.failed = true;
+  return run;
+}
+
+class OfflineOnlineParity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OfflineOnlineParity, IdenticalStreamsProduceBitIdenticalInputs) {
+  util::Rng rng(GetParam());
+  const double width = rng.uniform(0.5, 30.0);
+  data::AggregationOptions aggregation;
+  aggregation.window_seconds = width;
+  aggregation.min_samples_per_window =
+      static_cast<std::size_t>(rng.uniform_int(1, 3));
+
+  data::DataHistory history;
+  history.add_run(random_run(rng, width));
+  const data::Run& run = history.runs().front();
+
+  // Offline path.
+  const auto points = data::aggregate(history, aggregation);
+  ASSERT_FALSE(points.empty());
+
+  // Online path: same stream, sample by sample, then flush the last
+  // (still-open) window exactly like serve drain does.
+  auto recorder = std::make_shared<RecordingModel>();
+  OnlinePredictor predictor(recorder, aggregation);
+  std::vector<OnlinePrediction> emitted;
+  for (const data::RawDatapoint& sample : run.samples) {
+    if (auto prediction = predictor.observe(sample)) {
+      emitted.push_back(*prediction);
+    }
+  }
+  if (auto prediction = predictor.flush()) emitted.push_back(*prediction);
+
+  ASSERT_EQ(recorder->rows().size(), points.size());
+  ASSERT_EQ(emitted.size(), points.size());
+  for (std::size_t w = 0; w < points.size(); ++w) {
+    SCOPED_TRACE("window " + std::to_string(w));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(emitted[w].window_end),
+              std::bit_cast<std::uint64_t>(points[w].window_end));
+    EXPECT_EQ(emitted[w].window_samples, points[w].count);
+    const auto offline_row = data::to_input_vector(points[w]);
+    const std::vector<double>& online_row = recorder->rows()[w];
+    ASSERT_EQ(online_row.size(), offline_row.size());
+    for (std::size_t c = 0; c < offline_row.size(); ++c) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(online_row[c]),
+                std::bit_cast<std::uint64_t>(offline_row[c]))
+          << "column " << c << ": " << online_row[c] << " vs "
+          << offline_row[c];
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OfflineOnlineParity,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace f2pm::core
