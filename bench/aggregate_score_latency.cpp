@@ -1,0 +1,291 @@
+// Per-datapoint hot-path microbench: isolates the three costs the serve
+// tier pays per streamed sample — window aggregation (the vectorized
+// column-sweep kernel vs the legacy per-feature scalar loop), the full
+// observe -> aggregate -> score pipeline through OnlinePredictor, and the
+// frame codec (zero-copy next_view() vs the materializing next()).
+//
+// The kernel comparison pits linalg::window_mean_slope against a faithful
+// replica of the pre-vectorization form: one pass over the window PER
+// FEATURE, walking the row-major sample matrix column-major. Both produce
+// bit-identical results (asserted here on every window — this bench
+// doubles as a parity smoke), so the delta is pure memory-order and
+// vectorization, not arithmetic shortcuts.
+//
+// Emits BENCH_aggregate_score.json next to the binary. `--smoke` shrinks
+// iteration counts (CI) with the same output schema.
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/online.hpp"
+#include "data/aggregation.hpp"
+#include "data/datapoint.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/window_stats.hpp"
+#include "ml/linear_regression.hpp"
+#include "net/protocol.hpp"
+#include "serve/arena.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace f2pm;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kStride = sizeof(data::RawDatapoint) / sizeof(double);
+
+/// The pre-vectorization aggregation order: per feature, one scalar pass
+/// down the window. Same pinned row-index summation, so results are
+/// bit-identical to the kernel — only the traversal order differs.
+void scalar_reference_mean_slope(const data::RawDatapoint* samples,
+                                 std::size_t count, double divisor,
+                                 double* means, double* slopes) {
+  for (std::size_t f = 0; f < data::kFeatureCount; ++f) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < count; ++i) sum += samples[i].values[f];
+    means[f] = sum / divisor;
+    slopes[f] =
+        (samples[count - 1].values[f] - samples[0].values[f]) / divisor;
+  }
+}
+
+std::vector<data::RawDatapoint> make_window(util::Rng& rng,
+                                            std::size_t count) {
+  std::vector<data::RawDatapoint> window(count);
+  double tgen = 0.0;
+  for (auto& sample : window) {
+    sample.tgen = tgen;
+    tgen += 0.05;
+    for (std::size_t f = 0; f < data::kFeatureCount; ++f) {
+      sample.values[f] = rng.uniform(-1000.0, 1000.0);
+    }
+  }
+  return window;
+}
+
+std::shared_ptr<const ml::Regressor> fitted_linear(util::Rng& rng) {
+  const std::size_t rows = 4 * data::kInputCount;
+  linalg::Matrix x(rows, data::kInputCount);
+  std::vector<double> y(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < data::kInputCount; ++c) {
+      x(r, c) = rng.uniform(-1.0, 1.0);
+    }
+    y[r] = rng.uniform(0.0, 1000.0);
+  }
+  auto model = std::make_shared<ml::LinearRegression>();
+  model->fit(x, y);
+  return model;
+}
+
+struct BenchResult {
+  std::string name;
+  std::size_t window_samples = 0;  ///< 0 when not window-shaped.
+  double baseline_ns = 0.0;        ///< Per datapoint, legacy path.
+  double optimized_ns = 0.0;       ///< Per datapoint, this PR's path.
+  double speedup = 0.0;
+};
+
+/// Kernel vs scalar reference at one window size; also asserts
+/// bit-identity between the two on the benched data.
+BenchResult bench_kernel(util::Rng& rng, std::size_t window_samples,
+                         std::size_t repeats) {
+  const auto window = make_window(rng, window_samples);
+  std::array<double, data::kFeatureCount> means{}, slopes{};
+  std::array<double, data::kFeatureCount> ref_means{}, ref_slopes{};
+  const auto divisor = static_cast<double>(window_samples);
+
+  scalar_reference_mean_slope(window.data(), window_samples, divisor,
+                              ref_means.data(), ref_slopes.data());
+  linalg::window_mean_slope(window[0].values.data(), window_samples, kStride,
+                            data::kFeatureCount, divisor, means.data(),
+                            slopes.data());
+  for (std::size_t f = 0; f < data::kFeatureCount; ++f) {
+    if (std::memcmp(&means[f], &ref_means[f], sizeof(double)) != 0 ||
+        std::memcmp(&slopes[f], &ref_slopes[f], sizeof(double)) != 0) {
+      std::fprintf(stderr, "FATAL: kernel/reference bit mismatch at f=%zu\n",
+                   f);
+      std::abort();
+    }
+  }
+
+  const auto time_loop = [&](auto&& body) {
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < repeats; ++i) body();
+    const std::chrono::duration<double, std::nano> elapsed =
+        Clock::now() - start;
+    return elapsed.count() / static_cast<double>(repeats * window_samples);
+  };
+
+  BenchResult result;
+  result.name = "window_mean_slope";
+  result.window_samples = window_samples;
+  result.baseline_ns = time_loop([&] {
+    scalar_reference_mean_slope(window.data(), window_samples, divisor,
+                                ref_means.data(), ref_slopes.data());
+    benchmark::DoNotOptimize(ref_means);
+    benchmark::DoNotOptimize(ref_slopes);
+  });
+  result.optimized_ns = time_loop([&] {
+    linalg::window_mean_slope(window[0].values.data(), window_samples,
+                              kStride, data::kFeatureCount, divisor,
+                              means.data(), slopes.data());
+    benchmark::DoNotOptimize(means);
+    benchmark::DoNotOptimize(slopes);
+  });
+  result.speedup = result.baseline_ns / result.optimized_ns;
+  return result;
+}
+
+/// Full observe -> aggregate -> score pipeline: arena-backed predictor,
+/// steady state (buffers warm). There is no "legacy" build to race here,
+/// so baseline_ns is left 0 and the JSON reports the absolute cost.
+BenchResult bench_observe_pipeline(util::Rng& rng, std::size_t repeats) {
+  auto model = fitted_linear(rng);
+  data::AggregationOptions aggregation;
+  aggregation.window_seconds = 1.0;
+  aggregation.min_samples_per_window = 2;
+  serve::SessionArena arena;
+  core::OnlinePredictor predictor(model, aggregation, {}, &arena);
+  predictor.reserve_window(256);
+
+  data::RawDatapoint sample;
+  for (std::size_t f = 0; f < data::kFeatureCount; ++f) {
+    sample.values[f] = 0.5 * static_cast<double>(f);
+  }
+  double tgen = 0.0;
+  const auto stream_one = [&] {
+    sample.tgen = tgen;
+    sample.values[0] = tgen;
+    auto prediction = predictor.observe(sample);
+    benchmark::DoNotOptimize(prediction);
+    tgen += 0.01;  // 100 samples per window.
+  };
+  for (std::size_t i = 0; i < 500; ++i) stream_one();  // Warm-up.
+
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < repeats; ++i) stream_one();
+  const std::chrono::duration<double, std::nano> elapsed =
+      Clock::now() - start;
+
+  BenchResult result;
+  result.name = "observe_aggregate_score";
+  result.window_samples = 100;
+  result.optimized_ns = elapsed.count() / static_cast<double>(repeats);
+  return result;
+}
+
+/// Frame decode per datapoint: zero-copy next_view() against the
+/// materializing next() on an identical pre-encoded stream.
+BenchResult bench_frame_decode(util::Rng& rng, std::size_t repeats) {
+  constexpr std::size_t kFramesPerFeed = 64;
+  std::vector<std::uint8_t> wire;
+  for (std::size_t i = 0; i < kFramesPerFeed; ++i) {
+    data::RawDatapoint sample;
+    sample.tgen = static_cast<double>(i);
+    for (std::size_t f = 0; f < data::kFeatureCount; ++f) {
+      sample.values[f] = rng.uniform(-10.0, 10.0);
+    }
+    net::FrameEncoder::encode_datapoint(wire, sample);
+  }
+
+  const auto time_loop = [&](auto&& drain) {
+    net::FrameDecoder decoder;
+    decoder.feed(wire.data(), wire.size());  // Warm buffer capacity.
+    drain(decoder);
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < repeats; ++i) {
+      decoder.feed(wire.data(), wire.size());
+      drain(decoder);
+    }
+    const std::chrono::duration<double, std::nano> elapsed =
+        Clock::now() - start;
+    return elapsed.count() / static_cast<double>(repeats * kFramesPerFeed);
+  };
+
+  BenchResult result;
+  result.name = "frame_decode_datapoint";
+  data::RawDatapoint scratch;
+  result.baseline_ns = time_loop([&](net::FrameDecoder& decoder) {
+    while (auto frame = decoder.next()) benchmark::DoNotOptimize(*frame);
+  });
+  result.optimized_ns = time_loop([&](net::FrameDecoder& decoder) {
+    while (auto view = decoder.next_view()) {
+      view->datapoint(scratch);
+      benchmark::DoNotOptimize(scratch);
+    }
+  });
+  result.speedup = result.baseline_ns / result.optimized_ns;
+  return result;
+}
+
+void write_json(const std::vector<BenchResult>& results, bool smoke) {
+  std::FILE* out = std::fopen("BENCH_aggregate_score.json", "w");
+  if (out == nullptr) return;
+  std::fprintf(out, "{\n  \"bench\": \"aggregate_score_latency\",\n");
+  std::fprintf(out, "  \"simd_kernel\": %s,\n",
+               linalg::simd_kernel_enabled() ? "true" : "false");
+  std::fprintf(out, "  \"feature_count\": %zu,\n", data::kFeatureCount);
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"units\": \"ns_per_datapoint\",\n");
+  std::fprintf(out, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"window_samples\": %zu, "
+                 "\"baseline_ns\": %.2f, \"optimized_ns\": %.2f, "
+                 "\"speedup\": %.3f}%s\n",
+                 r.name.c_str(), r.window_samples, r.baseline_ns,
+                 r.optimized_ns, r.speedup, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_aggregate_score.json\n");
+}
+
+void run_all(bool smoke) {
+  util::Rng rng(2015);
+  const std::size_t kernel_repeats = smoke ? 2'000 : 200'000;
+  const std::size_t pipeline_repeats = smoke ? 20'000 : 2'000'000;
+  const std::size_t decode_repeats = smoke ? 500 : 50'000;
+
+  std::vector<BenchResult> results;
+  for (std::size_t window : {32u, 100u, 300u}) {
+    results.push_back(bench_kernel(rng, window, kernel_repeats));
+  }
+  results.push_back(bench_observe_pipeline(rng, pipeline_repeats));
+  results.push_back(bench_frame_decode(rng, decode_repeats));
+
+  std::printf("%-28s %8s %14s %14s %9s\n", "name", "window", "baseline_ns",
+              "optimized_ns", "speedup");
+  for (const BenchResult& r : results) {
+    std::printf("%-28s %8zu %14.2f %14.2f %9.3f\n", r.name.c_str(),
+                r.window_samples, r.baseline_ns, r.optimized_ns, r.speedup);
+  }
+  write_json(results, smoke);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  run_all(smoke);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -31,10 +31,13 @@ struct OnlineMetrics {
 
 OnlinePredictor::OnlinePredictor(std::shared_ptr<const ml::Regressor> model,
                                  data::AggregationOptions aggregation,
-                                 std::vector<std::size_t> selected_columns)
+                                 std::vector<std::size_t> selected_columns,
+                                 std::pmr::memory_resource* memory)
     : model_(std::move(model)),
       aggregation_(aggregation),
-      selected_columns_(std::move(selected_columns)) {
+      selected_columns_(std::move(selected_columns)),
+      window_(memory != nullptr ? memory
+                                : std::pmr::get_default_resource()) {
   if (!model_ || !model_->is_fitted()) {
     throw std::invalid_argument("OnlinePredictor: model must be fitted");
   }
@@ -56,6 +59,11 @@ OnlinePredictor::OnlinePredictor(std::shared_ptr<const ml::Regressor> model,
           "OnlinePredictor: selected column out of range");
     }
   }
+  row_scratch_.reserve(selected_columns_.size());
+}
+
+void OnlinePredictor::reserve_window(std::size_t samples) {
+  if (samples > window_.capacity()) window_.reserve(samples);
 }
 
 std::optional<OnlinePrediction> OnlinePredictor::flush() {
@@ -80,40 +88,16 @@ void OnlinePredictor::reset() {
 }
 
 OnlinePrediction OnlinePredictor::aggregate_and_predict() {
-  // Mirrors data::aggregate's per-window math (means, Eq. (1) slopes,
-  // inter-generation metrics including the gap into the window).
+  // The per-window math is the exact function data::aggregate applies
+  // offline (vectorized means, Eq. (1) slopes, inter-generation metrics
+  // including the boundary gap into the window) — shared code, not a
+  // mirror, so the two paths cannot drift.
   data::AggregatedDatapoint point;
   point.window_start = window_start_;
   point.window_end = window_end_;
-  point.count = window_.size();
-  const auto n = static_cast<double>(window_.size());
-  for (std::size_t f = 0; f < data::kFeatureCount; ++f) {
-    double sum = 0.0;
-    for (const auto& sample : window_) sum += sample.values[f];
-    point.means[f] = sum / n;
-    point.slopes[f] =
-        (window_.back().values[f] - window_.front().values[f]) / n;
-  }
-  double gap_sum = 0.0;
-  std::size_t gap_count = 0;
-  double first_gap = 0.0;
-  double last_gap = 0.0;
-  auto add_gap = [&](double gap) {
-    if (gap_count == 0) first_gap = gap;
-    last_gap = gap;
-    gap_sum += gap;
-    ++gap_count;
-  };
-  // The boundary gap into this window counts too (as in data::aggregate).
-  if (boundary_tgen_) add_gap(window_.front().tgen - *boundary_tgen_);
-  for (std::size_t i = 1; i < window_.size(); ++i) {
-    add_gap(window_[i].tgen - window_[i - 1].tgen);
-  }
-  if (gap_count > 0) {
-    point.intergen_mean = gap_sum / static_cast<double>(gap_count);
-    point.intergen_slope =
-        (last_gap - first_gap) / static_cast<double>(gap_count);
-  }
+  data::compute_window_features(window_.data(), window_.size(),
+                                boundary_tgen_ ? &*boundary_tgen_ : nullptr,
+                                point);
   const auto full_row = data::to_input_vector(point);
   OnlinePrediction prediction;
   prediction.window_end = window_end_;
@@ -135,12 +119,11 @@ OnlinePrediction OnlinePredictor::aggregate_and_predict() {
     if (selected_columns_.empty()) {
       score(full_row);
     } else {
-      std::vector<double> row;
-      row.reserve(selected_columns_.size());
+      row_scratch_.clear();  // Capacity reserved at construction.
       for (std::size_t column : selected_columns_) {
-        row.push_back(full_row[column]);
+        row_scratch_.push_back(full_row[column]);
       }
-      score(row);
+      score(row_scratch_);
     }
     metrics.windows_scored.add(1);
   }

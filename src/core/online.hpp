@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <memory_resource>
 #include <optional>
 #include <vector>
 
@@ -43,10 +44,18 @@ class OnlinePredictor {
   /// `model` must be fitted; its input width must equal kInputCount, or
   /// the size of `selected_columns` when that is non-empty (the model was
   /// trained on a Lasso-selected subset). Throws std::invalid_argument on
-  /// any mismatch.
+  /// any mismatch. `memory`, when non-null, backs the window buffer (the
+  /// serve tier passes its per-shard session arena so per-session window
+  /// storage recycles across sessions); null uses the default resource.
   OnlinePredictor(std::shared_ptr<const ml::Regressor> model,
                   data::AggregationOptions aggregation,
-                  std::vector<std::size_t> selected_columns = {});
+                  std::vector<std::size_t> selected_columns = {},
+                  std::pmr::memory_resource* memory = nullptr);
+
+  /// Pre-sizes the window buffer for `samples` datapoints so steady-state
+  /// appends never allocate (the buffer also grows on demand and never
+  /// shrinks, so any observed window size is paid for at most once).
+  void reserve_window(std::size_t samples);
 
   /// Feeds the next datapoint (tgen must be nondecreasing; throws
   /// std::invalid_argument otherwise). Returns a prediction when this
@@ -79,7 +88,13 @@ class OnlinePredictor {
   const ml::CascadeRegressor* cascade_ = nullptr;
   data::AggregationOptions aggregation_;
   std::vector<std::size_t> selected_columns_;
-  std::vector<data::RawDatapoint> window_;  ///< Samples in current window.
+  /// Samples in the current window. Arena-backed when the caller passed a
+  /// memory resource; cleared (capacity kept) at every window boundary,
+  /// so the steady-state observe() path never allocates.
+  std::pmr::vector<data::RawDatapoint> window_;
+  /// Reused column-gather scratch for the selected-columns path; sized
+  /// once at construction.
+  std::vector<double> row_scratch_;
   double window_start_ = 0.0;
   double window_end_ = 0.0;
   bool window_open_ = false;

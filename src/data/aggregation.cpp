@@ -1,9 +1,64 @@
 #include "data/aggregation.hpp"
 
 #include <cmath>
+#include <cstddef>
 #include <stdexcept>
 
+#include "linalg/window_stats.hpp"
+
 namespace f2pm::data {
+
+// The window-statistics kernel reads the samples of a window as one
+// strided row-major matrix straight out of the RawDatapoint array: row r,
+// column c is samples[r].values[c]. That only works while a RawDatapoint
+// is exactly [tgen][values[0..kFeatureCount)] with no padding.
+static_assert(sizeof(RawDatapoint) == (1 + kFeatureCount) * sizeof(double),
+              "RawDatapoint must stay a padding-free array of doubles for "
+              "the strided window-statistics kernel");
+static_assert(offsetof(RawDatapoint, values) == sizeof(double),
+              "RawDatapoint::values must directly follow tgen");
+
+void compute_window_features(const RawDatapoint* samples, std::size_t count,
+                             const double* boundary_tgen,
+                             AggregatedDatapoint& point) {
+  point.count = count;
+  // One row-major sweep for all means and Eq. (1) slopes. The divisor is
+  // the same double(count) the scalar loops used, so every quotient is
+  // bit-identical to the legacy per-feature form.
+  linalg::window_mean_slope(samples[0].values.data(), count,
+                            sizeof(RawDatapoint) / sizeof(double),
+                            kFeatureCount, static_cast<double>(count),
+                            point.means.data(), point.slopes.data());
+  // Inter-generation times between consecutive samples; the boundary gap
+  // into the window (when known) counts first, so a single-gap window
+  // still gets a value. Accumulation order: boundary gap, then internal
+  // gaps in sample order — the order both legacy paths used.
+  double gap_sum = 0.0;
+  std::size_t gap_count = 0;
+  double first_gap = 0.0;
+  double last_gap = 0.0;
+  if (boundary_tgen != nullptr) {
+    first_gap = samples[0].tgen - *boundary_tgen;
+    last_gap = first_gap;
+    gap_sum += first_gap;  // `0.0 + gap`, exactly as the running sum did.
+    gap_count = 1;
+  }
+  for (std::size_t i = 1; i < count; ++i) {
+    const double gap = samples[i].tgen - samples[i - 1].tgen;
+    if (gap_count == 0) first_gap = gap;
+    last_gap = gap;
+    gap_sum += gap;
+    ++gap_count;
+  }
+  if (gap_count > 0) {
+    point.intergen_mean = gap_sum / static_cast<double>(gap_count);
+    point.intergen_slope =
+        (last_gap - first_gap) / static_cast<double>(gap_count);
+  } else {
+    point.intergen_mean = 0.0;
+    point.intergen_slope = 0.0;
+  }
+}
 
 namespace {
 
@@ -36,39 +91,13 @@ void aggregate_run(const Run& run, std::size_t run_index,
       point.run_index = run_index;
       point.window_start = window_start;
       point.window_end = window_end;
-      point.count = count;
-      const RawDatapoint& first = run.samples[begin];
-      const RawDatapoint& last = run.samples[end - 1];
-      for (std::size_t f = 0; f < kFeatureCount; ++f) {
-        double sum = 0.0;
-        for (std::size_t i = begin; i < end; ++i) {
-          sum += run.samples[i].values[f];
-        }
-        point.means[f] = sum / static_cast<double>(count);
-        // Eq. (1): slope_j = (x_end_j - x_start_j) / n.
-        point.slopes[f] =
-            (last.values[f] - first.values[f]) / static_cast<double>(count);
-      }
-      // Inter-generation times between consecutive samples in the window;
-      // the gap to the previous window's last sample is included so a
-      // single-gap window still gets a value.
-      double gap_sum = 0.0;
-      std::size_t gap_count = 0;
-      double first_gap = 0.0;
-      double last_gap = 0.0;
-      const std::size_t gap_begin = begin == 0 ? begin + 1 : begin;
-      for (std::size_t i = gap_begin; i < end; ++i) {
-        const double gap = run.samples[i].tgen - run.samples[i - 1].tgen;
-        if (gap_count == 0) first_gap = gap;
-        last_gap = gap;
-        gap_sum += gap;
-        ++gap_count;
-      }
-      if (gap_count > 0) {
-        point.intergen_mean = gap_sum / static_cast<double>(gap_count);
-        point.intergen_slope =
-            (last_gap - first_gap) / static_cast<double>(gap_count);
-      }
+      // Means, Eq. (1) slopes and inter-generation metrics all come from
+      // the shared vectorized helper; the gap to the previous window's
+      // last sample is the boundary gap.
+      const double* boundary =
+          begin > 0 ? &run.samples[begin - 1].tgen : nullptr;
+      compute_window_features(run.samples.data() + begin, count, boundary,
+                              point);
       // For unfailed runs fail_time is the last sample time, so this rttf
       // is right-censored: the run survived at least this long. The flag
       // keeps such windows out of training labels (see build_dataset).

@@ -75,4 +75,19 @@ std::vector<std::string> input_feature_names();
 std::array<double, kInputCount> to_input_vector(
     const AggregatedDatapoint& point);
 
+/// The shared per-window math of the offline (aggregate) and streaming
+/// (core::OnlinePredictor) paths: fills `point`'s means, Eq. (1) slopes
+/// and inter-generation metrics (plus `count`) from `count >= 1`
+/// contiguous samples. Means and slopes go through the pinned-order
+/// vectorized kernel in linalg/window_stats.hpp; because both paths call
+/// this one function, their per-window model inputs are bit-identical
+/// (tests/test_parity.cpp). `boundary_tgen`, when non-null, is the time
+/// of the last sample before this window — its gap into the window
+/// counts as the first inter-generation gap, exactly as a single
+/// contiguous trace would produce. window_start/window_end/rttf/censored
+/// are the caller's business.
+void compute_window_features(const RawDatapoint* samples, std::size_t count,
+                             const double* boundary_tgen,
+                             AggregatedDatapoint& point);
+
 }  // namespace f2pm::data

@@ -1,0 +1,77 @@
+#include "linalg/window_stats.hpp"
+
+namespace f2pm::linalg {
+
+namespace {
+
+#if defined(F2PM_SIMD_ENABLED)
+
+/// One block of W independent column accumulators carried across the row
+/// sweep. W is a compile-time constant so the inner loop unrolls and the
+/// accumulators vectorize; each acc[j] still adds rows in index order, so
+/// the result is bit-identical to the scalar per-column loop.
+template <std::size_t W>
+void block_sums(const double* data, std::size_t rows, std::size_t stride,
+                double* sums) {
+  double acc[W] = {};
+  const double* row = data;
+  for (std::size_t r = 0; r < rows; ++r, row += stride) {
+    for (std::size_t j = 0; j < W; ++j) acc[j] += row[j];
+  }
+  for (std::size_t j = 0; j < W; ++j) sums[j] = acc[j];
+}
+
+#endif  // F2PM_SIMD_ENABLED
+
+}  // namespace
+
+bool simd_kernel_enabled() noexcept {
+#if defined(F2PM_SIMD_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+void column_sums(const double* data, std::size_t rows, std::size_t stride,
+                 std::size_t cols, double* sums) {
+#if defined(F2PM_SIMD_ENABLED)
+  std::size_t c = 0;
+  for (; c + 8 <= cols; c += 8) {
+    block_sums<8>(data + c, rows, stride, sums + c);
+  }
+  switch (cols - c) {
+    case 7: block_sums<7>(data + c, rows, stride, sums + c); break;
+    case 6: block_sums<6>(data + c, rows, stride, sums + c); break;
+    case 5: block_sums<5>(data + c, rows, stride, sums + c); break;
+    case 4: block_sums<4>(data + c, rows, stride, sums + c); break;
+    case 3: block_sums<3>(data + c, rows, stride, sums + c); break;
+    case 2: block_sums<2>(data + c, rows, stride, sums + c); break;
+    case 1: block_sums<1>(data + c, rows, stride, sums + c); break;
+    default: break;
+  }
+#else
+  // F2PM_SIMD=OFF scalar fallback: per-column loops, each accumulating
+  // rows in index order — the same pinned order the blocked kernel uses.
+  for (std::size_t c = 0; c < cols; ++c) {
+    double acc = 0.0;
+    const double* p = data + c;
+    for (std::size_t r = 0; r < rows; ++r, p += stride) acc += *p;
+    sums[c] = acc;
+  }
+#endif
+}
+
+void window_mean_slope(const double* data, std::size_t rows,
+                       std::size_t stride, std::size_t cols, double divisor,
+                       double* means, double* slopes) {
+  column_sums(data, rows, stride, cols, means);
+  const double* first = data;
+  const double* last = data + (rows - 1) * stride;
+  for (std::size_t c = 0; c < cols; ++c) {
+    means[c] = means[c] / divisor;
+    slopes[c] = (last[c] - first[c]) / divisor;
+  }
+}
+
+}  // namespace f2pm::linalg

@@ -1,0 +1,51 @@
+// Vectorized per-window column statistics — the per-datapoint hot kernel.
+//
+// Every scaling layer of the serve tier multiplies the same inner loop:
+// when an aggregation window closes, its per-feature means and Eq. (1)
+// slopes must be computed over the buffered samples. The scalar form
+// (one pass over the window per feature) traverses a row-major sample
+// matrix column-major — kFeatureCount cache-hostile sweeps. The kernel
+// here makes one row-major sweep with a block of independent per-column
+// accumulators, which the compiler auto-vectorizes (the accumulators of
+// a block live in vector registers across the whole sweep).
+//
+// Bit-exactness contract (the serve tier's hard invariant): for every
+// column c, the sum is accumulated in row-index order,
+//
+//   sums[c] = (((m[0][c] + m[1][c]) + m[2][c]) + ... ) + m[rows-1][c]
+//
+// exactly as the scalar per-feature loop did. Vectorization happens
+// ACROSS columns (independent accumulators), never across rows of one
+// column, so no floating-point reassociation occurs and the blocked,
+// plain-scalar (F2PM_SIMD=OFF) and legacy per-feature orders all produce
+// bit-identical IEEE-754 results — including NaN propagation. Offline
+// aggregation (data::aggregate) and the streaming OnlinePredictor share
+// this kernel through data::compute_window_features, which is what keeps
+// tests/test_parity.cpp exact.
+#pragma once
+
+#include <cstddef>
+
+namespace f2pm::linalg {
+
+/// Per-column sums over a strided row-major matrix: element (r, c) is
+/// data[r * stride + c]. `cols <= stride`; `rows >= 1`. Summation order
+/// is pinned per column (row-index order, see file comment).
+void column_sums(const double* data, std::size_t rows, std::size_t stride,
+                 std::size_t cols, double* sums);
+
+/// Fused mean + Eq. (1) slope sweep over the same layout:
+///   means[c]  = column_sum(c) / divisor
+///   slopes[c] = (data[(rows-1) * stride + c] - data[c]) / divisor
+/// `divisor` is passed in (the window's sample count as a double) so the
+/// caller controls the exact operand the division uses.
+void window_mean_slope(const double* data, std::size_t rows,
+                       std::size_t stride, std::size_t cols, double divisor,
+                       double* means, double* slopes);
+
+/// True when this build selected the blocked (auto-vectorizable) kernel;
+/// false for the F2PM_SIMD=OFF scalar fallback. Both orders are
+/// bit-identical — this only reports which code path is compiled in.
+bool simd_kernel_enabled() noexcept;
+
+}  // namespace f2pm::linalg

@@ -123,9 +123,14 @@ void CascadeRegressor::fit(const linalg::Matrix& x,
   fitted_ = true;
 }
 
-std::vector<double> CascadeRegressor::screen_row(
+std::span<const double> CascadeRegressor::screen_row(
     std::span<const double> row) const {
-  std::vector<double> subset;
+  // Per-thread gather scratch: screening runs on every window of every
+  // session (the serve hot path), and a fitted cascade is shared const
+  // across scoring threads, so the scratch is thread-local rather than a
+  // member. Capacity is paid once per thread, then reused forever.
+  static thread_local std::vector<double> subset;
+  subset.clear();
   subset.reserve(screen_columns_.size());
   for (const std::size_t column : screen_columns_) {
     subset.push_back(row[column]);

@@ -108,7 +108,7 @@ class CascadeRegressor final : public Regressor {
  private:
   CascadeRegressor() = default;  // load()
 
-  [[nodiscard]] std::vector<double> screen_row(
+  [[nodiscard]] std::span<const double> screen_row(
       std::span<const double> row) const;
 
   CascadeOptions options_;

@@ -8,14 +8,10 @@ namespace f2pm::net {
 
 namespace {
 
-constexpr std::size_t kHeaderBytes = 2 * sizeof(std::uint32_t);
-constexpr std::size_t kDatapointPayload =
-    (1 + data::kFeatureCount) * sizeof(double);
-constexpr std::size_t kFailEventPayload = sizeof(double);
-constexpr std::size_t kHelloFixedPayload = 2 * sizeof(std::uint32_t);
-constexpr std::size_t kPredictionPayload =
-    2 * sizeof(double) + 2 * sizeof(std::uint32_t);
-constexpr std::size_t kStatsReplyFixedPayload = sizeof(std::uint32_t);
+/// Compact the decoder buffer once the consumed prefix passes this; small
+/// enough to bound waste, large enough that steady datapoint traffic
+/// compacts once per several frames, not per frame.
+constexpr std::size_t kCompactBytes = 4096;
 
 struct NetMetrics {
   obs::Counter& bytes_in;
@@ -41,112 +37,116 @@ struct NetMetrics {
   }
 };
 
-/// Counts one encoded frame and its bytes once the encode completes.
-class EncodeScope {
- public:
-  explicit EncodeScope(const std::vector<std::uint8_t>& out)
-      : out_(out), before_(out.size()) {}
-  ~EncodeScope() {
-    NetMetrics& metrics = NetMetrics::get();
-    metrics.frames_out.add(1);
-    metrics.bytes_out.add(out_.size() - before_);
-  }
+template <typename T>
+T read_at(const std::uint8_t* data, std::size_t offset) {
+  T value;
+  std::memcpy(&value, data + offset, sizeof(T));
+  return value;
+}
 
- private:
-  const std::vector<std::uint8_t>& out_;
-  std::size_t before_;
+/// How to size one frame's payload — the single source of truth shared by
+/// bytes_needed() and next_view() (they used to carry duplicate switches
+/// that could drift apart).
+struct PayloadSpec {
+  enum class Status {
+    kKnown,       ///< `payload` is the full payload size.
+    kNeedPrefix,  ///< Need `total_needed` buffered bytes (header included)
+                  ///< before the variable length prefix can be read.
+    kUnknownType,
+    kOversized,  ///< Length prefix exceeds `cap` (declared = the prefix).
+  };
+  Status status = Status::kUnknownType;
+  std::size_t payload = 0;
+  std::size_t total_needed = 0;
+  std::uint32_t declared = 0;
+  std::size_t cap = 0;
 };
 
-void append_raw(std::vector<std::uint8_t>& out, const void* data,
-                std::size_t size) {
-  const auto* bytes = static_cast<const std::uint8_t*>(data);
-  out.insert(out.end(), bytes, bytes + size);
-}
-
-void append_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
-  append_raw(out, &value, sizeof(value));
-}
-
-void append_f64(std::vector<std::uint8_t>& out, double value) {
-  append_raw(out, &value, sizeof(value));
-}
-
-void append_header(std::vector<std::uint8_t>& out, FrameType type) {
-  append_u32(out, kProtocolMagic);
-  append_u32(out, static_cast<std::uint32_t>(type));
-}
-
-template <typename T>
-T read_at(const std::vector<std::uint8_t>& buffer, std::size_t offset) {
-  T value;
-  std::memcpy(&value, buffer.data() + offset, sizeof(T));
-  return value;
+/// Sizes the payload of a frame of `type` whose payload starts at `body`
+/// with `available` bytes already buffered past the header.
+PayloadSpec payload_size(FrameType type, const std::uint8_t* body,
+                         std::size_t available) {
+  PayloadSpec spec;
+  const auto known = [&spec](std::size_t payload) {
+    spec.status = PayloadSpec::Status::kKnown;
+    spec.payload = payload;
+  };
+  switch (type) {
+    case FrameType::kDatapoint:
+      known(kDatapointPayloadBytes);
+      break;
+    case FrameType::kFailEvent:
+      known(kFailEventPayloadBytes);
+      break;
+    case FrameType::kBye:
+    case FrameType::kStatsRequest:
+      known(0);
+      break;
+    case FrameType::kPrediction:
+      known(kPredictionPayloadBytes);
+      break;
+    case FrameType::kStatsReply: {
+      if (available < kStatsReplyFixedPayloadBytes) {
+        spec.status = PayloadSpec::Status::kNeedPrefix;
+        spec.total_needed = kFrameHeaderBytes + kStatsReplyFixedPayloadBytes;
+        break;
+      }
+      const auto text_len = read_at<std::uint32_t>(body, 0);
+      if (text_len > kMaxStatsBytes) {
+        spec.status = PayloadSpec::Status::kOversized;
+        spec.declared = text_len;
+        spec.cap = kMaxStatsBytes;
+        break;
+      }
+      known(kStatsReplyFixedPayloadBytes + text_len);
+      break;
+    }
+    case FrameType::kHello: {
+      if (available < kHelloFixedPayloadBytes) {
+        spec.status = PayloadSpec::Status::kNeedPrefix;
+        spec.total_needed = kFrameHeaderBytes + kHelloFixedPayloadBytes;
+        break;
+      }
+      const auto id_len = read_at<std::uint32_t>(body, sizeof(std::uint32_t));
+      if (id_len > kMaxClientIdBytes) {
+        spec.status = PayloadSpec::Status::kOversized;
+        spec.declared = id_len;
+        spec.cap = kMaxClientIdBytes;
+        break;
+      }
+      known(kHelloFixedPayloadBytes + id_len);
+      break;
+    }
+    default:
+      spec.status = PayloadSpec::Status::kUnknownType;
+      break;
+  }
+  return spec;
 }
 
 }  // namespace
 
-void FrameEncoder::encode_datapoint(std::vector<std::uint8_t>& out,
-                                    const data::RawDatapoint& datapoint) {
-  EncodeScope scope(out);
-  append_header(out, FrameType::kDatapoint);
-  append_f64(out, datapoint.tgen);
-  append_raw(out, datapoint.values.data(),
-             data::kFeatureCount * sizeof(double));
+namespace detail {
+
+void note_frame_encoded(std::size_t bytes) {
+  NetMetrics& metrics = NetMetrics::get();
+  metrics.frames_out.add(1);
+  metrics.bytes_out.add(bytes);
 }
 
-void FrameEncoder::encode_fail_event(std::vector<std::uint8_t>& out,
-                                     double fail_time) {
-  EncodeScope scope(out);
-  append_header(out, FrameType::kFailEvent);
-  append_f64(out, fail_time);
-}
-
-void FrameEncoder::encode_bye(std::vector<std::uint8_t>& out) {
-  EncodeScope scope(out);
-  append_header(out, FrameType::kBye);
-}
-
-void FrameEncoder::encode_hello(std::vector<std::uint8_t>& out,
-                                const Hello& hello) {
-  if (hello.client_id.size() > kMaxClientIdBytes) {
-    throw std::invalid_argument("protocol: client_id exceeds " +
-                                std::to_string(kMaxClientIdBytes) + " bytes");
-  }
-  EncodeScope scope(out);
-  append_header(out, FrameType::kHello);
-  append_u32(out, hello.version);
-  append_u32(out, static_cast<std::uint32_t>(hello.client_id.size()));
-  append_raw(out, hello.client_id.data(), hello.client_id.size());
-}
-
-void FrameEncoder::encode_prediction(std::vector<std::uint8_t>& out,
-                                     const Prediction& prediction) {
-  EncodeScope scope(out);
-  append_header(out, FrameType::kPrediction);
-  append_f64(out, prediction.window_end);
-  append_f64(out, prediction.rttf);
-  append_u32(out, prediction.alarm ? 1u : 0u);
-  append_u32(out, prediction.model_version);
-}
-
-void FrameEncoder::encode_stats_request(std::vector<std::uint8_t>& out) {
-  EncodeScope scope(out);
-  append_header(out, FrameType::kStatsRequest);
-}
-
-void FrameEncoder::encode_stats_reply(std::vector<std::uint8_t>& out,
-                                      const StatsReply& reply) {
-  if (reply.text.size() > kMaxStatsBytes) {
-    throw std::invalid_argument("protocol: stats reply exceeds " +
-                                std::to_string(kMaxStatsBytes) + " bytes");
-  }
-  EncodeScope scope(out);
-  append_header(out, FrameType::kStatsReply);
-  append_u32(out, static_cast<std::uint32_t>(reply.text.size()));
-  append_raw(out, reply.text.data(), reply.text.size());
-}
+}  // namespace detail
 
 void FrameDecoder::feed(const void* data, std::size_t size) {
+  // Compaction lives here — never in next_view() — so views stay valid
+  // until the caller is done with the current batch of buffered frames.
+  if (pos_ == buffer_.size()) {
+    buffer_.clear();
+    pos_ = 0;
+  } else if (pos_ >= kCompactBytes) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
   const auto* bytes = static_cast<const std::uint8_t*>(data);
   buffer_.insert(buffer_.end(), bytes, bytes + size);
   NetMetrics::get().bytes_in.add(size);
@@ -159,179 +159,104 @@ void FrameDecoder::reset() {
 
 std::size_t FrameDecoder::bytes_needed() const {
   const std::size_t have = buffered_bytes();
-  if (have < kHeaderBytes) return kHeaderBytes - have;
-  const auto type =
-      static_cast<FrameType>(read_at<std::uint32_t>(buffer_, pos_ + 4));
-  std::size_t payload = 0;
-  switch (type) {
-    case FrameType::kDatapoint:
-      payload = kDatapointPayload;
-      break;
-    case FrameType::kFailEvent:
-      payload = kFailEventPayload;
-      break;
-    case FrameType::kBye:
-      payload = 0;
-      break;
-    case FrameType::kPrediction:
-      payload = kPredictionPayload;
-      break;
-    case FrameType::kStatsRequest:
-      payload = 0;
-      break;
-    case FrameType::kStatsReply: {
-      if (have < kHeaderBytes + kStatsReplyFixedPayload) {
-        return kHeaderBytes + kStatsReplyFixedPayload - have;
-      }
-      payload = kStatsReplyFixedPayload +
-                read_at<std::uint32_t>(buffer_, pos_ + kHeaderBytes);
-      break;
+  if (have < kFrameHeaderBytes) return kFrameHeaderBytes - have;
+  const auto type = static_cast<FrameType>(
+      read_at<std::uint32_t>(buffer_.data(), pos_ + sizeof(std::uint32_t)));
+  const PayloadSpec spec = payload_size(
+      type, buffer_.data() + pos_ + kFrameHeaderBytes,
+      have - kFrameHeaderBytes);
+  switch (spec.status) {
+    case PayloadSpec::Status::kKnown: {
+      const std::size_t total = kFrameHeaderBytes + spec.payload;
+      return have >= total ? 1 : total - have;
     }
-    case FrameType::kHello: {
-      if (have < kHeaderBytes + kHelloFixedPayload) {
-        return kHeaderBytes + kHelloFixedPayload - have;
-      }
-      payload = kHelloFixedPayload +
-                read_at<std::uint32_t>(buffer_, pos_ + kHeaderBytes + 4);
-      break;
-    }
-    default:
-      // next() throws on a complete invalid header; asking for one more
-      // byte here keeps blocking callers making progress until it does.
+    case PayloadSpec::Status::kNeedPrefix:
+      return spec.total_needed - have;
+    case PayloadSpec::Status::kUnknownType:
+    case PayloadSpec::Status::kOversized:
+      // next() throws on these; asking for one more byte keeps blocking
+      // callers making progress until it does.
       return 1;
   }
-  const std::size_t total = kHeaderBytes + payload;
-  return have >= total ? 1 : total - have;
+  return 1;
 }
 
-std::optional<Frame> FrameDecoder::next() {
-  if (buffered_bytes() < kHeaderBytes) return std::nullopt;
-  const auto magic = read_at<std::uint32_t>(buffer_, pos_);
+std::optional<FrameView> FrameDecoder::next_view() {
+  if (buffered_bytes() < kFrameHeaderBytes) return std::nullopt;
+  const std::uint8_t* head = buffer_.data() + pos_;
+  const auto magic = read_at<std::uint32_t>(head, 0);
   if (magic != kProtocolMagic) {
     NetMetrics::get().protocol_errors.add(1);
     throw ProtocolError(ProtocolError::Kind::kBadMagic,
                         "protocol: bad frame magic");
   }
-  const auto raw_type = read_at<std::uint32_t>(buffer_, pos_ + 4);
+  const auto raw_type = read_at<std::uint32_t>(head, sizeof(std::uint32_t));
   const auto type = static_cast<FrameType>(raw_type);
-
-  std::size_t payload = 0;
-  switch (type) {
-    case FrameType::kDatapoint:
-      payload = kDatapointPayload;
+  const PayloadSpec spec = payload_size(type, head + kFrameHeaderBytes,
+                                        buffered_bytes() - kFrameHeaderBytes);
+  switch (spec.status) {
+    case PayloadSpec::Status::kKnown:
       break;
-    case FrameType::kFailEvent:
-      payload = kFailEventPayload;
-      break;
-    case FrameType::kBye:
-      payload = 0;
-      break;
-    case FrameType::kPrediction:
-      payload = kPredictionPayload;
-      break;
-    case FrameType::kStatsRequest:
-      payload = 0;
-      break;
-    case FrameType::kStatsReply: {
-      if (buffered_bytes() < kHeaderBytes + kStatsReplyFixedPayload) {
-        return std::nullopt;
-      }
-      const auto text_len = read_at<std::uint32_t>(buffer_, pos_ + kHeaderBytes);
-      if (text_len > kMaxStatsBytes) {
-        NetMetrics::get().protocol_errors.add(1);
-        throw ProtocolError(ProtocolError::Kind::kOversized,
-                            "protocol: stats reply of " +
-                                std::to_string(text_len) + " bytes exceeds " +
-                                std::to_string(kMaxStatsBytes));
-      }
-      payload = kStatsReplyFixedPayload + text_len;
-      break;
-    }
-    case FrameType::kHello: {
-      if (buffered_bytes() < kHeaderBytes + kHelloFixedPayload) {
-        return std::nullopt;
-      }
-      const auto id_len =
-          read_at<std::uint32_t>(buffer_, pos_ + kHeaderBytes + 4);
-      if (id_len > kMaxClientIdBytes) {
-        NetMetrics::get().protocol_errors.add(1);
-        throw ProtocolError(ProtocolError::Kind::kOversized,
-                            "protocol: hello client_id of " +
-                                std::to_string(id_len) + " bytes exceeds " +
-                                std::to_string(kMaxClientIdBytes));
-      }
-      payload = kHelloFixedPayload + id_len;
-      break;
-    }
-    default:
+    case PayloadSpec::Status::kNeedPrefix:
+      return std::nullopt;
+    case PayloadSpec::Status::kUnknownType:
       NetMetrics::get().protocol_errors.add(1);
       throw ProtocolError(
           ProtocolError::Kind::kUnknownType,
           "protocol: unknown frame type " + std::to_string(raw_type));
+    case PayloadSpec::Status::kOversized:
+      NetMetrics::get().protocol_errors.add(1);
+      throw ProtocolError(
+          ProtocolError::Kind::kOversized,
+          "protocol: " +
+              std::string(type == FrameType::kHello ? "hello client_id"
+                                                    : "stats reply") +
+              " of " + std::to_string(spec.declared) + " bytes exceeds " +
+              std::to_string(spec.cap));
   }
 
-  const std::size_t total = kHeaderBytes + payload;
+  const std::size_t total = kFrameHeaderBytes + spec.payload;
   if (buffered_bytes() < total) return std::nullopt;
-  const std::size_t body = pos_ + kHeaderBytes;
-
-  Frame frame = Bye{};
-  switch (type) {
-    case FrameType::kDatapoint: {
-      data::RawDatapoint datapoint;
-      datapoint.tgen = read_at<double>(buffer_, body);
-      std::memcpy(datapoint.values.data(), buffer_.data() + body + 8,
-                  data::kFeatureCount * sizeof(double));
-      frame = datapoint;
-      break;
-    }
-    case FrameType::kFailEvent:
-      frame = FailEvent{read_at<double>(buffer_, body)};
-      break;
-    case FrameType::kBye:
-      frame = Bye{};
-      break;
-    case FrameType::kHello: {
-      Hello hello;
-      hello.version = read_at<std::uint32_t>(buffer_, body);
-      const auto id_len = read_at<std::uint32_t>(buffer_, body + 4);
-      hello.client_id.assign(
-          reinterpret_cast<const char*>(buffer_.data() + body + 8), id_len);
-      frame = std::move(hello);
-      break;
-    }
-    case FrameType::kPrediction: {
-      Prediction prediction;
-      prediction.window_end = read_at<double>(buffer_, body);
-      prediction.rttf = read_at<double>(buffer_, body + 8);
-      prediction.alarm = read_at<std::uint32_t>(buffer_, body + 16) != 0;
-      prediction.model_version = read_at<std::uint32_t>(buffer_, body + 20);
-      frame = prediction;
-      break;
-    }
-    case FrameType::kStatsRequest:
-      frame = StatsRequest{};
-      break;
-    case FrameType::kStatsReply: {
-      StatsReply reply;
-      const auto text_len = read_at<std::uint32_t>(buffer_, body);
-      reply.text.assign(
-          reinterpret_cast<const char*>(buffer_.data() + body + 4), text_len);
-      frame = std::move(reply);
-      break;
-    }
-  }
 
   NetMetrics::get().frames_in.add(1);
-  pos_ += total;
-  if (pos_ == buffer_.size()) {
-    buffer_.clear();
-    pos_ = 0;
-  } else if (pos_ >= 4096) {
-    buffer_.erase(buffer_.begin(),
-                  buffer_.begin() + static_cast<std::ptrdiff_t>(pos_));
-    pos_ = 0;
+  FrameView view(type, head + kFrameHeaderBytes, spec.payload);
+  pos_ += total;  // Bytes stay in place until the next feed() compacts.
+  return view;
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  const std::optional<FrameView> view = next_view();
+  if (!view) return std::nullopt;
+  // Materialize (detach) the view into an owned Frame. The copy the
+  // zero-copy path avoids happens exactly here, so callers that keep
+  // frames around pay it and the serve hot path does not.
+  switch (view->type()) {
+    case FrameType::kDatapoint: {
+      data::RawDatapoint datapoint;
+      view->datapoint(datapoint);
+      return Frame(datapoint);
+    }
+    case FrameType::kFailEvent:
+      return Frame(FailEvent{view->fail_time()});
+    case FrameType::kBye:
+      return Frame(Bye{});
+    case FrameType::kHello: {
+      Hello hello;
+      hello.version = view->hello_version();
+      hello.client_id.assign(view->hello_client_id());
+      return Frame(std::move(hello));
+    }
+    case FrameType::kPrediction:
+      return Frame(view->prediction());
+    case FrameType::kStatsRequest:
+      return Frame(StatsRequest{});
+    case FrameType::kStatsReply: {
+      StatsReply reply;
+      reply.text.assign(view->stats_text());
+      return Frame(std::move(reply));
+    }
   }
-  return frame;
+  return std::nullopt;  // Unreachable: next_view() rejects unknown types.
 }
 
 void send_datapoint(TcpStream& stream, const data::RawDatapoint& datapoint) {

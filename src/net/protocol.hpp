@@ -16,16 +16,23 @@
 // Hello is optional and versioned: legacy clients that never send it keep
 // working (they are treated as ingest-only and receive no predictions).
 //
-// Two code paths share one framing implementation: the byte-incremental
-// FrameDecoder drives the non-blocking event loops, and the blocking
-// receive_frame() is a thin loop over the same decoder.
+// Two decode paths share one framing implementation. The zero-copy
+// FrameDecoder::next_view() hands out FrameViews into the decoder's own
+// buffer — no payload copy, used by the serve hot path — and next()
+// materializes an owned Frame variant from the same view for the blocking
+// clients and anything that wants to keep the frame around.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <memory_resource>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -55,6 +62,18 @@ enum class FrameType : std::uint32_t {
   kStatsRequest = 6,
   kStatsReply = 7,
 };
+
+// Wire sizes, shared by the encoder, the decoder and the tests.
+inline constexpr std::size_t kFrameHeaderBytes = 2 * sizeof(std::uint32_t);
+inline constexpr std::size_t kDatapointPayloadBytes =
+    (1 + data::kFeatureCount) * sizeof(double);
+inline constexpr std::size_t kFailEventPayloadBytes = sizeof(double);
+inline constexpr std::size_t kHelloFixedPayloadBytes =
+    2 * sizeof(std::uint32_t);
+inline constexpr std::size_t kPredictionPayloadBytes =
+    2 * sizeof(double) + 2 * sizeof(std::uint32_t);
+inline constexpr std::size_t kStatsReplyFixedPayloadBytes =
+    sizeof(std::uint32_t);
 
 /// A fail-event frame body.
 struct FailEvent {
@@ -88,7 +107,7 @@ struct StatsReply {
   std::string text;
 };
 
-/// Any received frame.
+/// Any received frame, as an owned value (see FrameDecoder::next()).
 using Frame = std::variant<data::RawDatapoint, FailEvent, Bye, Hello,
                            Prediction, StatsRequest, StatsReply>;
 
@@ -107,44 +126,233 @@ class ProtocolError : public std::runtime_error {
   Kind kind_;
 };
 
-/// Appends the serialized form of a frame to `out`. Used by the
-/// non-blocking send path (per-connection outbound queues) and, through
-/// the send_* helpers below, by the blocking clients.
+/// One validated frame, viewed in place inside the decoder's buffer — no
+/// payload copy was made. A view is valid only until the next call on the
+/// decoder that produced it (feed / next_view / next / reset); to keep a
+/// payload past that, copy it out ("detach") first — e.g. the serve tier
+/// copies a datapoint view straight into the session inbox, the single
+/// copy on its hot path.
+///
+/// All field accessors read via memcpy: payloads are NOT 8-byte aligned
+/// in general (a variable-length Hello or StatsReply shifts every later
+/// frame in the stream), so pointer-casting into them would be UB.
+class FrameView {
+ public:
+  FrameView(FrameType type, const std::uint8_t* payload, std::size_t size)
+      : type_(type), payload_(payload), size_(size) {}
+
+  [[nodiscard]] FrameType type() const noexcept { return type_; }
+  [[nodiscard]] std::span<const std::uint8_t> payload() const noexcept {
+    return {payload_, size_};
+  }
+
+  /// kDatapoint: copies the payload into `out` — the detach point.
+  void datapoint(data::RawDatapoint& out) const {
+    assert(type_ == FrameType::kDatapoint);
+    out.tgen = read_f64(0);
+    std::memcpy(out.values.data(), payload_ + sizeof(double),
+                data::kFeatureCount * sizeof(double));
+  }
+  /// kFailEvent.
+  [[nodiscard]] double fail_time() const {
+    assert(type_ == FrameType::kFailEvent);
+    return read_f64(0);
+  }
+  /// kHello.
+  [[nodiscard]] std::uint32_t hello_version() const {
+    assert(type_ == FrameType::kHello);
+    return read_u32(0);
+  }
+  /// kHello: the id bytes in place (length already validated).
+  [[nodiscard]] std::string_view hello_client_id() const {
+    assert(type_ == FrameType::kHello);
+    return {reinterpret_cast<const char*>(payload_ + kHelloFixedPayloadBytes),
+            size_ - kHelloFixedPayloadBytes};
+  }
+  /// kPrediction (fits in a return value; nothing to view in place).
+  [[nodiscard]] Prediction prediction() const {
+    assert(type_ == FrameType::kPrediction);
+    Prediction out;
+    out.window_end = read_f64(0);
+    out.rttf = read_f64(8);
+    out.alarm = read_u32(16) != 0;
+    out.model_version = read_u32(20);
+    return out;
+  }
+  /// kStatsReply: the exposition text in place.
+  [[nodiscard]] std::string_view stats_text() const {
+    assert(type_ == FrameType::kStatsReply);
+    return {
+        reinterpret_cast<const char*>(payload_ + kStatsReplyFixedPayloadBytes),
+        size_ - kStatsReplyFixedPayloadBytes};
+  }
+
+  /// Raw little-endian field readers (offsets into the payload).
+  [[nodiscard]] double read_f64(std::size_t offset) const {
+    assert(offset + sizeof(double) <= size_);
+    double value;
+    std::memcpy(&value, payload_ + offset, sizeof(value));
+    return value;
+  }
+  [[nodiscard]] std::uint32_t read_u32(std::size_t offset) const {
+    assert(offset + sizeof(std::uint32_t) <= size_);
+    std::uint32_t value;
+    std::memcpy(&value, payload_ + offset, sizeof(value));
+    return value;
+  }
+
+ private:
+  FrameType type_;
+  const std::uint8_t* payload_;
+  std::size_t size_;
+};
+
+namespace detail {
+/// Metric hook behind the templated encoder (frames_out / bytes_out).
+void note_frame_encoded(std::size_t bytes);
+}  // namespace detail
+
+/// Appends the serialized form of a frame to any contiguous byte buffer
+/// (std::vector or std::pmr::vector — the serve tier encodes straight
+/// into arena-backed outbound scratch). Each encode is scatter-free: one
+/// resize, then direct writes into the grown tail, so a frame costs one
+/// range check instead of one per field.
 class FrameEncoder {
  public:
-  static void encode_datapoint(std::vector<std::uint8_t>& out,
-                               const data::RawDatapoint& datapoint);
-  static void encode_fail_event(std::vector<std::uint8_t>& out,
-                                double fail_time);
-  static void encode_bye(std::vector<std::uint8_t>& out);
+  template <class Buffer>
+  static void encode_datapoint(Buffer& out,
+                               const data::RawDatapoint& datapoint) {
+    std::uint8_t* w = grow(out, kDatapointPayloadBytes);
+    w = put_header(w, FrameType::kDatapoint);
+    w = put_f64(w, datapoint.tgen);
+    std::memcpy(w, datapoint.values.data(),
+                data::kFeatureCount * sizeof(double));
+    detail::note_frame_encoded(kFrameHeaderBytes + kDatapointPayloadBytes);
+  }
+
+  template <class Buffer>
+  static void encode_fail_event(Buffer& out, double fail_time) {
+    std::uint8_t* w = grow(out, kFailEventPayloadBytes);
+    w = put_header(w, FrameType::kFailEvent);
+    put_f64(w, fail_time);
+    detail::note_frame_encoded(kFrameHeaderBytes + kFailEventPayloadBytes);
+  }
+
+  template <class Buffer>
+  static void encode_bye(Buffer& out) {
+    put_header(grow(out, 0), FrameType::kBye);
+    detail::note_frame_encoded(kFrameHeaderBytes);
+  }
+
   /// Throws std::invalid_argument when client_id exceeds kMaxClientIdBytes.
-  static void encode_hello(std::vector<std::uint8_t>& out, const Hello& hello);
-  static void encode_prediction(std::vector<std::uint8_t>& out,
-                                const Prediction& prediction);
-  static void encode_stats_request(std::vector<std::uint8_t>& out);
+  template <class Buffer>
+  static void encode_hello(Buffer& out, const Hello& hello) {
+    if (hello.client_id.size() > kMaxClientIdBytes) {
+      throw std::invalid_argument("protocol: client_id exceeds " +
+                                  std::to_string(kMaxClientIdBytes) +
+                                  " bytes");
+    }
+    const std::size_t payload =
+        kHelloFixedPayloadBytes + hello.client_id.size();
+    std::uint8_t* w = grow(out, payload);
+    w = put_header(w, FrameType::kHello);
+    w = put_u32(w, hello.version);
+    w = put_u32(w, static_cast<std::uint32_t>(hello.client_id.size()));
+    std::memcpy(w, hello.client_id.data(), hello.client_id.size());
+    detail::note_frame_encoded(kFrameHeaderBytes + payload);
+  }
+
+  template <class Buffer>
+  static void encode_prediction(Buffer& out, const Prediction& prediction) {
+    std::uint8_t* w = grow(out, kPredictionPayloadBytes);
+    w = put_header(w, FrameType::kPrediction);
+    w = put_f64(w, prediction.window_end);
+    w = put_f64(w, prediction.rttf);
+    w = put_u32(w, prediction.alarm ? 1u : 0u);
+    put_u32(w, prediction.model_version);
+    detail::note_frame_encoded(kFrameHeaderBytes + kPredictionPayloadBytes);
+  }
+
+  template <class Buffer>
+  static void encode_stats_request(Buffer& out) {
+    put_header(grow(out, 0), FrameType::kStatsRequest);
+    detail::note_frame_encoded(kFrameHeaderBytes);
+  }
+
   /// Throws std::invalid_argument when the text exceeds kMaxStatsBytes.
-  static void encode_stats_reply(std::vector<std::uint8_t>& out,
-                                 const StatsReply& reply);
+  template <class Buffer>
+  static void encode_stats_reply(Buffer& out, const StatsReply& reply) {
+    if (reply.text.size() > kMaxStatsBytes) {
+      throw std::invalid_argument("protocol: stats reply exceeds " +
+                                  std::to_string(kMaxStatsBytes) + " bytes");
+    }
+    const std::size_t payload =
+        kStatsReplyFixedPayloadBytes + reply.text.size();
+    std::uint8_t* w = grow(out, payload);
+    w = put_header(w, FrameType::kStatsReply);
+    w = put_u32(w, static_cast<std::uint32_t>(reply.text.size()));
+    std::memcpy(w, reply.text.data(), reply.text.size());
+    detail::note_frame_encoded(kFrameHeaderBytes + payload);
+  }
+
+ private:
+  /// Grows `out` by one frame (header + payload) in a single resize and
+  /// returns the write cursor at the frame's first byte.
+  template <class Buffer>
+  static std::uint8_t* grow(Buffer& out, std::size_t payload) {
+    const std::size_t at = out.size();
+    out.resize(at + kFrameHeaderBytes + payload);
+    return out.data() + at;
+  }
+  static std::uint8_t* put_u32(std::uint8_t* w, std::uint32_t value) {
+    std::memcpy(w, &value, sizeof(value));
+    return w + sizeof(value);
+  }
+  static std::uint8_t* put_f64(std::uint8_t* w, double value) {
+    std::memcpy(w, &value, sizeof(value));
+    return w + sizeof(value);
+  }
+  static std::uint8_t* put_header(std::uint8_t* w, FrameType type) {
+    w = put_u32(w, kProtocolMagic);
+    return put_u32(w, static_cast<std::uint32_t>(type));
+  }
 };
 
 /// Byte-incremental frame parser: feed() arbitrary chunks (single bytes,
-/// split frames, coalesced frames), pop complete frames with next().
-/// Throws ProtocolError on violations; after a throw the decoder is
-/// poisoned and the connection should be dropped.
+/// split frames, coalesced frames), pop complete frames with next_view()
+/// (zero-copy) or next() (owned). Throws ProtocolError on violations;
+/// after a throw the decoder is poisoned and the connection should be
+/// dropped.
+///
+/// Buffer compaction (moving unconsumed bytes down over the consumed
+/// prefix) happens only inside feed() and reset() — never inside
+/// next_view() — so a view stays valid while its frame's successors are
+/// being sized, and across a backpressure pause: frames left buffered by
+/// a paused reader sit untouched until the reader resumes and either
+/// views them or feeds more bytes.
 class FrameDecoder {
  public:
-  /// Appends raw bytes from the wire.
+  /// Appends raw bytes from the wire; compacts the consumed prefix first
+  /// (any previously returned view is invalidated).
   void feed(const void* data, std::size_t size);
 
-  /// Returns the next complete frame, or nullopt when more bytes are
-  /// needed. Throws ProtocolError on bad magic / unknown type / oversized
-  /// payloads.
+  /// Returns a zero-copy view of the next complete frame, or nullopt when
+  /// more bytes are needed. The view is valid until the next feed /
+  /// next_view / next / reset call. Throws ProtocolError on bad magic /
+  /// unknown type / oversized payloads.
+  std::optional<FrameView> next_view();
+
+  /// Returns the next complete frame as an owned value (a materialized
+  /// copy of what next_view() yields), or nullopt when more bytes are
+  /// needed. Same errors as next_view().
   std::optional<Frame> next();
 
   /// True when buffered bytes form an incomplete frame — at EOF this is
   /// the difference between a clean close (between frames) and a
   /// mid-frame truncation.
-  [[nodiscard]] bool mid_frame() const noexcept { return pos_ < buffer_.size(); }
+  [[nodiscard]] bool mid_frame() const noexcept {
+    return pos_ < buffer_.size();
+  }
 
   /// How many more bytes are certainly required before next() can make
   /// progress (>= 1 whenever next() returned nullopt). Blocking callers
@@ -160,7 +368,7 @@ class FrameDecoder {
 
  private:
   std::vector<std::uint8_t> buffer_;
-  std::size_t pos_ = 0;  ///< Consumed prefix; compacted between frames.
+  std::size_t pos_ = 0;  ///< Consumed prefix; compacted in feed().
 };
 
 /// Serializes and sends one datapoint frame.

@@ -1,0 +1,71 @@
+// Per-shard session arena: the memory resource behind every session's hot
+// buffers (aggregation window, inbox, scoring batch, reply scratch).
+//
+// Why it exists: the per-datapoint serve path must be allocation-free in
+// steady state. All hot containers are pmr vectors backed by this arena
+// and retain their capacity across windows, batches and (via the pool's
+// free lists) across session lifetimes — the arena is touched only when a
+// buffer first warms up, grows past its high-water mark, or a session is
+// created/destroyed. The counters make that claim testable: a steady-state
+// burst must leave `allocations()` unchanged (see tests/test_hotpath_alloc).
+//
+// Thread safety: the underlying pool is a synchronized_pool_resource
+// because buffer growth can happen on a scoring-pool thread (the predictor
+// window) concurrently with session setup/teardown on the loop thread.
+// Neither happens per datapoint, so the pool's internal lock is off the
+// hot path by construction.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory_resource>
+
+namespace f2pm::serve {
+
+/// Counting front over a synchronized pool resource. One per shard.
+class SessionArena final : public std::pmr::memory_resource {
+ public:
+  SessionArena() = default;
+  SessionArena(const SessionArena&) = delete;
+  SessionArena& operator=(const SessionArena&) = delete;
+
+  /// Allocation requests served so far (container growth, not pool slab
+  /// refills). Zero new requests across an interval proves the interval
+  /// ran allocation-free against this arena.
+  [[nodiscard]] std::uint64_t allocations() const noexcept {
+    return allocations_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t deallocations() const noexcept {
+    return deallocations_.load(std::memory_order_relaxed);
+  }
+  /// Total bytes requested (not holed-up pool capacity).
+  [[nodiscard]] std::uint64_t bytes_requested() const noexcept {
+    return bytes_requested_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void* do_allocate(std::size_t bytes, std::size_t alignment) override {
+    allocations_.fetch_add(1, std::memory_order_relaxed);
+    bytes_requested_.fetch_add(bytes, std::memory_order_relaxed);
+    return pool_.allocate(bytes, alignment);
+  }
+
+  void do_deallocate(void* p, std::size_t bytes,
+                     std::size_t alignment) override {
+    deallocations_.fetch_add(1, std::memory_order_relaxed);
+    pool_.deallocate(p, bytes, alignment);
+  }
+
+  [[nodiscard]] bool do_is_equal(
+      const std::pmr::memory_resource& other) const noexcept override {
+    return this == &other;
+  }
+
+  std::pmr::synchronized_pool_resource pool_;
+  std::atomic<std::uint64_t> allocations_{0};
+  std::atomic<std::uint64_t> deallocations_{0};
+  std::atomic<std::uint64_t> bytes_requested_{0};
+};
+
+}  // namespace f2pm::serve

@@ -81,6 +81,13 @@ struct ServiceOptions {
   /// contends across shards. 0 = hardware concurrency.
   std::size_t scoring_threads = 0;
 
+  /// Expected datapoints per aggregation window: per-session hot buffers
+  /// (inbox, scoring batch, run-export buffer, the predictor's window) are
+  /// pre-sized to this at Hello so steady-state traffic never grows them.
+  /// Buffers still grow on demand past it, paying for any new high-water
+  /// mark at most once.
+  std::size_t window_reserve_samples = 1024;
+
   /// Streaming aggregation layout; must match what the served models were
   /// trained on.
   data::AggregationOptions aggregation;

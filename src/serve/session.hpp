@@ -4,16 +4,26 @@
 //   * The event-loop thread owns the socket, frame decoder, outbound
 //     queue, inbox and all bookkeeping flags.
 //   * While `in_flight` is true, exactly one scoring task on the thread
-//     pool owns `predictor`, `advisor` and `model_version`; the loop does
-//     not touch them. The in_flight handoff is sequenced through the
-//     service's mutex-protected completion queue, so no field needs its
-//     own lock except the two atomics shared across that boundary.
+//     pool owns `predictor`, `advisor`, `model_version`, `scoring_batch`
+//     and `reply_bytes`; the loop does not touch them. The in_flight
+//     handoff is sequenced through the service's mutex-protected
+//     completion queue, so no field needs its own lock except the two
+//     atomics shared across that boundary.
+//
+// Allocation contract: every hot buffer (inbox, scoring batch, reply
+// scratch, outbound queue — and the predictor's window, wired up by the
+// shard) is backed by the shard's SessionArena and keeps its capacity
+// across windows and batches, so the steady-state per-datapoint path
+// never allocates. Buffers are pre-sized at Hello (reserve_hot_buffers)
+// and grow on demand past that, paying for any new high-water mark at
+// most once.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <memory_resource>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -39,8 +49,13 @@ struct InboxItem {
 
 /// State of one connected client.
 struct Session {
-  Session(net::TcpStream stream_in, core::AdvisorOptions advisor_options)
+  Session(net::TcpStream stream_in, core::AdvisorOptions advisor_options,
+          std::pmr::memory_resource* memory = nullptr)
       : stream(std::move(stream_in)),
+        outbound(resource(memory)),
+        inbox(resource(memory)),
+        scoring_batch(resource(memory)),
+        reply_bytes(resource(memory)),
         advisor(advisor_options),
         last_activity(std::chrono::steady_clock::now()) {}
 
@@ -53,7 +68,7 @@ struct Session {
   std::atomic<bool> hello_received{false};
 
   // --- outbound queue (loop thread only) ---------------------------------
-  std::vector<std::uint8_t> outbound;
+  std::pmr::vector<std::uint8_t> outbound;
   std::size_t outbound_pos = 0;  ///< Sent prefix of `outbound`.
   bool want_write = false;       ///< Mirror of the poller write interest.
   bool read_paused = false;      ///< Backpressure: inbox over the limit.
@@ -66,15 +81,27 @@ struct Session {
   // --- run export (loop thread only) -------------------------------------
   /// Raw samples of the current run, retained only when the service has a
   /// run_sink; moved out (and the buffer reset) when a FailEvent completes
-  /// the run.
+  /// the run. Deliberately not arena-backed: the export path moves the
+  /// buffer straight into the CompletedRun handed to the sink, which a pmr
+  /// vector could not do without copying. Export-enabled sessions pay
+  /// amortized doubling growth here, bounded by run_export_max_samples.
   std::vector<data::RawDatapoint> run_samples;
   /// The current run overflowed run_export_max_samples: stop retaining and
   /// skip exporting it (the next run starts clean).
   bool run_export_overflow = false;
 
   // --- scoring pipeline --------------------------------------------------
-  std::vector<InboxItem> inbox;  ///< Loop thread only.
-  bool in_flight = false;        ///< A scoring task currently owns state.
+  std::pmr::vector<InboxItem> inbox;  ///< Loop thread only.
+  /// Double buffer for the inbox: dispatch swaps the filled inbox with
+  /// this (empty) batch so both keep their warmed capacity — moving the
+  /// inbox into the task would surrender its capacity every batch.
+  /// Task-owned while in_flight; loop-owned (and empty) otherwise.
+  std::pmr::vector<InboxItem> scoring_batch;
+  /// Encoded Prediction frames of the in-flight batch. Written by the
+  /// scoring task, copied into `outbound` by the loop when the completion
+  /// drains; cleared (capacity kept) at the start of the next batch.
+  std::pmr::vector<std::uint8_t> reply_bytes;
+  bool in_flight = false;  ///< A scoring task currently owns state.
   std::unique_ptr<core::OnlinePredictor> predictor;  ///< Task-owned.
   core::RejuvenationAdvisor advisor;                 ///< Task-owned.
   std::uint32_t model_version = 0;                   ///< Task-owned.
@@ -86,13 +113,40 @@ struct Session {
   [[nodiscard]] std::size_t outbound_pending() const {
     return outbound.size() - outbound_pos;
   }
+
+  /// Pre-sizes the hot buffers for `window_samples` datapoints per
+  /// aggregation window (called at Hello, before real traffic). The
+  /// task-owned buffers are skipped while a batch is in flight — they
+  /// warm up on their first batch instead.
+  void reserve_hot_buffers(std::size_t window_samples) {
+    inbox.reserve(window_samples);
+    run_samples.reserve(window_samples);
+    outbound.reserve(kReplyReserveBytes);
+    if (!in_flight) {
+      scoring_batch.reserve(window_samples);
+      reply_bytes.reserve(kReplyReserveBytes);
+    }
+  }
+
+ private:
+  /// Initial reply/outbound capacity: far more encoded Prediction frames
+  /// than one batch realistically emits, still trivial per session.
+  static constexpr std::size_t kReplyReserveBytes = 4096;
+
+  static std::pmr::memory_resource* resource(
+      std::pmr::memory_resource* memory) {
+    return memory != nullptr ? memory : std::pmr::get_default_resource();
+  }
 };
 
 /// fd-keyed session table with admission control. Loop thread only.
+/// `memory`, when non-null, backs every admitted session's hot buffers
+/// (the shard passes its SessionArena).
 class SessionRegistry {
  public:
-  explicit SessionRegistry(std::size_t max_sessions)
-      : max_sessions_(max_sessions) {}
+  explicit SessionRegistry(std::size_t max_sessions,
+                           std::pmr::memory_resource* memory = nullptr)
+      : max_sessions_(max_sessions), memory_(memory) {}
 
   [[nodiscard]] bool can_admit() const {
     return sessions_.size() < max_sessions_;
@@ -100,8 +154,8 @@ class SessionRegistry {
 
   std::shared_ptr<Session> add(net::TcpStream stream,
                                core::AdvisorOptions advisor_options) {
-    auto session =
-        std::make_shared<Session>(std::move(stream), advisor_options);
+    auto session = std::make_shared<Session>(std::move(stream),
+                                             advisor_options, memory_);
     sessions_.emplace(session->stream.fd(), session);
     return session;
   }
@@ -122,6 +176,7 @@ class SessionRegistry {
 
  private:
   std::size_t max_sessions_;
+  std::pmr::memory_resource* memory_;
   std::unordered_map<int, std::shared_ptr<Session>> sessions_;
 };
 

@@ -1,9 +1,8 @@
 #include "serve/shard.hpp"
 
-#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <unistd.h>
+#include <sys/socket.h>
 
 #include <algorithm>
 #include <array>
@@ -21,11 +20,6 @@ using Clock = std::chrono::steady_clock;
 
 int to_millis_clamped(double seconds) {
   return static_cast<int>(std::max(1.0, seconds * 1000.0));
-}
-
-void make_nonblocking(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
 std::string shard_label(std::size_t index) {
@@ -112,7 +106,7 @@ ServiceShard::ServiceShard(std::size_t index, const ServiceOptions& options,
       metrics_listener_(std::move(metrics_listener)),
       metrics_(index),
       poller_(options.backend),
-      registry_(options.max_sessions) {
+      registry_(options.max_sessions, &arena_) {
   poller_.add(wake_.fd(), /*want_read=*/true, /*want_write=*/false);
   if (listener_) {
     listener_->set_nonblocking(true);
@@ -397,9 +391,15 @@ void ServiceShard::register_session(net::TcpStream stream) {
 bool ServiceShard::process_buffered_frames(
     const std::shared_ptr<Session>& session) {
   while (!session->read_paused && !session->closed) {
-    auto frame = session->decoder.next();  // may throw ProtocolError
-    if (!frame) break;
-    if (!handle_frame(session, std::move(*frame))) return false;
+    // Zero-copy decode: the view aliases the decoder's inbox buffer and
+    // dies at the next decoder call, so handle_frame detaches (copies)
+    // exactly the bytes it keeps — a datapoint into the session inbox,
+    // the Hello id into the session. Frames left buffered by a
+    // backpressure pause stay valid in place: the decoder only compacts
+    // inside feed(), which cannot run while reads are paused.
+    auto view = session->decoder.next_view();  // may throw ProtocolError
+    if (!view) break;
+    if (!handle_frame(session, *view)) return false;
   }
   return !session->closed;
 }
@@ -450,81 +450,95 @@ void ServiceShard::handle_readable(const std::shared_ptr<Session>& session) {
 }
 
 bool ServiceShard::handle_frame(const std::shared_ptr<Session>& session,
-                                net::Frame frame) {
-  if (auto* datapoint = std::get_if<data::RawDatapoint>(&frame)) {
-    counters_.datapoints_received.fetch_add(1, std::memory_order_relaxed);
-    metrics_.datapoints.add(1);
-    metrics_.inbox_depth.add(1.0);
-    ++session->datapoints;
-    if (options_.run_sink) {
-      if (!session->run_samples.empty() &&
-          datapoint->tgen < session->run_samples.back().tgen) {
-        // Out-of-order tgen without a fail event: the scoring path treats
-        // it as an implicit run boundary, so the export buffer restarts
-        // too — the truncated run has no crash label and is not exported.
-        session->run_samples.clear();
-        session->run_export_overflow = false;
-      }
-      if (!session->run_export_overflow) {
-        if (session->run_samples.size() < options_.run_export_max_samples) {
-          session->run_samples.push_back(*datapoint);
-        } else {
-          // Oversize run: drop the whole run rather than export a
-          // truncated (mislabeled-RTTF) prefix or grow without bound.
-          session->run_export_overflow = true;
+                                const net::FrameView& frame) {
+  switch (frame.type()) {
+    case net::FrameType::kDatapoint: {
+      counters_.datapoints_received.fetch_add(1, std::memory_order_relaxed);
+      metrics_.datapoints.add(1);
+      metrics_.inbox_depth.add(1.0);
+      ++session->datapoints;
+      // Detach: the one copy out of the inbox buffer, straight into the
+      // (arena-backed, pre-sized) session inbox.
+      InboxItem item;
+      frame.datapoint(item.point);
+      if (options_.run_sink) {
+        if (!session->run_samples.empty() &&
+            item.point.tgen < session->run_samples.back().tgen) {
+          // Out-of-order tgen without a fail event: the scoring path
+          // treats it as an implicit run boundary, so the export buffer
+          // restarts too — the truncated run has no crash label and is
+          // not exported.
           session->run_samples.clear();
-          session->run_samples.shrink_to_fit();
+          session->run_export_overflow = false;
+        }
+        if (!session->run_export_overflow) {
+          if (session->run_samples.size() < options_.run_export_max_samples) {
+            session->run_samples.push_back(item.point);
+          } else {
+            // Oversize run: drop the whole run rather than export a
+            // truncated (mislabeled-RTTF) prefix or grow without bound.
+            session->run_export_overflow = true;
+            session->run_samples.clear();
+            session->run_samples.shrink_to_fit();
+          }
         }
       }
+      session->inbox.push_back(item);
+      if (session->inbox.size() >= options_.max_pending_datapoints &&
+          !session->read_paused) {
+        // Backpressure: this client is far ahead of scoring; stop reading
+        // until the inbox drains (resumed in drain_completions()).
+        session->read_paused = true;
+        poller_.modify(session->stream.fd(), /*want_read=*/false,
+                       session->want_write);
+      }
+      dispatch_scoring(session);
+      return true;
     }
-    session->inbox.push_back(InboxItem{false, *datapoint});
-    if (session->inbox.size() >= options_.max_pending_datapoints &&
-        !session->read_paused) {
-      // Backpressure: this client is far ahead of scoring; stop reading
-      // until the inbox drains (resumed in drain_completions()).
-      session->read_paused = true;
-      poller_.modify(session->stream.fd(), /*want_read=*/false,
-                     session->want_write);
+    case net::FrameType::kFailEvent: {
+      if (options_.run_sink) export_run(session, frame.fail_time());
+      metrics_.inbox_depth.add(1.0);
+      session->inbox.push_back(InboxItem{true, {}});
+      dispatch_scoring(session);
+      return true;
     }
-    dispatch_scoring(session);
-    return true;
-  }
-  if (auto* fail = std::get_if<net::FailEvent>(&frame)) {
-    if (options_.run_sink) export_run(session, fail->fail_time);
-    metrics_.inbox_depth.add(1.0);
-    session->inbox.push_back(InboxItem{true, {}});
-    dispatch_scoring(session);
-    return true;
-  }
-  if (auto* hello = std::get_if<net::Hello>(&frame)) {
-    if (hello->version > net::kProtocolVersion) {
-      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
-      close_session(session, /*evicted=*/true,
-                    "unsupported protocol version " +
-                        std::to_string(hello->version));
-      return false;
+    case net::FrameType::kHello: {
+      const std::uint32_t version = frame.hello_version();
+      if (version > net::kProtocolVersion) {
+        counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        close_session(session, /*evicted=*/true,
+                      "unsupported protocol version " +
+                          std::to_string(version));
+        return false;
+      }
+      session->client_id = frame.hello_client_id();
+      // Warm the hot buffers now, before real traffic: steady-state
+      // datapoints then append into already-sized arena-backed storage.
+      session->reserve_hot_buffers(options_.window_reserve_samples);
+      session->hello_received.store(true);
+      return true;
     }
-    session->client_id = hello->client_id;
-    session->hello_received.store(true);
-    return true;
-  }
-  if (std::get_if<net::Bye>(&frame) != nullptr) {
-    session->draining = true;
-    finish_if_drained(session);
-    return !session->closed;
-  }
-  if (std::get_if<net::StatsRequest>(&frame) != nullptr) {
-    // In-band metrics dump: the same text the HTTP scrape endpoint
-    // serves, framed as a StatsReply.
-    net::StatsReply reply;
-    reply.text = obs::render_prometheus(obs::Registry::global());
-    if (reply.text.size() > net::kMaxStatsBytes) {
-      reply.text.resize(net::kMaxStatsBytes);
+    case net::FrameType::kBye: {
+      session->draining = true;
+      finish_if_drained(session);
+      return !session->closed;
     }
-    std::vector<std::uint8_t> bytes;
-    net::FrameEncoder::encode_stats_reply(bytes, reply);
-    queue_reply(session, bytes);
-    return !session->closed;
+    case net::FrameType::kStatsRequest: {
+      // In-band metrics dump: the same text the HTTP scrape endpoint
+      // serves, framed as a StatsReply.
+      net::StatsReply reply;
+      reply.text = obs::render_prometheus(obs::Registry::global());
+      if (reply.text.size() > net::kMaxStatsBytes) {
+        reply.text.resize(net::kMaxStatsBytes);
+      }
+      std::vector<std::uint8_t> bytes;
+      net::FrameEncoder::encode_stats_reply(bytes, reply);
+      queue_reply(session, bytes);
+      return !session->closed;
+    }
+    case net::FrameType::kPrediction:
+    case net::FrameType::kStatsReply:
+      break;
   }
   // Clients must not send server-to-client frames (Prediction,
   // StatsReply); treat it as a violation.
@@ -567,18 +581,22 @@ void ServiceShard::export_run(const std::shared_ptr<Session>& session,
 void ServiceShard::dispatch_scoring(const std::shared_ptr<Session>& session) {
   if (session->in_flight || session->inbox.empty()) return;
   session->in_flight = true;
-  std::vector<InboxItem> batch = std::move(session->inbox);
-  session->inbox.clear();
-  metrics_.inbox_depth.sub(static_cast<double>(batch.size()));
-  pool_->submit([this, session, batch = std::move(batch)]() mutable {
-    score_batch(session, std::move(batch));
-  });
+  // Double-buffer handoff: swap the filled inbox with the empty scoring
+  // batch so both keep their warmed arena capacity. Moving the inbox into
+  // the task (the old idiom) surrendered its capacity every batch and
+  // reallocated on the next datapoint.
+  session->scoring_batch.swap(session->inbox);
+  metrics_.inbox_depth.sub(static_cast<double>(session->scoring_batch.size()));
+  // The submit itself allocates (task-queue node + closure state): one
+  // allocation per batch, amortized across the batch's datapoints — the
+  // per-datapoint path above is allocation-free.
+  pool_->submit([this, session] { score_batch(session); });
 }
 
-void ServiceShard::score_batch(const std::shared_ptr<Session>& session,
-                               std::vector<InboxItem> batch) {
+void ServiceShard::score_batch(const std::shared_ptr<Session>& session) {
   Completion completion;
   completion.session = session;
+  session->reply_bytes.clear();  // Capacity retained across batches.
   obs::ScopedTimer batch_timer(metrics_.batch_seconds);
   try {
     // Steady-state model check: one atomic load. Only an actual version
@@ -591,7 +609,9 @@ void ServiceShard::score_batch(const std::shared_ptr<Session>& session,
         // the new immutable snapshot. Window state restarts; a swap can
         // never mix two models within one prediction.
         session->predictor = std::make_unique<core::OnlinePredictor>(
-            model->regressor, options_.aggregation, model->selected_columns);
+            model->regressor, options_.aggregation, model->selected_columns,
+            &arena_);
+        session->predictor->reserve_window(options_.window_reserve_samples);
         session->advisor.reset();
         session->model_version = model->version;
       }
@@ -603,11 +623,11 @@ void ServiceShard::score_batch(const std::shared_ptr<Session>& session,
       reply.rttf = prediction.rttf;
       reply.alarm = alarm;
       reply.model_version = session->model_version;
-      net::FrameEncoder::encode_prediction(completion.reply_bytes, reply);
+      net::FrameEncoder::encode_prediction(session->reply_bytes, reply);
       ++completion.predictions;
       if (prediction.promoted) ++completion.promoted;
     };
-    for (const InboxItem& item : batch) {
+    for (const InboxItem& item : session->scoring_batch) {
       if (item.reset) {
         if (session->predictor) session->predictor->reset();
         session->advisor.reset();
@@ -638,6 +658,7 @@ void ServiceShard::score_batch(const std::shared_ptr<Session>& session,
   } catch (const std::exception& e) {
     F2PM_LOG(kWarn, "serve") << "scoring batch failed: " << e.what();
   }
+  session->scoring_batch.clear();  // Capacity retained for the next swap.
   {
     std::lock_guard<std::mutex> lock(completions_mutex_);
     completions_.push_back(std::move(completion));
@@ -646,12 +667,13 @@ void ServiceShard::score_batch(const std::shared_ptr<Session>& session,
 }
 
 void ServiceShard::drain_completions() {
-  std::vector<Completion> done;
   {
+    // Swap, don't move out: both queue vectors keep their capacity, so
+    // the completion path stops allocating once warmed.
     std::lock_guard<std::mutex> lock(completions_mutex_);
-    done.swap(completions_);
+    completions_scratch_.swap(completions_);
   }
-  for (Completion& completion : done) {
+  for (Completion& completion : completions_scratch_) {
     const std::shared_ptr<Session>& session = completion.session;
     session->in_flight = false;
     if (session->closed) continue;
@@ -666,8 +688,10 @@ void ServiceShard::drain_completions() {
                                              std::memory_order_relaxed);
       }
     }
-    if (!completion.reply_bytes.empty()) {
-      queue_reply(session, completion.reply_bytes);
+    if (!session->reply_bytes.empty()) {
+      // The reply scratch is still this completion's: a new batch cannot
+      // start (and overwrite it) until dispatch_scoring below runs.
+      queue_reply(session, session->reply_bytes);
       if (session->closed) continue;
     }
     if (!session->inbox.empty()) {
@@ -684,10 +708,13 @@ void ServiceShard::drain_completions() {
     }
     finish_if_drained(session);
   }
+  // Drop the session refs now rather than at the next drain — holding
+  // them would keep closed sessions (and their arena buffers) alive.
+  completions_scratch_.clear();
 }
 
 void ServiceShard::queue_reply(const std::shared_ptr<Session>& session,
-                               const std::vector<std::uint8_t>& bytes) {
+                               std::span<const std::uint8_t> bytes) {
   session->outbound.insert(session->outbound.end(), bytes.begin(),
                            bytes.end());
   if (session->outbound_pending() > options_.max_outbound_bytes) {

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -28,6 +29,7 @@
 #include "net/socket.hpp"
 #include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
+#include "serve/arena.hpp"
 #include "serve/model_store.hpp"
 #include "serve/options.hpp"
 #include "serve/session.hpp"
@@ -119,9 +121,12 @@ class ServiceShard {
     obs::Histogram& batch_seconds;
   };
 
+  /// Batch-done notice from a scoring task. The encoded reply bytes live
+  /// in the session's reply_bytes scratch (task-owned until the loop
+  /// processes this completion), not here — carrying a vector through the
+  /// queue would allocate per batch.
   struct Completion {
     std::shared_ptr<Session> session;
-    std::vector<std::uint8_t> reply_bytes;  ///< Encoded Prediction frames.
     std::size_t predictions = 0;
     std::size_t promoted = 0;  ///< Cascade full-stage promotions within.
   };
@@ -150,18 +155,21 @@ class ServiceShard {
   void handle_readable(const std::shared_ptr<Session>& session);
   bool process_buffered_frames(const std::shared_ptr<Session>& session);
   void handle_writable(const std::shared_ptr<Session>& session);
+  /// `frame` views the session decoder's buffer and dies at the next
+  /// decoder call; anything kept is copied out here.
   bool handle_frame(const std::shared_ptr<Session>& session,
-                    net::Frame frame);
+                    const net::FrameView& frame);
   /// Hands the session's buffered run to options_.run_sink (if any) as a
   /// crash-labeled CompletedRun ending at `fail_time`, then resets the
   /// buffer for the next run. Loop thread only.
   void export_run(const std::shared_ptr<Session>& session, double fail_time);
   void dispatch_scoring(const std::shared_ptr<Session>& session);
-  void score_batch(const std::shared_ptr<Session>& session,
-                   std::vector<InboxItem> batch);
+  /// Scores the session's scoring_batch (task-owned while in_flight),
+  /// encoding replies into its reply_bytes scratch.
+  void score_batch(const std::shared_ptr<Session>& session);
   void drain_completions();
   void queue_reply(const std::shared_ptr<Session>& session,
-                   const std::vector<std::uint8_t>& bytes);
+                   std::span<const std::uint8_t> bytes);
   void update_write_interest(const std::shared_ptr<Session>& session);
   void finish_if_drained(const std::shared_ptr<Session>& session);
   void close_session(const std::shared_ptr<Session>& session, bool evicted,
@@ -197,8 +205,17 @@ class ServiceShard {
   ShardCounters counters_;
   Metrics metrics_;
 
+  /// Backs every session's hot buffers (and predictor windows). Declared
+  /// before the registry and the completion queue so it outlives every
+  /// Session that allocates from it; the scoring pool is joined (pool_ is
+  /// declared last) before any of this is destroyed.
+  SessionArena arena_;
+
   std::mutex completions_mutex_;
   std::vector<Completion> completions_;
+  /// Double buffer for completions_: drain swaps instead of moving out so
+  /// both vectors keep their capacity (one batch queue growth, ever).
+  std::vector<Completion> completions_scratch_;
 
   std::atomic<bool> stopping_{false};
   bool drain_started_ = false;

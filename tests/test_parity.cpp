@@ -7,8 +7,12 @@
 // aggregates scores streaming windows as the same function.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <bit>
+#include <cmath>
 #include <cstdint>
+#include <iostream>
+#include <limits>
 #include <memory>
 #include <span>
 #include <vector>
@@ -16,6 +20,7 @@
 #include "core/online.hpp"
 #include "data/aggregation.hpp"
 #include "data/data_history.hpp"
+#include "linalg/window_stats.hpp"
 #include "util/rng.hpp"
 
 namespace f2pm::core {
@@ -122,6 +127,121 @@ TEST_P(OfflineOnlineParity, IdenticalStreamsProduceBitIdenticalInputs) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, OfflineOnlineParity,
                          ::testing::Range<std::uint64_t>(1, 25));
+
+// ---------------------------------------------------------------------------
+// Kernel-vs-reference parity: the blocked window-statistics kernel
+// (linalg::window_mean_slope) must be bit-identical to the pinned-order
+// scalar form, whatever F2PM_SIMD was at build time. The reference below
+// IS the summation-order contract — per column, rows accumulate in index
+// order into one scalar — so running this suite in both the SIMD=ON and
+// SIMD=OFF CI legs proves the two builds agree bit for bit transitively.
+
+/// The contract, written as naively as possible.
+void reference_mean_slope(const data::RawDatapoint* samples,
+                          std::size_t count, double* means, double* slopes) {
+  for (std::size_t f = 0; f < data::kFeatureCount; ++f) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < count; ++i) sum += samples[i].values[f];
+    means[f] = sum / static_cast<double>(count);
+    slopes[f] = (samples[count - 1].values[f] - samples[0].values[f]) /
+                static_cast<double>(count);
+  }
+}
+
+void expect_kernel_matches_reference(
+    const std::vector<data::RawDatapoint>& samples) {
+  const std::size_t count = samples.size();
+  std::array<double, data::kFeatureCount> ref_means{}, ref_slopes{};
+  reference_mean_slope(samples.data(), count, ref_means.data(),
+                       ref_slopes.data());
+  std::array<double, data::kFeatureCount> means{}, slopes{};
+  linalg::window_mean_slope(samples[0].values.data(), count,
+                            sizeof(data::RawDatapoint) / sizeof(double),
+                            data::kFeatureCount,
+                            static_cast<double>(count), means.data(),
+                            slopes.data());
+  for (std::size_t f = 0; f < data::kFeatureCount; ++f) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(means[f]),
+              std::bit_cast<std::uint64_t>(ref_means[f]))
+        << "mean, feature " << f << ": " << means[f] << " vs "
+        << ref_means[f];
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(slopes[f]),
+              std::bit_cast<std::uint64_t>(ref_slopes[f]))
+        << "slope, feature " << f << ": " << slopes[f] << " vs "
+        << ref_slopes[f];
+  }
+}
+
+class WindowKernelParity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WindowKernelParity, MatchesPinnedScalarReferenceBitExactly) {
+  util::Rng rng(GetParam());
+  // Window sizes sweep the remainder-block dispatch (count < 8), the
+  // blocked path and large windows; values mix magnitudes so the sums
+  // exercise real rounding, plus IEEE specials (NaN, ±inf, -0.0,
+  // denormals) that any reassociation or re-ordering would perturb.
+  const std::size_t count =
+      1 + static_cast<std::size_t>(rng.uniform_int(0, 300));
+  std::vector<data::RawDatapoint> samples(count);
+  for (auto& sample : samples) {
+    sample.tgen = 0.0;
+    for (std::size_t f = 0; f < data::kFeatureCount; ++f) {
+      double value = rng.uniform(-1.0, 1.0) *
+                     std::pow(10.0, rng.uniform(-12.0, 12.0));
+      if (rng.bernoulli(0.02)) value = std::nan("");
+      if (rng.bernoulli(0.02)) {
+        value = rng.bernoulli(0.5) ? std::numeric_limits<double>::infinity()
+                                   : -std::numeric_limits<double>::infinity();
+      }
+      if (rng.bernoulli(0.05)) value = -0.0;
+      if (rng.bernoulli(0.02)) {
+        value = std::numeric_limits<double>::denorm_min() *
+                rng.uniform(1.0, 100.0);
+      }
+      sample.values[f] = value;
+    }
+  }
+  expect_kernel_matches_reference(samples);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WindowKernelParity,
+                         ::testing::Range<std::uint64_t>(100, 140));
+
+TEST(WindowKernelParityDegenerate, SingleSampleWindow) {
+  // slope = (last - first) / 1 = ±0.0 — the sign must match the reference.
+  std::vector<data::RawDatapoint> samples(1);
+  for (std::size_t f = 0; f < data::kFeatureCount; ++f) {
+    samples[0].values[f] = (f % 2 == 0) ? -0.0 : 7.25;
+  }
+  expect_kernel_matches_reference(samples);
+}
+
+TEST(WindowKernelParityDegenerate, ConstantAndNegativeZeroColumns) {
+  std::vector<data::RawDatapoint> samples(37);
+  for (auto& sample : samples) {
+    for (std::size_t f = 0; f < data::kFeatureCount; ++f) {
+      sample.values[f] = (f % 3 == 0) ? -0.0 : 42.0;
+    }
+  }
+  expect_kernel_matches_reference(samples);
+}
+
+TEST(WindowKernelParityDegenerate, NanWindowPropagatesIdentically) {
+  std::vector<data::RawDatapoint> samples(19);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    for (std::size_t f = 0; f < data::kFeatureCount; ++f) {
+      samples[i].values[f] = (i == 9) ? std::nan("") : double(i) * 0.5;
+    }
+  }
+  expect_kernel_matches_reference(samples);
+}
+
+TEST(WindowKernelParityDegenerate, ReportsKernelMode) {
+  // Not an assertion — just makes the CI log say which path this build
+  // actually exercised (the SIMD=OFF leg must print false).
+  std::cout << "simd_kernel_enabled: " << std::boolalpha
+            << linalg::simd_kernel_enabled() << "\n";
+}
 
 }  // namespace
 }  // namespace f2pm::core

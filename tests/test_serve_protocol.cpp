@@ -272,6 +272,174 @@ TEST(BlockingReceive, CleanEofVsMidFrameTruncation) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Zero-copy decode: next_view() hands out views into the decoder buffer.
+// A view must be consumed (or detached by copying) before the next decoder
+// call; these tests pin the lifetime rules the serve hot path relies on.
+
+/// Validates view number `index` of the encode_all() stream in place.
+void expect_view(const FrameView& view, std::size_t index) {
+  switch (index) {
+    case 0: {
+      ASSERT_EQ(view.type(), FrameType::kHello);
+      EXPECT_EQ(view.hello_version(), kProtocolVersion);
+      EXPECT_EQ(view.hello_client_id(), "vm-07");
+      break;
+    }
+    case 1: {
+      ASSERT_EQ(view.type(), FrameType::kDatapoint);
+      data::RawDatapoint datapoint;
+      view.datapoint(datapoint);
+      EXPECT_EQ(datapoint, sample_at(3.5));
+      break;
+    }
+    case 2:
+      ASSERT_EQ(view.type(), FrameType::kFailEvent);
+      EXPECT_DOUBLE_EQ(view.fail_time(), 99.25);
+      break;
+    case 3: {
+      ASSERT_EQ(view.type(), FrameType::kPrediction);
+      const Prediction prediction = view.prediction();
+      EXPECT_DOUBLE_EQ(prediction.window_end, 30.0);
+      EXPECT_DOUBLE_EQ(prediction.rttf, 1234.5);
+      EXPECT_TRUE(prediction.alarm);
+      EXPECT_EQ(prediction.model_version, 7u);
+      break;
+    }
+    case 4:
+      EXPECT_EQ(view.type(), FrameType::kStatsRequest);
+      break;
+    case 5:
+      ASSERT_EQ(view.type(), FrameType::kStatsReply);
+      EXPECT_EQ(view.stats_text(), "f2pm_up 1\n# not parsed, just carried\n");
+      break;
+    case 6:
+      EXPECT_EQ(view.type(), FrameType::kBye);
+      break;
+    default:
+      FAIL() << "unexpected frame index " << index;
+  }
+}
+
+TEST(FrameView, CoalescedStreamYieldsValidViews) {
+  const std::vector<std::uint8_t> bytes = encode_all();
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  std::size_t index = 0;
+  while (auto view = decoder.next_view()) expect_view(*view, index++);
+  EXPECT_EQ(index, 7u);
+  EXPECT_FALSE(decoder.mid_frame());
+}
+
+// Feeds split at EVERY byte boundary still yield valid views — including
+// views whose payloads are misaligned by the odd-length Hello id before
+// them (the reason every field accessor reads via memcpy).
+TEST(FrameView, SplitAtEveryByteBoundaryYieldsValidViews) {
+  const std::vector<std::uint8_t> bytes = encode_all();
+  for (std::size_t split = 0; split <= bytes.size(); ++split) {
+    FrameDecoder decoder;
+    std::size_t index = 0;
+    decoder.feed(bytes.data(), split);
+    while (auto view = decoder.next_view()) expect_view(*view, index++);
+    decoder.feed(bytes.data() + split, bytes.size() - split);
+    while (auto view = decoder.next_view()) expect_view(*view, index++);
+    ASSERT_EQ(index, 7u) << "split at byte " << split;
+  }
+}
+
+// Backpressure shape: many frames arrive in one feed, only some are
+// consumed before the reader pauses. The frames left buffered must stay
+// valid in place across the pause and across the compaction the next
+// feed() performs (the consumed prefix is > 4 KiB by then).
+TEST(FrameView, BufferedFramesSurviveCompactionAtNextFeed) {
+  std::vector<std::uint8_t> bytes;
+  constexpr std::size_t kFrames = 100;
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    FrameEncoder::encode_datapoint(bytes, sample_at(static_cast<double>(i)));
+  }
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  for (std::size_t i = 0; i < kFrames / 2; ++i) {  // consume half, "pause"
+    auto view = decoder.next_view();
+    ASSERT_TRUE(view.has_value());
+    data::RawDatapoint datapoint;
+    view->datapoint(datapoint);
+    ASSERT_EQ(datapoint, sample_at(static_cast<double>(i)));
+  }
+  // "Resume": more bytes arrive; the consumed prefix (50 frames, 6.4 KB)
+  // is compacted away and the second half must still parse exactly.
+  std::vector<std::uint8_t> more;
+  FrameEncoder::encode_datapoint(more, sample_at(1000.0));
+  decoder.feed(more.data(), more.size());
+  for (std::size_t i = kFrames / 2; i < kFrames; ++i) {
+    auto view = decoder.next_view();
+    ASSERT_TRUE(view.has_value());
+    data::RawDatapoint datapoint;
+    view->datapoint(datapoint);
+    ASSERT_EQ(datapoint, sample_at(static_cast<double>(i)));
+  }
+  auto view = decoder.next_view();
+  ASSERT_TRUE(view.has_value());
+  data::RawDatapoint datapoint;
+  view->datapoint(datapoint);
+  EXPECT_EQ(datapoint, sample_at(1000.0));
+  EXPECT_FALSE(decoder.next_view().has_value());
+}
+
+// Detach-before-reuse: a payload copied out of a view stays intact after
+// the decoder moves on (and after a feed() compaction reuses the bytes
+// the view aliased).
+TEST(FrameView, DetachedCopySurvivesDecoderReuse) {
+  std::vector<std::uint8_t> bytes;
+  FrameEncoder::encode_datapoint(bytes, sample_at(7.0));
+  FrameEncoder::encode_datapoint(bytes, sample_at(8.0));
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+
+  auto first = decoder.next_view();
+  ASSERT_TRUE(first.has_value());
+  data::RawDatapoint detached;
+  first->datapoint(detached);  // detach: copy out before the next call
+
+  ASSERT_TRUE(decoder.next_view().has_value());  // invalidates `first`
+  std::vector<std::uint8_t> refill(8192, 0xEE);
+  decoder.feed(refill.data(), 0);  // compaction point, view bytes dead
+
+  EXPECT_EQ(detached, sample_at(7.0));
+}
+
+// next() is a materializing wrapper over next_view(): both paths decode
+// the same stream to the same frames (the owned path just pays the copy).
+TEST(FrameView, NextMaterializesExactlyWhatViewsYield) {
+  const std::vector<std::uint8_t> bytes = encode_all();
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  std::vector<Frame> frames;
+  while (auto frame = decoder.next()) frames.push_back(std::move(*frame));
+  expect_all_frames(frames);
+}
+
+// bytes_needed() and next_view() size frames through one shared helper;
+// feeding exactly bytes_needed() at every step must walk the stream
+// frame by frame without ever stalling or over-asking.
+TEST(FrameView, BytesNeededDrivesExactProgress) {
+  const std::vector<std::uint8_t> bytes = encode_all();
+  FrameDecoder decoder;
+  std::size_t fed = 0;
+  std::size_t index = 0;
+  while (index < 7u) {
+    while (auto view = decoder.next_view()) expect_view(*view, index++);
+    if (index == 7u) break;
+    const std::size_t need = decoder.bytes_needed();
+    ASSERT_GE(need, 1u);
+    ASSERT_LE(fed + need, bytes.size())
+        << "decoder over-asked at frame " << index;
+    decoder.feed(bytes.data() + fed, need);
+    fed += need;
+  }
+  EXPECT_EQ(index, 7u);
+}
+
 // A persistent decoder carries bytes across receive_frame calls, so a
 // peer that writes everything in one burst still yields frame-by-frame.
 TEST(BlockingReceive, PersistentDecoderAcrossCalls) {
