@@ -1,0 +1,490 @@
+#include "ml/gbdt.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace f2pm::ml {
+
+namespace {
+
+/// Process-wide cache of FeatureBinning instances keyed on matrix content.
+/// Binning depends only on (matrix bytes, bins, mode), and k-fold CV
+/// rebuilds byte-identical fold matrices for every grid point, so a grid
+/// search sweeping shrinkage/rounds bins each fold once instead of once
+/// per grid point. Small LRU; concurrent fits of a not-yet-cached key may
+/// both compute (correct either way, both count as computed).
+class BinningCache {
+ public:
+  static BinningCache& global() {
+    static BinningCache cache;
+    return cache;
+  }
+
+  std::shared_ptr<const FeatureBinning> get(std::uint64_t key) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].key == key) {
+        Entry hit = entries_[i];
+        entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+        entries_.insert(entries_.begin(), hit);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return hit.binning;
+      }
+    }
+    return nullptr;
+  }
+
+  void put(std::uint64_t key, std::shared_ptr<const FeatureBinning> binning) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries_.insert(entries_.begin(), {key, std::move(binning)});
+    if (entries_.size() > kCapacity) entries_.resize(kCapacity);
+  }
+
+  void count_computed() { computed_.fetch_add(1, std::memory_order_relaxed); }
+
+  [[nodiscard]] BinningCacheStats stats() const {
+    return {computed_.load(std::memory_order_relaxed),
+            hits_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    std::shared_ptr<const FeatureBinning> binning;
+  };
+  static constexpr std::size_t kCapacity = 32;
+
+  std::mutex mutex_;
+  std::vector<Entry> entries_;  ///< Most recently used first.
+  std::atomic<std::uint64_t> computed_{0};
+  std::atomic<std::uint64_t> hits_{0};
+};
+
+/// FNV-1a over the matrix bytes plus the binning configuration.
+std::uint64_t binning_fingerprint(const linalg::Matrix& x, std::size_t bins,
+                                  BinningMode mode) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x00000100000001b3ull;
+  };
+  mix(x.rows());
+  mix(x.cols());
+  mix(bins);
+  mix(static_cast<std::uint64_t>(mode));
+  for (const double v : x.data()) mix(std::bit_cast<std::uint64_t>(v));
+  return h;
+}
+
+/// Binning over all matrix rows — a superset of any per-round row sample,
+/// which compute_feature_binning documents as exact to reuse.
+std::shared_ptr<const FeatureBinning> shared_binning(const linalg::Matrix& x,
+                                                     std::size_t bins,
+                                                     BinningMode mode,
+                                                     bool reuse) {
+  auto& cache = BinningCache::global();
+  std::uint64_t key = 0;
+  if (reuse) {
+    key = binning_fingerprint(x, bins, mode);
+    if (auto cached = cache.get(key)) return cached;
+  }
+  std::vector<std::size_t> all_rows(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) all_rows[r] = r;
+  auto binning = std::make_shared<const FeatureBinning>(
+      compute_feature_binning(x, all_rows, bins, mode));
+  cache.count_computed();
+  if (reuse) cache.put(key, binning);
+  return binning;
+}
+
+/// Sampled index mask -> ascending selection: the set comes from the
+/// permutation, the order never does, so every downstream accumulation
+/// streams rows in canonical ascending order (worker- and draw-order
+/// invariant, same idiom as RepTree's prune split).
+std::vector<std::uint8_t> pick_mask(util::Rng& rng, std::size_t total,
+                                    std::size_t take) {
+  const auto perm = rng.permutation(total);
+  std::vector<std::uint8_t> mask(total, 0);
+  for (std::size_t i = 0; i < take; ++i) mask[perm[i]] = 1;
+  return mask;
+}
+
+std::size_t sample_count(double fraction, std::size_t total) {
+  const auto k = static_cast<std::size_t>(
+      std::llround(fraction * static_cast<double>(total)));
+  return std::clamp<std::size_t>(k, 1, total);
+}
+
+}  // namespace
+
+GbdtRegressor::GbdtRegressor(GbdtOptions options) : options_(options) {
+  if (options_.n_rounds == 0) {
+    throw std::invalid_argument("GbdtRegressor: n_rounds must be > 0");
+  }
+  if (!(options_.learning_rate > 0.0)) {
+    throw std::invalid_argument("GbdtRegressor: learning_rate must be > 0");
+  }
+  if (options_.min_instances_per_leaf == 0) {
+    throw std::invalid_argument(
+        "GbdtRegressor: min_instances_per_leaf must be > 0");
+  }
+  if (!(options_.row_subsample > 0.0) || options_.row_subsample > 1.0 ||
+      !(options_.feature_subsample > 0.0) ||
+      options_.feature_subsample > 1.0) {
+    throw std::invalid_argument(
+        "GbdtRegressor: subsample fractions must be in (0, 1]");
+  }
+  if (options_.histogram_bins < 2) {
+    throw std::invalid_argument("GbdtRegressor: histogram_bins must be >= 2");
+  }
+  if (options_.early_stopping_rounds > 0 &&
+      (!(options_.validation_fraction > 0.0) ||
+       options_.validation_fraction >= 1.0)) {
+    throw std::invalid_argument(
+        "GbdtRegressor: validation_fraction must be in (0, 1)");
+  }
+}
+
+GbdtRegressor::Tree GbdtRegressor::grow_tree(TreeGrowthEngine& engine) const {
+  // Leaf-wise (best-first) growth: a max-heap of splittable leaves ordered
+  // by SSE gain; each step converts the best leaf into an internal node.
+  // Per-node best splits are independent of expansion order (each node's
+  // segment and histogram are fixed at creation), so with no leaf cap this
+  // grows exactly the depth-first tree — the REPTree equivalence relies on
+  // that. Ties break on creation order, keeping the fit fully
+  // deterministic.
+  Tree tree;
+  struct Cand {
+    double score = 0.0;
+    std::uint64_t seq = 0;
+    std::size_t node = 0;
+    TreeGrowthEngine::NodeId enode = 0;
+    BestSplit split;
+    std::size_t depth = 0;
+  };
+  struct CandLess {
+    bool operator()(const Cand& a, const Cand& b) const {
+      if (a.score != b.score) return a.score < b.score;
+      return a.seq > b.seq;  // earlier-created leaf wins ties
+    }
+  };
+  std::priority_queue<Cand, std::vector<Cand>, CandLess> frontier;
+  std::uint64_t seq = 0;
+  const double lr = options_.learning_rate;
+
+  const auto add_node = [&](TreeGrowthEngine::NodeId enode) {
+    const Moments moments = engine.moments(enode);
+    Node node;
+    // Leaf values carry the shrinkage already applied, so prediction is a
+    // plain sum and serialization needs no learning-rate replay.
+    node.value = lr * moments.mean();
+    const std::size_t id = tree.nodes.size();
+    tree.nodes.push_back(node);
+    return std::pair<std::size_t, Moments>{id, moments};
+  };
+  const auto consider = [&](std::size_t id, TreeGrowthEngine::NodeId enode,
+                            const Moments& moments, std::size_t depth) {
+    if (options_.max_depth != 0 && depth >= options_.max_depth) {
+      engine.release(enode);
+      return;
+    }
+    const BestSplit split =
+        engine.find_best_split(enode, options_.min_instances_per_leaf,
+                               SplitCriterion::kVarianceReduction, &moments);
+    if (!split.found) {
+      engine.release(enode);
+      return;
+    }
+    frontier.push({split.score, seq++, id, enode, split, depth});
+  };
+
+  const auto [root_id, root_moments] = add_node(engine.root());
+  std::size_t leaves = 1;
+  consider(root_id, engine.root(), root_moments, 0);
+  while (!frontier.empty() &&
+         (options_.max_leaves == 0 || leaves < options_.max_leaves)) {
+    const Cand cand = frontier.top();
+    frontier.pop();
+    const auto [left_e, right_e] = engine.apply_split(cand.enode, cand.split);
+    const auto [left_id, left_moments] = add_node(left_e);
+    const auto [right_id, right_moments] = add_node(right_e);
+    tree.nodes[cand.node].feature = cand.split.feature;
+    tree.nodes[cand.node].threshold = cand.split.threshold;
+    tree.nodes[cand.node].left = left_id;
+    tree.nodes[cand.node].right = right_id;
+    ++leaves;
+    consider(left_id, left_e, left_moments, cand.depth + 1);
+    consider(right_id, right_e, right_moments, cand.depth + 1);
+  }
+  while (!frontier.empty()) {
+    engine.release(frontier.top().enode);
+    frontier.pop();
+  }
+  return tree;
+}
+
+double GbdtRegressor::tree_value(const Tree& tree, const double* row) {
+  const Node* nodes = tree.nodes.data();
+  std::size_t id = 0;
+  while (nodes[id].left != kNoNode) {
+    const Node& node = nodes[id];
+    id = row[node.feature] <= node.threshold ? node.left : node.right;
+  }
+  return nodes[id].value;
+}
+
+void GbdtRegressor::fit(const linalg::Matrix& x, std::span<const double> y) {
+  check_fit_args(x, y);
+  static obs::Histogram& fit_hist = obs::Registry::global().histogram(
+      "f2pm_ml_tree_fit_seconds",
+      "Tree-learner fit wall-clock time (growth engine).",
+      obs::Histogram::default_latency_bounds(), "model=\"gbdt\"");
+  const obs::ScopedTimer fit_timer(fit_hist);
+  trees_.clear();
+  loss_history_.clear();
+  fitted_ = false;
+  num_inputs_ = x.cols();
+  const std::size_t n = x.rows();
+
+  // Every random decision is drawn from the master stream up front — the
+  // holdout split first, then one (row, feature) seed pair per round — so
+  // nothing about thread scheduling or early stopping can perturb a draw.
+  util::Rng master(options_.seed);
+  std::vector<std::size_t> train_rows;
+  std::vector<std::size_t> val_rows;
+  const bool use_holdout = options_.early_stopping_rounds > 0 && n >= 4;
+  if (use_holdout) {
+    const auto val_count = std::clamp<std::size_t>(
+        static_cast<std::size_t>(static_cast<double>(n) *
+                                 options_.validation_fraction),
+        1, n - 1);
+    const std::vector<std::uint8_t> in_val = pick_mask(master, n, val_count);
+    train_rows.reserve(n - val_count);
+    val_rows.reserve(val_count);
+    for (std::size_t r = 0; r < n; ++r) {
+      (in_val[r] != 0 ? val_rows : train_rows).push_back(r);
+    }
+  } else {
+    train_rows.resize(n);
+    for (std::size_t r = 0; r < n; ++r) train_rows[r] = r;
+  }
+  struct RoundSeeds {
+    std::uint64_t rows = 0;
+    std::uint64_t features = 0;
+  };
+  std::vector<RoundSeeds> seeds(options_.n_rounds);
+  for (RoundSeeds& s : seeds) {
+    s.rows = master();
+    s.features = master();
+  }
+
+  const std::shared_ptr<const FeatureBinning> binning = shared_binning(
+      x, options_.histogram_bins, options_.bin_mode, options_.reuse_bins);
+
+  if (options_.base_score == GbdtOptions::BaseScore::kZero) {
+    base_score_ = 0.0;
+  } else {
+    Moments m;
+    for (const std::size_t r : train_rows) m.add(y[r]);
+    base_score_ = m.mean();
+  }
+  std::vector<double> pred(n, base_score_);
+  std::vector<double> resid(n);
+  for (std::size_t r = 0; r < n; ++r) resid[r] = y[r] - pred[r];
+
+  std::optional<parallel::ThreadPool> local_pool;
+  if (options_.fit_workers > 1) local_pool.emplace(options_.fit_workers);
+  parallel::ThreadPool* pool =
+      options_.fit_workers == 0 ? &parallel::ThreadPool::global()
+      : options_.fit_workers > 1 ? &*local_pool
+                                 : nullptr;
+
+  double best_val = std::numeric_limits<double>::infinity();
+  std::size_t best_round = 0;
+  for (std::size_t t = 0; t < options_.n_rounds; ++t) {
+    std::vector<std::size_t> rows_t;
+    if (options_.row_subsample >= 1.0) {
+      rows_t = train_rows;
+    } else {
+      util::Rng row_rng(seeds[t].rows);
+      const std::size_t take =
+          sample_count(options_.row_subsample, train_rows.size());
+      const std::vector<std::uint8_t> mask =
+          pick_mask(row_rng, train_rows.size(), take);
+      rows_t.reserve(take);
+      for (std::size_t i = 0; i < train_rows.size(); ++i) {
+        if (mask[i] != 0) rows_t.push_back(train_rows[i]);
+      }
+    }
+
+    TreeGrowthEngine::Config engine_config;
+    engine_config.mode = SplitMode::kHistogram;
+    engine_config.histogram_bins = options_.histogram_bins;
+    engine_config.binning = binning;
+    engine_config.min_split_size = 2 * options_.min_instances_per_leaf;
+    if (options_.feature_subsample < 1.0) {
+      util::Rng feature_rng(seeds[t].features);
+      const std::size_t take =
+          sample_count(options_.feature_subsample, num_inputs_);
+      engine_config.feature_active = pick_mask(feature_rng, num_inputs_, take);
+    }
+    TreeGrowthEngine engine(x, resid, std::move(rows_t), engine_config);
+    trees_.push_back(grow_tree(engine));
+    const Tree& tree = trees_.back();
+
+    // Update predictions/residuals for every row (holdout included) —
+    // per-row independent writes, so fanning the blocks out is bitwise
+    // identical at any worker count.
+    constexpr std::size_t kBlock = 1024;
+    const std::size_t num_blocks = (n + kBlock - 1) / kBlock;
+    const auto update_block = [&](std::size_t b) {
+      const std::size_t begin = b * kBlock;
+      const std::size_t end = std::min(n, begin + kBlock);
+      for (std::size_t r = begin; r < end; ++r) {
+        pred[r] += tree_value(tree, x.row(r).data());
+        resid[r] = y[r] - pred[r];
+      }
+    };
+    if (pool != nullptr && num_blocks > 1) {
+      parallel::parallel_for(*pool, 0, num_blocks, update_block);
+    } else {
+      for (std::size_t b = 0; b < num_blocks; ++b) update_block(b);
+    }
+
+    double train_sse = 0.0;
+    for (const std::size_t r : train_rows) train_sse += resid[r] * resid[r];
+    loss_history_.push_back(train_sse /
+                            static_cast<double>(train_rows.size()));
+
+    if (use_holdout) {
+      double val_sse = 0.0;
+      for (const std::size_t r : val_rows) val_sse += resid[r] * resid[r];
+      const double val_mse = val_sse / static_cast<double>(val_rows.size());
+      if (val_mse < best_val) {
+        best_val = val_mse;
+        best_round = t;
+      } else if (t - best_round >= options_.early_stopping_rounds) {
+        break;
+      }
+    }
+  }
+  if (use_holdout && best_round + 1 < trees_.size()) {
+    trees_.resize(best_round + 1);
+  }
+  fitted_ = true;
+}
+
+double GbdtRegressor::predict_row(std::span<const double> row) const {
+  check_predict_args(row);
+  double acc = base_score_;
+  for (const Tree& tree : trees_) acc += tree_value(tree, row.data());
+  return acc;
+}
+
+std::vector<double> GbdtRegressor::predict(const linalg::Matrix& x) const {
+  if (!fitted_) throw std::logic_error("Regressor: predict before fit");
+  if (x.cols() != num_inputs_) {
+    throw std::invalid_argument("Regressor: input width mismatch");
+  }
+  static obs::Histogram& predict_hist = obs::Registry::global().histogram(
+      "f2pm_ml_batched_predict_seconds",
+      "Batched model prediction wall-clock time.",
+      obs::Histogram::default_latency_bounds(), "model=\"gbdt\"");
+  const obs::ScopedTimer predict_timer(predict_hist);
+  // Tree-major within a row block: each tree's nodes stay hot across the
+  // block, while every row still accumulates base + trees in boosting
+  // order — bit-identical to predict_row.
+  constexpr std::size_t kBlock = 256;
+  std::vector<double> out(x.rows(), base_score_);
+  for (std::size_t begin = 0; begin < x.rows(); begin += kBlock) {
+    const std::size_t end = std::min(x.rows(), begin + kBlock);
+    for (const Tree& tree : trees_) {
+      for (std::size_t r = begin; r < end; ++r) {
+        out[r] += tree_value(tree, x.row(r).data());
+      }
+    }
+  }
+  return out;
+}
+
+void GbdtRegressor::save(util::BinaryWriter& writer) const {
+  if (!fitted_) throw std::logic_error("GbdtRegressor::save before fit");
+  writer.write_u64(num_inputs_);
+  writer.write_double(base_score_);
+  writer.write_u64(trees_.size());
+  for (const Tree& tree : trees_) {
+    std::vector<std::uint64_t> features;
+    std::vector<double> thresholds;
+    std::vector<double> values;
+    std::vector<std::uint64_t> lefts;
+    std::vector<std::uint64_t> rights;
+    features.reserve(tree.nodes.size());
+    for (const Node& node : tree.nodes) {
+      features.push_back(node.feature);
+      thresholds.push_back(node.threshold);
+      values.push_back(node.value);
+      lefts.push_back(node.left);
+      rights.push_back(node.right);
+    }
+    writer.write_u64s(features);
+    writer.write_doubles(thresholds);
+    writer.write_doubles(values);
+    writer.write_u64s(lefts);
+    writer.write_u64s(rights);
+  }
+}
+
+std::unique_ptr<GbdtRegressor> GbdtRegressor::load(util::BinaryReader& reader) {
+  auto model = std::make_unique<GbdtRegressor>();
+  model->num_inputs_ = reader.read_u64();
+  model->base_score_ = reader.read_double();
+  const std::uint64_t num_trees = reader.read_u64();
+  model->trees_.resize(num_trees);
+  for (Tree& tree : model->trees_) {
+    const auto features = reader.read_u64s();
+    const auto thresholds = reader.read_doubles();
+    const auto values = reader.read_doubles();
+    const auto lefts = reader.read_u64s();
+    const auto rights = reader.read_u64s();
+    const std::size_t count = features.size();
+    if (thresholds.size() != count || values.size() != count ||
+        lefts.size() != count || rights.size() != count || count == 0) {
+      throw std::runtime_error("GbdtRegressor::load: inconsistent archive");
+    }
+    tree.nodes.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      Node& node = tree.nodes[i];
+      node.feature = features[i];
+      node.threshold = thresholds[i];
+      node.value = values[i];
+      node.left = lefts[i];
+      node.right = rights[i];
+      const bool left_leaf = node.left == kNoNode;
+      const bool right_leaf = node.right == kNoNode;
+      if (left_leaf != right_leaf ||
+          (!left_leaf && (node.left >= count || node.right >= count))) {
+        throw std::runtime_error("GbdtRegressor::load: corrupt tree links");
+      }
+    }
+  }
+  model->fitted_ = true;
+  return model;
+}
+
+BinningCacheStats GbdtRegressor::binning_cache_stats() {
+  return BinningCache::global().stats();
+}
+
+}  // namespace f2pm::ml

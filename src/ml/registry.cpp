@@ -6,6 +6,7 @@
 #include "ml/cascade.hpp"
 #include "ml/ensemble.hpp"
 #include "ml/exhaustion_heuristic.hpp"
+#include "ml/gbdt.hpp"
 #include "ml/knn.hpp"
 #include "ml/lasso.hpp"
 #include "ml/linear_regression.hpp"
@@ -27,6 +28,7 @@ std::vector<std::string> all_model_names() {
   names.emplace_back("knn");
   names.emplace_back("bagging");
   names.emplace_back("cascade");
+  names.emplace_back("gbdt");
   return names;
 }
 
@@ -163,6 +165,49 @@ std::unique_ptr<Regressor> make_model(const std::string& name,
         params.get_int("bagging.histogram_bins", 64));
     return std::make_unique<BaggedTrees>(options);
   }
+  if (name == "gbdt") {
+    GbdtOptions options;
+    options.n_rounds =
+        static_cast<std::size_t>(params.get_int("gbdt.n_rounds", 100));
+    options.learning_rate = params.get_double("gbdt.learning_rate", 0.1);
+    options.max_depth =
+        static_cast<std::size_t>(params.get_int("gbdt.max_depth", 6));
+    options.max_leaves =
+        static_cast<std::size_t>(params.get_int("gbdt.max_leaves", 31));
+    options.min_instances_per_leaf =
+        static_cast<std::size_t>(params.get_int("gbdt.min_instances", 5));
+    options.row_subsample = params.get_double("gbdt.row_subsample", 1.0);
+    options.feature_subsample =
+        params.get_double("gbdt.feature_subsample", 1.0);
+    options.histogram_bins = static_cast<std::size_t>(
+        params.get_int("gbdt.histogram_bins", 64));
+    const std::string bin_mode =
+        params.get_string("gbdt.bin_mode", "quantile");
+    if (bin_mode == "quantile") {
+      options.bin_mode = BinningMode::kQuantile;
+    } else if (bin_mode == "width") {
+      options.bin_mode = BinningMode::kWidth;
+    } else {
+      throw std::invalid_argument("unknown gbdt bin mode: " + bin_mode);
+    }
+    options.reuse_bins = params.get_bool("gbdt.reuse_bins", true);
+    const std::string base = params.get_string("gbdt.base_score", "mean");
+    if (base == "mean") {
+      options.base_score = GbdtOptions::BaseScore::kMean;
+    } else if (base == "zero") {
+      options.base_score = GbdtOptions::BaseScore::kZero;
+    } else {
+      throw std::invalid_argument("unknown gbdt base score: " + base);
+    }
+    options.early_stopping_rounds = static_cast<std::size_t>(
+        params.get_int("gbdt.early_stopping_rounds", 0));
+    options.validation_fraction =
+        params.get_double("gbdt.validation_fraction", 0.15);
+    options.seed = static_cast<std::uint64_t>(params.get_int("gbdt.seed", 1));
+    options.fit_workers =
+        static_cast<std::size_t>(params.get_int("gbdt.fit_workers", 0));
+    return std::make_unique<GbdtRegressor>(options);
+  }
   if (name == "cascade") {
     CascadeOptions options;
     options.horizon_seconds =
@@ -197,6 +242,7 @@ std::unique_ptr<Regressor> load_model_body(const std::string& tag,
   if (tag == "bagging") return BaggedTrees::load(reader);
   if (tag == "heuristic") return ExhaustionHeuristic::load(reader);
   if (tag == "cascade") return CascadeRegressor::load(reader);
+  if (tag == "gbdt") return GbdtRegressor::load(reader);
   throw std::runtime_error("load_model: unknown model tag: " + tag);
 }
 

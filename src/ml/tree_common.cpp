@@ -22,6 +22,73 @@ Moments compute_moments(std::span<const double> y,
   return m;
 }
 
+FeatureBinning compute_feature_binning(const linalg::Matrix& x,
+                                       const std::vector<std::size_t>& rows,
+                                       std::size_t bins, BinningMode mode) {
+  if (bins < 2) {
+    throw std::invalid_argument("compute_feature_binning: bins must be >= 2");
+  }
+  if (bins > std::numeric_limits<std::uint16_t>::max()) {
+    throw std::invalid_argument("compute_feature_binning: bins too large");
+  }
+  FeatureBinning binning;
+  binning.bins = bins;
+  binning.num_rows = x.rows();
+  binning.num_features = x.cols();
+  binning.bin_of.assign(x.cols() * x.rows(), 0);
+  binning.bin_lo.assign(x.cols() * bins,
+                        std::numeric_limits<double>::infinity());
+  binning.bin_hi.assign(x.cols() * bins,
+                        -std::numeric_limits<double>::infinity());
+  const std::size_t n = rows.size();
+  if (n == 0) return binning;
+  std::vector<double> sorted;
+  std::vector<double> edges;
+  for (std::size_t f = 0; f < x.cols(); ++f) {
+    double lo = std::numeric_limits<double>::infinity();
+    double width = 0.0;
+    if (mode == BinningMode::kWidth) {
+      double hi = -lo;
+      for (std::size_t r : rows) {
+        lo = std::min(lo, x(r, f));
+        hi = std::max(hi, x(r, f));
+      }
+      width = hi > lo ? (hi - lo) / static_cast<double>(bins) : 0.0;
+    } else {
+      // Equal-frequency edges: up to bins-1 cut values at the quantile
+      // positions of the sorted feature column, deduplicated so equal
+      // values always share a bin. Bin of v = number of edges <= v — a
+      // monotone map, so bins remain value-disjoint intervals.
+      sorted.resize(n);
+      for (std::size_t i = 0; i < n; ++i) sorted[i] = x(rows[i], f);
+      std::sort(sorted.begin(), sorted.end());
+      edges.clear();
+      for (std::size_t b = 1; b < bins; ++b) {
+        edges.push_back(sorted[(b * n) / bins]);
+      }
+      edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    }
+    for (std::size_t r : rows) {
+      const double v = x(r, f);
+      std::size_t b = 0;
+      if (mode == BinningMode::kWidth) {
+        if (width > 0.0) {
+          b = std::min(bins - 1, static_cast<std::size_t>((v - lo) / width));
+        }
+      } else {
+        b = static_cast<std::size_t>(
+            std::upper_bound(edges.begin(), edges.end(), v) - edges.begin());
+      }
+      binning.bin_of[f * x.rows() + r] = static_cast<std::uint16_t>(b);
+      double& blo = binning.bin_lo[f * bins + b];
+      double& bhi = binning.bin_hi[f * bins + b];
+      blo = std::min(blo, v);
+      bhi = std::max(bhi, v);
+    }
+  }
+  return binning;
+}
+
 void partition_rows(const linalg::Matrix& x,
                     const std::vector<std::size_t>& rows, std::size_t feature,
                     double threshold, std::vector<std::size_t>& left,
@@ -108,6 +175,11 @@ TreeGrowthEngine::TreeGrowthEngine(const linalg::Matrix& x,
   }
   if (x_.rows() > std::numeric_limits<std::uint32_t>::max()) {
     throw std::invalid_argument("TreeGrowthEngine: too many rows");
+  }
+  if (!config_.feature_active.empty() &&
+      config_.feature_active.size() != num_features_) {
+    throw std::invalid_argument(
+        "TreeGrowthEngine: feature_active mask size mismatch");
   }
   const std::size_t n = rows_.size();
   segments_.push_back({0, n, 0, 0, 0});
@@ -231,34 +303,18 @@ TreeGrowthEngine::TreeGrowthEngine(const linalg::Matrix& x,
       if (root_const[f] != 0) segments_[0].const_mask |= std::uint64_t{1} << f;
     }
   } else if (config_.mode == SplitMode::kHistogram) {
-    const std::size_t bins = config_.histogram_bins;
-    bin_of_.assign(num_features_ * x_.rows(), 0);
-    bin_lo_.assign(num_features_ * bins,
-                   std::numeric_limits<double>::infinity());
-    bin_hi_.assign(num_features_ * bins,
-                   -std::numeric_limits<double>::infinity());
-    for (std::size_t f = 0; f < num_features_; ++f) {
-      double lo = std::numeric_limits<double>::infinity();
-      double hi = -lo;
-      for (std::size_t r : rows_) {
-        lo = std::min(lo, x_(r, f));
-        hi = std::max(hi, x_(r, f));
+    if (config_.binning != nullptr) {
+      if (config_.binning->num_rows != x_.rows() ||
+          config_.binning->num_features != num_features_ ||
+          config_.binning->bins != config_.histogram_bins) {
+        throw std::invalid_argument(
+            "TreeGrowthEngine: precomputed binning does not match the "
+            "matrix/bin configuration");
       }
-      const double width =
-          hi > lo ? (hi - lo) / static_cast<double>(bins) : 0.0;
-      for (std::size_t r : rows_) {
-        const double v = x_(r, f);
-        std::size_t b = 0;
-        if (width > 0.0) {
-          b = std::min(bins - 1,
-                       static_cast<std::size_t>((v - lo) / width));
-        }
-        bin_of_[f * x_.rows() + r] = static_cast<std::uint16_t>(b);
-        double& blo = bin_lo_[f * bins + b];
-        double& bhi = bin_hi_[f * bins + b];
-        blo = std::min(blo, v);
-        bhi = std::max(bhi, v);
-      }
+      binning_ = config_.binning;
+    } else {
+      binning_ = std::make_shared<const FeatureBinning>(compute_feature_binning(
+          x_, rows_, config_.histogram_bins, BinningMode::kWidth));
     }
     hists_.resize(1);
   }
@@ -362,8 +418,8 @@ BestSplit TreeGrowthEngine::scan_feature_histogram(
   const double total_sd = total.sd();
   const double inv_count = 1.0 / static_cast<double>(total.count);
   const double* h = hist.data() + feature * bins * 3;
-  const double* lo = bin_lo_.data() + feature * bins;
-  const double* hi = bin_hi_.data() + feature * bins;
+  const double* lo = binning_->bin_lo.data() + feature * bins;
+  const double* hi = binning_->bin_hi.data() + feature * bins;
   BestSplit best;
   Moments left;
   Moments right = total;
@@ -407,11 +463,13 @@ BestSplit TreeGrowthEngine::scan_feature_histogram(
 void TreeGrowthEngine::accumulate_histogram(const Segment& segment,
                                             std::span<double> hist) const {
   const std::size_t bins = config_.histogram_bins;
+  const std::uint16_t* bin_of = binning_->bin_of.data();
   for (std::size_t i = segment.begin; i < segment.end; ++i) {
     const std::size_t r = rows_[i];
     const double v = yrows_[i];
     for (std::size_t f = 0; f < num_features_; ++f) {
-      const std::size_t b = bin_of_[f * x_.rows() + r];
+      if (!feature_enabled(f)) continue;
+      const std::size_t b = bin_of[f * x_.rows() + r];
       double* cell = hist.data() + (f * bins + b) * 3;
       cell[0] += v;
       cell[1] += v * v;
@@ -449,6 +507,7 @@ BestSplit TreeGrowthEngine::find_best_split(NodeId id, std::size_t min_leaf,
   if (config_.mode == SplitMode::kHistogram) {
     build_histogram(id);
     for (std::size_t f = 0; f < num_features_; ++f) {
+      if (!feature_enabled(f)) continue;
       const BestSplit cand =
           scan_feature_histogram(f, hists_[id], total, min_leaf, criterion);
       if (cand.found && (!best.found || cand.score > best.score)) best = cand;
@@ -465,6 +524,7 @@ BestSplit TreeGrowthEngine::find_best_split(NodeId id, std::size_t min_leaf,
   std::vector<std::size_t> active;
   active.reserve(num_features_);
   for (std::size_t f = 0; f < num_features_; ++f) {
+    if (!feature_enabled(f)) continue;
     if (f < 64 && (segments_[id].const_mask >> f) & 1) continue;
     const std::span<const double> xv = xval_slice(f, segment);
     if (xv.front() == xv.back()) {

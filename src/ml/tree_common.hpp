@@ -42,6 +42,38 @@ enum class SplitMode {
   kNaive,
 };
 
+/// How histogram bin edges are chosen.
+enum class BinningMode {
+  kWidth,     ///< Fixed-width bins over [min, max] (the PR 4 scheme).
+  kQuantile,  ///< Equal-frequency edges from the sorted per-feature values.
+};
+
+/// Precomputed per-feature histogram binning: per-row bin ids plus the
+/// per-(feature, bin) value bounds the split scan derives thresholds from.
+/// Computing this is the O(F·n) (kWidth) or O(F·n·log n) (kQuantile) part
+/// of a histogram fit, and it depends only on the matrix content — boosted
+/// ensembles and cross-validation folds share one instance across every
+/// tree and grid point fit on the same matrix.
+struct FeatureBinning {
+  std::size_t bins = 0;          ///< Bins per feature.
+  std::size_t num_rows = 0;      ///< x.rows() of the binned matrix.
+  std::size_t num_features = 0;  ///< x.cols() of the binned matrix.
+  std::vector<std::uint16_t> bin_of;  ///< Bin id, indexed f * num_rows + r.
+  std::vector<double> bin_lo;         ///< Min value seen, f * bins + b.
+  std::vector<double> bin_hi;         ///< Max value seen, f * bins + b.
+};
+
+/// Computes the binning over `rows` of `x` (bin ids of rows outside `rows`
+/// stay 0 and their values never widen the bounds). kWidth reproduces
+/// bit-for-bit the fixed-width binning TreeGrowthEngine computes for itself
+/// when no precomputed binning is supplied. A binning over a superset of
+/// the rows later fit on is exact to reuse: bins are monotone in value and
+/// equal values share a bin, so every derived threshold still partitions
+/// any row subset exactly as its histogram counts assume.
+FeatureBinning compute_feature_binning(const linalg::Matrix& x,
+                                       const std::vector<std::size_t>& rows,
+                                       std::size_t bins, BinningMode mode);
+
 /// The best split found for a node, if any.
 struct BestSplit {
   bool found = false;
@@ -133,6 +165,15 @@ class TreeGrowthEngine {
     /// it — they can never be scanned, so their slices are never read.
     /// Must not exceed 2 * min_leaf of any later find_best_split call.
     std::size_t min_split_size = 2;
+    /// Precomputed binning to share across fits (histogram mode only).
+    /// Must match the matrix (num_rows/num_features) and histogram_bins;
+    /// when null the engine computes fixed-width binning over its root
+    /// rows, exactly as before.
+    std::shared_ptr<const FeatureBinning> binning;
+    /// Per-feature activity mask for feature subsampling (empty = all
+    /// active). Inactive features are never scanned for splits; honored in
+    /// presort and histogram modes.
+    std::vector<std::uint8_t> feature_active;
   };
 
   /// Takes the root row set by value; its order is the canonical row order
@@ -196,6 +237,12 @@ class TreeGrowthEngine {
     return feature < 64 ? (segment.buf_mask >> feature) & 1 : segment.buf_hi;
   }
 
+  /// Whether the feature participates in split scans (subsampling mask).
+  [[nodiscard]] bool feature_enabled(std::size_t feature) const {
+    return config_.feature_active.empty() ||
+           config_.feature_active[feature] != 0;
+  }
+
   [[nodiscard]] std::span<const std::uint32_t> order_slice(
       std::size_t feature, const Segment& segment) const;
   [[nodiscard]] std::span<const double> xval_slice(
@@ -241,12 +288,11 @@ class TreeGrowthEngine {
   std::vector<std::size_t> scratch_;  ///< rows_ stable-partition spill.
   std::vector<double> scratch_y_;     ///< yrows_ spill, in lockstep.
 
-  // Histogram mode: per-row bin ids plus per-(feature, bin) value bounds
-  // computed once at the root; per-node histograms of (sum, sum_sq, count)
-  // triples, children derived by sibling subtraction.
-  std::vector<std::uint16_t> bin_of_;  ///< F slices indexed by row id.
-  std::vector<double> bin_lo_;
-  std::vector<double> bin_hi_;
+  // Histogram mode: per-row bin ids plus per-(feature, bin) value bounds —
+  // either the caller's shared precomputed binning or one computed at the
+  // root; per-node histograms of (sum, sum_sq, count) triples, children
+  // derived by sibling subtraction.
+  std::shared_ptr<const FeatureBinning> binning_;
   std::vector<std::vector<double>> hists_;  ///< Indexed by NodeId.
 };
 

@@ -13,6 +13,7 @@
 
 #include "core/online.hpp"
 #include "data/aggregation.hpp"
+#include "ml/gbdt.hpp"
 #include "ml/linear_regression.hpp"
 #include "ml/registry.hpp"
 #include "ml/reptree.hpp"
@@ -262,6 +263,52 @@ TEST(Cascade, RegistryBuildsConfiguredStages) {
   model->fit(problem.x, problem.y);
   EXPECT_TRUE(model->is_fitted());
   EXPECT_EQ(model->num_inputs(), kCols);
+}
+
+TEST(Cascade, GbdtFullStageBehindLinearScreenIsBitIdenticalWhenPromoted) {
+  // A boosted full stage behind the cheap linear screen: promoted rows
+  // must carry the exact GBDT prediction a full-only deployment of the
+  // same hyperparameters would produce.
+  const Problem problem = make_problem(300, 21);
+  util::Config params;
+  params.set("cascade.horizon_seconds", "400");
+  params.set("cascade.screen", "linear");
+  params.set("cascade.full", "gbdt");
+  params.set("cascade.full.gbdt.n_rounds", "8");
+  params.set("cascade.full.gbdt.learning_rate", "0.3");
+  params.set("cascade.full.gbdt.max_leaves", "8");
+  params.set("cascade.full.gbdt.min_instances", "2");
+  params.set("cascade.full.gbdt.seed", "5");
+  const auto model = make_model("cascade", params);
+  auto* cascade = dynamic_cast<CascadeRegressor*>(model.get());
+  ASSERT_NE(cascade, nullptr);
+  EXPECT_EQ(cascade->full().name(), "gbdt");
+  model->fit(problem.x, problem.y);
+
+  GbdtOptions reference_options;
+  reference_options.n_rounds = 8;
+  reference_options.learning_rate = 0.3;
+  reference_options.max_leaves = 8;
+  reference_options.min_instances_per_leaf = 2;
+  reference_options.seed = 5;
+  GbdtRegressor reference(reference_options);
+  reference.fit(problem.x, problem.y);
+
+  const Problem probes = make_problem(128, 22);
+  std::vector<std::uint8_t> promoted;
+  const std::vector<double> predicted =
+      cascade->predict_traced(probes.x, &promoted);
+  const std::vector<double> full_only = reference.predict(probes.x);
+  std::size_t promoted_count = 0;
+  for (std::size_t r = 0; r < probes.x.rows(); ++r) {
+    if (promoted[r] == 0) continue;
+    ++promoted_count;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(predicted[r]),
+              std::bit_cast<std::uint64_t>(full_only[r]))
+        << "promoted row " << r;
+  }
+  EXPECT_GT(promoted_count, 0u);
+  EXPECT_LT(promoted_count, probes.x.rows());
 }
 
 TEST(Cascade, RejectsBadOptions) {

@@ -1,0 +1,290 @@
+// Property battery for the gradient-boosted trees on the histogram
+// engine:
+//  - a 1-round GBDT with shrinkage 1.0, no subsampling, fixed-width bins
+//    and a zero base score predicts bit-identically to a single unpruned
+//    histogram-mode REPTree with the same caps, across randomized
+//    adversarial datasets;
+//  - fits are bitwise identical at any worker count {1, 2, 8}, with and
+//    without row/feature subsampling;
+//  - the training loss decreases monotonically round over round;
+//  - early stopping halts on a held-out plateau and truncates to the
+//    best round;
+//  - a grid search sweeping rounds/shrinkage bins each CV fold once, not
+//    once per grid point (the shared binning cache);
+//  - batched predict matches predict_row bitwise.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "ml/gbdt.hpp"
+#include "ml/grid_search.hpp"
+#include "ml/registry.hpp"
+#include "ml/reptree.hpp"
+#include "util/rng.hpp"
+
+namespace f2pm::ml {
+namespace {
+
+/// Random dataset rich in the cases that expose tie-order or
+/// threshold-placement divergence: discrete-grid features (massive tie
+/// groups), one constant feature, and a block of duplicated rows.
+void make_adversarial_data(std::size_t n, std::size_t num_features,
+                           util::Rng& rng, linalg::Matrix& x,
+                           std::vector<double>& y) {
+  x = linalg::Matrix(n, num_features);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t f = 0; f < num_features; ++f) {
+      if (f == num_features - 1) {
+        x(i, f) = 42.0;  // constant feature: never splittable
+      } else if (f % 2 == 0) {
+        x(i, f) = static_cast<double>(rng.uniform_int(0, 7));
+      } else {
+        x(i, f) = rng.uniform(-1.0, 1.0);
+      }
+    }
+    y[i] = x(i, 0) > 3.0 ? rng.uniform(5.0, 6.0) : rng.uniform(-1.0, 1.0);
+  }
+  for (std::size_t i = 0; i + n / 4 < n; i += 7) {
+    const std::size_t j = i + n / 4;
+    for (std::size_t f = 0; f < num_features; ++f) x(j, f) = x(i, f);
+    y[j] = y[i];
+  }
+}
+
+std::string archive_bytes(const Regressor& model) {
+  std::ostringstream buffer;
+  util::BinaryWriter writer(buffer);
+  model.save(writer);
+  return buffer.str();
+}
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+TEST(Gbdt, OneRoundShrinkageOneMatchesHistogramRepTree) {
+  // Round-1 residuals equal the targets under a zero base score, leaf
+  // values are the engine moment means un-scaled by shrinkage 1.0, and
+  // leaf-wise growth without a leaf cap expands exactly the depth-first
+  // split set — so the single boosted tree must be the unpruned
+  // histogram REPTree, bit for bit.
+  util::Rng rng(401);
+  for (int round = 0; round < 6; ++round) {
+    linalg::Matrix x;
+    std::vector<double> y;
+    make_adversarial_data(160 + 40 * round, 5, rng, x, y);
+    const std::size_t max_depth = round % 2 == 0 ? 0 : 4;
+    const std::size_t min_leaf = 1 + round % 3;
+
+    GbdtOptions gbdt_options;
+    gbdt_options.n_rounds = 1;
+    gbdt_options.learning_rate = 1.0;
+    gbdt_options.max_depth = max_depth;
+    gbdt_options.max_leaves = 0;
+    gbdt_options.min_instances_per_leaf = min_leaf;
+    gbdt_options.row_subsample = 1.0;
+    gbdt_options.feature_subsample = 1.0;
+    gbdt_options.histogram_bins = 32;
+    gbdt_options.bin_mode = BinningMode::kWidth;
+    gbdt_options.base_score = GbdtOptions::BaseScore::kZero;
+    GbdtRegressor gbdt(gbdt_options);
+    gbdt.fit(x, y);
+    ASSERT_EQ(gbdt.num_trees(), 1u);
+
+    RepTreeOptions tree_options;
+    tree_options.split_mode = SplitMode::kHistogram;
+    tree_options.histogram_bins = 32;
+    tree_options.max_depth = max_depth;
+    tree_options.min_instances_per_leaf = min_leaf;
+    tree_options.prune = false;
+    tree_options.min_variance_proportion = 0.0;
+    RepTree reference(tree_options);
+    reference.fit(x, y);
+
+    const auto gbdt_pred = gbdt.predict(x);
+    const auto tree_pred = reference.predict(x);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      ASSERT_EQ(bits(gbdt_pred[r]), bits(tree_pred[r]))
+          << "round " << round << " row " << r;
+    }
+    // Probe rows off the training grid exercise every threshold.
+    linalg::Matrix probe(64, 5);
+    for (std::size_t r = 0; r < probe.rows(); ++r) {
+      for (std::size_t f = 0; f < 5; ++f) probe(r, f) = rng.uniform(-2.0, 9.0);
+    }
+    const auto gbdt_probe = gbdt.predict(probe);
+    const auto tree_probe = reference.predict(probe);
+    for (std::size_t r = 0; r < probe.rows(); ++r) {
+      ASSERT_EQ(bits(gbdt_probe[r]), bits(tree_probe[r]));
+    }
+  }
+}
+
+TEST(Gbdt, FitIsBitIdenticalAcrossWorkerCounts) {
+  // Row/feature samples come from seeds pre-drawn off the master stream
+  // and sampled sets are kept in ascending row order, so the per-round
+  // trees — and hence the archives — cannot depend on how many workers
+  // the prediction-update fans out across.
+  util::Rng rng(402);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_adversarial_data(300, 5, rng, x, y);
+  for (const bool subsample : {false, true}) {
+    std::string reference;
+    for (const std::size_t workers : {1u, 2u, 8u}) {
+      GbdtOptions options;
+      options.n_rounds = 12;
+      options.learning_rate = 0.2;
+      options.max_leaves = 8;
+      options.min_instances_per_leaf = 2;
+      options.histogram_bins = 16;
+      options.seed = 7;
+      options.fit_workers = workers;
+      if (subsample) {
+        options.row_subsample = 0.7;
+        options.feature_subsample = 0.6;
+      }
+      GbdtRegressor model(options);
+      model.fit(x, y);
+      const std::string archive = archive_bytes(model);
+      if (reference.empty()) {
+        reference = archive;
+      } else {
+        EXPECT_EQ(archive, reference)
+            << "workers=" << workers << " subsample=" << subsample;
+      }
+    }
+  }
+}
+
+TEST(Gbdt, TrainingLossDecreasesMonotonically) {
+  // Squared loss with lr in (0, 2] and full-sample rounds: each leaf
+  // shifts its rows' residual means toward zero, so the training MSE can
+  // only go down (or stay put once every tree degenerates to one leaf).
+  util::Rng rng(403);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_adversarial_data(240, 5, rng, x, y);
+  GbdtOptions options;
+  options.n_rounds = 40;
+  options.learning_rate = 0.1;
+  options.max_leaves = 8;
+  options.min_instances_per_leaf = 2;
+  options.histogram_bins = 32;
+  GbdtRegressor model(options);
+  model.fit(x, y);
+  const auto& loss = model.loss_history();
+  ASSERT_EQ(loss.size(), 40u);
+  for (std::size_t t = 1; t < loss.size(); ++t) {
+    EXPECT_LE(loss[t], loss[t - 1] + 1e-9 * loss[0]) << "round " << t;
+  }
+  EXPECT_LT(loss.back(), 0.5 * loss.front());
+}
+
+TEST(Gbdt, EarlyStoppingHaltsOnHeldOutPlateau) {
+  // A coarse step function plus noise: the signal is learned in a few
+  // rounds, after which the held-out MSE can only wander — the patience
+  // window must trip long before the round budget and the kept ensemble
+  // must truncate to the best round seen.
+  util::Rng rng(404);
+  linalg::Matrix x(400, 3);
+  std::vector<double> y(400);
+  for (std::size_t r = 0; r < 400; ++r) {
+    for (std::size_t f = 0; f < 3; ++f) x(r, f) = rng.uniform(0.0, 1.0);
+    y[r] = (x(r, 0) > 0.5 ? 10.0 : -10.0) + rng.normal(0.0, 0.5);
+  }
+  GbdtOptions options;
+  options.n_rounds = 300;
+  options.learning_rate = 0.3;
+  options.max_leaves = 4;
+  options.min_instances_per_leaf = 5;
+  options.early_stopping_rounds = 8;
+  options.validation_fraction = 0.25;
+  GbdtRegressor model(options);
+  model.fit(x, y);
+  EXPECT_LT(model.loss_history().size(), 300u) << "patience never tripped";
+  EXPECT_GE(model.num_trees(), 1u);
+  EXPECT_LE(model.num_trees(), model.loss_history().size());
+  // The fit must still have learned the step.
+  std::vector<double> row(3, 0.25);
+  row[0] = 0.9;
+  EXPECT_GT(model.predict_row(row), 5.0);
+  row[0] = 0.1;
+  EXPECT_LT(model.predict_row(row), -5.0);
+}
+
+TEST(Gbdt, GridSearchBinsOncePerFoldNotOncePerGridPoint) {
+  // CV rebuilds byte-identical fold matrices for every grid point, and
+  // binning depends only on the matrix content — the shared cache must
+  // collapse a rounds x shrinkage sweep to one binning per fold.
+  util::Rng rng(405);
+  linalg::Matrix x(90, 4);
+  std::vector<double> y(90);
+  for (std::size_t r = 0; r < 90; ++r) {
+    for (std::size_t f = 0; f < 4; ++f) x(r, f) = rng.uniform(-3.0, 3.0);
+    y[r] = 2.0 * x(r, 0) - x(r, 2) + rng.normal(0.0, 0.1);
+  }
+  ParameterGrid grid;
+  grid["gbdt.n_rounds"] = {"2", "4"};
+  grid["gbdt.learning_rate"] = {"0.1", "0.3"};
+  util::Config base;
+  base.set("gbdt.histogram_bins", "16");
+  base.set("gbdt.min_instances", "2");
+  constexpr std::size_t kFolds = 3;
+  const BinningCacheStats before = GbdtRegressor::binning_cache_stats();
+  util::Rng search_rng(77);
+  const auto result =
+      grid_search("gbdt", grid, x, y, kFolds, search_rng, 1.0, base);
+  ASSERT_EQ(result.points.size(), 4u);
+  const BinningCacheStats after = GbdtRegressor::binning_cache_stats();
+  EXPECT_EQ(after.computed - before.computed, kFolds);
+  EXPECT_EQ(after.hits - before.hits, (4 - 1) * kFolds);
+}
+
+TEST(Gbdt, BatchedPredictMatchesPredictRowBitwise) {
+  util::Rng rng(406);
+  linalg::Matrix x;
+  std::vector<double> y;
+  make_adversarial_data(200, 5, rng, x, y);
+  GbdtOptions options;
+  options.n_rounds = 10;
+  options.max_leaves = 6;
+  options.min_instances_per_leaf = 2;
+  GbdtRegressor model(options);
+  model.fit(x, y);
+  const auto batched = model.predict(x);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    ASSERT_EQ(bits(batched[r]), bits(model.predict_row(x.row(r))));
+  }
+}
+
+TEST(Gbdt, RegistryBuildsConfiguredModelAndRejectsBadOptions) {
+  util::Config params;
+  params.set("gbdt.n_rounds", "5");
+  params.set("gbdt.learning_rate", "0.5");
+  params.set("gbdt.bin_mode", "width");
+  params.set("gbdt.base_score", "zero");
+  const auto model = make_model("gbdt", params);
+  EXPECT_EQ(model->name(), "gbdt");
+  auto& gbdt = dynamic_cast<GbdtRegressor&>(*model);
+  EXPECT_EQ(gbdt.options().n_rounds, 5u);
+  EXPECT_EQ(gbdt.options().bin_mode, BinningMode::kWidth);
+  EXPECT_EQ(gbdt.options().base_score, GbdtOptions::BaseScore::kZero);
+
+  EXPECT_THROW(GbdtRegressor(GbdtOptions{.n_rounds = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(GbdtRegressor(GbdtOptions{.learning_rate = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(GbdtRegressor(GbdtOptions{.row_subsample = 1.5}),
+               std::invalid_argument);
+  EXPECT_THROW(GbdtRegressor(GbdtOptions{.histogram_bins = 1}),
+               std::invalid_argument);
+  util::Config bad;
+  bad.set("gbdt.bin_mode", "log");
+  EXPECT_THROW(make_model("gbdt", bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace f2pm::ml

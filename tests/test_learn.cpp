@@ -15,6 +15,7 @@
 #include "learn/drift.hpp"
 #include "learn/trainer.hpp"
 #include "ml/cascade.hpp"
+#include "ml/gbdt.hpp"
 #include "ml/linear_regression.hpp"
 #include "obs/metrics.hpp"
 #include "serve/model_store.hpp"
@@ -461,6 +462,81 @@ TEST(ContinuousTrainer, RetrainsAndPublishesCascadeArchives) {
   EXPECT_TRUE(cascade->full().is_fitted());
   EXPECT_EQ(cascade->full().num_inputs(), data::kInputCount);
   EXPECT_DOUBLE_EQ(cascade->options().horizon_seconds, 30.0);
+  trainer.stop();
+  std::remove(archive.c_str());
+}
+
+TEST(ContinuousTrainer, RetrainsAndPublishesGbdtAfterDriftVerdict) {
+  const std::string archive = testing::TempDir() + "/trainer_gbdt.bin";
+  std::remove(archive.c_str());
+  serve::ModelStore store;
+  store.watch_file(archive);
+
+  TrainerOptions options;
+  options.model_name = "gbdt";
+  // Small but expressive booster: enough rounds to memorise the ramp
+  // corpus exactly (the shadow-score recovery check below needs it).
+  options.model_params.set("gbdt.n_rounds", "30");
+  options.model_params.set("gbdt.learning_rate", "0.5");
+  options.model_params.set("gbdt.min_instances", "1");
+  options.model_params.set("gbdt.max_leaves", "0");
+  options.archive_path = archive;
+  options.aggregation.window_seconds = 4.0;
+  options.aggregation.min_samples_per_window = 2;
+  options.corpus.max_runs = 8;
+  options.drift.horizon = 20;
+  options.drift.degrade_ratio = 1.5;
+  options.drift.min_smae_seconds = 1.0;
+  options.drift.consecutive = 2;
+  options.min_corpus_runs = 3;
+  options.candidate_min_windows = 7;
+  ContinuousTrainer trainer(store, options);
+
+  // Bootstrap publish: the archive must carry a fitted GBDT with the
+  // serve-layout input width.
+  for (int i = 0; i < 3; ++i) trainer.ingest(completed(ramp_run(1.0, 60.0)));
+  trainer.drain();
+  ASSERT_EQ(trainer.stats().publishes, 1u);
+  ASSERT_TRUE(store.poll_watch());
+  ASSERT_EQ(store.version(), 1u);
+  {
+    const auto model = store.current();
+    ASSERT_NE(model, nullptr);
+    const auto* gbdt =
+        dynamic_cast<const ml::GbdtRegressor*>(model->regressor.get());
+    ASSERT_NE(gbdt, nullptr);
+    EXPECT_TRUE(gbdt->is_fitted());
+    EXPECT_GE(gbdt->num_trees(), 1u);
+    EXPECT_EQ(gbdt->num_inputs(), data::kInputCount);
+  }
+
+  // Settle the shadow scorer on the pre-shift regime.
+  for (int i = 0; i < 3; ++i) {
+    trainer.ingest(completed(ramp_run(1.0, 60.0)));
+    trainer.drain();
+  }
+  EXPECT_FALSE(trainer.stats().drift_active);
+
+  // Drift storm: the leak rate doubles; the trainer must raise a drift
+  // verdict, retrain a GBDT candidate, and publish it.
+  for (int i = 0; i < 25 && trainer.stats().publishes < 2; ++i) {
+    trainer.ingest(completed(ramp_run(2.0, 60.0)));
+    trainer.drain();
+  }
+  const TrainerStats stats = trainer.stats();
+  ASSERT_GE(stats.publishes, 2u);
+  EXPECT_GE(stats.drift_verdicts, 1u);
+  EXPECT_EQ(stats.last_publish_trigger, "drift");
+  ASSERT_TRUE(store.poll_watch());
+  EXPECT_EQ(store.version(), 2u);
+
+  // The drift publish is again a GBDT archive, refit on the shifted corpus.
+  const auto swapped = store.current();
+  ASSERT_NE(swapped, nullptr);
+  const auto* candidate =
+      dynamic_cast<const ml::GbdtRegressor*>(swapped->regressor.get());
+  ASSERT_NE(candidate, nullptr);
+  EXPECT_TRUE(candidate->is_fitted());
   trainer.stop();
   std::remove(archive.c_str());
 }

@@ -100,6 +100,23 @@ util::Config random_config(const std::string& name, util::Rng& rng) {
     params.set("bagging.seed", fmt(rng.uniform_int(1, 1 << 20)));
     params.set("bagging.split_mode", pick_split_mode(rng));
     params.set("bagging.histogram_bins", fmt(rng.uniform_int(8, 64)));
+  } else if (name == "gbdt") {
+    params.set("gbdt.n_rounds", fmt(rng.uniform_int(1, 12)));
+    params.set("gbdt.learning_rate", fmt(rng.uniform(0.05, 1.0)));
+    params.set("gbdt.max_depth", fmt(rng.uniform_int(0, 5)));
+    params.set("gbdt.max_leaves",
+               rng.bernoulli(0.3) ? "0" : fmt(rng.uniform_int(4, 16)));
+    params.set("gbdt.min_instances", fmt(rng.uniform_int(1, 6)));
+    params.set("gbdt.row_subsample", fmt(rng.uniform(0.5, 1.0)));
+    params.set("gbdt.feature_subsample", fmt(rng.uniform(0.5, 1.0)));
+    params.set("gbdt.histogram_bins", fmt(rng.uniform_int(8, 64)));
+    params.set("gbdt.bin_mode", rng.bernoulli(0.5) ? "quantile" : "width");
+    params.set("gbdt.base_score", rng.bernoulli(0.5) ? "mean" : "zero");
+    params.set("gbdt.seed", fmt(rng.uniform_int(1, 1 << 20)));
+    if (rng.bernoulli(0.4)) {
+      params.set("gbdt.early_stopping_rounds", fmt(rng.uniform_int(1, 4)));
+      params.set("gbdt.validation_fraction", fmt(rng.uniform(0.1, 0.3)));
+    }
   } else if (name == "cascade") {
     params.set("cascade.horizon_seconds", fmt(rng.uniform(5.0, 80.0)));
     params.set("cascade.band_quantile", fmt(rng.uniform(0.0, 1.0)));
@@ -108,7 +125,15 @@ util::Config random_config(const std::string& name, util::Rng& rng) {
     }
     params.set("cascade.screen", rng.bernoulli(0.5) ? "linear" : "reptree");
     params.set("cascade.screen.reptree.max_depth", "2");
-    params.set("cascade.full", rng.bernoulli(0.5) ? "reptree" : "m5p");
+    switch (rng.uniform_int(0, 2)) {
+      case 0: params.set("cascade.full", "reptree"); break;
+      case 1: params.set("cascade.full", "m5p"); break;
+      default:
+        params.set("cascade.full", "gbdt");
+        params.set("cascade.full.gbdt.n_rounds", "4");
+        params.set("cascade.full.gbdt.max_leaves", "6");
+        break;
+    }
   }
   // "linear" has no hyperparameters; an empty config is its whole space.
   return params;

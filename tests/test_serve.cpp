@@ -16,6 +16,7 @@
 
 #include "data/aggregation.hpp"
 #include "ml/cascade.hpp"
+#include "ml/gbdt.hpp"
 #include "ml/linear_regression.hpp"
 #include "ml/model.hpp"
 #include "net/fmc.hpp"
@@ -305,6 +306,97 @@ TEST(PredictionService, HotSwapFullOnlyArchiveForCascadeUnderLoad) {
   // happened and never exceeded the prediction count.
   EXPECT_GT(stats.windows_promoted, 0u);
   EXPECT_LE(stats.windows_promoted, stats.predictions_sent);
+  std::remove(path.c_str());
+}
+
+TEST(PredictionService, HotSwapFullOnlyArchiveForGbdtUnderLoad) {
+  // A GBDT fit on a constant target is base_score = value plus all-zero
+  // single-leaf trees (zero residuals leave nothing to split), so it
+  // predicts exactly `value` — the version -> expected-rttf pairing stays
+  // checkable while clients stream through the swap.
+  const auto constant_gbdt = [](double value) {
+    const std::size_t rows = data::kInputCount + 8;
+    linalg::Matrix x(rows, data::kInputCount);
+    std::uint64_t state = 0x2545f4914f6cdd1dull;
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < data::kInputCount; ++c) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        x(r, c) = static_cast<double>(state >> 40) / 1e6;
+      }
+    }
+    const std::vector<double> y(rows, value);
+    ml::GbdtOptions options;
+    options.n_rounds = 3;
+    options.min_instances_per_leaf = 1;
+    auto model = std::make_unique<ml::GbdtRegressor>(options);
+    model->fit(x, y);
+    return model;
+  };
+
+  const std::string path = testing::TempDir() + "f2pm_gbdt_swap_" +
+                           std::to_string(::getpid()) + ".bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    ml::save_model(*constant_model(1000.0), out);
+  }
+  auto store = std::make_shared<ModelStore>();
+  store->load_file(path);
+  ASSERT_EQ(store->version(), 1u);
+  PredictionService service(fast_options(), store);
+
+  constexpr int kClients = 6;
+  std::atomic<bool> mismatch{false};
+  std::atomic<bool> keep_streaming{true};
+  std::atomic<int> clients_on_v2{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      net::FeatureMonitorClient client("127.0.0.1", service.port());
+      client.hello("gbdt-swap-" + std::to_string(c));
+      bool saw_v2 = false;
+      const auto check = [&](const net::Prediction& prediction) {
+        // v1 = full-only (linear) archive, v2 = GBDT archive.
+        const double expected =
+            prediction.model_version == 1 ? 1000.0 : 100.0;
+        if (std::abs(prediction.rttf - expected) > 1e-6) mismatch = true;
+        if (prediction.model_version == 2 && !saw_v2) {
+          saw_v2 = true;
+          ++clients_on_v2;
+        }
+      };
+      double tgen = 0.0;
+      while (keep_streaming.load()) {
+        client.send(sample_at(tgen));
+        tgen += 1.0;
+        while (auto prediction = client.poll_prediction()) check(*prediction);
+      }
+      client.finish();
+      while (auto prediction = client.wait_prediction()) check(*prediction);
+    });
+  }
+
+  std::this_thread::sleep_for(30ms);  // let streams get going
+  {  // atomic replace: write aside, then rename over
+    const std::string tmp = path + ".tmp";
+    std::ofstream out(tmp, std::ios::binary);
+    ml::save_model(*constant_gbdt(100.0), out);
+    out.close();
+    ASSERT_EQ(std::rename(tmp.c_str(), path.c_str()), 0);
+  }
+  // The swap counter (store version) increments exactly once.
+  EXPECT_EQ(store->load_file(path), 2u);
+  EXPECT_EQ(store->version(), 2u);
+  EXPECT_TRUE(eventually(
+      [&] { return clients_on_v2.load() == kClients; }, 15000ms))
+      << "only " << clients_on_v2.load()
+      << " clients ever saw the GBDT archive";
+  keep_streaming = false;
+
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_FALSE(mismatch.load());
+  service.stop();
+  EXPECT_EQ(service.stats().protocol_errors, 0u);
   std::remove(path.c_str());
 }
 
